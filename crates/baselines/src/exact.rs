@@ -1,0 +1,288 @@
+//! An exact solver for small instances — the optimality reference.
+//!
+//! Theorem 11 makes optimal slice discovery NP-complete (and APX-complete),
+//! so no polynomial algorithm can be exact in general. But on *small*
+//! sources the optimum is computable outright:
+//!
+//! 1. every slice's profit depends only on its entity extent, and for every
+//!    extent the canonical slice is a maximal representative — so it
+//!    suffices to consider canonical slices;
+//! 2. the canonical slices are exactly the closed property sets, i.e. the
+//!    intersections `∩_{e∈S} C_e` over non-empty entity subsets — at most
+//!    `2^n − 1` of them;
+//! 3. with extents packed into bitmasks, every subset of candidate slices
+//!    can be evaluated in microseconds.
+//!
+//! [`Exact`] therefore yields the true optimum for sources with up to
+//! [`max_entities`](Exact::max_entities) entities and
+//! [`max_slices`](Exact::max_slices) canonical slices, and returns nothing
+//! (declining to answer) beyond that. The `optimality_gap` integration test
+//! uses it to measure how far MIDASalg is from optimal on random instances.
+
+use midas_core::{
+    CostModel, DetectInput, DiscoveredSlice, EntityId, FactTable, ProfitCtx, PropertyId,
+    SliceDetector, SourceFacts,
+};
+use midas_kb::{KnowledgeBase, Symbol};
+
+/// Brute-force exact slice discovery for small sources.
+#[derive(Debug, Clone)]
+pub struct Exact {
+    /// Definition 9 cost model.
+    pub cost: CostModel,
+    /// Refuse sources with more entities than this (candidate enumeration
+    /// is `O(2^n)`).
+    pub max_entities: usize,
+    /// Refuse instances with more canonical slices than this (subset
+    /// enumeration is `O(2^k)`).
+    pub max_slices: usize,
+}
+
+impl Default for Exact {
+    fn default() -> Self {
+        Exact {
+            cost: CostModel::default(),
+            max_entities: 16,
+            max_slices: 20,
+        }
+    }
+}
+
+/// One candidate canonical slice with a bitmask extent.
+struct Candidate {
+    props: Vec<PropertyId>,
+    extent_mask: u32,
+}
+
+impl Exact {
+    /// Creates the solver with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Exact {
+            cost,
+            ..Exact::default()
+        }
+    }
+
+    /// Computes the provably optimal slice set, or `None` when the instance
+    /// exceeds the enumeration caps.
+    pub fn solve(
+        &self,
+        source: &SourceFacts,
+        kb: &KnowledgeBase,
+    ) -> Option<Vec<DiscoveredSlice>> {
+        if source.is_empty() {
+            return Some(Vec::new());
+        }
+        let table = FactTable::build(source, kb);
+        let n = table.num_entities();
+        if n > self.max_entities {
+            return None;
+        }
+
+        // Canonical slices = intersections over non-empty entity subsets.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut seen: std::collections::BTreeSet<Vec<PropertyId>> = Default::default();
+        for mask in 1u32..(1u32 << n) {
+            let mut inter: Option<Vec<PropertyId>> = None;
+            for e in 0..n as u32 {
+                if mask & (1 << e) == 0 {
+                    continue;
+                }
+                let eprops = table.entity_properties(e);
+                inter = Some(match inter {
+                    None => eprops.to_vec(),
+                    Some(mut acc) => {
+                        acc.retain(|p| eprops.contains(p));
+                        acc
+                    }
+                });
+                if inter.as_ref().is_some_and(Vec::is_empty) {
+                    break;
+                }
+            }
+            let props = inter.expect("non-empty mask");
+            if props.is_empty() || !seen.insert(props.clone()) {
+                continue;
+            }
+            let extent = table.extent_of(&props);
+            let mut extent_mask = 0u32;
+            for &e in &extent {
+                extent_mask |= 1 << e;
+            }
+            candidates.push(Candidate { props, extent_mask });
+        }
+        if candidates.len() > self.max_slices {
+            return None;
+        }
+
+        // Per-entity counts for mask-based set profit.
+        let new_of: Vec<f64> = (0..n as u32).map(|e| f64::from(table.new_of(e))).collect();
+        let facts_of: Vec<f64> = (0..n as u32).map(|e| f64::from(table.facts_of(e))).collect();
+        let ctx = ProfitCtx::new(&table, self.cost);
+        let profit_of = |slice_set: u32| -> f64 {
+            if slice_set == 0 {
+                return 0.0;
+            }
+            let mut union = 0u32;
+            let mut k = 0usize;
+            for (i, c) in candidates.iter().enumerate() {
+                if slice_set & (1 << i) != 0 {
+                    union |= c.extent_mask;
+                    k += 1;
+                }
+            }
+            let (mut gain, mut total) = (0.0, 0.0);
+            for e in 0..n {
+                if union & (1 << e) != 0 {
+                    gain += new_of[e];
+                    total += facts_of[e];
+                }
+            }
+            (1.0 - self.cost.fv) * gain
+                - self.cost.fd * total
+                - self.cost.fp * k as f64
+                - ctx.crawl_fixed()
+        };
+
+        let mut best_set = 0u32;
+        let mut best_profit = 0.0f64;
+        for slice_set in 0..(1u32 << candidates.len()) {
+            let p = profit_of(slice_set);
+            if p > best_profit {
+                best_profit = p;
+                best_set = slice_set;
+            }
+        }
+
+        let mut out = Vec::new();
+        for (i, c) in candidates.iter().enumerate() {
+            if best_set & (1 << i) == 0 {
+                continue;
+            }
+            let extent: Vec<EntityId> = (0..n as u32)
+                .filter(|&e| c.extent_mask & (1 << e) != 0)
+                .collect();
+            let mut properties: Vec<(Symbol, Symbol)> =
+                c.props.iter().map(|&p| table.catalog().pair(p)).collect();
+            properties.sort_unstable();
+            let mut entities: Vec<Symbol> = extent.iter().map(|&e| table.subject(e)).collect();
+            entities.sort_unstable();
+            out.push(DiscoveredSlice {
+                source: source.url.clone(),
+                properties,
+                entities,
+                num_facts: table.facts_sum(&extent) as usize,
+                num_new_facts: table.new_sum(&extent) as usize,
+                profit: ctx.profit_single(&extent),
+            });
+        }
+        out.sort_by(|a, b| b.profit.partial_cmp(&a.profit).expect("finite profits"));
+        Some(out)
+    }
+
+    /// Total Definition 9 profit of a slice set over one source.
+    pub fn set_profit(
+        &self,
+        source: &SourceFacts,
+        kb: &KnowledgeBase,
+        slices: &[DiscoveredSlice],
+    ) -> f64 {
+        if slices.is_empty() {
+            return 0.0;
+        }
+        let table = FactTable::build(source, kb);
+        let ctx = ProfitCtx::new(&table, self.cost);
+        let mut acc = ctx.accumulator();
+        for s in slices {
+            let extent: Vec<EntityId> = s
+                .entities
+                .iter()
+                .filter_map(|&e| table.entity(e))
+                .collect();
+            acc.add(&ctx, &extent);
+        }
+        acc.profit(&ctx)
+    }
+}
+
+impl SliceDetector for Exact {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn detect(&self, input: DetectInput<'_>) -> Vec<DiscoveredSlice> {
+        self.solve(input.source, input.kb).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_core::fixtures::skyrocket;
+    use midas_core::{MidasAlg, MidasConfig};
+    use midas_kb::Interner;
+
+    #[test]
+    fn optimal_on_the_running_example_is_s5() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let exact = Exact::new(CostModel::running_example());
+        let slices = exact.solve(&src, &kb).expect("small instance");
+        assert_eq!(slices.len(), 1, "the optimum is a single slice");
+        assert!((slices[0].profit - 4.327).abs() < 1e-9, "and it is S5");
+        assert_eq!(slices[0].entities.len(), 2);
+    }
+
+    #[test]
+    fn midas_matches_the_optimum_on_the_running_example() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let cost = CostModel::running_example();
+        let exact = Exact::new(cost);
+        let optimal = exact.solve(&src, &kb).unwrap();
+        let midas = MidasAlg::new(MidasConfig::running_example()).run(&src, &kb);
+        let f_opt = exact.set_profit(&src, &kb, &optimal);
+        let f_midas = exact.set_profit(&src, &kb, &midas);
+        assert!((f_opt - f_midas).abs() < 1e-9, "MIDAS is optimal here");
+    }
+
+    #[test]
+    fn declines_oversized_instances() {
+        let mut t = Interner::new();
+        let mut facts = Vec::new();
+        for e in 0..30 {
+            facts.push(midas_kb::Fact::intern(&mut t, &format!("e{e}"), "p", "v"));
+        }
+        let src = SourceFacts::new(
+            midas_weburl::SourceUrl::parse("http://big.example/x").unwrap(),
+            facts,
+        );
+        let exact = Exact::new(CostModel::running_example());
+        assert!(exact.solve(&src, &KnowledgeBase::new()).is_none());
+        // Through the detector interface it degrades to "no answer".
+        assert!(exact
+            .detect(DetectInput { source: &src, kb: &KnowledgeBase::new(), seeds: &[] })
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_source_is_trivially_optimal() {
+        let exact = Exact::default();
+        let src = SourceFacts::new(
+            midas_weburl::SourceUrl::parse("http://empty.example").unwrap(),
+            vec![],
+        );
+        assert_eq!(exact.solve(&src, &KnowledgeBase::new()), Some(vec![]));
+        assert_eq!(exact.name(), "exact");
+    }
+
+    #[test]
+    fn fully_known_source_has_zero_optimum() {
+        let mut t = Interner::new();
+        let (src, _) = skyrocket(&mut t);
+        let kb: KnowledgeBase = src.facts.iter().copied().collect();
+        let exact = Exact::new(CostModel::running_example());
+        let slices = exact.solve(&src, &kb).unwrap();
+        assert!(slices.is_empty(), "the empty set is optimal");
+    }
+}

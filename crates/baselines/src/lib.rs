@@ -1,0 +1,36 @@
+//! # midas-baselines — the comparison algorithms of §IV-B
+//!
+//! Three baselines, all implementing [`midas_core::SliceDetector`] so they
+//! run inside the same multi-source framework as MIDASalg:
+//!
+//! * [`Naive`] — ranks *entire web sources* by their number of new facts; it
+//!   produces whole-source "slices" with no defining properties. The paper
+//!   uses it to show that raw new-fact counting, without content
+//!   abstraction, picks forums and news sites.
+//! * [`Greedy`] — derives a *single* slice per source by starting from the
+//!   whole source and repeatedly adding the property that improves the
+//!   Definition 9 profit the most. Fast, but structurally limited to one
+//!   slice per source (its recall collapses as the number of optimal slices
+//!   grows — Figure 11c).
+//! * [`AggCluster`] — agglomerative clustering of entities using the profit
+//!   gain of merging as the linkage criterion, `O(|E|² log |E|)`. Accurate
+//!   on small inputs but an order of magnitude slower than MIDASalg, with a
+//!   cliff on disproportionately large sources (Figure 10d).
+
+#![warn(missing_docs)]
+
+//! A fourth, non-paper algorithm is included as a correctness reference:
+//! [`Exact`] computes the provably optimal slice set on small instances by
+//! enumerating the canonical slices (closed property sets) and every subset
+//! of them — usable only up to ~16 entities, but invaluable for measuring
+//! MIDASalg's optimality gap (see the `optimality_gap` integration test).
+
+pub mod aggcluster;
+pub mod exact;
+pub mod greedy;
+pub mod naive;
+
+pub use aggcluster::AggCluster;
+pub use exact::Exact;
+pub use greedy::Greedy;
+pub use naive::Naive;

@@ -1,0 +1,124 @@
+//! The NAIVE baseline: whole sources ranked by new-fact count.
+
+use midas_core::{CostModel, DetectInput, DiscoveredSlice, FactTable, ProfitCtx, SliceDetector, SourceFacts};
+use midas_kb::{KnowledgeBase, Symbol};
+
+/// Ranks entire web sources by the number of facts they would add.
+///
+/// NAIVE has no notion of content: it reports one property-free slice per
+/// source covering every entity, ranked by `|T_W \ E|`. The paper notes it
+/// "may consider a forum or a news website, which contains a large number of
+/// loosely related extractions, as a good web source slice".
+#[derive(Debug, Clone, Default)]
+pub struct Naive {
+    /// Cost model used only to attach a Definition 9 profit to the reported
+    /// whole-source slices (the *ranking* is by new-fact count).
+    pub cost: CostModel,
+}
+
+impl Naive {
+    /// Creates the baseline with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Naive { cost }
+    }
+
+    /// The whole-source slice of `source`.
+    pub fn whole_source_slice(
+        &self,
+        source: &SourceFacts,
+        kb: &KnowledgeBase,
+    ) -> Option<DiscoveredSlice> {
+        if source.is_empty() {
+            return None;
+        }
+        let table = FactTable::build(source, kb);
+        let ctx = ProfitCtx::new(&table, self.cost);
+        let extent: Vec<u32> = (0..table.num_entities() as u32).collect();
+        let mut entities: Vec<Symbol> = extent.iter().map(|&e| table.subject(e)).collect();
+        entities.sort_unstable();
+        Some(DiscoveredSlice {
+            source: source.url.clone(),
+            properties: Vec::new(),
+            entities,
+            num_facts: table.facts_sum(&extent) as usize,
+            num_new_facts: table.new_sum(&extent) as usize,
+            profit: ctx.profit_single(&extent),
+        })
+    }
+
+    /// Ranks a corpus of sources by descending new-fact count.
+    pub fn rank(&self, sources: &[SourceFacts], kb: &KnowledgeBase) -> Vec<DiscoveredSlice> {
+        let mut out: Vec<DiscoveredSlice> = sources
+            .iter()
+            .filter_map(|s| self.whole_source_slice(s, kb))
+            .collect();
+        out.sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
+        out
+    }
+}
+
+impl SliceDetector for Naive {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn detect(&self, input: DetectInput<'_>) -> Vec<DiscoveredSlice> {
+        self.whole_source_slice(input.source, input.kb)
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_core::fixtures::{skyrocket, skyrocket_pages};
+    use midas_kb::Interner;
+
+    #[test]
+    fn whole_source_slice_covers_everything() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let naive = Naive::new(CostModel::running_example());
+        let s = naive.whole_source_slice(&src, &kb).unwrap();
+        assert!(s.properties.is_empty());
+        assert_eq!(s.entities.len(), 5);
+        assert_eq!(s.num_facts, 13);
+        assert_eq!(s.num_new_facts, 6);
+    }
+
+    #[test]
+    fn ranking_is_by_new_fact_count() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let naive = Naive::new(CostModel::running_example());
+        let ranked = naive.rank(&pages, &kb);
+        assert_eq!(ranked.len(), 5);
+        for w in ranked.windows(2) {
+            assert!(w[0].num_new_facts >= w[1].num_new_facts);
+        }
+        // The two rocket-family pages (3 new facts each) come first.
+        assert!(ranked[0].source.as_str().contains("doc_lau_fam"));
+        assert!(ranked[1].source.as_str().contains("doc_lau_fam"));
+    }
+
+    #[test]
+    fn empty_source_is_skipped() {
+        let naive = Naive::default();
+        let src = SourceFacts::new(
+            midas_weburl::SourceUrl::parse("http://empty.com").unwrap(),
+            vec![],
+        );
+        assert!(naive.whole_source_slice(&src, &KnowledgeBase::new()).is_none());
+    }
+
+    #[test]
+    fn detector_interface_returns_one_slice() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let naive = Naive::new(CostModel::running_example());
+        let out = naive.detect(DetectInput { source: &src, kb: &kb, seeds: &[] });
+        assert_eq!(out.len(), 1);
+        assert_eq!(naive.name(), "naive");
+    }
+}

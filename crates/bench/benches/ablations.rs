@@ -1,0 +1,77 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. low-profit pruning on/off (hierarchy size and build time);
+//! 2. consolidation export policy (positive-only vs export-all);
+//! 3. the per-entity initial-combination cap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use midas_core::{
+    ExportPolicy, FactTable, Framework, MidasAlg, MidasConfig, ProfitCtx, SliceHierarchy,
+};
+use midas_extract::slim::{generate as slim_gen, SlimConfig, SlimFlavor};
+use midas_extract::synthetic::{generate, SyntheticConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig::new(2_500, 20, 10, 42));
+    let table = FactTable::build(&ds.sources[0], &ds.kb);
+
+    let mut group = c.benchmark_group("ablation_profit_pruning");
+    group.sample_size(15);
+    for (label, disable) in [("on", false), ("off", true)] {
+        let cfg = MidasConfig {
+            disable_profit_pruning: disable,
+            ..MidasConfig::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let ctx = ProfitCtx::new(&table, cfg.cost);
+                black_box(SliceHierarchy::build(&table, &ctx, &cfg).len())
+            })
+        });
+    }
+    group.finish();
+
+    let slim = slim_gen(&SlimConfig {
+        flavor: SlimFlavor::ReVerb,
+        scale: 0.002,
+        seed: 42,
+    });
+    let cfg = MidasConfig::default();
+    let mut group = c.benchmark_group("ablation_export_policy");
+    group.sample_size(10);
+    for (label, policy, report_best) in [
+        ("positive_only", ExportPolicy::PositiveOnly, false),
+        ("export_all", ExportPolicy::ExportAll, true),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let alg = MidasAlg::new(MidasConfig {
+                    always_report_best: report_best,
+                    ..cfg.clone()
+                });
+                let fw = Framework::new(&alg, cfg.cost).with_policy(policy);
+                black_box(fw.run(slim.sources.clone(), &slim.kb).slices.len())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_combo_cap");
+    group.sample_size(15);
+    for &cap in &[4usize, 16, 64] {
+        let cfg = MidasConfig {
+            max_initial_combinations_per_entity: cap,
+            ..MidasConfig::default()
+        };
+        group.bench_function(cap.to_string(), |b| {
+            b.iter(|| {
+                let ctx = ProfitCtx::new(&table, cfg.cost);
+                black_box(SliceHierarchy::build(&table, &ctx, &cfg).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

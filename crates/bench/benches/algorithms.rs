@@ -1,0 +1,41 @@
+//! End-to-end algorithm comparison on the §IV-D synthetic workload — the
+//! criterion companion to Figure 11b/11d.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use midas_baselines::{AggCluster, Greedy, Naive};
+use midas_core::{DetectInput, MidasAlg, MidasConfig, SliceDetector};
+use midas_extract::synthetic::{generate, SyntheticConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig::new(2_500, 20, 10, 42));
+    let cfg = MidasConfig::default();
+    let src = &ds.sources[0];
+
+    let mut group = c.benchmark_group("algorithms_n2500");
+    group.sample_size(10);
+
+    let midas = MidasAlg::new(cfg.clone());
+    group.bench_function("midas", |b| {
+        b.iter(|| black_box(midas.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }).len()))
+    });
+
+    let greedy = Greedy::new(cfg.cost);
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(greedy.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }).len()))
+    });
+
+    let agg = AggCluster::new(cfg.cost);
+    group.bench_function("aggcluster", |b| {
+        b.iter(|| black_box(agg.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }).len()))
+    });
+
+    let naive = Naive::new(cfg.cost);
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(naive.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Parallel speed-up of the §III-B framework: the same slim corpus with a
+//! growing worker pool (the paper parallelised via MapReduce sharding).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use midas_core::{Framework, MidasAlg, MidasConfig};
+use midas_extract::slim::{generate, SlimConfig, SlimFlavor};
+
+fn bench_framework(c: &mut Criterion) {
+    let ds = generate(&SlimConfig {
+        flavor: SlimFlavor::ReVerb,
+        scale: 0.004,
+        seed: 42,
+    });
+    let cfg = MidasConfig::default();
+
+    let mut group = c.benchmark_group("framework_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let alg = MidasAlg::new(cfg.clone());
+                let fw = Framework::new(&alg, cfg.cost).with_threads(t);
+                black_box(fw.run(ds.sources.clone(), &ds.kb).slices.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_framework);
+criterion_main!(benches);

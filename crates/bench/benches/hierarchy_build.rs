@@ -1,0 +1,26 @@
+//! Microbench: slice-hierarchy construction (§III-A step 1) as the source
+//! grows — the dominant cost of MIDASalg (Proposition 15: O(m·|P|)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use midas_core::{FactTable, MidasConfig, ProfitCtx, SliceHierarchy};
+use midas_extract::synthetic::{generate, SyntheticConfig};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_build");
+    group.sample_size(20);
+    for &n in &[1_000usize, 2_500, 5_000] {
+        let ds = generate(&SyntheticConfig::new(n, 20, 10, 42));
+        let cfg = MidasConfig::default();
+        let table = FactTable::build(&ds.sources[0], &ds.kb);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let ctx = ProfitCtx::new(&table, cfg.cost);
+                SliceHierarchy::build(&table, &ctx, &cfg).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbench: string interning throughput (the substrate every fact and
+//! URL passes through).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use midas_kb::{Interner, SharedInterner};
+
+fn bench_interning(c: &mut Criterion) {
+    let words: Vec<String> = (0..10_000).map(|i| format!("entity_{}", i % 2_000)).collect();
+
+    c.bench_function("interner/intern_10k_mixed", |b| {
+        b.iter(|| {
+            let mut interner = Interner::with_capacity(2_048);
+            for w in &words {
+                black_box(interner.intern(w));
+            }
+            interner.len()
+        })
+    });
+
+    c.bench_function("interner/resolve_hot", |b| {
+        let mut interner = Interner::new();
+        let syms: Vec<_> = words.iter().map(|w| interner.intern(w)).collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &s in &syms {
+                total += interner.resolve(black_box(s)).len();
+            }
+            total
+        })
+    });
+
+    c.bench_function("interner/shared_intern_10k", |b| {
+        b.iter(|| {
+            let shared = SharedInterner::new();
+            for w in &words {
+                black_box(shared.intern(w));
+            }
+            shared.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_interning);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Microbench: the Definition 9 profit function — single slices, slice
+//! sets, and incremental marginals.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use midas_core::{FactTable, MidasConfig, ProfitCtx};
+use midas_extract::synthetic::{generate, SyntheticConfig};
+
+fn bench_profit(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig::new(5_000, 20, 10, 42));
+    let cfg = MidasConfig::default();
+    let table = FactTable::build(&ds.sources[0], &ds.kb);
+    let ctx = ProfitCtx::new(&table, cfg.cost);
+    let all: Vec<u32> = (0..table.num_entities() as u32).collect();
+    let half: Vec<u32> = all.iter().copied().step_by(2).collect();
+
+    c.bench_function("profit/single_1000_entities", |b| {
+        b.iter(|| black_box(ctx.profit_single(&all)))
+    });
+
+    c.bench_function("profit/set_union_500", |b| {
+        b.iter(|| black_box(ctx.profit_set(&half, 10)))
+    });
+
+    c.bench_function("profit/accumulator_add_marginal", |b| {
+        b.iter(|| {
+            let mut acc = ctx.accumulator();
+            let m1 = acc.marginal(&ctx, &half);
+            acc.add(&ctx, &half);
+            let m2 = acc.marginal(&ctx, &all);
+            acc.add(&ctx, &all);
+            black_box((m1, m2, acc.profit(&ctx)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_profit);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbench: the shard-by-parent keying of the §III-B framework.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use midas_weburl::{shard_by_parent, SourceUrl};
+
+fn bench_sharding(c: &mut Criterion) {
+    let urls: Vec<SourceUrl> = (0..10_000)
+        .map(|i| {
+            SourceUrl::parse(&format!(
+                "http://domain{}.example.com/section{}/page{}.html",
+                i % 200,
+                i % 17,
+                i
+            ))
+            .expect("static URL parses")
+        })
+        .collect();
+
+    c.bench_function("shard/10k_pages_by_parent", |b| {
+        b.iter(|| {
+            let items: Vec<(SourceUrl, usize)> =
+                urls.iter().cloned().enumerate().map(|(i, u)| (u, i)).collect();
+            let (shards, domains) = shard_by_parent(items);
+            black_box((shards.len(), domains.len()))
+        })
+    });
+
+    c.bench_function("shard/url_parse_normalise", |b| {
+        b.iter(|| {
+            let mut depth = 0usize;
+            for i in 0..1_000 {
+                let u = SourceUrl::parse(&format!(
+                    "HTTPS://WWW.Example.COM//a/b{}//c?q=1#f",
+                    i
+                ))
+                .expect("parses");
+                depth += u.depth();
+            }
+            black_box(depth)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

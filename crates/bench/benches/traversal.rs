@@ -1,0 +1,31 @@
+//! Microbench: Algorithm 1 (top-down traversal) on a pre-built hierarchy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use midas_core::traversal::traverse;
+use midas_core::{FactTable, MidasConfig, ProfitCtx, SliceHierarchy};
+use midas_extract::synthetic::{generate, SyntheticConfig};
+
+fn bench_traversal(c: &mut Criterion) {
+    let ds = generate(&SyntheticConfig::new(5_000, 20, 10, 42));
+    let cfg = MidasConfig::default();
+    let table = FactTable::build(&ds.sources[0], &ds.kb);
+    let ctx = ProfitCtx::new(&table, cfg.cost);
+    let hierarchy = SliceHierarchy::build(&table, &ctx, &cfg);
+
+    c.bench_function("traversal/algorithm_1", |b| {
+        b.iter(|| black_box(traverse(&hierarchy, &ctx).len()))
+    });
+
+    // Without profit pruning the traversal sees many more valid nodes.
+    let cfg_np = MidasConfig {
+        disable_profit_pruning: true,
+        ..MidasConfig::default()
+    };
+    let h_np = SliceHierarchy::build(&table, &ctx, &cfg_np);
+    c.bench_function("traversal/algorithm_1_unpruned", |b| {
+        b.iter(|| black_box(traverse(&h_np, &ctx).len()))
+    });
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

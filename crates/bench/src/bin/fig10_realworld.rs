@@ -1,0 +1,10 @@
+//! Regenerates Figure 10: top-k precision and execution time vs input ratio
+//! on the ReVerb- and NELL-shaped corpora. Pass `--full` for larger scales.
+
+use midas_bench::{fig10, ExperimentScale};
+
+fn main() {
+    let report = fig10::run(ExperimentScale::from_args());
+    print!("{report}");
+    midas_bench::experiments::maybe_write_artifact("fig10_realworld", &report);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 11: accuracy and runtime of MIDAS, GREEDY, AGGCLUSTER
+//! (and NAIVE) on the §IV-D synthetic generator. Pass `--full` for the
+//! paper's full parameter sweeps.
+
+use midas_bench::{fig11, ExperimentScale};
+
+fn main() {
+    let report = fig11::run(ExperimentScale::from_args());
+    print!("{report}");
+    midas_bench::experiments::maybe_write_artifact("fig11_synthetic", &report);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3: top MIDAS slices for augmenting Freebase from a
+//! KnowledgeVault-like corpus. Pass `--full` for the paper-shaped scale.
+
+use midas_bench::{fig3, ExperimentScale};
+
+fn main() {
+    let report = fig3::run(ExperimentScale::from_args());
+    print!("{report}");
+    midas_bench::experiments::maybe_write_artifact("fig3_kvault", &report);
+}

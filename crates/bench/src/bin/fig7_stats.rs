@@ -1,0 +1,10 @@
+//! Regenerates Figure 7: statistics of the real-world datasets (generated
+//! at reduced scale). Pass `--full` for larger corpora.
+
+use midas_bench::{fig7, ExperimentScale};
+
+fn main() {
+    let report = fig7::run(ExperimentScale::from_args());
+    print!("{report}");
+    midas_bench::experiments::maybe_write_artifact("fig7_stats", &report);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8: a snapshot of the silver standard over the 100
+//! curated ReVerb-Slim sources. Pass `--full` for the larger corpus.
+
+use midas_bench::{fig8, ExperimentScale};
+
+fn main() {
+    let report = fig8::run(ExperimentScale::from_args());
+    print!("{report}");
+    midas_bench::experiments::maybe_write_artifact("fig8_silver", &report);
+}

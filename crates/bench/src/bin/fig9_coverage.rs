@@ -1,0 +1,11 @@
+//! Regenerates Figure 9: PR curves and precision/recall/F-measure against
+//! knowledge bases of varying coverage on the slim corpora. Pass `--full`
+//! for the larger corpora.
+
+use midas_bench::{fig9, ExperimentScale};
+
+fn main() {
+    let report = fig9::run(ExperimentScale::from_args());
+    print!("{report}");
+    midas_bench::experiments::maybe_write_artifact("fig9_coverage", &report);
+}

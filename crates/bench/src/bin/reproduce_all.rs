@@ -1,0 +1,29 @@
+//! Runs every table/figure reproduction in sequence (quick scales by
+//! default; pass `--full` for the paper-shaped scales).
+
+use midas_bench::{fig10, fig11, fig3, fig7, fig8, fig9, ExperimentScale};
+use std::time::Instant;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let experiments: &[(&str, fn(ExperimentScale) -> String)] = &[
+        ("Figure 7 (dataset statistics)", fig7::run),
+        ("Figure 8 (silver standard)", fig8::run),
+        ("Figure 3 (KnowledgeVault qualitative)", fig3::run),
+        ("Figure 9 (coverage sweep)", fig9::run),
+        ("Figure 10 (real-world shapes)", fig10::run),
+        ("Figure 11 (synthetic sweeps)", fig11::run),
+    ];
+    let total = Instant::now();
+    let mut combined = String::new();
+    for (name, run) in experiments {
+        let start = Instant::now();
+        println!("###### {name} ######");
+        let report = run(scale);
+        print!("{report}");
+        combined.push_str(&format!("###### {name} ######\n{report}\n"));
+        println!("  [{name} took {:.1?}]\n", start.elapsed());
+    }
+    midas_bench::experiments::maybe_write_artifact("reproduce_all", &combined);
+    println!("All experiments completed in {:.1?}.", total.elapsed());
+}

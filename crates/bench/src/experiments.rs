@@ -1,0 +1,140 @@
+//! Shared experiment drivers.
+
+use midas_baselines::{AggCluster, Greedy, Naive};
+use midas_core::{DiscoveredSlice, MidasConfig, SourceFacts};
+use midas_eval::runner::{merge_by_domain, run_detector_per_source, run_midas_framework, RunResult};
+use midas_kb::KnowledgeBase;
+
+/// Scale selection for the harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Small, interactive runs (default; minutes for the whole suite).
+    Quick,
+    /// Paper-shaped scale (longer runs; pass `--full`).
+    Full,
+}
+
+impl ExperimentScale {
+    /// Parses `--full` from the process arguments.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            ExperimentScale::Full
+        } else {
+            ExperimentScale::Quick
+        }
+    }
+}
+
+/// If `--out DIR` was passed, persists `content` as `DIR/<name>.txt` so a
+/// reproduction run leaves artefacts on disk. Prints where it wrote.
+pub fn maybe_write_artifact(name: &str, content: &str) {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(dir) = args.next() {
+                let _ = std::fs::create_dir_all(&dir);
+                let path = std::path::Path::new(&dir).join(format!("{name}.txt"));
+                match std::fs::write(&path, content) {
+                    Ok(()) => eprintln!("[artifact written to {}]", path.display()),
+                    Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+                }
+            }
+            return;
+        }
+    }
+}
+
+/// The result of running one algorithm on one corpus.
+#[derive(Debug)]
+pub struct AlgoOutcome {
+    /// Algorithm name ("midas", "greedy", "aggcluster", "naive").
+    pub name: &'static str,
+    /// The timed run.
+    pub run: RunResult,
+}
+
+/// Runs all four §IV-B algorithms on a corpus:
+///
+/// * MIDAS — the multi-source framework over the page-level corpus;
+/// * GREEDY and AGGCLUSTER — per domain-merged source (their most
+///   favourable granularity, as in the paper's per-web-source setting);
+/// * NAIVE — whole domain-merged sources ranked by new-fact count.
+pub fn run_four_algorithms(
+    config: &MidasConfig,
+    sources: &[SourceFacts],
+    kb: &KnowledgeBase,
+    threads: usize,
+) -> Vec<AlgoOutcome> {
+    let merged = merge_by_domain(sources);
+    let mut out = Vec::with_capacity(4);
+
+    out.push(AlgoOutcome {
+        name: "midas",
+        run: run_midas_framework(config, sources.to_vec(), kb, threads),
+    });
+
+    let greedy = Greedy::new(config.cost);
+    out.push(AlgoOutcome {
+        name: "greedy",
+        run: run_detector_per_source(&greedy, &merged, kb),
+    });
+
+    let agg = AggCluster::new(config.cost);
+    out.push(AlgoOutcome {
+        name: "aggcluster",
+        run: run_detector_per_source(&agg, &merged, kb),
+    });
+
+    let naive = Naive::new(config.cost);
+    let mut naive_run = run_detector_per_source(&naive, &merged, kb);
+    // NAIVE ranks by new-fact count, not profit.
+    naive_run
+        .slices
+        .sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
+    out.push(AlgoOutcome {
+        name: "naive",
+        run: naive_run,
+    });
+
+    out
+}
+
+/// The slices an operator would act on: positive profit for the
+/// profit-driven algorithms; NAIVE (which has no meaningful profit
+/// semantics) returns sources with any new fact.
+pub fn actionable(outcome: &AlgoOutcome) -> Vec<DiscoveredSlice> {
+    match outcome.name {
+        "naive" => outcome
+            .run
+            .slices
+            .iter()
+            .filter(|s| s.num_new_facts > 0)
+            .cloned()
+            .collect(),
+        _ => outcome.run.positive(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_core::fixtures::skyrocket_pages;
+    use midas_kb::Interner;
+
+    #[test]
+    fn all_four_run_on_the_running_example() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let cfg = MidasConfig::running_example();
+        let outcomes = run_four_algorithms(&cfg, &pages, &kb, 1);
+        assert_eq!(outcomes.len(), 4);
+        let names: Vec<&str> = outcomes.iter().map(|o| o.name).collect();
+        assert_eq!(names, vec!["midas", "greedy", "aggcluster", "naive"]);
+        let midas = &outcomes[0];
+        assert_eq!(midas.run.slices.len(), 1);
+        assert!(actionable(midas).len() == 1);
+        // Greedy on the merged domain finds one slice; naive one source.
+        assert_eq!(outcomes[1].run.slices.len(), 1);
+        assert_eq!(outcomes[3].run.slices.len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # midas-bench — the experiment drivers behind every table and figure
+//!
+//! One binary per paper artefact (see DESIGN.md §4 for the full index):
+//!
+//! | binary            | reproduces                                        |
+//! |-------------------|---------------------------------------------------|
+//! | `fig3_kvault`     | Figure 3 — top slices augmenting Freebase          |
+//! | `fig7_stats`      | Figure 7 — dataset statistics                      |
+//! | `fig8_silver`     | Figure 8 — silver-standard snapshot                |
+//! | `fig9_coverage`   | Figure 9 — P/R/F vs knowledge-base coverage        |
+//! | `fig10_realworld` | Figure 10 — top-k precision & runtime vs input     |
+//! | `fig11_synthetic` | Figure 11 — accuracy & runtime on §IV-D synthetics |
+//! | `reproduce_all`   | everything above, at quick-run scales              |
+//!
+//! This library hosts the shared experiment drivers so that the binaries
+//! stay thin and the logic is unit-testable.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+pub use experiments::{run_four_algorithms, AlgoOutcome, ExperimentScale};

@@ -1,0 +1,362 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use std::fmt;
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the message explains what and shows usage.
+    Usage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data file failed to parse.
+    Data(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Data(m) => write!(f, "data error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+midas — web source slice discovery (ICDE 2019 reproduction)
+
+USAGE:
+  midas discover --facts FILE [--kb FILE] [--algorithm midas|greedy|aggcluster|naive]
+                 [--threads N] [--top K] [--fp X] [--fc X] [--fd X] [--fv X]
+                 [--csv] [--explain]
+  midas stats    --facts FILE
+  midas generate --dataset synthetic|reverb-slim|nell-slim|kvault
+                 [--scale X] [--seed N] --out DIR
+  midas eval     --facts FILE --gold FILE [--kb FILE] [--algorithm NAME] [--threads N]
+
+FILES:
+  facts: TSV  url <TAB> subject <TAB> predicate <TAB> object
+  kb:    TSV  subject <TAB> predicate <TAB> object
+  gold:  TSV  url <TAB> slice_id <TAB> entity";
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// MIDASalg + the multi-source framework.
+    #[default]
+    Midas,
+    /// The GREEDY baseline (per domain).
+    Greedy,
+    /// The AGGCLUSTER baseline (per domain).
+    AggCluster,
+    /// The NAIVE baseline (whole sources).
+    Naive,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "midas" => Ok(Algorithm::Midas),
+            "greedy" => Ok(Algorithm::Greedy),
+            "aggcluster" => Ok(Algorithm::AggCluster),
+            "naive" => Ok(Algorithm::Naive),
+            other => Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
+        }
+    }
+}
+
+/// A parsed subcommand.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `midas discover`.
+    Discover {
+        /// Facts file path.
+        facts: String,
+        /// Optional knowledge-base file path.
+        kb: Option<String>,
+        /// Algorithm selection.
+        algorithm: Algorithm,
+        /// Worker threads.
+        threads: usize,
+        /// Report only the top-K slices.
+        top: usize,
+        /// Cost model overrides `(fp, fc, fd, fv)`.
+        cost: (f64, f64, f64, f64),
+        /// Emit CSV instead of an aligned table.
+        csv: bool,
+        /// Include the profit breakdown per slice.
+        explain: bool,
+    },
+    /// `midas stats`.
+    Stats {
+        /// Facts file path.
+        facts: String,
+    },
+    /// `midas generate`.
+    Generate {
+        /// Dataset family name.
+        dataset: String,
+        /// Generator scale.
+        scale: f64,
+        /// Generator seed.
+        seed: u64,
+        /// Output directory.
+        out: String,
+    },
+    /// `midas eval`.
+    Eval {
+        /// Facts file path.
+        facts: String,
+        /// Gold file path.
+        gold: String,
+        /// Optional knowledge-base file path.
+        kb: Option<String>,
+        /// Algorithm selection.
+        algorithm: Algorithm,
+        /// Worker threads.
+        threads: usize,
+    },
+}
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand with its options.
+    pub command: Command,
+}
+
+struct Flags<'a> {
+    argv: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Flags {
+            argv,
+            used: vec![false; argv.len()],
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<&'a str>, CliError> {
+        for i in 0..self.argv.len() {
+            if self.argv[i] == name && !self.used[i] {
+                self.used[i] = true;
+                let v = self
+                    .argv
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))?;
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        for i in 0..self.argv.len() {
+            if self.argv[i] == name && !self.used[i] {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn required(&mut self, name: &str) -> Result<&'a str, CliError> {
+        self.value(name)?
+            .ok_or_else(|| CliError::Usage(format!("{name} is required")))
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        for (i, used) in self.used.iter().enumerate() {
+            if !used {
+                return Err(CliError::Usage(format!(
+                    "unrecognised argument {:?}",
+                    self.argv[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("invalid value {raw:?} for {name}")))
+}
+
+impl ParsedArgs {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let (sub, rest) = argv
+            .split_first()
+            .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+        let mut flags = Flags::new(rest);
+        let command = match sub.as_str() {
+            "discover" => {
+                let facts = flags.required("--facts")?.to_owned();
+                let kb = flags.value("--kb")?.map(str::to_owned);
+                let algorithm =
+                    Algorithm::parse(flags.value("--algorithm")?.unwrap_or("midas"))?;
+                let threads = parse_num("--threads", flags.value("--threads")?.unwrap_or("1"))?;
+                let top = parse_num("--top", flags.value("--top")?.unwrap_or("20"))?;
+                let fp = parse_num("--fp", flags.value("--fp")?.unwrap_or("10"))?;
+                let fc = parse_num("--fc", flags.value("--fc")?.unwrap_or("0.001"))?;
+                let fd = parse_num("--fd", flags.value("--fd")?.unwrap_or("0.01"))?;
+                let fv = parse_num("--fv", flags.value("--fv")?.unwrap_or("0.1"))?;
+                Command::Discover {
+                    facts,
+                    kb,
+                    algorithm,
+                    threads,
+                    top,
+                    cost: (fp, fc, fd, fv),
+                    csv: flags.flag("--csv"),
+                    explain: flags.flag("--explain"),
+                }
+            }
+            "stats" => Command::Stats {
+                facts: flags.required("--facts")?.to_owned(),
+            },
+            "generate" => Command::Generate {
+                dataset: flags.required("--dataset")?.to_owned(),
+                scale: parse_num("--scale", flags.value("--scale")?.unwrap_or("0.01"))?,
+                seed: parse_num("--seed", flags.value("--seed")?.unwrap_or("42"))?,
+                out: flags.required("--out")?.to_owned(),
+            },
+            "eval" => Command::Eval {
+                facts: flags.required("--facts")?.to_owned(),
+                gold: flags.required("--gold")?.to_owned(),
+                kb: flags.value("--kb")?.map(str::to_owned),
+                algorithm: Algorithm::parse(flags.value("--algorithm")?.unwrap_or("midas"))?,
+                threads: parse_num("--threads", flags.value("--threads")?.unwrap_or("1"))?,
+            },
+            "help" | "--help" | "-h" => {
+                return Err(CliError::Usage("".into()));
+            }
+            other => return Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+        };
+        flags.finish()?;
+        Ok(ParsedArgs { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn discover_defaults() {
+        let p = ParsedArgs::parse(&argv("discover --facts f.tsv")).unwrap();
+        match p.command {
+            Command::Discover {
+                facts,
+                kb,
+                algorithm,
+                threads,
+                top,
+                cost,
+                csv,
+                explain,
+            } => {
+                assert_eq!(facts, "f.tsv");
+                assert_eq!(kb, None);
+                assert_eq!(algorithm, Algorithm::Midas);
+                assert_eq!(threads, 1);
+                assert_eq!(top, 20);
+                assert_eq!(cost, (10.0, 0.001, 0.01, 0.1));
+                assert!(!csv && !explain);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn discover_full_flags() {
+        let p = ParsedArgs::parse(&argv(
+            "discover --facts f.tsv --kb k.tsv --algorithm greedy --threads 8 --top 5 \
+             --fp 1 --fc 0.002 --fd 0.02 --fv 0.2 --csv --explain",
+        ))
+        .unwrap();
+        match p.command {
+            Command::Discover {
+                algorithm,
+                threads,
+                top,
+                cost,
+                csv,
+                explain,
+                ..
+            } => {
+                assert_eq!(algorithm, Algorithm::Greedy);
+                assert_eq!(threads, 8);
+                assert_eq!(top, 5);
+                assert_eq!(cost, (1.0, 0.002, 0.02, 0.2));
+                assert!(csv && explain);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let err = ParsedArgs::parse(&argv("discover")).unwrap_err();
+        assert!(err.to_string().contains("--facts is required"));
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        let err = ParsedArgs::parse(&argv("discover --facts f --bogus 3")).unwrap_err();
+        assert!(err.to_string().contains("unrecognised argument"));
+    }
+
+    #[test]
+    fn unknown_subcommand_and_algorithm_error() {
+        assert!(ParsedArgs::parse(&argv("frobnicate")).is_err());
+        assert!(ParsedArgs::parse(&argv("discover --facts f --algorithm magic")).is_err());
+    }
+
+    #[test]
+    fn value_flag_without_value_errors() {
+        let err = ParsedArgs::parse(&argv("discover --facts")).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn generate_and_eval_parse() {
+        let g = ParsedArgs::parse(&argv(
+            "generate --dataset synthetic --scale 0.5 --seed 7 --out /tmp/x",
+        ))
+        .unwrap();
+        assert!(matches!(g.command, Command::Generate { seed: 7, .. }));
+        let e = ParsedArgs::parse(&argv("eval --facts f --gold g --algorithm naive")).unwrap();
+        assert!(matches!(
+            e.command,
+            Command::Eval {
+                algorithm: Algorithm::Naive,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_numeric_value_errors() {
+        let err = ParsedArgs::parse(&argv("discover --facts f --threads abc")).unwrap_err();
+        assert!(err.to_string().contains("invalid value"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Subcommand implementations.
+
+use crate::args::{Algorithm, CliError, Command, ParsedArgs};
+use crate::facts_io;
+use midas_baselines::{AggCluster, Greedy, Naive};
+use midas_core::{CostModel, DiscoveredSlice, FactTable, MidasConfig, ProfitCtx, SourceFacts};
+use midas_eval::runner::{merge_by_domain, run_detector_per_source, run_midas_framework};
+use midas_eval::{bootstrap_prf, match_to_gold, Table};
+use midas_kb::{DatasetStats, Interner, KnowledgeBase};
+use midas_weburl::UrlPattern;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Runs a parsed command, writing human output to `out`.
+pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    match parsed.command {
+        Command::Discover {
+            facts,
+            kb,
+            algorithm,
+            threads,
+            top,
+            cost,
+            csv,
+            explain,
+        } => discover(&facts, kb.as_deref(), algorithm, threads, top, cost, csv, explain, out),
+        Command::Stats { facts } => stats(&facts, out),
+        Command::Generate {
+            dataset,
+            scale,
+            seed,
+            out: dir,
+        } => generate(&dataset, scale, seed, &dir, out),
+        Command::Eval {
+            facts,
+            gold,
+            kb,
+            algorithm,
+            threads,
+        } => eval(&facts, &gold, kb.as_deref(), algorithm, threads, out),
+    }
+}
+
+fn load_inputs(
+    facts_path: &str,
+    kb_path: Option<&str>,
+) -> Result<(Interner, Vec<SourceFacts>, KnowledgeBase), CliError> {
+    let mut terms = Interner::new();
+    let sources = facts_io::read_facts(BufReader::new(File::open(facts_path)?), &mut terms)?;
+    let kb = match kb_path {
+        Some(p) => facts_io::read_kb(BufReader::new(File::open(p)?), &mut terms)?,
+        None => KnowledgeBase::new(),
+    };
+    Ok((terms, sources, kb))
+}
+
+/// Runs the selected algorithm over a corpus, returning ranked slices.
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    cost: CostModel,
+    sources: &[SourceFacts],
+    kb: &KnowledgeBase,
+    threads: usize,
+) -> Vec<DiscoveredSlice> {
+    match algorithm {
+        Algorithm::Midas => {
+            let cfg = MidasConfig::default().with_cost(cost);
+            run_midas_framework(&cfg, sources.to_vec(), kb, threads).slices
+        }
+        Algorithm::Greedy => {
+            let merged = merge_by_domain(sources);
+            run_detector_per_source(&Greedy::new(cost), &merged, kb).slices
+        }
+        Algorithm::AggCluster => {
+            let merged = merge_by_domain(sources);
+            run_detector_per_source(&AggCluster::new(cost), &merged, kb).slices
+        }
+        Algorithm::Naive => {
+            let merged = merge_by_domain(sources);
+            let mut run = run_detector_per_source(&Naive::new(cost), &merged, kb);
+            run.slices.sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
+            run.slices
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn discover(
+    facts_path: &str,
+    kb_path: Option<&str>,
+    algorithm: Algorithm,
+    threads: usize,
+    top: usize,
+    (fp, fc, fd, fv): (f64, f64, f64, f64),
+    csv: bool,
+    explain: bool,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (terms, sources, kb) = load_inputs(facts_path, kb_path)?;
+    let cost = CostModel { fp, fc, fd, fv };
+    let slices = run_algorithm(algorithm, cost, &sources, &kb, threads);
+
+    let mut table = Table::new(
+        "Discovered web source slices",
+        &["#", "slice", "source", "pattern", "entities", "new/total", "profit"],
+    );
+    for (i, s) in slices.iter().take(top).enumerate() {
+        let pages: Vec<_> = sources
+            .iter()
+            .filter(|src| {
+                s.source.contains(&src.url)
+                    && src.facts.iter().any(|f| s.entities.binary_search(&f.subject).is_ok())
+            })
+            .map(|src| src.url.clone())
+            .collect();
+        let pattern = UrlPattern::summarise(&pages)
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".to_owned());
+        let desc = s.describe(&terms);
+        let desc = desc.split(" @ ").next().unwrap_or_default().to_owned();
+        table.row(&[
+            (i + 1).to_string(),
+            desc,
+            s.source.to_string(),
+            pattern,
+            s.entities.len().to_string(),
+            format!("{}/{}", s.num_new_facts, s.num_facts),
+            format!("{:.3}", s.profit),
+        ]);
+    }
+    if csv {
+        write!(out, "{}", table.to_csv())?;
+    } else {
+        write!(out, "{}", table.render())?;
+    }
+
+    if explain {
+        writeln!(out, "\nProfit breakdowns:")?;
+        for (i, s) in slices.iter().take(top).enumerate() {
+            // Rebuild the slice's context against its own source scope.
+            let scope: Vec<SourceFacts> = sources
+                .iter()
+                .filter(|src| s.source.contains(&src.url))
+                .cloned()
+                .collect();
+            let merged = SourceFacts::merge(s.source.clone(), scope);
+            let table_w = FactTable::build(&merged, &kb);
+            let ctx = ProfitCtx::new(&table_w, cost);
+            let extent: Vec<u32> = s
+                .entities
+                .iter()
+                .filter_map(|&e| table_w.entity(e))
+                .collect();
+            writeln!(out, "  #{}: {}", i + 1, ctx.breakdown(&extent))?;
+        }
+    }
+    Ok(())
+}
+
+fn stats(facts_path: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut terms = Interner::new();
+    let sources = facts_io::read_facts(BufReader::new(File::open(facts_path)?), &mut terms)?;
+    let stats = DatasetStats::compute(sources.iter().flat_map(|s| {
+        let url = s.url.as_str();
+        s.facts.iter().map(move |&f| (f, url))
+    }));
+    let mut domains: Vec<String> = sources
+        .iter()
+        .map(|s| s.url.domain().as_str().to_owned())
+        .collect();
+    domains.sort();
+    domains.dedup();
+    writeln!(out, "facts:      {}", stats.num_facts)?;
+    writeln!(out, "predicates: {}", stats.num_predicates)?;
+    writeln!(out, "subjects:   {}", stats.num_subjects)?;
+    writeln!(out, "pages:      {}", stats.num_urls)?;
+    writeln!(out, "domains:    {}", domains.len())?;
+    Ok(())
+}
+
+fn generate(
+    dataset: &str,
+    scale: f64,
+    seed: u64,
+    dir: &str,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use midas_extract::{kvault, slim, synthetic};
+    let ds = match dataset {
+        "synthetic" => synthetic::generate(&synthetic::SyntheticConfig {
+            seed,
+            ..synthetic::SyntheticConfig::default()
+        }),
+        "reverb-slim" => slim::generate(&slim::SlimConfig::reverb(seed).with_scale(scale)),
+        "nell-slim" => slim::generate(&slim::SlimConfig::nell(seed).with_scale(scale)),
+        "kvault" => kvault::generate(&kvault::KVaultConfig { scale, seed }),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown dataset {other:?} (expected synthetic|reverb-slim|nell-slim|kvault)"
+            )))
+        }
+    };
+    std::fs::create_dir_all(dir)?;
+    let path = |name: &str| Path::new(dir).join(name);
+    facts_io::write_facts(
+        BufWriter::new(File::create(path("facts.tsv"))?),
+        &ds.terms,
+        &ds.sources,
+    )?;
+    facts_io::write_kb(
+        BufWriter::new(File::create(path("kb.tsv"))?),
+        &ds.terms,
+        &ds.kb,
+    )?;
+    facts_io::write_gold(
+        BufWriter::new(File::create(path("gold.tsv"))?),
+        &ds.terms,
+        &ds.truth.gold,
+    )?;
+    writeln!(
+        out,
+        "wrote {} facts across {} sources, {} KB facts, {} gold slices to {dir}",
+        ds.total_facts(),
+        ds.sources.len(),
+        ds.kb.len(),
+        ds.truth.gold.len()
+    )?;
+    Ok(())
+}
+
+fn eval(
+    facts_path: &str,
+    gold_path: &str,
+    kb_path: Option<&str>,
+    algorithm: Algorithm,
+    threads: usize,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut terms = Interner::new();
+    let sources = facts_io::read_facts(BufReader::new(File::open(facts_path)?), &mut terms)?;
+    let gold = facts_io::read_gold(BufReader::new(File::open(gold_path)?), &mut terms)?;
+    let kb = match kb_path {
+        Some(p) => facts_io::read_kb(BufReader::new(File::open(p)?), &mut terms)?,
+        None => KnowledgeBase::new(),
+    };
+    let slices: Vec<DiscoveredSlice> =
+        run_algorithm(algorithm, CostModel::default(), &sources, &kb, threads)
+            .into_iter()
+            .filter(|s| s.profit > 0.0 || matches!(algorithm, Algorithm::Naive))
+            .collect();
+    let prf = match_to_gold(&slices, &gold);
+    let (p_ci, r_ci, f_ci) = bootstrap_prf(&slices, &gold, 500, 0.95, 42);
+    writeln!(out, "returned slices: {}", slices.len())?;
+    writeln!(out, "gold slices:     {}", gold.len())?;
+    writeln!(
+        out,
+        "precision: {:.3}  [{:.3}, {:.3}]",
+        prf.precision, p_ci.lower, p_ci.upper
+    )?;
+    writeln!(
+        out,
+        "recall:    {:.3}  [{:.3}, {:.3}]",
+        prf.recall, r_ci.lower, r_ci.upper
+    )?;
+    writeln!(
+        out,
+        "f-measure: {:.3}  [{:.3}, {:.3}]",
+        prf.f_measure, f_ci.lower, f_ci.upper
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("midas_cli_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_then_discover_then_eval() {
+        let dir = tmpdir("full");
+        let dir_s = dir.to_str().unwrap();
+
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "generate --dataset synthetic --seed 5 --out {dir_s}"
+            )),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("gold slices"));
+
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "discover --facts {dir_s}/facts.tsv --kb {dir_s}/kb.tsv --top 5 --explain"
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("Discovered web source slices"));
+        assert!(text.contains("Profit breakdowns"));
+        assert!(text.contains("pred_"), "slice descriptions present:\n{text}");
+
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "eval --facts {dir_s}/facts.tsv --gold {dir_s}/gold.tsv --kb {dir_s}/kb.tsv"
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("precision: 1.000"), "eval output:\n{text}");
+        assert!(text.contains("recall:    1.000"), "eval output:\n{text}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_command_counts() {
+        let dir = tmpdir("stats");
+        let facts = dir.join("facts.tsv");
+        std::fs::write(
+            &facts,
+            "http://a.com/x\te1\tp\tv\nhttp://a.com/y\te2\tq\tw\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        run(
+            &argv(&format!("stats --facts {}", facts.to_str().unwrap())),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("facts:      2"));
+        assert!(text.contains("domains:    1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discover_csv_output() {
+        let dir = tmpdir("csv");
+        let facts = dir.join("facts.tsv");
+        let mut content = String::new();
+        for i in 0..8 {
+            content.push_str(&format!("http://a.com/d/p{i}\tent{i}\ttype\tgolf\n"));
+            content.push_str(&format!("http://a.com/d/p{i}\tent{i}\tholes\th{i}\n"));
+        }
+        std::fs::write(&facts, content).unwrap();
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "discover --facts {} --fp 1 --csv",
+                facts.to_str().unwrap()
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("#,slice,source"), "csv header:\n{text}");
+        assert!(text.contains("type = golf"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut out = Vec::new();
+        let err = run(&argv("stats --facts /nonexistent/file.tsv"), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn naive_algorithm_runs() {
+        let dir = tmpdir("naive");
+        let facts = dir.join("facts.tsv");
+        std::fs::write(&facts, "http://a.com/x\te\tp\tv\n").unwrap();
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "discover --facts {} --algorithm naive",
+                facts.to_str().unwrap()
+            )),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("(entire source)"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,219 @@
+//! Reading and writing the CLI's TSV file formats.
+//!
+//! * facts / gold: `url \t subject \t predicate \t object`
+//! * kb: `subject \t predicate \t object` (delegates to `midas_kb::io`)
+
+use crate::args::CliError;
+use midas_core::SourceFacts;
+use midas_extract::GoldSlice;
+use midas_kb::{Fact, Interner, KnowledgeBase, Symbol};
+use midas_weburl::SourceUrl;
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// Reads a 4-column facts file into per-source fact sets.
+pub fn read_facts<R: BufRead>(
+    r: R,
+    terms: &mut Interner,
+) -> Result<Vec<SourceFacts>, CliError> {
+    let mut by_url: BTreeMap<SourceUrl, Vec<Fact>> = BTreeMap::new();
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let trimmed = line.trim_end_matches('\r');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let (url, s, p, o) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some(u), Some(s), Some(p), Some(o), None) => (u, s, p, o),
+            _ => {
+                return Err(CliError::Data(format!(
+                    "line {lineno}: expected 4 tab-separated fields (url, subject, predicate, object)"
+                )))
+            }
+        };
+        let url = SourceUrl::parse(url)
+            .map_err(|e| CliError::Data(format!("line {lineno}: {e}")))?;
+        by_url
+            .entry(url)
+            .or_default()
+            .push(Fact::intern(terms, s, p, o));
+    }
+    Ok(by_url
+        .into_iter()
+        .map(|(url, facts)| SourceFacts::new(url, facts))
+        .collect())
+}
+
+/// Writes per-source facts as a 4-column TSV.
+pub fn write_facts<W: Write>(
+    mut w: W,
+    terms: &Interner,
+    sources: &[SourceFacts],
+) -> Result<(), CliError> {
+    for src in sources {
+        for f in &src.facts {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}",
+                src.url,
+                terms.resolve(f.subject),
+                terms.resolve(f.predicate),
+                terms.resolve(f.object)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a 3-column knowledge-base TSV.
+pub fn read_kb<R: BufRead>(r: R, terms: &mut Interner) -> Result<KnowledgeBase, CliError> {
+    let facts = midas_kb::io::read_tsv(r, terms)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    Ok(facts.into_iter().collect())
+}
+
+/// Writes a knowledge base as 3-column TSV.
+pub fn write_kb<W: Write>(w: W, terms: &Interner, kb: &KnowledgeBase) -> Result<(), CliError> {
+    midas_kb::io::write_tsv(w, terms, kb.iter()).map_err(|e| CliError::Data(e.to_string()))
+}
+
+/// Reads a 3-column gold file (`url \t slice_id \t entity`): each distinct
+/// `(url, slice_id)` pair forms one gold slice whose entity extent is the
+/// set of entities listed under it. Several slices may share a URL.
+pub fn read_gold<R: BufRead>(r: R, terms: &mut Interner) -> Result<Vec<GoldSlice>, CliError> {
+    let mut groups: BTreeMap<(SourceUrl, String), Vec<Symbol>> = BTreeMap::new();
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let trimmed = line.trim_end_matches('\r');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let (url, slice_id, entity) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(u), Some(s), Some(e), None) => (u, s, e),
+            _ => {
+                return Err(CliError::Data(format!(
+                    "line {lineno}: expected 3 tab-separated fields (url, slice_id, entity)"
+                )))
+            }
+        };
+        let url = SourceUrl::parse(url)
+            .map_err(|e| CliError::Data(format!("line {lineno}: {e}")))?;
+        groups
+            .entry((url, slice_id.to_owned()))
+            .or_default()
+            .push(terms.intern(entity));
+    }
+    Ok(groups
+        .into_iter()
+        .map(|((source, slice_id), mut entities)| {
+            entities.sort_unstable();
+            entities.dedup();
+            GoldSlice {
+                description: format!("gold slice {slice_id} at {source}"),
+                source,
+                properties: vec![],
+                entities,
+            }
+        })
+        .collect())
+}
+
+/// Writes gold slices in the 3-column layout (`url \t slice_id \t entity`).
+pub fn write_gold<W: Write>(
+    mut w: W,
+    terms: &Interner,
+    gold: &[GoldSlice],
+) -> Result<(), CliError> {
+    for (i, g) in gold.iter().enumerate() {
+        for &e in &g.entities {
+            writeln!(w, "{}\tgold_{i}\t{}", g.source, terms.resolve(e))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_round_trip() {
+        let input = "http://a.com/x\te1\tp\tv1\nhttp://a.com/x\te2\tp\tv2\nhttp://b.com\te3\tq\tv3\n";
+        let mut terms = Interner::new();
+        let sources = read_facts(input.as_bytes(), &mut terms).unwrap();
+        assert_eq!(sources.len(), 2);
+        let mut out = Vec::new();
+        write_facts(&mut out, &terms, &sources).unwrap();
+        let mut terms2 = Interner::new();
+        let back = read_facts(&out[..], &mut terms2).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.iter().map(|s| s.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn facts_reject_bad_lines() {
+        let mut terms = Interner::new();
+        assert!(read_facts(&b"only\tthree\tfields\n"[..], &mut terms).is_err());
+        assert!(read_facts(&b"not-a-url\ts\tp\to\n"[..], &mut terms).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let input = "# comment\n\nhttp://a.com/x\te\tp\tv\n";
+        let mut terms = Interner::new();
+        let sources = read_facts(input.as_bytes(), &mut terms).unwrap();
+        assert_eq!(sources.len(), 1);
+    }
+
+    #[test]
+    fn gold_groups_by_url_and_slice_id() {
+        let input = "http://a.com/x\tg0\te1\nhttp://a.com/x\tg0\te2\nhttp://a.com/x\tg1\te3\nhttp://b.com\tg0\te4\n";
+        let mut terms = Interner::new();
+        let gold = read_gold(input.as_bytes(), &mut terms).unwrap();
+        assert_eq!(gold.len(), 3, "two slices at a.com/x, one at b.com");
+        assert_eq!(gold[0].entities.len(), 2);
+    }
+
+    #[test]
+    fn gold_round_trip() {
+        let mut terms = Interner::new();
+        let gold = vec![GoldSlice {
+            source: SourceUrl::parse("http://a.com/x").unwrap(),
+            properties: vec![],
+            entities: vec![terms.intern("e1"), terms.intern("e2")],
+            description: "g".into(),
+        }];
+        let mut buf = Vec::new();
+        write_gold(&mut buf, &terms, &gold).unwrap();
+        let mut terms2 = Interner::new();
+        let back = read_gold(&buf[..], &mut terms2).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].entities.len(), 2);
+    }
+
+    #[test]
+    fn kb_round_trip() {
+        let mut terms = Interner::new();
+        let kb: KnowledgeBase = vec![
+            Fact::intern(&mut terms, "a", "p", "1"),
+            Fact::intern(&mut terms, "b", "q", "2"),
+        ]
+        .into_iter()
+        .collect();
+        let mut out = Vec::new();
+        write_kb(&mut out, &terms, &kb).unwrap();
+        let mut terms2 = Interner::new();
+        let back = read_kb(&out[..], &mut terms2).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! The pluggable slice-detection interface of the framework.
+//!
+//! §III-B: *"For the 'Detecting Slices' module, MIDAS can employ MIDASalg or
+//! other slice detection algorithms."* The baselines crate implements this
+//! trait for GREEDY and AGGCLUSTER so that all algorithms can be
+//! parallelised by the same framework.
+
+use midas_kb::{KnowledgeBase, Symbol};
+
+use crate::single_source::MidasAlg;
+use crate::slice::DiscoveredSlice;
+use crate::source::SourceFacts;
+
+/// Input to one detection call: a web source (at any granularity), the
+/// knowledge base to augment, and — from round two on — the slices exported
+/// by the source's children, as property sets.
+#[derive(Debug)]
+pub struct DetectInput<'a> {
+    /// The source to detect slices in.
+    pub source: &'a SourceFacts,
+    /// The knowledge base being augmented.
+    pub kb: &'a KnowledgeBase,
+    /// Children-exported property sets (empty in the first round).
+    pub seeds: &'a [Vec<(Symbol, Symbol)>],
+}
+
+/// A slice-detection algorithm usable inside the framework.
+pub trait SliceDetector: Sync {
+    /// Short algorithm name for reports ("midas", "greedy", …).
+    fn name(&self) -> &'static str;
+
+    /// Detects slices in one source.
+    ///
+    /// When `input.seeds` is non-empty the detector should use them as the
+    /// initial hierarchy (detectors that cannot exploit seeds may ignore
+    /// them and detect from scratch).
+    fn detect(&self, input: DetectInput<'_>) -> Vec<DiscoveredSlice>;
+}
+
+impl SliceDetector for MidasAlg {
+    fn name(&self) -> &'static str {
+        "midas"
+    }
+
+    fn detect(&self, input: DetectInput<'_>) -> Vec<DiscoveredSlice> {
+        if input.seeds.is_empty() {
+            self.run(input.source, input.kb)
+        } else {
+            self.run_seeded(input.source, input.kb, input.seeds)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MidasConfig;
+    use crate::fixtures::skyrocket;
+    use midas_kb::Interner;
+
+    #[test]
+    fn midas_alg_implements_detector() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        let out = alg.detect(DetectInput {
+            source: &src,
+            kb: &kb,
+            seeds: &[],
+        });
+        assert_eq!(out.len(), 1);
+        assert_eq!(alg.name(), "midas");
+    }
+}

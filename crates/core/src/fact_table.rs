@@ -1,0 +1,386 @@
+//! The fact table (Definition 3) and property catalog (Definition 4).
+//!
+//! Given the facts `T_W` extracted from a web source `W` and the knowledge
+//! base `E` to augment, the [`FactTable`] organises facts by entity
+//! (subject), derives the property catalog `C_W`, and precomputes the two
+//! per-entity counts every profit evaluation needs:
+//!
+//! * `facts(e)` — how many extracted facts mention entity `e` (drives the
+//!   de-duplication cost), and
+//! * `new(e)` — how many of those are absent from `E` (drives the gain and
+//!   the validation cost).
+//!
+//! Because a slice's fact extent `Π*` is *all* facts of its entities
+//! (Definition 5), the gain/cost of any slice — or union of slices — reduces
+//! to sums of these two counts over a set of distinct entities. That
+//! reduction is what makes hierarchy construction cheap.
+
+use midas_kb::fnv::FnvHashMap;
+use midas_kb::{Fact, KnowledgeBase, Symbol};
+
+use crate::source::SourceFacts;
+
+/// Dense per-source entity index (row number in the fact table).
+pub type EntityId = u32;
+
+/// Dense per-source property index into the [`PropertyCatalog`].
+pub type PropertyId = u32;
+
+/// The catalog `C_W` of all properties derived from a fact table, with an
+/// inverted index from property to the (sorted) entities that carry it.
+#[derive(Debug, Default, Clone)]
+pub struct PropertyCatalog {
+    props: Vec<(Symbol, Symbol)>,
+    by_pair: FnvHashMap<(Symbol, Symbol), PropertyId>,
+    extents: Vec<Vec<EntityId>>,
+}
+
+impl PropertyCatalog {
+    /// Number of distinct properties.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// The `(predicate, value)` pair of a property.
+    pub fn pair(&self, id: PropertyId) -> (Symbol, Symbol) {
+        self.props[id as usize]
+    }
+
+    /// Looks up a property by its `(predicate, value)` pair.
+    pub fn get(&self, pred: Symbol, value: Symbol) -> Option<PropertyId> {
+        self.by_pair.get(&(pred, value)).copied()
+    }
+
+    /// The sorted entities carrying property `id`.
+    pub fn extent(&self, id: PropertyId) -> &[EntityId] {
+        &self.extents[id as usize]
+    }
+
+    fn intern(&mut self, pred: Symbol, value: Symbol) -> PropertyId {
+        if let Some(&id) = self.by_pair.get(&(pred, value)) {
+            return id;
+        }
+        let id = u32::try_from(self.props.len()).expect("property catalog overflow");
+        self.props.push((pred, value));
+        self.extents.push(Vec::new());
+        self.by_pair.insert((pred, value), id);
+        id
+    }
+}
+
+/// The fact table `F_W` of one web source (Definition 3).
+#[derive(Debug, Clone)]
+pub struct FactTable {
+    subjects: Vec<Symbol>,
+    by_subject: FnvHashMap<Symbol, EntityId>,
+    /// Facts per entity row, grouped and sorted.
+    rows: Vec<Vec<Fact>>,
+    /// Distinct properties per entity (dedup of `(pred, value)` pairs).
+    entity_props: Vec<Vec<PropertyId>>,
+    facts_count: Vec<u32>,
+    new_count: Vec<u32>,
+    catalog: PropertyCatalog,
+    total_facts: usize,
+    distinct_sp_pairs: usize,
+}
+
+impl FactTable {
+    /// Builds the fact table for `source` against knowledge base `kb`.
+    pub fn build(source: &SourceFacts, kb: &KnowledgeBase) -> Self {
+        let mut subjects: Vec<Symbol> = Vec::new();
+        let mut by_subject: FnvHashMap<Symbol, EntityId> = FnvHashMap::default();
+        let mut rows: Vec<Vec<Fact>> = Vec::new();
+        for &f in &source.facts {
+            let eid = *by_subject.entry(f.subject).or_insert_with(|| {
+                let id = u32::try_from(subjects.len()).expect("fact table overflow");
+                subjects.push(f.subject);
+                rows.push(Vec::new());
+                id
+            });
+            rows[eid as usize].push(f);
+        }
+
+        let mut catalog = PropertyCatalog::default();
+        let mut entity_props: Vec<Vec<PropertyId>> = Vec::with_capacity(rows.len());
+        let mut facts_count = Vec::with_capacity(rows.len());
+        let mut new_count = Vec::with_capacity(rows.len());
+        let mut distinct_sp_pairs = 0usize;
+        for (eid, row) in rows.iter().enumerate() {
+            // `source.facts` is sorted, so each row is sorted by (p, o) and
+            // distinct (s, p) runs are contiguous.
+            let mut props = Vec::with_capacity(row.len());
+            let mut news = 0u32;
+            let mut last_pred: Option<Symbol> = None;
+            for f in row {
+                let pid = catalog.intern(f.predicate, f.object);
+                props.push(pid);
+                if kb.is_new(f) {
+                    news += 1;
+                }
+                if last_pred != Some(f.predicate) {
+                    distinct_sp_pairs += 1;
+                    last_pred = Some(f.predicate);
+                }
+            }
+            props.sort_unstable();
+            props.dedup();
+            for &pid in &props {
+                catalog.extents[pid as usize].push(eid as EntityId);
+            }
+            entity_props.push(props);
+            facts_count.push(u32::try_from(row.len()).expect("row overflow"));
+            new_count.push(news);
+        }
+        // Extents were filled in ascending entity order, so they are sorted.
+
+        FactTable {
+            subjects,
+            by_subject,
+            total_facts: source.facts.len(),
+            rows,
+            entity_props,
+            facts_count,
+            new_count,
+            catalog,
+            distinct_sp_pairs,
+        }
+    }
+
+    /// Number of entities (rows).
+    pub fn num_entities(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// Total number of extracted facts `|T_W|`.
+    pub fn total_facts(&self) -> usize {
+        self.total_facts
+    }
+
+    /// Number of distinct `(subject, predicate)` pairs — the `m` of
+    /// Proposition 15.
+    pub fn distinct_subject_predicate_pairs(&self) -> usize {
+        self.distinct_sp_pairs
+    }
+
+    /// The property catalog `C_W`.
+    pub fn catalog(&self) -> &PropertyCatalog {
+        &self.catalog
+    }
+
+    /// The subject symbol of an entity row.
+    pub fn subject(&self, e: EntityId) -> Symbol {
+        self.subjects[e as usize]
+    }
+
+    /// Looks an entity up by its subject symbol.
+    pub fn entity(&self, subject: Symbol) -> Option<EntityId> {
+        self.by_subject.get(&subject).copied()
+    }
+
+    /// All facts of an entity row.
+    pub fn row(&self, e: EntityId) -> &[Fact] {
+        &self.rows[e as usize]
+    }
+
+    /// Distinct properties of an entity.
+    pub fn entity_properties(&self, e: EntityId) -> &[PropertyId] {
+        &self.entity_props[e as usize]
+    }
+
+    /// `facts(e)` — number of facts mentioning entity `e`.
+    pub fn facts_of(&self, e: EntityId) -> u32 {
+        self.facts_count[e as usize]
+    }
+
+    /// `new(e)` — number of facts of `e` absent from the knowledge base.
+    pub fn new_of(&self, e: EntityId) -> u32 {
+        self.new_count[e as usize]
+    }
+
+    /// Sum of `facts(e)` over an entity set.
+    pub fn facts_sum(&self, entities: &[EntityId]) -> u64 {
+        entities
+            .iter()
+            .map(|&e| u64::from(self.facts_count[e as usize]))
+            .sum()
+    }
+
+    /// Sum of `new(e)` over an entity set.
+    pub fn new_sum(&self, entities: &[EntityId]) -> u64 {
+        entities
+            .iter()
+            .map(|&e| u64::from(self.new_count[e as usize]))
+            .sum()
+    }
+
+    /// The entity extent of a property conjunction — `Π` of Definition 5,
+    /// computed by intersecting the per-property inverted lists (smallest
+    /// list first).
+    pub fn extent_of(&self, props: &[PropertyId]) -> Vec<EntityId> {
+        if props.is_empty() {
+            return (0..self.num_entities() as EntityId).collect();
+        }
+        let mut lists: Vec<&[EntityId]> = props.iter().map(|&p| self.catalog.extent(p)).collect();
+        lists.sort_by_key(|l| l.len());
+        let mut acc: Vec<EntityId> = lists[0].to_vec();
+        for list in &lists[1..] {
+            acc = intersect_sorted(&acc, list);
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+/// Intersects two sorted, deduplicated id lists.
+pub fn intersect_sorted(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Unions two sorted, deduplicated id lists.
+pub fn union_sorted(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::skyrocket;
+    use midas_kb::Interner;
+    use midas_weburl::SourceUrl;
+
+    #[test]
+    fn builds_five_entity_rows() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let ft = FactTable::build(&src, &kb);
+        assert_eq!(ft.num_entities(), 5);
+        assert_eq!(ft.total_facts(), 13);
+        // Figure 4 lists six distinct properties c1..c6.
+        assert_eq!(ft.catalog().len(), 6);
+        assert_eq!(ft.distinct_subject_predicate_pairs(), 13);
+    }
+
+    #[test]
+    fn per_entity_counts_match_figure_2() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let ft = FactTable::build(&src, &kb);
+        let atlas = ft.entity(t.intern("Atlas")).unwrap();
+        assert_eq!(ft.facts_of(atlas), 3);
+        assert_eq!(ft.new_of(atlas), 3);
+        let mercury = ft.entity(t.intern("Project Mercury")).unwrap();
+        assert_eq!(ft.facts_of(mercury), 3);
+        assert_eq!(ft.new_of(mercury), 0);
+        let gemini = ft.entity(t.intern("Project Gemini")).unwrap();
+        assert_eq!(ft.facts_of(gemini), 2);
+    }
+
+    #[test]
+    fn property_extents_match_figure_4() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let ft = FactTable::build(&src, &kb);
+        let sponsor_nasa = ft
+            .catalog()
+            .get(t.intern("sponsor"), t.intern("NASA"))
+            .unwrap();
+        assert_eq!(ft.catalog().extent(sponsor_nasa).len(), 5, "c6 covers e1..e5");
+        let rocket = ft
+            .catalog()
+            .get(t.intern("category"), t.intern("rocket_family"))
+            .unwrap();
+        assert_eq!(ft.catalog().extent(rocket).len(), 2, "c2 covers e3, e5");
+    }
+
+    #[test]
+    fn extent_of_conjunction_matches_slice_s5() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let ft = FactTable::build(&src, &kb);
+        let c2 = ft
+            .catalog()
+            .get(t.intern("category"), t.intern("rocket_family"))
+            .unwrap();
+        let c6 = ft
+            .catalog()
+            .get(t.intern("sponsor"), t.intern("NASA"))
+            .unwrap();
+        let extent = ft.extent_of(&[c2, c6]);
+        let names: Vec<&str> = extent.iter().map(|&e| t.resolve(ft.subject(e))).collect();
+        assert_eq!(names, vec!["Atlas", "Castor-4"]);
+        assert_eq!(ft.facts_sum(&extent), 6);
+        assert_eq!(ft.new_sum(&extent), 6);
+    }
+
+    #[test]
+    fn empty_conjunction_is_whole_source() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let ft = FactTable::build(&src, &kb);
+        assert_eq!(ft.extent_of(&[]).len(), 5);
+    }
+
+    #[test]
+    fn multi_valued_predicates_yield_multiple_properties() {
+        let mut t = Interner::new();
+        let facts = vec![
+            Fact::intern(&mut t, "margarita", "ingredient", "tequila"),
+            Fact::intern(&mut t, "margarita", "ingredient", "lime"),
+        ];
+        let src = SourceFacts::new(SourceUrl::parse("http://c.com/m").unwrap(), facts);
+        let ft = FactTable::build(&src, &KnowledgeBase::new());
+        assert_eq!(ft.num_entities(), 1);
+        assert_eq!(ft.catalog().len(), 2);
+        assert_eq!(ft.distinct_subject_predicate_pairs(), 1);
+        assert_eq!(ft.entity_properties(0).len(), 2);
+    }
+
+    #[test]
+    fn sorted_set_helpers() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(union_sorted(&[1, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<EntityId>::new());
+        assert_eq!(union_sorted(&[], &[1]), vec![1]);
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's running example as a reusable fixture.
+//!
+//! Figure 2 of the paper lists 13 facts (t1–t13) correctly extracted from
+//! five pages under `http://space.skyrocket.de`; facts t6–t8 and t11–t13
+//! (the "Atlas" and "Castor-4" rocket families) are absent from Freebase.
+//! This module rebuilds that corpus exactly, so that unit tests, examples,
+//! and documentation can all assert the paper's published numbers.
+
+use crate::source::SourceFacts;
+use midas_kb::{Fact, Interner, KnowledgeBase};
+use midas_weburl::SourceUrl;
+
+/// One row of Figure 2.
+struct Row {
+    subject: &'static str,
+    predicate: &'static str,
+    object: &'static str,
+    /// The "new?" column: `true` when the fact is absent from Freebase.
+    is_new: bool,
+    page: &'static str,
+}
+
+const ROWS: &[Row] = &[
+    Row { subject: "Project Mercury", predicate: "category", object: "space_program", is_new: false, page: "http://space.skyrocket.de/doc_sat/mercury-history.htm" },
+    Row { subject: "Project Mercury", predicate: "started", object: "1959", is_new: false, page: "http://space.skyrocket.de/doc_sat/mercury-history.htm" },
+    Row { subject: "Project Mercury", predicate: "sponsor", object: "NASA", is_new: false, page: "http://space.skyrocket.de/doc_sat/mercury-history.htm" },
+    Row { subject: "Project Gemini", predicate: "category", object: "space_program", is_new: false, page: "http://space.skyrocket.de/doc_sat/gemini-history.htm" },
+    Row { subject: "Project Gemini", predicate: "sponsor", object: "NASA", is_new: false, page: "http://space.skyrocket.de/doc_sat/gemini-history.htm" },
+    Row { subject: "Atlas", predicate: "category", object: "rocket_family", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm" },
+    Row { subject: "Atlas", predicate: "sponsor", object: "NASA", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm" },
+    Row { subject: "Atlas", predicate: "started", object: "1957", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm" },
+    Row { subject: "Apollo program", predicate: "category", object: "space_program", is_new: false, page: "http://space.skyrocket.de/doc_sat/apollo-history.htm" },
+    Row { subject: "Apollo program", predicate: "sponsor", object: "NASA", is_new: false, page: "http://space.skyrocket.de/doc_sat/apollo-history.htm" },
+    Row { subject: "Castor-4", predicate: "category", object: "rocket_family", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm" },
+    Row { subject: "Castor-4", predicate: "started", object: "1971", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm" },
+    Row { subject: "Castor-4", predicate: "sponsor", object: "NASA", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm" },
+];
+
+/// The whole running example collapsed into one source
+/// (`http://space.skyrocket.de`), plus the Freebase-like knowledge base
+/// containing the seven not-new facts.
+pub fn skyrocket(terms: &mut Interner) -> (SourceFacts, KnowledgeBase) {
+    let mut facts = Vec::with_capacity(ROWS.len());
+    let mut kb = KnowledgeBase::new();
+    for row in ROWS {
+        let f = Fact::intern(terms, row.subject, row.predicate, row.object);
+        facts.push(f);
+        if !row.is_new {
+            kb.insert(f);
+        }
+    }
+    let url = SourceUrl::parse("http://space.skyrocket.de").expect("static URL parses");
+    (SourceFacts::new(url, facts), kb)
+}
+
+/// The running example split by page, as the §III-B framework consumes it:
+/// one [`SourceFacts`] per web page of Figure 2.
+pub fn skyrocket_pages(terms: &mut Interner) -> (Vec<SourceFacts>, KnowledgeBase) {
+    let mut kb = KnowledgeBase::new();
+    let mut by_page: Vec<(&str, Vec<Fact>)> = Vec::new();
+    for row in ROWS {
+        let f = Fact::intern(terms, row.subject, row.predicate, row.object);
+        if !row.is_new {
+            kb.insert(f);
+        }
+        match by_page.iter_mut().find(|(p, _)| *p == row.page) {
+            Some((_, v)) => v.push(f),
+            None => by_page.push((row.page, vec![f])),
+        }
+    }
+    let sources = by_page
+        .into_iter()
+        .map(|(page, facts)| {
+            SourceFacts::new(SourceUrl::parse(page).expect("static URL parses"), facts)
+        })
+        .collect();
+    (sources, kb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapsed_fixture_has_13_facts_6_new() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        assert_eq!(src.len(), 13);
+        assert_eq!(kb.len(), 7);
+        assert_eq!(kb.count_new(src.facts.iter()), 6);
+    }
+
+    #[test]
+    fn paged_fixture_matches_figure_2_layout() {
+        let mut t = Interner::new();
+        let (pages, _) = skyrocket_pages(&mut t);
+        assert_eq!(pages.len(), 5);
+        let total: usize = pages.iter().map(SourceFacts::len).sum();
+        assert_eq!(total, 13);
+        let fam_pages = pages
+            .iter()
+            .filter(|p| p.url.as_str().contains("doc_lau_fam"))
+            .count();
+        assert_eq!(fam_pages, 2);
+    }
+}

@@ -1,0 +1,510 @@
+//! The MIDAS multi-source framework (§III-B).
+//!
+//! The framework walks the URL hierarchy bottom-up in rounds. Each round
+//! takes the sources at the current finest depth and the slice candidates
+//! discovered so far, and
+//!
+//! 1. **shards** them by their one-level-coarser parent URL,
+//! 2. **detects** slices in each parent source, seeding the slice hierarchy
+//!    with the property sets of the children's exported slices, and
+//! 3. **consolidates**: for every parent slice, the children slices whose
+//!    extents it contains compete with it as a set; the side with the higher
+//!    profit survives (Example 16: the sub-domain slice "rocket families
+//!    sponsored by NASA" displaces the two page slices it covers).
+//!
+//! Shards are independent, so each round is processed by a small thread pool
+//! (the paper used MapReduce with the same keying).
+//!
+//! ### Approximations relative to the paper
+//!
+//! * Entities appearing on several sibling pages are counted once per slice
+//!   when child slices are combined into a set profit; cross-page entity
+//!   overlap (rare in practice) slightly overstates a children set's gain.
+//! * A seed slice whose property set is a subset of another seed's is
+//!   treated as initial (hence canonical) even if its extent coincides; the
+//!   paper does not specify this corner.
+
+use std::collections::BTreeMap;
+
+use crossbeam::channel;
+use midas_kb::{KnowledgeBase, Symbol};
+use midas_weburl::SourceUrl;
+
+use crate::config::CostModel;
+use crate::detector::{DetectInput, SliceDetector};
+use crate::slice::DiscoveredSlice;
+use crate::source::SourceFacts;
+
+/// What a round exports to the next round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExportPolicy {
+    /// Only positive-profit slices propagate upward (the paper's behaviour,
+    /// Example 16).
+    #[default]
+    PositiveOnly,
+    /// All detected slices propagate; useful when many small pages only
+    /// become profitable once merged at a coarser granularity (ablation).
+    ExportAll,
+}
+
+/// A slice candidate travelling through the rounds.
+#[derive(Debug, Clone)]
+struct Candidate {
+    slice: DiscoveredSlice,
+    /// `|T_W|` of the slice's origin source (for the crawl term of set
+    /// profits during consolidation).
+    origin_total_facts: usize,
+}
+
+/// Result of a framework run.
+#[derive(Debug)]
+pub struct FrameworkReport {
+    /// All surviving slices, sorted by profit, descending.
+    pub slices: Vec<DiscoveredSlice>,
+    /// Number of depth rounds executed (excluding the initial per-source
+    /// detection round).
+    pub rounds: usize,
+    /// Total number of detector invocations.
+    pub detect_calls: usize,
+}
+
+/// The shard → detect → consolidate driver.
+pub struct Framework<'a, D: SliceDetector> {
+    detector: &'a D,
+    cost: CostModel,
+    policy: ExportPolicy,
+    threads: usize,
+}
+
+impl<'a, D: SliceDetector> Framework<'a, D> {
+    /// Creates a sequential framework around `detector`.
+    pub fn new(detector: &'a D, cost: CostModel) -> Self {
+        Framework {
+            detector,
+            cost,
+            policy: ExportPolicy::PositiveOnly,
+            threads: 1,
+        }
+    }
+
+    /// Sets the export policy.
+    pub fn with_policy(mut self, policy: ExportPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the number of worker threads per round (1 = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs the framework over a corpus of per-source fact sets.
+    pub fn run(&self, sources: Vec<SourceFacts>, kb: &KnowledgeBase) -> FrameworkReport {
+        // Normalise: merge inputs sharing a URL.
+        let mut by_url: BTreeMap<SourceUrl, SourceFacts> = BTreeMap::new();
+        for s in sources {
+            match by_url.get_mut(&s.url) {
+                Some(existing) => {
+                    let merged = SourceFacts::merge(
+                        s.url.clone(),
+                        [std::mem::replace(existing, SourceFacts::new(s.url.clone(), vec![])), s],
+                    );
+                    *existing = merged;
+                }
+                None => {
+                    by_url.insert(s.url.clone(), s);
+                }
+            }
+        }
+
+        let mut detect_calls = 0usize;
+
+        // Round 0: per-source detection, entity-based initial slices.
+        let leaf_sources: Vec<&SourceFacts> = by_url.values().collect();
+        let detected: Vec<Vec<DiscoveredSlice>> = par_map(self.threads, leaf_sources, |src| {
+            self.detector.detect(DetectInput {
+                source: src,
+                kb,
+                seeds: &[],
+            })
+        });
+        detect_calls += detected.len();
+
+        let mut candidates: BTreeMap<SourceUrl, Vec<Candidate>> = BTreeMap::new();
+        for (src, slices) in by_url.values().zip(detected) {
+            let mut kept: Vec<Candidate> = slices
+                .into_iter()
+                .filter(|s| self.exportable(s))
+                .map(|slice| Candidate {
+                    slice,
+                    origin_total_facts: src.len(),
+                })
+                .collect();
+            if !kept.is_empty() {
+                candidates
+                    .entry(src.url.clone())
+                    .or_default()
+                    .append(&mut kept);
+            }
+        }
+
+        // Depth rounds, finest to coarsest.
+        let max_depth = by_url.keys().map(SourceUrl::depth).max().unwrap_or(0);
+        let mut rounds = 0usize;
+        for d in (1..=max_depth).rev() {
+            rounds += 1;
+            // Merge sources at depth d into their parents.
+            let deep_urls: Vec<SourceUrl> = by_url
+                .keys()
+                .filter(|u| u.depth() == d)
+                .cloned()
+                .collect();
+            let mut touched_parents: Vec<SourceUrl> = Vec::new();
+            for url in deep_urls {
+                let child = by_url.remove(&url).expect("url present");
+                let parent = url.parent().expect("depth ≥ 1 has a parent");
+                if !touched_parents.contains(&parent) {
+                    touched_parents.push(parent.clone());
+                }
+                match by_url.get_mut(&parent) {
+                    Some(existing) => {
+                        let merged = SourceFacts::merge(
+                            parent.clone(),
+                            [
+                                std::mem::replace(
+                                    existing,
+                                    SourceFacts::new(parent.clone(), vec![]),
+                                ),
+                                child,
+                            ],
+                        );
+                        *existing = merged;
+                    }
+                    None => {
+                        by_url.insert(parent.clone(), SourceFacts::merge(parent.clone(), [child]));
+                    }
+                }
+            }
+
+            // Shard candidates at depth d by parent.
+            let deep_positions: Vec<SourceUrl> = candidates
+                .keys()
+                .filter(|u| u.depth() == d)
+                .cloned()
+                .collect();
+            let mut shards: BTreeMap<SourceUrl, Vec<Candidate>> = BTreeMap::new();
+            for pos in deep_positions {
+                let cands = candidates.remove(&pos).expect("position present");
+                let parent = pos.parent().expect("depth ≥ 1 has a parent");
+                shards.entry(parent).or_default().extend(cands);
+            }
+
+            // Fold the parents' own pre-existing candidates into their shard
+            // so they compete during consolidation.
+            for (parent, shard) in &mut shards {
+                if let Some(own) = candidates.remove(parent) {
+                    shard.extend(own);
+                }
+            }
+
+            // Detect + consolidate per parent shard, in parallel.
+            let work: Vec<(SourceUrl, Vec<Candidate>)> = shards.into_iter().collect();
+            detect_calls += work.len();
+            let results: Vec<(SourceUrl, Vec<Candidate>)> =
+                par_map(self.threads, work, |(parent, inputs)| {
+                    let parent_src = by_url
+                        .get(&parent)
+                        .expect("parent source materialised by the merge step");
+                    let seeds = seed_sets(&inputs);
+                    let detected = self.detector.detect(DetectInput {
+                        source: parent_src,
+                        kb,
+                        seeds: &seeds,
+                    });
+                    let survivors =
+                        self.consolidate(detected, inputs, parent_src.len());
+                    (parent, survivors)
+                });
+            for (parent, survivors) in results {
+                let kept: Vec<Candidate> = survivors
+                    .into_iter()
+                    .filter(|c| self.exportable(&c.slice))
+                    .collect();
+                if !kept.is_empty() {
+                    candidates.entry(parent).or_default().extend(kept);
+                }
+            }
+        }
+
+        let mut slices: Vec<DiscoveredSlice> = candidates
+            .into_values()
+            .flatten()
+            .map(|c| c.slice)
+            .collect();
+        slices.sort_by(|a, b| b.profit.partial_cmp(&a.profit).expect("finite profits"));
+        FrameworkReport {
+            slices,
+            rounds,
+            detect_calls,
+        }
+    }
+
+    fn exportable(&self, s: &DiscoveredSlice) -> bool {
+        match self.policy {
+            ExportPolicy::PositiveOnly => s.profit > 0.0,
+            ExportPolicy::ExportAll => true,
+        }
+    }
+
+    /// The consolidation phase: parent slices vs the children slices whose
+    /// extents they contain.
+    fn consolidate(
+        &self,
+        mut detected: Vec<DiscoveredSlice>,
+        inputs: Vec<Candidate>,
+        parent_total_facts: usize,
+    ) -> Vec<Candidate> {
+        detected.sort_by(|a, b| b.profit.partial_cmp(&a.profit).expect("finite profits"));
+        let mut assigned = vec![false; inputs.len()];
+        let mut kept: Vec<Candidate> = Vec::new();
+        for parent_slice in detected {
+            let contained: Vec<usize> = (0..inputs.len())
+                .filter(|&i| {
+                    !assigned[i]
+                        && is_entity_subset(&inputs[i].slice.entities, &parent_slice.entities)
+                })
+                .collect();
+            if contained.is_empty() {
+                kept.push(Candidate {
+                    slice: parent_slice,
+                    origin_total_facts: parent_total_facts,
+                });
+                continue;
+            }
+            let f_children = self.children_set_profit(&inputs, &contained);
+            // Ties go to the children: at equal profit the finer-grained
+            // sources are the more precise extraction target.
+            if f_children >= parent_slice.profit {
+                for &i in &contained {
+                    assigned[i] = true;
+                    kept.push(inputs[i].clone());
+                }
+            } else {
+                for &i in &contained {
+                    assigned[i] = true;
+                }
+                kept.push(Candidate {
+                    slice: parent_slice,
+                    origin_total_facts: parent_total_facts,
+                });
+            }
+        }
+        for (i, c) in inputs.into_iter().enumerate() {
+            if !assigned[i] {
+                kept.push(c);
+            }
+        }
+        kept
+    }
+
+    /// Profit of a set of child candidates (Definition 9 with the crawl term
+    /// charged once per distinct origin source).
+    fn children_set_profit(&self, inputs: &[Candidate], idxs: &[usize]) -> f64 {
+        let mut gain_terms = 0.0;
+        let mut crawl_sources: Vec<(&SourceUrl, usize)> = Vec::new();
+        for &i in idxs {
+            let c = &inputs[i];
+            gain_terms += (1.0 - self.cost.fv) * c.slice.num_new_facts as f64
+                - self.cost.fd * c.slice.num_facts as f64;
+            if !crawl_sources.iter().any(|(u, _)| *u == &c.slice.source) {
+                crawl_sources.push((&c.slice.source, c.origin_total_facts));
+            }
+        }
+        let crawl: f64 = crawl_sources
+            .iter()
+            .map(|&(_, tw)| self.cost.fc * tw as f64)
+            .sum();
+        gain_terms - self.cost.fp * idxs.len() as f64 - crawl
+    }
+}
+
+/// Deduplicated property sets of the input candidates, used to seed the
+/// parent's slice hierarchy.
+fn seed_sets(inputs: &[Candidate]) -> Vec<Vec<(Symbol, Symbol)>> {
+    let mut seeds: Vec<Vec<(Symbol, Symbol)>> = Vec::new();
+    for c in inputs {
+        if c.slice.properties.is_empty() {
+            continue;
+        }
+        if !seeds.iter().any(|s| *s == c.slice.properties) {
+            seeds.push(c.slice.properties.clone());
+        }
+    }
+    seeds
+}
+
+/// Whether sorted symbol list `sub` is a subset of sorted list `sup`.
+fn is_entity_subset(sub: &[Symbol], sup: &[Symbol]) -> bool {
+    let mut j = 0;
+    for &x in sub {
+        while j < sup.len() && sup[j] < x {
+            j += 1;
+        }
+        if j >= sup.len() || sup[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Order-preserving parallel map over `items` with `threads` workers.
+fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for (i, item) in items.into_iter().enumerate() {
+        task_tx.send((i, item)).expect("open channel");
+    }
+    drop(task_tx);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok((i, item)) = task_rx.recv() {
+                    res_tx.send((i, f(item))).expect("open channel");
+                }
+            });
+        }
+        drop(res_tx);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((i, r)) = res_rx.recv() {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task produced a result"))
+            .collect()
+    })
+    .expect("worker threads do not panic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MidasConfig;
+    use crate::fixtures::skyrocket_pages;
+    use crate::single_source::MidasAlg;
+    use midas_kb::Interner;
+
+    fn run_running_example(threads: usize) -> (Interner, FrameworkReport) {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        let fw = Framework::new(&alg, alg.config.cost).with_threads(threads);
+        let report = fw.run(pages, &kb);
+        (t, report)
+    }
+
+    /// Example 16 end to end: the framework reports exactly the sub-domain
+    /// slice S5 ("rocket families sponsored by NASA" at /doc_lau_fam).
+    #[test]
+    fn example_16_end_to_end() {
+        let (t, report) = run_running_example(1);
+        assert_eq!(report.slices.len(), 1, "only S5 survives");
+        let s5 = &report.slices[0];
+        assert_eq!(
+            s5.source.as_str(),
+            "http://space.skyrocket.de/doc_lau_fam",
+            "S5 is reported at the sub-domain granularity"
+        );
+        assert_eq!(s5.entities.len(), 2);
+        assert_eq!(s5.num_new_facts, 6);
+        let desc = s5.describe(&t);
+        assert!(desc.contains("rocket_family"));
+        assert!(report.rounds >= 2, "pages → sub-domain → domain");
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let (_, seq) = run_running_example(1);
+        let (_, par) = run_running_example(4);
+        assert_eq!(seq.slices.len(), par.slices.len());
+        for (a, b) in seq.slices.iter().zip(&par.slices) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.entities, b.entities);
+            assert!((a.profit - b.profit).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn export_all_keeps_negative_candidates() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        let fw = Framework::new(&alg, alg.config.cost).with_policy(ExportPolicy::ExportAll);
+        let report = fw.run(pages, &kb);
+        // With export-all, at least the S5 consolidation result must still
+        // be present and profitable.
+        assert!(report.slices.iter().any(|s| s.profit > 4.0));
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let alg = MidasAlg::default();
+        let fw = Framework::new(&alg, alg.config.cost);
+        let report = fw.run(vec![], &KnowledgeBase::new());
+        assert!(report.slices.is_empty());
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn duplicate_source_urls_are_merged() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        // Split the atlas page into two SourceFacts with the same URL.
+        let mut doubled = Vec::new();
+        for p in pages {
+            if p.url.as_str().contains("atlas") {
+                let half = p.facts.len() / 2;
+                doubled.push(SourceFacts::new(p.url.clone(), p.facts[..half].to_vec()));
+                doubled.push(SourceFacts::new(p.url.clone(), p.facts[half..].to_vec()));
+            } else {
+                doubled.push(p);
+            }
+        }
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        let fw = Framework::new(&alg, alg.config.cost);
+        let report = fw.run(doubled, &kb);
+        assert_eq!(report.slices.len(), 1);
+        assert_eq!(report.slices[0].num_new_facts, 6);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(4, items.clone(), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn entity_subset_helper() {
+        let s = |v: &[u32]| -> Vec<Symbol> {
+            v.iter().map(|&i| Symbol::from_index(i as usize)).collect()
+        };
+        assert!(is_entity_subset(&s(&[1, 3]), &s(&[1, 2, 3])));
+        assert!(!is_entity_subset(&s(&[0, 3]), &s(&[1, 2, 3])));
+        assert!(is_entity_subset(&s(&[]), &s(&[1])));
+    }
+}

@@ -1,0 +1,696 @@
+//! Slice-hierarchy construction (§III-A, step 1).
+//!
+//! The hierarchy is the property-subset lattice restricted to the property
+//! sets reachable from the *initial slices* (the maximal property
+//! combinations of each entity). Construction proceeds bottom-up, two levels
+//! at a time, exactly as the paper describes:
+//!
+//! 1. **Parent generation** — each slice at level `l` (i.e. with `l`
+//!    properties) generates its `l` parents by dropping one property at a
+//!    time, Apriori-style.
+//! 2. **Canonicality pruning** (Proposition 12) — a slice is canonical iff
+//!    it is an initial slice or has at least two canonical children.
+//!    Non-canonical slices are *removed*: their children are re-linked to
+//!    their parents unless already reachable through another path.
+//! 3. **Low-profit pruning** — a canonical slice `S` is marked invalid when
+//!    `f({S}) < 0` or `f({S}) < f_LB(S)`, where `f_LB(S)` is the profit of
+//!    the best known set of slices in `S`'s subtree (`SLB(S)`). Invalid
+//!    slices stay in the hierarchy (they still generate parents and
+//!    participate in canonicality counting) but are never reported.
+
+use midas_kb::fnv::{FnvHashMap, FnvHashSet};
+
+use crate::config::MidasConfig;
+use crate::fact_table::{EntityId, FactTable, PropertyId};
+use crate::profit::ProfitCtx;
+
+/// Index of a node in the hierarchy.
+pub type NodeId = u32;
+
+/// One slice node.
+#[derive(Debug, Clone)]
+pub struct SliceNode {
+    /// Defining property set, sorted by id.
+    pub props: Box<[PropertyId]>,
+    /// Entity extent `Π`, sorted.
+    pub extent: Vec<EntityId>,
+    /// Children (slices with strictly more properties).
+    pub children: Vec<NodeId>,
+    /// Parents (slices with strictly fewer properties).
+    pub parents: Vec<NodeId>,
+    /// Whether the node came from an entity (or a framework seed).
+    pub is_initial: bool,
+    /// Canonicality per Proposition 12 (meaningful once its level is processed).
+    pub canonical: bool,
+    /// `true` once the node is deleted as non-canonical.
+    pub removed: bool,
+    /// `false` once the node is pruned as low-profit.
+    pub valid: bool,
+    /// `f({S})` for this node.
+    pub profit: f64,
+    /// `f_LB(S)` — the subtree profit lower bound.
+    pub slb_profit: f64,
+    /// The slice set `SLB(S)` achieving `slb_profit`.
+    pub slb_slices: Vec<NodeId>,
+}
+
+/// The constructed (and pruned) slice hierarchy of one web source.
+#[derive(Debug)]
+pub struct SliceHierarchy {
+    nodes: Vec<SliceNode>,
+    by_key: FnvHashMap<Box<[PropertyId]>, NodeId>,
+    levels: Vec<Vec<NodeId>>,
+    max_level: usize,
+    /// Whether the node-count safety valve stopped expansion.
+    pub capped: bool,
+    /// Number of nodes ever created (before pruning) — reported by the
+    /// pruning-effectiveness benchmarks.
+    pub nodes_created: usize,
+}
+
+impl SliceHierarchy {
+    /// Builds the hierarchy for `table`, seeding the initial level from the
+    /// entities of the fact table (the single-source case of §III-A).
+    pub fn build(table: &FactTable, ctx: &ProfitCtx<'_>, config: &MidasConfig) -> Self {
+        Self::build_inner(table, ctx, config, None)
+    }
+
+    /// Builds the hierarchy with explicit initial property sets — the
+    /// framework's multi-source case (§III-B), where the initial slices are
+    /// the slices exported by the children sources. When `seeds` is empty
+    /// the result is an empty hierarchy.
+    pub fn build_seeded(
+        table: &FactTable,
+        ctx: &ProfitCtx<'_>,
+        config: &MidasConfig,
+        seeds: &[Vec<PropertyId>],
+    ) -> Self {
+        Self::build_inner(table, ctx, config, Some(seeds))
+    }
+
+    fn build_inner(
+        table: &FactTable,
+        ctx: &ProfitCtx<'_>,
+        config: &MidasConfig,
+        seeds: Option<&[Vec<PropertyId>]>,
+    ) -> Self {
+        let mut h = SliceHierarchy {
+            nodes: Vec::new(),
+            by_key: FnvHashMap::default(),
+            levels: Vec::new(),
+            max_level: 0,
+            capped: false,
+            nodes_created: 0,
+        };
+        match seeds {
+            Some(seeds) => h.seed_from_property_sets(table, config, seeds),
+            None => h.seed_from_entities(table, config),
+        }
+        h.construct_and_prune(table, ctx, config);
+        h
+    }
+
+    /// Number of live (non-removed) nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.removed).count()
+    }
+
+    /// Whether the hierarchy has no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest level (number of properties of the most specific slice).
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &SliceNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Live node ids at `level`, in creation order.
+    pub fn level(&self, level: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.levels
+            .get(level)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |&id| !self.nodes[id as usize].removed)
+    }
+
+    /// All live node ids.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as NodeId).filter(move |&id| !self.nodes[id as usize].removed)
+    }
+
+    /// Looks up a node by exact property set (must be sorted).
+    pub fn find(&self, props: &[PropertyId]) -> Option<NodeId> {
+        self.by_key.get(props).copied()
+    }
+
+    // ---- construction -----------------------------------------------------
+
+    fn get_or_create(&mut self, table: &FactTable, props: Box<[PropertyId]>) -> NodeId {
+        if let Some(&id) = self.by_key.get(&props) {
+            return id;
+        }
+        let extent = table.extent_of(&props);
+        let level = props.len();
+        let id = u32::try_from(self.nodes.len()).expect("hierarchy overflow");
+        if self.levels.len() <= level {
+            self.levels.resize_with(level + 1, Vec::new);
+        }
+        self.levels[level].push(id);
+        self.max_level = self.max_level.max(level);
+        self.by_key.insert(props.clone(), id);
+        self.nodes.push(SliceNode {
+            props,
+            extent,
+            children: Vec::new(),
+            parents: Vec::new(),
+            is_initial: false,
+            canonical: false,
+            removed: false,
+            valid: true,
+            profit: 0.0,
+            slb_profit: 0.0,
+            slb_slices: Vec::new(),
+        });
+        self.nodes_created += 1;
+        id
+    }
+
+    /// Creates the initial slices from entities: for each entity, the
+    /// cross-product of one property per predicate (capped).
+    fn seed_from_entities(&mut self, table: &FactTable, config: &MidasConfig) {
+        for e in 0..table.num_entities() as EntityId {
+            let props = table.entity_properties(e);
+            if props.is_empty() {
+                continue;
+            }
+            // Group by predicate, preserving per-group value order.
+            let mut groups: Vec<(midas_kb::Symbol, Vec<PropertyId>)> = Vec::new();
+            for &pid in props {
+                let (pred, _) = table.catalog().pair(pid);
+                match groups.iter_mut().find(|(g, _)| *g == pred) {
+                    Some((_, v)) => v.push(pid),
+                    None => groups.push((pred, vec![pid])),
+                }
+            }
+            // Bound the lattice: keep the most selective predicates when an
+            // entity has too many.
+            if groups.len() > config.max_properties_per_entity {
+                groups.sort_by_key(|(_, v)| {
+                    v.iter()
+                        .map(|&p| table.catalog().extent(p).len())
+                        .min()
+                        .unwrap_or(usize::MAX)
+                });
+                groups.truncate(config.max_properties_per_entity);
+            }
+            // Cross product of one value per predicate, capped.
+            let mut combos: Vec<Vec<PropertyId>> = vec![Vec::with_capacity(groups.len())];
+            for (_, values) in &groups {
+                let mut next = Vec::with_capacity(combos.len() * values.len());
+                'outer: for combo in &combos {
+                    for &v in values {
+                        if next.len() + combos.len() >= config.max_initial_combinations_per_entity
+                            && !next.is_empty()
+                        {
+                            break 'outer;
+                        }
+                        let mut c = combo.clone();
+                        c.push(v);
+                        next.push(c);
+                    }
+                }
+                combos = next;
+            }
+            for mut combo in combos {
+                combo.sort_unstable();
+                let id = self.get_or_create(table, combo.into_boxed_slice());
+                self.nodes[id as usize].is_initial = true;
+            }
+        }
+    }
+
+    fn seed_from_property_sets(
+        &mut self,
+        table: &FactTable,
+        _config: &MidasConfig,
+        seeds: &[Vec<PropertyId>],
+    ) {
+        for seed in seeds {
+            let mut s = seed.clone();
+            s.sort_unstable();
+            s.dedup();
+            if s.is_empty() {
+                continue;
+            }
+            let id = self.get_or_create(table, s.into_boxed_slice());
+            let node = &mut self.nodes[id as usize];
+            if node.extent.is_empty() {
+                // A seed that matches no entity in this table carries no
+                // facts; drop it outright.
+                node.removed = true;
+                continue;
+            }
+            node.is_initial = true;
+        }
+    }
+
+    fn construct_and_prune(&mut self, table: &FactTable, ctx: &ProfitCtx<'_>, config: &MidasConfig) {
+        for l in (1..=self.max_level).rev() {
+            if l > 1 {
+                self.generate_parents(table, config, l);
+            }
+            self.prune_non_canonical(l);
+            self.evaluate_and_prune_profit(ctx, config, l);
+        }
+    }
+
+    /// Step (1): generate the `l` parents of every slice at level `l`.
+    fn generate_parents(&mut self, table: &FactTable, config: &MidasConfig, l: usize) {
+        let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
+        for id in ids {
+            if self.nodes[id as usize].removed {
+                continue;
+            }
+            if self.nodes.len() >= config.max_hierarchy_nodes {
+                self.capped = true;
+                return;
+            }
+            let props = self.nodes[id as usize].props.clone();
+            for skip in 0..props.len() {
+                let parent_props: Box<[PropertyId]> = props
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &p)| p)
+                    .collect();
+                let pid = self.get_or_create(table, parent_props);
+                self.link(pid, id);
+            }
+        }
+    }
+
+    fn link(&mut self, parent: NodeId, child: NodeId) {
+        if !self.nodes[parent as usize].children.contains(&child) {
+            self.nodes[parent as usize].children.push(child);
+            self.nodes[child as usize].parents.push(parent);
+        }
+    }
+
+    fn unlink_all(&mut self, id: NodeId) -> (Vec<NodeId>, Vec<NodeId>) {
+        let parents = std::mem::take(&mut self.nodes[id as usize].parents);
+        let children = std::mem::take(&mut self.nodes[id as usize].children);
+        for &p in &parents {
+            self.nodes[p as usize].children.retain(|&c| c != id);
+        }
+        for &c in &children {
+            self.nodes[c as usize].parents.retain(|&p| p != id);
+        }
+        (parents, children)
+    }
+
+    /// Whether `target` is reachable from `from` through live children links.
+    /// Links always point from a property subset to a strict superset, so the
+    /// search only descends into nodes whose property set is a subset of the
+    /// target's.
+    fn is_descendant(&self, from: NodeId, target: NodeId) -> bool {
+        let target_props = &self.nodes[target as usize].props;
+        let mut stack: Vec<NodeId> = vec![from];
+        let mut visited: FnvHashSet<NodeId> = FnvHashSet::default();
+        while let Some(cur) = stack.pop() {
+            for &c in &self.nodes[cur as usize].children {
+                if c == target {
+                    return true;
+                }
+                let cn = &self.nodes[c as usize];
+                if cn.removed || !visited.insert(c) {
+                    continue;
+                }
+                if cn.props.len() < target_props.len() && is_subset(&cn.props, target_props) {
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// Step (2): canonicality per Proposition 12 at level `l`, removing
+    /// non-canonical slices and re-linking their children.
+    fn prune_non_canonical(&mut self, l: usize) {
+        let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
+        for id in ids {
+            let node = &self.nodes[id as usize];
+            if node.removed {
+                continue;
+            }
+            let canonical = node.is_initial
+                || node
+                    .children
+                    .iter()
+                    .filter(|&&c| self.nodes[c as usize].canonical)
+                    .count()
+                    >= 2;
+            if canonical {
+                self.nodes[id as usize].canonical = true;
+                continue;
+            }
+            // Remove the node; re-link children to parents unless already
+            // reachable through another path.
+            self.nodes[id as usize].removed = true;
+            let (parents, children) = self.unlink_all(id);
+            for &p in &parents {
+                for &c in &children {
+                    if !self.is_descendant(p, c) {
+                        self.link(p, c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Step (3): profit evaluation, `SLB`/`f_LB` maintenance, and low-profit
+    /// pruning at level `l`.
+    fn evaluate_and_prune_profit(&mut self, ctx: &ProfitCtx<'_>, config: &MidasConfig, l: usize) {
+        let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
+        for id in ids {
+            if self.nodes[id as usize].removed {
+                continue;
+            }
+            let profit = ctx.profit_single(&self.nodes[id as usize].extent);
+
+            // Union of the children's lower-bound slice sets (those with
+            // positive lower-bound profit).
+            let mut child_set: Vec<NodeId> = Vec::new();
+            {
+                let node = &self.nodes[id as usize];
+                let mut seen: FnvHashSet<NodeId> = FnvHashSet::default();
+                for &c in &node.children {
+                    let cn = &self.nodes[c as usize];
+                    if cn.slb_profit > 0.0 {
+                        for &s in &cn.slb_slices {
+                            if seen.insert(s) {
+                                child_set.push(s);
+                            }
+                        }
+                    }
+                }
+            }
+            let f_child_set = if child_set.is_empty() {
+                0.0
+            } else {
+                let mut union: FnvHashSet<EntityId> = FnvHashSet::default();
+                for &s in &child_set {
+                    union.extend(self.nodes[s as usize].extent.iter().copied());
+                }
+                let mut new_facts = 0u64;
+                let mut total_facts = 0u64;
+                for &e in &union {
+                    new_facts += u64::from(ctx.table().new_of(e));
+                    total_facts += u64::from(ctx.table().facts_of(e));
+                }
+                ctx.profit_from_counts(new_facts, total_facts, child_set.len())
+            };
+
+            let node = &mut self.nodes[id as usize];
+            node.profit = profit;
+            if profit >= f_child_set && profit > 0.0 {
+                node.slb_profit = profit;
+                node.slb_slices = vec![id];
+            } else if f_child_set > 0.0 {
+                node.slb_profit = f_child_set;
+                node.slb_slices = child_set;
+            } else {
+                node.slb_profit = 0.0;
+                node.slb_slices = Vec::new();
+            }
+            if !config.disable_profit_pruning && (profit < 0.0 || profit < f_child_set) {
+                node.valid = false;
+            }
+        }
+    }
+}
+
+fn is_subset(sub: &[PropertyId], sup: &[PropertyId]) -> bool {
+    // Both sorted.
+    let mut j = 0;
+    for &x in sub {
+        while j < sup.len() && sup[j] < x {
+            j += 1;
+        }
+        if j >= sup.len() || sup[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MidasConfig;
+    use crate::fact_table::FactTable;
+    use crate::fixtures::skyrocket;
+    use midas_kb::Interner;
+
+    fn build_running_example(
+        terms: &mut Interner,
+    ) -> (FactTable, MidasConfig) {
+        let (src, kb) = skyrocket(terms);
+        let ft = FactTable::build(&src, &kb);
+        (ft, MidasConfig::running_example())
+    }
+
+    fn prop(ft: &FactTable, t: &mut Interner, p: &str, v: &str) -> PropertyId {
+        ft.catalog().get(t.intern(p), t.intern(v)).expect("property")
+    }
+
+    fn find_node(
+        h: &SliceHierarchy,
+        ft: &FactTable,
+        t: &mut Interner,
+        props: &[(&str, &str)],
+    ) -> Option<NodeId> {
+        let mut ids: Vec<PropertyId> = props.iter().map(|&(p, v)| prop(ft, t, p, v)).collect();
+        ids.sort_unstable();
+        h.find(&ids)
+    }
+
+    #[test]
+    fn initial_slices_match_figure_5a() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        // Figure 5a: S1, S2, S3 at level 3 and S4 at level 2 are initial.
+        let s1 = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("started", "1959"), ("sponsor", "NASA")]).unwrap();
+        let s2 = find_node(&h, &ft, &mut t, &[("category", "rocket_family"), ("started", "1957"), ("sponsor", "NASA")]).unwrap();
+        let s3 = find_node(&h, &ft, &mut t, &[("category", "rocket_family"), ("started", "1971"), ("sponsor", "NASA")]).unwrap();
+        let s4 = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("sponsor", "NASA")]).unwrap();
+        for id in [s1, s2, s3, s4] {
+            assert!(h.node(id).is_initial);
+            assert!(h.node(id).canonical);
+        }
+        assert_eq!(h.node(s4).extent.len(), 3, "S4 covers e1, e2, e4");
+    }
+
+    #[test]
+    fn s5_is_discovered_and_canonical() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        let s5 = find_node(&h, &ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]).unwrap();
+        let n = h.node(s5);
+        assert!(!n.is_initial, "S5 is generated, not initial");
+        assert!(n.canonical, "S5 has two canonical children S2, S3");
+        assert!(n.valid, "S5 survives profit pruning");
+        assert!((n.profit - 4.327).abs() < 1e-9);
+        assert_eq!(n.extent.len(), 2);
+    }
+
+    #[test]
+    fn non_canonical_pairs_are_removed() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        // {c1, c3} ("space programs started in 1959") selects the same
+        // entity as S1 but with fewer properties — non-canonical.
+        let id = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("started", "1959")]);
+        match id {
+            None => {}
+            Some(id) => assert!(h.node(id).removed),
+        }
+        // Same for {c4, c6} vs S2.
+        if let Some(id) = find_node(&h, &ft, &mut t, &[("started", "1957"), ("sponsor", "NASA")]) {
+            assert!(h.node(id).removed);
+        }
+    }
+
+    #[test]
+    fn c6_is_canonical_but_pruned_low_profit() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        let c6 = find_node(&h, &ft, &mut t, &[("sponsor", "NASA")]).unwrap();
+        let n = h.node(c6);
+        assert!(n.canonical, "c6 has canonical children S4 and S5");
+        assert!(!n.valid, "f(c6)=4.257 < f_LB from S5=4.327");
+        assert!((n.profit - 4.257).abs() < 1e-9);
+        assert!((n.slb_profit - 4.327).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s4_and_s1_are_pruned_negative() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        let s4 = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("sponsor", "NASA")]).unwrap();
+        assert!(!h.node(s4).valid);
+        assert!((h.node(s4).profit - (-1.083)).abs() < 1e-9);
+        assert_eq!(h.node(s4).slb_profit, 0.0);
+        let s1 = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("started", "1959"), ("sponsor", "NASA")]).unwrap();
+        assert!(!h.node(s1).valid);
+        assert!((h.node(s1).profit - (-1.043)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_c1_to_c5_are_non_canonical() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        for (p, v) in [
+            ("category", "space_program"),
+            ("category", "rocket_family"),
+            ("started", "1959"),
+            ("started", "1957"),
+            ("started", "1971"),
+        ] {
+            let id = find_node(&h, &ft, &mut t, &[(p, v)]).unwrap();
+            assert!(
+                h.node(id).removed,
+                "singleton {p}={v} has one canonical child and must be removed"
+            );
+        }
+    }
+
+    #[test]
+    fn disable_profit_pruning_keeps_all_canonical_valid() {
+        let mut t = Interner::new();
+        let (ft, mut cfg) = build_running_example(&mut t);
+        cfg.disable_profit_pruning = true;
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        for id in h.iter() {
+            assert!(h.node(id).valid);
+        }
+    }
+
+    #[test]
+    fn seeded_hierarchy_builds_from_property_sets() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let c2 = prop(&ft, &mut t, "category", "rocket_family");
+        let c4 = prop(&ft, &mut t, "started", "1957");
+        let c5 = prop(&ft, &mut t, "started", "1971");
+        let c6 = prop(&ft, &mut t, "sponsor", "NASA");
+        let seeds = vec![vec![c2, c4, c6], vec![c2, c5, c6]];
+        let h = SliceHierarchy::build_seeded(&ft, &ctx, &cfg, &seeds);
+        // The parent {c2, c6} (= S5) must be generated and canonical.
+        let mut key = vec![c2, c6];
+        key.sort_unstable();
+        let s5 = h.find(&key).expect("S5 generated from seeds");
+        assert!(h.node(s5).canonical);
+        assert!(h.node(s5).valid);
+    }
+
+    #[test]
+    fn empty_seed_list_yields_empty_hierarchy() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build_seeded(&ft, &ctx, &cfg, &[]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn multi_valued_predicate_generates_capped_combinations() {
+        let mut t = Interner::new();
+        let mut facts = Vec::new();
+        for i in 0..10 {
+            facts.push(midas_kb::Fact::intern(
+                &mut t,
+                "cocktail",
+                "ingredient",
+                &format!("ing{i}"),
+            ));
+        }
+        let src = crate::source::SourceFacts::new(
+            midas_weburl::SourceUrl::parse("http://c.com/m").unwrap(),
+            facts,
+        );
+        let kb = midas_kb::KnowledgeBase::new();
+        let ft = FactTable::build(&src, &kb);
+        let mut cfg = MidasConfig::running_example();
+        cfg.max_initial_combinations_per_entity = 4;
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        let initial = h.iter().filter(|&id| h.node(id).is_initial).count();
+        assert!(initial <= 4, "combination cap respected, got {initial}");
+        assert!(initial >= 1);
+    }
+
+    #[test]
+    fn parent_links_are_strict_subsets() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        for id in h.iter() {
+            let n = h.node(id);
+            for &c in &n.children {
+                let cn = h.node(c);
+                assert!(cn.props.len() > n.props.len());
+                assert!(is_subset(&n.props, &cn.props));
+                assert!(cn.parents.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn extents_shrink_down_the_hierarchy() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        for id in h.iter() {
+            let n = h.node(id);
+            for &c in &n.children {
+                let cextent = &h.node(c).extent;
+                assert!(
+                    cextent.iter().all(|e| n.extent.contains(e)),
+                    "child extent must be a subset of parent extent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_subset_helper() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+}

@@ -1,0 +1,192 @@
+//! Incremental knowledge-base augmentation — the operational loop around
+//! MIDAS.
+//!
+//! The paper stops at *suggesting* slices; operationally, an operator picks
+//! a suggestion, extracts it (crawl + wrapper induction), loads the new
+//! facts, and asks MIDAS again — previously-suggested slices lose their
+//! value as their facts become known, and previously-buried slices surface.
+//! [`Augmenter`] drives that loop with a pluggable "extraction" step; the
+//! default [`Augmenter::accept`] simulates a perfect extraction by loading
+//! the slice's facts straight into the knowledge base.
+
+use crate::config::MidasConfig;
+use crate::framework::Framework;
+use crate::single_source::MidasAlg;
+use crate::slice::DiscoveredSlice;
+use crate::source::SourceFacts;
+use midas_kb::KnowledgeBase;
+
+/// One accepted suggestion and the augmentation it caused.
+#[derive(Debug, Clone)]
+pub struct AugmentationStep {
+    /// The slice that was accepted.
+    pub slice: DiscoveredSlice,
+    /// How many facts the knowledge base actually gained.
+    pub facts_added: usize,
+    /// Knowledge-base size after the step.
+    pub kb_size: usize,
+}
+
+/// Iterative augmentation driver.
+#[derive(Debug)]
+pub struct Augmenter {
+    config: MidasConfig,
+    sources: Vec<SourceFacts>,
+    kb: KnowledgeBase,
+    threads: usize,
+    history: Vec<AugmentationStep>,
+}
+
+impl Augmenter {
+    /// Creates the driver over a corpus and an initial knowledge base.
+    pub fn new(config: MidasConfig, sources: Vec<SourceFacts>, kb: KnowledgeBase) -> Self {
+        Augmenter {
+            config,
+            sources,
+            kb,
+            threads: 1,
+            history: Vec::new(),
+        }
+    }
+
+    /// Sets the framework worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The current knowledge base.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The accepted steps so far.
+    pub fn history(&self) -> &[AugmentationStep] {
+        &self.history
+    }
+
+    /// Runs discovery against the current knowledge base, returning ranked
+    /// suggestions.
+    pub fn suggest(&self) -> Vec<DiscoveredSlice> {
+        let alg = MidasAlg::new(self.config.clone());
+        let fw = Framework::new(&alg, self.config.cost).with_threads(self.threads);
+        fw.run(self.sources.clone(), &self.kb).slices
+    }
+
+    /// Accepts a suggestion: simulates a perfect extraction of the slice by
+    /// loading every fact of its entities (within its source scope) into the
+    /// knowledge base. Returns the recorded step.
+    pub fn accept(&mut self, slice: &DiscoveredSlice) -> AugmentationStep {
+        let mut added = 0usize;
+        for src in &self.sources {
+            if !slice.source.contains(&src.url) {
+                continue;
+            }
+            for f in &src.facts {
+                if slice.entities.binary_search(&f.subject).is_ok() && self.kb.insert(*f) {
+                    added += 1;
+                }
+            }
+        }
+        let step = AugmentationStep {
+            slice: slice.clone(),
+            facts_added: added,
+            kb_size: self.kb.len(),
+        };
+        self.history.push(step.clone());
+        step
+    }
+
+    /// Runs the full loop: repeatedly accept the top suggestion until no
+    /// positive-profit suggestion remains or `max_rounds` is reached.
+    /// Returns the accepted steps.
+    pub fn run_to_saturation(&mut self, max_rounds: usize) -> Vec<AugmentationStep> {
+        let mut steps = Vec::new();
+        for _ in 0..max_rounds {
+            let suggestions = self.suggest();
+            let Some(best) = suggestions.into_iter().find(|s| s.profit > 0.0) else {
+                break;
+            };
+            steps.push(self.accept(&best));
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::skyrocket_pages;
+    use midas_kb::Interner;
+
+    #[test]
+    fn accepting_s5_saturates_the_running_example() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let mut aug = Augmenter::new(MidasConfig::running_example(), pages, kb);
+
+        let suggestions = aug.suggest();
+        assert_eq!(suggestions.len(), 1, "S5 is the only suggestion");
+        let step = aug.accept(&suggestions[0]);
+        assert_eq!(step.facts_added, 6, "the six rocket-family facts");
+
+        // After augmentation nothing remains to suggest.
+        let after = aug.suggest();
+        assert!(after.is_empty(), "KB is saturated: {after:?}");
+        assert_eq!(aug.history().len(), 1);
+    }
+
+    #[test]
+    fn run_to_saturation_terminates() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let mut aug = Augmenter::new(MidasConfig::running_example(), pages, kb).with_threads(2);
+        let steps = aug.run_to_saturation(10);
+        assert_eq!(steps.len(), 1);
+        assert!(aug.suggest().is_empty());
+        // Idempotent once saturated.
+        assert!(aug.run_to_saturation(3).is_empty());
+    }
+
+    #[test]
+    fn accepting_twice_adds_nothing_new() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let mut aug = Augmenter::new(MidasConfig::running_example(), pages, kb);
+        let s = aug.suggest().remove(0);
+        let first = aug.accept(&s);
+        let second = aug.accept(&s);
+        assert_eq!(first.facts_added, 6);
+        assert_eq!(second.facts_added, 0);
+        assert_eq!(second.kb_size, first.kb_size);
+    }
+
+    #[test]
+    fn multi_vertical_corpus_saturates_in_order() {
+        // Two verticals of different value: the loop must take the more
+        // profitable one first.
+        let mut t = Interner::new();
+        let mut facts_a = Vec::new();
+        let mut facts_b = Vec::new();
+        for i in 0..12 {
+            facts_a.push(midas_kb::Fact::intern(&mut t, &format!("golf{i}"), "type", "golf"));
+            facts_a.push(midas_kb::Fact::intern(&mut t, &format!("golf{i}"), "hole", &format!("h{i}")));
+        }
+        for i in 0..4 {
+            facts_b.push(midas_kb::Fact::intern(&mut t, &format!("game{i}"), "type", "game"));
+        }
+        let url = |s: &str| midas_weburl::SourceUrl::parse(s).unwrap();
+        let sources = vec![
+            SourceFacts::new(url("http://a.com/golf/page"), facts_a),
+            SourceFacts::new(url("http://a.com/games/page"), facts_b),
+        ];
+        let mut aug = Augmenter::new(
+            MidasConfig::running_example(),
+            sources,
+            KnowledgeBase::new(),
+        );
+        let steps = aug.run_to_saturation(10);
+        assert!(steps.len() >= 2, "both verticals eventually accepted: {steps:?}");
+        assert!(steps[0].facts_added > steps[1].facts_added, "richer slice first");
+    }
+}

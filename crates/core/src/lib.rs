@@ -1,0 +1,57 @@
+//! # midas-core — web source slices, the profit model, MIDASalg, and the
+//! multi-source framework
+//!
+//! This crate implements the primary contribution of *"MIDAS: Finding the
+//! Right Web Sources to Fill Knowledge Gaps"* (Wang, Dong, Li, Meliou —
+//! ICDE 2019):
+//!
+//! * **Web source slices** (Definitions 3–7): a [`FactTable`] organises the
+//!   facts extracted from one web source by entity; a slice is a conjunction
+//!   of `(predicate, value)` *properties* together with the entities that
+//!   satisfy all of them and all facts of those entities. *Canonical* slices
+//!   carry the maximal property set describing their extent.
+//! * **The profit function** (Definition 9): [`CostModel`] and
+//!   [`ProfitCtx`] quantify the value of a set of slices as
+//!   `gain − (crawl + de-dup + validation)` cost.
+//! * **MIDASalg** (§III-A): [`MidasAlg`] builds the slice hierarchy
+//!   bottom-up with canonicality pruning (Proposition 12) and low-profit
+//!   pruning (the `f_LB` subtree lower bound), then traverses it top-down
+//!   (Algorithm 1) to select the reported slices.
+//! * **The MIDAS framework** (§III-B): [`framework::Framework`] runs
+//!   shard → detect → consolidate rounds over the URL hierarchy, reusing
+//!   children's slices as the parent's initial hierarchy, with optional
+//!   thread parallelism.
+//!
+//! The running example of the paper (Figures 2, 4 and 5) is reproduced in
+//! this crate's tests and in the `space_programs` example of the workspace
+//! root.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod detector;
+pub mod enrich;
+pub mod explain;
+pub mod fact_table;
+pub mod fixtures;
+pub mod framework;
+pub mod hierarchy;
+pub mod incremental;
+pub mod profit;
+pub mod single_source;
+pub mod slice;
+pub mod source;
+pub mod traversal;
+
+pub use config::{CostModel, MidasConfig};
+pub use detector::{DetectInput, SliceDetector};
+pub use enrich::RangeEnrichment;
+pub use explain::ProfitBreakdown;
+pub use fact_table::{EntityId, FactTable, PropertyCatalog, PropertyId};
+pub use framework::{ExportPolicy, Framework, FrameworkReport};
+pub use hierarchy::SliceHierarchy;
+pub use incremental::{AugmentationStep, Augmenter};
+pub use profit::ProfitCtx;
+pub use single_source::MidasAlg;
+pub use slice::{DiscoveredSlice, SliceSetStats};
+pub use source::SourceFacts;

@@ -1,0 +1,298 @@
+//! The profit function (Definition 9).
+//!
+//! All slice profits inside one web source reduce to entity-set arithmetic:
+//! a slice's facts are all facts of its entities, entity rows are disjoint,
+//! so for any set of slices `S` within source `W`,
+//!
+//! ```text
+//! f(S) = (1 − f_v)·new(U) − f_d·facts(U) − f_p·|S| − f_c·|T_W|
+//! ```
+//!
+//! where `U` is the union of the slices' entity extents. [`ProfitCtx`] binds
+//! the cost model to one source's fact table and evaluates single slices,
+//! slice sets, and the marginal profit of adding a slice to an accumulator —
+//! the three operations MIDASalg needs.
+
+use crate::config::CostModel;
+use crate::fact_table::{EntityId, FactTable};
+
+/// Profit evaluator bound to one source.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfitCtx<'a> {
+    table: &'a FactTable,
+    cost: CostModel,
+    /// `f_c·|T_W|` — the fixed crawling term of this source.
+    crawl_fixed: f64,
+}
+
+impl<'a> ProfitCtx<'a> {
+    /// Binds `cost` to `table`.
+    pub fn new(table: &'a FactTable, cost: CostModel) -> Self {
+        ProfitCtx {
+            table,
+            cost,
+            crawl_fixed: cost.fc * table.total_facts() as f64,
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The bound fact table.
+    pub fn table(&self) -> &FactTable {
+        self.table
+    }
+
+    /// The fixed per-source crawling term `f_c·|T_W|`.
+    pub fn crawl_fixed(&self) -> f64 {
+        self.crawl_fixed
+    }
+
+    /// Profit of a set of `k` slices whose union of entity extents has the
+    /// given new/total fact counts.
+    #[inline]
+    pub fn profit_from_counts(&self, new_facts: u64, total_facts: u64, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        (1.0 - self.cost.fv) * new_facts as f64
+            - self.cost.fd * total_facts as f64
+            - self.cost.fp * k as f64
+            - self.crawl_fixed
+    }
+
+    /// `f({S})` for a single slice with entity extent `entities`.
+    pub fn profit_single(&self, entities: &[EntityId]) -> f64 {
+        self.profit_from_counts(
+            self.table.new_sum(entities),
+            self.table.facts_sum(entities),
+            1,
+        )
+    }
+
+    /// `f(S)` for a set of `k` slices whose union of extents is `union`
+    /// (must be deduplicated).
+    pub fn profit_set(&self, union: &[EntityId], k: usize) -> f64 {
+        self.profit_from_counts(self.table.new_sum(union), self.table.facts_sum(union), k)
+    }
+
+    /// Starts an incremental accumulator for Algorithm 1.
+    pub fn accumulator(&self) -> ProfitAccumulator {
+        ProfitAccumulator {
+            covered: vec![false; self.table.num_entities()],
+            new_facts: 0,
+            total_facts: 0,
+            k: 0,
+        }
+    }
+}
+
+/// Incremental profit of a growing result set of slices.
+///
+/// Tracks the union of covered entities with a dense bitmap so that the
+/// marginal profit of a candidate slice is computable in O(|extent|).
+#[derive(Debug, Clone)]
+pub struct ProfitAccumulator {
+    covered: Vec<bool>,
+    new_facts: u64,
+    total_facts: u64,
+    k: usize,
+}
+
+impl ProfitAccumulator {
+    /// Current profit `f(S)` of the accumulated set.
+    pub fn profit(&self, ctx: &ProfitCtx<'_>) -> f64 {
+        ctx.profit_from_counts(self.new_facts, self.total_facts, self.k)
+    }
+
+    /// Number of slices accumulated.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// Whether no slice has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Marginal profit `f(S ∪ {s}) − f(S)` of adding a slice with the given
+    /// extent, without mutating the accumulator.
+    pub fn marginal(&self, ctx: &ProfitCtx<'_>, extent: &[EntityId]) -> f64 {
+        let (mut dnew, mut dtotal) = (0u64, 0u64);
+        for &e in extent {
+            if !self.covered[e as usize] {
+                dnew += u64::from(ctx.table.new_of(e));
+                dtotal += u64::from(ctx.table.facts_of(e));
+            }
+        }
+        let mut delta = (1.0 - ctx.cost.fv) * dnew as f64 - ctx.cost.fd * dtotal as f64 - ctx.cost.fp;
+        if self.k == 0 {
+            // The first slice brings in the fixed crawl term of the source.
+            delta -= ctx.crawl_fixed;
+        }
+        delta
+    }
+
+    /// Adds a slice with the given extent to the set.
+    pub fn add(&mut self, ctx: &ProfitCtx<'_>, extent: &[EntityId]) {
+        for &e in extent {
+            let c = &mut self.covered[e as usize];
+            if !*c {
+                *c = true;
+                self.new_facts += u64::from(ctx.table.new_of(e));
+                self.total_facts += u64::from(ctx.table.facts_of(e));
+            }
+        }
+        self.k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MidasConfig;
+    use crate::fact_table::FactTable;
+    use crate::fixtures::skyrocket;
+    use midas_kb::Interner;
+
+    fn ctx_for_running_example(
+        terms: &mut Interner,
+    ) -> (FactTable, MidasConfig, Vec<(&'static str, &'static str)>) {
+        let (src, kb) = skyrocket(terms);
+        let ft = FactTable::build(&src, &kb);
+        (ft, MidasConfig::running_example(), vec![])
+    }
+
+    fn extent(ft: &FactTable, terms: &mut Interner, props: &[(&str, &str)]) -> Vec<EntityId> {
+        let ids: Vec<_> = props
+            .iter()
+            .map(|&(p, v)| {
+                ft.catalog()
+                    .get(terms.intern(p), terms.intern(v))
+                    .expect("property exists")
+            })
+            .collect();
+        ft.extent_of(&ids)
+    }
+
+    /// Figure 5 reports f(S5) = 4.327 with f_p = 1.
+    #[test]
+    fn slice_s5_profit_matches_figure_5() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let s5 = extent(&ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        assert!((ctx.profit_single(&s5) - 4.327).abs() < 1e-9);
+    }
+
+    /// Figure 5 reports f(S2) = f(S3) = 1.657.
+    #[test]
+    fn slices_s2_s3_profit_match_figure_5() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let s2 = extent(
+            &ft,
+            &mut t,
+            &[
+                ("category", "rocket_family"),
+                ("started", "1957"),
+                ("sponsor", "NASA"),
+            ],
+        );
+        assert_eq!(s2.len(), 1);
+        assert!((ctx.profit_single(&s2) - 1.657).abs() < 1e-9);
+    }
+
+    /// Figure 5 reports f(S4) = −1.083.
+    #[test]
+    fn slice_s4_profit_matches_figure_5() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let s4 = extent(&ft, &mut t, &[("category", "space_program"), ("sponsor", "NASA")]);
+        assert_eq!(s4.len(), 3);
+        assert!((ctx.profit_single(&s4) - (-1.083)).abs() < 1e-9);
+    }
+
+    /// The paper prints f(S1) = −1.013 but the Definition 9 formula gives
+    /// −1.043 (the published figure appears to drop S1's de-dup term; see
+    /// DESIGN.md). We assert the formula value.
+    #[test]
+    fn slice_s1_profit_follows_definition_9() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let s1 = extent(
+            &ft,
+            &mut t,
+            &[
+                ("category", "space_program"),
+                ("started", "1959"),
+                ("sponsor", "NASA"),
+            ],
+        );
+        assert_eq!(s1.len(), 1);
+        assert!((ctx.profit_single(&s1) - (-1.043)).abs() < 1e-9);
+    }
+
+    /// Example 10: {S5} beats {S2, S3} because it avoids one f_p, and beats
+    /// {S6} through lower de-dup cost.
+    #[test]
+    fn example_10_set_comparisons() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let s5 = extent(&ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        let s6 = extent(&ft, &mut t, &[("sponsor", "NASA")]);
+        let f_s5 = ctx.profit_set(&s5, 1);
+        let f_s6 = ctx.profit_set(&s6, 1);
+        let f_s2_s3 = ctx.profit_set(&s5, 2); // same union, two slices
+        assert!(f_s5 > f_s6);
+        assert!(f_s5 > f_s2_s3);
+        assert!((f_s5 - f_s2_s3 - cfg.cost.fp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_set_has_zero_profit() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        assert_eq!(ctx.profit_from_counts(0, 0, 0), 0.0);
+        let acc = ctx.accumulator();
+        assert_eq!(acc.profit(&ctx), 0.0);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn accumulator_matches_batch_profit() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let s5 = extent(&ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        let s4 = extent(&ft, &mut t, &[("category", "space_program"), ("sponsor", "NASA")]);
+        let mut acc = ctx.accumulator();
+        let m1 = acc.marginal(&ctx, &s5);
+        acc.add(&ctx, &s5);
+        assert!((acc.profit(&ctx) - m1).abs() < 1e-9, "first marginal from zero");
+        let m2 = acc.marginal(&ctx, &s4);
+        acc.add(&ctx, &s4);
+        let union = crate::fact_table::union_sorted(&s5, &s4);
+        assert!((acc.profit(&ctx) - ctx.profit_set(&union, 2)).abs() < 1e-9);
+        assert!((acc.profit(&ctx) - (m1 + m2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_of_fully_covered_slice_is_negative_fp() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let s5 = extent(&ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        let mut acc = ctx.accumulator();
+        acc.add(&ctx, &s5);
+        let m = acc.marginal(&ctx, &s5);
+        assert!((m + cfg.cost.fp).abs() < 1e-9);
+    }
+}

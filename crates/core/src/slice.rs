@@ -1,0 +1,259 @@
+//! Discovered web source slices (Definitions 5 and 7).
+
+use midas_kb::{Interner, Symbol};
+use midas_weburl::SourceUrl;
+use std::fmt::Write as _;
+
+/// A web source slice as reported by a discovery algorithm.
+///
+/// A slice answers *"what to extract, and from where"*: extract the facts of
+/// the entities satisfying every property in [`properties`] from the source
+/// at [`source`].
+///
+/// [`properties`]: DiscoveredSlice::properties
+/// [`source`]: DiscoveredSlice::source
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredSlice {
+    /// The web source the slice selects from (any URL granularity).
+    pub source: SourceUrl,
+    /// The defining property conjunction `C`, sorted by `(pred, value)`
+    /// symbol. Empty for whole-source "slices" (the NAIVE baseline).
+    pub properties: Vec<(Symbol, Symbol)>,
+    /// The entity extent `Π`: subjects satisfying every property, sorted.
+    pub entities: Vec<Symbol>,
+    /// `|Π*|` — number of facts associated with the entities.
+    pub num_facts: usize,
+    /// `|Π* \ E|` — how many of those facts are new to the knowledge base.
+    pub num_new_facts: usize,
+    /// `f({S})` under the cost model the algorithm ran with.
+    pub profit: f64,
+}
+
+impl DiscoveredSlice {
+    /// Human-readable description of the slice, e.g.
+    /// `"category = rocket_family ∧ sponsor = NASA @ http://..."`.
+    pub fn describe(&self, terms: &Interner) -> String {
+        let mut out = String::new();
+        if self.properties.is_empty() {
+            out.push_str("(entire source)");
+        } else {
+            for (i, &(p, v)) in self.properties.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" ∧ ");
+                }
+                let _ = write!(out, "{} = {}", terms.resolve(p), terms.resolve(v));
+            }
+        }
+        let _ = write!(out, " @ {}", self.source);
+        out
+    }
+
+    /// Ratio of new facts within the slice (the "Ratio of new facts in the
+    /// slice" column of Figure 3).
+    pub fn new_ratio(&self) -> f64 {
+        if self.num_facts == 0 {
+            0.0
+        } else {
+            self.num_new_facts as f64 / self.num_facts as f64
+        }
+    }
+
+    /// Jaccard similarity of the entity extents of two slices.
+    ///
+    /// The paper compares slices by the Jaccard similarity of their selected
+    /// facts and treats ≥ 0.95 as equivalent (§IV-B). Within one source a
+    /// slice's facts are fully determined by its entities, so entity-set
+    /// Jaccard is the same quantity without materialising fact sets.
+    pub fn jaccard(&self, other: &DiscoveredSlice) -> f64 {
+        if self.entities.is_empty() && other.entities.is_empty() {
+            return 1.0;
+        }
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entities.len() && j < other.entities.len() {
+            match self.entities[i].cmp(&other.entities[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = self.entities.len() + other.entities.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// Whether two slices are equivalent under the paper's ≥ 0.95 Jaccard
+    /// criterion *and* come from the same source subtree (one source must
+    /// contain the other).
+    pub fn is_equivalent(&self, other: &DiscoveredSlice) -> bool {
+        (self.source.contains(&other.source) || other.source.contains(&self.source))
+            && self.jaccard(other) >= 0.95
+    }
+}
+
+/// Aggregate statistics of a reported slice set (used by reports and the
+/// framework's consolidation phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SliceSetStats {
+    /// Number of slices.
+    pub num_slices: usize,
+    /// Unique facts covered.
+    pub num_facts: usize,
+    /// Unique new facts covered.
+    pub num_new_facts: usize,
+    /// Total profit of the set.
+    pub profit: f64,
+}
+
+impl SliceSetStats {
+    /// Summarises a set of slices, de-duplicating entities per source.
+    ///
+    /// Slices from the same source may share entities; their fact/new counts
+    /// are de-duplicated through the entity sets. Slices from different
+    /// sources are assumed disjoint (distinct pages).
+    pub fn summarise<'a>(slices: impl IntoIterator<Item = &'a DiscoveredSlice>, profit: f64) -> Self {
+        use std::collections::BTreeMap;
+        let mut per_source: BTreeMap<&SourceUrl, Vec<&DiscoveredSlice>> = BTreeMap::new();
+        let mut num_slices = 0;
+        for s in slices {
+            per_source.entry(&s.source).or_default().push(s);
+            num_slices += 1;
+        }
+        let (mut facts, mut new_facts) = (0usize, 0usize);
+        for (_, group) in per_source {
+            if group.len() == 1 {
+                facts += group[0].num_facts;
+                new_facts += group[0].num_new_facts;
+                continue;
+            }
+            // Overlapping slices of the same source: count each entity once
+            // using a per-entity share of the slice counts is impossible
+            // without the fact table, so fall back to the union of entities
+            // weighted by the first slice containing each.
+            let mut seen: std::collections::BTreeSet<Symbol> = Default::default();
+            for s in group {
+                let mut fresh = 0usize;
+                for e in &s.entities {
+                    if seen.insert(*e) {
+                        fresh += 1;
+                    }
+                }
+                if !s.entities.is_empty() {
+                    let frac = fresh as f64 / s.entities.len() as f64;
+                    facts += (s.num_facts as f64 * frac).round() as usize;
+                    new_facts += (s.num_new_facts as f64 * frac).round() as usize;
+                }
+            }
+        }
+        SliceSetStats {
+            num_slices,
+            num_facts: facts,
+            num_new_facts: new_facts,
+            profit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_kb::Interner;
+
+    fn slice(terms: &mut Interner, url: &str, entities: &[&str]) -> DiscoveredSlice {
+        let mut es: Vec<Symbol> = entities.iter().map(|e| terms.intern(e)).collect();
+        es.sort_unstable();
+        DiscoveredSlice {
+            source: SourceUrl::parse(url).unwrap(),
+            properties: vec![],
+            entities: es,
+            num_facts: entities.len() * 2,
+            num_new_facts: entities.len(),
+            profit: 1.0,
+        }
+    }
+
+    #[test]
+    fn describe_renders_conjunction() {
+        let mut t = Interner::new();
+        let mut s = slice(&mut t, "http://a.com/x", &["e1"]);
+        s.properties = vec![
+            (t.intern("category"), t.intern("rocket_family")),
+            (t.intern("sponsor"), t.intern("NASA")),
+        ];
+        let d = s.describe(&t);
+        assert!(d.contains("category = rocket_family"));
+        assert!(d.contains("∧ sponsor = NASA"));
+        assert!(d.ends_with("@ http://a.com/x"));
+    }
+
+    #[test]
+    fn describe_empty_properties_is_whole_source() {
+        let mut t = Interner::new();
+        let s = slice(&mut t, "http://a.com", &["e"]);
+        assert!(s.describe(&t).starts_with("(entire source)"));
+    }
+
+    #[test]
+    fn jaccard_of_identical_extents_is_one() {
+        let mut t = Interner::new();
+        let a = slice(&mut t, "http://a.com/x", &["e1", "e2"]);
+        let b = slice(&mut t, "http://a.com/x", &["e1", "e2"]);
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert!(a.is_equivalent(&b));
+    }
+
+    #[test]
+    fn jaccard_of_disjoint_extents_is_zero() {
+        let mut t = Interner::new();
+        let a = slice(&mut t, "http://a.com/x", &["e1"]);
+        let b = slice(&mut t, "http://a.com/x", &["e2"]);
+        assert_eq!(a.jaccard(&b), 0.0);
+        assert!(!a.is_equivalent(&b));
+    }
+
+    #[test]
+    fn equivalence_requires_related_sources() {
+        let mut t = Interner::new();
+        let a = slice(&mut t, "http://a.com/x", &["e1"]);
+        let b = slice(&mut t, "http://b.com/y", &["e1"]);
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert!(!a.is_equivalent(&b), "different domains are never equivalent");
+        let parent = slice(&mut t, "http://a.com", &["e1"]);
+        assert!(a.is_equivalent(&parent), "ancestor source is comparable");
+    }
+
+    #[test]
+    fn new_ratio_handles_empty_slice() {
+        let mut t = Interner::new();
+        let mut s = slice(&mut t, "http://a.com/x", &[]);
+        s.num_facts = 0;
+        s.num_new_facts = 0;
+        assert_eq!(s.new_ratio(), 0.0);
+        let s2 = slice(&mut t, "http://a.com/x", &["e"]);
+        assert_eq!(s2.new_ratio(), 0.5);
+    }
+
+    #[test]
+    fn summarise_counts_disjoint_sources_additively() {
+        let mut t = Interner::new();
+        let a = slice(&mut t, "http://a.com/x", &["e1", "e2"]);
+        let b = slice(&mut t, "http://a.com/y", &["e3"]);
+        let st = SliceSetStats::summarise([&a, &b], 5.0);
+        assert_eq!(st.num_slices, 2);
+        assert_eq!(st.num_facts, 6);
+        assert_eq!(st.num_new_facts, 3);
+        assert_eq!(st.profit, 5.0);
+    }
+
+    #[test]
+    fn summarise_deduplicates_same_source_overlap() {
+        let mut t = Interner::new();
+        let a = slice(&mut t, "http://a.com/x", &["e1", "e2"]);
+        let b = slice(&mut t, "http://a.com/x", &["e1", "e2"]);
+        let st = SliceSetStats::summarise([&a, &b], 0.0);
+        assert_eq!(st.num_facts, 4, "second identical slice adds nothing");
+    }
+}

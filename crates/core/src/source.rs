@@ -1,0 +1,73 @@
+//! Per-source working sets.
+
+use midas_kb::Fact;
+use midas_weburl::SourceUrl;
+
+/// The deduplicated facts `T_W` extracted from one web source `W`.
+#[derive(Debug, Clone)]
+pub struct SourceFacts {
+    /// The source URL (at any granularity).
+    pub url: SourceUrl,
+    /// Distinct facts extracted from this source.
+    pub facts: Vec<Fact>,
+}
+
+impl SourceFacts {
+    /// Builds a source working set, deduplicating facts.
+    pub fn new(url: SourceUrl, mut facts: Vec<Fact>) -> Self {
+        facts.sort_unstable();
+        facts.dedup();
+        SourceFacts { url, facts }
+    }
+
+    /// `|T_W|` — the crawling-cost driver of Definition 9.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether no facts were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Merges several children working sets into their parent's.
+    pub fn merge(url: SourceUrl, children: impl IntoIterator<Item = SourceFacts>) -> Self {
+        let mut facts = Vec::new();
+        for c in children {
+            facts.extend(c.facts);
+        }
+        SourceFacts::new(url, facts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_kb::Interner;
+
+    #[test]
+    fn new_deduplicates_and_sorts() {
+        let mut t = Interner::new();
+        let a = Fact::intern(&mut t, "a", "p", "1");
+        let b = Fact::intern(&mut t, "b", "p", "2");
+        let src = SourceFacts::new(
+            SourceUrl::parse("http://x.com/page").unwrap(),
+            vec![b, a, b, a],
+        );
+        assert_eq!(src.len(), 2);
+        assert_eq!(src.facts, vec![a, b]);
+    }
+
+    #[test]
+    fn merge_unions_children() {
+        let mut t = Interner::new();
+        let a = Fact::intern(&mut t, "a", "p", "1");
+        let b = Fact::intern(&mut t, "b", "p", "2");
+        let u = |s: &str| SourceUrl::parse(s).unwrap();
+        let c1 = SourceFacts::new(u("http://x.com/d/1"), vec![a]);
+        let c2 = SourceFacts::new(u("http://x.com/d/2"), vec![a, b]);
+        let parent = SourceFacts::merge(u("http://x.com/d"), [c1, c2]);
+        assert_eq!(parent.len(), 2);
+        assert!(parent.is_empty() == false);
+    }
+}

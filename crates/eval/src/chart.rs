@@ -1,0 +1,196 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! The paper's evaluation is a set of *figures*; the harness regenerates
+//! the underlying series as tables, and this module additionally renders
+//! them as compact ASCII charts so the shapes (who wins, where the
+//! crossovers fall) are visible at a glance in the terminal:
+//!
+//! ```text
+//! F-measure vs coverage
+//! 1.00 ┤ ●──●──●──●──●   midas
+//!      │ ○──○──○─_○──○   greedy
+//! 0.00 ┼──────────────
+//! ```
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, assumed sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from a label and points.
+    pub fn new(label: &str, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.to_owned(),
+            points,
+        }
+    }
+}
+
+/// A fixed-size character canvas line chart.
+#[derive(Debug)]
+pub struct AsciiChart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+    /// Marker characters cycled per series.
+    markers: Vec<char>,
+    y_min: Option<f64>,
+    y_max: Option<f64>,
+}
+
+impl AsciiChart {
+    /// Creates an empty chart with a drawing area of `width`×`height` cells.
+    pub fn new(title: &str, width: usize, height: usize) -> Self {
+        AsciiChart {
+            title: title.to_owned(),
+            width: width.max(10),
+            height: height.max(4),
+            series: Vec::new(),
+            markers: vec!['●', '○', '▲', '□', '◆', '◇'],
+            y_min: None,
+            y_max: None,
+        }
+    }
+
+    /// Fixes the y-axis range (otherwise derived from the data).
+    pub fn with_y_range(mut self, min: f64, max: f64) -> Self {
+        self.y_min = Some(min);
+        self.y_max = Some(max);
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if all.is_empty() {
+            let _ = writeln!(out, "  (no data)");
+            return out;
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        let y_lo = self.y_min.unwrap_or(y_lo);
+        let y_hi = self.y_max.unwrap_or(y_hi);
+        let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+        let y_span = (y_hi - y_lo).max(f64::MIN_POSITIVE);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let marker = self.markers[si % self.markers.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let col = (((x - x_min) / x_span) * (self.width - 1) as f64).round() as usize;
+                let y_clamped = y.clamp(y_lo, y_hi);
+                let row_f = (1.0 - (y_clamped - y_lo) / y_span) * (self.height - 1) as f64;
+                let row = row_f.round() as usize;
+                let cell = &mut grid[row.min(self.height - 1)][col.min(self.width - 1)];
+                // Later series overwrite blanks only; collisions show '+'.
+                *cell = if *cell == ' ' || *cell == marker { marker } else { '+' };
+            }
+        }
+
+        for (i, row) in grid.iter().enumerate() {
+            let y_label = if i == 0 {
+                format!("{y_hi:>8.2} ")
+            } else if i == self.height - 1 {
+                format!("{y_lo:>8.2} ")
+            } else {
+                " ".repeat(9)
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{y_label}┤{}", line.trim_end());
+        }
+        let _ = writeln!(
+            out,
+            "{}└{} x: {x_min:.2} … {x_max:.2}",
+            " ".repeat(8),
+            "─".repeat(self.width.min(12)),
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "          {} {}", self.markers[si % self.markers.len()], s.label);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_series_with_legend() {
+        let chart = AsciiChart::new("F vs coverage", 30, 8)
+            .with_y_range(0.0, 1.0)
+            .series(Series::new("midas", vec![(0.0, 1.0), (0.4, 1.0), (0.8, 0.9)]))
+            .series(Series::new("naive", vec![(0.0, 0.2), (0.4, 0.15), (0.8, 0.05)]));
+        let s = chart.render();
+        assert!(s.contains("F vs coverage"));
+        assert!(s.contains("● midas"));
+        assert!(s.contains("○ naive"));
+        assert!(s.contains("1.00"));
+        assert!(s.contains("0.00"));
+    }
+
+    #[test]
+    fn top_row_holds_max_bottom_row_holds_min() {
+        let chart = AsciiChart::new("t", 20, 5)
+            .series(Series::new("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        let s = chart.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Line 1 is the top row (y max): it must contain the marker at the
+        // right; the bottom row holds the left marker.
+        assert!(lines[1].trim_end().ends_with('●'), "top-right point: {s}");
+        assert!(lines[5].contains('●'), "bottom-left point: {s}");
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let s = AsciiChart::new("empty", 20, 5).render();
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn collisions_are_marked() {
+        let chart = AsciiChart::new("c", 20, 5)
+            .series(Series::new("a", vec![(0.5, 0.5)]))
+            .series(Series::new("b", vec![(0.5, 0.5)]));
+        let s = chart.render();
+        assert!(s.contains('+'), "colliding markers shown as +: {s}");
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let chart = AsciiChart::new("n", 20, 5)
+            .series(Series::new("a", vec![(0.0, f64::NAN), (1.0, 0.5)]));
+        let s = chart.render();
+        assert!(s.contains('●'));
+    }
+}

@@ -1,0 +1,175 @@
+//! The simulated annotator of §IV-B.
+//!
+//! For the full ReVerb/NELL corpora the paper has human workers label each
+//! returned slice: sample `K = 20` (or fewer) entities, show their pages,
+//! and record (a) `R_new`, the ratio of new facts for the covered entities,
+//! and (b) `R_anno`, the ratio of entities that provide homogeneous
+//! information; the slice is "correct" when both exceed 0.5.
+//!
+//! Our generators know the ground truth, so the annotator is mechanical:
+//! `R_new` comes from the slice's own new/total fact counts (with an empty
+//! knowledge base it degenerates to the binary 1.0-if-any-facts the paper
+//! describes), and `R_anno` is the fraction of sampled entities the
+//! generator marked as homogeneous (planted verticals vs forum noise).
+
+use midas_core::DiscoveredSlice;
+use midas_extract::GroundTruth;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The mechanical stand-in for the paper's crowd workers.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnotator {
+    /// Number of entities sampled per slice (paper: 20).
+    pub k: usize,
+    /// Correctness threshold on both ratios (paper: 0.5).
+    pub threshold: f64,
+    /// Sampling seed (the paper samples randomly; we sample reproducibly).
+    pub seed: u64,
+}
+
+impl Default for SimulatedAnnotator {
+    fn default() -> Self {
+        SimulatedAnnotator {
+            k: 20,
+            threshold: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+impl SimulatedAnnotator {
+    /// `R_new` of a slice.
+    pub fn r_new(&self, slice: &DiscoveredSlice) -> f64 {
+        if slice.num_facts == 0 {
+            0.0
+        } else {
+            slice.num_new_facts as f64 / slice.num_facts as f64
+        }
+    }
+
+    /// `R_anno` of a slice: homogeneous fraction of ≤ K sampled entities.
+    pub fn r_anno(&self, slice: &DiscoveredSlice, truth: &GroundTruth) -> f64 {
+        if slice.entities.is_empty() {
+            return 0.0;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ slice.entities.len() as u64);
+        let sample: Vec<_> = slice
+            .entities
+            .choose_multiple(&mut rng, self.k.min(slice.entities.len()))
+            .copied()
+            .collect();
+        sample
+            .iter()
+            .filter(|&&e| truth.is_homogeneous(e))
+            .count() as f64
+            / sample.len() as f64
+    }
+
+    /// The §IV-B correctness criterion.
+    pub fn is_correct(&self, slice: &DiscoveredSlice, truth: &GroundTruth) -> bool {
+        self.r_new(slice) > self.threshold && self.r_anno(slice, truth) > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_kb::{Interner, Symbol};
+    use midas_weburl::SourceUrl;
+
+    fn slice_with(
+        t: &mut Interner,
+        entities: &[&str],
+        num_facts: usize,
+        num_new: usize,
+    ) -> DiscoveredSlice {
+        let mut es: Vec<Symbol> = entities.iter().map(|e| t.intern(e)).collect();
+        es.sort_unstable();
+        DiscoveredSlice {
+            source: SourceUrl::parse("http://a.com/x").unwrap(),
+            properties: vec![],
+            entities: es,
+            num_facts,
+            num_new_facts: num_new,
+            profit: 1.0,
+        }
+    }
+
+    #[test]
+    fn homogeneous_new_slice_is_correct() {
+        let mut t = Interner::new();
+        let s = slice_with(&mut t, &["a", "b", "c"], 10, 8);
+        let mut truth = GroundTruth::default();
+        for e in &s.entities {
+            truth.homogeneous_entities.insert(*e);
+        }
+        let ann = SimulatedAnnotator::default();
+        assert!(ann.r_new(&s) > 0.5);
+        assert_eq!(ann.r_anno(&s, &truth), 1.0);
+        assert!(ann.is_correct(&s, &truth));
+    }
+
+    #[test]
+    fn forum_slice_fails_r_anno() {
+        let mut t = Interner::new();
+        let s = slice_with(&mut t, &["p1", "p2", "p3", "p4"], 10, 10);
+        let truth = GroundTruth::default(); // nobody homogeneous
+        let ann = SimulatedAnnotator::default();
+        assert_eq!(ann.r_anno(&s, &truth), 0.0);
+        assert!(!ann.is_correct(&s, &truth));
+    }
+
+    #[test]
+    fn known_content_fails_r_new() {
+        let mut t = Interner::new();
+        let s = slice_with(&mut t, &["a", "b"], 10, 2);
+        let mut truth = GroundTruth::default();
+        for e in &s.entities {
+            truth.homogeneous_entities.insert(*e);
+        }
+        let ann = SimulatedAnnotator::default();
+        assert!(ann.r_new(&s) < 0.5);
+        assert!(!ann.is_correct(&s, &truth));
+    }
+
+    #[test]
+    fn sampling_caps_at_k() {
+        let mut t = Interner::new();
+        let names: Vec<String> = (0..100).map(|i| format!("e{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let s = slice_with(&mut t, &refs, 100, 100);
+        let mut truth = GroundTruth::default();
+        // Exactly 30% homogeneous: the K=20 sample should land near 0.3.
+        for e in s.entities.iter().take(30) {
+            truth.homogeneous_entities.insert(*e);
+        }
+        let ann = SimulatedAnnotator::default();
+        let r = ann.r_anno(&s, &truth);
+        assert!((0.0..=1.0).contains(&r));
+        assert!(!ann.is_correct(&s, &truth), "30% homogeneity should fail");
+    }
+
+    #[test]
+    fn empty_slice_is_never_correct() {
+        let mut t = Interner::new();
+        let s = slice_with(&mut t, &[], 0, 0);
+        let ann = SimulatedAnnotator::default();
+        assert!(!ann.is_correct(&s, &GroundTruth::default()));
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let mut t = Interner::new();
+        let names: Vec<String> = (0..50).map(|i| format!("e{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let s = slice_with(&mut t, &refs, 50, 50);
+        let mut truth = GroundTruth::default();
+        for e in s.entities.iter().take(25) {
+            truth.homogeneous_entities.insert(*e);
+        }
+        let ann = SimulatedAnnotator::default();
+        assert_eq!(ann.r_anno(&s, &truth), ann.r_anno(&s, &truth));
+    }
+}

@@ -1,0 +1,33 @@
+//! # midas-eval — the §IV evaluation harness
+//!
+//! Everything needed to regenerate the paper's experiments:
+//!
+//! * [`metrics`] — precision / recall / F-measure against a gold-slice
+//!   standard with the ≥ 0.95 Jaccard equivalence of §IV-B, plus top-k
+//!   precision and PR-curve points.
+//! * [`labeling`] — the simulated human annotator: R_new and R_anno over
+//!   K = 20 sampled entities, a slice being "correct" when both exceed 0.5.
+//! * [`silver`] — coverage-adjusted knowledge bases: load x% of the silver
+//!   standard into the KB and evaluate against the remaining slices.
+//! * [`runner`] — timed algorithm runs: the MIDAS framework, or any
+//!   [`midas_core::SliceDetector`] applied per (domain-merged) source.
+//! * [`report`] — aligned-text and CSV table emitters for the figure/table
+//!   binaries in `midas-bench`.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod labeling;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod significance;
+pub mod silver;
+
+pub use chart::{AsciiChart, Series};
+pub use labeling::SimulatedAnnotator;
+pub use metrics::{match_to_gold, pr_curve, top_k_precision, Prf};
+pub use significance::{bootstrap_prf, ConfidenceInterval};
+pub use report::Table;
+pub use runner::{merge_by_domain, run_detector_per_source, run_midas_framework, RunResult};
+pub use silver::coverage_adjusted;

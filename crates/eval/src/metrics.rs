@@ -1,0 +1,253 @@
+//! Precision / recall / F-measure against a gold standard.
+//!
+//! §IV-B: *"Precision measures the fraction of returned slices that are of
+//! high profit, as per our labeling. Recall measures the fraction of
+//! high-profit slices in our silver standard that are returned. … we use
+//! Jaccard similarity to compare two slices and consider them as equivalent
+//! when the Jaccard similarity is above 0.95."*
+
+use midas_core::DiscoveredSlice;
+use midas_extract::GoldSlice;
+
+/// The Jaccard threshold of §IV-B.
+pub const JACCARD_THRESHOLD: f64 = 0.95;
+
+/// Precision, recall, and their harmonic mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// Fraction of returned slices matching some gold slice.
+    pub precision: f64,
+    /// Fraction of gold slices matched by some returned slice.
+    pub recall: f64,
+    /// `2·P·R / (P + R)` (0 when both are 0).
+    pub f_measure: f64,
+}
+
+impl Prf {
+    /// Combines raw precision and recall.
+    pub fn new(precision: f64, recall: f64) -> Self {
+        let f_measure = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Prf {
+            precision,
+            recall,
+            f_measure,
+        }
+    }
+}
+
+/// Whether `slice` is equivalent to `gold` under the paper's criterion:
+/// entity-Jaccard ≥ 0.95 and source compatibility (one URL contains the
+/// other — a slice reported at the domain can match a gold slice at a
+/// section, and vice versa).
+pub fn matches_gold(slice: &DiscoveredSlice, gold: &GoldSlice) -> bool {
+    (gold.source.contains(&slice.source) || slice.source.contains(&gold.source))
+        && gold.jaccard_entities(&slice.entities) >= JACCARD_THRESHOLD
+}
+
+/// Matches returned slices to the gold standard.
+///
+/// Precision counts each returned slice that matches *some* gold slice;
+/// recall counts each gold slice matched by *some* returned slice (a gold
+/// slice can satisfy several near-duplicate returns without double-counting
+/// recall).
+pub fn match_to_gold(slices: &[DiscoveredSlice], gold: &[GoldSlice]) -> Prf {
+    if slices.is_empty() {
+        return Prf::new(0.0, 0.0);
+    }
+    let mut matched_gold = vec![false; gold.len()];
+    let mut matched_slices = 0usize;
+    for s in slices {
+        let mut hit = false;
+        for (gi, g) in gold.iter().enumerate() {
+            if matches_gold(s, g) {
+                hit = true;
+                matched_gold[gi] = true;
+            }
+        }
+        if hit {
+            matched_slices += 1;
+        }
+    }
+    let precision = matched_slices as f64 / slices.len() as f64;
+    let recall = if gold.is_empty() {
+        0.0
+    } else {
+        matched_gold.iter().filter(|&&m| m).count() as f64 / gold.len() as f64
+    };
+    Prf::new(precision, recall)
+}
+
+/// Top-k precision under an arbitrary per-slice correctness oracle
+/// (the simulated annotator for ReVerb/NELL, Figure 10a/c). `slices` must
+/// already be ranked.
+pub fn top_k_precision(
+    slices: &[DiscoveredSlice],
+    k: usize,
+    mut is_correct: impl FnMut(&DiscoveredSlice) -> bool,
+) -> f64 {
+    let top = &slices[..k.min(slices.len())];
+    if top.is_empty() {
+        return 0.0;
+    }
+    top.iter().filter(|s| is_correct(s)).count() as f64 / top.len() as f64
+}
+
+/// Points of a precision-recall curve: for every prefix length of the
+/// ranked `slices`, the (recall, precision) against `gold` (Figure 9a/c/e).
+pub fn pr_curve(slices: &[DiscoveredSlice], gold: &[GoldSlice]) -> Vec<(f64, f64)> {
+    let mut points = Vec::with_capacity(slices.len());
+    for k in 1..=slices.len() {
+        let prf = match_to_gold(&slices[..k], gold);
+        points.push((prf.recall, prf.precision));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_kb::{Interner, Symbol};
+    use midas_weburl::SourceUrl;
+
+    fn gold(t: &mut Interner, url: &str, entities: &[&str]) -> GoldSlice {
+        let mut es: Vec<Symbol> = entities.iter().map(|e| t.intern(e)).collect();
+        es.sort_unstable();
+        GoldSlice {
+            source: SourceUrl::parse(url).unwrap(),
+            properties: vec![],
+            entities: es,
+            description: "gold".into(),
+        }
+    }
+
+    fn slice(t: &mut Interner, url: &str, entities: &[&str]) -> DiscoveredSlice {
+        let mut es: Vec<Symbol> = entities.iter().map(|e| t.intern(e)).collect();
+        es.sort_unstable();
+        DiscoveredSlice {
+            source: SourceUrl::parse(url).unwrap(),
+            properties: vec![],
+            entities: es,
+            num_facts: entities.len(),
+            num_new_facts: entities.len(),
+            profit: 1.0,
+        }
+    }
+
+    #[test]
+    fn perfect_match_gives_unit_prf() {
+        let mut t = Interner::new();
+        let g = vec![gold(&mut t, "http://a.com/dir", &["e1", "e2", "e3"])];
+        let s = vec![slice(&mut t, "http://a.com/dir", &["e1", "e2", "e3"])];
+        let prf = match_to_gold(&s, &g);
+        assert_eq!(prf.precision, 1.0);
+        assert_eq!(prf.recall, 1.0);
+        assert_eq!(prf.f_measure, 1.0);
+    }
+
+    #[test]
+    fn cross_granularity_matching_works() {
+        let mut t = Interner::new();
+        let g = vec![gold(&mut t, "http://a.com/dir", &["e1", "e2"])];
+        // Slice reported at the domain level still matches.
+        let s = vec![slice(&mut t, "http://a.com", &["e1", "e2"])];
+        assert_eq!(match_to_gold(&s, &g).recall, 1.0);
+        // Slice from another domain never matches.
+        let other = vec![slice(&mut t, "http://b.com", &["e1", "e2"])];
+        assert_eq!(match_to_gold(&other, &g).recall, 0.0);
+    }
+
+    #[test]
+    fn jaccard_threshold_is_strict() {
+        let mut t = Interner::new();
+        let names: Vec<String> = (0..20).map(|i| format!("e{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let g = vec![gold(&mut t, "http://a.com", &refs)];
+        // 19 of 20 entities → Jaccard 0.95 exactly: matches (≥ threshold).
+        let s19 = vec![slice(&mut t, "http://a.com", &refs[..19])];
+        assert_eq!(match_to_gold(&s19, &g).recall, 1.0);
+        // 18 of 20 → Jaccard 0.9: no match.
+        let s18 = vec![slice(&mut t, "http://a.com", &refs[..18])];
+        assert_eq!(match_to_gold(&s18, &g).recall, 0.0);
+    }
+
+    #[test]
+    fn precision_penalises_junk_returns() {
+        let mut t = Interner::new();
+        let g = vec![gold(&mut t, "http://a.com/dir", &["e1", "e2"])];
+        let s = vec![
+            slice(&mut t, "http://a.com/dir", &["e1", "e2"]),
+            slice(&mut t, "http://a.com/other", &["x1", "x2"]),
+        ];
+        let prf = match_to_gold(&s, &g);
+        assert_eq!(prf.precision, 0.5);
+        assert_eq!(prf.recall, 1.0);
+        assert!((prf.f_measure - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_returns_do_not_inflate_recall() {
+        let mut t = Interner::new();
+        let g = vec![
+            gold(&mut t, "http://a.com/x", &["e1", "e2"]),
+            gold(&mut t, "http://a.com/y", &["f1", "f2"]),
+        ];
+        let s = vec![
+            slice(&mut t, "http://a.com/x", &["e1", "e2"]),
+            slice(&mut t, "http://a.com/x", &["e1", "e2"]),
+        ];
+        let prf = match_to_gold(&s, &g);
+        assert_eq!(prf.precision, 1.0);
+        assert_eq!(prf.recall, 0.5);
+    }
+
+    #[test]
+    fn empty_returns_are_zero() {
+        let mut t = Interner::new();
+        let g = vec![gold(&mut t, "http://a.com", &["e"])];
+        let prf = match_to_gold(&[], &g);
+        assert_eq!(prf.precision, 0.0);
+        assert_eq!(prf.recall, 0.0);
+        assert_eq!(prf.f_measure, 0.0);
+    }
+
+    #[test]
+    fn top_k_precision_respects_ranking() {
+        let mut t = Interner::new();
+        let slices = vec![
+            slice(&mut t, "http://good.com", &["g"]),
+            slice(&mut t, "http://bad.com", &["b"]),
+            slice(&mut t, "http://good2.com", &["g2"]),
+        ];
+        let is_good = |s: &DiscoveredSlice| s.source.as_str().contains("good");
+        assert_eq!(top_k_precision(&slices, 1, is_good), 1.0);
+        assert_eq!(top_k_precision(&slices, 2, is_good), 0.5);
+        assert!((top_k_precision(&slices, 3, is_good) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((top_k_precision(&slices, 100, is_good) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(top_k_precision(&[], 5, is_good), 0.0);
+    }
+
+    #[test]
+    fn pr_curve_is_monotone_in_recall() {
+        let mut t = Interner::new();
+        let g = vec![
+            gold(&mut t, "http://a.com/x", &["e1"]),
+            gold(&mut t, "http://a.com/y", &["e2"]),
+        ];
+        let s = vec![
+            slice(&mut t, "http://a.com/x", &["e1"]),
+            slice(&mut t, "http://a.com/junk", &["zz"]),
+            slice(&mut t, "http://a.com/y", &["e2"]),
+        ];
+        let curve = pr_curve(&s, &g);
+        assert_eq!(curve.len(), 3);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0, "recall never decreases along the curve");
+        }
+        assert_eq!(curve[0], (0.5, 1.0));
+        assert_eq!(curve[2].0, 1.0);
+    }
+}

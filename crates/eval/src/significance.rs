@@ -1,0 +1,204 @@
+//! Bootstrap confidence intervals for the evaluation metrics.
+//!
+//! The paper reports point estimates; for the reproduction it is useful to
+//! know how stable those estimates are under resampling of the returned
+//! slices (precision) and of the gold standard (recall). This module
+//! implements the standard percentile bootstrap with a seeded RNG.
+
+use crate::metrics::{matches_gold, Prf};
+use midas_core::DiscoveredSlice;
+use midas_extract::GoldSlice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A percentile bootstrap interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Nominal coverage level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether a reference value lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Bootstrap CIs for precision, recall, and F-measure.
+///
+/// Each of `resamples` iterations draws slices (for precision) and gold
+/// slices (for recall) with replacement and recomputes the metric; the CI is
+/// the `[α/2, 1 − α/2]` percentile band.
+pub fn bootstrap_prf(
+    slices: &[DiscoveredSlice],
+    gold: &[GoldSlice],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> (ConfidenceInterval, ConfidenceInterval, ConfidenceInterval) {
+    assert!((0.0..1.0).contains(&(1.0 - level)), "level must be in (0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let point = crate::metrics::match_to_gold(slices, gold);
+
+    // Precompute the bipartite match matrix once.
+    let hits: Vec<Vec<bool>> = slices
+        .iter()
+        .map(|s| gold.iter().map(|g| matches_gold(s, g)).collect())
+        .collect();
+
+    let mut ps = Vec::with_capacity(resamples);
+    let mut rs = Vec::with_capacity(resamples);
+    let mut fs = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        // Resample slice indices and gold indices with replacement.
+        let s_idx: Vec<usize> = (0..slices.len())
+            .map(|_| rng.gen_range(0..slices.len().max(1)))
+            .collect();
+        let g_idx: Vec<usize> = (0..gold.len())
+            .map(|_| rng.gen_range(0..gold.len().max(1)))
+            .collect();
+        let precision = if s_idx.is_empty() {
+            0.0
+        } else {
+            s_idx
+                .iter()
+                .filter(|&&i| g_idx.iter().any(|&j| hits[i][j]))
+                .count() as f64
+                / s_idx.len() as f64
+        };
+        let recall = if g_idx.is_empty() {
+            0.0
+        } else {
+            g_idx
+                .iter()
+                .filter(|&&j| s_idx.iter().any(|&i| hits[i][j]))
+                .count() as f64
+                / g_idx.len() as f64
+        };
+        let prf = Prf::new(precision, recall);
+        ps.push(prf.precision);
+        rs.push(prf.recall);
+        fs.push(prf.f_measure);
+    }
+    for v in [&mut ps, &mut rs, &mut fs] {
+        v.sort_by(f64::total_cmp);
+    }
+    let alpha = 1.0 - level;
+    let make = |sorted: &[f64], estimate: f64| ConfidenceInterval {
+        estimate,
+        lower: percentile(sorted, alpha / 2.0),
+        upper: percentile(sorted, 1.0 - alpha / 2.0),
+        level,
+    };
+    (
+        make(&ps, point.precision),
+        make(&rs, point.recall),
+        make(&fs, point.f_measure),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_kb::{Interner, Symbol};
+    use midas_weburl::SourceUrl;
+
+    fn gold(t: &mut Interner, url: &str, entities: &[&str]) -> GoldSlice {
+        let mut es: Vec<Symbol> = entities.iter().map(|e| t.intern(e)).collect();
+        es.sort_unstable();
+        GoldSlice {
+            source: SourceUrl::parse(url).unwrap(),
+            properties: vec![],
+            entities: es,
+            description: "g".into(),
+        }
+    }
+
+    fn slice(t: &mut Interner, url: &str, entities: &[&str]) -> DiscoveredSlice {
+        let mut es: Vec<Symbol> = entities.iter().map(|e| t.intern(e)).collect();
+        es.sort_unstable();
+        DiscoveredSlice {
+            source: SourceUrl::parse(url).unwrap(),
+            properties: vec![],
+            entities: es,
+            num_facts: 1,
+            num_new_facts: 1,
+            profit: 1.0,
+        }
+    }
+
+    #[test]
+    fn perfect_match_has_degenerate_interval() {
+        let mut t = Interner::new();
+        let g = vec![gold(&mut t, "http://a.com/x", &["e"])];
+        let s = vec![slice(&mut t, "http://a.com/x", &["e"])];
+        let (p, r, f) = bootstrap_prf(&s, &g, 200, 0.95, 1);
+        for ci in [p, r, f] {
+            assert_eq!(ci.estimate, 1.0);
+            assert_eq!(ci.lower, 1.0);
+            assert_eq!(ci.upper, 1.0);
+            assert!(ci.contains(1.0));
+        }
+    }
+
+    #[test]
+    fn mixed_results_have_nondegenerate_interval() {
+        let mut t = Interner::new();
+        let g = vec![
+            gold(&mut t, "http://a.com/x", &["e1"]),
+            gold(&mut t, "http://a.com/y", &["e2"]),
+        ];
+        let s = vec![
+            slice(&mut t, "http://a.com/x", &["e1"]),
+            slice(&mut t, "http://a.com/junk1", &["z1"]),
+            slice(&mut t, "http://a.com/junk2", &["z2"]),
+        ];
+        let (p, _, f) = bootstrap_prf(&s, &g, 500, 0.95, 2);
+        assert!((p.estimate - 1.0 / 3.0).abs() < 1e-12);
+        assert!(p.lower < p.estimate && p.estimate < p.upper);
+        assert!(p.contains(p.estimate));
+        assert!(f.half_width() > 0.0);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_under_seed() {
+        let mut t = Interner::new();
+        let g = vec![gold(&mut t, "http://a.com/x", &["e1"])];
+        let s = vec![
+            slice(&mut t, "http://a.com/x", &["e1"]),
+            slice(&mut t, "http://a.com/j", &["z"]),
+        ];
+        let a = bootstrap_prf(&s, &g, 100, 0.9, 7);
+        let b = bootstrap_prf(&s, &g, 100, 0.9, 7);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let (p, r, f) = bootstrap_prf(&[], &[], 50, 0.95, 3);
+        assert_eq!(p.estimate, 0.0);
+        assert_eq!(r.estimate, 0.0);
+        assert_eq!(f.estimate, 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Coverage-adjusted knowledge bases (§IV-B).
+//!
+//! *"to create a knowledge base of x% coverage, we (1) randomly select x% of
+//! the slices from the Initial Silver Standard; (2) build a knowledge base
+//! with the facts in the selected slices; (3) use the remaining slices
+//! (those not selected in step 1) to form the optimal output for the new
+//! knowledge base."*
+
+use midas_extract::{Dataset, GoldSlice};
+use midas_kb::fnv::FnvHashSet;
+use midas_kb::{KnowledgeBase, Symbol};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Builds the x%-coverage knowledge base and the matching optimal output.
+///
+/// Returns `(kb, remaining_gold)`. The knowledge base contains the
+/// dataset's original KB plus all facts of the selected silver slices.
+pub fn coverage_adjusted(
+    dataset: &Dataset,
+    coverage: f64,
+    seed: u64,
+) -> (KnowledgeBase, Vec<GoldSlice>) {
+    assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..dataset.truth.gold.len()).collect();
+    order.shuffle(&mut rng);
+    let n_selected = (dataset.truth.gold.len() as f64 * coverage).round() as usize;
+    let selected: FnvHashSet<usize> = order[..n_selected].iter().copied().collect();
+
+    let mut kb = dataset.kb.clone();
+    // Facts of a gold slice: every fact of its entities under its source.
+    let mut selected_entities_by_slice: Vec<(&GoldSlice, FnvHashSet<Symbol>)> = Vec::new();
+    for (i, g) in dataset.truth.gold.iter().enumerate() {
+        if selected.contains(&i) {
+            selected_entities_by_slice.push((g, g.entities.iter().copied().collect()));
+        }
+    }
+    for src in &dataset.sources {
+        for (g, entities) in &selected_entities_by_slice {
+            if g.source.contains(&src.url) {
+                for f in &src.facts {
+                    if entities.contains(&f.subject) {
+                        kb.insert(*f);
+                    }
+                }
+            }
+        }
+    }
+
+    let remaining: Vec<GoldSlice> = dataset
+        .truth
+        .gold
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !selected.contains(i))
+        .map(|(_, g)| g.clone())
+        .collect();
+    (kb, remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_extract::slim::{generate, SlimConfig, SlimFlavor};
+
+    fn tiny() -> Dataset {
+        generate(&SlimConfig {
+            flavor: SlimFlavor::ReVerb,
+            scale: 0.002,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn zero_coverage_changes_nothing() {
+        let ds = tiny();
+        let (kb, remaining) = coverage_adjusted(&ds, 0.0, 1);
+        assert_eq!(kb.len(), ds.kb.len());
+        assert_eq!(remaining.len(), ds.truth.gold.len());
+    }
+
+    #[test]
+    fn full_coverage_loads_everything_and_empties_gold() {
+        let ds = tiny();
+        let (kb, remaining) = coverage_adjusted(&ds, 1.0, 1);
+        assert!(remaining.is_empty());
+        assert!(kb.len() > ds.kb.len());
+    }
+
+    #[test]
+    fn partial_coverage_splits_gold() {
+        let ds = tiny();
+        let total = ds.truth.gold.len();
+        let (kb, remaining) = coverage_adjusted(&ds, 0.4, 2);
+        let expected_selected = (total as f64 * 0.4).round() as usize;
+        assert_eq!(remaining.len(), total - expected_selected);
+        assert!(kb.len() > 0);
+        // Facts of selected slices are now known.
+        let selected: Vec<&GoldSlice> = ds
+            .truth
+            .gold
+            .iter()
+            .filter(|g| !remaining.iter().any(|r| r.description == g.description))
+            .collect();
+        let mut checked = 0;
+        for src in &ds.sources {
+            for g in &selected {
+                if g.source.contains(&src.url) {
+                    for f in &src.facts {
+                        if g.entities.binary_search(&f.subject).is_ok() {
+                            assert!(kb.contains(f), "selected slice fact must be in KB");
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "sanity: some facts verified");
+    }
+
+    #[test]
+    fn different_seeds_select_different_subsets() {
+        let ds = tiny();
+        let (_, r1) = coverage_adjusted(&ds, 0.5, 1);
+        let (_, r2) = coverage_adjusted(&ds, 0.5, 99);
+        let d1: Vec<&str> = r1.iter().map(|g| g.description.as_str()).collect();
+        let d2: Vec<&str> = r2.iter().map(|g| g.description.as_str()).collect();
+        assert_ne!(d1, d2, "random selection should differ across seeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage must be in [0, 1]")]
+    fn rejects_out_of_range_coverage() {
+        let ds = tiny();
+        let _ = coverage_adjusted(&ds, 1.5, 0);
+    }
+}

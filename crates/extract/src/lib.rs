@@ -1,0 +1,40 @@
+//! # midas-extract — automated-extraction simulation and corpus generators
+//!
+//! MIDAS consumes the output of large-scale automated knowledge-extraction
+//! pipelines (KnowledgeVault, ReVerb, NELL in the paper's evaluation). Those
+//! datasets are proprietary or impractically large, so this crate builds
+//! their closest synthetic equivalents:
+//!
+//! * [`pipeline`] — a noisy extraction simulator: given the "true" facts of
+//!   a page it produces confidence-scored extractions with configurable
+//!   recall and noise, mimicking the ≥ 0.7-confidence filtering the paper
+//!   applies to KnowledgeVault (and ≥ 0.75 for ReVerb/NELL).
+//! * [`synthetic`] — the §IV-D generator behind Figure 11 (k slices with
+//!   5-condition selection rules, m optimal, n facts, 0.95/0.05 inclusion
+//!   probabilities, 95 % of non-optimal facts pre-loaded into the KB).
+//! * [`slim`] — ReVerb-Slim / NELL-Slim: 100 sources, 50 of which contain at
+//!   least one planted high-profit slice (Figures 8 and 9).
+//! * [`reverb`] / [`nell`] — full-shape OpenIE / ClosedIE corpora matching
+//!   the Figure 7 statistics at a configurable scale (Figure 10).
+//! * [`kvault`] — a KnowledgeVault-like multi-domain corpus with the six
+//!   verticals of Figure 3 planted, against a Freebase-like KB that misses
+//!   them.
+//!
+//! Every generator is fully deterministic under a caller-supplied seed and
+//! returns a [`Dataset`]: the per-source facts, the knowledge base to
+//! augment, the interner, and machine-readable ground truth
+//! ([`GroundTruth`]) for evaluation.
+
+#![warn(missing_docs)]
+
+pub mod kvault;
+pub mod model;
+pub mod nell;
+pub mod pipeline;
+pub mod reverb;
+pub mod slim;
+pub mod synthetic;
+pub mod vertical;
+
+pub use model::{Dataset, Extraction, GoldSlice, GroundTruth};
+pub use pipeline::ExtractionSim;

@@ -1,0 +1,216 @@
+//! Shared data model of generated corpora.
+
+use midas_core::SourceFacts;
+use midas_kb::fnv::FnvHashSet;
+use midas_kb::{DatasetStats, Fact, Interner, KnowledgeBase, Symbol};
+use midas_weburl::SourceUrl;
+
+/// One confidence-scored extraction, as an automated pipeline emits it.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// The extracted triple.
+    pub fact: Fact,
+    /// The page it was extracted from.
+    pub url: SourceUrl,
+    /// Pipeline confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Ground truth: whether the extraction is actually correct (used only
+    /// by tests and precision reports, never by the algorithms).
+    pub is_correct: bool,
+}
+
+/// A slice of the ground truth: what an ideal system should report.
+#[derive(Debug, Clone)]
+pub struct GoldSlice {
+    /// The source the slice should be reported at.
+    pub source: SourceUrl,
+    /// Defining properties, sorted.
+    pub properties: Vec<(Symbol, Symbol)>,
+    /// Entity extent, sorted.
+    pub entities: Vec<Symbol>,
+    /// Human-readable description ("US golf courses", …).
+    pub description: String,
+}
+
+impl GoldSlice {
+    /// Jaccard similarity between this gold slice's entity set and a
+    /// candidate entity set (both sorted).
+    pub fn jaccard_entities(&self, other: &[Symbol]) -> f64 {
+        if self.entities.is_empty() && other.is_empty() {
+            return 1.0;
+        }
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entities.len() && j < other.len() {
+            match self.entities[i].cmp(&other[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        inter as f64 / (self.entities.len() + other.len() - inter) as f64
+    }
+}
+
+/// Machine-readable ground truth attached to a generated dataset.
+#[derive(Debug, Default)]
+pub struct GroundTruth {
+    /// The slices an ideal system should report (the silver standard when
+    /// produced by the slim generators).
+    pub gold: Vec<GoldSlice>,
+    /// Entities whose pages carry homogeneous, structured information —
+    /// drives the simulated R_anno labeling of §IV-B.
+    pub homogeneous_entities: FnvHashSet<Symbol>,
+}
+
+impl GroundTruth {
+    /// Whether an entity's page is annotator-friendly.
+    pub fn is_homogeneous(&self, e: Symbol) -> bool {
+        self.homogeneous_entities.contains(&e)
+    }
+}
+
+/// A generated corpus: everything an experiment run needs.
+#[derive(Debug)]
+pub struct Dataset {
+    /// Human-readable dataset name ("reverb-slim", …).
+    pub name: String,
+    /// The term interner shared by facts, KB, and ground truth.
+    pub terms: Interner,
+    /// Per-source extracted fact sets (already confidence-filtered).
+    pub sources: Vec<SourceFacts>,
+    /// The knowledge base to augment.
+    pub kb: KnowledgeBase,
+    /// Evaluation ground truth.
+    pub truth: GroundTruth,
+}
+
+impl Dataset {
+    /// Figure 7-style statistics of the extracted corpus.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(self.sources.iter().flat_map(|s| {
+            let url = s.url.as_str();
+            s.facts.iter().map(move |&f| (f, url))
+        }))
+    }
+
+    /// Total number of extracted facts across sources (with multiplicity).
+    pub fn total_facts(&self) -> usize {
+        self.sources.iter().map(SourceFacts::len).sum()
+    }
+
+    /// Restricts the dataset to the first `ratio` fraction of its sources
+    /// (the "input ratio" axis of Figure 10b/d). Ground truth is untouched.
+    pub fn with_input_ratio(&self, ratio: f64) -> Vec<SourceFacts> {
+        let n = ((self.sources.len() as f64) * ratio).round() as usize;
+        self.sources.iter().take(n.max(1)).cloned().collect()
+    }
+}
+
+/// Converts confidence-scored extractions to per-source fact sets, keeping
+/// only extractions at or above `min_confidence` — the paper's "correct
+/// facts" filter (0.7 for KnowledgeVault, 0.75 for ReVerb/NELL).
+pub fn extractions_to_sources(
+    extractions: &[Extraction],
+    min_confidence: f64,
+) -> Vec<SourceFacts> {
+    use std::collections::BTreeMap;
+    let mut by_url: BTreeMap<&SourceUrl, Vec<Fact>> = BTreeMap::new();
+    for e in extractions {
+        if e.confidence >= min_confidence {
+            by_url.entry(&e.url).or_default().push(e.fact);
+        }
+    }
+    by_url
+        .into_iter()
+        .map(|(url, facts)| SourceFacts::new(url.clone(), facts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extractions_filter_by_confidence() {
+        let mut t = Interner::new();
+        let url = SourceUrl::parse("http://a.com/x").unwrap();
+        let f1 = Fact::intern(&mut t, "a", "p", "1");
+        let f2 = Fact::intern(&mut t, "b", "p", "2");
+        let extractions = vec![
+            Extraction { fact: f1, url: url.clone(), confidence: 0.9, is_correct: true },
+            Extraction { fact: f2, url: url.clone(), confidence: 0.5, is_correct: false },
+        ];
+        let sources = extractions_to_sources(&extractions, 0.7);
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].len(), 1);
+        assert_eq!(sources[0].facts[0], f1);
+    }
+
+    #[test]
+    fn gold_slice_jaccard() {
+        let mut t = Interner::new();
+        let e: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
+        let mut entities = e.clone();
+        entities.sort_unstable();
+        let gold = GoldSlice {
+            source: SourceUrl::parse("http://a.com").unwrap(),
+            properties: vec![],
+            entities,
+            description: "test".into(),
+        };
+        let mut two = vec![e[0], e[1]];
+        two.sort_unstable();
+        assert!((gold.jaccard_entities(&two) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(gold.jaccard_entities(&[]), 0.0);
+    }
+
+    #[test]
+    fn dataset_stats_count_urls() {
+        let mut t = Interner::new();
+        let f1 = Fact::intern(&mut t, "a", "p", "1");
+        let f2 = Fact::intern(&mut t, "b", "q", "2");
+        let ds = Dataset {
+            name: "test".into(),
+            terms: t,
+            sources: vec![
+                SourceFacts::new(SourceUrl::parse("http://a.com/1").unwrap(), vec![f1]),
+                SourceFacts::new(SourceUrl::parse("http://a.com/2").unwrap(), vec![f2]),
+            ],
+            kb: KnowledgeBase::new(),
+            truth: GroundTruth::default(),
+        };
+        let s = ds.stats();
+        assert_eq!(s.num_facts, 2);
+        assert_eq!(s.num_urls, 2);
+        assert_eq!(s.num_predicates, 2);
+        assert_eq!(ds.total_facts(), 2);
+    }
+
+    #[test]
+    fn input_ratio_takes_prefix() {
+        let mut t = Interner::new();
+        let sources: Vec<SourceFacts> = (0..10)
+            .map(|i| {
+                SourceFacts::new(
+                    SourceUrl::parse(&format!("http://a.com/{i}")).unwrap(),
+                    vec![Fact::intern(&mut t, &format!("e{i}"), "p", "1")],
+                )
+            })
+            .collect();
+        let ds = Dataset {
+            name: "t".into(),
+            terms: t,
+            sources,
+            kb: KnowledgeBase::new(),
+            truth: GroundTruth::default(),
+        };
+        assert_eq!(ds.with_input_ratio(0.5).len(), 5);
+        assert_eq!(ds.with_input_ratio(0.0).len(), 1, "at least one source");
+        assert_eq!(ds.with_input_ratio(1.0).len(), 10);
+    }
+}

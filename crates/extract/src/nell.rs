@@ -1,0 +1,208 @@
+//! NELL-shaped full corpus (Figure 10c/d).
+//!
+//! NELL is a ClosedIE system: 2.9 M facts over only 330 ontology predicates
+//! and 340 K URLs (Figure 7). Crucially for Figure 10d, *"the NELL dataset
+//! contains one source that is disproportionally larger, and dominates the
+//! running time of AGGCLUSTER"* — this generator plants exactly such a giant
+//! source.
+
+use crate::model::{Dataset, GroundTruth};
+use crate::vertical::{plant_noise_source, plant_vertical, CorpusBuilder, VerticalSpec};
+use midas_kb::{Interner, KnowledgeBase, Ontology};
+use midas_weburl::SourceUrl;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NellConfig {
+    /// Scale relative to the real dataset (1.0 = 2.9 M facts). The default
+    /// 0.01 produces ≈ 29 K facts.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of entities in the disproportionately large source.
+    pub giant_source_entities: usize,
+}
+
+impl Default for NellConfig {
+    fn default() -> Self {
+        NellConfig {
+            scale: 0.01,
+            seed: 42,
+            giant_source_entities: 2_000,
+        }
+    }
+}
+
+/// NELL-ish category names.
+const CATEGORIES: &[&str] = &[
+    "athlete", "politician", "company", "river", "disease", "chemical", "university", "bird",
+    "vehicle", "musicartist", "sportsteam", "writer",
+];
+
+/// Builds a NELL-style ontology: a root, the categories above, and ~330
+/// predicates distributed over them.
+pub fn nell_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    let root = o.add_category("everything", None);
+    let cats: Vec<_> = CATEGORIES
+        .iter()
+        .map(|c| o.add_category(c, Some(root)))
+        .collect();
+    o.add_predicate("generalizations", root);
+    o.add_predicate("concept:latitudelongitude", root);
+    for (i, &cat) in cats.iter().enumerate() {
+        // ~27 predicates per category ≈ 330 total.
+        for p in 0..27 {
+            o.add_predicate(&format!("concept:{}attr{p}", CATEGORIES[i]), cat);
+        }
+    }
+    o
+}
+
+/// Generates the NELL-shaped corpus (empty knowledge base, per §IV-B).
+pub fn generate(cfg: &NellConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut terms = Interner::new();
+    let mut builder = CorpusBuilder::new();
+    let mut truth = GroundTruth::default();
+    let ontology = nell_ontology();
+
+    let target_facts = 2_900_000.0 * cfg.scale;
+
+    // ClosedIE noise predicates: drawn from the ontology, not invented.
+    let noise_preds: Vec<_> = ontology
+        .predicates()
+        .map(|p| terms.intern(ontology.predicate_name(p)))
+        .collect();
+
+    // The giant source (a Wikipedia-like aggregator) takes a large share of
+    // the corpus, concentrated under one domain.
+    {
+        let domain = SourceUrl::parse("http://giant.aggregator.org").expect("static URL parses");
+        let section = domain.child("wiki");
+        let spec = VerticalSpec {
+            name: "wikientry".to_owned(),
+            description: "aggregated encyclopedia entries".to_owned(),
+            defining: vec![(
+                "generalizations".to_owned(),
+                "concept/encyclopediaentry".to_owned(),
+            )],
+            extra_predicates: (0..8)
+                .map(|i| format!("concept:{}attr{i}", CATEGORIES[i % CATEGORIES.len()]))
+                .collect(),
+            num_entities: cfg.giant_source_entities,
+            extra_facts_per_entity: (2, 6),
+            // All entities on one page: the giant is a *single* source, which
+            // is what makes AGGCLUSTER's quadratic cost cliff in Figure 10d.
+            entities_per_page: cfg.giant_source_entities,
+        };
+        plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+    }
+
+    // Structured category sites.
+    let good_domains = ((target_facts * 0.4 / 1_500.0).ceil() as usize).max(4);
+    for g in 0..good_domains {
+        let cat = CATEGORIES[g % CATEGORIES.len()];
+        let domain = SourceUrl::parse(&format!("http://www.{cat}-site{g}.org"))
+            .expect("static URL parses");
+        let section = domain.child("profiles");
+        let spec = VerticalSpec {
+            name: format!("{cat}{g}"),
+            description: format!("profiles of {cat}s (domain {g})"),
+            defining: vec![
+                ("generalizations".to_owned(), format!("concept/{cat}")),
+                (format!("concept:{cat}attr0"), format!("concept/site{g}")),
+            ],
+            extra_predicates: (1..5).map(|i| format!("concept:{cat}attr{i}")).collect(),
+            num_entities: 240,
+            extra_facts_per_entity: (1, 4),
+            entities_per_page: 6,
+        };
+        plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+    }
+
+    // Noise tail with ontology predicates.
+    let noise_domains = ((target_facts * 0.35 / 200.0).ceil() as usize).max(8);
+    for n in 0..noise_domains {
+        let domain = SourceUrl::parse(&format!("http://crawl{n:04}.pages.net"))
+            .expect("static URL parses");
+        let entities = rng.gen_range(40..120usize);
+        plant_noise_source(&mut rng, &mut terms, &mut builder, &domain, entities, &noise_preds, 2);
+    }
+
+    Dataset {
+        name: "nell".to_owned(),
+        terms,
+        sources: builder.finish(),
+        kb: KnowledgeBase::new(),
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        generate(&NellConfig {
+            scale: 0.001,
+            seed: 3,
+            giant_source_entities: 400,
+        })
+    }
+
+    #[test]
+    fn predicate_vocabulary_is_closed() {
+        let ds = tiny();
+        let stats = ds.stats();
+        assert!(
+            stats.num_predicates <= 340,
+            "ClosedIE: got {} predicates",
+            stats.num_predicates
+        );
+    }
+
+    #[test]
+    fn one_source_dominates() {
+        let ds = tiny();
+        let mut sizes: Vec<(usize, &str)> = ds
+            .sources
+            .iter()
+            .map(|s| (s.len(), s.url.as_str()))
+            .collect();
+        sizes.sort_by(|a, b| b.0.cmp(&a.0));
+        assert!(
+            sizes[0].1.contains("giant.aggregator"),
+            "largest page-level source is the aggregator, got {}",
+            sizes[0].1
+        );
+        assert!(
+            sizes[0].0 > sizes[1].0 * 3,
+            "the giant source must dominate: {} vs {}",
+            sizes[0].0,
+            sizes[1].0
+        );
+    }
+
+    #[test]
+    fn ontology_has_about_330_predicates() {
+        let o = nell_ontology();
+        assert!((300..=340).contains(&o.num_predicates()), "{}", o.num_predicates());
+        assert_eq!(o.num_categories(), CATEGORIES.len() + 1);
+    }
+
+    #[test]
+    fn gold_slices_present() {
+        let ds = tiny();
+        assert!(ds.truth.gold.len() >= 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.total_facts(), b.total_facts());
+    }
+}

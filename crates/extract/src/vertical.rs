@@ -1,0 +1,264 @@
+//! Shared corpus-building blocks: planted verticals and noise sources.
+//!
+//! A *vertical* is a coherent group of entities sharing defining properties
+//! ("US golf courses", "rocket families sponsored by NASA"). Generators
+//! plant verticals into web domains to create ground-truth slices, and
+//! surround them with *noise sources* (forum/news-like pages of loosely
+//! related facts) that no good slice should be found in.
+
+use crate::model::{GoldSlice, GroundTruth};
+use midas_core::SourceFacts;
+use midas_kb::{Fact, Interner, Symbol};
+use midas_weburl::SourceUrl;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Accumulates facts per page URL and produces [`SourceFacts`].
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    pages: BTreeMap<SourceUrl, Vec<Fact>>,
+}
+
+impl CorpusBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one fact extracted from `url`.
+    pub fn add(&mut self, url: &SourceUrl, fact: Fact) {
+        self.pages.entry(url.clone()).or_default().push(fact);
+    }
+
+    /// Number of pages so far.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Finishes into per-source fact sets.
+    pub fn finish(self) -> Vec<SourceFacts> {
+        self.pages
+            .into_iter()
+            .map(|(url, facts)| SourceFacts::new(url, facts))
+            .collect()
+    }
+}
+
+/// Specification of one vertical to plant.
+#[derive(Debug, Clone)]
+pub struct VerticalSpec {
+    /// Short identifier used in entity names ("golf_course").
+    pub name: String,
+    /// Human-readable description ("US golf courses").
+    pub description: String,
+    /// Defining `(predicate, value)` properties shared by every entity.
+    pub defining: Vec<(String, String)>,
+    /// Additional predicates entities may carry (with per-entity values).
+    pub extra_predicates: Vec<String>,
+    /// How many entities to generate.
+    pub num_entities: usize,
+    /// Inclusive range of extra facts per entity.
+    pub extra_facts_per_entity: (usize, usize),
+    /// Entities per page (1 = one detail page per entity).
+    pub entities_per_page: usize,
+}
+
+impl VerticalSpec {
+    /// A small default spec for tests.
+    pub fn small(name: &str, defining: &[(&str, &str)]) -> Self {
+        VerticalSpec {
+            name: name.to_owned(),
+            description: name.to_owned(),
+            defining: defining
+                .iter()
+                .map(|&(p, v)| (p.to_owned(), v.to_owned()))
+                .collect(),
+            extra_predicates: vec!["location".into(), "opened".into(), "rating".into()],
+            num_entities: 20,
+            extra_facts_per_entity: (1, 3),
+            entities_per_page: 1,
+        }
+    }
+}
+
+/// Plants a vertical under `section` (e.g. `https://golfadvisor.com/course-directory`).
+///
+/// Every entity receives all defining properties plus a few extra facts;
+/// entities are spread over pages under the section URL. Entities are
+/// registered as homogeneous in `truth`, and a [`GoldSlice`] describing the
+/// vertical at the section granularity is appended to `truth.gold`.
+///
+/// Returns all facts generated for the vertical (so callers can decide which
+/// go into the knowledge base).
+pub fn plant_vertical(
+    rng: &mut StdRng,
+    terms: &mut Interner,
+    builder: &mut CorpusBuilder,
+    truth: &mut GroundTruth,
+    section: &SourceUrl,
+    spec: &VerticalSpec,
+) -> Vec<Fact> {
+    let defining: Vec<(Symbol, Symbol)> = spec
+        .defining
+        .iter()
+        .map(|(p, v)| (terms.intern(p), terms.intern(v)))
+        .collect();
+    let extra: Vec<Symbol> = spec
+        .extra_predicates
+        .iter()
+        .map(|p| terms.intern(p))
+        .collect();
+
+    let mut all_facts = Vec::new();
+    let mut entities = Vec::with_capacity(spec.num_entities);
+    for i in 0..spec.num_entities {
+        let subject = terms.intern(&format!("{}_{i}", spec.name));
+        entities.push(subject);
+        truth.homogeneous_entities.insert(subject);
+        let page_idx = i / spec.entities_per_page.max(1);
+        let page = section.child(&format!("{}-{page_idx}.html", spec.name));
+        for &(p, v) in &defining {
+            let f = Fact::new(subject, p, v);
+            builder.add(&page, f);
+            all_facts.push(f);
+        }
+        let (lo, hi) = spec.extra_facts_per_entity;
+        let n_extra = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+        for k in 0..n_extra {
+            if extra.is_empty() {
+                break;
+            }
+            let p = extra[k % extra.len()];
+            let v = terms.intern(&format!("{}_val_{}", spec.name, rng.gen_range(0..50u32)));
+            let f = Fact::new(subject, p, v);
+            builder.add(&page, f);
+            all_facts.push(f);
+        }
+    }
+    let mut props: Vec<(Symbol, Symbol)> = defining;
+    props.sort_unstable();
+    entities.sort_unstable();
+    entities.dedup();
+    truth.gold.push(GoldSlice {
+        source: section.clone(),
+        properties: props,
+        entities,
+        description: spec.description.clone(),
+    });
+    all_facts
+}
+
+/// Plants a forum/news-like noise source: `num_entities` entities with
+/// loosely related facts — every object value is (near-)unique, so no
+/// property is shared by enough entities to form a worthwhile slice.
+pub fn plant_noise_source(
+    rng: &mut StdRng,
+    terms: &mut Interner,
+    builder: &mut CorpusBuilder,
+    base: &SourceUrl,
+    num_entities: usize,
+    predicate_pool: &[Symbol],
+    entities_per_page: usize,
+) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for i in 0..num_entities {
+        let subject = terms.intern(&format!("{}_post_{i}", base.host()));
+        let page = base.child(&format!("thread-{}.html", i / entities_per_page.max(1)));
+        let n_facts = rng.gen_range(1..=4usize);
+        for _ in 0..n_facts {
+            let p = predicate_pool[rng.gen_range(0..predicate_pool.len())];
+            let v = terms.intern(&format!("misc_{}", rng.gen::<u32>()));
+            let f = Fact::new(subject, p, v);
+            builder.add(&page, f);
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// Builds a pool of `n` predicate symbols with the given prefix.
+pub fn predicate_pool(terms: &mut Interner, prefix: &str, n: usize) -> Vec<Symbol> {
+    (0..n)
+        .map(|i| terms.intern(&format!("{prefix}_{i}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_vertical_produces_gold_slice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut terms = Interner::new();
+        let mut builder = CorpusBuilder::new();
+        let mut truth = GroundTruth::default();
+        let section = SourceUrl::parse("https://golfadvisor.com/course-directory").unwrap();
+        let spec = VerticalSpec::small("golf", &[("type", "golf_course"), ("country", "USA")]);
+        let facts = plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+        assert_eq!(truth.gold.len(), 1);
+        let gold = &truth.gold[0];
+        assert_eq!(gold.entities.len(), 20);
+        assert_eq!(gold.properties.len(), 2);
+        assert!(facts.len() >= 20 * 3, "2 defining + ≥1 extra per entity");
+        assert!(truth.homogeneous_entities.len() == 20);
+        let sources = builder.finish();
+        assert!(!sources.is_empty());
+        for s in &sources {
+            assert!(section.contains(&s.url));
+        }
+    }
+
+    #[test]
+    fn every_planted_entity_has_all_defining_properties() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut terms = Interner::new();
+        let mut builder = CorpusBuilder::new();
+        let mut truth = GroundTruth::default();
+        let section = SourceUrl::parse("https://x.com/s").unwrap();
+        let spec = VerticalSpec::small("boardgame", &[("type", "board_game")]);
+        let facts = plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+        let type_sym = terms.get("type").unwrap();
+        let bg = terms.get("board_game").unwrap();
+        for &e in &truth.gold[0].entities {
+            assert!(facts
+                .iter()
+                .any(|f| f.subject == e && f.predicate == type_sym && f.object == bg));
+        }
+    }
+
+    #[test]
+    fn noise_source_has_no_shared_object_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut terms = Interner::new();
+        let mut builder = CorpusBuilder::new();
+        let base = SourceUrl::parse("http://blogs.example.com").unwrap();
+        let pool = predicate_pool(&mut terms, "said", 10);
+        let facts =
+            plant_noise_source(&mut rng, &mut terms, &mut builder, &base, 50, &pool, 5);
+        assert!(!facts.is_empty());
+        // Value collisions should be essentially absent.
+        let mut values: Vec<Symbol> = facts.iter().map(|f| f.object).collect();
+        values.sort_unstable();
+        let before = values.len();
+        values.dedup();
+        assert!(values.len() as f64 > before as f64 * 0.95);
+    }
+
+    #[test]
+    fn corpus_builder_groups_by_page() {
+        let mut terms = Interner::new();
+        let mut b = CorpusBuilder::new();
+        let u1 = SourceUrl::parse("http://a.com/1").unwrap();
+        let u2 = SourceUrl::parse("http://a.com/2").unwrap();
+        b.add(&u1, Fact::intern(&mut terms, "x", "p", "1"));
+        b.add(&u2, Fact::intern(&mut terms, "y", "p", "2"));
+        b.add(&u1, Fact::intern(&mut terms, "x", "q", "3"));
+        assert_eq!(b.num_pages(), 2);
+        let sources = b.finish();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources.iter().map(|s| s.len()).sum::<usize>(), 3);
+    }
+}

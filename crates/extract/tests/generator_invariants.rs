@@ -1,0 +1,150 @@
+//! Cross-generator invariants: every corpus generator must produce
+//! internally consistent datasets (ground truth grounded in the facts,
+//! deterministic under seeds, well-formed URLs).
+
+use midas_extract::kvault::{self, KVaultConfig};
+use midas_extract::nell::{self, NellConfig};
+use midas_extract::reverb::{self, ReverbConfig};
+use midas_extract::slim::{self, SlimConfig, SlimFlavor};
+use midas_extract::synthetic::{self, SyntheticConfig};
+use midas_extract::Dataset;
+use midas_kb::fnv::FnvHashSet;
+use midas_kb::Symbol;
+
+fn all_datasets() -> Vec<Dataset> {
+    vec![
+        synthetic::generate(&SyntheticConfig::new(1_500, 20, 5, 77)),
+        slim::generate(&SlimConfig {
+            flavor: SlimFlavor::ReVerb,
+            scale: 0.002,
+            seed: 77,
+        }),
+        slim::generate(&SlimConfig {
+            flavor: SlimFlavor::Nell,
+            scale: 0.002,
+            seed: 77,
+        }),
+        reverb::generate(&ReverbConfig {
+            scale: 0.0004,
+            seed: 77,
+        }),
+        nell::generate(&NellConfig {
+            scale: 0.001,
+            seed: 77,
+            giant_source_entities: 200,
+        }),
+        kvault::generate(&KVaultConfig {
+            scale: 0.15,
+            seed: 77,
+        }),
+    ]
+}
+
+/// Every gold slice's entities actually occur as subjects in sources under
+/// the slice's URL.
+#[test]
+fn gold_entities_are_grounded_in_their_sources() {
+    for ds in all_datasets() {
+        for gold in &ds.truth.gold {
+            let subjects: FnvHashSet<Symbol> = ds
+                .sources
+                .iter()
+                .filter(|s| gold.source.contains(&s.url))
+                .flat_map(|s| s.facts.iter().map(|f| f.subject))
+                .collect();
+            for &e in &gold.entities {
+                assert!(
+                    subjects.contains(&e),
+                    "{}: gold entity missing from source scope of {}",
+                    ds.name,
+                    gold.source
+                );
+            }
+        }
+    }
+}
+
+/// Homogeneous entities form a superset of all gold entities (planted
+/// verticals are, by construction, annotator-friendly).
+#[test]
+fn gold_entities_are_homogeneous() {
+    for ds in all_datasets() {
+        for gold in &ds.truth.gold {
+            for &e in &gold.entities {
+                assert!(
+                    ds.truth.is_homogeneous(e),
+                    "{}: gold entity not marked homogeneous",
+                    ds.name
+                );
+            }
+        }
+    }
+}
+
+/// No generator emits empty sources, and every source URL is non-domain or
+/// domain but well-formed (reparsable).
+#[test]
+fn sources_are_nonempty_and_urls_reparse() {
+    for ds in all_datasets() {
+        assert!(!ds.sources.is_empty(), "{}", ds.name);
+        for s in &ds.sources {
+            assert!(!s.is_empty(), "{}: empty source {}", ds.name, s.url);
+            let reparsed = midas_weburl::SourceUrl::parse(s.url.as_str()).unwrap();
+            assert_eq!(reparsed, s.url, "{}: URL not canonical", ds.name);
+        }
+    }
+}
+
+/// Generation is deterministic: same config → byte-identical fact counts,
+/// KB sizes, and gold structure.
+#[test]
+fn generators_are_deterministic() {
+    let a = all_datasets();
+    let b = all_datasets();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.total_facts(), y.total_facts(), "{}", x.name);
+        assert_eq!(x.kb.len(), y.kb.len(), "{}", x.name);
+        assert_eq!(x.truth.gold.len(), y.truth.gold.len(), "{}", x.name);
+        for (gx, gy) in x.truth.gold.iter().zip(&y.truth.gold) {
+            assert_eq!(gx.entities, gy.entities, "{}", x.name);
+            assert_eq!(gx.source, gy.source, "{}", x.name);
+        }
+    }
+}
+
+/// Gold slices carry at least one new fact w.r.t. the dataset's KB — a gold
+/// slice that the KB already covers would be meaningless.
+#[test]
+fn gold_slices_have_new_facts() {
+    for ds in all_datasets() {
+        for gold in &ds.truth.gold {
+            let entity_set: FnvHashSet<Symbol> = gold.entities.iter().copied().collect();
+            let new: usize = ds
+                .sources
+                .iter()
+                .filter(|s| gold.source.contains(&s.url))
+                .flat_map(|s| s.facts.iter())
+                .filter(|f| entity_set.contains(&f.subject) && ds.kb.is_new(f))
+                .count();
+            assert!(
+                new > 0,
+                "{}: gold slice {} has no new facts",
+                ds.name,
+                gold.description
+            );
+        }
+    }
+}
+
+/// The stats of every dataset are self-consistent.
+#[test]
+fn stats_are_consistent() {
+    for ds in all_datasets() {
+        let stats = ds.stats();
+        assert!(stats.num_facts > 0);
+        assert!(stats.num_predicates > 0);
+        assert!(stats.num_subjects > 0);
+        assert_eq!(stats.num_urls, ds.sources.len());
+        assert!(stats.num_facts <= ds.total_facts(), "dedup only shrinks");
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the knowledge-base substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while loading or saving knowledge-base files.
+#[derive(Debug)]
+pub enum KbError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in a triple file.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::Io(e) => write!(f, "I/O error: {e}"),
+            KbError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KbError::Io(e) => Some(e),
+            KbError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for KbError {
+    fn from(e: io::Error) -> Self {
+        KbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_number() {
+        let e = KbError::Parse {
+            line: 17,
+            message: "expected three tab-separated fields".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("17"));
+        assert!(s.contains("three tab-separated"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let e: KbError = io_err.into();
+        assert!(matches!(e, KbError::Io(_)));
+        assert!(e.to_string().contains("missing"));
+    }
+}

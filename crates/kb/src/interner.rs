@@ -1,0 +1,248 @@
+//! String interning.
+//!
+//! Every RDF term (subject, predicate, object) and every URL that flows
+//! through the system is interned exactly once into a [`Symbol`] — a compact
+//! `u32` handle. Slices, fact tables, and indexes then operate on `Copy`
+//! integers instead of heap strings, which is what makes the slice-hierarchy
+//! construction of MIDASalg cheap enough to run over millions of facts.
+
+use crate::fnv::FnvHashMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A compact handle to an interned string.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; comparing symbols from different interners is a logic error (but not
+/// memory-unsafe). Symbols order by insertion index, *not* lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from a raw index.
+    ///
+    /// Only indices previously returned by [`Symbol::index`] for the same
+    /// interner are valid; resolving a fabricated symbol panics.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Symbol(u32::try_from(index).expect("interner overflow: more than u32::MAX symbols"))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Interning requires `&mut self`; resolving is `&self` and returns a
+/// borrowed `&str`. For cross-thread use wrap it in a [`SharedInterner`].
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: FnvHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with capacity for `n` distinct strings.
+    pub fn with_capacity(n: usize) -> Self {
+        Interner {
+            map: FnvHashMap::with_capacity_and_hasher(n, Default::default()),
+            strings: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `s`, returning its (stable) symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.strings.len());
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it was interned before.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol::from_index(i), s.as_ref()))
+    }
+}
+
+/// A clonable, thread-safe interner handle.
+///
+/// The multi-source framework shards work across threads; all shards intern
+/// into the same table so that symbols remain comparable across sources.
+#[derive(Debug, Clone, Default)]
+pub struct SharedInterner(Arc<RwLock<Interner>>);
+
+impl SharedInterner {
+    /// Creates an empty shared interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing interner.
+    pub fn from_interner(inner: Interner) -> Self {
+        SharedInterner(Arc::new(RwLock::new(inner)))
+    }
+
+    /// Interns `s` (takes a read lock first for the common already-interned
+    /// case, upgrading to a write lock only on a miss).
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(sym) = self.0.read().get(s) {
+            return sym;
+        }
+        self.0.write().intern(s)
+    }
+
+    /// Returns the symbol for `s` if present.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.0.read().get(s)
+    }
+
+    /// Resolves `sym` to an owned string.
+    pub fn resolve(&self, sym: Symbol) -> String {
+        self.0.read().resolve(sym).to_owned()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.0.read().len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.read().is_empty()
+    }
+
+    /// Runs `f` with a shared reference to the underlying interner.
+    pub fn with<R>(&self, f: impl FnOnce(&Interner) -> R) -> R {
+        f(&self.0.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("NASA");
+        let b = i.intern("NASA");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let words = ["rocket_family", "space_program", "", "ünïcodé ✓"];
+        let syms: Vec<Symbol> = words.iter().map(|w| i.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            assert_eq!(i.resolve(*s), *w);
+        }
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered_by_insertion() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let c = i.intern("c");
+        let b = i.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert!(a < c && c < b, "symbol order is insertion order");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut i = Interner::new();
+        i.intern("one");
+        i.intern("two");
+        let collected: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn shared_interner_is_consistent_across_clones() {
+        let shared = SharedInterner::new();
+        let s1 = shared.intern("golf");
+        let clone = shared.clone();
+        let s2 = clone.intern("golf");
+        assert_eq!(s1, s2);
+        assert_eq!(shared.resolve(s1), "golf");
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn shared_interner_concurrent_interning_agrees() {
+        let shared = SharedInterner::new();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let sh = shared.clone();
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|k| sh.intern(&format!("key-{}", (k + t) % 50)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.len(), 50);
+    }
+}

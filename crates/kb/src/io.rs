@@ -1,0 +1,329 @@
+//! Reading and writing triple files.
+//!
+//! Two line-oriented formats are supported:
+//!
+//! * **TSV** — `subject \t predicate \t object` with backslash escapes for
+//!   tab, newline, and backslash inside terms. This is the working format of
+//!   the harness (fast, diff-friendly).
+//! * **N-Triples-like** — `<subject> <predicate> <object> .` with `%`-style
+//!   escapes for `<`, `>`, and `%` inside terms. Close enough to RDF
+//!   N-Triples to interoperate with simple tooling, without pulling in an
+//!   RDF dependency.
+//!
+//! Both readers intern terms into a caller-supplied [`Interner`], skip blank
+//! lines and `#` comments, and report malformed lines with their line number.
+
+use crate::error::KbError;
+use crate::fact::Fact;
+use crate::interner::Interner;
+use std::io::{BufRead, Write};
+
+fn escape_tsv(term: &str, out: &mut String) {
+    // A subject beginning with '#' would read back as a comment line.
+    if term.starts_with('#') {
+        out.push_str("\\#");
+        escape_tsv_rest(&term[1..], out);
+    } else {
+        escape_tsv_rest(term, out);
+    }
+}
+
+fn escape_tsv_rest(term: &str, out: &mut String) {
+    for ch in term.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape_tsv(field: &str, line: usize) -> Result<String, KbError> {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('#') => out.push('#'),
+            other => {
+                return Err(KbError::Parse {
+                    line,
+                    message: format!("invalid escape sequence \\{}", other.unwrap_or(' ')),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes facts as TSV lines.
+pub fn write_tsv<W: Write>(
+    mut w: W,
+    terms: &Interner,
+    facts: impl IntoIterator<Item = Fact>,
+) -> Result<(), KbError> {
+    let mut buf = String::new();
+    for f in facts {
+        buf.clear();
+        escape_tsv(terms.resolve(f.subject), &mut buf);
+        buf.push('\t');
+        escape_tsv(terms.resolve(f.predicate), &mut buf);
+        buf.push('\t');
+        escape_tsv(terms.resolve(f.object), &mut buf);
+        buf.push('\n');
+        w.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads TSV facts, interning terms into `terms`.
+pub fn read_tsv<R: BufRead>(r: R, terms: &mut Interner) -> Result<Vec<Fact>, KbError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let trimmed = line.trim_end_matches('\r');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let (s, p, o) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(s), Some(p), Some(o), None) => (s, p, o),
+            _ => {
+                return Err(KbError::Parse {
+                    line: lineno,
+                    message: "expected exactly three tab-separated fields".into(),
+                })
+            }
+        };
+        let s = unescape_tsv(s, lineno)?;
+        let p = unescape_tsv(p, lineno)?;
+        let o = unescape_tsv(o, lineno)?;
+        out.push(Fact::intern(terms, &s, &p, &o));
+    }
+    Ok(out)
+}
+
+fn escape_nt(term: &str, out: &mut String) {
+    for ch in term.chars() {
+        match ch {
+            '%' => out.push_str("%25"),
+            '<' => out.push_str("%3C"),
+            '>' => out.push_str("%3E"),
+            // The format is line-oriented, so line breaks must not survive
+            // into the output verbatim.
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape_nt(term: &str, line: usize) -> Result<String, KbError> {
+    let mut out = String::with_capacity(term.len());
+    let bytes = term.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 2 >= bytes.len() {
+                return Err(KbError::Parse {
+                    line,
+                    message: "truncated %-escape".into(),
+                });
+            }
+            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).map_err(|_| KbError::Parse {
+                line,
+                message: "non-UTF8 %-escape".into(),
+            })?;
+            let byte = u8::from_str_radix(hex, 16).map_err(|_| KbError::Parse {
+                line,
+                message: format!("invalid %-escape %{hex}"),
+            })?;
+            out.push(byte as char);
+            i += 3;
+        } else {
+            // Safe: we advance on char boundaries of the original string.
+            let ch = term[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Ok(out)
+}
+
+/// Writes facts in the N-Triples-like `<s> <p> <o> .` format.
+pub fn write_ntriples<W: Write>(
+    mut w: W,
+    terms: &Interner,
+    facts: impl IntoIterator<Item = Fact>,
+) -> Result<(), KbError> {
+    let mut buf = String::new();
+    for f in facts {
+        buf.clear();
+        buf.push('<');
+        escape_nt(terms.resolve(f.subject), &mut buf);
+        buf.push_str("> <");
+        escape_nt(terms.resolve(f.predicate), &mut buf);
+        buf.push_str("> <");
+        escape_nt(terms.resolve(f.object), &mut buf);
+        buf.push_str("> .\n");
+        w.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads N-Triples-like facts, interning terms into `terms`.
+pub fn read_ntriples<R: BufRead>(r: R, terms: &mut Interner) -> Result<Vec<Fact>, KbError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let body = trimmed.strip_suffix('.').map(str::trim_end).ok_or_else(|| {
+            KbError::Parse {
+                line: lineno,
+                message: "missing terminating '.'".into(),
+            }
+        })?;
+        let mut fields = Vec::with_capacity(3);
+        let mut rest = body;
+        for _ in 0..3 {
+            rest = rest.trim_start();
+            let inner = rest
+                .strip_prefix('<')
+                .ok_or_else(|| KbError::Parse {
+                    line: lineno,
+                    message: "expected '<'-delimited term".into(),
+                })?;
+            let end = inner.find('>').ok_or_else(|| KbError::Parse {
+                line: lineno,
+                message: "unterminated term (no '>')".into(),
+            })?;
+            fields.push(&inner[..end]);
+            rest = &inner[end + 1..];
+        }
+        if !rest.trim().is_empty() {
+            return Err(KbError::Parse {
+                line: lineno,
+                message: "trailing content after object term".into(),
+            });
+        }
+        let s = unescape_nt(fields[0], lineno)?;
+        let p = unescape_nt(fields[1], lineno)?;
+        let o = unescape_nt(fields[2], lineno)?;
+        out.push(Fact::intern(terms, &s, &p, &o));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_facts(terms: &mut Interner) -> Vec<Fact> {
+        vec![
+            Fact::intern(terms, "Project Mercury", "category", "space_program"),
+            Fact::intern(terms, "Atlas", "started", "1957"),
+            Fact::intern(terms, "weird\tterm", "has\nnewline", "back\\slash"),
+            Fact::intern(terms, "angle<bracket>", "percent%", "plain"),
+            Fact::intern(terms, "#leading-hash", "p", "#also-hash"),
+        ]
+    }
+
+    #[test]
+    fn tsv_round_trip_preserves_terms() {
+        let mut terms = Interner::new();
+        let facts = sample_facts(&mut terms);
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &terms, facts.iter().copied()).unwrap();
+        let mut terms2 = Interner::new();
+        let back = read_tsv(&buf[..], &mut terms2).unwrap();
+        assert_eq!(back.len(), facts.len());
+        for (a, b) in facts.iter().zip(&back) {
+            assert_eq!(terms.resolve(a.subject), terms2.resolve(b.subject));
+            assert_eq!(terms.resolve(a.predicate), terms2.resolve(b.predicate));
+            assert_eq!(terms.resolve(a.object), terms2.resolve(b.object));
+        }
+    }
+
+    #[test]
+    fn ntriples_round_trip_preserves_terms() {
+        let mut terms = Interner::new();
+        let facts = sample_facts(&mut terms);
+        let mut buf = Vec::new();
+        write_ntriples(&mut buf, &terms, facts.iter().copied()).unwrap();
+        let mut terms2 = Interner::new();
+        let back = read_ntriples(&buf[..], &mut terms2).unwrap();
+        assert_eq!(back.len(), facts.len());
+        for (a, b) in facts.iter().zip(&back) {
+            assert_eq!(terms.resolve(a.subject), terms2.resolve(b.subject));
+            assert_eq!(terms.resolve(a.predicate), terms2.resolve(b.predicate));
+            assert_eq!(terms.resolve(a.object), terms2.resolve(b.object));
+        }
+    }
+
+    #[test]
+    fn tsv_skips_comments_and_blanks() {
+        let input = b"# header\n\na\tp\t1\n";
+        let mut terms = Interner::new();
+        let facts = read_tsv(&input[..], &mut terms).unwrap();
+        assert_eq!(facts.len(), 1);
+    }
+
+    #[test]
+    fn tsv_rejects_wrong_field_count() {
+        let input = b"a\tb\n";
+        let mut terms = Interner::new();
+        let err = read_tsv(&input[..], &mut terms).unwrap_err();
+        assert!(matches!(err, KbError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn tsv_rejects_bad_escape() {
+        let input = b"a\\q\tb\tc\n";
+        let mut terms = Interner::new();
+        assert!(read_tsv(&input[..], &mut terms).is_err());
+    }
+
+    #[test]
+    fn ntriples_rejects_missing_dot() {
+        let input = b"<a> <b> <c>\n";
+        let mut terms = Interner::new();
+        assert!(read_ntriples(&input[..], &mut terms).is_err());
+    }
+
+    #[test]
+    fn ntriples_rejects_trailing_garbage() {
+        let input = b"<a> <b> <c> <d> .\n";
+        let mut terms = Interner::new();
+        assert!(read_ntriples(&input[..], &mut terms).is_err());
+    }
+
+    #[test]
+    fn ntriples_handles_crlf_and_comments() {
+        let input = b"# c\r\n<a> <b> <c> .\r\n";
+        let mut terms = Interner::new();
+        let facts = read_ntriples(&input[..], &mut terms).unwrap();
+        assert_eq!(facts.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let input = b"<a> <b> <c> .\nbroken line\n";
+        let mut terms = Interner::new();
+        match read_ntriples(&input[..], &mut terms).unwrap_err() {
+            KbError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A small ClosedIE ontology.
+//!
+//! The NELL corpus used in the paper's evaluation is a *ClosedIE* system:
+//! entities and predicates follow a fixed ontology (e.g.
+//! `concept/athlete/MichaelPhelps generalizations concept/athlete`). The
+//! NELL-like corpus generator needs such an ontology to draw typed entities
+//! and predicates from, so this module provides a minimal type hierarchy
+//! with typed predicates.
+
+use crate::fnv::FnvHashMap;
+
+/// Handle to a category (type) in the ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CategoryId(u32);
+
+/// Handle to a typed predicate in the ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredicateId(u32);
+
+#[derive(Debug, Clone)]
+struct Category {
+    name: String,
+    parent: Option<CategoryId>,
+    children: Vec<CategoryId>,
+}
+
+#[derive(Debug, Clone)]
+struct TypedPredicate {
+    name: String,
+    domain: CategoryId,
+}
+
+/// A type hierarchy with typed predicates, NELL-style.
+#[derive(Debug, Default, Clone)]
+pub struct Ontology {
+    categories: Vec<Category>,
+    predicates: Vec<TypedPredicate>,
+    by_name: FnvHashMap<String, CategoryId>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a category under `parent` (or as a root when `None`).
+    ///
+    /// Returns the existing id if a category with this name already exists.
+    pub fn add_category(&mut self, name: &str, parent: Option<CategoryId>) -> CategoryId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = CategoryId(u32::try_from(self.categories.len()).expect("ontology overflow"));
+        self.categories.push(Category {
+            name: name.to_owned(),
+            parent,
+            children: Vec::new(),
+        });
+        if let Some(p) = parent {
+            self.categories[p.0 as usize].children.push(id);
+        }
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds a predicate whose subject domain is `domain`.
+    pub fn add_predicate(&mut self, name: &str, domain: CategoryId) -> PredicateId {
+        let id = PredicateId(u32::try_from(self.predicates.len()).expect("ontology overflow"));
+        self.predicates.push(TypedPredicate {
+            name: name.to_owned(),
+            domain,
+        });
+        id
+    }
+
+    /// Category name.
+    pub fn category_name(&self, id: CategoryId) -> &str {
+        &self.categories[id.0 as usize].name
+    }
+
+    /// Predicate name.
+    pub fn predicate_name(&self, id: PredicateId) -> &str {
+        &self.predicates[id.0 as usize].name
+    }
+
+    /// Subject domain of a predicate.
+    pub fn predicate_domain(&self, id: PredicateId) -> CategoryId {
+        self.predicates[id.0 as usize].domain
+    }
+
+    /// Looks a category up by name.
+    pub fn category_by_name(&self, name: &str) -> Option<CategoryId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Direct children of a category.
+    pub fn children(&self, id: CategoryId) -> &[CategoryId] {
+        &self.categories[id.0 as usize].children
+    }
+
+    /// Parent of a category, if any.
+    pub fn parent(&self, id: CategoryId) -> Option<CategoryId> {
+        self.categories[id.0 as usize].parent
+    }
+
+    /// Whether `sub` is `sup` or one of its (transitive) descendants.
+    pub fn is_a(&self, sub: CategoryId, sup: CategoryId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// All categories in insertion order.
+    pub fn categories(&self) -> impl Iterator<Item = CategoryId> + '_ {
+        (0..self.categories.len()).map(|i| CategoryId(i as u32))
+    }
+
+    /// All predicates in insertion order.
+    pub fn predicates(&self) -> impl Iterator<Item = PredicateId> + '_ {
+        (0..self.predicates.len()).map(|i| PredicateId(i as u32))
+    }
+
+    /// Predicates applicable to entities of `cat` — predicates whose domain
+    /// is `cat` or one of its ancestors.
+    pub fn predicates_for(&self, cat: CategoryId) -> Vec<PredicateId> {
+        self.predicates()
+            .filter(|&p| self.is_a(cat, self.predicate_domain(p)))
+            .collect()
+    }
+
+    /// Number of categories.
+    pub fn num_categories(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Number of predicates.
+    pub fn num_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// NELL-style qualified entity name: `concept/<category>/<local>`.
+    pub fn qualified_entity(&self, cat: CategoryId, local: &str) -> String {
+        format!("concept/{}/{}", self.category_name(cat), local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sports_ontology() -> (Ontology, CategoryId, CategoryId, CategoryId) {
+        let mut o = Ontology::new();
+        let root = o.add_category("everything", None);
+        let person = o.add_category("person", Some(root));
+        let athlete = o.add_category("athlete", Some(person));
+        (o, root, person, athlete)
+    }
+
+    #[test]
+    fn is_a_walks_the_hierarchy() {
+        let (o, root, person, athlete) = sports_ontology();
+        assert!(o.is_a(athlete, person));
+        assert!(o.is_a(athlete, root));
+        assert!(o.is_a(person, person));
+        assert!(!o.is_a(person, athlete));
+    }
+
+    #[test]
+    fn add_category_is_idempotent_by_name() {
+        let (mut o, root, ..) = sports_ontology();
+        let again = o.add_category("person", Some(root));
+        assert_eq!(Some(again), o.category_by_name("person"));
+        assert_eq!(o.num_categories(), 3);
+    }
+
+    #[test]
+    fn predicates_for_respects_domains() {
+        let (mut o, root, person, athlete) = sports_ontology();
+        let p_name = o.add_predicate("name", root);
+        let p_team = o.add_predicate("plays_for", athlete);
+        let p_born = o.add_predicate("born_in", person);
+        let for_athlete = o.predicates_for(athlete);
+        assert!(for_athlete.contains(&p_name));
+        assert!(for_athlete.contains(&p_team));
+        assert!(for_athlete.contains(&p_born));
+        let for_person = o.predicates_for(person);
+        assert!(!for_person.contains(&p_team));
+        assert_eq!(for_person.len(), 2);
+    }
+
+    #[test]
+    fn qualified_entity_formats_like_nell() {
+        let (o, _, _, athlete) = sports_ontology();
+        assert_eq!(
+            o.qualified_entity(athlete, "MichaelPhelps"),
+            "concept/athlete/MichaelPhelps"
+        );
+    }
+
+    #[test]
+    fn children_lists_direct_descendants_only() {
+        let (o, root, person, athlete) = sports_ontology();
+        assert_eq!(o.children(root), &[person]);
+        assert_eq!(o.children(person), &[athlete]);
+        assert!(o.children(athlete).is_empty());
+    }
+}

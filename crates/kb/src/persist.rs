@@ -1,0 +1,209 @@
+//! Binary persistence of a knowledge base together with its interner.
+//!
+//! The text formats in [`crate::io`] are diff-friendly but decode-heavy; for
+//! the multi-million-fact knowledge bases the evaluation loads repeatedly a
+//! compact binary snapshot is an order of magnitude faster. Layout (all
+//! integers little-endian):
+//!
+//! ```text
+//! magic "MKB1"
+//! u32 string_count      then per string: u32 byte_len, bytes (UTF-8)
+//! u32 fact_count        then per fact:   u32 s, u32 p, u32 o (symbol ids)
+//! ```
+//!
+//! Facts reference the snapshot's own string table by index, so a snapshot
+//! is self-contained; loading returns a fresh `(Interner, KnowledgeBase)`.
+
+use crate::error::KbError;
+use crate::fact::Fact;
+use crate::interner::{Interner, Symbol};
+use crate::store::KnowledgeBase;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"MKB1";
+
+/// Serialises `kb` (and the interner strings its symbols reference) to `w`.
+pub fn save<W: Write>(mut w: W, terms: &Interner, kb: &KnowledgeBase) -> Result<(), KbError> {
+    let mut buf = BytesMut::with_capacity(64 + terms.len() * 16 + kb.len() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(u32::try_from(terms.len()).expect("too many strings"));
+    for (_, s) in terms.iter() {
+        buf.put_u32_le(u32::try_from(s.len()).expect("string too long"));
+        buf.put_slice(s.as_bytes());
+    }
+    buf.put_u32_le(u32::try_from(kb.len()).expect("too many facts"));
+    for f in kb.iter() {
+        buf.put_u32_le(f.subject.index() as u32);
+        buf.put_u32_le(f.predicate.index() as u32);
+        buf.put_u32_le(f.object.index() as u32);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), KbError> {
+    if buf.remaining() < n {
+        return Err(KbError::Parse {
+            line: 0,
+            message: format!("truncated snapshot while reading {what}"),
+        });
+    }
+    Ok(())
+}
+
+/// Loads a snapshot produced by [`save`].
+pub fn load<R: Read>(mut r: R) -> Result<(Interner, KnowledgeBase), KbError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+
+    need(&buf, 4, "magic")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(KbError::Parse {
+            line: 0,
+            message: format!("bad magic {magic:?}, expected MKB1"),
+        });
+    }
+
+    need(&buf, 4, "string count")?;
+    let n_strings = buf.get_u32_le() as usize;
+    let mut terms = Interner::with_capacity(n_strings);
+    for i in 0..n_strings {
+        need(&buf, 4, "string length")?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, len, "string bytes")?;
+        let s = std::str::from_utf8(&buf[..len]).map_err(|_| KbError::Parse {
+            line: 0,
+            message: format!("string {i} is not valid UTF-8"),
+        })?;
+        let sym = terms.intern(s);
+        if sym.index() != i {
+            return Err(KbError::Parse {
+                line: 0,
+                message: format!("duplicate string {i} in snapshot"),
+            });
+        }
+        buf.advance(len);
+    }
+
+    need(&buf, 4, "fact count")?;
+    let n_facts = buf.get_u32_le() as usize;
+    let mut kb = KnowledgeBase::new();
+    for _ in 0..n_facts {
+        need(&buf, 12, "fact")?;
+        let (s, p, o) = (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
+        for id in [s, p, o] {
+            if id as usize >= n_strings {
+                return Err(KbError::Parse {
+                    line: 0,
+                    message: format!("fact references unknown string {id}"),
+                });
+            }
+        }
+        kb.insert(Fact::new(
+            Symbol::from_index(s as usize),
+            Symbol::from_index(p as usize),
+            Symbol::from_index(o as usize),
+        ));
+    }
+    if buf.has_remaining() {
+        return Err(KbError::Parse {
+            line: 0,
+            message: format!("{} trailing bytes after snapshot", buf.remaining()),
+        });
+    }
+    Ok((terms, kb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Interner, KnowledgeBase) {
+        let mut t = Interner::new();
+        let kb = [
+            ("atlas", "category", "rocket_family"),
+            ("atlas", "sponsor", "NASA"),
+            ("ünïcode ✓", "emoji", "🚀"),
+        ]
+        .iter()
+        .map(|&(s, p, o)| Fact::intern(&mut t, s, p, o))
+        .collect();
+        (t, kb)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (terms, kb) = sample();
+        let mut buf = Vec::new();
+        save(&mut buf, &terms, &kb).unwrap();
+        let (terms2, kb2) = load(&buf[..]).unwrap();
+        assert_eq!(kb2.len(), kb.len());
+        for f in kb.iter() {
+            // Cross-check by string values.
+            let s = terms.resolve(f.subject);
+            let p = terms.resolve(f.predicate);
+            let o = terms.resolve(f.object);
+            let f2 = Fact::new(
+                terms2.get(s).expect("subject present"),
+                terms2.get(p).expect("predicate present"),
+                terms2.get(o).expect("object present"),
+            );
+            assert!(kb2.contains(&f2), "({s}, {p}, {o}) survived");
+        }
+    }
+
+    #[test]
+    fn empty_kb_round_trips() {
+        let mut buf = Vec::new();
+        save(&mut buf, &Interner::new(), &KnowledgeBase::new()).unwrap();
+        let (t, kb) = load(&buf[..]).unwrap();
+        assert!(t.is_empty());
+        assert!(kb.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load(&b"NOPE\0\0\0\0"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let (terms, kb) = sample();
+        let mut buf = Vec::new();
+        save(&mut buf, &terms, &kb).unwrap();
+        // Any strict prefix must fail cleanly, never panic.
+        for cut in 0..buf.len() {
+            assert!(load(&buf[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let (terms, kb) = sample();
+        let mut buf = Vec::new();
+        save(&mut buf, &terms, &kb).unwrap();
+        buf.push(0xFF);
+        assert!(load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_symbol_reference() {
+        // Hand-craft: one string, one fact referencing string 7.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MKB1");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'x');
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        for id in [0u32, 7, 0] {
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+        let err = load(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("unknown string"));
+    }
+}

@@ -1,0 +1,212 @@
+//! A small conjunctive query engine over the knowledge base.
+//!
+//! Web source slices *are* conjunctive selection queries (Definition 5):
+//! "entities with `category = rocket_family ∧ sponsor = NASA`". This module
+//! lets downstream users execute exactly that class of queries against a
+//! [`KnowledgeBase`] — e.g. to check what an existing KB already knows about
+//! a slice MIDAS suggested, or to de-duplicate a crawl against it.
+//!
+//! The engine supports equality conditions on `(predicate, object)` pairs,
+//! plus existence conditions (`has predicate p`), evaluated by intersecting
+//! the POS-index extents smallest-first.
+
+use crate::fact::Fact;
+use crate::index::TripleIndex;
+use crate::interner::Symbol;
+use crate::store::KnowledgeBase;
+
+/// One conjunct of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// `predicate = value`.
+    Equals(Symbol, Symbol),
+    /// entity has *some* fact with this predicate.
+    Has(Symbol),
+}
+
+/// A conjunctive query over entities.
+#[derive(Debug, Clone, Default)]
+pub struct ConjunctiveQuery {
+    conditions: Vec<Condition>,
+}
+
+impl ConjunctiveQuery {
+    /// The empty query (matches every subject in the store).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a `predicate = value` condition.
+    pub fn with_property(mut self, predicate: Symbol, value: Symbol) -> Self {
+        self.conditions.push(Condition::Equals(predicate, value));
+        self
+    }
+
+    /// Adds a `has predicate` condition.
+    pub fn with_predicate(mut self, predicate: Symbol) -> Self {
+        self.conditions.push(Condition::Has(predicate));
+        self
+    }
+
+    /// The conjuncts in insertion order.
+    pub fn conditions(&self) -> &[Condition] {
+        &self.conditions
+    }
+
+    /// Whether the query has no conditions.
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+
+    fn extent(&self, index: &TripleIndex, cond: &Condition) -> Vec<Symbol> {
+        match *cond {
+            Condition::Equals(p, o) => {
+                let mut subs: Vec<Symbol> = index.subjects_with_property(p, o).collect();
+                subs.dedup();
+                subs
+            }
+            Condition::Has(p) => {
+                let mut subs: Vec<Symbol> = index.facts_for_predicate(p).map(|f| f.subject).collect();
+                subs.sort_unstable();
+                subs.dedup();
+                subs
+            }
+        }
+    }
+
+    /// Entities matching every condition, in symbol order.
+    pub fn select(&self, kb: &KnowledgeBase) -> Vec<Symbol> {
+        let index = kb.index();
+        if self.conditions.is_empty() {
+            return index.subjects();
+        }
+        let mut extents: Vec<Vec<Symbol>> = self
+            .conditions
+            .iter()
+            .map(|c| self.extent(index, c))
+            .collect();
+        extents.sort_by_key(Vec::len);
+        let mut acc = extents[0].clone();
+        for other in &extents[1..] {
+            let mut out = Vec::with_capacity(acc.len().min(other.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < acc.len() && j < other.len() {
+                match acc[i].cmp(&other[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(acc[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            acc = out;
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// All facts of the matching entities — the `Π*` of a slice executed
+    /// against this store.
+    pub fn select_facts(&self, kb: &KnowledgeBase) -> Vec<Fact> {
+        self.select(kb)
+            .into_iter()
+            .flat_map(|s| kb.facts_for_subject(s).collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Number of matching entities.
+    pub fn count(&self, kb: &KnowledgeBase) -> usize {
+        self.select(kb).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    fn sample() -> (Interner, KnowledgeBase) {
+        let mut t = Interner::new();
+        let rows = [
+            ("atlas", "category", "rocket_family"),
+            ("atlas", "sponsor", "NASA"),
+            ("atlas", "started", "1957"),
+            ("castor", "category", "rocket_family"),
+            ("castor", "sponsor", "NASA"),
+            ("mercury", "category", "space_program"),
+            ("mercury", "sponsor", "NASA"),
+            ("soyuz", "category", "rocket_family"),
+            ("soyuz", "sponsor", "Roscosmos"),
+        ];
+        let kb = rows
+            .iter()
+            .map(|&(s, p, o)| Fact::intern(&mut t, s, p, o))
+            .collect();
+        (t, kb)
+    }
+
+    #[test]
+    fn single_equality_condition() {
+        let (mut t, kb) = sample();
+        let q = ConjunctiveQuery::new()
+            .with_property(t.intern("category"), t.intern("rocket_family"));
+        let names: Vec<&str> = q.select(&kb).iter().map(|&s| t.resolve(s)).collect();
+        assert_eq!(names, vec!["atlas", "castor", "soyuz"]);
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let (mut t, kb) = sample();
+        let q = ConjunctiveQuery::new()
+            .with_property(t.intern("category"), t.intern("rocket_family"))
+            .with_property(t.intern("sponsor"), t.intern("NASA"));
+        let names: Vec<&str> = q.select(&kb).iter().map(|&s| t.resolve(s)).collect();
+        assert_eq!(names, vec!["atlas", "castor"]);
+        assert_eq!(q.count(&kb), 2);
+    }
+
+    #[test]
+    fn has_condition_checks_existence() {
+        let (mut t, kb) = sample();
+        let q = ConjunctiveQuery::new().with_predicate(t.intern("started"));
+        let names: Vec<&str> = q.select(&kb).iter().map(|&s| t.resolve(s)).collect();
+        assert_eq!(names, vec!["atlas"]);
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let (_, kb) = sample();
+        let q = ConjunctiveQuery::new();
+        assert!(q.is_empty());
+        assert_eq!(q.count(&kb), 4);
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_is_empty() {
+        let (mut t, kb) = sample();
+        let q = ConjunctiveQuery::new()
+            .with_property(t.intern("category"), t.intern("space_program"))
+            .with_property(t.intern("sponsor"), t.intern("Roscosmos"));
+        assert_eq!(q.count(&kb), 0);
+        assert!(q.select_facts(&kb).is_empty());
+    }
+
+    #[test]
+    fn select_facts_returns_full_rows() {
+        let (mut t, kb) = sample();
+        let q = ConjunctiveQuery::new().with_property(t.intern("started"), t.intern("1957"));
+        let facts = q.select_facts(&kb);
+        assert_eq!(facts.len(), 3, "all of atlas's facts, not just the matching one");
+    }
+
+    #[test]
+    fn unknown_symbols_match_nothing() {
+        let (mut t, kb) = sample();
+        let q = ConjunctiveQuery::new().with_property(t.intern("nonexistent"), t.intern("x"));
+        assert_eq!(q.count(&kb), 0);
+    }
+}

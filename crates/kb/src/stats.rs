@@ -1,0 +1,113 @@
+//! Dataset statistics (the rows of Figure 7 in the paper).
+
+use crate::fact::Fact;
+use crate::fnv::FnvHashSet;
+use crate::interner::Symbol;
+use std::fmt;
+
+/// Counts describing a fact dataset, as tabulated in Figure 7.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Total number of distinct facts.
+    pub num_facts: usize,
+    /// Number of distinct predicates.
+    pub num_predicates: usize,
+    /// Number of distinct subjects (entities).
+    pub num_subjects: usize,
+    /// Number of distinct source URLs (0 when no URL info is attached).
+    pub num_urls: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics over `(fact, url)` pairs, deduplicating facts.
+    pub fn compute<'a>(items: impl IntoIterator<Item = (Fact, &'a str)>) -> Self {
+        let mut facts: FnvHashSet<Fact> = FnvHashSet::default();
+        let mut preds: FnvHashSet<Symbol> = FnvHashSet::default();
+        let mut subjects: FnvHashSet<Symbol> = FnvHashSet::default();
+        let mut urls: FnvHashSet<&str> = FnvHashSet::default();
+        for (f, url) in items {
+            facts.insert(f);
+            preds.insert(f.predicate);
+            subjects.insert(f.subject);
+            urls.insert(url);
+        }
+        DatasetStats {
+            num_facts: facts.len(),
+            num_predicates: preds.len(),
+            num_subjects: subjects.len(),
+            num_urls: urls.len(),
+        }
+    }
+}
+
+/// Renders a count the way the paper does: `15M`, `327K`, `859K`, `100`.
+pub fn humanize(n: usize) -> String {
+    if n >= 1_000_000 {
+        let m = n as f64 / 1_000_000.0;
+        if m >= 10.0 {
+            format!("{:.0}M", m)
+        } else {
+            format!("{:.1}M", m)
+        }
+    } else if n >= 1_000 {
+        format!("{:.0}K", n as f64 / 1_000.0)
+    } else {
+        n.to_string()
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} facts, {} predicates, {} subjects, {} URLs",
+            humanize(self.num_facts),
+            humanize(self.num_predicates),
+            humanize(self.num_subjects),
+            humanize(self.num_urls)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    #[test]
+    fn compute_deduplicates() {
+        let mut t = Interner::new();
+        let f1 = Fact::intern(&mut t, "a", "p", "1");
+        let f2 = Fact::intern(&mut t, "b", "p", "2");
+        let stats = DatasetStats::compute(vec![
+            (f1, "http://x.com/1"),
+            (f1, "http://x.com/1"),
+            (f2, "http://x.com/2"),
+        ]);
+        assert_eq!(stats.num_facts, 2);
+        assert_eq!(stats.num_predicates, 1);
+        assert_eq!(stats.num_subjects, 2);
+        assert_eq!(stats.num_urls, 2);
+    }
+
+    #[test]
+    fn humanize_matches_paper_style() {
+        assert_eq!(humanize(15_000_000), "15M");
+        assert_eq!(humanize(2_900_000), "2.9M");
+        assert_eq!(humanize(327_000), "327K");
+        assert_eq!(humanize(859_123), "859K");
+        assert_eq!(humanize(100), "100");
+        assert_eq!(humanize(0), "0");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = DatasetStats {
+            num_facts: 15_000_000,
+            num_predicates: 327_000,
+            num_subjects: 5_000,
+            num_urls: 20_000_000,
+        };
+        assert_eq!(s.to_string(), "15M facts, 327K predicates, 5K subjects, 20M URLs");
+    }
+}

@@ -1,0 +1,266 @@
+//! The source hierarchy over a URL corpus.
+//!
+//! Given the page URLs a corpus was extracted from, [`SourceTrie`]
+//! materialises every URL granularity exactly once — each page, each
+//! intermediate path prefix, and each domain — and exposes parent/children
+//! navigation plus level-by-level iteration, which is what the §III-B
+//! framework rounds walk over.
+
+use crate::url::SourceUrl;
+use std::collections::HashMap;
+
+/// Index of a node inside a [`SourceTrie`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceNodeId(u32);
+
+impl SourceNodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One web source (at some granularity) in the hierarchy.
+#[derive(Debug, Clone)]
+pub struct SourceNode {
+    /// The source URL of this node.
+    pub url: SourceUrl,
+    /// Parent node (None for domains).
+    pub parent: Option<SourceNodeId>,
+    /// Children nodes (finer granularities).
+    pub children: Vec<SourceNodeId>,
+    /// Whether this URL appeared verbatim in the input corpus (i.e. facts
+    /// were extracted directly from it), as opposed to being materialised as
+    /// an intermediate granularity.
+    pub is_leaf_source: bool,
+}
+
+/// A forest over all granularities of a URL corpus.
+#[derive(Debug, Default)]
+pub struct SourceTrie {
+    nodes: Vec<SourceNode>,
+    by_url: HashMap<SourceUrl, SourceNodeId>,
+    roots: Vec<SourceNodeId>,
+    max_depth: usize,
+}
+
+impl SourceTrie {
+    /// Creates an empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the hierarchy from corpus page URLs.
+    pub fn build<'a>(urls: impl IntoIterator<Item = &'a SourceUrl>) -> Self {
+        let mut trie = SourceTrie::new();
+        for u in urls {
+            trie.insert(u.clone());
+        }
+        trie
+    }
+
+    /// Inserts a source URL (and all its ancestors), marking it as a leaf
+    /// source. Returns its node id.
+    pub fn insert(&mut self, url: SourceUrl) -> SourceNodeId {
+        let id = self.intern_node(url);
+        self.nodes[id.index()].is_leaf_source = true;
+        id
+    }
+
+    fn intern_node(&mut self, url: SourceUrl) -> SourceNodeId {
+        if let Some(&id) = self.by_url.get(&url) {
+            return id;
+        }
+        let parent = url.parent().map(|p| self.intern_node(p));
+        let id = SourceNodeId(u32::try_from(self.nodes.len()).expect("trie overflow"));
+        self.max_depth = self.max_depth.max(url.depth());
+        self.nodes.push(SourceNode {
+            url: url.clone(),
+            parent,
+            children: Vec::new(),
+            is_leaf_source: false,
+        });
+        match parent {
+            Some(p) => self.nodes[p.index()].children.push(id),
+            None => self.roots.push(id),
+        }
+        self.by_url.insert(url, id);
+        id
+    }
+
+    /// Looks a URL up.
+    pub fn get(&self, url: &SourceUrl) -> Option<SourceNodeId> {
+        self.by_url.get(url).copied()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: SourceNodeId) -> &SourceNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes (all granularities).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the hierarchy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Domain-level roots.
+    pub fn roots(&self) -> &[SourceNodeId] {
+        &self.roots
+    }
+
+    /// Deepest depth present.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// All node ids at exactly `depth` path segments.
+    pub fn nodes_at_depth(&self, depth: usize) -> Vec<SourceNodeId> {
+        (0..self.nodes.len())
+            .map(|i| SourceNodeId(i as u32))
+            .filter(|id| self.node(*id).url.depth() == depth)
+            .collect()
+    }
+
+    /// Iterates all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (SourceNodeId, &SourceNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SourceNodeId(i as u32), n))
+    }
+
+    /// All leaf-source node ids (URLs that appeared in the corpus).
+    pub fn leaf_sources(&self) -> Vec<SourceNodeId> {
+        self.iter()
+            .filter(|(_, n)| n.is_leaf_source)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All descendant leaf sources of `id`, including `id` itself when it is
+    /// a leaf source.
+    pub fn descendant_leaves(&self, id: SourceNodeId) -> Vec<SourceNodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let n = self.node(cur);
+            if n.is_leaf_source {
+                out.push(cur);
+            }
+            stack.extend(n.children.iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skyrocket_urls() -> Vec<SourceUrl> {
+        [
+            "http://space.skyrocket.de/doc_sat/mercury-history.htm",
+            "http://space.skyrocket.de/doc_sat/gemini-history.htm",
+            "http://space.skyrocket.de/doc_sat/apollo-history.htm",
+            "http://space.skyrocket.de/doc_lau_fam/atlas.htm",
+            "http://space.skyrocket.de/doc_lau_fam/castor-4.htm",
+        ]
+        .iter()
+        .map(|u| SourceUrl::parse(u).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn build_materialises_every_granularity() {
+        let trie = SourceTrie::build(&skyrocket_urls());
+        // 5 pages + 2 sub-domains + 1 domain = 8 — the "7 web sources"
+        // of §III-B plus the domain counted once.
+        assert_eq!(trie.len(), 8);
+        assert_eq!(trie.roots().len(), 1);
+        assert_eq!(trie.max_depth(), 2);
+    }
+
+    #[test]
+    fn leaf_sources_are_only_corpus_urls() {
+        let urls = skyrocket_urls();
+        let trie = SourceTrie::build(&urls);
+        let leaves = trie.leaf_sources();
+        assert_eq!(leaves.len(), 5);
+        let sub = SourceUrl::parse("http://space.skyrocket.de/doc_sat").unwrap();
+        let sub_id = trie.get(&sub).unwrap();
+        assert!(!trie.node(sub_id).is_leaf_source);
+    }
+
+    #[test]
+    fn parent_child_links_are_consistent() {
+        let trie = SourceTrie::build(&skyrocket_urls());
+        for (id, node) in trie.iter() {
+            if let Some(p) = node.parent {
+                assert!(trie.node(p).children.contains(&id));
+                assert_eq!(node.url.parent().unwrap(), trie.node(p).url);
+            } else {
+                assert!(trie.roots().contains(&id));
+                assert!(node.url.is_domain());
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_at_depth_partition_the_trie() {
+        let trie = SourceTrie::build(&skyrocket_urls());
+        let total: usize = (0..=trie.max_depth())
+            .map(|d| trie.nodes_at_depth(d).len())
+            .sum();
+        assert_eq!(total, trie.len());
+        assert_eq!(trie.nodes_at_depth(0).len(), 1);
+        assert_eq!(trie.nodes_at_depth(1).len(), 2);
+        assert_eq!(trie.nodes_at_depth(2).len(), 5);
+    }
+
+    #[test]
+    fn descendant_leaves_cover_subtrees() {
+        let trie = SourceTrie::build(&skyrocket_urls());
+        let dom = SourceUrl::parse("http://space.skyrocket.de").unwrap();
+        let dom_id = trie.get(&dom).unwrap();
+        assert_eq!(trie.descendant_leaves(dom_id).len(), 5);
+        let fam = SourceUrl::parse("http://space.skyrocket.de/doc_lau_fam").unwrap();
+        let fam_id = trie.get(&fam).unwrap();
+        assert_eq!(trie.descendant_leaves(fam_id).len(), 2);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut trie = SourceTrie::new();
+        let u = SourceUrl::parse("https://a.com/x").unwrap();
+        let id1 = trie.insert(u.clone());
+        let id2 = trie.insert(u);
+        assert_eq!(id1, id2);
+        assert_eq!(trie.len(), 2); // node + its domain
+    }
+
+    #[test]
+    fn multiple_domains_form_a_forest() {
+        let urls: Vec<SourceUrl> = ["https://a.com/x", "https://b.com/y/z"]
+            .iter()
+            .map(|u| SourceUrl::parse(u).unwrap())
+            .collect();
+        let trie = SourceTrie::build(&urls);
+        assert_eq!(trie.roots().len(), 2);
+        assert_eq!(trie.max_depth(), 2);
+    }
+
+    #[test]
+    fn inserting_a_domain_marks_it_leaf() {
+        let mut trie = SourceTrie::new();
+        let dom = SourceUrl::parse("https://a.com").unwrap();
+        trie.insert(dom.clone());
+        let id = trie.get(&dom).unwrap();
+        assert!(trie.node(id).is_leaf_source);
+        assert_eq!(trie.len(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # midas-weburl — URL parsing and the multi-granularity source hierarchy
+//!
+//! The MIDAS paper (§II-A, §III-B) treats web sources at *every* granularity
+//! of the URL hierarchy: a web domain (`https://www.cdc.gov`), a sub-domain
+//! path prefix (`https://www.cdc.gov/niosh`), or an individual page
+//! (`https://www.cdc.gov/niosh/ipcsneng/neng0363.html`). The multi-source
+//! framework shards extracted facts and discovered slices by the *parent*
+//! source at each round, walking the hierarchy bottom-up.
+//!
+//! This crate provides:
+//!
+//! * [`SourceUrl`] — a parsed, normalised URL with granularity operations
+//!   (`parent`, `ancestors`, `depth`);
+//! * [`SourceTrie`] — the hierarchy over a corpus of page URLs, materialising
+//!   every intermediate granularity exactly once;
+//! * [`shard_by_parent`] — the sharding step of the framework.
+//!
+//! ```
+//! use midas_weburl::SourceUrl;
+//!
+//! let page = SourceUrl::parse("http://space.skyrocket.de/doc_lau_fam/atlas.htm").unwrap();
+//! let sub = page.parent().unwrap();
+//! assert_eq!(sub.as_str(), "http://space.skyrocket.de/doc_lau_fam");
+//! assert_eq!(sub.parent().unwrap().as_str(), "http://space.skyrocket.de");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod pattern;
+pub mod shard;
+pub mod url;
+
+pub use hierarchy::{SourceNode, SourceNodeId, SourceTrie};
+pub use pattern::UrlPattern;
+pub use shard::{shard_by_parent, Shard};
+pub use url::{SourceUrl, UrlError};

@@ -1,0 +1,208 @@
+//! URL pattern summarisation.
+//!
+//! A discovered slice tells an operator *which entities* to extract; the
+//! crawler additionally wants to know *which pages* to fetch. Given the page
+//! URLs the slice's facts came from, [`UrlPattern::summarise`] derives a
+//! compact crawl spec: the deepest common URL prefix, a wildcard over the
+//! varying segment, and the dominant file extension — e.g. the Figure 2
+//! pages summarise to `http://space.skyrocket.de/doc_lau_fam/*.htm`.
+
+use crate::url::SourceUrl;
+use std::fmt;
+
+/// A summarised crawl pattern over a set of page URLs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlPattern {
+    /// The deepest URL all pages share.
+    pub prefix: SourceUrl,
+    /// Whether pages continue below the prefix (i.e. a `/*` tail applies).
+    pub has_tail: bool,
+    /// The dominant tail file extension, if ≥ 90 % of pages share one.
+    pub extension: Option<String>,
+    /// How many pages the pattern covers.
+    pub num_pages: usize,
+    /// Maximum number of path segments below the prefix.
+    pub max_tail_depth: usize,
+}
+
+impl UrlPattern {
+    /// Summarises a non-empty set of page URLs from one domain.
+    ///
+    /// Returns `None` when `pages` is empty or spans several domains.
+    pub fn summarise(pages: &[SourceUrl]) -> Option<UrlPattern> {
+        let first = pages.first()?;
+        let domain = first.domain();
+        if pages.iter().any(|p| p.domain() != domain) {
+            return None;
+        }
+        // Deepest common segment prefix.
+        let mut common: Vec<&str> = first.segments().collect();
+        for p in &pages[1..] {
+            let segs: Vec<&str> = p.segments().collect();
+            let n = common
+                .iter()
+                .zip(&segs)
+                .take_while(|(a, b)| a == b)
+                .count();
+            common.truncate(n);
+        }
+        // Don't treat a shared *page* as a prefix: if every URL is identical
+        // the prefix is that page and there is no tail.
+        let identical = pages.iter().all(|p| p == first);
+        let prefix = if identical {
+            first.clone()
+        } else {
+            let mut u = domain;
+            for seg in &common {
+                u = u.child(seg);
+            }
+            u
+        };
+        let has_tail = !identical;
+        let max_tail_depth = pages
+            .iter()
+            .map(|p| p.depth().saturating_sub(prefix.depth()))
+            .max()
+            .unwrap_or(0);
+
+        // Dominant extension of the final segment.
+        let mut ext_counts: Vec<(String, usize)> = Vec::new();
+        for p in pages {
+            if let Some(last) = p.segments().last() {
+                if let Some(dot) = last.rfind('.') {
+                    let ext = last[dot + 1..].to_ascii_lowercase();
+                    if !ext.is_empty() {
+                        match ext_counts.iter_mut().find(|(e, _)| *e == ext) {
+                            Some((_, c)) => *c += 1,
+                            None => ext_counts.push((ext, 1)),
+                        }
+                    }
+                }
+            }
+        }
+        let extension = ext_counts
+            .iter()
+            .max_by_key(|(_, c)| *c)
+            .filter(|(_, c)| *c * 10 >= pages.len() * 9)
+            .map(|(e, _)| e.clone());
+
+        Some(UrlPattern {
+            prefix,
+            has_tail,
+            extension,
+            num_pages: pages.len(),
+            max_tail_depth,
+        })
+    }
+}
+
+impl fmt::Display for UrlPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.prefix)?;
+        if self.has_tail {
+            match &self.extension {
+                Some(ext) => write!(f, "/*.{ext}")?,
+                None => write!(f, "/*")?,
+            }
+        }
+        write!(f, "  ({} pages)", self.num_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> SourceUrl {
+        SourceUrl::parse(s).unwrap()
+    }
+
+    #[test]
+    fn figure_2_pages_summarise_to_the_subdomain() {
+        let pages = vec![
+            u("http://space.skyrocket.de/doc_lau_fam/atlas.htm"),
+            u("http://space.skyrocket.de/doc_lau_fam/castor-4.htm"),
+        ];
+        let p = UrlPattern::summarise(&pages).unwrap();
+        assert_eq!(p.prefix.as_str(), "http://space.skyrocket.de/doc_lau_fam");
+        assert_eq!(p.extension.as_deref(), Some("htm"));
+        assert_eq!(p.to_string(), "http://space.skyrocket.de/doc_lau_fam/*.htm  (2 pages)");
+        assert_eq!(p.max_tail_depth, 1);
+    }
+
+    #[test]
+    fn mixed_sections_fall_back_to_the_domain() {
+        let pages = vec![
+            u("http://space.skyrocket.de/doc_sat/mercury.htm"),
+            u("http://space.skyrocket.de/doc_lau_fam/atlas.htm"),
+        ];
+        let p = UrlPattern::summarise(&pages).unwrap();
+        assert_eq!(p.prefix.as_str(), "http://space.skyrocket.de");
+        assert!(p.has_tail);
+        assert_eq!(p.max_tail_depth, 2);
+    }
+
+    #[test]
+    fn identical_pages_have_no_tail() {
+        let pages = vec![u("http://a.com/x/page.html"), u("http://a.com/x/page.html")];
+        let p = UrlPattern::summarise(&pages).unwrap();
+        assert_eq!(p.prefix.as_str(), "http://a.com/x/page.html");
+        assert!(!p.has_tail);
+        assert_eq!(p.to_string(), "http://a.com/x/page.html  (2 pages)");
+    }
+
+    #[test]
+    fn minority_extensions_are_dropped() {
+        let pages = vec![
+            u("http://a.com/d/1.html"),
+            u("http://a.com/d/2.html"),
+            u("http://a.com/d/3.php"),
+        ];
+        let p = UrlPattern::summarise(&pages).unwrap();
+        assert_eq!(p.extension, None, "only 2/3 share .html — below 90%");
+        assert_eq!(p.to_string(), "http://a.com/d/*  (3 pages)");
+    }
+
+    #[test]
+    fn cross_domain_sets_are_rejected() {
+        let pages = vec![u("http://a.com/x"), u("http://b.com/x")];
+        assert!(UrlPattern::summarise(&pages).is_none());
+        assert!(UrlPattern::summarise(&[]).is_none());
+    }
+
+    #[test]
+    fn extensionless_pages_summarise_cleanly() {
+        let pages = vec![u("https://g.com/dir/8545-jamaica"), u("https://g.com/dir/2-usa")];
+        let p = UrlPattern::summarise(&pages).unwrap();
+        assert_eq!(p.prefix.as_str(), "https://g.com/dir");
+        assert_eq!(p.extension, None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The summarised prefix contains every input page, and the
+            /// tail depth bound is tight.
+            #[test]
+            fn prefix_covers_all_pages(
+                segs in proptest::collection::vec(
+                    proptest::collection::vec("[a-z]{1,5}", 0..4),
+                    1..10,
+                )
+            ) {
+                let pages: Vec<SourceUrl> = segs
+                    .iter()
+                    .map(|s| u(&format!("http://host.com/{}", s.join("/"))))
+                    .collect();
+                let p = UrlPattern::summarise(&pages).unwrap();
+                for page in &pages {
+                    prop_assert!(p.prefix.contains(page), "{} !⊇ {}", p.prefix, page);
+                    prop_assert!(page.depth() <= p.prefix.depth() + p.max_tail_depth);
+                }
+                prop_assert_eq!(p.num_pages, pages.len());
+            }
+        }
+    }
+}

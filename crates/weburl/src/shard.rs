@@ -1,0 +1,104 @@
+//! Sharding by parent source — the first phase of each framework round.
+//!
+//! §III-B: *"At each iteration, we take a finer-grained child web source and
+//! a list of slices as the input. We generate a one-level-coarser web domain
+//! as parent web source (if any) and use it as the key to shard the
+//! inputs."* [`shard_by_parent`] implements exactly that keying; the
+//! framework then processes each shard independently (and in parallel).
+
+use crate::url::SourceUrl;
+use std::collections::BTreeMap;
+
+/// One shard: a parent source and the child payloads grouped under it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard<T> {
+    /// The one-level-coarser parent URL (the shard key).
+    pub parent: SourceUrl,
+    /// `(child source, payload)` pairs assigned to this shard.
+    pub items: Vec<(SourceUrl, T)>,
+}
+
+/// Groups `(source, payload)` pairs by the source's parent URL.
+///
+/// Inputs whose source is already a bare domain have no parent and are
+/// returned separately as the second tuple element (the framework stops
+/// propagating them upward).
+pub fn shard_by_parent<T>(
+    items: impl IntoIterator<Item = (SourceUrl, T)>,
+) -> (Vec<Shard<T>>, Vec<(SourceUrl, T)>) {
+    let mut groups: BTreeMap<SourceUrl, Vec<(SourceUrl, T)>> = BTreeMap::new();
+    let mut domains = Vec::new();
+    for (src, payload) in items {
+        match src.parent() {
+            Some(parent) => groups.entry(parent).or_default().push((src, payload)),
+            None => domains.push((src, payload)),
+        }
+    }
+    let shards = groups
+        .into_iter()
+        .map(|(parent, items)| Shard { parent, items })
+        .collect();
+    (shards, domains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> SourceUrl {
+        SourceUrl::parse(s).unwrap()
+    }
+
+    #[test]
+    fn shards_group_siblings_under_parent() {
+        let items = vec![
+            (u("http://s.de/doc_sat/mercury.htm"), 1),
+            (u("http://s.de/doc_sat/gemini.htm"), 2),
+            (u("http://s.de/doc_lau_fam/atlas.htm"), 3),
+        ];
+        let (shards, domains) = shard_by_parent(items);
+        assert!(domains.is_empty());
+        assert_eq!(shards.len(), 2);
+        let sat = shards
+            .iter()
+            .find(|s| s.parent == u("http://s.de/doc_sat"))
+            .unwrap();
+        assert_eq!(sat.items.len(), 2);
+        let fam = shards
+            .iter()
+            .find(|s| s.parent == u("http://s.de/doc_lau_fam"))
+            .unwrap();
+        assert_eq!(fam.items.len(), 1);
+    }
+
+    #[test]
+    fn domain_level_inputs_are_terminal() {
+        let items = vec![(u("http://s.de"), "x"), (u("http://s.de/a"), "y")];
+        let (shards, domains) = shard_by_parent(items);
+        assert_eq!(domains.len(), 1);
+        assert_eq!(domains[0].0, u("http://s.de"));
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].parent, u("http://s.de"));
+    }
+
+    #[test]
+    fn shard_keys_are_deterministically_ordered() {
+        let items = vec![
+            (u("http://z.com/b/1"), ()),
+            (u("http://a.com/b/1"), ()),
+            (u("http://m.com/b/1"), ()),
+        ];
+        let (shards, _) = shard_by_parent(items);
+        let keys: Vec<&str> = shards.iter().map(|s| s.parent.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn empty_input_yields_no_shards() {
+        let (shards, domains) = shard_by_parent(Vec::<(SourceUrl, ())>::new());
+        assert!(shards.is_empty());
+        assert!(domains.is_empty());
+    }
+}

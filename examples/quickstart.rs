@@ -1,0 +1,55 @@
+//! Quickstart: discover what to extract from a web source.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! We have a cocktail website, an existing knowledge base that already knows
+//! its classic cocktails, and automated extractions covering both classics
+//! and (new to the KB) tiki drinks. MIDAS should tell us to extract the tiki
+//! slice — and only that.
+
+use midas::prelude::*;
+
+fn main() {
+    let mut terms = Interner::new();
+    let page = SourceUrl::parse("http://cocktails.example.org/directory").unwrap();
+
+    let mut facts = Vec::new();
+    let mut kb = KnowledgeBase::new();
+
+    // Classic cocktails: already in the knowledge base.
+    for name in ["margarita", "martini", "negroni", "manhattan"] {
+        for (p, v) in [("type", "cocktail"), ("style", "classic")] {
+            let f = Fact::intern(&mut terms, name, p, v);
+            facts.push(f);
+            kb.insert(f);
+        }
+    }
+    // Tiki drinks: profiled by the site, absent from the knowledge base.
+    for name in ["mai-tai", "zombie", "painkiller", "jungle-bird", "hurricane"] {
+        for (p, v) in [("type", "cocktail"), ("style", "tiki")] {
+            facts.push(Fact::intern(&mut terms, name, p, v));
+        }
+    }
+
+    let source = SourceFacts::new(page, facts);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let slices = alg.run(&source, &kb);
+
+    println!("MIDAS suggests extracting {} slice(s):\n", slices.len());
+    for s in &slices {
+        println!("  {}", s.describe(&terms));
+        println!(
+            "    {} entities, {} facts ({} new), profit {:.3}",
+            s.entities.len(),
+            s.num_facts,
+            s.num_new_facts,
+            s.profit
+        );
+    }
+
+    assert_eq!(slices.len(), 1, "exactly the tiki slice");
+    assert!(slices[0].describe(&terms).contains("style = tiki"));
+    println!("\nThe classics are already known — only the tiki slice is worth extraction.");
+}

@@ -1,0 +1,184 @@
+//! Failure injection and adversarial inputs across the public API.
+
+use midas::prelude::*;
+
+fn url(s: &str) -> SourceUrl {
+    SourceUrl::parse(s).unwrap()
+}
+
+/// A source where one entity has dozens of values for one predicate — the
+/// multi-valued cross-product blow-up must stay capped.
+#[test]
+fn massively_multivalued_entity_is_bounded() {
+    let mut t = Interner::new();
+    let mut facts = Vec::new();
+    for i in 0..40 {
+        facts.push(Fact::intern(&mut t, "hub", "links_to", &format!("v{i}")));
+        facts.push(Fact::intern(&mut t, "hub", "tag", &format!("t{i}")));
+    }
+    let src = SourceFacts::new(url("http://hub.example/page"), facts);
+    let mut cfg = MidasConfig::running_example();
+    cfg.max_initial_combinations_per_entity = 16;
+    let alg = MidasAlg::new(cfg);
+    // Must terminate quickly and produce at most a handful of slices.
+    let slices = alg.run(&src, &KnowledgeBase::new());
+    assert!(slices.len() <= 16);
+}
+
+/// An entity with many distinct single-valued predicates — the 2^k property
+/// lattice must be bounded by the per-entity property cap.
+#[test]
+fn wide_entity_lattice_is_bounded() {
+    let mut t = Interner::new();
+    let mut facts = Vec::new();
+    for e in 0..4 {
+        for p in 0..30 {
+            facts.push(Fact::intern(
+                &mut t,
+                &format!("e{e}"),
+                &format!("p{p}"),
+                "shared",
+            ));
+        }
+    }
+    let src = SourceFacts::new(url("http://wide.example/page"), facts);
+    let mut cfg = MidasConfig::running_example();
+    cfg.max_properties_per_entity = 8;
+    cfg.max_hierarchy_nodes = 100_000;
+    let alg = MidasAlg::new(cfg);
+    let slices = alg.run(&src, &KnowledgeBase::new());
+    // 4 entities share all properties: one slice describes them all.
+    assert_eq!(slices.len(), 1);
+    assert_eq!(slices[0].entities.len(), 4);
+    assert!(slices[0].properties.len() <= 8);
+}
+
+/// The hierarchy node cap degrades gracefully instead of exhausting memory.
+#[test]
+fn hierarchy_node_cap_degrades_gracefully() {
+    let mut t = Interner::new();
+    let mut facts = Vec::new();
+    for e in 0..20 {
+        for p in 0..10 {
+            // Two value groups → plenty of distinct property subsets.
+            facts.push(Fact::intern(
+                &mut t,
+                &format!("e{e}"),
+                &format!("p{p}"),
+                &format!("v{}", e % 2),
+            ));
+        }
+    }
+    let src = SourceFacts::new(url("http://dense.example/page"), facts);
+    let mut cfg = MidasConfig::running_example();
+    cfg.max_hierarchy_nodes = 50;
+    let alg = MidasAlg::new(cfg);
+    // Truncated construction must still return valid (possibly suboptimal)
+    // slices without panicking.
+    let slices = alg.run(&src, &KnowledgeBase::new());
+    for s in &slices {
+        assert!(!s.entities.is_empty());
+        assert!(s.num_new_facts <= s.num_facts);
+    }
+}
+
+/// Single-fact and single-entity sources across every algorithm.
+#[test]
+fn degenerate_sources_are_handled_by_all_algorithms() {
+    let mut t = Interner::new();
+    let f = Fact::intern(&mut t, "only", "p", "v");
+    let src = SourceFacts::new(url("http://tiny.example/page"), vec![f]);
+    let kb = KnowledgeBase::new();
+    let cost = CostModel::running_example();
+    let detectors: Vec<Box<dyn SliceDetector>> = vec![
+        Box::new(MidasAlg::new(MidasConfig::running_example())),
+        Box::new(Greedy::new(cost)),
+        Box::new(AggCluster::new(cost)),
+        Box::new(Naive::new(cost)),
+    ];
+    for det in &detectors {
+        let out = det.detect(DetectInput { source: &src, kb: &kb, seeds: &[] });
+        for s in &out {
+            assert_eq!(s.entities.len(), 1);
+            assert_eq!(s.num_facts, 1);
+        }
+    }
+}
+
+/// Unicode-heavy terms and URLs flow through discovery and description.
+#[test]
+fn unicode_terms_and_urls() {
+    let mut t = Interner::new();
+    let mut facts = Vec::new();
+    for i in 0..6 {
+        facts.push(Fact::intern(&mut t, &format!("飲み物{i}"), "種類", "カクテル"));
+        facts.push(Fact::intern(&mut t, &format!("飲み物{i}"), "味", &format!("风味{i}")));
+    }
+    let src = SourceFacts::new(url("https://例え.jp/ドリンク/一覧"), facts);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let slices = alg.run(&src, &KnowledgeBase::new());
+    assert_eq!(slices.len(), 1);
+    let desc = slices[0].describe(&t);
+    assert!(desc.contains("種類 = カクテル"), "{desc}");
+}
+
+/// A framework run where every page belongs to a different domain — no
+/// consolidation opportunities, but everything must still work.
+#[test]
+fn framework_with_all_distinct_domains() {
+    let mut t = Interner::new();
+    let mut sources = Vec::new();
+    for d in 0..12 {
+        let mut facts = Vec::new();
+        for e in 0..6 {
+            facts.push(Fact::intern(&mut t, &format!("d{d}e{e}"), "kind", &format!("k{d}")));
+            facts.push(Fact::intern(&mut t, &format!("d{d}e{e}"), "id", &format!("i{d}{e}")));
+        }
+        sources.push(SourceFacts::new(
+            url(&format!("http://domain{d}.example/page.html")),
+            facts,
+        ));
+    }
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let fw = Framework::new(&alg, alg.config.cost).with_threads(4);
+    let report = fw.run(sources, &KnowledgeBase::new());
+    assert_eq!(report.slices.len(), 12, "one slice per domain");
+}
+
+/// Deeply nested URL hierarchies (10 levels) propagate correctly.
+#[test]
+fn deep_url_hierarchy_propagates() {
+    let mut t = Interner::new();
+    let deep = "http://deep.example/a/b/c/d/e/f/g/h/i/page.html";
+    let mut facts = Vec::new();
+    for e in 0..8 {
+        facts.push(Fact::intern(&mut t, &format!("x{e}"), "kind", "thing"));
+        facts.push(Fact::intern(&mut t, &format!("x{e}"), "num", &format!("{e}")));
+    }
+    let src = SourceFacts::new(url(deep), facts);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let fw = Framework::new(&alg, alg.config.cost);
+    let report = fw.run(vec![src], &KnowledgeBase::new());
+    assert_eq!(report.slices.len(), 1);
+    assert!(report.rounds >= 9, "one round per level: {}", report.rounds);
+}
+
+/// A knowledge base far larger than the corpus (augmentation, not creation).
+#[test]
+fn huge_kb_small_corpus() {
+    let mut t = Interner::new();
+    let mut kb = KnowledgeBase::new();
+    for i in 0..50_000 {
+        kb.insert(Fact::intern(&mut t, &format!("known{i}"), "type", "old"));
+    }
+    let mut facts = Vec::new();
+    for e in 0..10 {
+        facts.push(Fact::intern(&mut t, &format!("fresh{e}"), "type", "new_thing"));
+        facts.push(Fact::intern(&mut t, &format!("fresh{e}"), "val", &format!("{e}")));
+    }
+    let src = SourceFacts::new(url("http://fresh.example/page"), facts);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let slices = alg.run(&src, &kb);
+    assert_eq!(slices.len(), 1);
+    assert_eq!(slices[0].num_new_facts, 20);
+}

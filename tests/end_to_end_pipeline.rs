@@ -1,0 +1,135 @@
+//! Integration: the full pipeline from simulated noisy extraction to
+//! evaluated slice discovery.
+
+use midas::extract::model::extractions_to_sources;
+use midas::extract::slim::{generate as slim_gen, SlimConfig, SlimFlavor};
+use midas::extract::synthetic::{generate as syn_gen, SyntheticConfig};
+use midas::extract::ExtractionSim;
+use midas::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Noisy extraction → confidence filter → MIDASalg still finds the slice.
+#[test]
+fn noisy_extraction_still_yields_the_right_slice() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut terms = Interner::new();
+    let page = SourceUrl::parse("http://museum.example.org/paintings").unwrap();
+
+    // The "true web": 120 paintings with three facts each.
+    let mut true_facts = Vec::new();
+    for i in 0..120 {
+        let name = format!("painting_{i}");
+        true_facts.push(Fact::intern(&mut terms, &name, "type", "painting"));
+        true_facts.push(Fact::intern(&mut terms, &name, "museum", "louvre"));
+        true_facts.push(Fact::intern(&mut terms, &name, "room", &format!("r{}", i % 40)));
+    }
+
+    // A realistic pipeline: 40% recall, noise, 0.7-confidence filter.
+    let sim = ExtractionSim {
+        recall: 0.4,
+        noise_rate: 0.3,
+        noise_leak: 0.05,
+        threshold: 0.7,
+    };
+    let extractions = sim.extract(&mut rng, &mut terms, &page, &true_facts);
+    let sources = extractions_to_sources(&extractions, 0.7);
+    assert_eq!(sources.len(), 1);
+    let source = &sources[0];
+    assert!(source.len() < true_facts.len(), "low recall");
+
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let slices = alg.run(source, &KnowledgeBase::new());
+    assert!(!slices.is_empty(), "the partial extractions still reveal the slice");
+    let top = &slices[0];
+    let desc = top.describe(&terms);
+    assert!(
+        desc.contains("type = painting") || desc.contains("museum = louvre"),
+        "the slice describes the painting vertical: {desc}"
+    );
+}
+
+/// Slim corpus end-to-end: generation → framework → silver-standard P/R.
+#[test]
+fn slim_corpus_framework_beats_naive() {
+    let ds = slim_gen(&SlimConfig {
+        flavor: SlimFlavor::Nell,
+        scale: 0.002,
+        seed: 5,
+    });
+    let midas = run_midas_framework(&MidasConfig::default(), ds.sources.clone(), &ds.kb, 2);
+    let midas_prf = match_to_gold(
+        &midas.slices.iter().filter(|s| s.profit > 0.0).cloned().collect::<Vec<_>>(),
+        &ds.truth.gold,
+    );
+    assert!(midas_prf.f_measure > 0.8, "MIDAS F = {:?}", midas_prf);
+
+    let naive = Naive::new(CostModel::default());
+    let merged = merge_by_domain(&ds.sources);
+    let naive_run = run_detector_per_source(&naive, &merged, &ds.kb);
+    let naive_prf = match_to_gold(&naive_run.slices, &ds.truth.gold);
+    assert!(
+        midas_prf.f_measure > naive_prf.f_measure,
+        "MIDAS {midas_prf:?} vs NAIVE {naive_prf:?}"
+    );
+}
+
+/// Coverage adjustment monotonically shrinks the optimal output and never
+/// hurts MIDAS precision.
+#[test]
+fn coverage_adjustment_behaves() {
+    let ds = slim_gen(&SlimConfig {
+        flavor: SlimFlavor::ReVerb,
+        scale: 0.002,
+        seed: 9,
+    });
+    let mut last_gold = usize::MAX;
+    for &coverage in &[0.0, 0.4, 0.8] {
+        let (kb, gold) = coverage_adjusted(&ds, coverage, 3);
+        assert!(gold.len() <= last_gold);
+        last_gold = gold.len();
+        let run = run_midas_framework(&MidasConfig::default(), ds.sources.clone(), &kb, 2);
+        let positive: Vec<_> = run.slices.iter().filter(|s| s.profit > 0.0).cloned().collect();
+        let prf = match_to_gold(&positive, &gold);
+        assert!(
+            prf.precision > 0.8,
+            "coverage {coverage}: precision {:.3}",
+            prf.precision
+        );
+    }
+}
+
+/// The whole pipeline is deterministic under fixed seeds.
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let ds = syn_gen(&SyntheticConfig::new(2_000, 20, 5, 11));
+        let alg = MidasAlg::new(MidasConfig::default());
+        let slices = alg.run(&ds.sources[0], &ds.kb);
+        slices
+            .iter()
+            .map(|s| (s.entities.len(), s.num_new_facts, format!("{:.6}", s.profit)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Annotator + top-k metric glue: a forum-like slice is rejected even with
+/// plenty of new facts.
+#[test]
+fn annotator_rejects_inhomogeneous_slices() {
+    let ds = slim_gen(&SlimConfig {
+        flavor: SlimFlavor::ReVerb,
+        scale: 0.002,
+        seed: 21,
+    });
+    let naive = Naive::new(CostModel::default());
+    let merged = merge_by_domain(&ds.sources);
+    let mut run = run_detector_per_source(&naive, &merged, &ds.kb);
+    run.slices.sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
+    let annotator = SimulatedAnnotator::default();
+    let p_all = midas::eval::top_k_precision(&run.slices, 100, |s| {
+        annotator.is_correct(s, &ds.truth)
+    });
+    assert!(p_all < 0.8, "many whole-source returns fail labeling: {p_all}");
+}

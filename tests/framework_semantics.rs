@@ -1,0 +1,151 @@
+//! Fine-grained semantics of the §III-B framework's consolidation phase,
+//! exercised through hand-built multi-granularity scenarios.
+
+use midas::prelude::*;
+
+fn url(s: &str) -> SourceUrl {
+    SourceUrl::parse(s).unwrap()
+}
+
+/// Builds `pages` pages under `section`, each holding `per_page` entities of
+/// one vertical with 2 defining properties + 1 unique fact.
+fn vertical_pages(
+    t: &mut Interner,
+    section: &str,
+    stem: &str,
+    pages: usize,
+    per_page: usize,
+) -> Vec<SourceFacts> {
+    let mut out = Vec::new();
+    for p in 0..pages {
+        let mut facts = Vec::new();
+        for e in 0..per_page {
+            let name = format!("{stem}_{p}_{e}");
+            facts.push(Fact::intern(t, &name, "kind", stem));
+            // Stem-specific: two verticals must not share any property, or
+            // the merged domain slice legitimately beats them (Def. 9).
+            facts.push(Fact::intern(t, &name, "site", &format!("{stem}_dir")));
+            facts.push(Fact::intern(t, &name, "serial", &format!("{stem}{p}{e}")));
+        }
+        out.push(SourceFacts::new(url(&format!("{section}/page{p}.html")), facts));
+    }
+    out
+}
+
+/// Example 16's shape generalised: many sibling pages of one vertical must
+/// consolidate into a single slice at the section granularity.
+#[test]
+fn sibling_pages_consolidate_upward() {
+    let mut t = Interner::new();
+    let pages = vertical_pages(&mut t, "http://site.example/dir", "rocket", 6, 4);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let fw = Framework::new(&alg, alg.config.cost);
+    let report = fw.run(pages, &KnowledgeBase::new());
+    assert_eq!(report.slices.len(), 1, "{:?}", report.slices);
+    let s = &report.slices[0];
+    assert_eq!(s.source.as_str(), "http://site.example/dir");
+    assert_eq!(s.entities.len(), 24);
+}
+
+/// Two different verticals in sibling sections must stay distinct at the
+/// domain level — the domain slice (if any) never covers both profitably.
+#[test]
+fn distinct_verticals_stay_separate() {
+    let mut t = Interner::new();
+    let mut sources = vertical_pages(&mut t, "http://site.example/golf", "golf", 4, 4);
+    sources.extend(vertical_pages(&mut t, "http://site.example/games", "game", 4, 4));
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let fw = Framework::new(&alg, alg.config.cost);
+    let report = fw.run(sources, &KnowledgeBase::new());
+    assert_eq!(report.slices.len(), 2, "{:?}", report.slices);
+    let mut urls: Vec<&str> = report.slices.iter().map(|s| s.source.as_str()).collect();
+    urls.sort();
+    assert_eq!(
+        urls,
+        vec!["http://site.example/games", "http://site.example/golf"]
+    );
+}
+
+/// When the page-level slices are *already known* in the KB, nothing should
+/// propagate past round one (positive-only export policy).
+#[test]
+fn known_content_exports_nothing() {
+    let mut t = Interner::new();
+    let pages = vertical_pages(&mut t, "http://site.example/dir", "known", 4, 4);
+    let kb: KnowledgeBase = pages.iter().flat_map(|p| p.facts.iter().copied()).collect();
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let fw = Framework::new(&alg, alg.config.cost);
+    let report = fw.run(pages, &kb);
+    assert!(report.slices.is_empty());
+}
+
+/// With f_p high enough that individual pages are unprofitable, the
+/// positive-only policy (the paper's) loses the vertical entirely, while
+/// export-all still finds it at the section level — the ablation's point.
+#[test]
+fn export_all_rescues_small_pages() {
+    let mut t = Interner::new();
+    // 8 pages × 2 entities × 3 facts: per-page profit with f_p = 10 is
+    // 6 new · 0.9 − 10 − … < 0, but the 16-entity section slice is worth it.
+    let pages = vertical_pages(&mut t, "http://site.example/dir", "tiny", 8, 2);
+    let cfg = MidasConfig::default(); // f_p = 10
+    let alg = MidasAlg::new(cfg.clone());
+
+    let positive_only = Framework::new(&alg, cfg.cost)
+        .run(pages.clone(), &KnowledgeBase::new());
+    assert!(
+        positive_only.slices.is_empty(),
+        "paper policy drops sub-threshold pages: {:?}",
+        positive_only.slices
+    );
+
+    // Export-all needs detectors that report their best slice even when it
+    // is unprofitable on its own (`always_report_best`).
+    let rescue_cfg = MidasConfig {
+        always_report_best: true,
+        ..cfg.clone()
+    };
+    let rescue_alg = MidasAlg::new(rescue_cfg);
+    let export_all = Framework::new(&rescue_alg, cfg.cost)
+        .with_policy(ExportPolicy::ExportAll)
+        .run(pages, &KnowledgeBase::new());
+    let best = export_all
+        .slices
+        .iter()
+        .max_by(|a, b| a.profit.partial_cmp(&b.profit).unwrap())
+        .expect("export-all finds the section slice");
+    assert!(best.profit > 0.0);
+    assert_eq!(best.entities.len(), 16);
+    assert_eq!(best.source.as_str(), "http://site.example/dir");
+}
+
+/// Parent-vs-children consolidation: a section slice with *strictly more*
+/// value than its page slices displaces them, and the reverse keeps the
+/// pages… which cannot happen for nested extents (the parent always wins on
+/// crawl cost at equal coverage), so assert the direction that is possible.
+#[test]
+fn consolidation_prefers_the_parent_at_equal_coverage() {
+    let mut t = Interner::new();
+    let pages = vertical_pages(&mut t, "http://site.example/dir", "thing", 3, 5);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let fw = Framework::new(&alg, alg.config.cost);
+    let report = fw.run(pages, &KnowledgeBase::new());
+    assert_eq!(report.slices.len(), 1);
+    // The winner is the section-granularity slice, not three page slices:
+    // one training fee instead of three.
+    assert_eq!(report.slices[0].source.depth(), 1);
+}
+
+/// Detector calls are bounded: one per leaf source plus one per parent
+/// shard per round.
+#[test]
+fn detect_call_accounting() {
+    let mut t = Interner::new();
+    let pages = vertical_pages(&mut t, "http://site.example/dir", "acc", 5, 3);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let fw = Framework::new(&alg, alg.config.cost);
+    let report = fw.run(pages, &KnowledgeBase::new());
+    // 5 leaf detections + 1 section shard + 1 domain shard.
+    assert_eq!(report.detect_calls, 7);
+    assert_eq!(report.rounds, 2);
+}

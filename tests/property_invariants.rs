@@ -1,0 +1,156 @@
+//! Property-based invariants across the whole stack (proptest).
+
+use midas::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a source + KB from compact triples: `(subject, predicate, object,
+/// in_kb)` drawn from small id pools so that slices actually form.
+fn build(triples: &[(u8, u8, u8, bool)]) -> (Interner, SourceFacts, KnowledgeBase) {
+    let mut terms = Interner::new();
+    let mut facts = Vec::new();
+    let mut kb = KnowledgeBase::new();
+    for &(s, p, o, known) in triples {
+        let f = Fact::intern(
+            &mut terms,
+            &format!("e{}", s % 24),
+            &format!("p{}", p % 6),
+            &format!("v{}", o % 8),
+        );
+        facts.push(f);
+        if known {
+            kb.insert(f);
+        }
+    }
+    let url = SourceUrl::parse("http://prop.example.org/data").unwrap();
+    (terms, SourceFacts::new(url, facts), kb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every slice MIDASalg reports (a) has the extent its own property
+    /// conjunction selects, (b) has recomputable counts, and (c) the full
+    /// result set has positive total profit.
+    #[test]
+    fn midasalg_output_is_consistent(triples in proptest::collection::vec(any::<(u8, u8, u8, bool)>(), 1..120)) {
+        let (_terms, source, kb) = build(&triples);
+        let cfg = MidasConfig::running_example();
+        let alg = MidasAlg::new(cfg.clone());
+        let slices = alg.run(&source, &kb);
+
+        let table = FactTable::build(&source, &kb);
+        let ctx = ProfitCtx::new(&table, cfg.cost);
+        let mut acc = ctx.accumulator();
+        for s in &slices {
+            // (a) extent == σ_props(F_W)
+            let prop_ids: Vec<u32> = s
+                .properties
+                .iter()
+                .map(|&(p, v)| table.catalog().get(p, v).expect("known property"))
+                .collect();
+            let extent = table.extent_of(&prop_ids);
+            let mut subjects: Vec<Symbol> = extent.iter().map(|&e| table.subject(e)).collect();
+            subjects.sort_unstable();
+            prop_assert_eq!(&subjects, &s.entities);
+
+            // (b) counts and profit recompute
+            prop_assert_eq!(table.facts_sum(&extent) as usize, s.num_facts);
+            prop_assert_eq!(table.new_sum(&extent) as usize, s.num_new_facts);
+            prop_assert!((ctx.profit_single(&extent) - s.profit).abs() < 1e-9);
+
+            acc.add(&ctx, &extent);
+        }
+        // (c) a non-empty result always has positive set profit (Algorithm 1
+        // only adds positive-marginal slices).
+        if !slices.is_empty() {
+            prop_assert!(acc.profit(&ctx) > 0.0);
+        }
+    }
+
+    /// Every selected slice covers at least one entity no earlier-selected
+    /// slice covered (a fully-covered candidate has marginal −f_p < 0 and
+    /// Algorithm 1 never adds it). Slices are returned in selection order.
+    #[test]
+    fn every_slice_adds_fresh_coverage(triples in proptest::collection::vec(any::<(u8, u8, u8, bool)>(), 1..120)) {
+        let (_t, source, kb) = build(&triples);
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        let slices = alg.run(&source, &kb);
+        let mut covered = std::collections::BTreeSet::new();
+        for s in &slices {
+            let fresh = s.entities.iter().filter(|e| !covered.contains(*e)).count();
+            prop_assert!(fresh > 0, "slice added no uncovered entity");
+            covered.extend(s.entities.iter().copied());
+        }
+    }
+
+    /// Adding facts to the knowledge base never increases any slice's
+    /// profit (gain is monotone in novelty).
+    #[test]
+    fn profit_is_monotone_in_kb_coverage(triples in proptest::collection::vec(any::<(u8, u8, u8, bool)>(), 1..80)) {
+        let (_t, source, kb) = build(&triples);
+        let mut bigger = kb.clone();
+        for f in source.facts.iter().take(source.facts.len() / 2) {
+            bigger.insert(*f);
+        }
+        let cfg = MidasConfig::running_example();
+        let t1 = FactTable::build(&source, &kb);
+        let t2 = FactTable::build(&source, &bigger);
+        let c1 = ProfitCtx::new(&t1, cfg.cost);
+        let c2 = ProfitCtx::new(&t2, cfg.cost);
+        let all: Vec<u32> = (0..t1.num_entities() as u32).collect();
+        prop_assert!(c2.profit_single(&all) <= c1.profit_single(&all) + 1e-9);
+    }
+
+    /// URL parsing is idempotent and parents strictly reduce depth.
+    #[test]
+    fn url_parse_idempotent(host in "[a-z]{1,8}(\\.[a-z]{2,3})?", segs in proptest::collection::vec("[a-z0-9_-]{1,6}", 0..5)) {
+        let raw = format!("http://{}/{}", host, segs.join("/"));
+        let u = SourceUrl::parse(&raw).unwrap();
+        let reparsed = SourceUrl::parse(u.as_str()).unwrap();
+        prop_assert_eq!(&u, &reparsed);
+        prop_assert_eq!(u.depth(), segs.len());
+        let mut cur = u.clone();
+        while let Some(p) = cur.parent() {
+            prop_assert_eq!(p.depth() + 1, cur.depth());
+            prop_assert!(p.contains(&cur));
+            cur = p;
+        }
+        prop_assert!(cur.is_domain());
+    }
+
+    /// The source trie contains every ancestor of every inserted URL.
+    #[test]
+    fn trie_closure_over_ancestors(segs in proptest::collection::vec(proptest::collection::vec("[a-z]{1,4}", 0..4), 1..12)) {
+        let urls: Vec<SourceUrl> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                SourceUrl::parse(&format!("http://d{}.com/{}", i % 3, s.join("/"))).unwrap()
+            })
+            .collect();
+        let trie = SourceTrie::build(&urls);
+        for u in &urls {
+            let mut cur = Some(u.clone());
+            while let Some(x) = cur {
+                prop_assert!(trie.get(&x).is_some(), "missing {}", x);
+                cur = x.parent();
+            }
+        }
+    }
+
+    /// Knowledge-base set semantics under arbitrary insert sequences.
+    #[test]
+    fn kb_set_semantics(ops in proptest::collection::vec(any::<(u8, u8, u8)>(), 1..200)) {
+        let mut terms = Interner::new();
+        let mut kb = KnowledgeBase::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for &(s, p, o) in &ops {
+            let f = Fact::intern(&mut terms, &format!("s{s}"), &format!("p{p}"), &format!("o{o}"));
+            prop_assert_eq!(kb.insert(f), reference.insert(f));
+        }
+        prop_assert_eq!(kb.len(), reference.len());
+        for f in &reference {
+            prop_assert!(kb.contains(f));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration: the paper's running example through the public facade API —
+//! every number the paper prints for Figures 2/4/5 and Examples 10–16.
+
+use midas::core::fixtures::{skyrocket, skyrocket_pages};
+use midas::prelude::*;
+
+#[test]
+fn figure_2_fixture_shape() {
+    let mut terms = Interner::new();
+    let (source, kb) = skyrocket(&mut terms);
+    assert_eq!(source.len(), 13, "t1–t13");
+    assert_eq!(kb.count_new(source.facts.iter()), 6, "t6–t8, t11–t13 are new");
+}
+
+#[test]
+fn figure_4_fact_table_and_properties() {
+    let mut terms = Interner::new();
+    let (source, kb) = skyrocket(&mut terms);
+    let table = FactTable::build(&source, &kb);
+    assert_eq!(table.num_entities(), 5, "e1–e5");
+    assert_eq!(table.catalog().len(), 6, "c1–c6");
+    let c6 = table
+        .catalog()
+        .get(terms.get("sponsor").unwrap(), terms.get("NASA").unwrap())
+        .unwrap();
+    assert_eq!(table.catalog().extent(c6).len(), 5, "c6 covers everything");
+}
+
+#[test]
+fn figure_5_profits_through_public_api() {
+    let mut terms = Interner::new();
+    let (source, kb) = skyrocket(&mut terms);
+    let table = FactTable::build(&source, &kb);
+    let cfg = MidasConfig::running_example();
+    let ctx = ProfitCtx::new(&table, cfg.cost);
+    let extent_of = |props: &[(&str, &str)]| {
+        let ids: Vec<_> = props
+            .iter()
+            .map(|&(p, v)| {
+                table
+                    .catalog()
+                    .get(terms.get(p).unwrap(), terms.get(v).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        table.extent_of(&ids)
+    };
+    let s5 = extent_of(&[("category", "rocket_family"), ("sponsor", "NASA")]);
+    let s4 = extent_of(&[("category", "space_program"), ("sponsor", "NASA")]);
+    let s6 = extent_of(&[("sponsor", "NASA")]);
+    assert!((ctx.profit_single(&s5) - 4.327).abs() < 1e-9);
+    assert!((ctx.profit_single(&s4) + 1.083).abs() < 1e-9);
+    assert!((ctx.profit_single(&s6) - 4.257).abs() < 1e-9);
+}
+
+#[test]
+fn example_14_midasalg_returns_s5_only() {
+    let mut terms = Interner::new();
+    let (source, kb) = skyrocket(&mut terms);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let slices = alg.run(&source, &kb);
+    assert_eq!(slices.len(), 1);
+    let desc = slices[0].describe(&terms);
+    assert!(desc.contains("category = rocket_family"));
+    assert!(desc.contains("sponsor = NASA"));
+}
+
+#[test]
+fn example_16_framework_consolidates_to_subdomain() {
+    let mut terms = Interner::new();
+    let (pages, kb) = skyrocket_pages(&mut terms);
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    let fw = Framework::new(&alg, alg.config.cost);
+    let report = fw.run(pages, &kb);
+    assert_eq!(report.slices.len(), 1);
+    assert_eq!(
+        report.slices[0].source.as_str(),
+        "http://space.skyrocket.de/doc_lau_fam"
+    );
+    assert_eq!(report.slices[0].num_new_facts, 6);
+}
+
+#[test]
+fn baselines_on_the_running_example() {
+    let mut terms = Interner::new();
+    let (source, kb) = skyrocket(&mut terms);
+    let cost = CostModel::running_example();
+
+    // GREEDY finds an S5-equivalent slice (single-source, single slice).
+    let greedy = Greedy::new(cost);
+    let g = greedy.detect(DetectInput { source: &source, kb: &kb, seeds: &[] });
+    assert_eq!(g.len(), 1);
+    assert_eq!(g[0].entities.len(), 2);
+
+    // AGGCLUSTER over-merges into "sponsored by NASA" — a local optimum
+    // with strictly lower profit than S5.
+    let agg = AggCluster::new(cost);
+    let a = agg.detect(DetectInput { source: &source, kb: &kb, seeds: &[] });
+    assert!(!a.is_empty());
+    assert_eq!(a[0].entities.len(), 5);
+    assert!(a[0].profit < g[0].profit);
+
+    // NAIVE reports the whole source.
+    let naive = Naive::new(cost);
+    let n = naive.detect(DetectInput { source: &source, kb: &kb, seeds: &[] });
+    assert_eq!(n.len(), 1);
+    assert!(n[0].properties.is_empty());
+    assert_eq!(n[0].num_facts, 13);
+}
