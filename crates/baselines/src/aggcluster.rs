@@ -17,8 +17,8 @@
 
 use midas_core::fact_table::intersect_sorted;
 use midas_core::{
-    CostModel, DetectInput, DiscoveredSlice, EntityId, FactTable, ProfitCtx, PropertyId,
-    SliceDetector, SourceFacts,
+    CostModel, DetectInput, DiscoveredSlice, EntityId, ExtentSet, FactTable, ProfitCtx,
+    PropertyId, SliceDetector, SourceFacts,
 };
 use midas_kb::{KnowledgeBase, Symbol};
 use std::cmp::Ordering;
@@ -47,7 +47,7 @@ impl Default for AggCluster {
 #[derive(Debug, Clone)]
 struct Cluster {
     props: Vec<PropertyId>,
-    extent: Vec<EntityId>,
+    extent: ExtentSet,
     profit: f64,
     version: u32,
     alive: bool,
@@ -101,7 +101,7 @@ impl AggCluster {
             .map(|e| {
                 let props = table.entity_properties(e).to_vec();
                 let extent = if props.is_empty() {
-                    vec![e]
+                    ExtentSet::from_sorted(table.num_entities() as u32, vec![e])
                 } else {
                     table.extent_of(&props)
                 };
@@ -158,11 +158,7 @@ impl AggCluster {
             // Merge j into a fresh cluster.
             let props = intersect_sorted_props(&clusters[i].props, &clusters[j].props);
             let extent = if props.is_empty() {
-                let mut e = clusters[i].extent.clone();
-                e.extend(clusters[j].extent.iter().copied());
-                e.sort_unstable();
-                e.dedup();
-                e
+                clusters[i].extent.union(&clusters[j].extent)
             } else {
                 table.extent_of(&props)
             };
@@ -204,7 +200,7 @@ impl AggCluster {
                 c.props.iter().map(|&p| table.catalog().pair(p)).collect();
             properties.sort_unstable();
             let mut entities: Vec<Symbol> =
-                c.extent.iter().map(|&e| table.subject(e)).collect();
+                c.extent.iter().map(|e| table.subject(e)).collect();
             entities.sort_unstable();
             out.push(DiscoveredSlice {
                 source: source.url.clone(),
@@ -238,7 +234,7 @@ impl AggCluster {
         let merged_profit = ctx.profit_single(&merged_extent);
         // f({merged}) vs f({i, j}): the pair shares one crawl term, so the
         // difference is the union-based set profit with k = 2.
-        let union = midas_core::fact_table::union_sorted(&ci.extent, &cj.extent);
+        let union = ci.extent.union(&cj.extent);
         let pair_profit = ctx.profit_set(&union, 2);
         let gain = merged_profit - pair_profit;
         Some(HeapEntry {

@@ -20,7 +20,7 @@
 //! uses it to measure how far MIDASalg is from optimal on random instances.
 
 use midas_core::{
-    CostModel, DetectInput, DiscoveredSlice, EntityId, FactTable, ProfitCtx, PropertyId,
+    CostModel, DetectInput, DiscoveredSlice, EntityId, ExtentSet, FactTable, ProfitCtx, PropertyId,
     SliceDetector, SourceFacts,
 };
 use midas_kb::{KnowledgeBase, Symbol};
@@ -106,7 +106,7 @@ impl Exact {
             }
             let extent = table.extent_of(&props);
             let mut extent_mask = 0u32;
-            for &e in &extent {
+            for e in extent.iter() {
                 extent_mask |= 1 << e;
             }
             candidates.push(Candidate { props, extent_mask });
@@ -159,13 +159,14 @@ impl Exact {
             if best_set & (1 << i) == 0 {
                 continue;
             }
-            let extent: Vec<EntityId> = (0..n as u32)
+            let extent_ids: Vec<EntityId> = (0..n as u32)
                 .filter(|&e| c.extent_mask & (1 << e) != 0)
                 .collect();
+            let extent = ExtentSet::from_sorted(n as u32, extent_ids);
             let mut properties: Vec<(Symbol, Symbol)> =
                 c.props.iter().map(|&p| table.catalog().pair(p)).collect();
             properties.sort_unstable();
-            let mut entities: Vec<Symbol> = extent.iter().map(|&e| table.subject(e)).collect();
+            let mut entities: Vec<Symbol> = extent.iter().map(|e| table.subject(e)).collect();
             entities.sort_unstable();
             out.push(DiscoveredSlice {
                 source: source.url.clone(),
@@ -194,11 +195,12 @@ impl Exact {
         let ctx = ProfitCtx::new(&table, self.cost);
         let mut acc = ctx.accumulator();
         for s in slices {
-            let extent: Vec<EntityId> = s
+            let ids: Vec<EntityId> = s
                 .entities
                 .iter()
                 .filter_map(|&e| table.entity(e))
                 .collect();
+            let extent = ExtentSet::from_unsorted(table.num_entities() as u32, ids);
             acc.add(&ctx, &extent);
         }
         acc.profit(&ctx)

@@ -6,10 +6,9 @@
 //! the profit of the slice the most" (§IV-B).
 
 use midas_core::{
-    CostModel, DetectInput, DiscoveredSlice, EntityId, FactTable, ProfitCtx, PropertyId,
+    CostModel, DetectInput, DiscoveredSlice, ExtentSet, FactTable, ProfitCtx, PropertyId,
     SliceDetector, SourceFacts,
 };
-use midas_core::fact_table::intersect_sorted;
 use midas_kb::{KnowledgeBase, Symbol};
 
 /// Greedy single-slice refinement.
@@ -45,16 +44,16 @@ impl Greedy {
         // when there is exactly one, §IV-D), so the empty start is the
         // faithful reading of "iteratively selecting conditions".
         let mut props: Vec<PropertyId> = Vec::new();
-        let mut extent: Vec<EntityId> = (0..table.num_entities() as EntityId).collect();
+        let mut extent = ExtentSet::full(table.num_entities() as u32);
         let mut profit = 0.0;
 
         loop {
             // Candidate conditions: properties carried by entities still in
             // the extent and not yet selected.
-            let mut best: Option<(PropertyId, Vec<EntityId>, f64)> = None;
+            let mut best: Option<(PropertyId, ExtentSet, f64)> = None;
             let mut candidates: Vec<PropertyId> = extent
                 .iter()
-                .flat_map(|&e| table.entity_properties(e).iter().copied())
+                .flat_map(|e| table.entity_properties(e).iter().copied())
                 .collect();
             candidates.sort_unstable();
             candidates.dedup();
@@ -62,7 +61,7 @@ impl Greedy {
                 if props.contains(&cand) {
                     continue;
                 }
-                let new_extent = intersect_sorted(&extent, table.catalog().extent(cand));
+                let new_extent = extent.intersect(table.catalog().extent(cand));
                 if new_extent.is_empty() {
                     continue;
                 }
@@ -89,7 +88,7 @@ impl Greedy {
         let mut properties: Vec<(Symbol, Symbol)> =
             props.iter().map(|&p| table.catalog().pair(p)).collect();
         properties.sort_unstable();
-        let mut entities: Vec<Symbol> = extent.iter().map(|&e| table.subject(e)).collect();
+        let mut entities: Vec<Symbol> = extent.iter().map(|e| table.subject(e)).collect();
         entities.sort_unstable();
         Some(DiscoveredSlice {
             source: source.url.clone(),

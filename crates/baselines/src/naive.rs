@@ -1,6 +1,9 @@
 //! The NAIVE baseline: whole sources ranked by new-fact count.
 
-use midas_core::{CostModel, DetectInput, DiscoveredSlice, FactTable, ProfitCtx, SliceDetector, SourceFacts};
+use midas_core::{
+    CostModel, DetectInput, DiscoveredSlice, ExtentSet, FactTable, ProfitCtx, SliceDetector,
+    SourceFacts,
+};
 use midas_kb::{KnowledgeBase, Symbol};
 
 /// Ranks entire web sources by the number of facts they would add.
@@ -33,8 +36,8 @@ impl Naive {
         }
         let table = FactTable::build(source, kb);
         let ctx = ProfitCtx::new(&table, self.cost);
-        let extent: Vec<u32> = (0..table.num_entities() as u32).collect();
-        let mut entities: Vec<Symbol> = extent.iter().map(|&e| table.subject(e)).collect();
+        let extent = ExtentSet::full(table.num_entities() as u32);
+        let mut entities: Vec<Symbol> = extent.iter().map(|e| table.subject(e)).collect();
         entities.sort_unstable();
         Some(DiscoveredSlice {
             source: source.url.clone(),

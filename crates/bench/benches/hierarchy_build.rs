@@ -1,14 +1,19 @@
 //! Microbench: slice-hierarchy construction (§III-A step 1) as the source
 //! grows — the dominant cost of MIDASalg (Proposition 15: O(m·|P|)).
+//!
+//! The `hierarchy_build_seed` group runs the same construction through the
+//! seed-era reference port (`midas_bench::seed_reference`) so the extent
+//! engine's speedup is measurable inside one binary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use midas_bench::seed_reference::{SeedHierarchy, SeedLists};
 use midas_core::{FactTable, MidasConfig, ProfitCtx, SliceHierarchy};
 use midas_extract::synthetic::{generate, SyntheticConfig};
 
 fn bench_hierarchy(c: &mut Criterion) {
     let mut group = c.benchmark_group("hierarchy_build");
     group.sample_size(20);
-    for &n in &[1_000usize, 2_500, 5_000] {
+    for &n in &[5_000usize, 20_000, 50_000] {
         let ds = generate(&SyntheticConfig::new(n, 20, 10, 42));
         let cfg = MidasConfig::default();
         let table = FactTable::build(&ds.sources[0], &ds.kb);
@@ -22,5 +27,23 @@ fn bench_hierarchy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hierarchy);
+fn bench_hierarchy_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_build_seed");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000, 50_000] {
+        let ds = generate(&SyntheticConfig::new(n, 20, 10, 42));
+        let cfg = MidasConfig::default();
+        let table = FactTable::build(&ds.sources[0], &ds.kb);
+        let lists = SeedLists::from_table(&table);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let ctx = ProfitCtx::new(&table, cfg.cost);
+                SeedHierarchy::build(&table, &lists, &ctx, &cfg).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy, bench_hierarchy_seed);
 criterion_main!(benches);

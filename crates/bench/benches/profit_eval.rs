@@ -1,34 +1,74 @@
 //! Microbench: the Definition 9 profit function — single slices, slice
 //! sets, and incremental marginals.
+//!
+//! Runs at the largest synthetic size of the hierarchy bench (50k facts,
+//! 10k entities), with 4 broad slices so property extents have the
+//! 25%-of-universe coverage profile of the high-profit slices Algorithm 1
+//! actually accumulates. The `profit_seed/*` entries run the same
+//! workloads through the seed-era sorted-vec path
+//! (`midas_bench::seed_reference`) for an in-binary before/after
+//! comparison.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use midas_core::{FactTable, MidasConfig, ProfitCtx};
+use midas_bench::seed_reference::{seed_profit_single, SeedAccumulator};
+use midas_core::{ExtentSet, FactTable, MidasConfig, ProfitCtx};
 use midas_extract::synthetic::{generate, SyntheticConfig};
 
 fn bench_profit(c: &mut Criterion) {
-    let ds = generate(&SyntheticConfig::new(5_000, 20, 10, 42));
+    let ds = generate(&SyntheticConfig::new(50_000, 4, 2, 42));
     let cfg = MidasConfig::default();
     let table = FactTable::build(&ds.sources[0], &ds.kb);
     let ctx = ProfitCtx::new(&table, cfg.cost);
-    let all: Vec<u32> = (0..table.num_entities() as u32).collect();
-    let half: Vec<u32> = all.iter().copied().step_by(2).collect();
+    let n = table.num_entities() as u32;
+    let all = ExtentSet::full(n);
+    let half = ExtentSet::from_sorted(n, (0..n).step_by(2).collect());
+    // Algorithm 1's real workload: successive marginal/add over property
+    // extents of the synthetic source. The profitable slices it accumulates
+    // are the high-coverage ones, so bench the largest extents.
+    let cat = table.catalog();
+    let mut slice_extents: Vec<ExtentSet> =
+        (0..cat.len() as u32).map(|p| cat.extent(p).clone()).collect();
+    slice_extents.sort_by_key(|x| std::cmp::Reverse(x.len()));
+    slice_extents.truncate(16);
+    assert!(slice_extents.len() == 16, "synthetic catalog too small");
+    let slice_ids: Vec<Vec<u32>> = slice_extents.iter().map(|x| x.to_vec()).collect();
 
-    c.bench_function("profit/single_1000_entities", |b| {
+    c.bench_function("profit/single_full_universe", |b| {
         b.iter(|| black_box(ctx.profit_single(&all)))
     });
 
-    c.bench_function("profit/set_union_500", |b| {
+    c.bench_function("profit/set_union_half", |b| {
         b.iter(|| black_box(ctx.profit_set(&half, 10)))
     });
 
     c.bench_function("profit/accumulator_add_marginal", |b| {
         b.iter(|| {
             let mut acc = ctx.accumulator();
-            let m1 = acc.marginal(&ctx, &half);
-            acc.add(&ctx, &half);
-            let m2 = acc.marginal(&ctx, &all);
-            acc.add(&ctx, &all);
-            black_box((m1, m2, acc.profit(&ctx)))
+            let mut sum = 0.0;
+            for x in &slice_extents {
+                sum += acc.marginal(&ctx, x);
+                acc.add(&ctx, x);
+            }
+            black_box((sum, acc.profit(&ctx)))
+        })
+    });
+
+    // Seed-era reference path over the same workloads (sorted id vectors).
+    let all_ids = all.to_vec();
+
+    c.bench_function("profit_seed/single_full_universe", |b| {
+        b.iter(|| black_box(seed_profit_single(&ctx, &all_ids)))
+    });
+
+    c.bench_function("profit_seed/accumulator_add_marginal", |b| {
+        b.iter(|| {
+            let mut acc = SeedAccumulator::new(&ctx);
+            let mut sum = 0.0;
+            for ids in &slice_ids {
+                sum += acc.marginal(&ctx, ids);
+                acc.add(&ctx, ids);
+            }
+            black_box((sum, acc.profit(&ctx)))
         })
     });
 }

@@ -24,5 +24,6 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod seed_reference;
 
 pub use experiments::{run_four_algorithms, AlgoOutcome, ExperimentScale};

@@ -1,0 +1,69 @@
+//! The seed-era reference port must be *semantically* identical to the
+//! optimized engine: same nodes in the same creation order, same extents,
+//! same canonicality and low-profit pruning decisions, bit-identical
+//! profits. Only link-list ordering may differ (the optimized engine keeps
+//! children/parents sorted; the seed appended), so lists are compared as
+//! sorted multisets.
+
+use midas_bench::seed_reference::{SeedHierarchy, SeedLists};
+use midas_core::fixtures::skyrocket;
+use midas_core::{FactTable, MidasConfig, ProfitCtx, SliceHierarchy};
+use midas_extract::synthetic::{generate, SyntheticConfig};
+use midas_kb::Interner;
+
+fn assert_parity(table: &FactTable, cfg: &MidasConfig) {
+    let ctx = ProfitCtx::new(table, cfg.cost);
+    let new = SliceHierarchy::build(table, &ctx, cfg);
+    let lists = SeedLists::from_table(table);
+    let seed = SeedHierarchy::build(table, &lists, &ctx, cfg);
+
+    assert_eq!(new.capacity(), seed.nodes.len(), "node counts differ");
+    assert_eq!(new.len(), seed.len(), "live counts differ");
+    assert_eq!(new.capped, seed.capped);
+    for id in 0..seed.nodes.len() as u32 {
+        let x = new.node(id);
+        let y = &seed.nodes[id as usize];
+        assert_eq!(&*x.props, &*y.props, "node {id}: props");
+        assert_eq!(x.extent.to_vec(), y.extent, "node {id}: extent");
+        assert_eq!(x.is_initial, y.is_initial, "node {id}: is_initial");
+        assert_eq!(x.removed, y.removed, "node {id}: removed");
+        assert_eq!(x.canonical, y.canonical, "node {id}: canonical");
+        assert_eq!(x.valid, y.valid, "node {id}: valid");
+        assert_eq!(x.profit.to_bits(), y.profit.to_bits(), "node {id}: profit");
+        assert_eq!(
+            x.slb_profit.to_bits(),
+            y.slb_profit.to_bits(),
+            "node {id}: slb_profit"
+        );
+        let sorted = |v: &[u32]| {
+            let mut v = v.to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&x.children), sorted(&y.children), "node {id}: children");
+        assert_eq!(sorted(&x.parents), sorted(&y.parents), "node {id}: parents");
+        assert_eq!(
+            sorted(&x.slb_slices),
+            sorted(&y.slb_slices),
+            "node {id}: slb_slices"
+        );
+    }
+}
+
+#[test]
+fn seed_reference_matches_engine_on_running_example() {
+    let mut terms = Interner::new();
+    let (src, kb) = skyrocket(&mut terms);
+    let table = FactTable::build(&src, &kb);
+    assert_parity(&table, &MidasConfig::running_example());
+}
+
+#[test]
+fn seed_reference_matches_engine_on_synthetic() {
+    let ds = generate(&SyntheticConfig::new(1_000, 20, 10, 42));
+    let table = FactTable::build(&ds.sources[0], &ds.kb);
+    assert_parity(&table, &MidasConfig::default());
+    let mut no_prune = MidasConfig::default();
+    no_prune.disable_profit_pruning = true;
+    assert_parity(&table, &no_prune);
+}

@@ -65,7 +65,9 @@ pub fn run_algorithm(
 ) -> Vec<DiscoveredSlice> {
     match algorithm {
         Algorithm::Midas => {
-            let cfg = MidasConfig::default().with_cost(cost);
+            // `--threads` drives both layers: source-level framework rounds
+            // and level-wise hierarchy construction inside each detect call.
+            let cfg = MidasConfig::default().with_cost(cost).with_threads(threads);
             run_midas_framework(&cfg, sources.to_vec(), kb, threads).slices
         }
         Algorithm::Greedy => {
@@ -147,11 +149,13 @@ fn discover(
             let merged = SourceFacts::merge(s.source.clone(), scope);
             let table_w = FactTable::build(&merged, &kb);
             let ctx = ProfitCtx::new(&table_w, cost);
-            let extent: Vec<u32> = s
+            let ids: Vec<u32> = s
                 .entities
                 .iter()
                 .filter_map(|&e| table_w.entity(e))
                 .collect();
+            let extent =
+                midas_core::ExtentSet::from_unsorted(table_w.num_entities() as u32, ids);
             writeln!(out, "  #{}: {}", i + 1, ctx.breakdown(&extent))?;
         }
     }

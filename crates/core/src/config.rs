@@ -75,6 +75,12 @@ pub struct MidasConfig {
     /// this lets the framework aggregate many individually-unprofitable
     /// pages into a profitable coarser slice.
     pub always_report_best: bool,
+    /// Worker threads for level-wise hierarchy construction (parent
+    /// generation and profit evaluation). `1` = fully sequential. Any value
+    /// produces node-for-node identical hierarchies: parallel phases only
+    /// compute, and all structural mutation happens in a deterministic
+    /// sequential merge.
+    pub threads: usize,
 }
 
 impl Default for MidasConfig {
@@ -86,6 +92,7 @@ impl Default for MidasConfig {
             max_hierarchy_nodes: 4_000_000,
             disable_profit_pruning: false,
             always_report_best: false,
+            threads: 1,
         }
     }
 }
@@ -102,6 +109,12 @@ impl MidasConfig {
     /// Replaces the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Sets the construction thread count (`1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }

@@ -9,7 +9,7 @@
 //!   − validation 0.600 = 4.327
 //! ```
 
-use crate::fact_table::EntityId;
+use crate::extent::ExtentSet;
 use crate::profit::ProfitCtx;
 use std::fmt;
 
@@ -78,7 +78,7 @@ impl fmt::Display for ProfitBreakdown {
 
 impl<'a> ProfitCtx<'a> {
     /// Decomposes `f({S})` for a slice with the given entity extent.
-    pub fn breakdown(&self, entities: &[EntityId]) -> ProfitBreakdown {
+    pub fn breakdown(&self, entities: &ExtentSet) -> ProfitBreakdown {
         let new_facts = self.table().new_sum(entities);
         let total_facts = self.table().facts_sum(entities);
         let cost = self.cost();

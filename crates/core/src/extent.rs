@@ -1,0 +1,635 @@
+//! The extent engine: hybrid sparse/dense entity sets.
+//!
+//! Every profit evaluation in MIDAS reduces to set algebra over entity
+//! extents (Definition 5): intersections while deriving slice extents from
+//! the property inverted lists, unions while maintaining the `SLB` subtree
+//! sets, and membership tests against the covered-entity map of Algorithm 1.
+//! [`ExtentSet`] stores an extent either as a sorted `Vec<EntityId>`
+//! (sparse) or as a `u64`-block bitset (dense), picking the representation
+//! from the set's density relative to the source's entity universe.
+//!
+//! The crossover is [`DENSITY_DIVISOR`]: a set is dense iff
+//! `len · DENSITY_DIVISOR ≥ universe` (and non-empty). At 32 the switch is
+//! memory-neutral or better — the bitset's `universe/8` bytes never exceed
+//! the sparse form's `4·len` bytes once `len ≥ universe/32` — while
+//! intersections and unions between dense sets collapse to word-wise
+//! `AND`/`OR` plus popcounts, which beat the sparse two-pointer merge down
+//! to densities of a few percent — the operation hierarchy construction
+//! performs millions of times on large sources.
+//!
+//! The representation is *normal*: it is a pure function of
+//! `(universe, contents)`, so structural equality (`==`) is set equality and
+//! the derived `PartialEq` never confuses two encodings of the same set.
+
+use crate::fact_table::EntityId;
+
+/// Density crossover: a set is stored dense iff `len * DENSITY_DIVISOR >=
+/// universe` and the set is non-empty.
+pub const DENSITY_DIVISOR: u32 = 32;
+
+/// A set of entities of one fact table, stored sparse or dense by density.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ExtentSet {
+    universe: u32,
+    repr: Repr,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+enum Repr {
+    /// Sorted, deduplicated entity ids.
+    Sparse(Vec<EntityId>),
+    /// Bitset over `0..universe`; `len` caches the popcount.
+    Dense { blocks: Vec<u64>, len: u32 },
+}
+
+#[inline]
+fn prefers_dense(universe: u32, len: u32) -> bool {
+    len > 0 && u64::from(len) * u64::from(DENSITY_DIVISOR) >= u64::from(universe)
+}
+
+#[inline]
+fn block_count(universe: u32) -> usize {
+    (universe as usize).div_ceil(64)
+}
+
+impl ExtentSet {
+    /// The empty set over a universe of `universe` entities.
+    pub fn empty(universe: u32) -> Self {
+        ExtentSet {
+            universe,
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// The full set `{0, …, universe−1}`.
+    pub fn full(universe: u32) -> Self {
+        if universe == 0 {
+            return Self::empty(0);
+        }
+        let mut blocks = vec![u64::MAX; block_count(universe)];
+        let tail = universe % 64;
+        if tail != 0 {
+            *blocks.last_mut().expect("non-empty blocks") = (1u64 << tail) - 1;
+        }
+        ExtentSet {
+            universe,
+            repr: Repr::Dense {
+                blocks,
+                len: universe,
+            },
+        }
+        .normalized()
+    }
+
+    /// Builds a set from a sorted, deduplicated id list with ids `< universe`.
+    pub fn from_sorted(universe: u32, ids: Vec<EntityId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids sorted + distinct");
+        debug_assert!(ids.last().is_none_or(|&e| e < universe), "ids in universe");
+        ExtentSet {
+            universe,
+            repr: Repr::Sparse(ids),
+        }
+        .normalized()
+    }
+
+    /// Builds a set from an arbitrary id list (sorted and deduplicated here).
+    pub fn from_unsorted(universe: u32, mut ids: Vec<EntityId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Self::from_sorted(universe, ids)
+    }
+
+    /// The size of the entity universe this set ranges over.
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// Number of entities in the set.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(v) => v.len(),
+            Repr::Dense { len, .. } => *len as usize,
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the set currently uses the dense (bitset) representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense { .. })
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: EntityId) -> bool {
+        match &self.repr {
+            Repr::Sparse(v) => v.binary_search(&e).is_ok(),
+            Repr::Dense { blocks, .. } => {
+                e < self.universe && blocks[(e / 64) as usize] & (1u64 << (e % 64)) != 0
+            }
+        }
+    }
+
+    /// Iterates the entities in ascending order (by value).
+    pub fn iter(&self) -> ExtentIter<'_> {
+        ExtentIter {
+            kind: match &self.repr {
+                Repr::Sparse(v) => IterKind::Sparse(v.iter()),
+                Repr::Dense { blocks, .. } => IterKind::Dense {
+                    blocks,
+                    next_block: 0,
+                    word: 0,
+                    base: 0,
+                },
+            },
+        }
+    }
+
+    /// The sorted id slice when the set is stored sparse, `None` when dense.
+    /// Together with [`Self::dense_blocks`] this lets hot consumers (the
+    /// profit summations) walk the raw representation without the iterator's
+    /// per-element dispatch.
+    pub fn sparse_ids(&self) -> Option<&[EntityId]> {
+        match &self.repr {
+            Repr::Sparse(v) => Some(v),
+            Repr::Dense { .. } => None,
+        }
+    }
+
+    /// The `u64` bit blocks when the set is stored dense, `None` when
+    /// sparse. Bits at positions `>= universe` are always zero.
+    pub fn dense_blocks(&self) -> Option<&[u64]> {
+        match &self.repr {
+            Repr::Sparse(_) => None,
+            Repr::Dense { blocks, .. } => Some(blocks),
+        }
+    }
+
+    /// The sorted id list of the set.
+    pub fn to_vec(&self) -> Vec<EntityId> {
+        match &self.repr {
+            Repr::Sparse(v) => v.clone(),
+            Repr::Dense { .. } => self.iter().collect(),
+        }
+    }
+
+    /// Whether every member of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &ExtentSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => {
+                a.iter().zip(b).all(|(x, y)| x & !y == 0)
+            }
+            _ => self.iter().all(|e| other.contains(e)),
+        }
+    }
+
+    /// `self ∩ other` as a new set.
+    pub fn intersect(&self, other: &ExtentSet) -> ExtentSet {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        let universe = self.universe;
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => Repr::Sparse(intersect_vec(a, b)),
+            (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => {
+                let mut blocks: Vec<u64> = a.iter().zip(b).map(|(x, y)| x & y).collect();
+                let len = popcount(&blocks);
+                blocks_or_empty(&mut blocks, len);
+                Repr::Dense { blocks, len }
+            }
+            (Repr::Sparse(a), Repr::Dense { .. }) => {
+                Repr::Sparse(a.iter().copied().filter(|&e| other.contains(e)).collect())
+            }
+            (Repr::Dense { .. }, Repr::Sparse(b)) => {
+                Repr::Sparse(b.iter().copied().filter(|&e| self.contains(e)).collect())
+            }
+        };
+        ExtentSet { universe, repr }.normalized()
+    }
+
+    /// `self ∪ other` as a new set.
+    pub fn union(&self, other: &ExtentSet) -> ExtentSet {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        let universe = self.universe;
+        let repr = match (&self.repr, &other.repr) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => Repr::Sparse(union_vec(a, b)),
+            (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => {
+                let blocks: Vec<u64> = a.iter().zip(b).map(|(x, y)| x | y).collect();
+                let len = popcount(&blocks);
+                Repr::Dense { blocks, len }
+            }
+            (Repr::Sparse(a), Repr::Dense { blocks, len }) => dense_with(blocks, *len, a),
+            (Repr::Dense { blocks, len }, Repr::Sparse(b)) => dense_with(blocks, *len, b),
+        };
+        ExtentSet { universe, repr }.normalized()
+    }
+
+    /// In-place `self ∩= other`; avoids allocation when both sides are dense.
+    pub fn intersect_with(&mut self, other: &ExtentSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        match (&mut self.repr, &other.repr) {
+            (Repr::Dense { blocks, len }, Repr::Dense { blocks: b, .. }) => {
+                for (x, y) in blocks.iter_mut().zip(b) {
+                    *x &= y;
+                }
+                *len = popcount(blocks);
+            }
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                // In-place two-pointer merge — `retain` + `binary_search`
+                // would cost O(|a|·log|b|) and dominates `extent_of`.
+                let mut j = 0;
+                let mut k = 0;
+                for i in 0..a.len() {
+                    let e = a[i];
+                    while j < b.len() && b[j] < e {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == e {
+                        a[k] = e;
+                        k += 1;
+                        j += 1;
+                    }
+                }
+                a.truncate(k);
+            }
+            (Repr::Sparse(a), Repr::Dense { .. }) => a.retain(|&e| other.contains(e)),
+            _ => {
+                *self = self.intersect(other);
+                return;
+            }
+        }
+        self.renormalize();
+    }
+
+    /// In-place `self ∪= other`; avoids allocation when `self` is dense.
+    pub fn union_with(&mut self, other: &ExtentSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        match (&mut self.repr, &other.repr) {
+            (Repr::Dense { blocks, len }, Repr::Dense { blocks: b, .. }) => {
+                for (x, y) in blocks.iter_mut().zip(b) {
+                    *x |= y;
+                }
+                *len = popcount(blocks);
+            }
+            (Repr::Dense { blocks, len }, Repr::Sparse(b)) => {
+                for &e in b {
+                    let w = &mut blocks[(e / 64) as usize];
+                    let bit = 1u64 << (e % 64);
+                    if *w & bit == 0 {
+                        *w |= bit;
+                        *len += 1;
+                    }
+                }
+            }
+            _ => {
+                *self = self.union(other);
+                return;
+            }
+        }
+        self.renormalize();
+    }
+
+    /// Sets the bit of every member in `bits` (a `u64`-block bitmap over the
+    /// same universe). Used by the profit accumulator's covered map.
+    pub fn mark_into(&self, bits: &mut [u64]) {
+        match &self.repr {
+            Repr::Sparse(v) => {
+                for &e in v {
+                    bits[(e / 64) as usize] |= 1u64 << (e % 64);
+                }
+            }
+            Repr::Dense { blocks, .. } => {
+                for (x, y) in bits.iter_mut().zip(blocks) {
+                    *x |= y;
+                }
+            }
+        }
+    }
+
+    /// Calls `f` for every member of `self` whose bit is *not* set in
+    /// `bits` — the uncovered entities of a candidate slice. For dense sets
+    /// this skips fully-covered words without touching their entities.
+    pub fn for_each_missing_from(&self, bits: &[u64], mut f: impl FnMut(EntityId)) {
+        match &self.repr {
+            Repr::Sparse(v) => {
+                for &e in v {
+                    if bits[(e / 64) as usize] & (1u64 << (e % 64)) == 0 {
+                        f(e);
+                    }
+                }
+            }
+            Repr::Dense { blocks, .. } => {
+                for (i, (&x, &y)) in blocks.iter().zip(bits).enumerate() {
+                    let mut word = x & !y;
+                    let base = (i as u32) * 64;
+                    while word != 0 {
+                        f(base + word.trailing_zeros());
+                        word &= word - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Converts to the density-preferred representation (consuming form).
+    fn normalized(mut self) -> Self {
+        self.renormalize();
+        self
+    }
+
+    /// Converts to the density-preferred representation in place.
+    fn renormalize(&mut self) {
+        let len = self.len() as u32;
+        let want_dense = prefers_dense(self.universe, len);
+        match (&self.repr, want_dense) {
+            (Repr::Sparse(_), true) => {
+                let Repr::Sparse(v) = std::mem::replace(&mut self.repr, Repr::Sparse(Vec::new()))
+                else {
+                    unreachable!()
+                };
+                let mut blocks = vec![0u64; block_count(self.universe)];
+                for &e in &v {
+                    blocks[(e / 64) as usize] |= 1u64 << (e % 64);
+                }
+                self.repr = Repr::Dense { blocks, len };
+            }
+            (Repr::Dense { .. }, false) => {
+                self.repr = Repr::Sparse(self.iter().collect());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keeps the empty dense case allocation-free on the normalize path.
+#[inline]
+fn blocks_or_empty(blocks: &mut Vec<u64>, len: u32) {
+    if len == 0 {
+        blocks.clear();
+    }
+}
+
+fn popcount(blocks: &[u64]) -> u32 {
+    blocks.iter().map(|b| b.count_ones()).sum()
+}
+
+/// Dense blocks plus a sparse list, as a dense repr.
+fn dense_with(blocks: &[u64], len: u32, extra: &[EntityId]) -> Repr {
+    let mut blocks = blocks.to_vec();
+    let mut len = len;
+    for &e in extra {
+        let w = &mut blocks[(e / 64) as usize];
+        let bit = 1u64 << (e % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            len += 1;
+        }
+    }
+    Repr::Dense { blocks, len }
+}
+
+fn intersect_vec(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn union_vec(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl std::fmt::Debug for ExtentSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ExtentSet[{}/{} {}]{:?}",
+            self.len(),
+            self.universe,
+            if self.is_dense() { "dense" } else { "sparse" },
+            self.to_vec()
+        )
+    }
+}
+
+/// Ascending iterator over an [`ExtentSet`], yielding ids by value.
+pub struct ExtentIter<'a> {
+    kind: IterKind<'a>,
+}
+
+enum IterKind<'a> {
+    Sparse(std::slice::Iter<'a, EntityId>),
+    Dense {
+        blocks: &'a [u64],
+        next_block: usize,
+        word: u64,
+        base: u32,
+    },
+}
+
+impl Iterator for ExtentIter<'_> {
+    type Item = EntityId;
+
+    fn next(&mut self) -> Option<EntityId> {
+        match &mut self.kind {
+            IterKind::Sparse(it) => it.next().copied(),
+            IterKind::Dense {
+                blocks,
+                next_block,
+                word,
+                base,
+            } => loop {
+                if *word != 0 {
+                    let e = *base + word.trailing_zeros();
+                    *word &= *word - 1;
+                    return Some(e);
+                }
+                if *next_block >= blocks.len() {
+                    return None;
+                }
+                *word = blocks[*next_block];
+                *base = (*next_block as u32) * 64;
+                *next_block += 1;
+            },
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ExtentSet {
+    type Item = EntityId;
+    type IntoIter = ExtentIter<'a>;
+
+    fn into_iter(self) -> ExtentIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(universe: u32, ids: &[EntityId]) -> ExtentSet {
+        ExtentSet::from_sorted(universe, ids.to_vec())
+    }
+
+    #[test]
+    fn representation_follows_density() {
+        // 3 of 1000 — sparse; 100 of 1000 — dense (100·32 ≥ 1000).
+        assert!(!set(1000, &[1, 500, 999]).is_dense());
+        let dense = ExtentSet::from_sorted(1000, (0..100).collect());
+        assert!(dense.is_dense());
+        // Exactly at the boundary: len·32 == universe is dense.
+        let boundary = ExtentSet::from_sorted(3200, (0..100).collect());
+        assert!(boundary.is_dense());
+        let below = ExtentSet::from_sorted(3201, (0..100).collect());
+        assert!(!below.is_dense());
+        // Empty is always sparse; full is always dense (universe > 0).
+        assert!(!ExtentSet::empty(1000).is_dense());
+        assert!(ExtentSet::full(1000).is_dense());
+    }
+
+    #[test]
+    fn equality_is_set_equality_across_the_boundary() {
+        // The same contents always normalize to the same repr.
+        let a = ExtentSet::from_sorted(160, (0..10).collect());
+        let b = ExtentSet::from_unsorted(160, (0..10).rev().collect());
+        assert_eq!(a, b);
+        assert_eq!(a.is_dense(), b.is_dense());
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let f = ExtentSet::full(130);
+        assert_eq!(f.len(), 130);
+        assert_eq!(f.iter().collect::<Vec<_>>(), (0..130).collect::<Vec<_>>());
+        assert!(f.contains(129));
+        assert!(!f.contains(130));
+        let e = ExtentSet::empty(130);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        assert!(ExtentSet::full(0).is_empty());
+    }
+
+    #[test]
+    fn contains_and_iter_agree_in_both_reprs() {
+        for ids in [vec![0, 3, 64, 65, 127], (0..90).collect::<Vec<_>>()] {
+            let s = ExtentSet::from_sorted(128, ids.clone());
+            assert_eq!(s.iter().collect::<Vec<_>>(), ids);
+            assert_eq!(s.to_vec(), ids);
+            for e in 0..128 {
+                assert_eq!(s.contains(e), ids.contains(&e), "entity {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_union_across_all_repr_pairs() {
+        let u = 256;
+        let sparse_a = set(u, &[1, 5, 100, 200]);
+        let sparse_b = set(u, &[5, 100, 201]);
+        let dense_a = ExtentSet::from_sorted(u, (0..128).collect());
+        let dense_b = ExtentSet::from_sorted(u, (64..192).collect());
+        for (a, b, inter, uni) in [
+            (&sparse_a, &sparse_b, vec![5, 100], vec![1, 5, 100, 200, 201]),
+            (&dense_a, &dense_b, (64..128).collect(), (0..192).collect()),
+            (&sparse_a, &dense_b, vec![100], {
+                let mut v: Vec<u32> = (64..192).collect();
+                v.splice(0..0, [1, 5]);
+                v.push(200);
+                v
+            }),
+        ] {
+            assert_eq!(a.intersect(b).to_vec(), inter);
+            assert_eq!(b.intersect(a).to_vec(), inter);
+            assert_eq!(a.union(b).to_vec(), uni);
+            assert_eq!(b.union(a).to_vec(), uni);
+        }
+    }
+
+    #[test]
+    fn in_place_ops_match_pure_ops() {
+        let u = 512;
+        let cases = [
+            set(u, &[1, 2, 3, 400]),
+            ExtentSet::from_sorted(u, (0..256).collect()),
+            ExtentSet::from_sorted(u, (100..300).collect()),
+            ExtentSet::empty(u),
+        ];
+        for a in &cases {
+            for b in &cases {
+                let mut x = a.clone();
+                x.intersect_with(b);
+                assert_eq!(x, a.intersect(b));
+                let mut y = a.clone();
+                y.union_with(b);
+                assert_eq!(y, a.union(b));
+            }
+        }
+    }
+
+    #[test]
+    fn mark_and_missing() {
+        let u = 200;
+        let s = ExtentSet::from_sorted(u, (0..40).collect());
+        let mut bits = vec![0u64; 4];
+        set(u, &[0, 1, 2, 3, 39, 150]).mark_into(&mut bits);
+        let mut missing = Vec::new();
+        s.for_each_missing_from(&bits, |e| missing.push(e));
+        assert_eq!(missing, (4..39).collect::<Vec<_>>());
+        s.mark_into(&mut bits);
+        let mut none = Vec::new();
+        s.for_each_missing_from(&bits, |e| none.push(e));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn subset_checks() {
+        let u = 300;
+        let small = set(u, &[10, 20]);
+        let big = ExtentSet::from_sorted(u, (0..100).collect());
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(ExtentSet::empty(u).is_subset_of(&small));
+        assert!(big.is_subset_of(&ExtentSet::full(u)));
+    }
+
+    #[test]
+    fn debug_is_readable() {
+        let s = set(100, &[1, 2]);
+        let d = format!("{s:?}");
+        assert!(d.contains("2/100"));
+        assert!(d.contains("sparse"));
+    }
+}

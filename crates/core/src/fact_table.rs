@@ -18,6 +18,7 @@
 use midas_kb::fnv::FnvHashMap;
 use midas_kb::{Fact, KnowledgeBase, Symbol};
 
+use crate::extent::ExtentSet;
 use crate::source::SourceFacts;
 
 /// Dense per-source entity index (row number in the fact table).
@@ -32,7 +33,7 @@ pub type PropertyId = u32;
 pub struct PropertyCatalog {
     props: Vec<(Symbol, Symbol)>,
     by_pair: FnvHashMap<(Symbol, Symbol), PropertyId>,
-    extents: Vec<Vec<EntityId>>,
+    extents: Vec<ExtentSet>,
 }
 
 impl PropertyCatalog {
@@ -56,8 +57,8 @@ impl PropertyCatalog {
         self.by_pair.get(&(pred, value)).copied()
     }
 
-    /// The sorted entities carrying property `id`.
-    pub fn extent(&self, id: PropertyId) -> &[EntityId] {
+    /// The entities carrying property `id`.
+    pub fn extent(&self, id: PropertyId) -> &ExtentSet {
         &self.extents[id as usize]
     }
 
@@ -67,7 +68,6 @@ impl PropertyCatalog {
         }
         let id = u32::try_from(self.props.len()).expect("property catalog overflow");
         self.props.push((pred, value));
-        self.extents.push(Vec::new());
         self.by_pair.insert((pred, value), id);
         id
     }
@@ -84,6 +84,14 @@ pub struct FactTable {
     entity_props: Vec<Vec<PropertyId>>,
     facts_count: Vec<u32>,
     new_count: Vec<u32>,
+    /// `new(e)` in the low 32 bits, `facts(e)` in the high 32 — one load
+    /// (and one cache stream) per entity in the profit gather loops.
+    packed_counts: Vec<u64>,
+    /// `facts_prefix[i] = Σ_{e<i} facts(e)` — lets [`Self::fact_counts`]
+    /// charge a fully-populated 64-entity word of a dense extent in O(1).
+    facts_prefix: Vec<u64>,
+    /// `new_prefix[i] = Σ_{e<i} new(e)`.
+    new_prefix: Vec<u64>,
     catalog: PropertyCatalog,
     total_facts: usize,
     distinct_sp_pairs: usize,
@@ -106,6 +114,7 @@ impl FactTable {
         }
 
         let mut catalog = PropertyCatalog::default();
+        let mut raw_extents: Vec<Vec<EntityId>> = Vec::new();
         let mut entity_props: Vec<Vec<PropertyId>> = Vec::with_capacity(rows.len());
         let mut facts_count = Vec::with_capacity(rows.len());
         let mut new_count = Vec::with_capacity(rows.len());
@@ -129,14 +138,39 @@ impl FactTable {
             }
             props.sort_unstable();
             props.dedup();
+            raw_extents.resize_with(catalog.len(), Vec::new);
             for &pid in &props {
-                catalog.extents[pid as usize].push(eid as EntityId);
+                raw_extents[pid as usize].push(eid as EntityId);
             }
             entity_props.push(props);
             facts_count.push(u32::try_from(row.len()).expect("row overflow"));
             new_count.push(news);
         }
-        // Extents were filled in ascending entity order, so they are sorted.
+        // Extents were filled in ascending entity order, so they are sorted;
+        // seal them into density-adaptive sets now that the universe is known.
+        let universe = u32::try_from(subjects.len()).expect("fact table overflow");
+        catalog.extents = raw_extents
+            .into_iter()
+            .map(|v| ExtentSet::from_sorted(universe, v))
+            .collect();
+
+        let prefix = |counts: &[u32]| {
+            let mut acc = 0u64;
+            let mut out = Vec::with_capacity(counts.len() + 1);
+            out.push(0);
+            for &c in counts {
+                acc += u64::from(c);
+                out.push(acc);
+            }
+            out
+        };
+        let facts_prefix = prefix(&facts_count);
+        let new_prefix = prefix(&new_count);
+        let packed_counts = new_count
+            .iter()
+            .zip(&facts_count)
+            .map(|(&n, &f)| u64::from(n) | (u64::from(f) << 32))
+            .collect();
 
         FactTable {
             subjects,
@@ -146,6 +180,9 @@ impl FactTable {
             entity_props,
             facts_count,
             new_count,
+            packed_counts,
+            facts_prefix,
+            new_prefix,
             catalog,
             distinct_sp_pairs,
         }
@@ -203,33 +240,149 @@ impl FactTable {
     }
 
     /// Sum of `facts(e)` over an entity set.
-    pub fn facts_sum(&self, entities: &[EntityId]) -> u64 {
-        entities
-            .iter()
-            .map(|&e| u64::from(self.facts_count[e as usize]))
-            .sum()
+    pub fn facts_sum(&self, entities: &ExtentSet) -> u64 {
+        self.fact_counts(entities).1
     }
 
     /// Sum of `new(e)` over an entity set.
-    pub fn new_sum(&self, entities: &[EntityId]) -> u64 {
-        entities
-            .iter()
-            .map(|&e| u64::from(self.new_count[e as usize]))
-            .sum()
+    pub fn new_sum(&self, entities: &ExtentSet) -> u64 {
+        self.fact_counts(entities).0
+    }
+
+    /// Fused `(new(U), facts(U))` over an entity set in one pass — the hot
+    /// inner loop of every profit evaluation. Sparse extents are walked as a
+    /// raw id slice; dense extents are walked word-wise, with fully-populated
+    /// 64-entity words charged in O(1) via the prefix-sum arrays.
+    pub fn fact_counts(&self, entities: &ExtentSet) -> (u64, u64) {
+        let (mut new, mut total) = (0u64, 0u64);
+        if let Some(ids) = entities.sparse_ids() {
+            for &e in ids {
+                let p = self.packed_counts[e as usize];
+                new += p & 0xFFFF_FFFF;
+                total += p >> 32;
+            }
+        } else if let Some(blocks) = entities.dense_blocks() {
+            return self.fact_counts_from_blocks(blocks);
+        }
+        (new, total)
+    }
+
+    /// `(new(U), facts(U))` of the entities selected by one 64-bit word at
+    /// `base`. Full words are charged in O(1) via the prefix-sum arrays;
+    /// other words walk their set bits as two independent 32-bit chains so
+    /// the serial `word &= word - 1` dependency is split in half and the
+    /// out-of-order core can overlap them.
+    #[inline]
+    pub(crate) fn word_counts(&self, base: usize, w: u64) -> (u64, u64) {
+        // Bits >= universe are never set, so a full word implies
+        // base + 64 <= num_entities and the prefix access is safe.
+        if w == u64::MAX {
+            return (
+                self.new_prefix[base + 64] - self.new_prefix[base],
+                self.facts_prefix[base + 64] - self.facts_prefix[base],
+            );
+        }
+        let (mut lo, mut hi) = (w & 0xFFFF_FFFF, w >> 32);
+        let (mut new_lo, mut total_lo) = (0u64, 0u64);
+        while lo != 0 {
+            let p = self.packed_counts[base + lo.trailing_zeros() as usize];
+            new_lo += p & 0xFFFF_FFFF;
+            total_lo += p >> 32;
+            lo &= lo - 1;
+        }
+        let (mut new_hi, mut total_hi) = (0u64, 0u64);
+        while hi != 0 {
+            let p = self.packed_counts[base + 32 + hi.trailing_zeros() as usize];
+            new_hi += p & 0xFFFF_FFFF;
+            total_hi += p >> 32;
+            hi &= hi - 1;
+        }
+        (new_lo + new_hi, total_lo + total_hi)
+    }
+
+    /// `(new(U), facts(U))` for a `u64`-block bitmap over the entity
+    /// universe (e.g. an accumulator's covered map, or a scratch union of
+    /// several extents). Fully-populated words are charged in O(1) via the
+    /// prefix-sum arrays.
+    pub fn fact_counts_from_blocks(&self, blocks: &[u64]) -> (u64, u64) {
+        let (mut new, mut total) = (0u64, 0u64);
+        for (i, &w) in blocks.iter().enumerate() {
+            let (n, t) = self.word_counts(i * 64, w);
+            new += n;
+            total += t;
+        }
+        (new, total)
+    }
+
+    /// `(new(U'), facts(U'))` where `U'` are the members of `entities` whose
+    /// bit is *not* set in `covered` — the marginal-gain loop of Algorithm 1,
+    /// fused into one pass. Dense extents walk `extent & !covered` word-wise;
+    /// fully-uncovered words are charged in O(1) via the prefix-sum arrays.
+    pub fn fact_counts_missing_from(&self, entities: &ExtentSet, covered: &[u64]) -> (u64, u64) {
+        if let Some(blocks) = entities.dense_blocks() {
+            let (mut new, mut total) = (0u64, 0u64);
+            for (i, (&x, &y)) in blocks.iter().zip(covered).enumerate() {
+                let (n, t) = self.word_counts(i * 64, x & !y);
+                new += n;
+                total += t;
+            }
+            (new, total)
+        } else {
+            let (mut new, mut total) = (0u64, 0u64);
+            for &e in entities.sparse_ids().unwrap_or(&[]) {
+                if covered[(e / 64) as usize] & (1u64 << (e % 64)) == 0 {
+                    let p = self.packed_counts[e as usize];
+                    new += p & 0xFFFF_FFFF;
+                    total += p >> 32;
+                }
+            }
+            (new, total)
+        }
+    }
+
+    /// Like [`Self::fact_counts_missing_from`], but also marks the counted
+    /// entities in `covered` — the fused count-and-claim pass of an
+    /// accumulator `add`, one walk instead of count-then-mark.
+    pub fn fact_counts_claim(&self, entities: &ExtentSet, covered: &mut [u64]) -> (u64, u64) {
+        if let Some(blocks) = entities.dense_blocks() {
+            let (mut new, mut total) = (0u64, 0u64);
+            for (i, (&x, y)) in blocks.iter().zip(covered.iter_mut()).enumerate() {
+                let missing = x & !*y;
+                *y |= x;
+                let (n, t) = self.word_counts(i * 64, missing);
+                new += n;
+                total += t;
+            }
+            (new, total)
+        } else {
+            let (mut new, mut total) = (0u64, 0u64);
+            for &e in entities.sparse_ids().unwrap_or(&[]) {
+                let word = &mut covered[(e / 64) as usize];
+                let bit = 1u64 << (e % 64);
+                if *word & bit == 0 {
+                    *word |= bit;
+                    let p = self.packed_counts[e as usize];
+                    new += p & 0xFFFF_FFFF;
+                    total += p >> 32;
+                }
+            }
+            (new, total)
+        }
     }
 
     /// The entity extent of a property conjunction — `Π` of Definition 5,
-    /// computed by intersecting the per-property inverted lists (smallest
-    /// list first).
-    pub fn extent_of(&self, props: &[PropertyId]) -> Vec<EntityId> {
+    /// computed by intersecting the per-property inverted extents (smallest
+    /// extent first).
+    pub fn extent_of(&self, props: &[PropertyId]) -> ExtentSet {
+        let universe = self.num_entities() as u32;
         if props.is_empty() {
-            return (0..self.num_entities() as EntityId).collect();
+            return ExtentSet::full(universe);
         }
-        let mut lists: Vec<&[EntityId]> = props.iter().map(|&p| self.catalog.extent(p)).collect();
-        lists.sort_by_key(|l| l.len());
-        let mut acc: Vec<EntityId> = lists[0].to_vec();
-        for list in &lists[1..] {
-            acc = intersect_sorted(&acc, list);
+        let mut sets: Vec<&ExtentSet> = props.iter().map(|&p| self.catalog.extent(p)).collect();
+        sets.sort_by_key(|s| s.len());
+        let mut acc = sets[0].clone();
+        for set in &sets[1..] {
+            acc.intersect_with(set);
             if acc.is_empty() {
                 break;
             }
@@ -347,7 +500,7 @@ mod tests {
             .get(t.intern("sponsor"), t.intern("NASA"))
             .unwrap();
         let extent = ft.extent_of(&[c2, c6]);
-        let names: Vec<&str> = extent.iter().map(|&e| t.resolve(ft.subject(e))).collect();
+        let names: Vec<&str> = extent.iter().map(|e| t.resolve(ft.subject(e))).collect();
         assert_eq!(names, vec!["Atlas", "Castor-4"]);
         assert_eq!(ft.facts_sum(&extent), 6);
         assert_eq!(ft.new_sum(&extent), 6);

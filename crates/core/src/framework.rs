@@ -26,12 +26,12 @@
 
 use std::collections::BTreeMap;
 
-use crossbeam::channel;
 use midas_kb::{KnowledgeBase, Symbol};
 use midas_weburl::SourceUrl;
 
 use crate::config::CostModel;
 use crate::detector::{DetectInput, SliceDetector};
+use crate::parallel::par_map;
 use crate::slice::DiscoveredSlice;
 use crate::source::SourceFacts;
 
@@ -359,47 +359,6 @@ fn is_entity_subset(sub: &[Symbol], sup: &[Symbol]) -> bool {
     true
 }
 
-/// Order-preserving parallel map over `items` with `threads` workers.
-fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-    for (i, item) in items.into_iter().enumerate() {
-        task_tx.send((i, item)).expect("open channel");
-    }
-    drop(task_tx);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((i, item)) = task_rx.recv() {
-                    res_tx.send((i, f(item))).expect("open channel");
-                }
-            });
-        }
-        drop(res_tx);
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        while let Ok((i, r)) = res_rx.recv() {
-            results[i] = Some(r);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every task produced a result"))
-            .collect()
-    })
-    .expect("worker threads do not panic")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,13 +448,6 @@ mod tests {
         let report = fw.run(doubled, &kb);
         assert_eq!(report.slices.len(), 1);
         assert_eq!(report.slices[0].num_new_facts, 6);
-    }
-
-    #[test]
-    fn par_map_preserves_order() {
-        let items: Vec<usize> = (0..100).collect();
-        let out = par_map(4, items.clone(), |x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use midas_kb::fnv::{FnvHashMap, FnvHashSet};
 
 use crate::config::MidasConfig;
+use crate::extent::ExtentSet;
 use crate::fact_table::{EntityId, FactTable, PropertyId};
+use crate::parallel::par_map;
 use crate::profit::ProfitCtx;
 
 /// Index of a node in the hierarchy.
@@ -32,8 +34,8 @@ pub type NodeId = u32;
 pub struct SliceNode {
     /// Defining property set, sorted by id.
     pub props: Box<[PropertyId]>,
-    /// Entity extent `Π`, sorted.
-    pub extent: Vec<EntityId>,
+    /// Entity extent `Π`.
+    pub extent: ExtentSet,
     /// Children (slices with strictly more properties).
     pub children: Vec<NodeId>,
     /// Parents (slices with strictly fewer properties).
@@ -58,9 +60,14 @@ pub struct SliceNode {
 #[derive(Debug)]
 pub struct SliceHierarchy {
     nodes: Vec<SliceNode>,
-    by_key: FnvHashMap<Box<[PropertyId]>, NodeId>,
+    /// Cached per-node property-set hash (XOR of `prop_hash` over the set).
+    hashes: Vec<u64>,
+    /// Hash → candidate node ids (verified against `props` on lookup).
+    by_hash: FnvHashMap<u64, Vec<NodeId>>,
     levels: Vec<Vec<NodeId>>,
     max_level: usize,
+    /// Live (non-removed) node count, maintained incrementally.
+    live: usize,
     /// Whether the node-count safety valve stopped expansion.
     pub capped: bool,
     /// Number of nodes ever created (before pruning) — reported by the
@@ -96,9 +103,11 @@ impl SliceHierarchy {
     ) -> Self {
         let mut h = SliceHierarchy {
             nodes: Vec::new(),
-            by_key: FnvHashMap::default(),
+            hashes: Vec::new(),
+            by_hash: FnvHashMap::default(),
             levels: Vec::new(),
             max_level: 0,
+            live: 0,
             capped: false,
             nodes_created: 0,
         };
@@ -112,7 +121,8 @@ impl SliceHierarchy {
 
     /// Number of live (non-removed) nodes.
     pub fn len(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.removed).count()
+        debug_assert_eq!(self.live, self.nodes.iter().filter(|n| !n.removed).count());
+        self.live
     }
 
     /// Whether the hierarchy has no live nodes.
@@ -147,16 +157,29 @@ impl SliceHierarchy {
 
     /// Looks up a node by exact property set (must be sorted).
     pub fn find(&self, props: &[PropertyId]) -> Option<NodeId> {
-        self.by_key.get(props).copied()
+        self.lookup(set_hash(props), props)
     }
 
     // ---- construction -----------------------------------------------------
 
+    fn lookup(&self, hash: u64, props: &[PropertyId]) -> Option<NodeId> {
+        self.by_hash
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| *self.nodes[id as usize].props == *props)
+    }
+
     fn get_or_create(&mut self, table: &FactTable, props: Box<[PropertyId]>) -> NodeId {
-        if let Some(&id) = self.by_key.get(&props) {
+        let hash = set_hash(&props);
+        if let Some(id) = self.lookup(hash, &props) {
             return id;
         }
         let extent = table.extent_of(&props);
+        self.insert_node(props, hash, extent)
+    }
+
+    fn insert_node(&mut self, props: Box<[PropertyId]>, hash: u64, extent: ExtentSet) -> NodeId {
         let level = props.len();
         let id = u32::try_from(self.nodes.len()).expect("hierarchy overflow");
         if self.levels.len() <= level {
@@ -164,7 +187,8 @@ impl SliceHierarchy {
         }
         self.levels[level].push(id);
         self.max_level = self.max_level.max(level);
-        self.by_key.insert(props.clone(), id);
+        self.by_hash.entry(hash).or_default().push(id);
+        self.hashes.push(hash);
         self.nodes.push(SliceNode {
             props,
             extent,
@@ -179,15 +203,25 @@ impl SliceHierarchy {
             slb_slices: Vec::new(),
         });
         self.nodes_created += 1;
+        self.live += 1;
         id
     }
 
     /// Creates the initial slices from entities: for each entity, the
     /// cross-product of one property per predicate (capped).
     fn seed_from_entities(&mut self, table: &FactTable, config: &MidasConfig) {
+        // Entities sharing a property set generate identical initial combos
+        // (the grouping, capping, and cross-product depend only on the set),
+        // so the expansion runs once per distinct set and repeats are a
+        // single hash probe. Real sources hit this constantly: entities of
+        // one schema share one property shape.
+        let mut seen_prop_sets: FnvHashSet<&[PropertyId]> = FnvHashSet::default();
         for e in 0..table.num_entities() as EntityId {
             let props = table.entity_properties(e);
             if props.is_empty() {
+                continue;
+            }
+            if !seen_prop_sets.insert(props) {
                 continue;
             }
             // Group by predicate, preserving per-group value order.
@@ -254,7 +288,10 @@ impl SliceHierarchy {
             if node.extent.is_empty() {
                 // A seed that matches no entity in this table carries no
                 // facts; drop it outright.
-                node.removed = true;
+                if !node.removed {
+                    node.removed = true;
+                    self.live -= 1;
+                }
                 continue;
             }
             node.is_initial = true;
@@ -272,33 +309,183 @@ impl SliceHierarchy {
     }
 
     /// Step (1): generate the `l` parents of every slice at level `l`.
+    ///
+    /// Each parent's extent is derived *incrementally*: for a child with
+    /// properties `p_0 … p_{l-1}`, prefix/suffix intersection chains
+    /// (`pre[i] = ∩_{k<i} extent(p_k)`, `suf[i] = ∩_{k≥i} extent(p_k)`)
+    /// yield all `l` parent extents in `O(l)` intersections instead of the
+    /// `O(l²)` of re-intersecting `l−1` inverted lists per parent. Parent
+    /// lookups reuse the child's cached property-set hash
+    /// (`child ⊕ prop_hash(dropped)`), so no property list is allocated for
+    /// parents that already exist.
+    ///
+    /// The `max_hierarchy_nodes` safety valve is *level-atomic*: a level's
+    /// parents are either generated in full or not at all, so no level is
+    /// ever half-expanded.
     fn generate_parents(&mut self, table: &FactTable, config: &MidasConfig, l: usize) {
+        if self.nodes.len() >= config.max_hierarchy_nodes {
+            self.capped = true;
+            return;
+        }
         let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
+        if config.threads > 1 && ids.len() > 1 {
+            self.generate_parents_parallel(table, config.threads, ids);
+        } else {
+            self.generate_parents_sequential(table, ids);
+        }
+    }
+
+    fn generate_parents_sequential(&mut self, table: &FactTable, ids: Vec<NodeId>) {
         for id in ids {
             if self.nodes[id as usize].removed {
                 continue;
             }
-            if self.nodes.len() >= config.max_hierarchy_nodes {
-                self.capped = true;
-                return;
+            let props = self.nodes[id as usize].props.clone();
+            let child_hash = self.hashes[id as usize];
+            // Probe every parent up front (parents of one child are distinct
+            // sets, so earlier insertions of this loop can't satisfy a later
+            // probe). Chains only pay off when several parents are missing;
+            // a lone miss is cheaper through `extent_of`'s sorted-by-size
+            // early-exit intersection.
+            let found: Vec<Option<NodeId>> = (0..props.len())
+                .map(|skip| {
+                    let parent_hash = child_hash ^ prop_hash(props[skip]);
+                    self.by_hash.get(&parent_hash).and_then(|cands| {
+                        cands.iter().copied().find(|&c| {
+                            props_match_skip(&self.nodes[c as usize].props, &props, skip)
+                        })
+                    })
+                })
+                .collect();
+            let missing = found.iter().filter(|f| f.is_none()).count();
+            let mut chains: Option<(Vec<ExtentSet>, Vec<ExtentSet>)> = None;
+            for (skip, existing) in found.into_iter().enumerate() {
+                let pid = match existing {
+                    Some(pid) => pid,
+                    None => {
+                        let parent_props: Box<[PropertyId]> = props
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != skip)
+                            .map(|(_, &p)| p)
+                            .collect();
+                        let extent = if missing == 1 {
+                            table.extent_of(&parent_props)
+                        } else {
+                            let (pre, suf) =
+                                chains.get_or_insert_with(|| extent_chains(table, &props));
+                            if skip == 0 {
+                                suf[1].clone()
+                            } else if skip == props.len() - 1 {
+                                pre[props.len() - 1].clone()
+                            } else {
+                                pre[skip].intersect(&suf[skip + 1])
+                            }
+                        };
+                        let parent_hash = child_hash ^ prop_hash(props[skip]);
+                        self.insert_node(parent_props, parent_hash, extent)
+                    }
+                };
+                self.link(pid, id);
+            }
+        }
+    }
+
+    /// Parallel variant: a read-only **map phase** derives the extent of
+    /// every parent that does not yet exist, then a sequential **merge
+    /// phase** applies insertions and links in child-id order — exactly the
+    /// mutation order of the sequential path, so the resulting hierarchy is
+    /// node-for-node identical. Parents shared by several children of the
+    /// same level are planned redundantly by each child; the merge keeps the
+    /// first plan and links the rest.
+    fn generate_parents_parallel(&mut self, table: &FactTable, threads: usize, ids: Vec<NodeId>) {
+        let this: &SliceHierarchy = self;
+        let plans: Vec<(NodeId, Vec<Option<ExtentSet>>)> = par_map(threads, ids, |id| {
+            if this.nodes[id as usize].removed {
+                return (id, Vec::new());
+            }
+            let props = &this.nodes[id as usize].props;
+            let child_hash = this.hashes[id as usize];
+            // Same hybrid as the sequential path: a lone missing parent goes
+            // through `extent_of`, several amortize the prefix/suffix chains.
+            // Either route yields the same normalized set, so the merge stays
+            // bit-identical to the sequential build.
+            let exists: Vec<bool> = (0..props.len())
+                .map(|skip| {
+                    let parent_hash = child_hash ^ prop_hash(props[skip]);
+                    this.by_hash.get(&parent_hash).is_some_and(|cands| {
+                        cands.iter().any(|&c| {
+                            props_match_skip(&this.nodes[c as usize].props, props, skip)
+                        })
+                    })
+                })
+                .collect();
+            let missing = exists.iter().filter(|e| !**e).count();
+            let mut chains: Option<(Vec<ExtentSet>, Vec<ExtentSet>)> = None;
+            let per_skip = exists
+                .into_iter()
+                .enumerate()
+                .map(|(skip, exists)| {
+                    if exists {
+                        return None;
+                    }
+                    if missing == 1 {
+                        let parent_props: Vec<PropertyId> = props
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != skip)
+                            .map(|(_, &p)| p)
+                            .collect();
+                        return Some(table.extent_of(&parent_props));
+                    }
+                    let (pre, suf) = chains.get_or_insert_with(|| extent_chains(table, props));
+                    Some(if skip == 0 {
+                        suf[1].clone()
+                    } else if skip == props.len() - 1 {
+                        pre[props.len() - 1].clone()
+                    } else {
+                        pre[skip].intersect(&suf[skip + 1])
+                    })
+                })
+                .collect();
+            (id, per_skip)
+        });
+        for (id, per_skip) in plans {
+            if per_skip.is_empty() {
+                continue;
             }
             let props = self.nodes[id as usize].props.clone();
-            for skip in 0..props.len() {
-                let parent_props: Box<[PropertyId]> = props
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != skip)
-                    .map(|(_, &p)| p)
-                    .collect();
-                let pid = self.get_or_create(table, parent_props);
+            let child_hash = self.hashes[id as usize];
+            for (skip, plan) in per_skip.into_iter().enumerate() {
+                let parent_hash = child_hash ^ prop_hash(props[skip]);
+                let existing = self.by_hash.get(&parent_hash).and_then(|cands| {
+                    cands.iter().copied().find(|&c| {
+                        props_match_skip(&self.nodes[c as usize].props, &props, skip)
+                    })
+                });
+                let pid = match existing {
+                    Some(pid) => pid,
+                    None => {
+                        let extent = plan.expect("missing parents are planned in the map phase");
+                        let parent_props: Box<[PropertyId]> = props
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != skip)
+                            .map(|(_, &p)| p)
+                            .collect();
+                        self.insert_node(parent_props, parent_hash, extent)
+                    }
+                };
                 self.link(pid, id);
             }
         }
     }
 
     fn link(&mut self, parent: NodeId, child: NodeId) {
-        if !self.nodes[parent as usize].children.contains(&child) {
-            self.nodes[parent as usize].children.push(child);
+        // Children are kept sorted by id, so the duplicate check is a
+        // binary search instead of a linear scan.
+        if let Err(pos) = self.nodes[parent as usize].children.binary_search(&child) {
+            self.nodes[parent as usize].children.insert(pos, child);
             self.nodes[child as usize].parents.push(parent);
         }
     }
@@ -319,19 +506,30 @@ impl SliceHierarchy {
     /// Links always point from a property subset to a strict superset, so the
     /// search only descends into nodes whose property set is a subset of the
     /// target's.
-    fn is_descendant(&self, from: NodeId, target: NodeId) -> bool {
+    /// `visited` is a per-node stamp array (indexed by node id) and `round`
+    /// a fresh stamp value per call — reused across calls so the DFS does no
+    /// per-call allocation or hashing.
+    fn is_descendant(
+        &self,
+        from: NodeId,
+        target: NodeId,
+        stack: &mut Vec<NodeId>,
+        visited: &mut [u32],
+        round: u32,
+    ) -> bool {
         let target_props = &self.nodes[target as usize].props;
-        let mut stack: Vec<NodeId> = vec![from];
-        let mut visited: FnvHashSet<NodeId> = FnvHashSet::default();
+        stack.clear();
+        stack.push(from);
         while let Some(cur) = stack.pop() {
             for &c in &self.nodes[cur as usize].children {
                 if c == target {
                     return true;
                 }
                 let cn = &self.nodes[c as usize];
-                if cn.removed || !visited.insert(c) {
+                if cn.removed || visited[c as usize] == round {
                     continue;
                 }
+                visited[c as usize] = round;
                 if cn.props.len() < target_props.len() && is_subset(&cn.props, target_props) {
                     stack.push(c);
                 }
@@ -344,6 +542,9 @@ impl SliceHierarchy {
     /// non-canonical slices and re-linking their children.
     fn prune_non_canonical(&mut self, l: usize) {
         let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut visited: Vec<u32> = vec![0; self.nodes.len()];
+        let mut round: u32 = 0;
         for id in ids {
             let node = &self.nodes[id as usize];
             if node.removed {
@@ -363,10 +564,12 @@ impl SliceHierarchy {
             // Remove the node; re-link children to parents unless already
             // reachable through another path.
             self.nodes[id as usize].removed = true;
+            self.live -= 1;
             let (parents, children) = self.unlink_all(id);
             for &p in &parents {
                 for &c in &children {
-                    if !self.is_descendant(p, c) {
+                    round += 1;
+                    if !self.is_descendant(p, c, &mut stack, &mut visited, round) {
                         self.link(p, c);
                     }
                 }
@@ -376,22 +579,28 @@ impl SliceHierarchy {
 
     /// Step (3): profit evaluation, `SLB`/`f_LB` maintenance, and low-profit
     /// pruning at level `l`.
+    ///
+    /// Nodes at one level are independent (each reads only its own extent
+    /// and the already-finalized `SLB` data of deeper levels), so the pure
+    /// computation runs through [`par_map`] and the results are written back
+    /// sequentially — parallel runs are bit-identical to `threads = 1`.
     fn evaluate_and_prune_profit(&mut self, ctx: &ProfitCtx<'_>, config: &MidasConfig, l: usize) {
         let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
-        for id in ids {
-            if self.nodes[id as usize].removed {
-                continue;
-            }
-            let profit = ctx.profit_single(&self.nodes[id as usize].extent);
+        let this: &SliceHierarchy = self;
+        let evals: Vec<Option<(NodeId, f64, f64, Vec<NodeId>)>> =
+            par_map(config.threads, ids, |id| {
+                if this.nodes[id as usize].removed {
+                    return None;
+                }
+                let node = &this.nodes[id as usize];
+                let profit = ctx.profit_single(&node.extent);
 
-            // Union of the children's lower-bound slice sets (those with
-            // positive lower-bound profit).
-            let mut child_set: Vec<NodeId> = Vec::new();
-            {
-                let node = &self.nodes[id as usize];
+                // Union of the children's lower-bound slice sets (those with
+                // positive lower-bound profit).
+                let mut child_set: Vec<NodeId> = Vec::new();
                 let mut seen: FnvHashSet<NodeId> = FnvHashSet::default();
                 for &c in &node.children {
-                    let cn = &self.nodes[c as usize];
+                    let cn = &this.nodes[c as usize];
                     if cn.slb_profit > 0.0 {
                         for &s in &cn.slb_slices {
                             if seen.insert(s) {
@@ -400,23 +609,23 @@ impl SliceHierarchy {
                         }
                     }
                 }
-            }
-            let f_child_set = if child_set.is_empty() {
-                0.0
-            } else {
-                let mut union: FnvHashSet<EntityId> = FnvHashSet::default();
-                for &s in &child_set {
-                    union.extend(self.nodes[s as usize].extent.iter().copied());
-                }
-                let mut new_facts = 0u64;
-                let mut total_facts = 0u64;
-                for &e in &union {
-                    new_facts += u64::from(ctx.table().new_of(e));
-                    total_facts += u64::from(ctx.table().facts_of(e));
-                }
-                ctx.profit_from_counts(new_facts, total_facts, child_set.len())
-            };
+                let f_child_set = if child_set.is_empty() {
+                    0.0
+                } else {
+                    // Union the SLB extents into a scratch bitmap instead of
+                    // merging sorted vectors pairwise — O(Σ|extent|) marks
+                    // plus one fused word-wise count.
+                    let mut covered = vec![0u64; ctx.table().num_entities().div_ceil(64)];
+                    for &s in &child_set {
+                        this.nodes[s as usize].extent.mark_into(&mut covered);
+                    }
+                    let (new_facts, total_facts) = ctx.table().fact_counts_from_blocks(&covered);
+                    ctx.profit_from_counts(new_facts, total_facts, child_set.len())
+                };
+                Some((id, profit, f_child_set, child_set))
+            });
 
+        for (id, profit, f_child_set, child_set) in evals.into_iter().flatten() {
             let node = &mut self.nodes[id as usize];
             node.profit = profit;
             if profit >= f_child_set && profit > 0.0 {
@@ -434,6 +643,67 @@ impl SliceHierarchy {
             }
         }
     }
+}
+
+/// splitmix64-style avalanche of one property id. Set hashes XOR these
+/// together, so a parent's hash is `child_hash ^ prop_hash(dropped)` — O(1)
+/// per candidate, no property-list allocation.
+fn prop_hash(p: PropertyId) -> u64 {
+    let mut z = u64::from(p).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// XOR-combined hash of a (duplicate-free) property set. Order-insensitive
+/// by construction; collisions are resolved by comparing the actual sets.
+fn set_hash(props: &[PropertyId]) -> u64 {
+    props.iter().fold(0, |h, &p| h ^ prop_hash(p))
+}
+
+/// Does `cand` equal `props` with the element at `skip` removed?
+/// Allocation-free candidate verification for parent lookups.
+fn props_match_skip(cand: &[PropertyId], props: &[PropertyId], skip: usize) -> bool {
+    if cand.len() + 1 != props.len() {
+        return false;
+    }
+    let mut j = 0;
+    for (i, &p) in props.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        if cand[j] != p {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Prefix/suffix intersection chains over a child's inverted lists:
+/// `pre[i] = extent(p_0) ∩ … ∩ extent(p_{i-1})` for `i` in `1..l`, and
+/// `suf[i] = extent(p_i) ∩ … ∩ extent(p_{l-1})` for `i` in `1..l`.
+/// Index 0 of `pre` (and 0 / `l` of `suf`) are never read.
+fn extent_chains(table: &FactTable, props: &[PropertyId]) -> (Vec<ExtentSet>, Vec<ExtentSet>) {
+    let l = props.len();
+    debug_assert!(l >= 2);
+    let cat = table.catalog();
+    let mut pre: Vec<ExtentSet> = Vec::with_capacity(l);
+    pre.push(ExtentSet::empty(0));
+    pre.push(cat.extent(props[0]).clone());
+    for i in 2..l {
+        let mut next = pre[i - 1].clone();
+        next.intersect_with(cat.extent(props[i - 1]));
+        pre.push(next);
+    }
+    let mut suf: Vec<ExtentSet> = vec![ExtentSet::empty(0); l + 1];
+    suf[l - 1] = cat.extent(props[l - 1]).clone();
+    for i in (1..l - 1).rev() {
+        let mut next = suf[i + 1].clone();
+        next.intersect_with(cat.extent(props[i]));
+        suf[i] = next;
+    }
+    (pre, suf)
 }
 
 fn is_subset(sub: &[PropertyId], sup: &[PropertyId]) -> bool {
@@ -692,5 +962,127 @@ mod tests {
         assert!(!is_subset(&[1, 4], &[1, 2, 3]));
         assert!(is_subset(&[], &[1]));
         assert!(!is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn set_hash_supports_incremental_parent_keys() {
+        let props = [3u32, 17, 42, 1000];
+        for skip in 0..props.len() {
+            let parent: Vec<PropertyId> = props
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &p)| p)
+                .collect();
+            assert_eq!(set_hash(&parent), set_hash(&props) ^ prop_hash(props[skip]));
+        }
+        assert_ne!(prop_hash(0), prop_hash(1));
+    }
+
+    #[test]
+    fn props_match_skip_helper() {
+        assert!(props_match_skip(&[2, 3], &[1, 2, 3], 0));
+        assert!(props_match_skip(&[1, 3], &[1, 2, 3], 1));
+        assert!(props_match_skip(&[1, 2], &[1, 2, 3], 2));
+        assert!(!props_match_skip(&[1, 3], &[1, 2, 3], 0));
+        assert!(!props_match_skip(&[1, 2, 3], &[1, 2, 3], 1));
+    }
+
+    /// The incrementally derived parent extents must equal a full
+    /// re-intersection of their inverted lists.
+    #[test]
+    fn generated_extents_match_full_reintersection() {
+        let mut t = Interner::new();
+        let (ft, mut cfg) = build_running_example(&mut t);
+        cfg.disable_profit_pruning = true;
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        assert!(h.max_level() >= 2);
+        for id in h.iter() {
+            let n = h.node(id);
+            assert_eq!(n.extent, ft.extent_of(&n.props), "props {:?}", n.props);
+        }
+    }
+
+    #[test]
+    fn len_tracks_live_nodes() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        assert_eq!(h.len(), h.iter().count());
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn node_cap_below_seed_count_generates_nothing() {
+        let mut t = Interner::new();
+        let (ft, mut cfg) = build_running_example(&mut t);
+        cfg.max_hierarchy_nodes = 1;
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        assert!(h.capped, "cap must be reported");
+        for id in h.iter() {
+            assert!(h.node(id).is_initial, "no parents may be generated");
+        }
+    }
+
+    fn assert_hierarchies_identical(a: &SliceHierarchy, b: &SliceHierarchy) {
+        assert_eq!(a.nodes_created, b.nodes_created);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.max_level(), b.max_level());
+        assert_eq!(a.capped, b.capped);
+        for id in 0..a.nodes_created {
+            let (x, y) = (&a.nodes[id], &b.nodes[id]);
+            assert_eq!(x.props, y.props, "node {id}");
+            assert_eq!(x.extent, y.extent, "node {id}");
+            assert_eq!(x.children, y.children, "node {id}");
+            assert_eq!(x.parents, y.parents, "node {id}");
+            assert_eq!(x.removed, y.removed, "node {id}");
+            assert_eq!(x.canonical, y.canonical, "node {id}");
+            assert_eq!(x.valid, y.valid, "node {id}");
+            assert_eq!(x.profit.to_bits(), y.profit.to_bits(), "node {id}");
+            assert_eq!(x.slb_profit.to_bits(), y.slb_profit.to_bits(), "node {id}");
+            assert_eq!(x.slb_slices, y.slb_slices, "node {id}");
+        }
+    }
+
+    /// `threads = 4` must build a bit-identical hierarchy to `threads = 1`.
+    #[test]
+    fn parallel_build_is_node_for_node_identical() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h1 = SliceHierarchy::build(&ft, &ctx, &cfg);
+        let h4 = SliceHierarchy::build(&ft, &ctx, &cfg.clone().with_threads(4));
+        assert_hierarchies_identical(&h1, &h4);
+
+        // Also with pruning disabled (more surviving structure to compare).
+        let mut cfg_np = cfg;
+        cfg_np.disable_profit_pruning = true;
+        let h1 = SliceHierarchy::build(&ft, &ctx, &cfg_np);
+        let h4 = SliceHierarchy::build(&ft, &ctx, &cfg_np.clone().with_threads(4));
+        assert_hierarchies_identical(&h1, &h4);
+    }
+
+    /// The node cap is level-atomic: a level that starts under the cap is
+    /// expanded in full (even if it overshoots), and the next level is then
+    /// skipped entirely.
+    #[test]
+    fn node_cap_is_level_atomic() {
+        let mut t = Interner::new();
+        let (ft, mut cfg) = build_running_example(&mut t);
+        // 4 seeds < 5, so level 3 → 2 expands fully (to 12 nodes);
+        // 12 ≥ 5, so level 2 → 1 is skipped as a whole.
+        cfg.max_hierarchy_nodes = 5;
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        assert!(h.capped, "cap must be reported");
+        // S5 = {category=rocket_family, sponsor=NASA} is generated mid-level
+        // after the count passed the cap — the level still finishes.
+        let s5 = find_node(&h, &ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        assert!(s5.is_some(), "level 3 → 2 must be expanded in full");
+        // No level-1 node exists at all: level 2 → 1 was skipped atomically.
+        assert_eq!(h.level(1).count(), 0);
     }
 }

@@ -32,11 +32,13 @@ pub mod config;
 pub mod detector;
 pub mod enrich;
 pub mod explain;
+pub mod extent;
 pub mod fact_table;
 pub mod fixtures;
 pub mod framework;
 pub mod hierarchy;
 pub mod incremental;
+pub mod parallel;
 pub mod profit;
 pub mod single_source;
 pub mod slice;
@@ -47,6 +49,7 @@ pub use config::{CostModel, MidasConfig};
 pub use detector::{DetectInput, SliceDetector};
 pub use enrich::RangeEnrichment;
 pub use explain::ProfitBreakdown;
+pub use extent::ExtentSet;
 pub use fact_table::{EntityId, FactTable, PropertyCatalog, PropertyId};
 pub use framework::{ExportPolicy, Framework, FrameworkReport};
 pub use hierarchy::SliceHierarchy;

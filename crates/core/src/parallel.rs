@@ -1,0 +1,73 @@
+//! Shared worker-pool utilities.
+//!
+//! One idiom serves every parallel site in the crate: an **order-preserving
+//! parallel map** over an owned work list, built on scoped crossbeam threads
+//! and channels. Callers fan the *pure* part of their work out through
+//! [`par_map`] and then apply the results sequentially in a deterministic
+//! order, so parallel and sequential runs produce identical structures.
+
+use crossbeam::channel;
+
+/// Order-preserving parallel map over `items` with `threads` workers.
+///
+/// With `threads <= 1` (or fewer than two items) this degrades to a plain
+/// sequential map with no thread or channel overhead, so callers can pass
+/// a configured thread count straight through.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for (i, item) in items.into_iter().enumerate() {
+        task_tx.send((i, item)).expect("open channel");
+    }
+    drop(task_tx);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok((i, item)) = task_rx.recv() {
+                    res_tx.send((i, f(item))).expect("open channel");
+                }
+            });
+        }
+        drop(res_tx);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((i, r)) = res_rx.recv() {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task produced a result"))
+            .collect()
+    })
+    .expect("worker threads do not panic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = par_map(4, items.clone(), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_sequential_fallback() {
+        assert_eq!(par_map(1, vec![3, 1, 2], |x| x + 1), vec![4, 2, 3]);
+        assert_eq!(par_map(8, vec![7], |x| x - 1), vec![6]);
+        assert_eq!(par_map(8, Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+    }
+}

@@ -14,7 +14,8 @@
 //! the three operations MIDASalg needs.
 
 use crate::config::CostModel;
-use crate::fact_table::{EntityId, FactTable};
+use crate::extent::ExtentSet;
+use crate::fact_table::FactTable;
 
 /// Profit evaluator bound to one source.
 #[derive(Debug, Clone, Copy)]
@@ -64,24 +65,21 @@ impl<'a> ProfitCtx<'a> {
     }
 
     /// `f({S})` for a single slice with entity extent `entities`.
-    pub fn profit_single(&self, entities: &[EntityId]) -> f64 {
-        self.profit_from_counts(
-            self.table.new_sum(entities),
-            self.table.facts_sum(entities),
-            1,
-        )
+    pub fn profit_single(&self, entities: &ExtentSet) -> f64 {
+        let (new_facts, total_facts) = self.table.fact_counts(entities);
+        self.profit_from_counts(new_facts, total_facts, 1)
     }
 
-    /// `f(S)` for a set of `k` slices whose union of extents is `union`
-    /// (must be deduplicated).
-    pub fn profit_set(&self, union: &[EntityId], k: usize) -> f64 {
-        self.profit_from_counts(self.table.new_sum(union), self.table.facts_sum(union), k)
+    /// `f(S)` for a set of `k` slices whose union of extents is `union`.
+    pub fn profit_set(&self, union: &ExtentSet, k: usize) -> f64 {
+        let (new_facts, total_facts) = self.table.fact_counts(union);
+        self.profit_from_counts(new_facts, total_facts, k)
     }
 
     /// Starts an incremental accumulator for Algorithm 1.
     pub fn accumulator(&self) -> ProfitAccumulator {
         ProfitAccumulator {
-            covered: vec![false; self.table.num_entities()],
+            covered: vec![0u64; self.table.num_entities().div_ceil(64)],
             new_facts: 0,
             total_facts: 0,
             k: 0,
@@ -91,11 +89,12 @@ impl<'a> ProfitCtx<'a> {
 
 /// Incremental profit of a growing result set of slices.
 ///
-/// Tracks the union of covered entities with a dense bitmap so that the
-/// marginal profit of a candidate slice is computable in O(|extent|).
+/// Tracks the union of covered entities with a `u64`-block bitmap so that
+/// the marginal profit of a candidate slice is computable in O(|extent|) —
+/// and in O(universe/64) words when the extent is dense.
 #[derive(Debug, Clone)]
 pub struct ProfitAccumulator {
-    covered: Vec<bool>,
+    covered: Vec<u64>,
     new_facts: u64,
     total_facts: u64,
     k: usize,
@@ -119,14 +118,8 @@ impl ProfitAccumulator {
 
     /// Marginal profit `f(S ∪ {s}) − f(S)` of adding a slice with the given
     /// extent, without mutating the accumulator.
-    pub fn marginal(&self, ctx: &ProfitCtx<'_>, extent: &[EntityId]) -> f64 {
-        let (mut dnew, mut dtotal) = (0u64, 0u64);
-        for &e in extent {
-            if !self.covered[e as usize] {
-                dnew += u64::from(ctx.table.new_of(e));
-                dtotal += u64::from(ctx.table.facts_of(e));
-            }
-        }
+    pub fn marginal(&self, ctx: &ProfitCtx<'_>, extent: &ExtentSet) -> f64 {
+        let (dnew, dtotal) = ctx.table.fact_counts_missing_from(extent, &self.covered);
         let mut delta = (1.0 - ctx.cost.fv) * dnew as f64 - ctx.cost.fd * dtotal as f64 - ctx.cost.fp;
         if self.k == 0 {
             // The first slice brings in the fixed crawl term of the source.
@@ -136,15 +129,10 @@ impl ProfitAccumulator {
     }
 
     /// Adds a slice with the given extent to the set.
-    pub fn add(&mut self, ctx: &ProfitCtx<'_>, extent: &[EntityId]) {
-        for &e in extent {
-            let c = &mut self.covered[e as usize];
-            if !*c {
-                *c = true;
-                self.new_facts += u64::from(ctx.table.new_of(e));
-                self.total_facts += u64::from(ctx.table.facts_of(e));
-            }
-        }
+    pub fn add(&mut self, ctx: &ProfitCtx<'_>, extent: &ExtentSet) {
+        let (dnew, dtotal) = ctx.table.fact_counts_claim(extent, &mut self.covered);
+        self.new_facts += dnew;
+        self.total_facts += dtotal;
         self.k += 1;
     }
 }
@@ -165,7 +153,7 @@ mod tests {
         (ft, MidasConfig::running_example(), vec![])
     }
 
-    fn extent(ft: &FactTable, terms: &mut Interner, props: &[(&str, &str)]) -> Vec<EntityId> {
+    fn extent(ft: &FactTable, terms: &mut Interner, props: &[(&str, &str)]) -> ExtentSet {
         let ids: Vec<_> = props
             .iter()
             .map(|&(p, v)| {
@@ -279,7 +267,7 @@ mod tests {
         assert!((acc.profit(&ctx) - m1).abs() < 1e-9, "first marginal from zero");
         let m2 = acc.marginal(&ctx, &s4);
         acc.add(&ctx, &s4);
-        let union = crate::fact_table::union_sorted(&s5, &s4);
+        let union = s5.union(&s4);
         assert!((acc.profit(&ctx) - ctx.profit_set(&union, 2)).abs() < 1e-9);
         assert!((acc.profit(&ctx) - (m1 + m2)).abs() < 1e-9);
     }

@@ -99,7 +99,7 @@ impl MidasAlg {
                     .collect();
                 properties.sort_unstable();
                 let mut entities: Vec<Symbol> =
-                    node.extent.iter().map(|&e| table.subject(e)).collect();
+                    node.extent.iter().map(|e| table.subject(e)).collect();
                 entities.sort_unstable();
                 DiscoveredSlice {
                     source: source.url.clone(),

@@ -1,0 +1,307 @@
+//! In-repo shim for the `criterion` API subset the workspace uses.
+//!
+//! The build environment is offline, so the real crate cannot be fetched.
+//! This implements `Criterion`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros with a simple median-of-samples timer instead
+//! of criterion's full statistical machinery.
+//!
+//! Runner knobs (environment variables):
+//! - `MIDAS_BENCH_SAMPLES=<n>` — override every benchmark's sample count
+//!   (used by the `bench-smoke` runner for quick passes).
+//! - `MIDAS_BENCH_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"bench":..., "median_ns":..., "mean_ns":..., "min_ns":...,
+//!   "max_ns":..., "samples":...}`.
+//!
+//! Positional CLI arguments are treated as substring filters on benchmark
+//! names; `-`/`--` flags passed by `cargo bench` are ignored.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub use std::hint::black_box;
+
+static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+
+/// Parses benchmark CLI args (called by `criterion_main!`). Positional
+/// args become name filters; flags from `cargo bench` are ignored.
+pub fn init_from_args() {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let _ = FILTERS.set(filters);
+}
+
+fn name_selected(name: &str) -> bool {
+    match FILTERS.get() {
+        Some(fs) if !fs.is_empty() => fs.iter().any(|f| name.contains(f.as_str())),
+        _ => true,
+    }
+}
+
+fn sample_override() -> Option<usize> {
+    std::env::var("MIDAS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures for one benchmark; handed to the user's closure.
+pub struct Bencher {
+    samples: usize,
+    durations_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration wall time.
+    ///
+    /// Calibrates a batch size so each sample lasts ≥ ~2 ms (single
+    /// iteration for slow bodies), then records `samples` batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        const TARGET_SAMPLE_NS: f64 = 2_000_000.0;
+
+        // Calibration: double the batch until it costs enough to time.
+        let mut batch: u64 = 1;
+        let mut per_iter_ns;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            per_iter_ns = elapsed / batch as f64;
+            if elapsed >= TARGET_SAMPLE_NS / 4.0 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let iters = if per_iter_ns >= TARGET_SAMPLE_NS {
+            1
+        } else {
+            (TARGET_SAMPLE_NS / per_iter_ns).round().max(1.0) as u64
+        };
+
+        self.durations_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.durations_ns.push(elapsed / iters as f64);
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if !name_selected(name) {
+        return;
+    }
+    let samples = sample_override().unwrap_or(samples);
+    let mut b = Bencher {
+        samples,
+        durations_ns: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if b.durations_ns.is_empty() {
+        eprintln!("{name:<44} (no samples recorded)");
+        return;
+    }
+    let mut sorted = b.durations_ns.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+    println!(
+        "{name:<44} time: [{} {} {}]",
+        human(min),
+        human(median),
+        human(max)
+    );
+    if let Ok(path) = std::env::var("MIDAS_BENCH_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"bench\":{:?},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}\n",
+                name, median, mean, min, max, sorted.len()
+            );
+            let written = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut fh| fh.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("warning: could not append to {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Top-level benchmark registry (one per `criterion_group!` function).
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), self.default_samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 30,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark named `{group}/{id}`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into());
+        run_one(&name, self.samples, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark named `{group}/{id}`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(&name, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::init_from_args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            durations_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert_eq!(b.durations_ns.len(), 5);
+        assert!(b.durations_ns.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(2500).id, "2500");
+        assert_eq!(BenchmarkId::new("build", 7).id, "build/7");
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("µs"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(2_000_000_000.0).ends_with('s'));
+    }
+}

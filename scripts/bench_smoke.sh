@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Bench smoke runner: exercises the hot-path criterion benches at reduced
+# sample counts and records one JSON line per benchmark in BENCH_PR1.json
+# at the repo root (appended by the in-repo criterion shim — see
+# crates/shims/criterion).
+#
+# Entirely offline: the workspace builds with `--offline` against the
+# vendored/shimmed dependency set; no registry access and no new external
+# dependencies are required (verify with `cargo tree --offline`).
+#
+# Usage: scripts/bench_smoke.sh [output.json] [samples]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+SAMPLES="${2:-10}"
+
+# cargo runs bench binaries with the package directory as cwd, so anchor a
+# relative output path to the repo root before exporting it.
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+
+rm -f "$OUT"
+export MIDAS_BENCH_JSON="$OUT"
+export MIDAS_BENCH_SAMPLES="$SAMPLES"
+
+for bench in hierarchy_build profit_eval interning; do
+    echo "== $bench (samples=$SAMPLES) =="
+    cargo bench --offline -p midas-bench --bench "$bench"
+done
+
+echo
+echo "== $OUT =="
+cat "$OUT"

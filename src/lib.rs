@@ -61,8 +61,8 @@ pub use midas_weburl as weburl;
 pub mod prelude {
     pub use midas_baselines::{AggCluster, Greedy, Naive};
     pub use midas_core::{
-        CostModel, DetectInput, DiscoveredSlice, ExportPolicy, FactTable, Framework, MidasAlg,
-        MidasConfig, ProfitCtx, SliceDetector, SliceHierarchy, SourceFacts,
+        CostModel, DetectInput, DiscoveredSlice, ExportPolicy, ExtentSet, FactTable, Framework,
+        MidasAlg, MidasConfig, ProfitCtx, SliceDetector, SliceHierarchy, SourceFacts,
     };
     pub use midas_eval::{
         coverage_adjusted, match_to_gold, merge_by_domain, run_detector_per_source,

@@ -47,12 +47,13 @@ fn reported_profits_are_recomputable() {
     let ctx = ProfitCtx::new(&table, cost);
     for (name, det) in detectors(cost) {
         for s in det.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }) {
-            let extent: Vec<u32> = s
+            let ids: Vec<u32> = s
                 .entities
                 .iter()
                 .filter_map(|&e| table.entity(e))
                 .collect();
-            assert_eq!(extent.len(), s.entities.len(), "{name}: unknown entity");
+            assert_eq!(ids.len(), s.entities.len(), "{name}: unknown entity");
+            let extent = ExtentSet::from_unsorted(table.num_entities() as u32, ids);
             let recomputed = ctx.profit_single(&extent);
             assert!(
                 (recomputed - s.profit).abs() < 1e-6,

@@ -132,7 +132,7 @@ proptest! {
         let ctx = ProfitCtx::new(&table, cfg.cost);
         let hierarchy = SliceHierarchy::build(&table, &ctx, &cfg);
 
-        let canon: Vec<(Vec<u32>, Vec<u32>)> = hierarchy
+        let canon: Vec<(midas::prelude::ExtentSet, Vec<u32>)> = hierarchy
             .iter()
             .filter(|&id| hierarchy.node(id).canonical)
             .map(|id| {

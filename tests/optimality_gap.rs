@@ -57,7 +57,7 @@ fn midas_is_near_optimal_on_small_instances() {
     let mut midas_optimal = 0usize;
     let mut midas_gap_sum = 0.0f64;
     let mut greedy_optimal = 0usize;
-    for seed in 0..120u64 {
+    for seed in 0..150u64 {
         let (src, kb) = random_instance(seed);
         if src.is_empty() {
             continue;

@@ -49,7 +49,7 @@ proptest! {
                 .map(|&(p, v)| table.catalog().get(p, v).expect("known property"))
                 .collect();
             let extent = table.extent_of(&prop_ids);
-            let mut subjects: Vec<Symbol> = extent.iter().map(|&e| table.subject(e)).collect();
+            let mut subjects: Vec<Symbol> = extent.iter().map(|e| table.subject(e)).collect();
             subjects.sort_unstable();
             prop_assert_eq!(&subjects, &s.entities);
 
@@ -97,7 +97,7 @@ proptest! {
         let t2 = FactTable::build(&source, &bigger);
         let c1 = ProfitCtx::new(&t1, cfg.cost);
         let c2 = ProfitCtx::new(&t2, cfg.cost);
-        let all: Vec<u32> = (0..t1.num_entities() as u32).collect();
+        let all = midas::prelude::ExtentSet::full(t1.num_entities() as u32);
         prop_assert!(c2.profit_single(&all) <= c1.profit_single(&all) + 1e-9);
     }
 
