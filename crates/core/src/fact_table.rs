@@ -277,6 +277,12 @@ impl FactTable {
         // Bits >= universe are never set, so a full word implies
         // base + 64 <= num_entities and the prefix access is safe.
         if w == u64::MAX {
+            debug_assert!(
+                base + 64 < self.new_prefix.len(),
+                "full word at base {base} exceeds entity universe {}; \
+                 caller passed a bitmap with tail bits set or too many blocks",
+                self.packed_counts.len()
+            );
             return (
                 self.new_prefix[base + 64] - self.new_prefix[base],
                 self.facts_prefix[base + 64] - self.facts_prefix[base],
@@ -304,6 +310,11 @@ impl FactTable {
     /// universe (e.g. an accumulator's covered map, or a scratch union of
     /// several extents). Fully-populated words are charged in O(1) via the
     /// prefix-sum arrays.
+    ///
+    /// The bitmap must cover exactly this table's entity universe: at most
+    /// `ceil(num_entities / 64)` blocks, with no bit `>= num_entities` set.
+    /// Violating this panics (index out of bounds; caught by a
+    /// `debug_assert` in debug builds).
     pub fn fact_counts_from_blocks(&self, blocks: &[u64]) -> (u64, u64) {
         let (mut new, mut total) = (0u64, 0u64);
         for (i, &w) in blocks.iter().enumerate() {
@@ -318,6 +329,10 @@ impl FactTable {
     /// bit is *not* set in `covered` — the marginal-gain loop of Algorithm 1,
     /// fused into one pass. Dense extents walk `extent & !covered` word-wise;
     /// fully-uncovered words are charged in O(1) via the prefix-sum arrays.
+    ///
+    /// `covered` must span this table's entity universe (at least
+    /// `ceil(num_entities / 64)` blocks) and, like the extent itself, have
+    /// no bit `>= num_entities` set.
     pub fn fact_counts_missing_from(&self, entities: &ExtentSet, covered: &[u64]) -> (u64, u64) {
         if let Some(blocks) = entities.dense_blocks() {
             let (mut new, mut total) = (0u64, 0u64);

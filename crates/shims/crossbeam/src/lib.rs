@@ -54,6 +54,28 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::try_recv`], mirroring crossbeam's
+    /// distinction between a momentarily empty channel and one that can
+    /// never yield again.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is empty but senders remain; a later call may succeed.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.0.senders.fetch_add(1, Ordering::Relaxed);
@@ -70,7 +92,12 @@ pub mod channel {
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
             if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
-                // Last sender gone: wake all blocked receivers.
+                // Last sender gone: wake all blocked receivers. Taking the
+                // queue lock first serializes this drop against recv's
+                // check-then-wait — without it, a receiver that has loaded
+                // `senders > 0` but not yet parked would miss the wakeup and
+                // block forever.
+                drop(self.0.queue.lock().unwrap_or_else(|e| e.into_inner()));
                 self.0.ready.notify_all();
             }
         }
@@ -107,9 +134,15 @@ pub mod channel {
         }
 
         /// Returns a value if one is immediately available.
-        pub fn try_recv(&self) -> Result<T, RecvError> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.pop_front().ok_or(RecvError)
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.0.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
         }
     }
 
@@ -189,6 +222,47 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![1, 2]);
         assert!(rx.recv().is_err(), "disconnected after all senders drop");
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        use super::channel::TryRecvError;
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    // Regression test for a lost-wakeup race: the last Sender::drop must
+    // serialize against recv's check-then-wait via the queue mutex, or a
+    // receiver that saw `senders > 0` but had not yet parked would block
+    // forever. Loops to give the interleaving many chances to bite.
+    #[test]
+    fn last_sender_drop_wakes_blocked_receivers() {
+        for _ in 0..200 {
+            let (tx, rx) = super::channel::unbounded::<u32>();
+            let receivers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut n = 0u32;
+                        while rx.recv().is_ok() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            let sender = std::thread::spawn(move || {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap();
+            });
+            sender.join().unwrap();
+            let got: u32 = receivers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(got, 2);
+        }
     }
 
     #[test]
