@@ -38,11 +38,21 @@ midas — web source slice discovery (ICDE 2019 reproduction)
 USAGE:
   midas discover --facts FILE [--kb FILE] [--algorithm midas|greedy|aggcluster|naive]
                  [--threads N] [--top K] [--fp X] [--fc X] [--fd X] [--fv X]
-                 [--csv] [--explain]
+                 [--csv] [--explain] [ROBUSTNESS]
   midas stats    --facts FILE
   midas generate --dataset synthetic|reverb-slim|nell-slim|kvault
                  [--scale X] [--seed N] --out DIR
   midas eval     --facts FILE --gold FILE [--kb FILE] [--algorithm NAME] [--threads N]
+                 [ROBUSTNESS]
+
+ROBUSTNESS (discover, eval):
+  --lenient                quarantine malformed input lines instead of aborting
+  --max-source-facts N     quarantine sources carrying more than N facts
+  --max-source-nodes N     quarantine a source whose slice hierarchy exceeds N nodes
+  --source-deadline-ms MS  quarantine a source still running after MS milliseconds
+  Quarantined sources are dropped from the run and listed in a summary; the
+  MIDAS_FAULTINJECT environment variable (e.g. `parse@#3,panic@flaky`) injects
+  deterministic faults for testing.
 
 FILES:
   facts: TSV  url <TAB> subject <TAB> predicate <TAB> object
@@ -75,6 +85,20 @@ impl Algorithm {
     }
 }
 
+/// Robustness limits shared by `discover` and `eval`: lenient ingestion and
+/// the per-source execution budget. All default to off/unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunLimits {
+    /// Quarantine malformed input lines instead of aborting (`--lenient`).
+    pub lenient: bool,
+    /// Per-source fact-count cap (`--max-source-facts`).
+    pub max_source_facts: Option<usize>,
+    /// Per-source hierarchy-node cap (`--max-source-nodes`).
+    pub max_source_nodes: Option<usize>,
+    /// Per-source wall-clock deadline in ms (`--source-deadline-ms`).
+    pub source_deadline_ms: Option<u64>,
+}
+
 /// A parsed subcommand.
 #[derive(Debug, PartialEq)]
 pub enum Command {
@@ -96,6 +120,8 @@ pub enum Command {
         csv: bool,
         /// Include the profit breakdown per slice.
         explain: bool,
+        /// Robustness limits (lenient ingestion + per-source budget).
+        limits: RunLimits,
     },
     /// `midas stats`.
     Stats {
@@ -125,6 +151,8 @@ pub enum Command {
         algorithm: Algorithm,
         /// Worker threads.
         threads: usize,
+        /// Robustness limits (lenient ingestion + per-source budget).
+        limits: RunLimits,
     },
 }
 
@@ -196,6 +224,25 @@ fn parse_num<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, CliError>
         .map_err(|_| CliError::Usage(format!("invalid value {raw:?} for {name}")))
 }
 
+fn opt_num<T: std::str::FromStr>(
+    flags: &mut Flags<'_>,
+    name: &str,
+) -> Result<Option<T>, CliError> {
+    match flags.value(name)? {
+        Some(raw) => parse_num(name, raw).map(Some),
+        None => Ok(None),
+    }
+}
+
+fn parse_limits(flags: &mut Flags<'_>) -> Result<RunLimits, CliError> {
+    Ok(RunLimits {
+        lenient: flags.flag("--lenient"),
+        max_source_facts: opt_num(flags, "--max-source-facts")?,
+        max_source_nodes: opt_num(flags, "--max-source-nodes")?,
+        source_deadline_ms: opt_num(flags, "--source-deadline-ms")?,
+    })
+}
+
 impl ParsedArgs {
     /// Parses `argv` (without the program name).
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
@@ -224,6 +271,7 @@ impl ParsedArgs {
                     cost: (fp, fc, fd, fv),
                     csv: flags.flag("--csv"),
                     explain: flags.flag("--explain"),
+                    limits: parse_limits(&mut flags)?,
                 }
             }
             "stats" => Command::Stats {
@@ -241,6 +289,7 @@ impl ParsedArgs {
                 kb: flags.value("--kb")?.map(str::to_owned),
                 algorithm: Algorithm::parse(flags.value("--algorithm")?.unwrap_or("midas"))?,
                 threads: parse_num("--threads", flags.value("--threads")?.unwrap_or("1"))?,
+                limits: parse_limits(&mut flags)?,
             },
             "help" | "--help" | "-h" => {
                 return Err(CliError::Usage("".into()));
@@ -273,6 +322,7 @@ mod tests {
                 cost,
                 csv,
                 explain,
+                limits,
             } => {
                 assert_eq!(facts, "f.tsv");
                 assert_eq!(kb, None);
@@ -281,9 +331,46 @@ mod tests {
                 assert_eq!(top, 20);
                 assert_eq!(cost, (10.0, 0.001, 0.01, 0.1));
                 assert!(!csv && !explain);
+                assert_eq!(limits, RunLimits::default());
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn robustness_flags_parse_on_discover_and_eval() {
+        let expected = RunLimits {
+            lenient: true,
+            max_source_facts: Some(5_000),
+            max_source_nodes: Some(200_000),
+            source_deadline_ms: Some(1_500),
+        };
+        let d = ParsedArgs::parse(&argv(
+            "discover --facts f.tsv --lenient --max-source-facts 5000 \
+             --max-source-nodes 200000 --source-deadline-ms 1500",
+        ))
+        .unwrap();
+        match d.command {
+            Command::Discover { limits, .. } => assert_eq!(limits, expected),
+            other => panic!("wrong command {other:?}"),
+        }
+        let e = ParsedArgs::parse(&argv(
+            "eval --facts f --gold g --lenient --max-source-facts 5000 \
+             --max-source-nodes 200000 --source-deadline-ms 1500",
+        ))
+        .unwrap();
+        match e.command {
+            Command::Eval { limits, .. } => assert_eq!(limits, expected),
+            other => panic!("wrong command {other:?}"),
+        }
+        let err =
+            ParsedArgs::parse(&argv("discover --facts f --max-source-facts lots")).unwrap_err();
+        assert!(err.to_string().contains("invalid value"));
+        let err = ParsedArgs::parse(&argv("stats --facts f --lenient")).unwrap_err();
+        assert!(
+            err.to_string().contains("unrecognised argument"),
+            "robustness flags only apply to discover/eval"
+        );
     }
 
     #[test]

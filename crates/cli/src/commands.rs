@@ -1,10 +1,15 @@
 //! Subcommand implementations.
 
-use crate::args::{Algorithm, CliError, Command, ParsedArgs};
+use crate::args::{Algorithm, CliError, Command, ParsedArgs, RunLimits};
 use crate::facts_io;
 use midas_baselines::{AggCluster, Greedy, Naive};
-use midas_core::{CostModel, DiscoveredSlice, FactTable, MidasConfig, ProfitCtx, SourceFacts};
-use midas_eval::runner::{merge_by_domain, run_detector_per_source, run_midas_framework};
+use midas_core::{
+    faultinject, CostModel, DiscoveredSlice, FactTable, FaultPlan, MidasConfig, ProfitCtx,
+    Quarantine, SourceBudget, SourceFacts, SourceFault,
+};
+use midas_eval::runner::{
+    merge_by_domain, run_detector_per_source_budgeted, run_midas_framework,
+};
 use midas_eval::{bootstrap_prf, match_to_gold, Table};
 use midas_kb::{DatasetStats, Interner, KnowledgeBase};
 use midas_weburl::UrlPattern;
@@ -14,6 +19,7 @@ use std::path::Path;
 
 /// Runs a parsed command, writing human output to `out`.
 pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    install_fault_plan_from_env()?;
     match parsed.command {
         Command::Discover {
             facts,
@@ -24,7 +30,19 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             cost,
             csv,
             explain,
-        } => discover(&facts, kb.as_deref(), algorithm, threads, top, cost, csv, explain, out),
+            limits,
+        } => discover(
+            &facts,
+            kb.as_deref(),
+            algorithm,
+            threads,
+            top,
+            cost,
+            csv,
+            explain,
+            limits,
+            out,
+        ),
         Command::Stats { facts } => stats(&facts, out),
         Command::Generate {
             dataset,
@@ -38,24 +56,81 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             kb,
             algorithm,
             threads,
-        } => eval(&facts, &gold, kb.as_deref(), algorithm, threads, out),
+            limits,
+        } => eval(&facts, &gold, kb.as_deref(), algorithm, threads, limits, out),
     }
+}
+
+/// Installs the fault-injection plan named by the `MIDAS_FAULTINJECT`
+/// environment variable, if set. Leaves any programmatically installed plan
+/// alone when the variable is absent (so in-process tests keep control).
+fn install_fault_plan_from_env() -> Result<(), CliError> {
+    if let Ok(spec) = std::env::var("MIDAS_FAULTINJECT") {
+        let plan = FaultPlan::parse(&spec)
+            .map_err(|e| CliError::Usage(format!("MIDAS_FAULTINJECT: {e}")))?;
+        faultinject::install(plan);
+    }
+    Ok(())
+}
+
+/// Translates CLI limits into the core per-source budget.
+fn budget_from(limits: RunLimits) -> SourceBudget {
+    let mut budget = SourceBudget::unlimited();
+    if let Some(n) = limits.max_source_facts {
+        budget = budget.with_max_facts(n);
+    }
+    if let Some(n) = limits.max_source_nodes {
+        budget = budget.with_max_nodes(n);
+    }
+    if let Some(ms) = limits.source_deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    budget
+}
+
+/// Writes the quarantine summary: as a trailing block in human mode, as
+/// `#`-comment lines in CSV mode (so the CSV body stays machine-parseable).
+fn write_quarantine(
+    out: &mut dyn Write,
+    quarantine: &Quarantine,
+    csv: bool,
+) -> Result<(), CliError> {
+    if quarantine.is_empty() {
+        return Ok(());
+    }
+    let rendered = quarantine.render();
+    if csv {
+        for line in rendered.lines() {
+            writeln!(out, "# {line}")?;
+        }
+    } else {
+        write!(out, "\n{rendered}")?;
+    }
+    Ok(())
 }
 
 fn load_inputs(
     facts_path: &str,
     kb_path: Option<&str>,
-) -> Result<(Interner, Vec<SourceFacts>, KnowledgeBase), CliError> {
+    lenient: bool,
+) -> Result<(Interner, Vec<SourceFacts>, KnowledgeBase, Vec<SourceFault>), CliError> {
     let mut terms = Interner::new();
-    let sources = facts_io::read_facts(BufReader::new(File::open(facts_path)?), &mut terms)?;
+    let reader = BufReader::new(File::open(facts_path)?);
+    let (sources, read_faults) = if lenient {
+        facts_io::read_facts_lenient(reader, &mut terms, facts_path)?
+    } else {
+        (facts_io::read_facts(reader, &mut terms)?, Vec::new())
+    };
     let kb = match kb_path {
         Some(p) => facts_io::read_kb(BufReader::new(File::open(p)?), &mut terms)?,
         None => KnowledgeBase::new(),
     };
-    Ok((terms, sources, kb))
+    Ok((terms, sources, kb, read_faults))
 }
 
 /// Runs the selected algorithm over a corpus, returning ranked slices.
+/// Equivalent to [`run_algorithm_budgeted`] with an unlimited budget,
+/// discarding the (then necessarily empty, bar panics) quarantine.
 pub fn run_algorithm(
     algorithm: Algorithm,
     cost: CostModel,
@@ -63,26 +138,47 @@ pub fn run_algorithm(
     kb: &KnowledgeBase,
     threads: usize,
 ) -> Vec<DiscoveredSlice> {
+    run_algorithm_budgeted(algorithm, cost, sources, kb, threads, SourceBudget::unlimited()).0
+}
+
+/// Runs the selected algorithm under a per-source budget, returning ranked
+/// slices plus the quarantine of sources dropped during the run.
+pub fn run_algorithm_budgeted(
+    algorithm: Algorithm,
+    cost: CostModel,
+    sources: &[SourceFacts],
+    kb: &KnowledgeBase,
+    threads: usize,
+    budget: SourceBudget,
+) -> (Vec<DiscoveredSlice>, Quarantine) {
     match algorithm {
         Algorithm::Midas => {
             // `--threads` drives both layers: source-level framework rounds
             // and level-wise hierarchy construction inside each detect call.
-            let cfg = MidasConfig::default().with_cost(cost).with_threads(threads);
-            run_midas_framework(&cfg, sources.to_vec(), kb, threads).slices
+            let cfg = MidasConfig::default()
+                .with_cost(cost)
+                .with_threads(threads)
+                .with_budget(budget);
+            let run = run_midas_framework(&cfg, sources.to_vec(), kb, threads);
+            (run.slices, run.quarantine)
         }
         Algorithm::Greedy => {
             let merged = merge_by_domain(sources);
-            run_detector_per_source(&Greedy::new(cost), &merged, kb).slices
+            let run = run_detector_per_source_budgeted(&Greedy::new(cost), &merged, kb, budget);
+            (run.slices, run.quarantine)
         }
         Algorithm::AggCluster => {
             let merged = merge_by_domain(sources);
-            run_detector_per_source(&AggCluster::new(cost), &merged, kb).slices
+            let run =
+                run_detector_per_source_budgeted(&AggCluster::new(cost), &merged, kb, budget);
+            (run.slices, run.quarantine)
         }
         Algorithm::Naive => {
             let merged = merge_by_domain(sources);
-            let mut run = run_detector_per_source(&Naive::new(cost), &merged, kb);
+            let mut run =
+                run_detector_per_source_budgeted(&Naive::new(cost), &merged, kb, budget);
             run.slices.sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
-            run.slices
+            (run.slices, run.quarantine)
         }
     }
 }
@@ -97,11 +193,18 @@ fn discover(
     (fp, fc, fd, fv): (f64, f64, f64, f64),
     csv: bool,
     explain: bool,
+    limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let (terms, sources, kb) = load_inputs(facts_path, kb_path)?;
+    let (terms, sources, kb, read_faults) = load_inputs(facts_path, kb_path, limits.lenient)?;
     let cost = CostModel { fp, fc, fd, fv };
-    let slices = run_algorithm(algorithm, cost, &sources, &kb, threads);
+    let (slices, run_quarantine) =
+        run_algorithm_budgeted(algorithm, cost, &sources, &kb, threads, budget_from(limits));
+    let mut quarantine = Quarantine::new();
+    for fault in read_faults {
+        quarantine.push(fault);
+    }
+    quarantine.merge(run_quarantine);
 
     let mut table = Table::new(
         "Discovered web source slices",
@@ -159,6 +262,7 @@ fn discover(
             writeln!(out, "  #{}: {}", i + 1, ctx.breakdown(&extent))?;
         }
     }
+    write_quarantine(out, &quarantine, csv)?;
     Ok(())
 }
 
@@ -239,24 +343,43 @@ fn eval(
     kb_path: Option<&str>,
     algorithm: Algorithm,
     threads: usize,
+    limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let mut terms = Interner::new();
-    let sources = facts_io::read_facts(BufReader::new(File::open(facts_path)?), &mut terms)?;
+    let reader = BufReader::new(File::open(facts_path)?);
+    let (sources, read_faults) = if limits.lenient {
+        facts_io::read_facts_lenient(reader, &mut terms, facts_path)?
+    } else {
+        (facts_io::read_facts(reader, &mut terms)?, Vec::new())
+    };
     let gold = facts_io::read_gold(BufReader::new(File::open(gold_path)?), &mut terms)?;
     let kb = match kb_path {
         Some(p) => facts_io::read_kb(BufReader::new(File::open(p)?), &mut terms)?,
         None => KnowledgeBase::new(),
     };
-    let slices: Vec<DiscoveredSlice> =
-        run_algorithm(algorithm, CostModel::default(), &sources, &kb, threads)
-            .into_iter()
-            .filter(|s| s.profit > 0.0 || matches!(algorithm, Algorithm::Naive))
-            .collect();
+    let (ranked, run_quarantine) = run_algorithm_budgeted(
+        algorithm,
+        CostModel::default(),
+        &sources,
+        &kb,
+        threads,
+        budget_from(limits),
+    );
+    let mut quarantine = Quarantine::new();
+    for fault in read_faults {
+        quarantine.push(fault);
+    }
+    quarantine.merge(run_quarantine);
+    let slices: Vec<DiscoveredSlice> = ranked
+        .into_iter()
+        .filter(|s| s.profit > 0.0 || matches!(algorithm, Algorithm::Naive))
+        .collect();
     let prf = match_to_gold(&slices, &gold);
     let (p_ci, r_ci, f_ci) = bootstrap_prf(&slices, &gold, 500, 0.95, 42);
     writeln!(out, "returned slices: {}", slices.len())?;
     writeln!(out, "gold slices:     {}", gold.len())?;
+    writeln!(out, "quarantined:     {}", quarantine.len())?;
     writeln!(
         out,
         "precision: {:.3}  [{:.3}, {:.3}]",
@@ -272,6 +395,7 @@ fn eval(
         "f-measure: {:.3}  [{:.3}, {:.3}]",
         prf.f_measure, f_ci.lower, f_ci.upper
     )?;
+    write_quarantine(out, &quarantine, false)?;
     Ok(())
 }
 
@@ -385,6 +509,94 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&argv("stats --facts /nonexistent/file.tsv"), &mut out).unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn lenient_discover_quarantines_bad_lines() {
+        let dir = tmpdir("lenient");
+        let facts = dir.join("facts.tsv");
+        std::fs::write(
+            &facts,
+            "http://a.com/x\te1\tp\tv\nbroken line without tabs\nhttp://a.com/y\te2\tq\tw\n",
+        )
+        .unwrap();
+        let facts_s = facts.to_str().unwrap();
+
+        // Strict mode aborts on the malformed line.
+        let mut out = Vec::new();
+        let err = run(&argv(&format!("discover --facts {facts_s}")), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Data(_)), "strict mode fails: {err}");
+
+        // Lenient mode completes and reports the quarantined record.
+        let mut out = Vec::new();
+        run(&argv(&format!("discover --facts {facts_s} --lenient")), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("Discovered web source slices"));
+        assert!(text.contains("quarantined 1 source(s)"), "output:\n{text}");
+        assert!(text.contains("parse error"), "output:\n{text}");
+        assert!(text.contains(":2"), "fault points at line 2:\n{text}");
+
+        // CSV mode turns the summary into comment lines.
+        let mut out = Vec::new();
+        run(
+            &argv(&format!("discover --facts {facts_s} --lenient --csv")),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(
+            text.lines().any(|l| l.starts_with("# quarantined 1 source(s)")),
+            "csv output:\n{text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_flag_quarantines_oversized_sources() {
+        let dir = tmpdir("budget");
+        let facts = dir.join("facts.tsv");
+        let mut content = String::from("http://small.com/x\te0\tp\tv\n");
+        for i in 0..6 {
+            content.push_str(&format!("http://big.com/page\tent{i}\ttype\tthing\n"));
+        }
+        std::fs::write(&facts, content).unwrap();
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "discover --facts {} --max-source-facts 3",
+                facts.to_str().unwrap()
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("quarantined"), "output:\n{text}");
+        assert!(text.contains("big.com"), "the 6-fact source breaches the cap:\n{text}");
+        assert!(!text.contains("small.com/x —"), "the small source survives:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_reports_quarantine_count() {
+        let dir = tmpdir("evalq");
+        let facts = dir.join("facts.tsv");
+        let gold = dir.join("gold.tsv");
+        std::fs::write(&facts, "http://a.com/x\te1\tp\tv\nnot a valid line\n").unwrap();
+        std::fs::write(&gold, "http://a.com/x\tg0\te1\n").unwrap();
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "eval --facts {} --gold {} --lenient",
+                facts.to_str().unwrap(),
+                gold.to_str().unwrap()
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("quarantined:     1"), "output:\n{text}");
+        assert!(text.contains("quarantined 1 source(s)"), "output:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,9 +2,15 @@
 //!
 //! * facts / gold: `url \t subject \t predicate \t object`
 //! * kb: `subject \t predicate \t object` (delegates to `midas_kb::io`)
+//!
+//! Two ingestion modes: [`read_facts`] fails fast on the first malformed
+//! record (the historical behaviour), [`read_facts_lenient`] quarantines
+//! malformed records as structured [`SourceFault`]s and keeps going.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::args::CliError;
-use midas_core::SourceFacts;
+use midas_core::{faultinject, FaultCause, SourceFacts, SourceFault, Stage};
 use midas_extract::GoldSlice;
 use midas_kb::{Fact, Interner, KnowledgeBase, Symbol};
 use midas_weburl::SourceUrl;
@@ -50,6 +56,85 @@ pub fn read_facts<R: BufRead>(
         .into_iter()
         .map(|(url, facts)| SourceFacts::new(url, facts))
         .collect())
+}
+
+/// Reads a 4-column facts file, quarantining malformed records instead of
+/// aborting. I/O errors still fail the call — an unreadable file is an
+/// operator problem, not a data problem.
+///
+/// A malformed line drops only that line (the rest of its source survives);
+/// the returned [`SourceFault`] carries `file`/line context pointing at the
+/// offending record. After reading, the installed fault-injection plan (if
+/// any) is consulted once per source in sorted order: a targeted source is
+/// dropped whole as an injected parse fault.
+pub fn read_facts_lenient<R: BufRead>(
+    r: R,
+    terms: &mut Interner,
+    file: &str,
+) -> Result<(Vec<SourceFacts>, Vec<SourceFault>), CliError> {
+    let mut by_url: BTreeMap<SourceUrl, Vec<Fact>> = BTreeMap::new();
+    let mut faults = Vec::new();
+    let mut parse_fault = |source: String, lineno: u64, message: String, facts_seen: usize| {
+        faults.push(SourceFault {
+            source,
+            stage: Stage::Read,
+            cause: FaultCause::Parse {
+                file: file.to_owned(),
+                line: lineno,
+                message,
+            },
+            facts_seen,
+        });
+    };
+    for (i, line) in r.lines().enumerate() {
+        let lineno = (i + 1) as u64;
+        let line = line?;
+        let trimmed = line.trim_end_matches('\r');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let (url, s, p, o) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some(u), Some(s), Some(p), Some(o), None) => (u, s, p, o),
+            _ => {
+                parse_fault(
+                    file.to_owned(),
+                    lineno,
+                    "expected 4 tab-separated fields (url, subject, predicate, object)"
+                        .to_owned(),
+                    0,
+                );
+                continue;
+            }
+        };
+        match SourceUrl::parse(url) {
+            Ok(url) => by_url
+                .entry(url)
+                .or_default()
+                .push(Fact::intern(terms, s, p, o)),
+            Err(e) => parse_fault(url.to_owned(), lineno, e.to_string(), 0),
+        }
+    }
+    let mut sources = Vec::with_capacity(by_url.len());
+    for (index, (url, facts)) in by_url.into_iter().enumerate() {
+        if faultinject::should_fail_parse(url.as_str(), index) {
+            parse_fault(
+                url.as_str().to_owned(),
+                0,
+                "injected parse failure".to_owned(),
+                facts.len(),
+            );
+            continue;
+        }
+        sources.push(SourceFacts::new(url, facts));
+    }
+    Ok((sources, faults))
 }
 
 /// Writes per-source facts as a 4-column TSV.
@@ -165,6 +250,53 @@ mod tests {
         let mut terms = Interner::new();
         assert!(read_facts(&b"only\tthree\tfields\n"[..], &mut terms).is_err());
         assert!(read_facts(&b"not-a-url\ts\tp\to\n"[..], &mut terms).is_err());
+    }
+
+    #[test]
+    fn lenient_read_quarantines_bad_lines_and_keeps_good_ones() {
+        // Line 2 has too few fields, line 4 has a bad URL; lines 1/3/5 are
+        // good. Both bad lines would abort the strict reader.
+        let input = "http://a.com/x\te1\tp\tv1\n\
+                     only\tthree\tfields\n\
+                     http://a.com/x\te2\tp\tv2\n\
+                     not-a-url\ts\tp\to\n\
+                     http://b.com\te3\tq\tv3\n";
+        let mut terms = Interner::new();
+        assert!(read_facts(input.as_bytes(), &mut terms).is_err());
+        let (sources, faults) =
+            read_facts_lenient(input.as_bytes(), &mut terms, "facts.tsv").unwrap();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources.iter().map(|s| s.len()).sum::<usize>(), 3);
+        assert_eq!(faults.len(), 2);
+        for fault in &faults {
+            assert_eq!(fault.stage, Stage::Read);
+            assert_eq!(fault.cause.tag(), "parse");
+        }
+        match &faults[0].cause {
+            FaultCause::Parse { file, line, .. } => {
+                assert_eq!(file, "facts.tsv");
+                assert_eq!(*line, 2);
+            }
+            other => panic!("unexpected cause {other:?}"),
+        }
+        assert_eq!(faults[0].source, "facts.tsv", "field-count fault has no URL");
+        assert_eq!(faults[1].source, "not-a-url", "URL fault names the raw text");
+    }
+
+    #[test]
+    fn lenient_read_of_clean_input_matches_strict() {
+        let input = "http://a.com/x\te1\tp\tv1\nhttp://b.com\te2\tq\tv2\n";
+        let mut terms = Interner::new();
+        let strict = read_facts(input.as_bytes(), &mut terms).unwrap();
+        let mut terms2 = Interner::new();
+        let (lenient, faults) =
+            read_facts_lenient(input.as_bytes(), &mut terms2, "facts.tsv").unwrap();
+        assert!(faults.is_empty());
+        assert_eq!(strict.len(), lenient.len());
+        for (a, b) in strict.iter().zip(&lenient) {
+            assert_eq!(a.url, b.url);
+            assert_eq!(a.len(), b.len());
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Cost model and algorithm configuration.
 
+use crate::budget::SourceBudget;
+
 /// The cost coefficients of the profit function (Definition 9).
 ///
 /// The profit of a set of slices `S` drawn from web sources `W` against a
@@ -81,6 +83,21 @@ pub struct MidasConfig {
     /// compute, and all structural mutation happens in a deterministic
     /// sequential merge.
     pub threads: usize,
+    /// Per-source execution budget enforced by the framework rounds. Three
+    /// knobs, all unlimited by default:
+    ///
+    /// * `max_facts` — sources with more facts are quarantined up front
+    ///   (CLI: `--max-source-facts`);
+    /// * `max_nodes` — hierarchy construction beyond this many nodes
+    ///   quarantines the source at the next level boundary
+    ///   (CLI: `--max-source-nodes`);
+    /// * `deadline` — wall-clock allowance per source, enforced across
+    ///   workers (CLI: `--source-deadline-ms`).
+    ///
+    /// A source that breaches any knob is dropped with its partial state
+    /// discarded and recorded in the run's [`crate::Quarantine`]; the run
+    /// itself always completes.
+    pub budget: SourceBudget,
 }
 
 impl Default for MidasConfig {
@@ -93,6 +110,7 @@ impl Default for MidasConfig {
             disable_profit_pruning: false,
             always_report_best: false,
             threads: 1,
+            budget: SourceBudget::unlimited(),
         }
     }
 }
@@ -115,6 +133,12 @@ impl MidasConfig {
     /// Sets the construction thread count (`1` = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the per-source execution budget.
+    pub fn with_budget(mut self, budget: SourceBudget) -> Self {
+        self.budget = budget;
         self
     }
 }

@@ -7,6 +7,7 @@
 
 use midas_kb::{KnowledgeBase, Symbol};
 
+use crate::quarantine::FaultCause;
 use crate::single_source::MidasAlg;
 use crate::slice::DiscoveredSlice;
 use crate::source::SourceFacts;
@@ -35,6 +36,15 @@ pub trait SliceDetector: Sync {
     /// initial hierarchy (detectors that cannot exploit seeds may ignore
     /// them and detect from scratch).
     fn detect(&self, input: DetectInput<'_>) -> Vec<DiscoveredSlice>;
+
+    /// Runs [`SliceDetector::detect`] under panic isolation: a panic or
+    /// budget breach inside the detector becomes a structured
+    /// [`FaultCause`] instead of unwinding into the caller. Callers outside
+    /// the framework's worker pool (e.g. sequential per-source eval loops)
+    /// use this to get the same degrade-per-source semantics.
+    fn detect_isolated(&self, input: DetectInput<'_>) -> Result<Vec<DiscoveredSlice>, FaultCause> {
+        crate::parallel::run_isolated(|| self.detect(input))
+    }
 }
 
 impl SliceDetector for MidasAlg {

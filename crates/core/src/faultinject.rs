@@ -1,0 +1,189 @@
+//! Deterministic fault-injection harness.
+//!
+//! Testing graceful degradation needs faults that fire at *chosen, repeatable*
+//! points — a parse error in source 3, a worker panic in the source whose URL
+//! contains `"flaky"`, budget exhaustion in source 11 — independent of thread
+//! interleaving. This module provides a process-global [`FaultPlan`] with
+//! injection hooks compiled into the ingestion and detection paths:
+//!
+//! * [`should_fail_parse`] — consulted by lenient readers per source;
+//! * [`maybe_panic_worker`] — called at the top of each detection task;
+//! * [`maybe_exhaust_budget`] — ditto, unwinding with a typed
+//!   [`BudgetBreach`] of kind [`BreachKind::Injected`].
+//!
+//! Targets are matched by **source index** (`#N`, the position in the
+//! framework's deterministic sorted source order) or by **URL substring**,
+//! so a plan names its victims without reference to timing. Plans are
+//! installed programmatically ([`install`]) or parsed from a spec string
+//! ([`FaultPlan::parse`], e.g. `parse@#3,panic@flaky,budget@#11`) — the CLI
+//! reads the spec from the `MIDAS_FAULTINJECT` environment variable.
+//!
+//! The hooks are compiled unconditionally but guarded by a relaxed atomic
+//! fast path: with no plan installed (the only production state) each hook
+//! is a single atomic load.
+
+use crate::budget::{breach, BreachKind, BudgetBreach};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// How a fault target names its victim source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// The source at this index in the run's deterministic sorted order.
+    Index(usize),
+    /// Any source whose URL contains this substring.
+    UrlContains(String),
+}
+
+impl Target {
+    fn matches(&self, url: &str, index: usize) -> bool {
+        match self {
+            Target::Index(i) => *i == index,
+            Target::UrlContains(s) => url.contains(s.as_str()),
+        }
+    }
+
+    fn parse(spec: &str) -> Result<Target, String> {
+        if let Some(idx) = spec.strip_prefix('#') {
+            idx.parse::<usize>()
+                .map(Target::Index)
+                .map_err(|_| format!("invalid index target '{spec}' (expected #N)"))
+        } else if spec.is_empty() {
+            Err("empty fault target".to_string())
+        } else {
+            Ok(Target::UrlContains(spec.to_string()))
+        }
+    }
+}
+
+/// A deterministic set of faults to inject into a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Sources whose ingestion reports a (synthetic) parse error.
+    pub parse_failures: Vec<Target>,
+    /// Sources whose detection task panics.
+    pub worker_panics: Vec<Target>,
+    /// Sources whose detection task reports budget exhaustion.
+    pub budget_exhaustions: Vec<Target>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Parses a comma-separated spec of `kind@target` entries, where `kind`
+    /// is `parse`, `panic`, or `budget` and `target` is `#N` (source index)
+    /// or a URL substring. Example: `parse@#3,panic@flaky,budget@#11`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind, target) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry '{entry}' missing '@' (kind@target)"))?;
+            let target = Target::parse(target.trim())?;
+            match kind.trim() {
+                "parse" => plan.parse_failures.push(target),
+                "panic" => plan.worker_panics.push(target),
+                "budget" => plan.budget_exhaustions.push(target),
+                other => return Err(format!("unknown fault kind '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.parse_failures.is_empty()
+            && self.worker_panics.is_empty()
+            && self.budget_exhaustions.is_empty()
+    }
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Installs `plan` process-wide, replacing any previous plan. Installing an
+/// empty plan is equivalent to [`clear`].
+pub fn install(plan: FaultPlan) {
+    let armed = !plan.is_empty();
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = if armed { Some(plan) } else { None };
+    ARMED.store(armed, Ordering::Release);
+}
+
+/// Removes the installed plan; all hooks return to their no-op fast path.
+pub fn clear() {
+    install(FaultPlan::new());
+}
+
+/// Whether a non-empty plan is currently installed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+fn plan_matches(url: &str, index: usize, pick: impl Fn(&FaultPlan) -> &[Target]) -> bool {
+    if !armed() {
+        return false;
+    }
+    PLAN.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .is_some_and(|plan| pick(plan).iter().any(|t| t.matches(url, index)))
+}
+
+/// Whether the installed plan injects a parse failure for this source.
+/// Readers consult this per source and emit a synthetic parse fault.
+pub fn should_fail_parse(url: &str, index: usize) -> bool {
+    plan_matches(url, index, |p| &p.parse_failures)
+}
+
+/// Panics (with a recognisable message) if the installed plan targets this
+/// source with a worker panic. Call at the top of a detection task.
+pub fn maybe_panic_worker(url: &str, index: usize) {
+    if plan_matches(url, index, |p| &p.worker_panics) {
+        panic!("injected worker panic for source {url} (index {index})");
+    }
+}
+
+/// Unwinds with an [`BreachKind::Injected`] budget breach if the installed
+/// plan targets this source with budget exhaustion.
+pub fn maybe_exhaust_budget(url: &str, index: usize) {
+    if plan_matches(url, index, |p| &p.budget_exhaustions) {
+        breach(BudgetBreach {
+            kind: BreachKind::Injected,
+            limit: 0,
+            observed: index as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_all_kinds() {
+        let plan = FaultPlan::parse("parse@#3, panic@flaky ,budget@#11").unwrap();
+        assert_eq!(plan.parse_failures, vec![Target::Index(3)]);
+        assert_eq!(plan.worker_panics, vec![Target::UrlContains("flaky".into())]);
+        assert_eq!(plan.budget_exhaustions, vec![Target::Index(11)]);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("parse#3").is_err());
+        assert!(FaultPlan::parse("explode@#1").is_err());
+        assert!(FaultPlan::parse("parse@#x").is_err());
+        assert!(FaultPlan::parse("parse@").is_err());
+    }
+
+    #[test]
+    fn target_matching() {
+        assert!(Target::Index(4).matches("http://x", 4));
+        assert!(!Target::Index(4).matches("http://x", 5));
+        assert!(Target::UrlContains("flaky".into()).matches("http://flaky.org/a", 0));
+        assert!(!Target::UrlContains("flaky".into()).matches("http://solid.org/a", 0));
+    }
+}

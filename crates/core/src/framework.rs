@@ -23,15 +23,31 @@
 //! * A seed slice whose property set is a subset of another seed's is
 //!   treated as initial (hence canonical) even if its extent coincides; the
 //!   paper does not specify this corner.
+//!
+//! ### Fault isolation
+//!
+//! Every detection task runs in the panic-safe pool
+//! ([`crate::parallel::par_map_isolated`]) under the configured per-source
+//! [`SourceBudget`]. A source whose task panics or breaches its budget is
+//! **quarantined**: its partial state is discarded, a [`SourceFault`] is
+//! recorded in the report, and — for round-0 leaves — its facts are removed
+//! before the merge step, so the run over the surviving sources is
+//! bit-identical to a clean run that never saw the faulted sources. When a
+//! merge-round (parent) task faults, the children's candidates survive and
+//! continue competing at coarser granularities; only the parent's own
+//! detection is lost.
 
 use std::collections::BTreeMap;
 
 use midas_kb::{KnowledgeBase, Symbol};
 use midas_weburl::SourceUrl;
 
+use crate::budget::{self, BreachKind, BudgetBreach, BudgetScope, SourceBudget};
 use crate::config::CostModel;
 use crate::detector::{DetectInput, SliceDetector};
-use crate::parallel::par_map;
+use crate::faultinject;
+use crate::parallel::par_map_isolated;
+use crate::quarantine::{Quarantine, SourceFault, Stage};
 use crate::slice::DiscoveredSlice;
 use crate::source::SourceFacts;
 
@@ -66,6 +82,9 @@ pub struct FrameworkReport {
     pub rounds: usize,
     /// Total number of detector invocations.
     pub detect_calls: usize,
+    /// Sources dropped from the run (panics, budget breaches), in
+    /// deterministic source order per round.
+    pub quarantine: Quarantine,
 }
 
 /// The shard → detect → consolidate driver.
@@ -74,6 +93,7 @@ pub struct Framework<'a, D: SliceDetector> {
     cost: CostModel,
     policy: ExportPolicy,
     threads: usize,
+    budget: SourceBudget,
 }
 
 impl<'a, D: SliceDetector> Framework<'a, D> {
@@ -84,6 +104,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             cost,
             policy: ExportPolicy::PositiveOnly,
             threads: 1,
+            budget: SourceBudget::unlimited(),
         }
     }
 
@@ -97,6 +118,29 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets the per-source execution budget (applies to every detection
+    /// unit: each leaf in round 0 and each parent shard in merge rounds).
+    pub fn with_budget(mut self, budget: SourceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The per-task guard: fault injection hooks, then the up-front
+    /// fact-count cap. Unwinds (into the isolated pool) on breach.
+    fn guard_task(&self, url: &str, index: usize, total_facts: usize) {
+        faultinject::maybe_panic_worker(url, index);
+        faultinject::maybe_exhaust_budget(url, index);
+        if let Some(cap) = self.budget.max_facts {
+            if total_facts > cap {
+                budget::breach(BudgetBreach {
+                    kind: BreachKind::Facts,
+                    limit: cap as u64,
+                    observed: total_facts as u64,
+                });
+            }
+        }
     }
 
     /// Runs the framework over a corpus of per-source fact sets.
@@ -119,10 +163,16 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         }
 
         let mut detect_calls = 0usize;
+        let mut quarantine = Quarantine::new();
 
-        // Round 0: per-source detection, entity-based initial slices.
-        let leaf_sources: Vec<&SourceFacts> = by_url.values().collect();
-        let detected: Vec<Vec<DiscoveredSlice>> = par_map(self.threads, leaf_sources, |src| {
+        // Round 0: per-source detection, entity-based initial slices. Each
+        // leaf runs isolated under the per-source budget; `index` is the
+        // leaf's position in the deterministic sorted source order (the
+        // coordinate fault-injection plans target).
+        let leaf_sources: Vec<(usize, &SourceFacts)> = by_url.values().enumerate().collect();
+        let detected = par_map_isolated(self.threads, leaf_sources, |(index, src)| {
+            self.guard_task(src.url.as_str(), index, src.len());
+            let _scope = BudgetScope::enter(&self.budget);
             self.detector.detect(DetectInput {
                 source: src,
                 kb,
@@ -132,7 +182,21 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         detect_calls += detected.len();
 
         let mut candidates: BTreeMap<SourceUrl, Vec<Candidate>> = BTreeMap::new();
-        for (src, slices) in by_url.values().zip(detected) {
+        let mut faulted: Vec<SourceUrl> = Vec::new();
+        for (src, result) in by_url.values().zip(detected) {
+            let slices = match result {
+                Ok(slices) => slices,
+                Err(fault) => {
+                    quarantine.push(SourceFault {
+                        source: src.url.as_str().to_string(),
+                        stage: Stage::Detect,
+                        cause: fault.cause,
+                        facts_seen: src.len(),
+                    });
+                    faulted.push(src.url.clone());
+                    continue;
+                }
+            };
             let mut kept: Vec<Candidate> = slices
                 .into_iter()
                 .filter(|s| self.exportable(s))
@@ -147,6 +211,12 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                     .or_default()
                     .append(&mut kept);
             }
+        }
+        // Discard quarantined leaves *before* the merge loop: their facts
+        // never reach a parent, so the run over the surviving N−k sources is
+        // identical to a clean run that was never given the faulted k.
+        for url in &faulted {
+            by_url.remove(url);
         }
 
         // Depth rounds, finest to coarsest.
@@ -208,25 +278,45 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                 }
             }
 
-            // Detect + consolidate per parent shard, in parallel.
+            // Detect + consolidate per parent shard, in parallel. Tasks
+            // borrow the work list so that a faulting parent's child
+            // candidates can be recovered afterwards.
             let work: Vec<(SourceUrl, Vec<Candidate>)> = shards.into_iter().collect();
             detect_calls += work.len();
-            let results: Vec<(SourceUrl, Vec<Candidate>)> =
-                par_map(self.threads, work, |(parent, inputs)| {
-                    let parent_src = by_url
-                        .get(&parent)
-                        .expect("parent source materialised by the merge step");
-                    let seeds = seed_sets(&inputs);
-                    let detected = self.detector.detect(DetectInput {
-                        source: parent_src,
-                        kb,
-                        seeds: &seeds,
-                    });
-                    let survivors =
-                        self.consolidate(detected, inputs, parent_src.len());
-                    (parent, survivors)
+            let indices: Vec<usize> = (0..work.len()).collect();
+            let results = par_map_isolated(self.threads, indices, |wi| {
+                let (parent, inputs) = &work[wi];
+                // Merge-round tasks are only addressable by URL substring
+                // (index coordinates name round-0 leaves).
+                self.guard_task(parent.as_str(), usize::MAX, by_url[parent].len());
+                let _scope = BudgetScope::enter(&self.budget);
+                let parent_src = &by_url[parent];
+                let seeds = seed_sets(inputs);
+                let detected = self.detector.detect(DetectInput {
+                    source: parent_src,
+                    kb,
+                    seeds: &seeds,
                 });
-            for (parent, survivors) in results {
+                self.consolidate(detected, inputs.clone(), parent_src.len())
+            });
+            for ((parent, inputs), result) in work.into_iter().zip(results) {
+                let survivors = match result {
+                    Ok(survivors) => survivors,
+                    Err(fault) => {
+                        quarantine.push(SourceFault {
+                            source: parent.as_str().to_string(),
+                            stage: Stage::Consolidate,
+                            cause: fault.cause,
+                            facts_seen: by_url.get(&parent).map_or(0, SourceFacts::len),
+                        });
+                        // The parent's own detection is lost, but the
+                        // children's candidates keep competing upward.
+                        if !inputs.is_empty() {
+                            candidates.entry(parent).or_default().extend(inputs);
+                        }
+                        continue;
+                    }
+                };
                 let kept: Vec<Candidate> = survivors
                     .into_iter()
                     .filter(|c| self.exportable(&c.slice))
@@ -247,6 +337,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             slices,
             rounds,
             detect_calls,
+            quarantine,
         }
     }
 
@@ -393,6 +484,61 @@ mod tests {
         let desc = s5.describe(&t);
         assert!(desc.contains("rocket_family"));
         assert!(report.rounds >= 2, "pages → sub-domain → domain");
+        assert!(report.quarantine.is_empty(), "clean run quarantines nothing");
+    }
+
+    #[test]
+    fn fact_cap_quarantines_every_leaf() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let n = pages.len();
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        let fw = Framework::new(&alg, alg.config.cost)
+            .with_budget(SourceBudget::unlimited().with_max_facts(0));
+        let report = fw.run(pages, &kb);
+        assert!(report.slices.is_empty());
+        assert_eq!(report.rounds, 0, "no surviving leaves, no merge rounds");
+        assert_eq!(report.quarantine.len(), n);
+        assert!(report.quarantine.iter().all(|f| matches!(
+            f.cause,
+            crate::quarantine::FaultCause::Budget(BudgetBreach {
+                kind: BreachKind::Facts,
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn budget_quarantined_leaf_matches_clean_run_without_it() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let largest = pages.iter().map(SourceFacts::len).max().unwrap();
+        let survivors: Vec<SourceFacts> = pages
+            .iter()
+            .filter(|p| p.len() < largest)
+            .cloned()
+            .collect();
+        let dropped = pages.len() - survivors.len();
+        assert!(dropped > 0 && !survivors.is_empty());
+
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        for threads in [1, 4] {
+            let budgeted = Framework::new(&alg, alg.config.cost)
+                .with_threads(threads)
+                .with_budget(SourceBudget::unlimited().with_max_facts(largest - 1))
+                .run(pages.clone(), &kb);
+            let clean = Framework::new(&alg, alg.config.cost)
+                .with_threads(threads)
+                .run(survivors.clone(), &kb);
+            assert_eq!(budgeted.quarantine.len(), dropped);
+            assert!(clean.quarantine.is_empty());
+            assert_eq!(budgeted.slices.len(), clean.slices.len());
+            for (a, b) in budgeted.slices.iter().zip(&clean.slices) {
+                assert_eq!(a.source, b.source);
+                assert_eq!(a.entities, b.entities);
+                assert_eq!(a.profit.to_bits(), b.profit.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -300,12 +300,18 @@ impl SliceHierarchy {
 
     fn construct_and_prune(&mut self, table: &FactTable, ctx: &ProfitCtx<'_>, config: &MidasConfig) {
         for l in (1..=self.max_level).rev() {
+            // Cooperative per-source budget check at the level boundary: a
+            // source whose hierarchy outgrew its node cap or deadline is
+            // abandoned here (unwinding into the isolated worker pool)
+            // rather than ground to completion.
+            crate::budget::checkpoint(self.nodes_created);
             if l > 1 {
                 self.generate_parents(table, config, l);
             }
             self.prune_non_canonical(l);
             self.evaluate_and_prune_profit(ctx, config, l);
         }
+        crate::budget::checkpoint(self.nodes_created);
     }
 
     /// Step (1): generate the `l` parents of every slice at level `l`.

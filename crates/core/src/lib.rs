@@ -28,25 +28,31 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod config;
 pub mod detector;
 pub mod enrich;
 pub mod explain;
 pub mod extent;
 pub mod fact_table;
+pub mod faultinject;
 pub mod fixtures;
 pub mod framework;
 pub mod hierarchy;
 pub mod incremental;
 pub mod parallel;
 pub mod profit;
+pub mod quarantine;
 pub mod single_source;
 pub mod slice;
 pub mod source;
 pub mod traversal;
 
+pub use budget::{BreachKind, BudgetBreach, BudgetScope, SourceBudget};
 pub use config::{CostModel, MidasConfig};
 pub use detector::{DetectInput, SliceDetector};
+pub use faultinject::FaultPlan;
+pub use quarantine::{FaultCause, Quarantine, SourceFault, Stage};
 pub use enrich::RangeEnrichment;
 pub use explain::ProfitBreakdown;
 pub use extent::ExtentSet;

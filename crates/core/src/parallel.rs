@@ -5,10 +5,195 @@
 //! and channels. Callers fan the *pure* part of their work out through
 //! [`par_map`] and then apply the results sequentially in a deterministic
 //! order, so parallel and sequential runs produce identical structures.
+//!
+//! The pool is **panic-safe**: every task body runs under `catch_unwind`, so
+//! one misbehaving task cannot unwind the scope and take the other tasks'
+//! results with it. [`par_map_isolated`] surfaces per-item faults as
+//! `Result<R, TaskFault>` in the original item order; [`par_map`] keeps its
+//! infallible signature (a faulting task re-raises after all surviving
+//! results are collected) so existing callers see byte-identical behaviour.
+//!
+//! When the calling thread holds an active [`crate::budget::BudgetScope`]
+//! with a wall-clock deadline, the collection loop switches from blocking
+//! `recv` to `recv_timeout` against that deadline: a pool whose workers are
+//! stuck in a pathological task is abandoned at the deadline instead of
+//! hanging the run (workers observe a cancel flag and drain the remaining
+//! queue without executing it).
 
-use crossbeam::channel;
+use crate::budget;
+use crate::quarantine::FaultCause;
+use crossbeam::channel::{self, RecvTimeoutError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// A fault raised by one task of a parallel map: which item faulted and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskFault {
+    /// Index of the faulting item in the input `items` vector.
+    pub index: usize,
+    /// The converted panic payload (typed budget breaches are preserved).
+    pub cause: FaultCause,
+}
+
+thread_local! {
+    /// Set while a `run_isolated` body executes, so the process-wide panic
+    /// hook stays silent for panics we intend to catch and report.
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` under `catch_unwind`, converting a panic into a structured
+/// [`FaultCause`] and suppressing the default panic-hook stderr noise for
+/// the duration. The body is treated as logically unwind-safe: a faulting
+/// task's partial state is discarded wholesale, never observed.
+pub fn run_isolated<R>(f: impl FnOnce() -> R) -> Result<R, FaultCause> {
+    install_quiet_hook();
+    struct QuietGuard(bool);
+    impl Drop for QuietGuard {
+        fn drop(&mut self) {
+            QUIET_PANICS.with(|q| q.set(self.0));
+        }
+    }
+    let _guard = QuietGuard(QUIET_PANICS.with(|q| q.replace(true)));
+    catch_unwind(AssertUnwindSafe(f)).map_err(FaultCause::from_panic_payload)
+}
+
+/// Order-preserving parallel map over `items` with `threads` workers,
+/// surfacing per-item faults.
+///
+/// Every task runs isolated: a panic (or budget breach) in one task becomes
+/// `Err(TaskFault)` at that item's position while every other task runs to
+/// completion. Output order always matches input order, whatever the thread
+/// count — fault positions never perturb the order or values of surviving
+/// results.
+///
+/// With `threads <= 1` (or fewer than two items) this degrades to a plain
+/// sequential loop with no thread or channel overhead.
+pub fn par_map_isolated<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<Result<R, TaskFault>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let deadline = budget::active_deadline();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(index, item)| {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(TaskFault {
+                            index,
+                            cause: run_isolated(|| budget::breach_deadline())
+                                .expect_err("breach always unwinds"),
+                        });
+                    }
+                }
+                run_isolated(|| f(item)).map_err(|cause| TaskFault { index, cause })
+            })
+            .collect();
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Option<Result<R, FaultCause>>)>();
+    for (i, item) in items.into_iter().enumerate() {
+        task_tx.send((i, item)).expect("open channel");
+    }
+    drop(task_tx);
+    let cancelled = AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            let cancelled = &cancelled;
+            scope.spawn(move |_| {
+                while let Ok((i, item)) = task_rx.recv() {
+                    // After cancellation we still drain the queue so the
+                    // collector sees exactly n markers, but skip the work.
+                    let out = if cancelled.load(Ordering::Acquire) {
+                        None
+                    } else {
+                        Some(run_isolated(|| f(item)))
+                    };
+                    res_tx.send((i, out)).expect("open channel");
+                }
+            });
+        }
+        drop(res_tx);
+        let mut results: Vec<Option<Result<R, FaultCause>>> = (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        let mut skipped = false;
+        while received < n {
+            let msg = match deadline {
+                Some(d) if !cancelled.load(Ordering::Acquire) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        cancelled.store(true, Ordering::Release);
+                        continue;
+                    }
+                    match res_rx.recv_timeout(d - now) {
+                        Ok(msg) => Some(msg),
+                        Err(RecvTimeoutError::Timeout) => {
+                            cancelled.store(true, Ordering::Release);
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+                // No deadline (or already cancelled — only drain remains,
+                // which cannot block indefinitely): plain blocking recv.
+                _ => res_rx.recv().ok(),
+            };
+            let Some((i, out)) = msg else { break };
+            received += 1;
+            match out {
+                Some(r) => results[i] = Some(r),
+                None => skipped = true,
+            }
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| match slot {
+                Some(Ok(r)) => Ok(r),
+                Some(Err(cause)) => Err(TaskFault { index, cause }),
+                // Slot skipped after cancellation: the pool's deadline
+                // elapsed before this task ran.
+                None => {
+                    debug_assert!(skipped || received < n);
+                    Err(TaskFault {
+                        index,
+                        cause: run_isolated(|| budget::breach_deadline())
+                            .expect_err("breach always unwinds"),
+                    })
+                }
+            })
+            .collect()
+    })
+    .expect("isolated workers do not panic")
+}
 
 /// Order-preserving parallel map over `items` with `threads` workers.
+///
+/// Infallible wrapper over [`par_map_isolated`]: behaviour is byte-identical
+/// to the pre-isolation pool for non-panicking tasks, and a task that *does*
+/// panic re-raises on the calling thread — but only after every other task
+/// has run to completion, so sibling work is never torn down mid-flight.
 ///
 /// With `threads <= 1` (or fewer than two items) this degrades to a plain
 /// sequential map with no thread or channel overhead, so callers can pass
@@ -19,43 +204,23 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-    for (i, item) in items.into_iter().enumerate() {
-        task_tx.send((i, item)).expect("open channel");
-    }
-    drop(task_tx);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((i, item)) = task_rx.recv() {
-                    res_tx.send((i, f(item))).expect("open channel");
-                }
-            });
-        }
-        drop(res_tx);
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        while let Ok((i, r)) = res_rx.recv() {
-            results[i] = Some(r);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every task produced a result"))
-            .collect()
-    })
-    .expect("worker threads do not panic")
+    par_map_isolated(threads, items, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(fault) => match fault.cause {
+                FaultCause::Budget(breach) => budget::breach(breach),
+                cause => panic!("par_map task {} panicked: {cause}", fault.index),
+            },
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::{BreachKind, BudgetBreach, BudgetScope, SourceBudget};
+    use std::time::Duration;
 
     #[test]
     fn par_map_preserves_order() {
@@ -69,5 +234,124 @@ mod tests {
         assert_eq!(par_map(1, vec![3, 1, 2], |x| x + 1), vec![4, 2, 3]);
         assert_eq!(par_map(8, vec![7], |x| x - 1), vec![6]);
         assert_eq!(par_map(8, Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn isolated_surfaces_faults_in_place() {
+        for threads in [1, 4] {
+            let out = par_map_isolated(threads, (0u32..20).collect(), |x| {
+                if x % 7 == 3 {
+                    panic!("fault at {x}");
+                }
+                x * 10
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let fault = r.as_ref().unwrap_err();
+                    assert_eq!(fault.index, i);
+                    match &fault.cause {
+                        FaultCause::Panic { message } => {
+                            assert_eq!(message, &format!("fault at {i}"));
+                        }
+                        other => panic!("unexpected cause {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), (i as u32) * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_all_tasks_fault() {
+        let out = par_map_isolated(4, vec![(); 16], |()| -> u8 { panic!("nothing survives") });
+        assert_eq!(out.len(), 16);
+        assert!(out.iter().all(|r| r.is_err()));
+        assert!((0..16).all(|i| out[i].as_ref().unwrap_err().index == i));
+    }
+
+    #[test]
+    fn isolated_preserves_typed_budget_breach() {
+        let breach = BudgetBreach {
+            kind: BreachKind::Facts,
+            limit: 3,
+            observed: 8,
+        };
+        let out = par_map_isolated(2, vec![0, 1], |x| {
+            if x == 1 {
+                crate::budget::breach(BudgetBreach {
+                    kind: BreachKind::Facts,
+                    limit: 3,
+                    observed: 8,
+                });
+            }
+            x
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(
+            out[1].as_ref().unwrap_err().cause,
+            FaultCause::Budget(breach)
+        );
+    }
+
+    #[test]
+    fn deadline_abandons_stuck_pool() {
+        // 16 tasks x 20ms on 2 workers ≈ 160ms of work against a 40ms
+        // deadline: completion within the deadline is impossible, so some
+        // tail of the task list must come back as Deadline faults while
+        // every completed prefix value is correct.
+        let budget = SourceBudget::unlimited().with_deadline(Duration::from_millis(40));
+        let _scope = BudgetScope::enter(&budget);
+        let out = par_map_isolated(2, (0u32..16).collect(), |x| {
+            std::thread::sleep(Duration::from_millis(20));
+            x + 1
+        });
+        let deadline_faults = out
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Err(TaskFault {
+                        cause: FaultCause::Budget(BudgetBreach {
+                            kind: BreachKind::Deadline,
+                            ..
+                        }),
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert!(deadline_faults > 0, "deadline never fired: {out:?}");
+        for (i, r) in out.iter().enumerate() {
+            if let Ok(v) = r {
+                assert_eq!(*v, i as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_path_respects_deadline() {
+        let budget = SourceBudget::unlimited().with_deadline(Duration::from_millis(10));
+        let _scope = BudgetScope::enter(&budget);
+        let out = par_map_isolated(1, (0u32..8).collect(), |x| {
+            std::thread::sleep(Duration::from_millis(15));
+            x
+        });
+        assert!(out[0].is_ok(), "first task started before the deadline");
+        assert!(
+            out.iter().any(|r| r.is_err()),
+            "later tasks must observe the elapsed deadline"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map task 2 panicked")]
+    fn infallible_wrapper_reraises() {
+        par_map(4, vec![0, 1, 2, 3], |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
     }
 }

@@ -1,0 +1,278 @@
+//! Quarantine: structured records of sources dropped from a run.
+//!
+//! The robustness contract of the framework is that a run over N sources
+//! always completes, and anything it could not process is reported rather
+//! than silently lost or fatally propagated. Each dropped source becomes a
+//! [`SourceFault`] — which source, at which pipeline [`Stage`], for what
+//! [`FaultCause`], and how much budget it had consumed — collected into a
+//! [`Quarantine`] that the eval report and CLI summary render.
+
+use crate::budget::BudgetBreach;
+use std::fmt;
+
+/// The pipeline stage at which a source was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Ingestion: parsing fact files / generator records.
+    Read,
+    /// Round-0 per-source slice detection.
+    Detect,
+    /// A merge round's detect + consolidate task over a parent shard.
+    Consolidate,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Read => write!(f, "read"),
+            Stage::Detect => write!(f, "detect"),
+            Stage::Consolidate => write!(f, "consolidate"),
+        }
+    }
+}
+
+/// Why a source was dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultCause {
+    /// Malformed input that could not be parsed. `file` and `line` point at
+    /// the offending record in the ingested file (line is 1-based; 0 when
+    /// unknown, e.g. for synthesized records).
+    Parse {
+        /// Source file (or dataset identifier) the record came from.
+        file: String,
+        /// 1-based line number of the malformed record; 0 if unknown.
+        line: u64,
+        /// Human-readable description of the malformation.
+        message: String,
+    },
+    /// A worker panicked while processing the source.
+    Panic {
+        /// The panic payload rendered as text (`&str`/`String` payloads are
+        /// preserved verbatim; other payloads become a generic message).
+        message: String,
+    },
+    /// The source exceeded its execution budget.
+    Budget(BudgetBreach),
+}
+
+impl fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultCause::Parse {
+                file,
+                line,
+                message,
+            } => {
+                if *line == 0 {
+                    write!(f, "parse error ({file}): {message}")
+                } else {
+                    write!(f, "parse error ({file}:{line}): {message}")
+                }
+            }
+            FaultCause::Panic { message } => write!(f, "worker panic: {message}"),
+            FaultCause::Budget(breach) => write!(f, "budget: {breach}"),
+        }
+    }
+}
+
+impl FaultCause {
+    /// Short machine-friendly tag for report columns.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultCause::Parse { .. } => "parse",
+            FaultCause::Panic { .. } => "panic",
+            FaultCause::Budget(_) => "budget",
+        }
+    }
+
+    /// Converts a caught panic payload into a cause, recovering a typed
+    /// [`BudgetBreach`] when the unwind came from the budget layer.
+    pub fn from_panic_payload(payload: Box<dyn std::any::Any + Send>) -> FaultCause {
+        let payload = match payload.downcast::<BudgetBreach>() {
+            Ok(breach) => return FaultCause::Budget(*breach),
+            Err(other) => other,
+        };
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_string()
+        };
+        FaultCause::Panic { message }
+    }
+}
+
+/// One quarantined source: everything a post-mortem needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFault {
+    /// The source URL (or file path for read-stage faults with no URL).
+    pub source: String,
+    /// Pipeline stage at which the source was dropped.
+    pub stage: Stage,
+    /// Why it was dropped.
+    pub cause: FaultCause,
+    /// Facts the source had contributed when it was dropped — the budget it
+    /// consumed before quarantine. 0 for read-stage faults.
+    pub facts_seen: usize,
+}
+
+impl fmt::Display for SourceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} — {} ({} facts seen)",
+            self.stage, self.source, self.cause, self.facts_seen
+        )
+    }
+}
+
+/// The set of sources dropped from a run, in quarantine order (read-stage
+/// faults first, then detection rounds in deterministic merge order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Quarantine {
+    faults: Vec<SourceFault>,
+}
+
+impl Quarantine {
+    /// An empty quarantine.
+    pub fn new() -> Self {
+        Quarantine::default()
+    }
+
+    /// Records one dropped source.
+    pub fn push(&mut self, fault: SourceFault) {
+        self.faults.push(fault);
+    }
+
+    /// Appends all records from `other`, preserving both orders.
+    pub fn merge(&mut self, other: Quarantine) {
+        self.faults.extend(other.faults);
+    }
+
+    /// Number of quarantined sources.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether no source was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates records in quarantine order.
+    pub fn iter(&self) -> impl Iterator<Item = &SourceFault> {
+        self.faults.iter()
+    }
+
+    /// Whether any record references `source` (exact match).
+    pub fn contains_source(&self, source: &str) -> bool {
+        self.faults.iter().any(|f| f.source == source)
+    }
+
+    /// Renders a human-readable multi-line summary, one line per fault,
+    /// prefixed with a header. Empty string when nothing was quarantined.
+    pub fn render(&self) -> String {
+        if self.faults.is_empty() {
+            return String::new();
+        }
+        let mut out = format!("quarantined {} source(s):\n", self.faults.len());
+        for fault in &self.faults {
+            out.push_str("  ");
+            out.push_str(&fault.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl IntoIterator for Quarantine {
+    type Item = SourceFault;
+    type IntoIter = std::vec::IntoIter<SourceFault>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{BreachKind, BudgetBreach};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn sample_fault() -> SourceFault {
+        SourceFault {
+            source: "http://a.example.org/data".to_string(),
+            stage: Stage::Detect,
+            cause: FaultCause::Panic {
+                message: "boom".to_string(),
+            },
+            facts_seen: 42,
+        }
+    }
+
+    #[test]
+    fn render_lists_every_fault() {
+        let mut q = Quarantine::new();
+        q.push(sample_fault());
+        q.push(SourceFault {
+            source: "facts.tsv".to_string(),
+            stage: Stage::Read,
+            cause: FaultCause::Parse {
+                file: "facts.tsv".to_string(),
+                line: 17,
+                message: "expected 4 fields".to_string(),
+            },
+            facts_seen: 0,
+        });
+        let rendered = q.render();
+        assert!(rendered.contains("quarantined 2 source(s)"));
+        assert!(rendered.contains("boom"));
+        assert!(rendered.contains("facts.tsv:17"));
+        assert!(q.contains_source("facts.tsv"));
+        assert!(!q.contains_source("facts"));
+    }
+
+    #[test]
+    fn empty_quarantine_renders_nothing() {
+        assert_eq!(Quarantine::new().render(), "");
+        assert!(Quarantine::new().is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let mut a = Quarantine::new();
+        a.push(sample_fault());
+        let mut b = Quarantine::new();
+        let mut second = sample_fault();
+        second.source = "http://b.example.org/data".to_string();
+        b.push(second);
+        a.merge(b);
+        let sources: Vec<&str> = a.iter().map(|f| f.source.as_str()).collect();
+        assert_eq!(
+            sources,
+            ["http://a.example.org/data", "http://b.example.org/data"]
+        );
+    }
+
+    #[test]
+    fn panic_payload_conversion_recovers_breach_and_strings() {
+        let breach = BudgetBreach {
+            kind: BreachKind::Facts,
+            limit: 5,
+            observed: 9,
+        };
+        let payload = catch_unwind(AssertUnwindSafe(|| crate::budget::breach(breach.clone())))
+            .unwrap_err();
+        assert_eq!(
+            FaultCause::from_panic_payload(payload),
+            FaultCause::Budget(breach)
+        );
+
+        let payload = catch_unwind(|| panic!("plain message")).unwrap_err();
+        match FaultCause::from_panic_payload(payload) {
+            FaultCause::Panic { message } => assert!(message.contains("plain message")),
+            other => panic!("unexpected cause {other:?}"),
+        }
+    }
+}

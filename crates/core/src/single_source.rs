@@ -53,6 +53,10 @@ impl MidasAlg {
         if source.is_empty() {
             return Vec::new();
         }
+        // Direct (non-framework) runs enforce the config's budget here; when
+        // the framework already installed a scope around this call, its
+        // outer scope keeps governing and this is a no-op.
+        let _budget_scope = crate::budget::BudgetScope::enter(&self.config.budget);
         let table = FactTable::build(source, kb);
         let ctx = ProfitCtx::new(&table, self.config.cost);
         let hierarchy = match seeds {

@@ -104,6 +104,26 @@ impl Table {
     }
 }
 
+/// Builds a table of quarantined sources for a run report: one row per
+/// [`midas_core::SourceFault`] with stage, cause tag, detail, and the budget
+/// (facts) the source had consumed before it was dropped.
+pub fn quarantine_table(quarantine: &midas_core::Quarantine) -> Table {
+    let mut t = Table::new(
+        "Quarantined sources",
+        &["source", "stage", "cause", "detail", "facts_seen"],
+    );
+    for fault in quarantine.iter() {
+        t.row(&[
+            fault.source.clone(),
+            fault.stage.to_string(),
+            fault.cause.tag().to_owned(),
+            fault.cause.to_string(),
+            fault.facts_seen.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with 2 decimals (the paper's table style).
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")
@@ -159,6 +179,25 @@ mod tests {
         assert_eq!(f2(1.234), "1.23");
         assert_eq!(f3(0.7777), "0.778");
         assert_eq!(pct(0.77), "77%");
+    }
+
+    #[test]
+    fn quarantine_table_lists_faults() {
+        let mut q = midas_core::Quarantine::new();
+        q.push(midas_core::SourceFault {
+            source: "http://bad.example.org/page".to_owned(),
+            stage: midas_core::Stage::Detect,
+            cause: midas_core::FaultCause::Panic {
+                message: "boom".to_owned(),
+            },
+            facts_seen: 3,
+        });
+        let t = quarantine_table(&q);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains("http://bad.example.org/page"));
+        assert!(s.contains("panic"));
+        assert!(s.contains("boom"));
     }
 
     #[test]

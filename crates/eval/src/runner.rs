@@ -1,7 +1,8 @@
 //! Timed algorithm runs over a corpus.
 
 use midas_core::{
-    DetectInput, Framework, MidasAlg, MidasConfig, SliceDetector, SourceFacts,
+    DetectInput, Framework, MidasAlg, MidasConfig, Quarantine, SliceDetector, SourceBudget,
+    SourceFacts, SourceFault, Stage,
 };
 use midas_kb::KnowledgeBase;
 use midas_weburl::SourceUrl;
@@ -19,6 +20,9 @@ pub struct RunResult {
     pub slices: Vec<DiscoveredSlice>,
     /// Wall-clock duration of the run.
     pub duration: Duration,
+    /// Sources dropped during the run (panics, budget breaches); empty for
+    /// a clean run.
+    pub quarantine: Quarantine,
 }
 
 impl RunResult {
@@ -49,30 +53,74 @@ pub fn merge_by_domain(sources: &[SourceFacts]) -> Vec<SourceFacts> {
 }
 
 /// Runs `detector` independently on every source, ranking the union of the
-/// returned slices by profit.
+/// returned slices by profit. Equivalent to
+/// [`run_detector_per_source_budgeted`] with an unlimited budget (every
+/// source still runs panic-isolated).
 pub fn run_detector_per_source<D: SliceDetector>(
     detector: &D,
     sources: &[SourceFacts],
     kb: &KnowledgeBase,
 ) -> RunResult {
+    run_detector_per_source_budgeted(detector, sources, kb, SourceBudget::unlimited())
+}
+
+/// Runs `detector` independently on every source under a per-source budget,
+/// ranking the union of the returned slices by profit. A source that panics
+/// or breaches the budget is quarantined; the run continues.
+pub fn run_detector_per_source_budgeted<D: SliceDetector>(
+    detector: &D,
+    sources: &[SourceFacts],
+    kb: &KnowledgeBase,
+    budget: SourceBudget,
+) -> RunResult {
     let start = Instant::now();
     let mut slices = Vec::new();
+    let mut quarantine = Quarantine::new();
     for src in sources {
-        slices.extend(detector.detect(DetectInput {
-            source: src,
-            kb,
-            seeds: &[],
-        }));
+        if let Some(cap) = budget.max_facts {
+            if src.len() > cap {
+                quarantine.push(SourceFault {
+                    source: src.url.as_str().to_string(),
+                    stage: Stage::Detect,
+                    cause: midas_core::FaultCause::Budget(midas_core::BudgetBreach {
+                        kind: midas_core::BreachKind::Facts,
+                        limit: cap as u64,
+                        observed: src.len() as u64,
+                    }),
+                    facts_seen: src.len(),
+                });
+                continue;
+            }
+        }
+        let result = {
+            let _scope = midas_core::BudgetScope::enter(&budget);
+            detector.detect_isolated(DetectInput {
+                source: src,
+                kb,
+                seeds: &[],
+            })
+        };
+        match result {
+            Ok(found) => slices.extend(found),
+            Err(cause) => quarantine.push(SourceFault {
+                source: src.url.as_str().to_string(),
+                stage: Stage::Detect,
+                cause,
+                facts_seen: src.len(),
+            }),
+        }
     }
     slices.sort_by(|a, b| b.profit.partial_cmp(&a.profit).expect("finite profits"));
     RunResult {
         name: detector.name().to_owned(),
         slices,
         duration: start.elapsed(),
+        quarantine,
     }
 }
 
-/// Runs the full MIDAS framework (MIDASalg + shard/detect/consolidate).
+/// Runs the full MIDAS framework (MIDASalg + shard/detect/consolidate),
+/// enforcing `config.budget` per source.
 pub fn run_midas_framework(
     config: &MidasConfig,
     sources: Vec<SourceFacts>,
@@ -80,13 +128,16 @@ pub fn run_midas_framework(
     threads: usize,
 ) -> RunResult {
     let alg = MidasAlg::new(config.clone());
-    let fw = Framework::new(&alg, config.cost).with_threads(threads);
+    let fw = Framework::new(&alg, config.cost)
+        .with_threads(threads)
+        .with_budget(config.budget);
     let start = Instant::now();
     let report = fw.run(sources, kb);
     RunResult {
         name: "midas".to_owned(),
         slices: report.slices,
         duration: start.elapsed(),
+        quarantine: report.quarantine,
     }
 }
 
@@ -135,6 +186,26 @@ mod tests {
         assert_eq!(result.name, "midas");
         assert_eq!(result.slices.len(), 1);
         assert!(result.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn budgeted_run_quarantines_oversized_sources() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let greedy = Greedy::new(CostModel::running_example());
+        let largest = pages.iter().map(SourceFacts::len).max().unwrap();
+        let over_cap = pages.iter().filter(|p| p.len() >= largest).count();
+        let budget = SourceBudget::unlimited().with_max_facts(largest - 1);
+        let result = run_detector_per_source_budgeted(&greedy, &pages, &kb, budget);
+        assert_eq!(result.quarantine.len(), over_cap);
+        for fault in result.quarantine.iter() {
+            assert_eq!(fault.stage, Stage::Detect);
+            assert_eq!(fault.cause.tag(), "budget");
+            assert_eq!(fault.facts_seen, largest);
+        }
+        // The unbudgeted wrapper quarantines nothing on the same corpus.
+        let clean = run_detector_per_source(&greedy, &pages, &kb);
+        assert!(clean.quarantine.is_empty());
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! target ratios: the vertical section carries mostly-new facts, while the
 //! rest of the domain is content Freebase already knows.
 
-use crate::model::{Dataset, GroundTruth};
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::model::{parse_source_url, Dataset, GroundTruth};
 use crate::vertical::{plant_noise_source, plant_vertical, predicate_pool, CorpusBuilder, VerticalSpec};
 use midas_kb::{Interner, KnowledgeBase};
-use midas_weburl::SourceUrl;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,11 +64,14 @@ pub fn generate(cfg: &KVaultConfig) -> Dataset {
     let mut builder = CorpusBuilder::new();
     let mut truth = GroundTruth::default();
     let mut kb = KnowledgeBase::new();
+    let mut faults = Vec::new();
 
     let filler_preds = predicate_pool(&mut terms, "common_attribute", 40);
 
     for row in FIG3_ROWS {
-        let section = SourceUrl::parse(row.url).expect("static URL parses");
+        let Some(section) = parse_source_url(row.url, &mut faults) else {
+            continue;
+        };
         let domain = section.domain();
         let entities = ((200.0 * cfg.scale) as usize).max(20);
         let spec = VerticalSpec {
@@ -133,6 +137,7 @@ pub fn generate(cfg: &KVaultConfig) -> Dataset {
         sources: builder.finish(),
         kb,
         truth,
+        faults,
     }
 }
 
@@ -140,6 +145,7 @@ pub fn generate(cfg: &KVaultConfig) -> Dataset {
 mod tests {
     use super::*;
     use midas_core::SourceFacts;
+    use midas_weburl::SourceUrl;
 
     fn tiny() -> Dataset {
         generate(&KVaultConfig { scale: 0.3, seed: 9 })

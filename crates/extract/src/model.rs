@@ -1,6 +1,6 @@
 //! Shared data model of generated corpora.
 
-use midas_core::SourceFacts;
+use midas_core::{FaultCause, SourceFacts, SourceFault, Stage};
 use midas_kb::fnv::FnvHashSet;
 use midas_kb::{DatasetStats, Fact, Interner, KnowledgeBase, Symbol};
 use midas_weburl::SourceUrl;
@@ -87,6 +87,10 @@ pub struct Dataset {
     pub kb: KnowledgeBase,
     /// Evaluation ground truth.
     pub truth: GroundTruth,
+    /// Read-stage faults raised while generating/ingesting the corpus
+    /// (malformed URLs, injected parse failures). Empty for a clean corpus;
+    /// callers fold these into the run's quarantine report.
+    pub faults: Vec<SourceFault>,
 }
 
 impl Dataset {
@@ -108,6 +112,32 @@ impl Dataset {
     pub fn with_input_ratio(&self, ratio: f64) -> Vec<SourceFacts> {
         let n = ((self.sources.len() as f64) * ratio).round() as usize;
         self.sources.iter().take(n.max(1)).cloned().collect()
+    }
+}
+
+/// Parses a generator-produced URL spec, converting failure into a
+/// read-stage [`SourceFault`] instead of panicking: the malformed spec is
+/// recorded in `faults` (with the generator source file and line of the
+/// call site) and `None` is returned so the caller drops that source and
+/// carries on.
+#[track_caller]
+pub fn parse_source_url(spec: &str, faults: &mut Vec<SourceFault>) -> Option<SourceUrl> {
+    match SourceUrl::parse(spec) {
+        Ok(url) => Some(url),
+        Err(err) => {
+            let caller = std::panic::Location::caller();
+            faults.push(SourceFault {
+                source: spec.to_string(),
+                stage: Stage::Read,
+                cause: FaultCause::Parse {
+                    file: caller.file().to_string(),
+                    line: u64::from(caller.line()),
+                    message: err.to_string(),
+                },
+                facts_seen: 0,
+            });
+            None
+        }
     }
 }
 
@@ -183,12 +213,32 @@ mod tests {
             ],
             kb: KnowledgeBase::new(),
             truth: GroundTruth::default(),
+            faults: Vec::new(),
         };
         let s = ds.stats();
         assert_eq!(s.num_facts, 2);
         assert_eq!(s.num_urls, 2);
         assert_eq!(s.num_predicates, 2);
         assert_eq!(ds.total_facts(), 2);
+    }
+
+    #[test]
+    fn parse_source_url_records_fault_with_context() {
+        let mut faults = Vec::new();
+        assert!(parse_source_url("http://ok.example.org/x", &mut faults).is_some());
+        assert!(faults.is_empty());
+        assert!(parse_source_url("not a url", &mut faults).is_none());
+        assert_eq!(faults.len(), 1);
+        let fault = &faults[0];
+        assert_eq!(fault.source, "not a url");
+        assert_eq!(fault.stage, Stage::Read);
+        match &fault.cause {
+            FaultCause::Parse { file, line, .. } => {
+                assert!(file.ends_with("model.rs"), "caller file, got {file}");
+                assert!(*line > 0);
+            }
+            other => panic!("unexpected cause {other:?}"),
+        }
     }
 
     #[test]
@@ -208,6 +258,7 @@ mod tests {
             sources,
             kb: KnowledgeBase::new(),
             truth: GroundTruth::default(),
+            faults: Vec::new(),
         };
         assert_eq!(ds.with_input_ratio(0.5).len(), 5);
         assert_eq!(ds.with_input_ratio(0.0).len(), 1, "at least one source");

@@ -6,10 +6,11 @@
 //! running time of AGGCLUSTER"* — this generator plants exactly such a giant
 //! source.
 
-use crate::model::{Dataset, GroundTruth};
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::model::{parse_source_url, Dataset, GroundTruth};
 use crate::vertical::{plant_noise_source, plant_vertical, CorpusBuilder, VerticalSpec};
 use midas_kb::{Interner, KnowledgeBase, Ontology};
-use midas_weburl::SourceUrl;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -67,6 +68,7 @@ pub fn generate(cfg: &NellConfig) -> Dataset {
     let mut terms = Interner::new();
     let mut builder = CorpusBuilder::new();
     let mut truth = GroundTruth::default();
+    let mut faults = Vec::new();
     let ontology = nell_ontology();
 
     let target_facts = 2_900_000.0 * cfg.scale;
@@ -79,8 +81,7 @@ pub fn generate(cfg: &NellConfig) -> Dataset {
 
     // The giant source (a Wikipedia-like aggregator) takes a large share of
     // the corpus, concentrated under one domain.
-    {
-        let domain = SourceUrl::parse("http://giant.aggregator.org").expect("static URL parses");
+    if let Some(domain) = parse_source_url("http://giant.aggregator.org", &mut faults) {
         let section = domain.child("wiki");
         let spec = VerticalSpec {
             name: "wikientry".to_owned(),
@@ -105,8 +106,10 @@ pub fn generate(cfg: &NellConfig) -> Dataset {
     let good_domains = ((target_facts * 0.4 / 1_500.0).ceil() as usize).max(4);
     for g in 0..good_domains {
         let cat = CATEGORIES[g % CATEGORIES.len()];
-        let domain = SourceUrl::parse(&format!("http://www.{cat}-site{g}.org"))
-            .expect("static URL parses");
+        let Some(domain) = parse_source_url(&format!("http://www.{cat}-site{g}.org"), &mut faults)
+        else {
+            continue;
+        };
         let section = domain.child("profiles");
         let spec = VerticalSpec {
             name: format!("{cat}{g}"),
@@ -126,8 +129,10 @@ pub fn generate(cfg: &NellConfig) -> Dataset {
     // Noise tail with ontology predicates.
     let noise_domains = ((target_facts * 0.35 / 200.0).ceil() as usize).max(8);
     for n in 0..noise_domains {
-        let domain = SourceUrl::parse(&format!("http://crawl{n:04}.pages.net"))
-            .expect("static URL parses");
+        let Some(domain) = parse_source_url(&format!("http://crawl{n:04}.pages.net"), &mut faults)
+        else {
+            continue;
+        };
         let entities = rng.gen_range(40..120usize);
         plant_noise_source(&mut rng, &mut terms, &mut builder, &domain, entities, &noise_preds, 2);
     }
@@ -138,6 +143,7 @@ pub fn generate(cfg: &NellConfig) -> Dataset {
         sources: builder.finish(),
         kb: KnowledgeBase::new(),
         truth,
+        faults,
     }
 }
 
@@ -197,6 +203,7 @@ mod tests {
     fn gold_slices_present() {
         let ds = tiny();
         assert!(ds.truth.gold.len() >= 5);
+        assert!(ds.faults.is_empty(), "clean generation has no read faults");
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! good domains with planted verticals, drowned in a long tail of
 //! single-fact noise pages, with an OpenIE-sized predicate vocabulary.
 
-use crate::model::{Dataset, GroundTruth};
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::model::{parse_source_url, Dataset, GroundTruth};
 use crate::vertical::{plant_noise_source, plant_vertical, predicate_pool, CorpusBuilder, VerticalSpec};
 use midas_kb::{Interner, KnowledgeBase};
-use midas_weburl::SourceUrl;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,6 +52,7 @@ pub fn generate(cfg: &ReverbConfig) -> Dataset {
     let mut terms = Interner::new();
     let mut builder = CorpusBuilder::new();
     let mut truth = GroundTruth::default();
+    let mut faults = Vec::new();
 
     let target_facts = 15_000_000.0 * cfg.scale;
     // ≈ 35% of facts in good, structured domains; the rest is noise tail.
@@ -61,8 +63,10 @@ pub fn generate(cfg: &ReverbConfig) -> Dataset {
 
     for g in 0..good_domains {
         let (theme, description) = THEMES[g % THEMES.len()];
-        let domain = SourceUrl::parse(&format!("http://www.{theme}-db{g}.org"))
-            .expect("static URL parses");
+        let Some(domain) = parse_source_url(&format!("http://www.{theme}-db{g}.org"), &mut faults)
+        else {
+            continue;
+        };
         let section = domain.child("entries");
         let entities = (2_500.0 * 0.8 / 5.0) as usize; // ≈ 400 entities
         let spec = VerticalSpec {
@@ -99,15 +103,21 @@ pub fn generate(cfg: &ReverbConfig) -> Dataset {
     // NAIVE's new-fact ranking (§IV-C: "NAIVE may consider a forum or a news
     // website … as a good web source slice").
     for f in 0..good_domains {
-        let domain = SourceUrl::parse(&format!("http://bigforum{f:03}.boards.net"))
-            .expect("static URL parses");
+        let Some(domain) =
+            parse_source_url(&format!("http://bigforum{f:03}.boards.net"), &mut faults)
+        else {
+            continue;
+        };
         let entities = rng.gen_range(1_200..2_200usize);
         plant_noise_source(&mut rng, &mut terms, &mut builder, &domain, entities, &noise_preds, 8);
     }
 
     for n in 0..noise_domains {
-        let domain = SourceUrl::parse(&format!("http://pages{n:05}.example.com"))
-            .expect("static URL parses");
+        let Some(domain) =
+            parse_source_url(&format!("http://pages{n:05}.example.com"), &mut faults)
+        else {
+            continue;
+        };
         // Long-tail pages: ~1–2 facts each.
         let entities = rng.gen_range(30..90usize);
         plant_noise_source(&mut rng, &mut terms, &mut builder, &domain, entities, &noise_preds, 1);
@@ -119,6 +129,7 @@ pub fn generate(cfg: &ReverbConfig) -> Dataset {
         sources: builder.finish(),
         kb: KnowledgeBase::new(),
         truth,
+        faults,
     }
 }
 

@@ -225,6 +225,7 @@ pub fn generate(cfg: &SlimConfig) -> Dataset {
         sources: builder.finish(),
         kb: KnowledgeBase::new(),
         truth,
+        faults: Vec::new(),
     }
 }
 

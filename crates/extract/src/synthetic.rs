@@ -160,6 +160,7 @@ pub fn generate(cfg: &SyntheticConfig) -> Dataset {
         sources: vec![SourceFacts::new(url, facts)],
         kb,
         truth,
+        faults: Vec::new(),
     }
 }
 

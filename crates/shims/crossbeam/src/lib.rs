@@ -54,6 +54,29 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::recv_timeout`], mirroring
+    /// `crossbeam_channel::RecvTimeoutError`.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty (senders remain).
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => {
+                    write!(f, "timed out waiting on an empty channel")
+                }
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::try_recv`], mirroring crossbeam's
     /// distinction between a momentarily empty channel and one that can
     /// never yield again.
@@ -130,6 +153,35 @@ pub mod channel {
                     .ready
                     .wait(q)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks until a value is available, every sender is dropped, or
+        /// `timeout` elapses — whichever comes first.
+        ///
+        /// The deadline is computed once on entry, so spurious condvar
+        /// wakeups cannot extend the wait. Mirrors crossbeam's contract:
+        /// `Disconnected` wins over `Timeout` when both hold.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                q = self
+                    .0
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
             }
         }
 
@@ -252,6 +304,78 @@ mod tests {
                             n += 1;
                         }
                         n
+                    })
+                })
+                .collect();
+            let sender = std::thread::spawn(move || {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap();
+            });
+            sender.join().unwrap();
+            let got: u32 = receivers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(got, 2);
+        }
+    }
+
+    #[test]
+    fn recv_timeout_returns_value_timeout_or_disconnect() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(9));
+        // Empty with a live sender: times out.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        // Disconnected wins over the timeout once all senders are gone.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(60)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        use std::time::Duration;
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(5).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)), Ok(5));
+        sender.join().unwrap();
+    }
+
+    // Same lost-wakeup shape as `last_sender_drop_wakes_blocked_receivers`,
+    // but through the recv_timeout wait path: a receiver that loaded
+    // `senders > 0` and then parked in `wait_timeout` must still be woken by
+    // the last Sender::drop instead of stalling for the full timeout. The
+    // generous timeout makes a lost wakeup show up as a test-suite hang
+    // rather than a silent pass. Loops to give the interleaving many chances
+    // to bite.
+    #[test]
+    fn last_sender_drop_wakes_timeout_receivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        for _ in 0..200 {
+            let (tx, rx) = super::channel::unbounded::<u32>();
+            let receivers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut n = 0u32;
+                        loop {
+                            match rx.recv_timeout(Duration::from_secs(60)) {
+                                Ok(_) => n += 1,
+                                Err(RecvTimeoutError::Disconnected) => return n,
+                                Err(RecvTimeoutError::Timeout) => {
+                                    panic!("lost wakeup: timed out with senders gone")
+                                }
+                            }
+                        }
                     })
                 })
                 .collect();

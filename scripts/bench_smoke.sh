@@ -34,3 +34,21 @@ done
 echo
 echo "== $OUT =="
 cat "$OUT"
+
+# Fault-injection smoke: a run with injected worker faults must complete
+# cleanly and quarantine exactly the targeted sources.
+echo
+echo "== fault-injection smoke =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run --offline -q -p midas-cli -- \
+    generate --dataset kvault --scale 0.05 --out "$SMOKE_DIR"
+FAULTED="$(MIDAS_FAULTINJECT='panic@#0,budget@#1' cargo run --offline -q -p midas-cli -- \
+    discover --facts "$SMOKE_DIR/facts.tsv" --kb "$SMOKE_DIR/kb.tsv" \
+    --lenient --threads 4 --top 5)"
+printf '%s\n' "$FAULTED" | tail -n 6
+if ! printf '%s\n' "$FAULTED" | grep -q "quarantined 2 source(s)"; then
+    echo "fault-injection smoke FAILED: expected 2 quarantined sources" >&2
+    exit 1
+fi
+echo "fault-injection smoke OK"

@@ -61,12 +61,15 @@ pub use midas_weburl as weburl;
 pub mod prelude {
     pub use midas_baselines::{AggCluster, Greedy, Naive};
     pub use midas_core::{
-        CostModel, DetectInput, DiscoveredSlice, ExportPolicy, ExtentSet, FactTable, Framework,
-        MidasAlg, MidasConfig, ProfitCtx, SliceDetector, SliceHierarchy, SourceFacts,
+        BreachKind, BudgetBreach, BudgetScope, CostModel, DetectInput, DiscoveredSlice,
+        ExportPolicy, ExtentSet, FactTable, FaultCause, FaultPlan, Framework, MidasAlg,
+        MidasConfig, ProfitCtx, Quarantine, SliceDetector, SliceHierarchy, SourceBudget,
+        SourceFacts, SourceFault, Stage,
     };
     pub use midas_eval::{
-        coverage_adjusted, match_to_gold, merge_by_domain, run_detector_per_source,
-        run_midas_framework, SimulatedAnnotator, Table,
+        coverage_adjusted, match_to_gold, merge_by_domain, quarantine_table,
+        run_detector_per_source, run_detector_per_source_budgeted, run_midas_framework,
+        SimulatedAnnotator, Table,
     };
     pub use midas_extract::{Dataset, GoldSlice, GroundTruth};
     pub use midas_kb::{Fact, Interner, KnowledgeBase, SharedInterner, Symbol};

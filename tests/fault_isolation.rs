@@ -1,0 +1,251 @@
+//! Fault isolation end to end: injected faults quarantine exactly their
+//! targets, and a k-fault run over N sources emits the same slices as a
+//! clean run over the surviving N−k sources, at any thread count.
+//!
+//! The fault-injection plan is process-global, so every test that installs
+//! one serialises on [`PLAN_LOCK`] (this file is its own test binary; unit
+//! tests elsewhere never install plans).
+
+use midas::core::faultinject;
+use midas::core::parallel::par_map_isolated;
+use midas::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the global-plan lock for one test and clears any installed plan on
+/// drop, so a failing test cannot poison the ones after it.
+struct PlanSession(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn plan_session() -> PlanSession {
+    PlanSession(PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+impl Drop for PlanSession {
+    fn drop(&mut self) {
+        faultinject::clear();
+    }
+}
+
+fn url(s: &str) -> SourceUrl {
+    SourceUrl::parse(s).unwrap()
+}
+
+/// `pages` pages under `section`, each with `per_page` entities of one
+/// vertical (2 defining properties + 1 unique fact per entity).
+fn vertical_pages(
+    t: &mut Interner,
+    section: &str,
+    stem: &str,
+    pages: usize,
+    per_page: usize,
+) -> Vec<SourceFacts> {
+    let mut out = Vec::new();
+    for p in 0..pages {
+        let mut facts = Vec::new();
+        for e in 0..per_page {
+            let name = format!("{stem}_{p}_{e}");
+            facts.push(Fact::intern(t, &name, "kind", stem));
+            facts.push(Fact::intern(t, &name, "site", &format!("{stem}_dir")));
+            facts.push(Fact::intern(t, &name, "serial", &format!("{stem}{p}{e}")));
+        }
+        out.push(SourceFacts::new(url(&format!("{section}/page{p}.html")), facts));
+    }
+    out
+}
+
+/// 20 sources: 5 domains × 4 pages, each domain a distinct vertical.
+fn twenty_source_corpus(t: &mut Interner) -> Vec<SourceFacts> {
+    let mut sources = Vec::new();
+    for d in 0..5 {
+        sources.extend(vertical_pages(
+            t,
+            &format!("http://domain{d}.example.org/dir"),
+            &format!("stem{d}"),
+            4,
+            4,
+        ));
+    }
+    sources
+}
+
+fn run_framework(sources: Vec<SourceFacts>, threads: usize) -> midas::core::FrameworkReport {
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    Framework::new(&alg, alg.config.cost)
+        .with_threads(threads)
+        .run(sources, &KnowledgeBase::new())
+}
+
+fn assert_bit_identical(a: &[DiscoveredSlice], b: &[DiscoveredSlice]) {
+    assert_eq!(a.len(), b.len(), "slice counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.source, y.source);
+        assert_eq!(x.properties, y.properties);
+        assert_eq!(x.entities, y.entities);
+        assert_eq!(x.num_facts, y.num_facts);
+        assert_eq!(x.num_new_facts, y.num_new_facts);
+        assert_eq!(x.profit.to_bits(), y.profit.to_bits(), "profits not bit-identical");
+    }
+}
+
+/// The acceptance scenario at the framework level: 20 sources, one injected
+/// worker panic and one injected budget exhaustion (by round-0 source
+/// index). The run completes, quarantines exactly those 2, and its slices
+/// are bit-identical to a clean run over the 18 survivors — at every thread
+/// count.
+#[test]
+fn k_fault_run_matches_clean_run_over_survivors() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let corpus = twenty_source_corpus(&mut t);
+    assert_eq!(corpus.len(), 20);
+
+    // Round-0 indices follow the framework's sorted source order.
+    let mut sorted_urls: Vec<SourceUrl> = corpus.iter().map(|s| s.url.clone()).collect();
+    sorted_urls.sort();
+    let panicked = sorted_urls[2].clone();
+    let exhausted = sorted_urls[7].clone();
+    let survivors: Vec<SourceFacts> = corpus
+        .iter()
+        .filter(|s| s.url != panicked && s.url != exhausted)
+        .cloned()
+        .collect();
+    assert_eq!(survivors.len(), 18);
+
+    let plan = FaultPlan::parse("panic@#2,budget@#7").unwrap();
+    for threads in [1, 2, 4, 8] {
+        faultinject::install(plan.clone());
+        let faulted = run_framework(corpus.clone(), threads);
+        faultinject::clear();
+        let clean = run_framework(survivors.clone(), threads);
+
+        assert_eq!(faulted.quarantine.len(), 2, "threads={threads}");
+        assert!(faulted.quarantine.contains_source(panicked.as_str()));
+        assert!(faulted.quarantine.contains_source(exhausted.as_str()));
+        let tags: Vec<&str> = faulted.quarantine.iter().map(|f| f.cause.tag()).collect();
+        assert!(tags.contains(&"panic") && tags.contains(&"budget"), "{tags:?}");
+        for fault in faulted.quarantine.iter() {
+            assert_eq!(fault.stage, Stage::Detect);
+        }
+        assert!(clean.quarantine.is_empty());
+        assert_bit_identical(&faulted.slices, &clean.slices);
+    }
+}
+
+/// URL-substring targeting: a panic injected into one leaf quarantines only
+/// that leaf, with the injected message preserved in the fault record.
+#[test]
+fn injected_worker_panic_quarantines_only_the_target() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let corpus = twenty_source_corpus(&mut t);
+    let target = "domain3.example.org/dir/page1";
+    faultinject::install(FaultPlan::parse(&format!("panic@{target}")).unwrap());
+    let report = run_framework(corpus.clone(), 4);
+    faultinject::clear();
+
+    assert_eq!(report.quarantine.len(), 1);
+    let fault = report.quarantine.iter().next().unwrap();
+    assert!(fault.source.contains(target));
+    match &fault.cause {
+        FaultCause::Panic { message } => {
+            assert!(message.contains("injected worker panic"), "{message}");
+        }
+        other => panic!("unexpected cause {other:?}"),
+    }
+    let clean: Vec<SourceFacts> = corpus
+        .into_iter()
+        .filter(|s| !s.url.as_str().contains(target))
+        .collect();
+    let clean_report = run_framework(clean, 4);
+    assert_bit_identical(&report.slices, &clean_report.slices);
+}
+
+/// Every source faulted: the run still completes, returns no slices, and
+/// quarantines all N sources.
+#[test]
+fn all_sources_faulted_still_completes() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let corpus = twenty_source_corpus(&mut t);
+    let n = corpus.len();
+    faultinject::install(FaultPlan::parse("panic@http").unwrap());
+    let report = run_framework(corpus, 4);
+    faultinject::clear();
+    assert!(report.slices.is_empty());
+    assert_eq!(report.quarantine.len(), n);
+    assert_eq!(report.rounds, 0, "no surviving leaves, no merge rounds");
+}
+
+/// A budget breach in a merge round (the section/domain shards outgrow the
+/// fact cap) quarantines the parent task but keeps the children's page-level
+/// slices competing: degraded, finer-grained output instead of none.
+#[test]
+fn consolidate_fault_keeps_children_competing() {
+    // No injection plan needed — the fact cap does the faulting — but the
+    // clean reference run must not race against another test's plan.
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let pages = vertical_pages(&mut t, "http://site.example/dir", "rocket", 6, 4);
+    let leaf_size = pages[0].len();
+    let alg = MidasAlg::new(MidasConfig::running_example());
+
+    // Clean run: the 6 sibling pages consolidate into one section slice.
+    let clean = Framework::new(&alg, alg.config.cost).run(pages.clone(), &KnowledgeBase::new());
+    assert_eq!(clean.slices.len(), 1);
+
+    // Cap between leaf size and merged-section size: round 0 passes, every
+    // merge round breaches.
+    let budgeted = Framework::new(&alg, alg.config.cost)
+        .with_budget(SourceBudget::unlimited().with_max_facts(leaf_size + 1))
+        .run(pages, &KnowledgeBase::new());
+    assert!(!budgeted.quarantine.is_empty());
+    for fault in budgeted.quarantine.iter() {
+        assert_eq!(fault.stage, Stage::Consolidate);
+        assert_eq!(fault.cause.tag(), "budget");
+    }
+    assert_eq!(
+        budgeted.slices.len(),
+        6,
+        "page-level slices survive the lost consolidation: {:?}",
+        budgeted.slices
+    );
+    assert!(budgeted
+        .slices
+        .iter()
+        .all(|s| s.source.as_str().contains("page")));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Panic-isolated mapping: whatever the fault positions, every surviving
+    /// task's result appears unperturbed, in place, in input order.
+    #[test]
+    fn fault_positions_never_perturb_surviving_results(
+        mask in proptest::collection::vec(any::<bool>(), 1..48),
+        threads in 1usize..5,
+    ) {
+        let items: Vec<(usize, bool)> = mask.iter().copied().enumerate().collect();
+        let results = par_map_isolated(threads, items, |(i, faulty)| {
+            if faulty {
+                panic!("injected fault at {i}");
+            }
+            i * 3 + 1
+        });
+        prop_assert_eq!(results.len(), mask.len());
+        for (i, (result, &faulty)) in results.iter().zip(&mask).enumerate() {
+            match result {
+                Ok(v) => {
+                    prop_assert!(!faulty, "task {i} should have faulted");
+                    prop_assert_eq!(*v, i * 3 + 1);
+                }
+                Err(fault) => {
+                    prop_assert!(faulty, "task {i} should have survived");
+                    prop_assert_eq!(fault.index, i);
+                }
+            }
+        }
+    }
+}
