@@ -17,8 +17,8 @@
 
 use midas_core::fact_table::intersect_sorted;
 use midas_core::{
-    CostModel, DetectInput, DiscoveredSlice, EntityId, ExtentSet, FactTable, ProfitCtx,
-    PropertyId, SliceDetector, SourceFacts,
+    CostModel, DetectInput, DiscoveredSlice, EntityId, ExtentSet, FactTable, ProfitCtx, PropertyId,
+    SliceDetector, SourceFacts,
 };
 use midas_kb::{KnowledgeBase, Symbol};
 use std::cmp::Ordering;
@@ -176,9 +176,7 @@ impl AggCluster {
             clusters.push(merged);
             // New candidate pairs against all alive clusters sharing a prop.
             for k in 0..mid {
-                if clusters[k].alive
-                    && shares_property(&clusters[mid].props, &clusters[k].props)
-                {
+                if clusters[k].alive && shares_property(&clusters[mid].props, &clusters[k].props) {
                     if let Some(e) = self.gain_entry(&ctx, &table, &clusters, k, mid) {
                         heap.push(e);
                     }
@@ -192,15 +190,14 @@ impl AggCluster {
             if c.extent.len() < 2 && c.profit <= 0.0 {
                 continue; // unmerged singletons with no value
             }
-            if reported_props.iter().any(|p| *p == c.props) {
+            if reported_props.contains(&c.props) {
                 continue; // identical description already reported
             }
             reported_props.push(c.props.clone());
             let mut properties: Vec<(Symbol, Symbol)> =
                 c.props.iter().map(|&p| table.catalog().pair(p)).collect();
             properties.sort_unstable();
-            let mut entities: Vec<Symbol> =
-                c.extent.iter().map(|e| table.subject(e)).collect();
+            let mut entities: Vec<Symbol> = c.extent.iter().map(|e| table.subject(e)).collect();
             entities.sort_unstable();
             out.push(DiscoveredSlice {
                 source: source.url.clone(),
@@ -292,7 +289,11 @@ mod tests {
         let slices = agg.cluster(&src, &kb);
         assert!(!slices.is_empty());
         let best = &slices[0];
-        assert_eq!(best.entities.len(), 5, "merged to everything NASA-sponsored");
+        assert_eq!(
+            best.entities.len(),
+            5,
+            "merged to everything NASA-sponsored"
+        );
         assert_eq!(best.num_new_facts, 6);
         assert!((best.profit - 4.257).abs() < 1e-9);
         assert!(
@@ -312,10 +313,30 @@ mod tests {
         let mut t = Interner::new();
         let mut facts = Vec::new();
         for i in 0..8 {
-            facts.push(midas_kb::Fact::intern(&mut t, &format!("golf{i}"), "type", "golf"));
-            facts.push(midas_kb::Fact::intern(&mut t, &format!("golf{i}"), "hole", &format!("h{i}")));
-            facts.push(midas_kb::Fact::intern(&mut t, &format!("game{i}"), "kind", "boardgame"));
-            facts.push(midas_kb::Fact::intern(&mut t, &format!("game{i}"), "player", &format!("p{i}")));
+            facts.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("golf{i}"),
+                "type",
+                "golf",
+            ));
+            facts.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("golf{i}"),
+                "hole",
+                &format!("h{i}"),
+            ));
+            facts.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("game{i}"),
+                "kind",
+                "boardgame",
+            ));
+            facts.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("game{i}"),
+                "player",
+                &format!("p{i}"),
+            ));
         }
         let src = SourceFacts::new(
             midas_weburl::SourceUrl::parse("http://mixed.com/x").unwrap(),
@@ -324,8 +345,7 @@ mod tests {
         let agg = AggCluster::new(CostModel::running_example());
         let slices = agg.cluster(&src, &KnowledgeBase::new());
         // Both verticals found as separate clusters (no shared property).
-        let big: Vec<&DiscoveredSlice> =
-            slices.iter().filter(|s| s.entities.len() == 8).collect();
+        let big: Vec<&DiscoveredSlice> = slices.iter().filter(|s| s.entities.len() == 8).collect();
         assert_eq!(big.len(), 2, "two separate 8-entity clusters: {slices:?}");
     }
 
@@ -334,7 +354,12 @@ mod tests {
         let mut t = Interner::new();
         let mut facts = Vec::new();
         for i in 0..50 {
-            facts.push(midas_kb::Fact::intern(&mut t, &format!("e{i}"), "type", "thing"));
+            facts.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("e{i}"),
+                "type",
+                "thing",
+            ));
         }
         let src = SourceFacts::new(
             midas_weburl::SourceUrl::parse("http://big.com/x").unwrap(),

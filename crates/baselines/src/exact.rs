@@ -65,11 +65,7 @@ impl Exact {
 
     /// Computes the provably optimal slice set, or `None` when the instance
     /// exceeds the enumeration caps.
-    pub fn solve(
-        &self,
-        source: &SourceFacts,
-        kb: &KnowledgeBase,
-    ) -> Option<Vec<DiscoveredSlice>> {
+    pub fn solve(&self, source: &SourceFacts, kb: &KnowledgeBase) -> Option<Vec<DiscoveredSlice>> {
         if source.is_empty() {
             return Some(Vec::new());
         }
@@ -117,7 +113,9 @@ impl Exact {
 
         // Per-entity counts for mask-based set profit.
         let new_of: Vec<f64> = (0..n as u32).map(|e| f64::from(table.new_of(e))).collect();
-        let facts_of: Vec<f64> = (0..n as u32).map(|e| f64::from(table.facts_of(e))).collect();
+        let facts_of: Vec<f64> = (0..n as u32)
+            .map(|e| f64::from(table.facts_of(e)))
+            .collect();
         let ctx = ProfitCtx::new(&table, self.cost);
         let profit_of = |slice_set: u32| -> f64 {
             if slice_set == 0 {
@@ -195,11 +193,7 @@ impl Exact {
         let ctx = ProfitCtx::new(&table, self.cost);
         let mut acc = ctx.accumulator();
         for s in slices {
-            let ids: Vec<EntityId> = s
-                .entities
-                .iter()
-                .filter_map(|&e| table.entity(e))
-                .collect();
+            let ids: Vec<EntityId> = s.entities.iter().filter_map(|&e| table.entity(e)).collect();
             let extent = ExtentSet::from_unsorted(table.num_entities() as u32, ids);
             acc.add(&ctx, &extent);
         }
@@ -263,7 +257,11 @@ mod tests {
         assert!(exact.solve(&src, &KnowledgeBase::new()).is_none());
         // Through the detector interface it degrades to "no answer".
         assert!(exact
-            .detect(DetectInput { source: &src, kb: &KnowledgeBase::new(), seeds: &[] })
+            .detect(DetectInput {
+                source: &src,
+                kb: &KnowledgeBase::new(),
+                seeds: &[]
+            })
             .is_empty());
     }
 

@@ -25,11 +25,7 @@ impl Greedy {
     }
 
     /// Derives the single greedy slice of `source` (None for empty sources).
-    pub fn best_slice(
-        &self,
-        source: &SourceFacts,
-        kb: &KnowledgeBase,
-    ) -> Option<DiscoveredSlice> {
+    pub fn best_slice(&self, source: &SourceFacts, kb: &KnowledgeBase) -> Option<DiscoveredSlice> {
         if source.is_empty() {
             return None;
         }
@@ -66,7 +62,7 @@ impl Greedy {
                     continue;
                 }
                 let p = ctx.profit_single(&new_extent);
-                if p > profit && best.as_ref().map_or(true, |(_, _, bp)| p > *bp) {
+                if p > profit && best.as_ref().is_none_or(|(_, _, bp)| p > *bp) {
                     best = Some((cand, new_extent, p));
                 }
             }
@@ -107,7 +103,9 @@ impl SliceDetector for Greedy {
     }
 
     fn detect(&self, input: DetectInput<'_>) -> Vec<DiscoveredSlice> {
-        self.best_slice(input.source, input.kb).into_iter().collect()
+        self.best_slice(input.source, input.kb)
+            .into_iter()
+            .collect()
     }
 }
 
@@ -144,10 +142,21 @@ mod tests {
         let mut facts = Vec::new();
         let mut kb = KnowledgeBase::new();
         for i in 0..10 {
-            facts.push(midas_kb::Fact::intern(&mut t, &format!("golf{i}"), "type", "golf"));
-            facts.push(midas_kb::Fact::intern(&mut t, &format!("golf{i}"), "hole", &format!("h{i}")));
+            facts.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("golf{i}"),
+                "type",
+                "golf",
+            ));
+            facts.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("golf{i}"),
+                "hole",
+                &format!("h{i}"),
+            ));
             let b1 = midas_kb::Fact::intern(&mut t, &format!("game{i}"), "type", "boardgame");
-            let b2 = midas_kb::Fact::intern(&mut t, &format!("game{i}"), "player", &format!("p{i}"));
+            let b2 =
+                midas_kb::Fact::intern(&mut t, &format!("game{i}"), "player", &format!("p{i}"));
             facts.push(b1);
             facts.push(b2);
             kb.insert(b1);
@@ -182,7 +191,11 @@ mod tests {
         let mut t = Interner::new();
         let (src, kb) = skyrocket(&mut t);
         let greedy = Greedy::new(CostModel::running_example());
-        let out = greedy.detect(DetectInput { source: &src, kb: &kb, seeds: &[] });
+        let out = greedy.detect(DetectInput {
+            source: &src,
+            kb: &kb,
+            seeds: &[],
+        });
         assert_eq!(out.len(), 1);
         assert_eq!(greedy.name(), "greedy");
     }

@@ -16,14 +16,14 @@
 //!   gain of merging as the linkage criterion, `O(|E|² log |E|)`. Accurate
 //!   on small inputs but an order of magnitude slower than MIDASalg, with a
 //!   cliff on disproportionately large sources (Figure 10d).
-
-#![warn(missing_docs)]
-
+//!
 //! A fourth, non-paper algorithm is included as a correctness reference:
 //! [`Exact`] computes the provably optimal slice set on small instances by
 //! enumerating the canonical slices (closed property sets) and every subset
 //! of them — usable only up to ~16 entities, but invaluable for measuring
 //! MIDASalg's optimality gap (see the `optimality_gap` integration test).
+
+#![warn(missing_docs)]
 
 pub mod aggcluster;
 pub mod exact;

@@ -55,7 +55,7 @@ impl Naive {
             .iter()
             .filter_map(|s| self.whole_source_slice(s, kb))
             .collect();
-        out.sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
+        out.sort_by_key(|s| std::cmp::Reverse(s.num_new_facts));
         out
     }
 }
@@ -112,7 +112,9 @@ mod tests {
             midas_weburl::SourceUrl::parse("http://empty.com").unwrap(),
             vec![],
         );
-        assert!(naive.whole_source_slice(&src, &KnowledgeBase::new()).is_none());
+        assert!(naive
+            .whole_source_slice(&src, &KnowledgeBase::new())
+            .is_none());
     }
 
     #[test]
@@ -120,7 +122,11 @@ mod tests {
         let mut t = Interner::new();
         let (src, kb) = skyrocket(&mut t);
         let naive = Naive::new(CostModel::running_example());
-        let out = naive.detect(DetectInput { source: &src, kb: &kb, seeds: &[] });
+        let out = naive.detect(DetectInput {
+            source: &src,
+            kb: &kb,
+            seeds: &[],
+        });
         assert_eq!(out.len(), 1);
         assert_eq!(naive.name(), "naive");
     }

@@ -16,22 +16,61 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let midas = MidasAlg::new(cfg.clone());
     group.bench_function("midas", |b| {
-        b.iter(|| black_box(midas.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }).len()))
+        b.iter(|| {
+            black_box(
+                midas
+                    .detect(DetectInput {
+                        source: src,
+                        kb: &ds.kb,
+                        seeds: &[],
+                    })
+                    .len(),
+            )
+        })
     });
 
     let greedy = Greedy::new(cfg.cost);
     group.bench_function("greedy", |b| {
-        b.iter(|| black_box(greedy.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }).len()))
+        b.iter(|| {
+            black_box(
+                greedy
+                    .detect(DetectInput {
+                        source: src,
+                        kb: &ds.kb,
+                        seeds: &[],
+                    })
+                    .len(),
+            )
+        })
     });
 
     let agg = AggCluster::new(cfg.cost);
     group.bench_function("aggcluster", |b| {
-        b.iter(|| black_box(agg.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }).len()))
+        b.iter(|| {
+            black_box(
+                agg.detect(DetectInput {
+                    source: src,
+                    kb: &ds.kb,
+                    seeds: &[],
+                })
+                .len(),
+            )
+        })
     });
 
     let naive = Naive::new(cfg.cost);
     group.bench_function("naive", |b| {
-        b.iter(|| black_box(naive.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }).len()))
+        b.iter(|| {
+            black_box(
+                naive
+                    .detect(DetectInput {
+                        source: src,
+                        kb: &ds.kb,
+                        seeds: &[],
+                    })
+                    .len(),
+            )
+        })
     });
 
     group.finish();

@@ -5,7 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use midas_kb::{Interner, SharedInterner};
 
 fn bench_interning(c: &mut Criterion) {
-    let words: Vec<String> = (0..10_000).map(|i| format!("entity_{}", i % 2_000)).collect();
+    let words: Vec<String> = (0..10_000)
+        .map(|i| format!("entity_{}", i % 2_000))
+        .collect();
 
     c.bench_function("interner/intern_10k_mixed", |b| {
         b.iter(|| {

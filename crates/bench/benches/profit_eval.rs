@@ -26,8 +26,9 @@ fn bench_profit(c: &mut Criterion) {
     // extents of the synthetic source. The profitable slices it accumulates
     // are the high-coverage ones, so bench the largest extents.
     let cat = table.catalog();
-    let mut slice_extents: Vec<ExtentSet> =
-        (0..cat.len() as u32).map(|p| cat.extent(p).clone()).collect();
+    let mut slice_extents: Vec<ExtentSet> = (0..cat.len() as u32)
+        .map(|p| cat.extent(p).clone())
+        .collect();
     slice_extents.sort_by_key(|x| std::cmp::Reverse(x.len()));
     slice_extents.truncate(16);
     assert!(slice_extents.len() == 16, "synthetic catalog too small");

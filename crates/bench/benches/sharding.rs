@@ -18,8 +18,12 @@ fn bench_sharding(c: &mut Criterion) {
 
     c.bench_function("shard/10k_pages_by_parent", |b| {
         b.iter(|| {
-            let items: Vec<(SourceUrl, usize)> =
-                urls.iter().cloned().enumerate().map(|(i, u)| (u, i)).collect();
+            let items: Vec<(SourceUrl, usize)> = urls
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, u)| (u, i))
+                .collect();
             let (shards, domains) = shard_by_parent(items);
             black_box((shards.len(), domains.len()))
         })
@@ -29,11 +33,8 @@ fn bench_sharding(c: &mut Criterion) {
         b.iter(|| {
             let mut depth = 0usize;
             for i in 0..1_000 {
-                let u = SourceUrl::parse(&format!(
-                    "HTTPS://WWW.Example.COM//a/b{}//c?q=1#f",
-                    i
-                ))
-                .expect("parses");
+                let u = SourceUrl::parse(&format!("HTTPS://WWW.Example.COM//a/b{}//c?q=1#f", i))
+                    .expect("parses");
                 depth += u.depth();
             }
             black_box(depth)

@@ -4,9 +4,12 @@
 use midas_bench::{fig10, fig11, fig3, fig7, fig8, fig9, ExperimentScale};
 use std::time::Instant;
 
+/// A named reproduction entry point.
+type Experiment = (&'static str, fn(ExperimentScale) -> String);
+
 fn main() {
     let scale = ExperimentScale::from_args();
-    let experiments: &[(&str, fn(ExperimentScale) -> String)] = &[
+    let experiments: &[Experiment] = &[
         ("Figure 7 (dataset statistics)", fig7::run),
         ("Figure 8 (silver standard)", fig8::run),
         ("Figure 3 (KnowledgeVault qualitative)", fig3::run),

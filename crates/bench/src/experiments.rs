@@ -2,7 +2,9 @@
 
 use midas_baselines::{AggCluster, Greedy, Naive};
 use midas_core::{DiscoveredSlice, MidasConfig, SourceFacts};
-use midas_eval::runner::{merge_by_domain, run_detector_per_source, run_midas_framework, RunResult};
+use midas_eval::runner::{
+    merge_by_domain, run_detector_per_source, run_midas_framework, RunResult,
+};
 use midas_kb::KnowledgeBase;
 
 /// Scale selection for the harness binaries.
@@ -90,7 +92,7 @@ pub fn run_four_algorithms(
     // NAIVE ranks by new-fact count, not profit.
     naive_run
         .slices
-        .sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
+        .sort_by_key(|s| std::cmp::Reverse(s.num_new_facts));
     out.push(AlgoOutcome {
         name: "naive",
         run: naive_run,

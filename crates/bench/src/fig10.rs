@@ -27,16 +27,24 @@ fn top_k_table(name: &str, ds: &Dataset, scale: ExperimentScale) -> String {
     };
     let mut t = Table::new(
         &format!("Figure 10 top-k precision on {name} (empty KB, simulated labeling)"),
-        &[vec!["k".to_owned()], outcomes.iter().map(|o| o.name.to_owned()).collect()].concat()
-            .iter()
-            .map(String::as_str)
-            .collect::<Vec<_>>()
-            .as_slice(),
+        [
+            vec!["k".to_owned()],
+            outcomes.iter().map(|o| o.name.to_owned()).collect(),
+        ]
+        .concat()
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice(),
     );
     for &k in &ks {
         let row: Vec<String> = outcomes
             .iter()
-            .map(|o| f3(top_k_precision(&o.run.slices, k, |s| annotator.is_correct(s, &ds.truth))))
+            .map(|o| {
+                f3(top_k_precision(&o.run.slices, k, |s| {
+                    annotator.is_correct(s, &ds.truth)
+                }))
+            })
             .collect();
         t.row(&[vec![k.to_string()], row].concat());
     }
@@ -60,7 +68,10 @@ fn timing_table(name: &str, ds: &Dataset) -> String {
             .collect();
         for (i, o) in outcomes.iter().enumerate() {
             // Log scale, as in the paper's Figure 10b/d.
-            series[i].push((ratio, (o.run.duration.as_secs_f64() * 1e3).max(1e-3).log10()));
+            series[i].push((
+                ratio,
+                (o.run.duration.as_secs_f64() * 1e3).max(1e-3).log10(),
+            ));
         }
         t.row(&[vec![format!("{ratio:.2}")], row].concat());
     }
@@ -71,7 +82,10 @@ fn timing_table(name: &str, ds: &Dataset) -> String {
         48,
         10,
     );
-    for (s, alg) in series.into_iter().zip(["midas", "greedy", "aggcluster", "naive"]) {
+    for (s, alg) in series
+        .into_iter()
+        .zip(["midas", "greedy", "aggcluster", "naive"])
+    {
         chart = chart.series(Series::new(alg, s));
     }
     out.push_str(&chart.render());
@@ -84,7 +98,10 @@ pub fn run(scale: ExperimentScale) -> String {
         ExperimentScale::Quick => (0.0008, 0.0015, 500),
         ExperimentScale::Full => (0.004, 0.008, 1_500),
     };
-    let rv = reverb::generate(&reverb::ReverbConfig { scale: rv_scale, seed: 42 });
+    let rv = reverb::generate(&reverb::ReverbConfig {
+        scale: rv_scale,
+        seed: 42,
+    });
     let nl = nell::generate(&nell::NellConfig {
         scale: nl_scale,
         seed: 42,
@@ -111,7 +128,10 @@ mod tests {
     /// (it ranks forums and news sites on top).
     #[test]
     fn midas_beats_naive_on_top_k_precision() {
-        let ds = reverb::generate(&reverb::ReverbConfig { scale: 0.0004, seed: 5 });
+        let ds = reverb::generate(&reverb::ReverbConfig {
+            scale: 0.0004,
+            seed: 5,
+        });
         let cfg = MidasConfig::default();
         let outcomes = run_four_algorithms(&cfg, &ds.sources, &ds.kb, 2);
         let annotator = SimulatedAnnotator::default();

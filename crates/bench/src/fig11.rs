@@ -17,10 +17,7 @@ use midas_extract::synthetic::{generate, SyntheticConfig};
 pub fn run(scale: ExperimentScale) -> String {
     let (fact_sweep, m_sweep): (Vec<usize>, Vec<usize>) = match scale {
         ExperimentScale::Quick => (vec![1_000, 2_500, 5_000], vec![1, 2, 4, 6, 8, 10]),
-        ExperimentScale::Full => (
-            vec![1_000, 2_500, 5_000, 7_500, 10_000],
-            (1..=10).collect(),
-        ),
+        ExperimentScale::Full => (vec![1_000, 2_500, 5_000, 7_500, 10_000], (1..=10).collect()),
     };
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
     let cfg = MidasConfig::default();
@@ -93,7 +90,10 @@ pub fn run(scale: ExperimentScale) -> String {
         10,
     )
     .with_y_range(0.0, 1.0);
-    for (s, alg) in f_series.into_iter().zip(["midas", "greedy", "aggcluster", "naive"]) {
+    for (s, alg) in f_series
+        .into_iter()
+        .zip(["midas", "greedy", "aggcluster", "naive"])
+    {
         chart = chart.series(Series::new(alg, s));
     }
     out.push_str(&chart.render());

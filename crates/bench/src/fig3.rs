@@ -84,9 +84,11 @@ mod tests {
     /// with new-fact ratios near the paper's targets.
     #[test]
     fn recovers_all_six_verticals() {
-        let ds = generate(&KVaultConfig { scale: 0.2, seed: 5 });
-        let result =
-            run_midas_framework(&MidasConfig::default(), ds.sources.clone(), &ds.kb, 2);
+        let ds = generate(&KVaultConfig {
+            scale: 0.2,
+            seed: 5,
+        });
+        let result = run_midas_framework(&MidasConfig::default(), ds.sources.clone(), &ds.kb, 2);
         assert!(result.slices.len() >= 6, "got {}", result.slices.len());
         let mut matched = 0;
         for gold in &ds.truth.gold {

@@ -15,13 +15,20 @@ pub fn run(scale: ExperimentScale) -> String {
     let datasets = [
         (
             "ReVerb",
-            reverb::generate(&reverb::ReverbConfig { scale: rv_scale, seed: 42 }),
+            reverb::generate(&reverb::ReverbConfig {
+                scale: rv_scale,
+                seed: 42,
+            }),
             "Empty",
             "15M facts, 327K pred., 20M URLs",
         ),
         (
             "NELL",
-            nell::generate(&nell::NellConfig { scale: nl_scale, seed: 42, ..Default::default() }),
+            nell::generate(&nell::NellConfig {
+                scale: nl_scale,
+                seed: 42,
+                ..Default::default()
+            }),
             "Empty",
             "2.9M facts, 330 pred., 340K URLs",
         ),
@@ -41,7 +48,14 @@ pub fn run(scale: ExperimentScale) -> String {
 
     let mut table = Table::new(
         "Figure 7: dataset statistics (generated at reduced scale; paper values for reference)",
-        &["Dataset", "# of facts", "# of pred.", "# of sources", "Existing KB", "Paper (full scale)"],
+        &[
+            "Dataset",
+            "# of facts",
+            "# of pred.",
+            "# of sources",
+            "Existing KB",
+            "Paper (full scale)",
+        ],
     );
     for (name, ds, kb, paper) in &datasets {
         let stats = ds.stats();

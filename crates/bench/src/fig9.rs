@@ -62,10 +62,19 @@ pub fn run_flavor(flavor: SlimFlavor, scale: ExperimentScale) -> String {
         }
         let cov = format!("{coverage:.1}");
         precision_t.row(
-            &[vec![cov.clone()], prfs.iter().map(|p| f3(p.precision)).collect()].concat(),
+            &[
+                vec![cov.clone()],
+                prfs.iter().map(|p| f3(p.precision)).collect(),
+            ]
+            .concat(),
         );
-        recall_t
-            .row(&[vec![cov.clone()], prfs.iter().map(|p| f3(p.recall)).collect()].concat());
+        recall_t.row(
+            &[
+                vec![cov.clone()],
+                prfs.iter().map(|p| f3(p.recall)).collect(),
+            ]
+            .concat(),
+        );
         f_t.row(&[vec![cov], prfs.iter().map(|p| f3(p.f_measure)).collect()].concat());
 
         // PR curves at the three highlighted coverages (Figure 9a/c/e).
@@ -99,7 +108,10 @@ pub fn run_flavor(flavor: SlimFlavor, scale: ExperimentScale) -> String {
         10,
     )
     .with_y_range(0.0, 1.0);
-    for (series, name) in f_series.into_iter().zip(["midas", "greedy", "aggcluster", "naive"]) {
+    for (series, name) in f_series
+        .into_iter()
+        .zip(["midas", "greedy", "aggcluster", "naive"])
+    {
         chart = chart.series(Series::new(name, series));
     }
     out.push_str(&chart.render());
@@ -136,11 +148,7 @@ mod tests {
         let midas = f("midas");
         assert!(midas > 0.6, "MIDAS F-measure too low: {midas}");
         for b in ["greedy", "aggcluster", "naive"] {
-            assert!(
-                midas >= f(b),
-                "MIDAS ({midas}) must beat {b} ({})",
-                f(b)
-            );
+            assert!(midas >= f(b), "MIDAS ({midas}) must beat {b} ({})", f(b));
         }
     }
 }

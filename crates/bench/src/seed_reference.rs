@@ -74,7 +74,9 @@ impl SeedLists {
     pub fn from_table(table: &FactTable) -> Self {
         let cat = table.catalog();
         SeedLists {
-            lists: (0..cat.len() as PropertyId).map(|p| cat.extent(p).to_vec()).collect(),
+            lists: (0..cat.len() as PropertyId)
+                .map(|p| cat.extent(p).to_vec())
+                .collect(),
         }
     }
 
@@ -82,7 +84,8 @@ impl SeedLists {
         if props.is_empty() {
             return (0..table.num_entities() as EntityId).collect();
         }
-        let mut lists: Vec<&[EntityId]> = props.iter().map(|&p| &self.lists[p as usize][..]).collect();
+        let mut lists: Vec<&[EntityId]> =
+            props.iter().map(|&p| &self.lists[p as usize][..]).collect();
         lists.sort_by_key(|l| l.len());
         let mut acc: Vec<EntityId> = lists[0].to_vec();
         for list in &lists[1..] {
@@ -135,6 +138,11 @@ impl SeedHierarchy {
     /// Live-node count — the seed's O(nodes) scan.
     pub fn len(&self) -> usize {
         self.nodes.iter().filter(|n| !n.removed).count()
+    }
+
+    /// Whether every node has been removed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     fn get_or_create(

@@ -40,7 +40,11 @@ fn assert_parity(table: &FactTable, cfg: &MidasConfig) {
             v.sort_unstable();
             v
         };
-        assert_eq!(sorted(&x.children), sorted(&y.children), "node {id}: children");
+        assert_eq!(
+            sorted(&x.children),
+            sorted(&y.children),
+            "node {id}: children"
+        );
         assert_eq!(sorted(&x.parents), sorted(&y.parents), "node {id}: parents");
         assert_eq!(
             sorted(&x.slb_slices),
@@ -63,7 +67,9 @@ fn seed_reference_matches_engine_on_synthetic() {
     let ds = generate(&SyntheticConfig::new(1_000, 20, 10, 42));
     let table = FactTable::build(&ds.sources[0], &ds.kb);
     assert_parity(&table, &MidasConfig::default());
-    let mut no_prune = MidasConfig::default();
-    no_prune.disable_profit_pruning = true;
+    let no_prune = MidasConfig {
+        disable_profit_pruning: true,
+        ..MidasConfig::default()
+    };
     assert_parity(&table, &no_prune);
 }

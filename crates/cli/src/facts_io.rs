@@ -18,10 +18,7 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 /// Reads a 4-column facts file into per-source fact sets.
-pub fn read_facts<R: BufRead>(
-    r: R,
-    terms: &mut Interner,
-) -> Result<Vec<SourceFacts>, CliError> {
+pub fn read_facts<R: BufRead>(r: R, terms: &mut Interner) -> Result<Vec<SourceFacts>, CliError> {
     let mut by_url: BTreeMap<SourceUrl, Vec<Fact>> = BTreeMap::new();
     for (i, line) in r.lines().enumerate() {
         let lineno = i + 1;
@@ -41,12 +38,12 @@ pub fn read_facts<R: BufRead>(
             (Some(u), Some(s), Some(p), Some(o), None) => (u, s, p, o),
             _ => {
                 return Err(CliError::Data(format!(
-                    "line {lineno}: expected 4 tab-separated fields (url, subject, predicate, object)"
-                )))
+                "line {lineno}: expected 4 tab-separated fields (url, subject, predicate, object)"
+            )))
             }
         };
-        let url = SourceUrl::parse(url)
-            .map_err(|e| CliError::Data(format!("line {lineno}: {e}")))?;
+        let url =
+            SourceUrl::parse(url).map_err(|e| CliError::Data(format!("line {lineno}: {e}")))?;
         by_url
             .entry(url)
             .or_default()
@@ -106,8 +103,7 @@ pub fn read_facts_lenient<R: BufRead>(
                 parse_fault(
                     file.to_owned(),
                     lineno,
-                    "expected 4 tab-separated fields (url, subject, predicate, object)"
-                        .to_owned(),
+                    "expected 4 tab-separated fields (url, subject, predicate, object)".to_owned(),
                     0,
                 );
                 continue;
@@ -160,8 +156,7 @@ pub fn write_facts<W: Write>(
 
 /// Reads a 3-column knowledge-base TSV.
 pub fn read_kb<R: BufRead>(r: R, terms: &mut Interner) -> Result<KnowledgeBase, CliError> {
-    let facts = midas_kb::io::read_tsv(r, terms)
-        .map_err(|e| CliError::Data(e.to_string()))?;
+    let facts = midas_kb::io::read_tsv(r, terms).map_err(|e| CliError::Data(e.to_string()))?;
     Ok(facts.into_iter().collect())
 }
 
@@ -183,16 +178,17 @@ pub fn read_gold<R: BufRead>(r: R, terms: &mut Interner) -> Result<Vec<GoldSlice
             continue;
         }
         let mut fields = trimmed.split('\t');
-        let (url, slice_id, entity) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
-            (Some(u), Some(s), Some(e), None) => (u, s, e),
-            _ => {
-                return Err(CliError::Data(format!(
-                    "line {lineno}: expected 3 tab-separated fields (url, slice_id, entity)"
-                )))
-            }
-        };
-        let url = SourceUrl::parse(url)
-            .map_err(|e| CliError::Data(format!("line {lineno}: {e}")))?;
+        let (url, slice_id, entity) =
+            match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some(u), Some(s), Some(e), None) => (u, s, e),
+                _ => {
+                    return Err(CliError::Data(format!(
+                        "line {lineno}: expected 3 tab-separated fields (url, slice_id, entity)"
+                    )))
+                }
+            };
+        let url =
+            SourceUrl::parse(url).map_err(|e| CliError::Data(format!("line {lineno}: {e}")))?;
         groups
             .entry((url, slice_id.to_owned()))
             .or_default()
@@ -233,7 +229,8 @@ mod tests {
 
     #[test]
     fn facts_round_trip() {
-        let input = "http://a.com/x\te1\tp\tv1\nhttp://a.com/x\te2\tp\tv2\nhttp://b.com\te3\tq\tv3\n";
+        let input =
+            "http://a.com/x\te1\tp\tv1\nhttp://a.com/x\te2\tp\tv2\nhttp://b.com\te3\tq\tv3\n";
         let mut terms = Interner::new();
         let sources = read_facts(input.as_bytes(), &mut terms).unwrap();
         assert_eq!(sources.len(), 2);
@@ -279,8 +276,14 @@ mod tests {
             }
             other => panic!("unexpected cause {other:?}"),
         }
-        assert_eq!(faults[0].source, "facts.tsv", "field-count fault has no URL");
-        assert_eq!(faults[1].source, "not-a-url", "URL fault names the raw text");
+        assert_eq!(
+            faults[0].source, "facts.tsv",
+            "field-count fault has no URL"
+        );
+        assert_eq!(
+            faults[1].source, "not-a-url",
+            "URL fault names the raw text"
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ mod tests {
         let mut terms = Interner::new();
         let src = rockets(&mut terms);
         let enriched = RangeEnrichment::default().enrich(&src, &mut terms);
-        assert_eq!(enriched.len(), src.len() + 10, "one derived fact per year fact");
+        assert_eq!(
+            enriched.len(),
+            src.len() + 10,
+            "one derived fact per year fact"
+        );
         let pred = terms.get("started:range").expect("derived predicate");
         let decades: Vec<&str> = enriched
             .facts

@@ -166,7 +166,10 @@ mod tests {
     fn parse_round_trips_all_kinds() {
         let plan = FaultPlan::parse("parse@#3, panic@flaky ,budget@#11").unwrap();
         assert_eq!(plan.parse_failures, vec![Target::Index(3)]);
-        assert_eq!(plan.worker_panics, vec![Target::UrlContains("flaky".into())]);
+        assert_eq!(
+            plan.worker_panics,
+            vec![Target::UrlContains("flaky".into())]
+        );
         assert_eq!(plan.budget_exhaustions, vec![Target::Index(11)]);
         assert!(FaultPlan::parse("").unwrap().is_empty());
     }

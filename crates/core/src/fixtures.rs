@@ -21,19 +21,97 @@ struct Row {
 }
 
 const ROWS: &[Row] = &[
-    Row { subject: "Project Mercury", predicate: "category", object: "space_program", is_new: false, page: "http://space.skyrocket.de/doc_sat/mercury-history.htm" },
-    Row { subject: "Project Mercury", predicate: "started", object: "1959", is_new: false, page: "http://space.skyrocket.de/doc_sat/mercury-history.htm" },
-    Row { subject: "Project Mercury", predicate: "sponsor", object: "NASA", is_new: false, page: "http://space.skyrocket.de/doc_sat/mercury-history.htm" },
-    Row { subject: "Project Gemini", predicate: "category", object: "space_program", is_new: false, page: "http://space.skyrocket.de/doc_sat/gemini-history.htm" },
-    Row { subject: "Project Gemini", predicate: "sponsor", object: "NASA", is_new: false, page: "http://space.skyrocket.de/doc_sat/gemini-history.htm" },
-    Row { subject: "Atlas", predicate: "category", object: "rocket_family", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm" },
-    Row { subject: "Atlas", predicate: "sponsor", object: "NASA", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm" },
-    Row { subject: "Atlas", predicate: "started", object: "1957", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm" },
-    Row { subject: "Apollo program", predicate: "category", object: "space_program", is_new: false, page: "http://space.skyrocket.de/doc_sat/apollo-history.htm" },
-    Row { subject: "Apollo program", predicate: "sponsor", object: "NASA", is_new: false, page: "http://space.skyrocket.de/doc_sat/apollo-history.htm" },
-    Row { subject: "Castor-4", predicate: "category", object: "rocket_family", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm" },
-    Row { subject: "Castor-4", predicate: "started", object: "1971", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm" },
-    Row { subject: "Castor-4", predicate: "sponsor", object: "NASA", is_new: true, page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm" },
+    Row {
+        subject: "Project Mercury",
+        predicate: "category",
+        object: "space_program",
+        is_new: false,
+        page: "http://space.skyrocket.de/doc_sat/mercury-history.htm",
+    },
+    Row {
+        subject: "Project Mercury",
+        predicate: "started",
+        object: "1959",
+        is_new: false,
+        page: "http://space.skyrocket.de/doc_sat/mercury-history.htm",
+    },
+    Row {
+        subject: "Project Mercury",
+        predicate: "sponsor",
+        object: "NASA",
+        is_new: false,
+        page: "http://space.skyrocket.de/doc_sat/mercury-history.htm",
+    },
+    Row {
+        subject: "Project Gemini",
+        predicate: "category",
+        object: "space_program",
+        is_new: false,
+        page: "http://space.skyrocket.de/doc_sat/gemini-history.htm",
+    },
+    Row {
+        subject: "Project Gemini",
+        predicate: "sponsor",
+        object: "NASA",
+        is_new: false,
+        page: "http://space.skyrocket.de/doc_sat/gemini-history.htm",
+    },
+    Row {
+        subject: "Atlas",
+        predicate: "category",
+        object: "rocket_family",
+        is_new: true,
+        page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm",
+    },
+    Row {
+        subject: "Atlas",
+        predicate: "sponsor",
+        object: "NASA",
+        is_new: true,
+        page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm",
+    },
+    Row {
+        subject: "Atlas",
+        predicate: "started",
+        object: "1957",
+        is_new: true,
+        page: "http://space.skyrocket.de/doc_lau_fam/atlas.htm",
+    },
+    Row {
+        subject: "Apollo program",
+        predicate: "category",
+        object: "space_program",
+        is_new: false,
+        page: "http://space.skyrocket.de/doc_sat/apollo-history.htm",
+    },
+    Row {
+        subject: "Apollo program",
+        predicate: "sponsor",
+        object: "NASA",
+        is_new: false,
+        page: "http://space.skyrocket.de/doc_sat/apollo-history.htm",
+    },
+    Row {
+        subject: "Castor-4",
+        predicate: "category",
+        object: "rocket_family",
+        is_new: true,
+        page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm",
+    },
+    Row {
+        subject: "Castor-4",
+        predicate: "started",
+        object: "1971",
+        is_new: true,
+        page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm",
+    },
+    Row {
+        subject: "Castor-4",
+        predicate: "sponsor",
+        object: "NASA",
+        is_new: true,
+        page: "http://space.skyrocket.de/doc_lau_fam/castor-4.htm",
+    },
 ];
 
 /// The whole running example collapsed into one source

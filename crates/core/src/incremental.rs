@@ -169,11 +169,26 @@ mod tests {
         let mut facts_a = Vec::new();
         let mut facts_b = Vec::new();
         for i in 0..12 {
-            facts_a.push(midas_kb::Fact::intern(&mut t, &format!("golf{i}"), "type", "golf"));
-            facts_a.push(midas_kb::Fact::intern(&mut t, &format!("golf{i}"), "hole", &format!("h{i}")));
+            facts_a.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("golf{i}"),
+                "type",
+                "golf",
+            ));
+            facts_a.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("golf{i}"),
+                "hole",
+                &format!("h{i}"),
+            ));
         }
         for i in 0..4 {
-            facts_b.push(midas_kb::Fact::intern(&mut t, &format!("game{i}"), "type", "game"));
+            facts_b.push(midas_kb::Fact::intern(
+                &mut t,
+                &format!("game{i}"),
+                "type",
+                "game",
+            ));
         }
         let url = |s: &str| midas_weburl::SourceUrl::parse(s).unwrap();
         let sources = vec![
@@ -186,7 +201,13 @@ mod tests {
             KnowledgeBase::new(),
         );
         let steps = aug.run_to_saturation(10);
-        assert!(steps.len() >= 2, "both verticals eventually accepted: {steps:?}");
-        assert!(steps[0].facts_added > steps[1].facts_added, "richer slice first");
+        assert!(
+            steps.len() >= 2,
+            "both verticals eventually accepted: {steps:?}"
+        );
+        assert!(
+            steps[0].facts_added > steps[1].facts_added,
+            "richer slice first"
+        );
     }
 }

@@ -120,7 +120,8 @@ impl ProfitAccumulator {
     /// extent, without mutating the accumulator.
     pub fn marginal(&self, ctx: &ProfitCtx<'_>, extent: &ExtentSet) -> f64 {
         let (dnew, dtotal) = ctx.table.fact_counts_missing_from(extent, &self.covered);
-        let mut delta = (1.0 - ctx.cost.fv) * dnew as f64 - ctx.cost.fd * dtotal as f64 - ctx.cost.fp;
+        let mut delta =
+            (1.0 - ctx.cost.fv) * dnew as f64 - ctx.cost.fd * dtotal as f64 - ctx.cost.fp;
         if self.k == 0 {
             // The first slice brings in the fixed crawl term of the source.
             delta -= ctx.crawl_fixed;
@@ -171,7 +172,11 @@ mod tests {
         let mut t = Interner::new();
         let (ft, cfg, _) = ctx_for_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
-        let s5 = extent(&ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        let s5 = extent(
+            &ft,
+            &mut t,
+            &[("category", "rocket_family"), ("sponsor", "NASA")],
+        );
         assert!((ctx.profit_single(&s5) - 4.327).abs() < 1e-9);
     }
 
@@ -200,7 +205,11 @@ mod tests {
         let mut t = Interner::new();
         let (ft, cfg, _) = ctx_for_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
-        let s4 = extent(&ft, &mut t, &[("category", "space_program"), ("sponsor", "NASA")]);
+        let s4 = extent(
+            &ft,
+            &mut t,
+            &[("category", "space_program"), ("sponsor", "NASA")],
+        );
         assert_eq!(s4.len(), 3);
         assert!((ctx.profit_single(&s4) - (-1.083)).abs() < 1e-9);
     }
@@ -233,7 +242,11 @@ mod tests {
         let mut t = Interner::new();
         let (ft, cfg, _) = ctx_for_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
-        let s5 = extent(&ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        let s5 = extent(
+            &ft,
+            &mut t,
+            &[("category", "rocket_family"), ("sponsor", "NASA")],
+        );
         let s6 = extent(&ft, &mut t, &[("sponsor", "NASA")]);
         let f_s5 = ctx.profit_set(&s5, 1);
         let f_s6 = ctx.profit_set(&s6, 1);
@@ -259,12 +272,23 @@ mod tests {
         let mut t = Interner::new();
         let (ft, cfg, _) = ctx_for_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
-        let s5 = extent(&ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
-        let s4 = extent(&ft, &mut t, &[("category", "space_program"), ("sponsor", "NASA")]);
+        let s5 = extent(
+            &ft,
+            &mut t,
+            &[("category", "rocket_family"), ("sponsor", "NASA")],
+        );
+        let s4 = extent(
+            &ft,
+            &mut t,
+            &[("category", "space_program"), ("sponsor", "NASA")],
+        );
         let mut acc = ctx.accumulator();
         let m1 = acc.marginal(&ctx, &s5);
         acc.add(&ctx, &s5);
-        assert!((acc.profit(&ctx) - m1).abs() < 1e-9, "first marginal from zero");
+        assert!(
+            (acc.profit(&ctx) - m1).abs() < 1e-9,
+            "first marginal from zero"
+        );
         let m2 = acc.marginal(&ctx, &s4);
         acc.add(&ctx, &s4);
         let union = s5.union(&s4);
@@ -277,7 +301,11 @@ mod tests {
         let mut t = Interner::new();
         let (ft, cfg, _) = ctx_for_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
-        let s5 = extent(&ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        let s5 = extent(
+            &ft,
+            &mut t,
+            &[("category", "rocket_family"), ("sponsor", "NASA")],
+        );
         let mut acc = ctx.accumulator();
         acc.add(&ctx, &s5);
         let m = acc.marginal(&ctx, &s5);

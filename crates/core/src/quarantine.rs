@@ -262,8 +262,8 @@ mod tests {
             limit: 5,
             observed: 9,
         };
-        let payload = catch_unwind(AssertUnwindSafe(|| crate::budget::breach(breach.clone())))
-            .unwrap_err();
+        let payload =
+            catch_unwind(AssertUnwindSafe(|| crate::budget::breach(breach.clone()))).unwrap_err();
         assert_eq!(
             FaultCause::from_panic_payload(payload),
             FaultCause::Budget(breach)

@@ -114,7 +114,10 @@ impl SliceSetStats {
     /// Slices from the same source may share entities; their fact/new counts
     /// are de-duplicated through the entity sets. Slices from different
     /// sources are assumed disjoint (distinct pages).
-    pub fn summarise<'a>(slices: impl IntoIterator<Item = &'a DiscoveredSlice>, profit: f64) -> Self {
+    pub fn summarise<'a>(
+        slices: impl IntoIterator<Item = &'a DiscoveredSlice>,
+        profit: f64,
+    ) -> Self {
         use std::collections::BTreeMap;
         let mut per_source: BTreeMap<&SourceUrl, Vec<&DiscoveredSlice>> = BTreeMap::new();
         let mut num_slices = 0;
@@ -220,7 +223,10 @@ mod tests {
         let a = slice(&mut t, "http://a.com/x", &["e1"]);
         let b = slice(&mut t, "http://b.com/y", &["e1"]);
         assert_eq!(a.jaccard(&b), 1.0);
-        assert!(!a.is_equivalent(&b), "different domains are never equivalent");
+        assert!(
+            !a.is_equivalent(&b),
+            "different domains are never equivalent"
+        );
         let parent = slice(&mut t, "http://a.com", &["e1"]);
         assert!(a.is_equivalent(&parent), "ancestor source is comparable");
     }

@@ -113,7 +113,11 @@ impl AsciiChart {
                 let row = row_f.round() as usize;
                 let cell = &mut grid[row.min(self.height - 1)][col.min(self.width - 1)];
                 // Later series overwrite blanks only; collisions show '+'.
-                *cell = if *cell == ' ' || *cell == marker { marker } else { '+' };
+                *cell = if *cell == ' ' || *cell == marker {
+                    marker
+                } else {
+                    '+'
+                };
             }
         }
 
@@ -135,7 +139,12 @@ impl AsciiChart {
             "─".repeat(self.width.min(12)),
         );
         for (si, s) in self.series.iter().enumerate() {
-            let _ = writeln!(out, "          {} {}", self.markers[si % self.markers.len()], s.label);
+            let _ = writeln!(
+                out,
+                "          {} {}",
+                self.markers[si % self.markers.len()],
+                s.label
+            );
         }
         out
     }
@@ -149,8 +158,14 @@ mod tests {
     fn renders_two_series_with_legend() {
         let chart = AsciiChart::new("F vs coverage", 30, 8)
             .with_y_range(0.0, 1.0)
-            .series(Series::new("midas", vec![(0.0, 1.0), (0.4, 1.0), (0.8, 0.9)]))
-            .series(Series::new("naive", vec![(0.0, 0.2), (0.4, 0.15), (0.8, 0.05)]));
+            .series(Series::new(
+                "midas",
+                vec![(0.0, 1.0), (0.4, 1.0), (0.8, 0.9)],
+            ))
+            .series(Series::new(
+                "naive",
+                vec![(0.0, 0.2), (0.4, 0.15), (0.8, 0.05)],
+            ));
         let s = chart.render();
         assert!(s.contains("F vs coverage"));
         assert!(s.contains("● midas"));
@@ -161,8 +176,8 @@ mod tests {
 
     #[test]
     fn top_row_holds_max_bottom_row_holds_min() {
-        let chart = AsciiChart::new("t", 20, 5)
-            .series(Series::new("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        let chart =
+            AsciiChart::new("t", 20, 5).series(Series::new("s", vec![(0.0, 0.0), (1.0, 1.0)]));
         let s = chart.render();
         let lines: Vec<&str> = s.lines().collect();
         // Line 1 is the top row (y max): it must contain the marker at the
@@ -188,8 +203,8 @@ mod tests {
 
     #[test]
     fn non_finite_points_are_skipped() {
-        let chart = AsciiChart::new("n", 20, 5)
-            .series(Series::new("a", vec![(0.0, f64::NAN), (1.0, 0.5)]));
+        let chart =
+            AsciiChart::new("n", 20, 5).series(Series::new("a", vec![(0.0, f64::NAN), (1.0, 0.5)]));
         let s = chart.render();
         assert!(s.contains('●'));
     }

@@ -60,11 +60,7 @@ impl SimulatedAnnotator {
             .choose_multiple(&mut rng, self.k.min(slice.entities.len()))
             .copied()
             .collect();
-        sample
-            .iter()
-            .filter(|&&e| truth.is_homogeneous(e))
-            .count() as f64
-            / sample.len() as f64
+        sample.iter().filter(|&&e| truth.is_homogeneous(e)).count() as f64 / sample.len() as f64
     }
 
     /// The §IV-B correctness criterion.

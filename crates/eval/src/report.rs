@@ -65,7 +65,7 @@ impl Table {
                 }
                 let pad = widths[i] - cell.chars().count();
                 line.push_str(cell);
-                line.extend(std::iter::repeat(' ').take(pad));
+                line.extend(std::iter::repeat_n(' ', pad));
             }
             line.trim_end().to_owned()
         };
@@ -91,7 +91,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -56,7 +56,10 @@ pub fn bootstrap_prf(
     level: f64,
     seed: u64,
 ) -> (ConfidenceInterval, ConfidenceInterval, ConfidenceInterval) {
-    assert!((0.0..1.0).contains(&(1.0 - level)), "level must be in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&(1.0 - level)),
+        "level must be in (0, 1)"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let point = crate::metrics::match_to_gold(slices, gold);
 

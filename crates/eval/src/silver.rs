@@ -22,7 +22,10 @@ pub fn coverage_adjusted(
     coverage: f64,
     seed: u64,
 ) -> (KnowledgeBase, Vec<GoldSlice>) {
-    assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&coverage),
+        "coverage must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..dataset.truth.gold.len()).collect();
     order.shuffle(&mut rng);
@@ -96,7 +99,7 @@ mod tests {
         let (kb, remaining) = coverage_adjusted(&ds, 0.4, 2);
         let expected_selected = (total as f64 * 0.4).round() as usize;
         assert_eq!(remaining.len(), total - expected_selected);
-        assert!(kb.len() > 0);
+        assert!(!kb.is_empty());
         // Facts of selected slices are now known.
         let selected: Vec<&GoldSlice> = ds
             .truth

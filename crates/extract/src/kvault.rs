@@ -11,7 +11,9 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::model::{parse_source_url, Dataset, GroundTruth};
-use crate::vertical::{plant_noise_source, plant_vertical, predicate_pool, CorpusBuilder, VerticalSpec};
+use crate::vertical::{
+    plant_noise_source, plant_vertical, predicate_pool, CorpusBuilder, VerticalSpec,
+};
 use midas_kb::{Interner, KnowledgeBase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,12 +36,48 @@ pub struct Fig3Row {
 
 /// The six Figure 3 rows.
 pub const FIG3_ROWS: &[Fig3Row] = &[
-    Fig3Row { description: "Education organizations", url: "http://www.schoolmap.org/school", stem: "school", slice_new_ratio: 0.67, source_new_ratio: 0.15 },
-    Fig3Row { description: "US golf courses", url: "https://www.golfadvisor.com/course-directory/2-usa", stem: "golf_course", slice_new_ratio: 0.77, source_new_ratio: 0.13 },
-    Fig3Row { description: "Biology facts", url: "http://www.marinespecies.org/species", stem: "marine_species", slice_new_ratio: 0.75, source_new_ratio: 0.27 },
-    Fig3Row { description: "Board games", url: "http://boardgaming.com/games/board-games", stem: "board_game", slice_new_ratio: 0.83, source_new_ratio: 0.20 },
-    Fig3Row { description: "Skyscraper architectures", url: "http://skyscrapercenter.com/building", stem: "skyscraper", slice_new_ratio: 0.80, source_new_ratio: 0.10 },
-    Fig3Row { description: "Indian politicians", url: "http://www.archive.india.gov.in/ministers", stem: "indian_politician", slice_new_ratio: 0.71, source_new_ratio: 0.18 },
+    Fig3Row {
+        description: "Education organizations",
+        url: "http://www.schoolmap.org/school",
+        stem: "school",
+        slice_new_ratio: 0.67,
+        source_new_ratio: 0.15,
+    },
+    Fig3Row {
+        description: "US golf courses",
+        url: "https://www.golfadvisor.com/course-directory/2-usa",
+        stem: "golf_course",
+        slice_new_ratio: 0.77,
+        source_new_ratio: 0.13,
+    },
+    Fig3Row {
+        description: "Biology facts",
+        url: "http://www.marinespecies.org/species",
+        stem: "marine_species",
+        slice_new_ratio: 0.75,
+        source_new_ratio: 0.27,
+    },
+    Fig3Row {
+        description: "Board games",
+        url: "http://boardgaming.com/games/board-games",
+        stem: "board_game",
+        slice_new_ratio: 0.83,
+        source_new_ratio: 0.20,
+    },
+    Fig3Row {
+        description: "Skyscraper architectures",
+        url: "http://skyscrapercenter.com/building",
+        stem: "skyscraper",
+        slice_new_ratio: 0.80,
+        source_new_ratio: 0.10,
+    },
+    Fig3Row {
+        description: "Indian politicians",
+        url: "http://www.archive.india.gov.in/ministers",
+        stem: "indian_politician",
+        slice_new_ratio: 0.71,
+        source_new_ratio: 0.18,
+    },
 ];
 
 /// Generator parameters.
@@ -53,7 +91,10 @@ pub struct KVaultConfig {
 
 impl Default for KVaultConfig {
     fn default() -> Self {
-        KVaultConfig { scale: 1.0, seed: 42 }
+        KVaultConfig {
+            scale: 1.0,
+            seed: 42,
+        }
     }
 }
 
@@ -90,8 +131,14 @@ pub fn generate(cfg: &KVaultConfig) -> Dataset {
             extra_facts_per_entity: (2, 4),
             entities_per_page: 5,
         };
-        let slice_facts =
-            plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+        let slice_facts = plant_vertical(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &mut truth,
+            &section,
+            &spec,
+        );
 
         // Freebase already knows (1 − slice_new_ratio) of the slice facts —
         // KnowledgeVault re-extracts plenty of known content.
@@ -148,14 +195,14 @@ mod tests {
     use midas_weburl::SourceUrl;
 
     fn tiny() -> Dataset {
-        generate(&KVaultConfig { scale: 0.3, seed: 9 })
+        generate(&KVaultConfig {
+            scale: 0.3,
+            seed: 9,
+        })
     }
 
     fn domain_facts<'a>(ds: &'a Dataset, host: &str) -> Vec<&'a SourceFacts> {
-        ds.sources
-            .iter()
-            .filter(|s| s.url.host() == host)
-            .collect()
+        ds.sources.iter().filter(|s| s.url.host() == host).collect()
     }
 
     #[test]

@@ -144,10 +144,7 @@ pub fn parse_source_url(spec: &str, faults: &mut Vec<SourceFault>) -> Option<Sou
 /// Converts confidence-scored extractions to per-source fact sets, keeping
 /// only extractions at or above `min_confidence` — the paper's "correct
 /// facts" filter (0.7 for KnowledgeVault, 0.75 for ReVerb/NELL).
-pub fn extractions_to_sources(
-    extractions: &[Extraction],
-    min_confidence: f64,
-) -> Vec<SourceFacts> {
+pub fn extractions_to_sources(extractions: &[Extraction], min_confidence: f64) -> Vec<SourceFacts> {
     use std::collections::BTreeMap;
     let mut by_url: BTreeMap<&SourceUrl, Vec<Fact>> = BTreeMap::new();
     for e in extractions {
@@ -172,8 +169,18 @@ mod tests {
         let f1 = Fact::intern(&mut t, "a", "p", "1");
         let f2 = Fact::intern(&mut t, "b", "p", "2");
         let extractions = vec![
-            Extraction { fact: f1, url: url.clone(), confidence: 0.9, is_correct: true },
-            Extraction { fact: f2, url: url.clone(), confidence: 0.5, is_correct: false },
+            Extraction {
+                fact: f1,
+                url: url.clone(),
+                confidence: 0.9,
+                is_correct: true,
+            },
+            Extraction {
+                fact: f2,
+                url: url.clone(),
+                confidence: 0.5,
+                is_correct: false,
+            },
         ];
         let sources = extractions_to_sources(&extractions, 0.7);
         assert_eq!(sources.len(), 1);

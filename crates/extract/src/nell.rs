@@ -38,8 +38,18 @@ impl Default for NellConfig {
 
 /// NELL-ish category names.
 const CATEGORIES: &[&str] = &[
-    "athlete", "politician", "company", "river", "disease", "chemical", "university", "bird",
-    "vehicle", "musicartist", "sportsteam", "writer",
+    "athlete",
+    "politician",
+    "company",
+    "river",
+    "disease",
+    "chemical",
+    "university",
+    "bird",
+    "vehicle",
+    "musicartist",
+    "sportsteam",
+    "writer",
 ];
 
 /// Builds a NELL-style ontology: a root, the categories above, and ~330
@@ -99,7 +109,14 @@ pub fn generate(cfg: &NellConfig) -> Dataset {
             // is what makes AGGCLUSTER's quadratic cost cliff in Figure 10d.
             entities_per_page: cfg.giant_source_entities,
         };
-        plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+        plant_vertical(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &mut truth,
+            &section,
+            &spec,
+        );
     }
 
     // Structured category sites.
@@ -123,7 +140,14 @@ pub fn generate(cfg: &NellConfig) -> Dataset {
             extra_facts_per_entity: (1, 4),
             entities_per_page: 6,
         };
-        plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+        plant_vertical(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &mut truth,
+            &section,
+            &spec,
+        );
     }
 
     // Noise tail with ontology predicates.
@@ -134,7 +158,15 @@ pub fn generate(cfg: &NellConfig) -> Dataset {
             continue;
         };
         let entities = rng.gen_range(40..120usize);
-        plant_noise_source(&mut rng, &mut terms, &mut builder, &domain, entities, &noise_preds, 2);
+        plant_noise_source(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &domain,
+            entities,
+            &noise_preds,
+            2,
+        );
     }
 
     Dataset {
@@ -178,7 +210,7 @@ mod tests {
             .iter()
             .map(|s| (s.len(), s.url.as_str()))
             .collect();
-        sizes.sort_by(|a, b| b.0.cmp(&a.0));
+        sizes.sort_by_key(|&(n, _)| std::cmp::Reverse(n));
         assert!(
             sizes[0].1.contains("giant.aggregator"),
             "largest page-level source is the aggregator, got {}",
@@ -195,7 +227,11 @@ mod tests {
     #[test]
     fn ontology_has_about_330_predicates() {
         let o = nell_ontology();
-        assert!((300..=340).contains(&o.num_predicates()), "{}", o.num_predicates());
+        assert!(
+            (300..=340).contains(&o.num_predicates()),
+            "{}",
+            o.num_predicates()
+        );
         assert_eq!(o.num_categories(), CATEGORIES.len() + 1);
     }
 

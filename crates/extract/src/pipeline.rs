@@ -118,7 +118,10 @@ mod tests {
         let mut terms = Interner::new();
         let url = SourceUrl::parse("http://a.com/x").unwrap();
         let facts = true_facts(&mut terms, 2000);
-        let sim = ExtractionSim { recall: 0.3, ..Default::default() };
+        let sim = ExtractionSim {
+            recall: 0.3,
+            ..Default::default()
+        };
         let out = sim.extract(&mut rng, &mut terms, &url, &facts);
         let correct = out.iter().filter(|e| e.is_correct).count();
         assert!((450..750).contains(&correct), "≈ 30% recall, got {correct}");

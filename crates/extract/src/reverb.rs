@@ -10,7 +10,9 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::model::{parse_source_url, Dataset, GroundTruth};
-use crate::vertical::{plant_noise_source, plant_vertical, predicate_pool, CorpusBuilder, VerticalSpec};
+use crate::vertical::{
+    plant_noise_source, plant_vertical, predicate_pool, CorpusBuilder, VerticalSpec,
+};
 use midas_kb::{Interner, KnowledgeBase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,7 +87,14 @@ pub fn generate(cfg: &ReverbConfig) -> Dataset {
             extra_facts_per_entity: (1, 4),
             entities_per_page: 3,
         };
-        plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+        plant_vertical(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &mut truth,
+            &section,
+            &spec,
+        );
         // Unstructured chatter inside good domains too.
         plant_noise_source(
             &mut rng,
@@ -109,7 +118,15 @@ pub fn generate(cfg: &ReverbConfig) -> Dataset {
             continue;
         };
         let entities = rng.gen_range(1_200..2_200usize);
-        plant_noise_source(&mut rng, &mut terms, &mut builder, &domain, entities, &noise_preds, 8);
+        plant_noise_source(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &domain,
+            entities,
+            &noise_preds,
+            8,
+        );
     }
 
     for n in 0..noise_domains {
@@ -120,7 +137,15 @@ pub fn generate(cfg: &ReverbConfig) -> Dataset {
         };
         // Long-tail pages: ~1–2 facts each.
         let entities = rng.gen_range(30..90usize);
-        plant_noise_source(&mut rng, &mut terms, &mut builder, &domain, entities, &noise_preds, 1);
+        plant_noise_source(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &domain,
+            entities,
+            &noise_preds,
+            1,
+        );
     }
 
     Dataset {

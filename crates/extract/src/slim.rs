@@ -17,7 +17,9 @@
 //!   facts.
 
 use crate::model::{Dataset, GroundTruth};
-use crate::vertical::{plant_noise_source, plant_vertical, predicate_pool, CorpusBuilder, VerticalSpec};
+use crate::vertical::{
+    plant_noise_source, plant_vertical, predicate_pool, CorpusBuilder, VerticalSpec,
+};
 use midas_kb::{Interner, KnowledgeBase};
 use midas_weburl::SourceUrl;
 use rand::rngs::StdRng;
@@ -72,7 +74,11 @@ impl SlimConfig {
 
 /// Themes for the good sources; the first rows echo Figure 8.
 const GOOD_THEMES: &[(&str, &str, &str)] = &[
-    ("nationsencyclopedia.com", "nation", "Information about nations"),
+    (
+        "nationsencyclopedia.com",
+        "nation",
+        "Information about nations",
+    ),
     ("drugs.com", "drug", "Medicinal chemicals"),
     ("citytowninfo.com", "us_city", "US city profiles"),
     ("u-s-history.com", "us_event", "Events in US history"),
@@ -80,8 +86,16 @@ const GOOD_THEMES: &[(&str, &str, &str)] = &[
     ("golfadvisor.com", "golf_course", "US golf courses"),
     ("marinespecies.org", "marine_species", "Biology facts"),
     ("boardgaming.com", "board_game", "Board games"),
-    ("skyscrapercenter.com", "skyscraper", "Skyscraper architectures"),
-    ("archive.india.gov.in", "indian_politician", "Indian politicians"),
+    (
+        "skyscrapercenter.com",
+        "skyscraper",
+        "Skyscraper architectures",
+    ),
+    (
+        "archive.india.gov.in",
+        "indian_politician",
+        "Indian politicians",
+    ),
 ];
 
 /// Generates a slim dataset with its silver standard.
@@ -99,7 +113,11 @@ pub fn generate(cfg: &SlimConfig) -> Dataset {
 
     let (target_facts, noise_pred_count, flavor_name) = match cfg.flavor {
         // The OpenIE predicate pool stays well above NELL's 280 at any scale.
-        SlimFlavor::ReVerb => (859_000.0 * cfg.scale, ((33_000.0 * cfg.scale) as usize).max(400), "reverb-slim"),
+        SlimFlavor::ReVerb => (
+            859_000.0 * cfg.scale,
+            ((33_000.0 * cfg.scale) as usize).max(400),
+            "reverb-slim",
+        ),
         SlimFlavor::Nell => (508_000.0 * cfg.scale, 240, "nell-slim"),
     };
     // Facts split roughly evenly between good and noise domains; good
@@ -108,7 +126,11 @@ pub fn generate(cfg: &SlimConfig) -> Dataset {
     let facts_per_noise_domain = (target_facts * 0.5 / 50.0).max(60.0) as usize;
 
     let noise_preds = match cfg.flavor {
-        SlimFlavor::ReVerb => predicate_pool(&mut terms, "be_related_to_variant", noise_pred_count.max(50)),
+        SlimFlavor::ReVerb => predicate_pool(
+            &mut terms,
+            "be_related_to_variant",
+            noise_pred_count.max(50),
+        ),
         SlimFlavor::Nell => predicate_pool(&mut terms, "concept:relation", noise_pred_count),
     };
 
@@ -151,7 +173,10 @@ pub fn generate(cfg: &SlimConfig) -> Dataset {
                     ],
                     SlimFlavor::Nell => vec![
                         ("generalizations".to_owned(), format!("concept/{kind}")),
-                        ("concept:listedin".to_owned(), format!("concept/site/{host}{v}")),
+                        (
+                            "concept:listedin".to_owned(),
+                            format!("concept/site/{host}{v}"),
+                        ),
                     ],
                 },
                 extra_predicates: match cfg.flavor {
@@ -180,7 +205,14 @@ pub fn generate(cfg: &SlimConfig) -> Dataset {
                     SlimFlavor::Nell => 6,
                 },
             };
-            plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+            plant_vertical(
+                &mut rng,
+                &mut terms,
+                &mut builder,
+                &mut truth,
+                &section,
+                &spec,
+            );
         }
         // In non-pure domains, the remaining ~20% of facts are unstructured
         // chatter (news items, about pages) that no slice should cover.
@@ -311,8 +343,16 @@ mod tests {
 
     #[test]
     fn scale_controls_volume() {
-        let small = generate(&SlimConfig { flavor: SlimFlavor::ReVerb, scale: 0.002, seed: 1 });
-        let large = generate(&SlimConfig { flavor: SlimFlavor::ReVerb, scale: 0.03, seed: 1 });
+        let small = generate(&SlimConfig {
+            flavor: SlimFlavor::ReVerb,
+            scale: 0.002,
+            seed: 1,
+        });
+        let large = generate(&SlimConfig {
+            flavor: SlimFlavor::ReVerb,
+            scale: 0.03,
+            seed: 1,
+        });
         assert!(large.total_facts() > small.total_facts() * 2);
     }
 }

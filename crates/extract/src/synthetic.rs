@@ -228,7 +228,7 @@ mod tests {
     fn single_optimal_slice_config() {
         let ds = generate(&SyntheticConfig::new(5_000, 20, 1, 4));
         assert_eq!(ds.truth.gold.len(), 1);
-        assert!(ds.kb.len() > 0);
+        assert!(!ds.kb.is_empty());
     }
 
     #[test]

@@ -197,7 +197,14 @@ mod tests {
         let mut truth = GroundTruth::default();
         let section = SourceUrl::parse("https://golfadvisor.com/course-directory").unwrap();
         let spec = VerticalSpec::small("golf", &[("type", "golf_course"), ("country", "USA")]);
-        let facts = plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+        let facts = plant_vertical(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &mut truth,
+            &section,
+            &spec,
+        );
         assert_eq!(truth.gold.len(), 1);
         let gold = &truth.gold[0];
         assert_eq!(gold.entities.len(), 20);
@@ -219,7 +226,14 @@ mod tests {
         let mut truth = GroundTruth::default();
         let section = SourceUrl::parse("https://x.com/s").unwrap();
         let spec = VerticalSpec::small("boardgame", &[("type", "board_game")]);
-        let facts = plant_vertical(&mut rng, &mut terms, &mut builder, &mut truth, &section, &spec);
+        let facts = plant_vertical(
+            &mut rng,
+            &mut terms,
+            &mut builder,
+            &mut truth,
+            &section,
+            &spec,
+        );
         let type_sym = terms.get("type").unwrap();
         let bg = terms.get("board_game").unwrap();
         for &e in &truth.gold[0].entities {
@@ -236,8 +250,7 @@ mod tests {
         let mut builder = CorpusBuilder::new();
         let base = SourceUrl::parse("http://blogs.example.com").unwrap();
         let pool = predicate_pool(&mut terms, "said", 10);
-        let facts =
-            plant_noise_source(&mut rng, &mut terms, &mut builder, &base, 50, &pool, 5);
+        let facts = plant_noise_source(&mut rng, &mut terms, &mut builder, &base, 50, &pool, 5);
         assert!(!facts.is_empty());
         // Value collisions should be essentially absent.
         let mut values: Vec<Symbol> = facts.iter().map(|f| f.object).collect();

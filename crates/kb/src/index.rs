@@ -101,7 +101,11 @@ impl TripleIndex {
 
     /// All subjects that carry property `(p, o)` — the extent of a MIDAS
     /// property (Definition 4).
-    pub fn subjects_with_property(&self, p: Symbol, o: Symbol) -> impl Iterator<Item = Symbol> + '_ {
+    pub fn subjects_with_property(
+        &self,
+        p: Symbol,
+        o: Symbol,
+    ) -> impl Iterator<Item = Symbol> + '_ {
         self.pos
             .range((
                 Bound::Included((p, o, sym_min())),

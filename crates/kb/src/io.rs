@@ -20,9 +20,9 @@ use std::io::{BufRead, Write};
 
 fn escape_tsv(term: &str, out: &mut String) {
     // A subject beginning with '#' would read back as a comment line.
-    if term.starts_with('#') {
+    if let Some(rest) = term.strip_prefix('#') {
         out.push_str("\\#");
-        escape_tsv_rest(&term[1..], out);
+        escape_tsv_rest(rest, out);
     } else {
         escape_tsv_rest(term, out);
     }
@@ -189,22 +189,21 @@ pub fn read_ntriples<R: BufRead>(r: R, terms: &mut Interner) -> Result<Vec<Fact>
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let body = trimmed.strip_suffix('.').map(str::trim_end).ok_or_else(|| {
-            KbError::Parse {
+        let body = trimmed
+            .strip_suffix('.')
+            .map(str::trim_end)
+            .ok_or_else(|| KbError::Parse {
                 line: lineno,
                 message: "missing terminating '.'".into(),
-            }
-        })?;
+            })?;
         let mut fields = Vec::with_capacity(3);
         let mut rest = body;
         for _ in 0..3 {
             rest = rest.trim_start();
-            let inner = rest
-                .strip_prefix('<')
-                .ok_or_else(|| KbError::Parse {
-                    line: lineno,
-                    message: "expected '<'-delimited term".into(),
-                })?;
+            let inner = rest.strip_prefix('<').ok_or_else(|| KbError::Parse {
+                line: lineno,
+                message: "expected '<'-delimited term".into(),
+            })?;
             let end = inner.find('>').ok_or_else(|| KbError::Parse {
                 line: lineno,
                 message: "unterminated term (no '>')".into(),

@@ -66,7 +66,8 @@ impl ConjunctiveQuery {
                 subs
             }
             Condition::Has(p) => {
-                let mut subs: Vec<Symbol> = index.facts_for_predicate(p).map(|f| f.subject).collect();
+                let mut subs: Vec<Symbol> =
+                    index.facts_for_predicate(p).map(|f| f.subject).collect();
                 subs.sort_unstable();
                 subs.dedup();
                 subs
@@ -152,8 +153,8 @@ mod tests {
     #[test]
     fn single_equality_condition() {
         let (mut t, kb) = sample();
-        let q = ConjunctiveQuery::new()
-            .with_property(t.intern("category"), t.intern("rocket_family"));
+        let q =
+            ConjunctiveQuery::new().with_property(t.intern("category"), t.intern("rocket_family"));
         let names: Vec<&str> = q.select(&kb).iter().map(|&s| t.resolve(s)).collect();
         assert_eq!(names, vec!["atlas", "castor", "soyuz"]);
     }
@@ -200,7 +201,11 @@ mod tests {
         let (mut t, kb) = sample();
         let q = ConjunctiveQuery::new().with_property(t.intern("started"), t.intern("1957"));
         let facts = q.select_facts(&kb);
-        assert_eq!(facts.len(), 3, "all of atlas's facts, not just the matching one");
+        assert_eq!(
+            facts.len(),
+            3,
+            "all of atlas's facts, not just the matching one"
+        );
     }
 
     #[test]

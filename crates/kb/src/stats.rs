@@ -108,6 +108,9 @@ mod tests {
             num_subjects: 5_000,
             num_urls: 20_000_000,
         };
-        assert_eq!(s.to_string(), "15M facts, 327K predicates, 5K subjects, 20M URLs");
+        assert_eq!(
+            s.to_string(),
+            "15M facts, 327K predicates, 5K subjects, 20M URLs"
+        );
     }
 }

@@ -39,11 +39,7 @@ impl UrlPattern {
         let mut common: Vec<&str> = first.segments().collect();
         for p in &pages[1..] {
             let segs: Vec<&str> = p.segments().collect();
-            let n = common
-                .iter()
-                .zip(&segs)
-                .take_while(|(a, b)| a == b)
-                .count();
+            let n = common.iter().zip(&segs).take_while(|(a, b)| a == b).count();
             common.truncate(n);
         }
         // Don't treat a shared *page* as a prefix: if every URL is identical
@@ -126,7 +122,10 @@ mod tests {
         let p = UrlPattern::summarise(&pages).unwrap();
         assert_eq!(p.prefix.as_str(), "http://space.skyrocket.de/doc_lau_fam");
         assert_eq!(p.extension.as_deref(), Some("htm"));
-        assert_eq!(p.to_string(), "http://space.skyrocket.de/doc_lau_fam/*.htm  (2 pages)");
+        assert_eq!(
+            p.to_string(),
+            "http://space.skyrocket.de/doc_lau_fam/*.htm  (2 pages)"
+        );
         assert_eq!(p.max_tail_depth, 1);
     }
 
@@ -172,7 +171,10 @@ mod tests {
 
     #[test]
     fn extensionless_pages_summarise_cleanly() {
-        let pages = vec![u("https://g.com/dir/8545-jamaica"), u("https://g.com/dir/2-usa")];
+        let pages = vec![
+            u("https://g.com/dir/8545-jamaica"),
+            u("https://g.com/dir/2-usa"),
+        ];
         let p = UrlPattern::summarise(&pages).unwrap();
         assert_eq!(p.prefix.as_str(), "https://g.com/dir");
         assert_eq!(p.extension, None);

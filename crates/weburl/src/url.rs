@@ -243,8 +243,7 @@ mod tests {
 
     #[test]
     fn parent_walks_one_level() {
-        let page =
-            SourceUrl::parse("http://space.skyrocket.de/doc_lau_fam/atlas.htm").unwrap();
+        let page = SourceUrl::parse("http://space.skyrocket.de/doc_lau_fam/atlas.htm").unwrap();
         let sub = page.parent().unwrap();
         assert_eq!(sub.as_str(), "http://space.skyrocket.de/doc_lau_fam");
         let dom = sub.parent().unwrap();
@@ -298,7 +297,10 @@ mod tests {
         let c = SourceUrl::parse("https://a.com/doc_sat").unwrap();
         assert!(a.contains(&b));
         assert!(a.contains(&a));
-        assert!(!a.contains(&c), "doc is not a prefix of doc_sat on segments");
+        assert!(
+            !a.contains(&c),
+            "doc is not a prefix of doc_sat on segments"
+        );
         assert!(!b.contains(&a));
         let other = SourceUrl::parse("https://b.com/doc").unwrap();
         assert!(!a.contains(&other));

@@ -64,6 +64,9 @@ fn main() {
                 .any(|s| g.jaccard_entities(&s.entities) >= 0.95)
         })
         .count();
-    println!("\nRecovered {recovered} of {} planted verticals.", ds.truth.gold.len());
+    println!(
+        "\nRecovered {recovered} of {} planted verticals.",
+        ds.truth.gold.len()
+    );
     assert!(recovered >= 5);
 }

@@ -27,12 +27,23 @@ fn main() {
 
     let mut table = Table::new(
         "Algorithm comparison (n=5000, b=20, m=10)",
-        &["algorithm", "slices", "precision", "recall", "F-measure", "time"],
+        &[
+            "algorithm",
+            "slices",
+            "precision",
+            "recall",
+            "F-measure",
+            "time",
+        ],
     );
     for (name, det) in &detectors {
         let start = Instant::now();
         let slices: Vec<DiscoveredSlice> = det
-            .detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] })
+            .detect(DetectInput {
+                source: src,
+                kb: &ds.kb,
+                seeds: &[],
+            })
             .into_iter()
             .filter(|s| s.profit > 0.0)
             .collect();

@@ -24,9 +24,12 @@ fn main() {
         ds.total_facts()
     );
 
-    let mut augmenter =
-        Augmenter::new(MidasConfig::default(), ds.sources.clone(), KnowledgeBase::new())
-            .with_threads(4);
+    let mut augmenter = Augmenter::new(
+        MidasConfig::default(),
+        ds.sources.clone(),
+        KnowledgeBase::new(),
+    )
+    .with_threads(4);
 
     let mut round = 0;
     loop {

@@ -27,7 +27,13 @@ fn main() {
         }
     }
     // Tiki drinks: profiled by the site, absent from the knowledge base.
-    for name in ["mai-tai", "zombie", "painkiller", "jungle-bird", "hurricane"] {
+    for name in [
+        "mai-tai",
+        "zombie",
+        "painkiller",
+        "jungle-bird",
+        "hurricane",
+    ] {
         for (p, v) in [("type", "cocktail"), ("style", "tiki")] {
             facts.push(Fact::intern(&mut terms, name, p, v));
         }

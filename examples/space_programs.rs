@@ -48,7 +48,9 @@ fn main() {
     let report = fw.run(pages, &kb);
     println!(
         "{} round(s), {} detector call(s), {} surviving slice(s):",
-        report.rounds, report.detect_calls, report.slices.len()
+        report.rounds,
+        report.detect_calls,
+        report.slices.len()
     );
     for s in &report.slices {
         println!("  {}", s.describe(&terms));

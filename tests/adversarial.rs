@@ -97,7 +97,11 @@ fn degenerate_sources_are_handled_by_all_algorithms() {
         Box::new(Naive::new(cost)),
     ];
     for det in &detectors {
-        let out = det.detect(DetectInput { source: &src, kb: &kb, seeds: &[] });
+        let out = det.detect(DetectInput {
+            source: &src,
+            kb: &kb,
+            seeds: &[],
+        });
         for s in &out {
             assert_eq!(s.entities.len(), 1);
             assert_eq!(s.num_facts, 1);
@@ -111,8 +115,18 @@ fn unicode_terms_and_urls() {
     let mut t = Interner::new();
     let mut facts = Vec::new();
     for i in 0..6 {
-        facts.push(Fact::intern(&mut t, &format!("飲み物{i}"), "種類", "カクテル"));
-        facts.push(Fact::intern(&mut t, &format!("飲み物{i}"), "味", &format!("风味{i}")));
+        facts.push(Fact::intern(
+            &mut t,
+            &format!("飲み物{i}"),
+            "種類",
+            "カクテル",
+        ));
+        facts.push(Fact::intern(
+            &mut t,
+            &format!("飲み物{i}"),
+            "味",
+            &format!("风味{i}"),
+        ));
     }
     let src = SourceFacts::new(url("https://例え.jp/ドリンク/一覧"), facts);
     let alg = MidasAlg::new(MidasConfig::running_example());
@@ -131,8 +145,18 @@ fn framework_with_all_distinct_domains() {
     for d in 0..12 {
         let mut facts = Vec::new();
         for e in 0..6 {
-            facts.push(Fact::intern(&mut t, &format!("d{d}e{e}"), "kind", &format!("k{d}")));
-            facts.push(Fact::intern(&mut t, &format!("d{d}e{e}"), "id", &format!("i{d}{e}")));
+            facts.push(Fact::intern(
+                &mut t,
+                &format!("d{d}e{e}"),
+                "kind",
+                &format!("k{d}"),
+            ));
+            facts.push(Fact::intern(
+                &mut t,
+                &format!("d{d}e{e}"),
+                "id",
+                &format!("i{d}{e}"),
+            ));
         }
         sources.push(SourceFacts::new(
             url(&format!("http://domain{d}.example/page.html")),
@@ -153,7 +177,12 @@ fn deep_url_hierarchy_propagates() {
     let mut facts = Vec::new();
     for e in 0..8 {
         facts.push(Fact::intern(&mut t, &format!("x{e}"), "kind", "thing"));
-        facts.push(Fact::intern(&mut t, &format!("x{e}"), "num", &format!("{e}")));
+        facts.push(Fact::intern(
+            &mut t,
+            &format!("x{e}"),
+            "num",
+            &format!("{e}"),
+        ));
     }
     let src = SourceFacts::new(url(deep), facts);
     let alg = MidasAlg::new(MidasConfig::running_example());
@@ -173,8 +202,18 @@ fn huge_kb_small_corpus() {
     }
     let mut facts = Vec::new();
     for e in 0..10 {
-        facts.push(Fact::intern(&mut t, &format!("fresh{e}"), "type", "new_thing"));
-        facts.push(Fact::intern(&mut t, &format!("fresh{e}"), "val", &format!("{e}")));
+        facts.push(Fact::intern(
+            &mut t,
+            &format!("fresh{e}"),
+            "type",
+            "new_thing",
+        ));
+        facts.push(Fact::intern(
+            &mut t,
+            &format!("fresh{e}"),
+            "val",
+            &format!("{e}"),
+        ));
     }
     let src = SourceFacts::new(url("http://fresh.example/page"), facts);
     let alg = MidasAlg::new(MidasConfig::running_example());

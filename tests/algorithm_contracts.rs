@@ -6,7 +6,10 @@ use midas::prelude::*;
 
 fn detectors(cost: CostModel) -> Vec<(&'static str, Box<dyn SliceDetector>)> {
     vec![
-        ("midas", Box::new(MidasAlg::new(MidasConfig::default().with_cost(cost)))),
+        (
+            "midas",
+            Box::new(MidasAlg::new(MidasConfig::default().with_cost(cost))),
+        ),
         ("greedy", Box::new(Greedy::new(cost))),
         ("aggcluster", Box::new(AggCluster::new(cost))),
         ("naive", Box::new(Naive::new(cost))),
@@ -19,7 +22,11 @@ fn slices_satisfy_structural_invariants() {
     let ds = syn_gen(&SyntheticConfig::new(2_000, 20, 5, 3));
     let src = &ds.sources[0];
     for (name, det) in detectors(CostModel::default()) {
-        for s in det.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }) {
+        for s in det.detect(DetectInput {
+            source: src,
+            kb: &ds.kb,
+            seeds: &[],
+        }) {
             assert!(!s.entities.is_empty(), "{name}: empty extent");
             assert!(s.num_new_facts <= s.num_facts, "{name}: new > total");
             assert!(
@@ -46,12 +53,12 @@ fn reported_profits_are_recomputable() {
     let table = FactTable::build(src, &ds.kb);
     let ctx = ProfitCtx::new(&table, cost);
     for (name, det) in detectors(cost) {
-        for s in det.detect(DetectInput { source: src, kb: &ds.kb, seeds: &[] }) {
-            let ids: Vec<u32> = s
-                .entities
-                .iter()
-                .filter_map(|&e| table.entity(e))
-                .collect();
+        for s in det.detect(DetectInput {
+            source: src,
+            kb: &ds.kb,
+            seeds: &[],
+        }) {
+            let ids: Vec<u32> = s.entities.iter().filter_map(|&e| table.entity(e)).collect();
             assert_eq!(ids.len(), s.entities.len(), "{name}: unknown entity");
             let extent = ExtentSet::from_unsorted(table.num_entities() as u32, ids);
             let recomputed = ctx.profit_single(&extent);
@@ -135,7 +142,11 @@ fn saturated_kb_yields_nothing_actionable() {
     let full_kb: KnowledgeBase = src.facts.iter().copied().collect();
     for (name, det) in detectors(CostModel::default()) {
         let positive = det
-            .detect(DetectInput { source: src, kb: &full_kb, seeds: &[] })
+            .detect(DetectInput {
+                source: src,
+                kb: &full_kb,
+                seeds: &[],
+            })
             .into_iter()
             .filter(|s| s.profit > 0.0)
             .count();

@@ -22,7 +22,12 @@ fn noisy_extraction_still_yields_the_right_slice() {
         let name = format!("painting_{i}");
         true_facts.push(Fact::intern(&mut terms, &name, "type", "painting"));
         true_facts.push(Fact::intern(&mut terms, &name, "museum", "louvre"));
-        true_facts.push(Fact::intern(&mut terms, &name, "room", &format!("r{}", i % 40)));
+        true_facts.push(Fact::intern(
+            &mut terms,
+            &name,
+            "room",
+            &format!("r{}", i % 40),
+        ));
     }
 
     // A realistic pipeline: 40% recall, noise, 0.7-confidence filter.
@@ -40,7 +45,10 @@ fn noisy_extraction_still_yields_the_right_slice() {
 
     let alg = MidasAlg::new(MidasConfig::running_example());
     let slices = alg.run(source, &KnowledgeBase::new());
-    assert!(!slices.is_empty(), "the partial extractions still reveal the slice");
+    assert!(
+        !slices.is_empty(),
+        "the partial extractions still reveal the slice"
+    );
     // Slices come back in selection order, so pick the best by profit.
     let top = slices
         .iter()
@@ -63,7 +71,12 @@ fn slim_corpus_framework_beats_naive() {
     });
     let midas = run_midas_framework(&MidasConfig::default(), ds.sources.clone(), &ds.kb, 2);
     let midas_prf = match_to_gold(
-        &midas.slices.iter().filter(|s| s.profit > 0.0).cloned().collect::<Vec<_>>(),
+        &midas
+            .slices
+            .iter()
+            .filter(|s| s.profit > 0.0)
+            .cloned()
+            .collect::<Vec<_>>(),
         &ds.truth.gold,
     );
     assert!(midas_prf.f_measure > 0.8, "MIDAS F = {:?}", midas_prf);
@@ -93,7 +106,12 @@ fn coverage_adjustment_behaves() {
         assert!(gold.len() <= last_gold);
         last_gold = gold.len();
         let run = run_midas_framework(&MidasConfig::default(), ds.sources.clone(), &kb, 2);
-        let positive: Vec<_> = run.slices.iter().filter(|s| s.profit > 0.0).cloned().collect();
+        let positive: Vec<_> = run
+            .slices
+            .iter()
+            .filter(|s| s.profit > 0.0)
+            .cloned()
+            .collect();
         let prf = match_to_gold(&positive, &gold);
         assert!(
             prf.precision > 0.8,
@@ -112,7 +130,13 @@ fn pipeline_is_deterministic() {
         let slices = alg.run(&ds.sources[0], &ds.kb);
         slices
             .iter()
-            .map(|s| (s.entities.len(), s.num_new_facts, format!("{:.6}", s.profit)))
+            .map(|s| {
+                (
+                    s.entities.len(),
+                    s.num_new_facts,
+                    format!("{:.6}", s.profit),
+                )
+            })
             .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
@@ -130,10 +154,13 @@ fn annotator_rejects_inhomogeneous_slices() {
     let naive = Naive::new(CostModel::default());
     let merged = merge_by_domain(&ds.sources);
     let mut run = run_detector_per_source(&naive, &merged, &ds.kb);
-    run.slices.sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
+    run.slices
+        .sort_by_key(|s| std::cmp::Reverse(s.num_new_facts));
     let annotator = SimulatedAnnotator::default();
-    let p_all = midas::eval::top_k_precision(&run.slices, 100, |s| {
-        annotator.is_correct(s, &ds.truth)
-    });
-    assert!(p_all < 0.8, "many whole-source returns fail labeling: {p_all}");
+    let p_all =
+        midas::eval::top_k_precision(&run.slices, 100, |s| annotator.is_correct(s, &ds.truth));
+    assert!(
+        p_all < 0.8,
+        "many whole-source returns fail labeling: {p_all}"
+    );
 }

@@ -162,7 +162,11 @@ fn assert_identical(a: &SliceHierarchy, b: &SliceHierarchy) {
         assert_eq!(x.canonical, y.canonical, "node {id}: canonical");
         assert_eq!(x.valid, y.valid, "node {id}: valid");
         assert_eq!(x.profit.to_bits(), y.profit.to_bits(), "node {id}: profit");
-        assert_eq!(x.slb_profit.to_bits(), y.slb_profit.to_bits(), "node {id}: slb");
+        assert_eq!(
+            x.slb_profit.to_bits(),
+            y.slb_profit.to_bits(),
+            "node {id}: slb"
+        );
         assert_eq!(x.slb_slices, y.slb_slices, "node {id}: slb_slices");
     }
 }

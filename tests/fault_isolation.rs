@@ -50,7 +50,10 @@ fn vertical_pages(
             facts.push(Fact::intern(t, &name, "site", &format!("{stem}_dir")));
             facts.push(Fact::intern(t, &name, "serial", &format!("{stem}{p}{e}")));
         }
-        out.push(SourceFacts::new(url(&format!("{section}/page{p}.html")), facts));
+        out.push(SourceFacts::new(
+            url(&format!("{section}/page{p}.html")),
+            facts,
+        ));
     }
     out
 }
@@ -85,7 +88,11 @@ fn assert_bit_identical(a: &[DiscoveredSlice], b: &[DiscoveredSlice]) {
         assert_eq!(x.entities, y.entities);
         assert_eq!(x.num_facts, y.num_facts);
         assert_eq!(x.num_new_facts, y.num_new_facts);
-        assert_eq!(x.profit.to_bits(), y.profit.to_bits(), "profits not bit-identical");
+        assert_eq!(
+            x.profit.to_bits(),
+            y.profit.to_bits(),
+            "profits not bit-identical"
+        );
     }
 }
 
@@ -124,7 +131,10 @@ fn k_fault_run_matches_clean_run_over_survivors() {
         assert!(faulted.quarantine.contains_source(panicked.as_str()));
         assert!(faulted.quarantine.contains_source(exhausted.as_str()));
         let tags: Vec<&str> = faulted.quarantine.iter().map(|f| f.cause.tag()).collect();
-        assert!(tags.contains(&"panic") && tags.contains(&"budget"), "{tags:?}");
+        assert!(
+            tags.contains(&"panic") && tags.contains(&"budget"),
+            "{tags:?}"
+        );
         for fault in faulted.quarantine.iter() {
             assert_eq!(fault.stage, Stage::Detect);
         }

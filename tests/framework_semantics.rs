@@ -27,7 +27,10 @@ fn vertical_pages(
             facts.push(Fact::intern(t, &name, "site", &format!("{stem}_dir")));
             facts.push(Fact::intern(t, &name, "serial", &format!("{stem}{p}{e}")));
         }
-        out.push(SourceFacts::new(url(&format!("{section}/page{p}.html")), facts));
+        out.push(SourceFacts::new(
+            url(&format!("{section}/page{p}.html")),
+            facts,
+        ));
     }
     out
 }
@@ -53,7 +56,13 @@ fn sibling_pages_consolidate_upward() {
 fn distinct_verticals_stay_separate() {
     let mut t = Interner::new();
     let mut sources = vertical_pages(&mut t, "http://site.example/golf", "golf", 4, 4);
-    sources.extend(vertical_pages(&mut t, "http://site.example/games", "game", 4, 4));
+    sources.extend(vertical_pages(
+        &mut t,
+        "http://site.example/games",
+        "game",
+        4,
+        4,
+    ));
     let alg = MidasAlg::new(MidasConfig::running_example());
     let fw = Framework::new(&alg, alg.config.cost);
     let report = fw.run(sources, &KnowledgeBase::new());
@@ -91,8 +100,7 @@ fn export_all_rescues_small_pages() {
     let cfg = MidasConfig::default(); // f_p = 10
     let alg = MidasAlg::new(cfg.clone());
 
-    let positive_only = Framework::new(&alg, cfg.cost)
-        .run(pages.clone(), &KnowledgeBase::new());
+    let positive_only = Framework::new(&alg, cfg.cost).run(pages.clone(), &KnowledgeBase::new());
     assert!(
         positive_only.slices.is_empty(),
         "paper policy drops sub-threshold pages: {:?}",

@@ -92,9 +92,21 @@ fn awkward_terms_survive_both_formats() {
         };
         assert_eq!(back.len(), facts.len(), "{format}");
         for (orig, round) in facts.iter().zip(&back) {
-            assert_eq!(terms.resolve(orig.subject), t2.resolve(round.subject), "{format}");
-            assert_eq!(terms.resolve(orig.predicate), t2.resolve(round.predicate), "{format}");
-            assert_eq!(terms.resolve(orig.object), t2.resolve(round.object), "{format}");
+            assert_eq!(
+                terms.resolve(orig.subject),
+                t2.resolve(round.subject),
+                "{format}"
+            );
+            assert_eq!(
+                terms.resolve(orig.predicate),
+                t2.resolve(round.predicate),
+                "{format}"
+            );
+            assert_eq!(
+                terms.resolve(orig.object),
+                t2.resolve(round.object),
+                "{format}"
+            );
         }
     }
 }

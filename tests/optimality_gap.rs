@@ -71,7 +71,11 @@ fn midas_is_near_optimal_on_small_instances() {
             &src,
             &kb,
             &greedy
-                .detect(DetectInput { source: &src, kb: &kb, seeds: &[] })
+                .detect(DetectInput {
+                    source: &src,
+                    kb: &kb,
+                    seeds: &[],
+                })
                 .into_iter()
                 .filter(|s| s.profit > 0.0)
                 .collect::<Vec<_>>(),

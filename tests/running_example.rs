@@ -9,7 +9,11 @@ fn figure_2_fixture_shape() {
     let mut terms = Interner::new();
     let (source, kb) = skyrocket(&mut terms);
     assert_eq!(source.len(), 13, "t1–t13");
-    assert_eq!(kb.count_new(source.facts.iter()), 6, "t6–t8, t11–t13 are new");
+    assert_eq!(
+        kb.count_new(source.facts.iter()),
+        6,
+        "t6–t8, t11–t13 are new"
+    );
 }
 
 #[test]
@@ -88,21 +92,33 @@ fn baselines_on_the_running_example() {
 
     // GREEDY finds an S5-equivalent slice (single-source, single slice).
     let greedy = Greedy::new(cost);
-    let g = greedy.detect(DetectInput { source: &source, kb: &kb, seeds: &[] });
+    let g = greedy.detect(DetectInput {
+        source: &source,
+        kb: &kb,
+        seeds: &[],
+    });
     assert_eq!(g.len(), 1);
     assert_eq!(g[0].entities.len(), 2);
 
     // AGGCLUSTER over-merges into "sponsored by NASA" — a local optimum
     // with strictly lower profit than S5.
     let agg = AggCluster::new(cost);
-    let a = agg.detect(DetectInput { source: &source, kb: &kb, seeds: &[] });
+    let a = agg.detect(DetectInput {
+        source: &source,
+        kb: &kb,
+        seeds: &[],
+    });
     assert!(!a.is_empty());
     assert_eq!(a[0].entities.len(), 5);
     assert!(a[0].profit < g[0].profit);
 
     // NAIVE reports the whole source.
     let naive = Naive::new(cost);
-    let n = naive.detect(DetectInput { source: &source, kb: &kb, seeds: &[] });
+    let n = naive.detect(DetectInput {
+        source: &source,
+        kb: &kb,
+        seeds: &[],
+    });
     assert_eq!(n.len(), 1);
     assert!(n[0].properties.is_empty());
     assert_eq!(n[0].num_facts, 13);
