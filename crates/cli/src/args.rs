@@ -50,6 +50,10 @@ ROBUSTNESS (discover, eval):
   --max-source-facts N     quarantine sources carrying more than N facts
   --max-source-nodes N     quarantine a source whose slice hierarchy exceeds N nodes
   --source-deadline-ms MS  quarantine a source still running after MS milliseconds
+  --stream-window N        admit at most N sources to a round's pool at once
+                           (default: unbounded). Caps peak memory — completed
+                           sources free their state before later ones start —
+                           without changing any result bit.
   Quarantined sources are dropped from the run and listed in a summary; the
   MIDAS_FAULTINJECT environment variable (e.g. `parse@#3,panic@flaky`) injects
   deterministic faults for testing.
@@ -97,6 +101,8 @@ pub struct RunLimits {
     pub max_source_nodes: Option<usize>,
     /// Per-source wall-clock deadline in ms (`--source-deadline-ms`).
     pub source_deadline_ms: Option<u64>,
+    /// Streaming admission window per framework round (`--stream-window`).
+    pub stream_window: Option<usize>,
 }
 
 /// A parsed subcommand.
@@ -224,10 +230,7 @@ fn parse_num<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, CliError>
         .map_err(|_| CliError::Usage(format!("invalid value {raw:?} for {name}")))
 }
 
-fn opt_num<T: std::str::FromStr>(
-    flags: &mut Flags<'_>,
-    name: &str,
-) -> Result<Option<T>, CliError> {
+fn opt_num<T: std::str::FromStr>(flags: &mut Flags<'_>, name: &str) -> Result<Option<T>, CliError> {
     match flags.value(name)? {
         Some(raw) => parse_num(name, raw).map(Some),
         None => Ok(None),
@@ -240,6 +243,7 @@ fn parse_limits(flags: &mut Flags<'_>) -> Result<RunLimits, CliError> {
         max_source_facts: opt_num(flags, "--max-source-facts")?,
         max_source_nodes: opt_num(flags, "--max-source-nodes")?,
         source_deadline_ms: opt_num(flags, "--source-deadline-ms")?,
+        stream_window: opt_num(flags, "--stream-window")?,
     })
 }
 
@@ -254,8 +258,7 @@ impl ParsedArgs {
             "discover" => {
                 let facts = flags.required("--facts")?.to_owned();
                 let kb = flags.value("--kb")?.map(str::to_owned);
-                let algorithm =
-                    Algorithm::parse(flags.value("--algorithm")?.unwrap_or("midas"))?;
+                let algorithm = Algorithm::parse(flags.value("--algorithm")?.unwrap_or("midas"))?;
                 let threads = parse_num("--threads", flags.value("--threads")?.unwrap_or("1"))?;
                 let top = parse_num("--top", flags.value("--top")?.unwrap_or("20"))?;
                 let fp = parse_num("--fp", flags.value("--fp")?.unwrap_or("10"))?;
@@ -344,10 +347,11 @@ mod tests {
             max_source_facts: Some(5_000),
             max_source_nodes: Some(200_000),
             source_deadline_ms: Some(1_500),
+            stream_window: Some(8),
         };
         let d = ParsedArgs::parse(&argv(
             "discover --facts f.tsv --lenient --max-source-facts 5000 \
-             --max-source-nodes 200000 --source-deadline-ms 1500",
+             --max-source-nodes 200000 --source-deadline-ms 1500 --stream-window 8",
         ))
         .unwrap();
         match d.command {
@@ -356,7 +360,7 @@ mod tests {
         }
         let e = ParsedArgs::parse(&argv(
             "eval --facts f --gold g --lenient --max-source-facts 5000 \
-             --max-source-nodes 200000 --source-deadline-ms 1500",
+             --max-source-nodes 200000 --source-deadline-ms 1500 --stream-window 8",
         ))
         .unwrap();
         match e.command {

@@ -7,9 +7,7 @@ use midas_core::{
     faultinject, CostModel, DiscoveredSlice, FactTable, FaultPlan, MidasConfig, ProfitCtx,
     Quarantine, SourceBudget, SourceFacts, SourceFault,
 };
-use midas_eval::runner::{
-    merge_by_domain, run_detector_per_source_budgeted, run_midas_framework,
-};
+use midas_eval::runner::{merge_by_domain, run_detector_per_source_budgeted, run_midas_framework};
 use midas_eval::{bootstrap_prf, match_to_gold, Table};
 use midas_kb::{DatasetStats, Interner, KnowledgeBase};
 use midas_weburl::UrlPattern;
@@ -57,7 +55,15 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             algorithm,
             threads,
             limits,
-        } => eval(&facts, &gold, kb.as_deref(), algorithm, threads, limits, out),
+        } => eval(
+            &facts,
+            &gold,
+            kb.as_deref(),
+            algorithm,
+            threads,
+            limits,
+            out,
+        ),
     }
 }
 
@@ -138,11 +144,24 @@ pub fn run_algorithm(
     kb: &KnowledgeBase,
     threads: usize,
 ) -> Vec<DiscoveredSlice> {
-    run_algorithm_budgeted(algorithm, cost, sources, kb, threads, SourceBudget::unlimited()).0
+    run_algorithm_budgeted(
+        algorithm,
+        cost,
+        sources,
+        kb,
+        threads,
+        SourceBudget::unlimited(),
+        None,
+    )
+    .0
 }
 
 /// Runs the selected algorithm under a per-source budget, returning ranked
 /// slices plus the quarantine of sources dropped during the run.
+/// `stream_window` bounds how many sources a framework round admits to its
+/// pool at once (`None` = unbounded); it only affects peak memory, never the
+/// result.
+#[allow(clippy::too_many_arguments)]
 pub fn run_algorithm_budgeted(
     algorithm: Algorithm,
     cost: CostModel,
@@ -150,6 +169,7 @@ pub fn run_algorithm_budgeted(
     kb: &KnowledgeBase,
     threads: usize,
     budget: SourceBudget,
+    stream_window: Option<usize>,
 ) -> (Vec<DiscoveredSlice>, Quarantine) {
     match algorithm {
         Algorithm::Midas => {
@@ -158,7 +178,8 @@ pub fn run_algorithm_budgeted(
             let cfg = MidasConfig::default()
                 .with_cost(cost)
                 .with_threads(threads)
-                .with_budget(budget);
+                .with_budget(budget)
+                .with_stream_window(stream_window);
             let run = run_midas_framework(&cfg, sources.to_vec(), kb, threads);
             (run.slices, run.quarantine)
         }
@@ -169,15 +190,14 @@ pub fn run_algorithm_budgeted(
         }
         Algorithm::AggCluster => {
             let merged = merge_by_domain(sources);
-            let run =
-                run_detector_per_source_budgeted(&AggCluster::new(cost), &merged, kb, budget);
+            let run = run_detector_per_source_budgeted(&AggCluster::new(cost), &merged, kb, budget);
             (run.slices, run.quarantine)
         }
         Algorithm::Naive => {
             let merged = merge_by_domain(sources);
-            let mut run =
-                run_detector_per_source_budgeted(&Naive::new(cost), &merged, kb, budget);
-            run.slices.sort_by(|a, b| b.num_new_facts.cmp(&a.num_new_facts));
+            let mut run = run_detector_per_source_budgeted(&Naive::new(cost), &merged, kb, budget);
+            run.slices
+                .sort_by_key(|s| std::cmp::Reverse(s.num_new_facts));
             (run.slices, run.quarantine)
         }
     }
@@ -198,8 +218,15 @@ fn discover(
 ) -> Result<(), CliError> {
     let (terms, sources, kb, read_faults) = load_inputs(facts_path, kb_path, limits.lenient)?;
     let cost = CostModel { fp, fc, fd, fv };
-    let (slices, run_quarantine) =
-        run_algorithm_budgeted(algorithm, cost, &sources, &kb, threads, budget_from(limits));
+    let (slices, run_quarantine) = run_algorithm_budgeted(
+        algorithm,
+        cost,
+        &sources,
+        &kb,
+        threads,
+        budget_from(limits),
+        limits.stream_window,
+    );
     let mut quarantine = Quarantine::new();
     for fault in read_faults {
         quarantine.push(fault);
@@ -208,14 +235,25 @@ fn discover(
 
     let mut table = Table::new(
         "Discovered web source slices",
-        &["#", "slice", "source", "pattern", "entities", "new/total", "profit"],
+        &[
+            "#",
+            "slice",
+            "source",
+            "pattern",
+            "entities",
+            "new/total",
+            "profit",
+        ],
     );
     for (i, s) in slices.iter().take(top).enumerate() {
         let pages: Vec<_> = sources
             .iter()
             .filter(|src| {
                 s.source.contains(&src.url)
-                    && src.facts.iter().any(|f| s.entities.binary_search(&f.subject).is_ok())
+                    && src
+                        .facts
+                        .iter()
+                        .any(|f| s.entities.binary_search(&f.subject).is_ok())
             })
             .map(|src| src.url.clone())
             .collect();
@@ -257,8 +295,7 @@ fn discover(
                 .iter()
                 .filter_map(|&e| table_w.entity(e))
                 .collect();
-            let extent =
-                midas_core::ExtentSet::from_unsorted(table_w.num_entities() as u32, ids);
+            let extent = midas_core::ExtentSet::from_unsorted(table_w.num_entities() as u32, ids);
             writeln!(out, "  #{}: {}", i + 1, ctx.breakdown(&extent))?;
         }
     }
@@ -365,6 +402,7 @@ fn eval(
         &kb,
         threads,
         budget_from(limits),
+        limits.stream_window,
     );
     let mut quarantine = Quarantine::new();
     for fault in read_faults {
@@ -441,7 +479,10 @@ mod tests {
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("Discovered web source slices"));
         assert!(text.contains("Profit breakdowns"));
-        assert!(text.contains("pred_"), "slice descriptions present:\n{text}");
+        assert!(
+            text.contains("pred_"),
+            "slice descriptions present:\n{text}"
+        );
 
         let mut out = Vec::new();
         run(
@@ -529,7 +570,11 @@ mod tests {
 
         // Lenient mode completes and reports the quarantined record.
         let mut out = Vec::new();
-        run(&argv(&format!("discover --facts {facts_s} --lenient")), &mut out).unwrap();
+        run(
+            &argv(&format!("discover --facts {facts_s} --lenient")),
+            &mut out,
+        )
+        .unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("Discovered web source slices"));
         assert!(text.contains("quarantined 1 source(s)"), "output:\n{text}");
@@ -545,7 +590,8 @@ mod tests {
         .unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(
-            text.lines().any(|l| l.starts_with("# quarantined 1 source(s)")),
+            text.lines()
+                .any(|l| l.starts_with("# quarantined 1 source(s)")),
             "csv output:\n{text}"
         );
         let _ = std::fs::remove_dir_all(&dir);
@@ -571,8 +617,14 @@ mod tests {
         .unwrap();
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("quarantined"), "output:\n{text}");
-        assert!(text.contains("big.com"), "the 6-fact source breaches the cap:\n{text}");
-        assert!(!text.contains("small.com/x —"), "the small source survives:\n{text}");
+        assert!(
+            text.contains("big.com"),
+            "the 6-fact source breaches the cap:\n{text}"
+        );
+        assert!(
+            !text.contains("small.com/x —"),
+            "the small source survives:\n{text}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

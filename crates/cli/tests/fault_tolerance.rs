@@ -64,8 +64,7 @@ fn corpus_tsv(skip_victims: bool) -> String {
 }
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
-    let dir =
-        std::env::temp_dir().join(format!("midas_fault_tol_{tag}_{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("midas_fault_tol_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -114,13 +113,16 @@ fn three_fault_run_is_bit_identical_to_clean_seventeen_source_run() {
             &kb,
             threads,
             SourceBudget::unlimited(),
+            None,
         );
         faultinject::clear();
         assert_eq!(quarantine.len(), 2, "panic + budget victims");
-        assert!(quarantine.iter().any(|f| f.source.contains(PANIC_VICTIM)
-            && f.cause.tag() == "panic"));
-        assert!(quarantine.iter().any(|f| f.source.contains(BUDGET_VICTIM)
-            && f.cause.tag() == "budget"));
+        assert!(quarantine
+            .iter()
+            .any(|f| f.source.contains(PANIC_VICTIM) && f.cause.tag() == "panic"));
+        assert!(quarantine
+            .iter()
+            .any(|f| f.source.contains(BUDGET_VICTIM) && f.cause.tag() == "budget"));
 
         let clean_slices = run_algorithm(
             Default::default(),

@@ -98,6 +98,11 @@ pub struct MidasConfig {
     /// discarded and recorded in the run's [`crate::Quarantine`]; the run
     /// itself always completes.
     pub budget: SourceBudget,
+    /// Bound on the number of shards a framework round admits to its pool at
+    /// once (CLI: `--stream-window`). `None` = unbounded (the whole round in
+    /// flight). Smaller windows cap peak resident memory; reports are
+    /// bit-identical at every window.
+    pub stream_window: Option<usize>,
 }
 
 impl Default for MidasConfig {
@@ -111,6 +116,7 @@ impl Default for MidasConfig {
             always_report_best: false,
             threads: 1,
             budget: SourceBudget::unlimited(),
+            stream_window: None,
         }
     }
 }
@@ -139,6 +145,12 @@ impl MidasConfig {
     /// Replaces the per-source execution budget.
     pub fn with_budget(mut self, budget: SourceBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the framework's streaming admission window (`None` = unbounded).
+    pub fn with_stream_window(mut self, window: Option<usize>) -> Self {
+        self.stream_window = window.map(|w| w.max(1));
         self
     }
 }

@@ -22,10 +22,18 @@
 //! the derived `PartialEq` never confuses two encodings of the same set.
 
 use crate::fact_table::EntityId;
+use crate::scratch;
 
 /// Density crossover: a set is stored dense iff `len * DENSITY_DIVISOR >=
 /// universe` and the set is non-empty.
 pub const DENSITY_DIVISOR: u32 = 32;
+
+/// Skew crossover for the sparse-sparse intersection: when one side is more
+/// than `GALLOP_RATIO` times longer than the other, the linear two-pointer
+/// merge degrades to a scan of the long side and galloping (exponential)
+/// search wins — each probe of the short side costs `O(log gap)` instead of
+/// `O(gap)`.
+pub const GALLOP_RATIO: usize = 16;
 
 /// A set of entities of one fact table, stored sparse or dense by density.
 #[derive(Clone, PartialEq, Eq)]
@@ -71,6 +79,7 @@ impl ExtentSet {
         if tail != 0 {
             *blocks.last_mut().expect("non-empty blocks") = (1u64 << tail) - 1;
         }
+        debug_assert_eq!(kernels::count(&blocks), universe, "cached len invariant");
         ExtentSet {
             universe,
             repr: Repr::Dense {
@@ -180,7 +189,7 @@ impl ExtentSet {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
         match (&self.repr, &other.repr) {
             (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => {
-                a.iter().zip(b).all(|(x, y)| x & !y == 0)
+                kernels::is_subset(a, b)
             }
             _ => self.iter().all(|e| other.contains(e)),
         }
@@ -193,16 +202,20 @@ impl ExtentSet {
         let repr = match (&self.repr, &other.repr) {
             (Repr::Sparse(a), Repr::Sparse(b)) => Repr::Sparse(intersect_vec(a, b)),
             (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => {
-                let mut blocks: Vec<u64> = a.iter().zip(b).map(|(x, y)| x & y).collect();
-                let len = popcount(&blocks);
+                let mut blocks = scratch::take_blocks(a.len());
+                let len = kernels::and_into(&mut blocks, a, b);
                 blocks_or_empty(&mut blocks, len);
                 Repr::Dense { blocks, len }
             }
             (Repr::Sparse(a), Repr::Dense { .. }) => {
-                Repr::Sparse(a.iter().copied().filter(|&e| other.contains(e)).collect())
+                let mut out = scratch::take_ids();
+                out.extend(a.iter().copied().filter(|&e| other.contains(e)));
+                Repr::Sparse(out)
             }
             (Repr::Dense { .. }, Repr::Sparse(b)) => {
-                Repr::Sparse(b.iter().copied().filter(|&e| self.contains(e)).collect())
+                let mut out = scratch::take_ids();
+                out.extend(b.iter().copied().filter(|&e| self.contains(e)));
+                Repr::Sparse(out)
             }
         };
         ExtentSet { universe, repr }.normalized()
@@ -215,8 +228,8 @@ impl ExtentSet {
         let repr = match (&self.repr, &other.repr) {
             (Repr::Sparse(a), Repr::Sparse(b)) => Repr::Sparse(union_vec(a, b)),
             (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => {
-                let blocks: Vec<u64> = a.iter().zip(b).map(|(x, y)| x | y).collect();
-                let len = popcount(&blocks);
+                let mut blocks = scratch::take_blocks(a.len());
+                let len = kernels::or_into(&mut blocks, a, b);
                 Repr::Dense { blocks, len }
             }
             (Repr::Sparse(a), Repr::Dense { blocks, len }) => dense_with(blocks, *len, a),
@@ -230,10 +243,14 @@ impl ExtentSet {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
         match (&mut self.repr, &other.repr) {
             (Repr::Dense { blocks, len }, Repr::Dense { blocks: b, .. }) => {
-                for (x, y) in blocks.iter_mut().zip(b) {
-                    *x &= y;
-                }
-                *len = popcount(blocks);
+                *len = kernels::and_assign(blocks, b);
+            }
+            (Repr::Sparse(a), Repr::Sparse(b)) if skewed(a.len(), b.len()) => {
+                // Pathological skew: gallop into a pooled buffer and swap it
+                // in — still allocation-free in the steady state.
+                let mut out = scratch::take_ids();
+                gallop_intersect_into(a, b, &mut out);
+                scratch::put_ids(std::mem::replace(a, out));
             }
             (Repr::Sparse(a), Repr::Sparse(b)) => {
                 // In-place two-pointer merge — `retain` + `binary_search`
@@ -267,10 +284,7 @@ impl ExtentSet {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
         match (&mut self.repr, &other.repr) {
             (Repr::Dense { blocks, len }, Repr::Dense { blocks: b, .. }) => {
-                for (x, y) in blocks.iter_mut().zip(b) {
-                    *x |= y;
-                }
-                *len = popcount(blocks);
+                *len = kernels::or_assign(blocks, b);
             }
             (Repr::Dense { blocks, len }, Repr::Sparse(b)) => {
                 for &e in b {
@@ -348,16 +362,34 @@ impl ExtentSet {
                 else {
                     unreachable!()
                 };
-                let mut blocks = vec![0u64; block_count(self.universe)];
+                let mut blocks = scratch::take_blocks(block_count(self.universe));
                 for &e in &v {
                     blocks[(e / 64) as usize] |= 1u64 << (e % 64);
                 }
+                scratch::put_ids(v);
                 self.repr = Repr::Dense { blocks, len };
             }
             (Repr::Dense { .. }, false) => {
-                self.repr = Repr::Sparse(self.iter().collect());
+                let mut ids = scratch::take_ids();
+                ids.extend(self.iter());
+                let Repr::Dense { blocks, .. } =
+                    std::mem::replace(&mut self.repr, Repr::Sparse(ids))
+                else {
+                    unreachable!()
+                };
+                scratch::put_blocks(blocks);
             }
             _ => {}
+        }
+    }
+
+    /// Consumes the set, returning its backing buffer to the scratch pool so
+    /// the next shard can reuse the capacity. Purely an optimisation —
+    /// dropping the set instead is always correct.
+    pub fn recycle(self) {
+        match self.repr {
+            Repr::Sparse(v) => scratch::put_ids(v),
+            Repr::Dense { blocks, .. } => scratch::put_blocks(blocks),
         }
     }
 }
@@ -370,13 +402,157 @@ fn blocks_or_empty(blocks: &mut Vec<u64>, len: u32) {
     }
 }
 
-fn popcount(blocks: &[u64]) -> u32 {
-    blocks.iter().map(|b| b.count_ones()).sum()
+/// Chunked block kernels for the dense path: 4×`u64` unrolled loops over
+/// `chunks_exact(4)` plus a scalar remainder. The fixed-width chunks give
+/// the compiler straight-line bodies it can keep in registers and
+/// auto-vectorise (two 128-bit or one 256-bit op per chunk), which the
+/// iterator-chained forms do not reliably achieve.
+mod kernels {
+    /// `out = a & b`; returns the popcount of the result.
+    pub fn and_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
+        debug_assert!(out.len() == a.len() && a.len() == b.len());
+        let mut count = 0u32;
+        let mut co = out.chunks_exact_mut(4);
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for ((o, x), y) in (&mut co).zip(&mut ca).zip(&mut cb) {
+            let w0 = x[0] & y[0];
+            let w1 = x[1] & y[1];
+            let w2 = x[2] & y[2];
+            let w3 = x[3] & y[3];
+            o[0] = w0;
+            o[1] = w1;
+            o[2] = w2;
+            o[3] = w3;
+            count += w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones();
+        }
+        for ((o, x), y) in co
+            .into_remainder()
+            .iter_mut()
+            .zip(ca.remainder())
+            .zip(cb.remainder())
+        {
+            let w = x & y;
+            *o = w;
+            count += w.count_ones();
+        }
+        count
+    }
+
+    /// `out = a | b`; returns the popcount of the result.
+    pub fn or_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
+        debug_assert!(out.len() == a.len() && a.len() == b.len());
+        let mut count = 0u32;
+        let mut co = out.chunks_exact_mut(4);
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for ((o, x), y) in (&mut co).zip(&mut ca).zip(&mut cb) {
+            let w0 = x[0] | y[0];
+            let w1 = x[1] | y[1];
+            let w2 = x[2] | y[2];
+            let w3 = x[3] | y[3];
+            o[0] = w0;
+            o[1] = w1;
+            o[2] = w2;
+            o[3] = w3;
+            count += w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones();
+        }
+        for ((o, x), y) in co
+            .into_remainder()
+            .iter_mut()
+            .zip(ca.remainder())
+            .zip(cb.remainder())
+        {
+            let w = x | y;
+            *o = w;
+            count += w.count_ones();
+        }
+        count
+    }
+
+    /// `a &= b` in place; returns the popcount of the result.
+    pub fn and_assign(a: &mut [u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut count = 0u32;
+        let mut ca = a.chunks_exact_mut(4);
+        let mut cb = b.chunks_exact(4);
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            let w0 = x[0] & y[0];
+            let w1 = x[1] & y[1];
+            let w2 = x[2] & y[2];
+            let w3 = x[3] & y[3];
+            x[0] = w0;
+            x[1] = w1;
+            x[2] = w2;
+            x[3] = w3;
+            count += w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones();
+        }
+        for (x, y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
+            *x &= y;
+            count += x.count_ones();
+        }
+        count
+    }
+
+    /// `a |= b` in place; returns the popcount of the result.
+    pub fn or_assign(a: &mut [u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut count = 0u32;
+        let mut ca = a.chunks_exact_mut(4);
+        let mut cb = b.chunks_exact(4);
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            let w0 = x[0] | y[0];
+            let w1 = x[1] | y[1];
+            let w2 = x[2] | y[2];
+            let w3 = x[3] | y[3];
+            x[0] = w0;
+            x[1] = w1;
+            x[2] = w2;
+            x[3] = w3;
+            count += w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones();
+        }
+        for (x, y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
+            *x |= y;
+            count += x.count_ones();
+        }
+        count
+    }
+
+    /// Popcount over all blocks.
+    pub fn count(blocks: &[u64]) -> u32 {
+        let mut c = 0u32;
+        let chunks = blocks.chunks_exact(4);
+        let rem = chunks.remainder();
+        for w in chunks {
+            c += w[0].count_ones() + w[1].count_ones() + w[2].count_ones() + w[3].count_ones();
+        }
+        for w in rem {
+            c += w.count_ones();
+        }
+        c
+    }
+
+    /// Whether every set bit of `a` is also set in `b`.
+    pub fn is_subset(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let ca = a.chunks_exact(4);
+        let cb = b.chunks_exact(4);
+        let (ra, rb) = (ca.remainder(), cb.remainder());
+        for (x, y) in ca.zip(cb) {
+            let stray = (x[0] & !y[0]) | (x[1] & !y[1]) | (x[2] & !y[2]) | (x[3] & !y[3]);
+            if stray != 0 {
+                return false;
+            }
+        }
+        ra.iter().zip(rb).all(|(x, y)| x & !y == 0)
+    }
 }
 
 /// Dense blocks plus a sparse list, as a dense repr.
 fn dense_with(blocks: &[u64], len: u32, extra: &[EntityId]) -> Repr {
-    let mut blocks = blocks.to_vec();
+    let mut out = scratch::take_blocks(blocks.len());
+    out.copy_from_slice(blocks);
+    let mut blocks = out;
     let mut len = len;
     for &e in extra {
         let w = &mut blocks[(e / 64) as usize];
@@ -389,7 +565,19 @@ fn dense_with(blocks: &[u64], len: u32, extra: &[EntityId]) -> Repr {
     Repr::Dense { blocks, len }
 }
 
+/// Whether a sparse-sparse pair is skewed enough for galloping to beat the
+/// linear merge.
+#[inline]
+fn skewed(a: usize, b: usize) -> bool {
+    a.saturating_mul(GALLOP_RATIO) < b || b.saturating_mul(GALLOP_RATIO) < a
+}
+
 fn intersect_vec(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+    if skewed(a.len(), b.len()) {
+        let mut out = scratch::take_ids();
+        gallop_intersect_into(a, b, &mut out);
+        return out;
+    }
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -406,8 +594,43 @@ fn intersect_vec(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
     out
 }
 
+/// Galloping (exponential-search) intersection of two sorted id lists with
+/// pathological length skew. Walks the shorter list element-wise and locates
+/// each id in the longer one by doubling probes from a moving base, then a
+/// binary search inside the bracketed window — `O(s · log(l/s))` instead of
+/// the merge's `O(s + l)`.
+fn gallop_intersect_into(a: &[EntityId], b: &[EntityId], out: &mut Vec<EntityId>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut base = 0usize;
+    for &e in small {
+        if base >= large.len() {
+            break;
+        }
+        if large[base] > e {
+            continue;
+        }
+        // Double the probe distance until we bracket `e` …
+        let mut offset = 1usize;
+        while base + offset < large.len() && large[base + offset] < e {
+            offset <<= 1;
+        }
+        // … then binary-search the last un-probed window. `window_start`
+        // holds a value ≤ e (the previous probe, or `base` itself).
+        let window_start = base + offset / 2;
+        let window_end = (base + offset).min(large.len());
+        let idx = window_start + large[window_start..window_end].partition_point(|&x| x < e);
+        if idx < large.len() && large[idx] == e {
+            out.push(e);
+            base = idx + 1;
+        } else {
+            base = idx;
+        }
+    }
+}
+
 fn union_vec(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut out = scratch::take_ids();
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -562,7 +785,12 @@ mod tests {
         let dense_a = ExtentSet::from_sorted(u, (0..128).collect());
         let dense_b = ExtentSet::from_sorted(u, (64..192).collect());
         for (a, b, inter, uni) in [
-            (&sparse_a, &sparse_b, vec![5, 100], vec![1, 5, 100, 200, 201]),
+            (
+                &sparse_a,
+                &sparse_b,
+                vec![5, 100],
+                vec![1, 5, 100, 200, 201],
+            ),
             (&dense_a, &dense_b, (64..128).collect(), (0..192).collect()),
             (&sparse_a, &dense_b, vec![100], {
                 let mut v: Vec<u32> = (64..192).collect();
@@ -623,6 +851,125 @@ mod tests {
         assert!(!big.is_subset_of(&small));
         assert!(ExtentSet::empty(u).is_subset_of(&small));
         assert!(big.is_subset_of(&ExtentSet::full(u)));
+    }
+
+    /// Reference intersection by membership filtering.
+    fn naive_intersect(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+        a.iter().copied().filter(|e| b.contains(e)).collect()
+    }
+
+    #[test]
+    fn galloping_matches_merge_on_pathological_skew() {
+        // Long side far over GALLOP_RATIO× the short side; universe huge so
+        // both stay sparse and the gallop path is actually exercised.
+        let u = 4_000_000;
+        let large: Vec<EntityId> = (0..100_000).map(|i| i * 3).collect();
+        for small in [
+            vec![],                               // empty short side
+            vec![0],                              // first element
+            vec![299_997],                        // last element
+            vec![299_999],                        // past the end, absent
+            vec![1, 2, 4, 5],                     // all absent, clustered at front
+            vec![0, 3, 150_000, 299_997],         // hits spread over the whole range
+            (0..64).map(|i| i * 4_001).collect(), // large gaps force deep gallops
+            (250_000..250_064).collect(),         // dense cluster far from base
+        ] {
+            let s = ExtentSet::from_sorted(u, small.clone());
+            let l = ExtentSet::from_sorted(u, large.clone());
+            assert!(!s.is_dense() && !l.is_dense());
+            let expect = naive_intersect(&small, &large);
+            assert_eq!(s.intersect(&l).to_vec(), expect, "small={small:?}");
+            assert_eq!(l.intersect(&s).to_vec(), expect, "flipped small={small:?}");
+            let mut in_place = s.clone();
+            in_place.intersect_with(&l);
+            assert_eq!(in_place.to_vec(), expect, "in-place small={small:?}");
+            let mut flipped = l.clone();
+            flipped.intersect_with(&s);
+            assert_eq!(flipped.to_vec(), expect, "in-place flipped small={small:?}");
+        }
+    }
+
+    #[test]
+    fn gallop_crossover_boundary_is_consistent() {
+        // Just below and just above the GALLOP_RATIO crossover must agree
+        // with the naive reference — the heuristic may change the algorithm,
+        // never the result.
+        let u = 4_000_000;
+        for short_len in [7usize, 8, 9] {
+            let small: Vec<EntityId> = (0..short_len as u32).map(|i| i * 17_000).collect();
+            for factor in [GALLOP_RATIO - 1, GALLOP_RATIO, GALLOP_RATIO + 1] {
+                let large: Vec<EntityId> = (0..(short_len * factor) as u32)
+                    .map(|i| i * 1_000)
+                    .collect();
+                let s = ExtentSet::from_sorted(u, small.clone());
+                let l = ExtentSet::from_sorted(u, large.clone());
+                assert!(!s.is_dense() && !l.is_dense());
+                assert_eq!(
+                    s.intersect(&l).to_vec(),
+                    naive_intersect(&small, &large),
+                    "short_len={short_len} factor={factor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_helper_direct_cases() {
+        let large: Vec<EntityId> = (0..1000).map(|i| i * 2).collect(); // evens < 2000
+        let mut out = Vec::new();
+        gallop_intersect_into(&[1, 3, 5], &large, &mut out);
+        assert!(out.is_empty(), "odd probes hit nothing");
+        out.clear();
+        gallop_intersect_into(&[0, 2, 1998, 5000], &large, &mut out);
+        assert_eq!(out, vec![0, 2, 1998]);
+        out.clear();
+        // Long-then-short argument order takes the same path.
+        gallop_intersect_into(&large, &[1998], &mut out);
+        assert_eq!(out, vec![1998]);
+    }
+
+    #[test]
+    fn chunked_kernels_match_reference_across_widths() {
+        // Universes straddling the 4-word chunk boundary: 3..=9 words covers
+        // full chunks, the empty remainder, and 1–3 word remainders.
+        for words in 3usize..=9 {
+            let u = (words * 64) as u32;
+            let a_ids: Vec<EntityId> = (0..u).filter(|e| e % 3 == 0).collect();
+            let b_ids: Vec<EntityId> = (0..u).filter(|e| e % 5 != 0).collect();
+            let a = ExtentSet::from_sorted(u, a_ids.clone());
+            let b = ExtentSet::from_sorted(u, b_ids.clone());
+            assert!(a.is_dense() && b.is_dense(), "u={u}");
+            let inter: Vec<EntityId> = naive_intersect(&a_ids, &b_ids);
+            let mut uni: Vec<EntityId> = a_ids.iter().chain(&b_ids).copied().collect();
+            uni.sort_unstable();
+            uni.dedup();
+            assert_eq!(a.intersect(&b).to_vec(), inter, "u={u}");
+            assert_eq!(a.union(&b).to_vec(), uni, "u={u}");
+            let mut x = a.clone();
+            x.intersect_with(&b);
+            assert_eq!(x.to_vec(), inter, "u={u}");
+            let mut y = a.clone();
+            y.union_with(&b);
+            assert_eq!(y.to_vec(), uni, "u={u}");
+            assert!(a.intersect(&b).is_subset_of(&a));
+            assert!(a.is_subset_of(&a.union(&b)));
+            assert!(!a.is_subset_of(&b), "a has multiples of 15 that b lacks");
+        }
+    }
+
+    #[test]
+    fn recycle_roundtrip_keeps_sets_correct() {
+        // Recycling returns buffers to the pool; later sets built from the
+        // pool must be unaffected by the old contents.
+        let u = 10_000;
+        ExtentSet::from_sorted(u, (0..5000).collect()).recycle();
+        ExtentSet::from_sorted(u, vec![1, 2, 3]).recycle();
+        let fresh = ExtentSet::from_sorted(u, (0..1000).map(|i| i * 10).collect());
+        assert_eq!(fresh.len(), 1000);
+        assert_eq!(
+            fresh.to_vec(),
+            (0..1000).map(|i| i * 10).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use midas_kb::fnv::FnvHashMap;
 use midas_kb::{Fact, KnowledgeBase, Symbol};
 
 use crate::extent::ExtentSet;
+use crate::scratch;
 use crate::source::SourceFacts;
 
 /// Dense per-source entity index (row number in the fact table).
@@ -122,7 +123,8 @@ impl FactTable {
         for (eid, row) in rows.iter().enumerate() {
             // `source.facts` is sorted, so each row is sorted by (p, o) and
             // distinct (s, p) runs are contiguous.
-            let mut props = Vec::with_capacity(row.len());
+            let mut props = scratch::take_ids();
+            props.reserve(row.len());
             let mut news = 0u32;
             let mut last_pred: Option<Symbol> = None;
             for f in row {
@@ -138,7 +140,7 @@ impl FactTable {
             }
             props.sort_unstable();
             props.dedup();
-            raw_extents.resize_with(catalog.len(), Vec::new);
+            raw_extents.resize_with(catalog.len(), scratch::take_ids);
             for &pid in &props {
                 raw_extents[pid as usize].push(eid as EntityId);
             }
@@ -156,7 +158,8 @@ impl FactTable {
 
         let prefix = |counts: &[u32]| {
             let mut acc = 0u64;
-            let mut out = Vec::with_capacity(counts.len() + 1);
+            let mut out = scratch::take_blocks(0);
+            out.reserve(counts.len() + 1);
             out.push(0);
             for &c in counts {
                 acc += u64::from(c);
@@ -166,11 +169,14 @@ impl FactTable {
         };
         let facts_prefix = prefix(&facts_count);
         let new_prefix = prefix(&new_count);
-        let packed_counts = new_count
-            .iter()
-            .zip(&facts_count)
-            .map(|(&n, &f)| u64::from(n) | (u64::from(f) << 32))
-            .collect();
+        let mut packed_counts = scratch::take_blocks(0);
+        packed_counts.reserve(new_count.len());
+        packed_counts.extend(
+            new_count
+                .iter()
+                .zip(&facts_count)
+                .map(|(&n, &f)| u64::from(n) | (u64::from(f) << 32)),
+        );
 
         FactTable {
             subjects,
@@ -385,6 +391,24 @@ impl FactTable {
         }
     }
 
+    /// Consumes the table, returning its reusable buffers (property extents,
+    /// per-entity property lists, packed counts, prefix sums) to the scratch
+    /// pool for the next shard. Purely an optimisation — dropping the table
+    /// is always correct.
+    pub fn recycle(self) {
+        for ext in self.catalog.extents {
+            ext.recycle();
+        }
+        for props in self.entity_props {
+            scratch::put_ids(props);
+        }
+        scratch::put_ids(self.facts_count);
+        scratch::put_ids(self.new_count);
+        scratch::put_blocks(self.packed_counts);
+        scratch::put_blocks(self.facts_prefix);
+        scratch::put_blocks(self.new_prefix);
+    }
+
     /// The entity extent of a property conjunction — `Π` of Definition 5,
     /// computed by intersecting the per-property inverted extents (smallest
     /// extent first).
@@ -493,7 +517,11 @@ mod tests {
             .catalog()
             .get(t.intern("sponsor"), t.intern("NASA"))
             .unwrap();
-        assert_eq!(ft.catalog().extent(sponsor_nasa).len(), 5, "c6 covers e1..e5");
+        assert_eq!(
+            ft.catalog().extent(sponsor_nasa).len(),
+            5,
+            "c6 covers e1..e5"
+        );
         let rocket = ft
             .catalog()
             .get(t.intern("category"), t.intern("rocket_family"))

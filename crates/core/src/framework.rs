@@ -15,6 +15,20 @@
 //! Shards are independent, so each round is processed by a small thread pool
 //! (the paper used MapReduce with the same keying).
 //!
+//! ### Streaming pipeline
+//!
+//! Each round runs as a **bounded streaming pipeline** over
+//! [`crate::parallel::par_map_streamed`]: at most `stream_window` shards are
+//! admitted to the pool at once (configurable via
+//! [`Framework::with_stream_window`], `--stream-window` on the CLI), and
+//! each shard's result is folded into the round state in deterministic input
+//! order the moment its turn completes. Completed shards release their fact
+//! tables, hierarchy extents, and scratch buffers eagerly (see
+//! [`crate::scratch`]), so peak resident memory is proportional to the
+//! window, not the corpus. The delivery order — and therefore every report
+//! and quarantine entry — is bit-identical at every `(window, threads)`
+//! combination.
+//!
 //! ### Approximations relative to the paper
 //!
 //! * Entities appearing on several sibling pages are counted once per slice
@@ -46,7 +60,7 @@ use crate::budget::{self, BreachKind, BudgetBreach, BudgetScope, SourceBudget};
 use crate::config::CostModel;
 use crate::detector::{DetectInput, SliceDetector};
 use crate::faultinject;
-use crate::parallel::par_map_isolated;
+use crate::parallel::par_map_streamed;
 use crate::quarantine::{Quarantine, SourceFault, Stage};
 use crate::slice::DiscoveredSlice;
 use crate::source::SourceFacts;
@@ -94,6 +108,7 @@ pub struct Framework<'a, D: SliceDetector> {
     policy: ExportPolicy,
     threads: usize,
     budget: SourceBudget,
+    stream_window: Option<usize>,
 }
 
 impl<'a, D: SliceDetector> Framework<'a, D> {
@@ -105,6 +120,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             policy: ExportPolicy::PositiveOnly,
             threads: 1,
             budget: SourceBudget::unlimited(),
+            stream_window: None,
         }
     }
 
@@ -125,6 +141,22 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
     pub fn with_budget(mut self, budget: SourceBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Bounds the number of shards admitted to a round's pool at once
+    /// (`None` = unbounded: the whole round in flight, the pre-streaming
+    /// behaviour). Smaller windows cap peak resident memory — a completed
+    /// shard's fact table, extents, and scratch buffers are released before
+    /// later shards are admitted — at the cost of pipeline slack when shard
+    /// sizes are very uneven. Reports are bit-identical at every window.
+    pub fn with_stream_window(mut self, window: Option<usize>) -> Self {
+        self.stream_window = window.map(|w| w.max(1));
+        self
+    }
+
+    /// Effective admission window for a round of `n` tasks.
+    fn window_for(&self, n: usize) -> usize {
+        self.stream_window.map_or_else(|| n.max(1), |w| w.max(1))
     }
 
     /// The per-task guard: fault injection hooks, then the up-front
@@ -152,7 +184,10 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                 Some(existing) => {
                     let merged = SourceFacts::merge(
                         s.url.clone(),
-                        [std::mem::replace(existing, SourceFacts::new(s.url.clone(), vec![])), s],
+                        [
+                            std::mem::replace(existing, SourceFacts::new(s.url.clone(), vec![])),
+                            s,
+                        ],
                     );
                     *existing = merged;
                 }
@@ -168,50 +203,59 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         // Round 0: per-source detection, entity-based initial slices. Each
         // leaf runs isolated under the per-source budget; `index` is the
         // leaf's position in the deterministic sorted source order (the
-        // coordinate fault-injection plans target).
+        // coordinate fault-injection plans target). Leaves stream through a
+        // bounded window: each result is folded into the candidate map in
+        // source order as soon as its turn completes, so only `window`
+        // detections' worth of state is ever in flight.
+        let leaf_meta: Vec<(SourceUrl, usize)> =
+            by_url.values().map(|s| (s.url.clone(), s.len())).collect();
         let leaf_sources: Vec<(usize, &SourceFacts)> = by_url.values().enumerate().collect();
-        let detected = par_map_isolated(self.threads, leaf_sources, |(index, src)| {
-            self.guard_task(src.url.as_str(), index, src.len());
-            let _scope = BudgetScope::enter(&self.budget);
-            self.detector.detect(DetectInput {
-                source: src,
-                kb,
-                seeds: &[],
-            })
-        });
-        detect_calls += detected.len();
+        detect_calls += leaf_sources.len();
+        let window = self.window_for(leaf_sources.len());
 
         let mut candidates: BTreeMap<SourceUrl, Vec<Candidate>> = BTreeMap::new();
         let mut faulted: Vec<SourceUrl> = Vec::new();
-        for (src, result) in by_url.values().zip(detected) {
-            let slices = match result {
-                Ok(slices) => slices,
-                Err(fault) => {
-                    quarantine.push(SourceFault {
-                        source: src.url.as_str().to_string(),
-                        stage: Stage::Detect,
-                        cause: fault.cause,
-                        facts_seen: src.len(),
-                    });
-                    faulted.push(src.url.clone());
-                    continue;
-                }
-            };
-            let mut kept: Vec<Candidate> = slices
-                .into_iter()
-                .filter(|s| self.exportable(s))
-                .map(|slice| Candidate {
-                    slice,
-                    origin_total_facts: src.len(),
+        par_map_streamed(
+            self.threads,
+            window,
+            leaf_sources,
+            |(index, src)| {
+                self.guard_task(src.url.as_str(), index, src.len());
+                let _scope = BudgetScope::enter(&self.budget);
+                self.detector.detect(DetectInput {
+                    source: src,
+                    kb,
+                    seeds: &[],
                 })
-                .collect();
-            if !kept.is_empty() {
-                candidates
-                    .entry(src.url.clone())
-                    .or_default()
-                    .append(&mut kept);
-            }
-        }
+            },
+            |index, result| {
+                let (url, facts_seen) = &leaf_meta[index];
+                match result {
+                    Ok(slices) => {
+                        let mut kept: Vec<Candidate> = slices
+                            .into_iter()
+                            .filter(|s| self.exportable(s))
+                            .map(|slice| Candidate {
+                                slice,
+                                origin_total_facts: *facts_seen,
+                            })
+                            .collect();
+                        if !kept.is_empty() {
+                            candidates.entry(url.clone()).or_default().append(&mut kept);
+                        }
+                    }
+                    Err(fault) => {
+                        quarantine.push(SourceFault {
+                            source: url.as_str().to_string(),
+                            stage: Stage::Detect,
+                            cause: fault.cause,
+                            facts_seen: *facts_seen,
+                        });
+                        faulted.push(url.clone());
+                    }
+                }
+            },
+        );
         // Discard quarantined leaves *before* the merge loop: their facts
         // never reach a parent, so the run over the surviving N−k sources is
         // identical to a clean run that was never given the faulted k.
@@ -224,37 +268,23 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         let mut rounds = 0usize;
         for d in (1..=max_depth).rev() {
             rounds += 1;
-            // Merge sources at depth d into their parents.
-            let deep_urls: Vec<SourceUrl> = by_url
-                .keys()
-                .filter(|u| u.depth() == d)
-                .cloned()
-                .collect();
-            let mut touched_parents: Vec<SourceUrl> = Vec::new();
+            // Merge sources at depth d into their parents: group each
+            // parent's children first, then merge every group in one pass
+            // (one sort + dedup per parent instead of one per child).
+            let deep_urls: Vec<SourceUrl> =
+                by_url.keys().filter(|u| u.depth() == d).cloned().collect();
+            let mut regrouped: BTreeMap<SourceUrl, Vec<SourceFacts>> = BTreeMap::new();
             for url in deep_urls {
                 let child = by_url.remove(&url).expect("url present");
                 let parent = url.parent().expect("depth ≥ 1 has a parent");
-                if !touched_parents.contains(&parent) {
-                    touched_parents.push(parent.clone());
+                regrouped.entry(parent).or_default().push(child);
+            }
+            for (parent, mut children) in regrouped {
+                if let Some(own) = by_url.remove(&parent) {
+                    children.push(own);
                 }
-                match by_url.get_mut(&parent) {
-                    Some(existing) => {
-                        let merged = SourceFacts::merge(
-                            parent.clone(),
-                            [
-                                std::mem::replace(
-                                    existing,
-                                    SourceFacts::new(parent.clone(), vec![]),
-                                ),
-                                child,
-                            ],
-                        );
-                        *existing = merged;
-                    }
-                    None => {
-                        by_url.insert(parent.clone(), SourceFacts::merge(parent.clone(), [child]));
-                    }
-                }
+                let merged = SourceFacts::merge(parent.clone(), children);
+                by_url.insert(parent, merged);
             }
 
             // Shard candidates at depth d by parent.
@@ -278,53 +308,64 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                 }
             }
 
-            // Detect + consolidate per parent shard, in parallel. Tasks
-            // borrow the work list so that a faulting parent's child
-            // candidates can be recovered afterwards.
+            // Detect + consolidate per parent shard, streamed through the
+            // bounded window. Tasks borrow the work list so that a faulting
+            // parent's child candidates can be recovered in the sink (the
+            // clone happens only on that rare fault path).
             let work: Vec<(SourceUrl, Vec<Candidate>)> = shards.into_iter().collect();
             detect_calls += work.len();
             let indices: Vec<usize> = (0..work.len()).collect();
-            let results = par_map_isolated(self.threads, indices, |wi| {
-                let (parent, inputs) = &work[wi];
-                // Merge-round tasks are only addressable by URL substring
-                // (index coordinates name round-0 leaves).
-                self.guard_task(parent.as_str(), usize::MAX, by_url[parent].len());
-                let _scope = BudgetScope::enter(&self.budget);
-                let parent_src = &by_url[parent];
-                let seeds = seed_sets(inputs);
-                let detected = self.detector.detect(DetectInput {
-                    source: parent_src,
-                    kb,
-                    seeds: &seeds,
-                });
-                self.consolidate(detected, inputs.clone(), parent_src.len())
-            });
-            for ((parent, inputs), result) in work.into_iter().zip(results) {
-                let survivors = match result {
-                    Ok(survivors) => survivors,
-                    Err(fault) => {
-                        quarantine.push(SourceFault {
-                            source: parent.as_str().to_string(),
-                            stage: Stage::Consolidate,
-                            cause: fault.cause,
-                            facts_seen: by_url.get(&parent).map_or(0, SourceFacts::len),
-                        });
-                        // The parent's own detection is lost, but the
-                        // children's candidates keep competing upward.
-                        if !inputs.is_empty() {
-                            candidates.entry(parent).or_default().extend(inputs);
+            let window = self.window_for(work.len());
+            par_map_streamed(
+                self.threads,
+                window,
+                indices,
+                |wi| {
+                    let (parent, inputs) = &work[wi];
+                    // Merge-round tasks are only addressable by URL substring
+                    // (index coordinates name round-0 leaves).
+                    self.guard_task(parent.as_str(), usize::MAX, by_url[parent].len());
+                    let _scope = BudgetScope::enter(&self.budget);
+                    let parent_src = &by_url[parent];
+                    let seeds = seed_sets(inputs);
+                    let detected = self.detector.detect(DetectInput {
+                        source: parent_src,
+                        kb,
+                        seeds: &seeds,
+                    });
+                    self.consolidate(detected, inputs.clone(), parent_src.len())
+                },
+                |wi, result| {
+                    let (parent, inputs) = &work[wi];
+                    match result {
+                        Ok(survivors) => {
+                            let kept: Vec<Candidate> = survivors
+                                .into_iter()
+                                .filter(|c| self.exportable(&c.slice))
+                                .collect();
+                            if !kept.is_empty() {
+                                candidates.entry(parent.clone()).or_default().extend(kept);
+                            }
                         }
-                        continue;
+                        Err(fault) => {
+                            quarantine.push(SourceFault {
+                                source: parent.as_str().to_string(),
+                                stage: Stage::Consolidate,
+                                cause: fault.cause,
+                                facts_seen: by_url.get(parent).map_or(0, SourceFacts::len),
+                            });
+                            // The parent's own detection is lost, but the
+                            // children's candidates keep competing upward.
+                            if !inputs.is_empty() {
+                                candidates
+                                    .entry(parent.clone())
+                                    .or_default()
+                                    .extend(inputs.iter().cloned());
+                            }
+                        }
                     }
-                };
-                let kept: Vec<Candidate> = survivors
-                    .into_iter()
-                    .filter(|c| self.exportable(&c.slice))
-                    .collect();
-                if !kept.is_empty() {
-                    candidates.entry(parent).or_default().extend(kept);
-                }
-            }
+                },
+            );
         }
 
         let mut slices: Vec<DiscoveredSlice> = candidates
@@ -428,7 +469,7 @@ fn seed_sets(inputs: &[Candidate]) -> Vec<Vec<(Symbol, Symbol)>> {
         if c.slice.properties.is_empty() {
             continue;
         }
-        if !seeds.iter().any(|s| *s == c.slice.properties) {
+        if !seeds.contains(&c.slice.properties) {
             seeds.push(c.slice.properties.clone());
         }
     }
@@ -484,7 +525,10 @@ mod tests {
         let desc = s5.describe(&t);
         assert!(desc.contains("rocket_family"));
         assert!(report.rounds >= 2, "pages → sub-domain → domain");
-        assert!(report.quarantine.is_empty(), "clean run quarantines nothing");
+        assert!(
+            report.quarantine.is_empty(),
+            "clean run quarantines nothing"
+        );
     }
 
     #[test]
@@ -550,6 +594,29 @@ mod tests {
             assert_eq!(a.source, b.source);
             assert_eq!(a.entities, b.entities);
             assert!((a.profit - b.profit).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stream_window_never_changes_the_report() {
+        let (_, unbounded) = run_running_example(4);
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        for window in [1usize, 2, 3] {
+            for threads in [1usize, 4] {
+                let fw = Framework::new(&alg, alg.config.cost)
+                    .with_threads(threads)
+                    .with_stream_window(Some(window));
+                let report = fw.run(pages.clone(), &kb);
+                assert_eq!(report.slices.len(), unbounded.slices.len());
+                for (a, b) in report.slices.iter().zip(&unbounded.slices) {
+                    assert_eq!(a.source, b.source);
+                    assert_eq!(a.entities, b.entities);
+                    assert_eq!(a.profit.to_bits(), b.profit.to_bits());
+                }
+                assert_eq!(report.detect_calls, unbounded.detect_calls);
+            }
         }
     }
 

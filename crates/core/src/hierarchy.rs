@@ -29,6 +29,10 @@ use crate::profit::ProfitCtx;
 /// Index of a node in the hierarchy.
 pub type NodeId = u32;
 
+/// One node's profit evaluation: `(node, profit, f(child SLB set), child
+/// SLB slices)` — `None` when the node was removed before evaluation.
+type ProfitEval = Option<(NodeId, f64, f64, Vec<NodeId>)>;
+
 /// One slice node.
 #[derive(Debug, Clone)]
 pub struct SliceNode {
@@ -46,6 +50,11 @@ pub struct SliceNode {
     pub canonical: bool,
     /// `true` once the node is deleted as non-canonical.
     pub removed: bool,
+    /// `true` once the node's extent has been released at a level boundary
+    /// (removed nodes only). A freed extent reads as the empty set; report
+    /// paths must go through [`SliceNode::live_extent`], which asserts this
+    /// flag is clear.
+    pub extent_freed: bool,
     /// `false` once the node is pruned as low-profit.
     pub valid: bool,
     /// `f({S})` for this node.
@@ -54,6 +63,20 @@ pub struct SliceNode {
     pub slb_profit: f64,
     /// The slice set `SLB(S)` achieving `slb_profit`.
     pub slb_slices: Vec<NodeId>,
+}
+
+impl SliceNode {
+    /// The node's extent, for report/traversal paths. Asserts (in debug
+    /// builds) that the extent was not freed by the eager level-boundary
+    /// release — only removed nodes are ever freed, and removed nodes must
+    /// never reach a report.
+    pub fn live_extent(&self) -> &ExtentSet {
+        debug_assert!(
+            !self.extent_freed,
+            "read of a freed extent: node was removed and released at a level boundary"
+        );
+        &self.extent
+    }
 }
 
 /// The constructed (and pruned) slice hierarchy of one web source.
@@ -160,6 +183,19 @@ impl SliceHierarchy {
         self.lookup(set_hash(props), props)
     }
 
+    /// Consumes the hierarchy once a shard's report is materialized,
+    /// returning every node's extent and link/SLB buffers to the scratch
+    /// pool. Purely an optimisation — dropping the hierarchy is always
+    /// correct.
+    pub fn recycle(self) {
+        for node in self.nodes {
+            node.extent.recycle();
+            crate::scratch::put_ids(node.children);
+            crate::scratch::put_ids(node.parents);
+            crate::scratch::put_ids(node.slb_slices);
+        }
+    }
+
     // ---- construction -----------------------------------------------------
 
     fn lookup(&self, hash: u64, props: &[PropertyId]) -> Option<NodeId> {
@@ -197,6 +233,7 @@ impl SliceHierarchy {
             is_initial: false,
             canonical: false,
             removed: false,
+            extent_freed: false,
             valid: true,
             profit: 0.0,
             slb_profit: 0.0,
@@ -291,6 +328,7 @@ impl SliceHierarchy {
                 if !node.removed {
                     node.removed = true;
                     self.live -= 1;
+                    self.free_extent(id);
                 }
                 continue;
             }
@@ -298,7 +336,12 @@ impl SliceHierarchy {
         }
     }
 
-    fn construct_and_prune(&mut self, table: &FactTable, ctx: &ProfitCtx<'_>, config: &MidasConfig) {
+    fn construct_and_prune(
+        &mut self,
+        table: &FactTable,
+        ctx: &ProfitCtx<'_>,
+        config: &MidasConfig,
+    ) {
         for l in (1..=self.max_level).rev() {
             // Cooperative per-source budget check at the level boundary: a
             // source whose hierarchy outgrew its node cap or deadline is
@@ -394,6 +437,9 @@ impl SliceHierarchy {
                 };
                 self.link(pid, id);
             }
+            if let Some((pre, suf)) = chains.take() {
+                recycle_chains(pre, suf);
+            }
         }
     }
 
@@ -420,9 +466,9 @@ impl SliceHierarchy {
                 .map(|skip| {
                     let parent_hash = child_hash ^ prop_hash(props[skip]);
                     this.by_hash.get(&parent_hash).is_some_and(|cands| {
-                        cands.iter().any(|&c| {
-                            props_match_skip(&this.nodes[c as usize].props, props, skip)
-                        })
+                        cands
+                            .iter()
+                            .any(|&c| props_match_skip(&this.nodes[c as usize].props, props, skip))
                     })
                 })
                 .collect();
@@ -454,6 +500,9 @@ impl SliceHierarchy {
                     })
                 })
                 .collect();
+            if let Some((pre, suf)) = chains.take() {
+                recycle_chains(pre, suf);
+            }
             (id, per_skip)
         });
         for (id, per_skip) in plans {
@@ -465,9 +514,10 @@ impl SliceHierarchy {
             for (skip, plan) in per_skip.into_iter().enumerate() {
                 let parent_hash = child_hash ^ prop_hash(props[skip]);
                 let existing = self.by_hash.get(&parent_hash).and_then(|cands| {
-                    cands.iter().copied().find(|&c| {
-                        props_match_skip(&self.nodes[c as usize].props, &props, skip)
-                    })
+                    cands
+                        .iter()
+                        .copied()
+                        .find(|&c| props_match_skip(&self.nodes[c as usize].props, &props, skip))
                 });
                 let pid = match existing {
                     Some(pid) => pid,
@@ -484,6 +534,20 @@ impl SliceHierarchy {
                 };
                 self.link(pid, id);
             }
+        }
+    }
+
+    /// Releases the extent of a removed node into the scratch pool, leaving
+    /// a canonical empty set behind. Sequential and parallel builds remove
+    /// the same nodes in the same order, so freed extents stay
+    /// node-for-node identical across thread counts.
+    fn free_extent(&mut self, id: NodeId) {
+        let node = &mut self.nodes[id as usize];
+        debug_assert!(node.removed, "only removed nodes lose their extent");
+        if !node.extent_freed {
+            let universe = node.extent.universe();
+            std::mem::replace(&mut node.extent, ExtentSet::empty(universe)).recycle();
+            node.extent_freed = true;
         }
     }
 
@@ -568,9 +632,12 @@ impl SliceHierarchy {
                 continue;
             }
             // Remove the node; re-link children to parents unless already
-            // reachable through another path.
+            // reachable through another path. Its extent is dead weight from
+            // here on — release it at this level boundary (ROADMAP
+            // "Hierarchy memory") instead of holding it until the report.
             self.nodes[id as usize].removed = true;
             self.live -= 1;
+            self.free_extent(id);
             let (parents, children) = self.unlink_all(id);
             for &p in &parents {
                 for &c in &children {
@@ -593,43 +660,45 @@ impl SliceHierarchy {
     fn evaluate_and_prune_profit(&mut self, ctx: &ProfitCtx<'_>, config: &MidasConfig, l: usize) {
         let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
         let this: &SliceHierarchy = self;
-        let evals: Vec<Option<(NodeId, f64, f64, Vec<NodeId>)>> =
-            par_map(config.threads, ids, |id| {
-                if this.nodes[id as usize].removed {
-                    return None;
-                }
-                let node = &this.nodes[id as usize];
-                let profit = ctx.profit_single(&node.extent);
+        let evals: Vec<ProfitEval> = par_map(config.threads, ids, |id| {
+            if this.nodes[id as usize].removed {
+                return None;
+            }
+            let node = &this.nodes[id as usize];
+            let profit = ctx.profit_single(&node.extent);
 
-                // Union of the children's lower-bound slice sets (those with
-                // positive lower-bound profit).
-                let mut child_set: Vec<NodeId> = Vec::new();
-                let mut seen: FnvHashSet<NodeId> = FnvHashSet::default();
-                for &c in &node.children {
-                    let cn = &this.nodes[c as usize];
-                    if cn.slb_profit > 0.0 {
-                        for &s in &cn.slb_slices {
-                            if seen.insert(s) {
-                                child_set.push(s);
-                            }
+            // Union of the children's lower-bound slice sets (those with
+            // positive lower-bound profit).
+            let mut child_set: Vec<NodeId> = Vec::new();
+            let mut seen: FnvHashSet<NodeId> = FnvHashSet::default();
+            for &c in &node.children {
+                let cn = &this.nodes[c as usize];
+                if cn.slb_profit > 0.0 {
+                    for &s in &cn.slb_slices {
+                        if seen.insert(s) {
+                            child_set.push(s);
                         }
                     }
                 }
-                let f_child_set = if child_set.is_empty() {
-                    0.0
-                } else {
-                    // Union the SLB extents into a scratch bitmap instead of
-                    // merging sorted vectors pairwise — O(Σ|extent|) marks
-                    // plus one fused word-wise count.
-                    let mut covered = vec![0u64; ctx.table().num_entities().div_ceil(64)];
+            }
+            let f_child_set = if child_set.is_empty() {
+                0.0
+            } else {
+                // Union the SLB extents into a pooled bitmap instead of
+                // merging sorted vectors pairwise — O(Σ|extent|) marks
+                // plus one fused word-wise count, and the bitmap is
+                // recycled across nodes, levels, and shards.
+                let words = ctx.table().num_entities().div_ceil(64);
+                let (new_facts, total_facts) = crate::scratch::with_bitmap(words, |covered| {
                     for &s in &child_set {
-                        this.nodes[s as usize].extent.mark_into(&mut covered);
+                        this.nodes[s as usize].live_extent().mark_into(covered);
                     }
-                    let (new_facts, total_facts) = ctx.table().fact_counts_from_blocks(&covered);
-                    ctx.profit_from_counts(new_facts, total_facts, child_set.len())
-                };
-                Some((id, profit, f_child_set, child_set))
-            });
+                    ctx.table().fact_counts_from_blocks(covered)
+                });
+                ctx.profit_from_counts(new_facts, total_facts, child_set.len())
+            };
+            Some((id, profit, f_child_set, child_set))
+        });
 
         for (id, profit, f_child_set, child_set) in evals.into_iter().flatten() {
             let node = &mut self.nodes[id as usize];
@@ -712,6 +781,15 @@ fn extent_chains(table: &FactTable, props: &[PropertyId]) -> (Vec<ExtentSet>, Ve
     (pre, suf)
 }
 
+/// Returns the chain sets of [`extent_chains`] to the scratch pool once all
+/// parent extents of a child have been derived (the derived extents are
+/// clones or fresh intersections, never views into the chains).
+fn recycle_chains(pre: Vec<ExtentSet>, suf: Vec<ExtentSet>) {
+    for e in pre.into_iter().chain(suf) {
+        e.recycle();
+    }
+}
+
 fn is_subset(sub: &[PropertyId], sup: &[PropertyId]) -> bool {
     // Both sorted.
     let mut j = 0;
@@ -735,16 +813,16 @@ mod tests {
     use crate::fixtures::skyrocket;
     use midas_kb::Interner;
 
-    fn build_running_example(
-        terms: &mut Interner,
-    ) -> (FactTable, MidasConfig) {
+    fn build_running_example(terms: &mut Interner) -> (FactTable, MidasConfig) {
         let (src, kb) = skyrocket(terms);
         let ft = FactTable::build(&src, &kb);
         (ft, MidasConfig::running_example())
     }
 
     fn prop(ft: &FactTable, t: &mut Interner, p: &str, v: &str) -> PropertyId {
-        ft.catalog().get(t.intern(p), t.intern(v)).expect("property")
+        ft.catalog()
+            .get(t.intern(p), t.intern(v))
+            .expect("property")
     }
 
     fn find_node(
@@ -765,10 +843,46 @@ mod tests {
         let ctx = ProfitCtx::new(&ft, cfg.cost);
         let h = SliceHierarchy::build(&ft, &ctx, &cfg);
         // Figure 5a: S1, S2, S3 at level 3 and S4 at level 2 are initial.
-        let s1 = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("started", "1959"), ("sponsor", "NASA")]).unwrap();
-        let s2 = find_node(&h, &ft, &mut t, &[("category", "rocket_family"), ("started", "1957"), ("sponsor", "NASA")]).unwrap();
-        let s3 = find_node(&h, &ft, &mut t, &[("category", "rocket_family"), ("started", "1971"), ("sponsor", "NASA")]).unwrap();
-        let s4 = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("sponsor", "NASA")]).unwrap();
+        let s1 = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[
+                ("category", "space_program"),
+                ("started", "1959"),
+                ("sponsor", "NASA"),
+            ],
+        )
+        .unwrap();
+        let s2 = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[
+                ("category", "rocket_family"),
+                ("started", "1957"),
+                ("sponsor", "NASA"),
+            ],
+        )
+        .unwrap();
+        let s3 = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[
+                ("category", "rocket_family"),
+                ("started", "1971"),
+                ("sponsor", "NASA"),
+            ],
+        )
+        .unwrap();
+        let s4 = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[("category", "space_program"), ("sponsor", "NASA")],
+        )
+        .unwrap();
         for id in [s1, s2, s3, s4] {
             assert!(h.node(id).is_initial);
             assert!(h.node(id).canonical);
@@ -782,7 +896,13 @@ mod tests {
         let (ft, cfg) = build_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
         let h = SliceHierarchy::build(&ft, &ctx, &cfg);
-        let s5 = find_node(&h, &ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]).unwrap();
+        let s5 = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[("category", "rocket_family"), ("sponsor", "NASA")],
+        )
+        .unwrap();
         let n = h.node(s5);
         assert!(!n.is_initial, "S5 is generated, not initial");
         assert!(n.canonical, "S5 has two canonical children S2, S3");
@@ -799,7 +919,12 @@ mod tests {
         let h = SliceHierarchy::build(&ft, &ctx, &cfg);
         // {c1, c3} ("space programs started in 1959") selects the same
         // entity as S1 but with fewer properties — non-canonical.
-        let id = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("started", "1959")]);
+        let id = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[("category", "space_program"), ("started", "1959")],
+        );
         match id {
             None => {}
             Some(id) => assert!(h.node(id).removed),
@@ -830,11 +955,27 @@ mod tests {
         let (ft, cfg) = build_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
         let h = SliceHierarchy::build(&ft, &ctx, &cfg);
-        let s4 = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("sponsor", "NASA")]).unwrap();
+        let s4 = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[("category", "space_program"), ("sponsor", "NASA")],
+        )
+        .unwrap();
         assert!(!h.node(s4).valid);
         assert!((h.node(s4).profit - (-1.083)).abs() < 1e-9);
         assert_eq!(h.node(s4).slb_profit, 0.0);
-        let s1 = find_node(&h, &ft, &mut t, &[("category", "space_program"), ("started", "1959"), ("sponsor", "NASA")]).unwrap();
+        let s1 = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[
+                ("category", "space_program"),
+                ("started", "1959"),
+                ("sponsor", "NASA"),
+            ],
+        )
+        .unwrap();
         assert!(!h.node(s1).valid);
         assert!((h.node(s1).profit - (-1.043)).abs() < 1e-9);
     }
@@ -1086,7 +1227,12 @@ mod tests {
         assert!(h.capped, "cap must be reported");
         // S5 = {category=rocket_family, sponsor=NASA} is generated mid-level
         // after the count passed the cap — the level still finishes.
-        let s5 = find_node(&h, &ft, &mut t, &[("category", "rocket_family"), ("sponsor", "NASA")]);
+        let s5 = find_node(
+            &h,
+            &ft,
+            &mut t,
+            &[("category", "rocket_family"), ("sponsor", "NASA")],
+        );
         assert!(s5.is_some(), "level 3 → 2 must be expanded in full");
         // No level-1 node exists at all: level 2 → 1 was skipped atomically.
         assert_eq!(h.level(1).count(), 0);

@@ -43,6 +43,7 @@ pub mod incremental;
 pub mod parallel;
 pub mod profit;
 pub mod quarantine;
+pub mod scratch;
 pub mod single_source;
 pub mod slice;
 pub mod source;
@@ -51,16 +52,16 @@ pub mod traversal;
 pub use budget::{BreachKind, BudgetBreach, BudgetScope, SourceBudget};
 pub use config::{CostModel, MidasConfig};
 pub use detector::{DetectInput, SliceDetector};
-pub use faultinject::FaultPlan;
-pub use quarantine::{FaultCause, Quarantine, SourceFault, Stage};
 pub use enrich::RangeEnrichment;
 pub use explain::ProfitBreakdown;
 pub use extent::ExtentSet;
 pub use fact_table::{EntityId, FactTable, PropertyCatalog, PropertyId};
+pub use faultinject::FaultPlan;
 pub use framework::{ExportPolicy, Framework, FrameworkReport};
 pub use hierarchy::SliceHierarchy;
 pub use incremental::{AugmentationStep, Augmenter};
 pub use profit::ProfitCtx;
+pub use quarantine::{FaultCause, Quarantine, SourceFault, Stage};
 pub use single_source::MidasAlg;
 pub use slice::{DiscoveredSlice, SliceSetStats};
 pub use source::SourceFacts;

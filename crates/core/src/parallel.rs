@@ -6,6 +6,14 @@
 //! [`par_map`] and then apply the results sequentially in a deterministic
 //! order, so parallel and sequential runs produce identical structures.
 //!
+//! The engine underneath is [`par_map_streamed`]: a **bounded-window
+//! streaming map**. At most `window` items are admitted at once — counting
+//! both tasks in flight and results buffered for in-order delivery — and
+//! each result is handed to a sink callback in input order as soon as its
+//! turn completes, so the caller can release a shard's state eagerly instead
+//! of holding all `n` results until the round ends. [`par_map_isolated`] is
+//! the window = `n` special case that collects into a vector.
+//!
 //! The pool is **panic-safe**: every task body runs under `catch_unwind`, so
 //! one misbehaving task cannot unwind the scope and take the other tasks'
 //! results with it. [`par_map_isolated`] surfaces per-item faults as
@@ -23,6 +31,7 @@
 use crate::budget;
 use crate::quarantine::FaultCause;
 use crossbeam::channel::{self, RecvTimeoutError};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -70,53 +79,69 @@ pub fn run_isolated<R>(f: impl FnOnce() -> R) -> Result<R, FaultCause> {
     catch_unwind(AssertUnwindSafe(f)).map_err(FaultCause::from_panic_payload)
 }
 
-/// Order-preserving parallel map over `items` with `threads` workers,
-/// surfacing per-item faults.
+/// The `FaultCause` of a task abandoned at the pool's deadline.
+fn deadline_cause() -> FaultCause {
+    run_isolated(|| budget::breach_deadline()).expect_err("breach always unwinds")
+}
+
+/// Converts a delivered slot into the sink's `Result` form.
+fn finish_slot<R>(index: usize, out: Option<Result<R, FaultCause>>) -> Result<R, TaskFault> {
+    match out {
+        Some(Ok(r)) => Ok(r),
+        Some(Err(cause)) => Err(TaskFault { index, cause }),
+        // Slot skipped after cancellation (or lost to an abandoned pool):
+        // the deadline elapsed before this task ran.
+        None => Err(TaskFault {
+            index,
+            cause: deadline_cause(),
+        }),
+    }
+}
+
+/// Streaming order-preserving parallel map with a bounded admission window.
 ///
-/// Every task runs isolated: a panic (or budget breach) in one task becomes
-/// `Err(TaskFault)` at that item's position while every other task runs to
-/// completion. Output order always matches input order, whatever the thread
-/// count — fault positions never perturb the order or values of surviving
-/// results.
+/// At most `window` items are admitted at once — in flight on a worker or
+/// buffered awaiting in-order delivery — so the caller's peak resident state
+/// is proportional to the window, not to `items.len()`. Each result is
+/// handed to `sink(index, result)` in input order the moment its turn
+/// completes; `sink` runs on the calling thread and is called exactly once
+/// per item, faulted or not.
 ///
-/// With `threads <= 1` (or fewer than two items) this degrades to a plain
-/// sequential loop with no thread or channel overhead.
-pub fn par_map_isolated<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<Result<R, TaskFault>>
+/// Every task runs isolated (see [`par_map_isolated`]); deadline handling,
+/// fault conversion, and the sequential fallback for `threads <= 1` are
+/// identical, so a streamed run produces bit-identical sink invocations at
+/// every `(window, threads)` combination.
+pub fn par_map_streamed<T, R, F, S>(threads: usize, window: usize, items: Vec<T>, f: F, mut sink: S)
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
+    S: FnMut(usize, Result<R, TaskFault>),
 {
     let n = items.len();
     let deadline = budget::active_deadline();
     if threads <= 1 || n <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(index, item)| {
-                if let Some(d) = deadline {
-                    if Instant::now() >= d {
-                        return Err(TaskFault {
-                            index,
-                            cause: run_isolated(|| budget::breach_deadline())
-                                .expect_err("breach always unwinds"),
-                        });
-                    }
+        for (index, item) in items.into_iter().enumerate() {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    sink(index, finish_slot(index, None));
+                    continue;
                 }
-                run_isolated(|| f(item)).map_err(|cause| TaskFault { index, cause })
-            })
-            .collect();
+            }
+            sink(
+                index,
+                run_isolated(|| f(item)).map_err(|cause| TaskFault { index, cause }),
+            );
+        }
+        return;
     }
 
+    let window = window.max(1);
     let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
     let (res_tx, res_rx) = channel::unbounded::<(usize, Option<Result<R, FaultCause>>)>();
-    for (i, item) in items.into_iter().enumerate() {
-        task_tx.send((i, item)).expect("open channel");
-    }
-    drop(task_tx);
     let cancelled = AtomicBool::new(false);
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
+        for _ in 0..threads.min(n).min(window) {
             let task_rx = task_rx.clone();
             let res_tx = res_tx.clone();
             let f = &f;
@@ -124,7 +149,8 @@ where
             scope.spawn(move |_| {
                 while let Ok((i, item)) = task_rx.recv() {
                     // After cancellation we still drain the queue so the
-                    // collector sees exactly n markers, but skip the work.
+                    // collector sees exactly one marker per admitted item,
+                    // but skip the work.
                     let out = if cancelled.load(Ordering::Acquire) {
                         None
                     } else {
@@ -135,10 +161,29 @@ where
             });
         }
         drop(res_tx);
-        let mut results: Vec<Option<Result<R, FaultCause>>> = (0..n).map(|_| None).collect();
-        let mut received = 0usize;
-        let mut skipped = false;
-        while received < n {
+        let mut feed = items.into_iter().enumerate();
+        // Results that completed out of order, keyed by input index. Entries
+        // here still count against the window, so buffered memory is bounded
+        // by `window` items too.
+        let mut pending: BTreeMap<usize, Option<Result<R, FaultCause>>> = BTreeMap::new();
+        let mut in_flight = 0usize;
+        let mut next = 0usize;
+        while next < n {
+            while in_flight < window {
+                match feed.next() {
+                    Some((i, item)) => {
+                        task_tx.send((i, item)).expect("open channel");
+                        in_flight += 1;
+                    }
+                    None => break,
+                }
+            }
+            if in_flight == 0 {
+                // Feeder exhausted with nothing outstanding — only reachable
+                // when results were lost to a dead pool; the drain below
+                // fills the remaining slots.
+                break;
+            }
             let msg = match deadline {
                 Some(d) if !cancelled.load(Ordering::Acquire) => {
                     let now = Instant::now();
@@ -160,32 +205,54 @@ where
                 _ => res_rx.recv().ok(),
             };
             let Some((i, out)) = msg else { break };
-            received += 1;
-            match out {
-                Some(r) => results[i] = Some(r),
-                None => skipped = true,
+            pending.insert(i, out);
+            // Deliver every in-order result that is now ready; each delivery
+            // frees one window slot for the feeder.
+            while let Some(out) = pending.remove(&next) {
+                let index = next;
+                next += 1;
+                in_flight -= 1;
+                sink(index, finish_slot(index, out));
             }
         }
-        results
-            .into_iter()
-            .enumerate()
-            .map(|(index, slot)| match slot {
-                Some(Ok(r)) => Ok(r),
-                Some(Err(cause)) => Err(TaskFault { index, cause }),
-                // Slot skipped after cancellation: the pool's deadline
-                // elapsed before this task ran.
-                None => {
-                    debug_assert!(skipped || received < n);
-                    Err(TaskFault {
-                        index,
-                        cause: run_isolated(|| budget::breach_deadline())
-                            .expect_err("breach always unwinds"),
-                    })
-                }
-            })
-            .collect()
+        // Close the task channel so workers exit and the scope can join.
+        drop(task_tx);
+        // Abandoned-pool drain: deliver any remaining slots (buffered or
+        // never completed) so the sink always sees exactly n calls in order.
+        while next < n {
+            let index = next;
+            next += 1;
+            let out = pending.remove(&index).flatten();
+            sink(index, finish_slot(index, out));
+        }
     })
-    .expect("isolated workers do not panic")
+    .expect("isolated workers do not panic");
+}
+
+/// Order-preserving parallel map over `items` with `threads` workers,
+/// surfacing per-item faults.
+///
+/// Every task runs isolated: a panic (or budget breach) in one task becomes
+/// `Err(TaskFault)` at that item's position while every other task runs to
+/// completion. Output order always matches input order, whatever the thread
+/// count — fault positions never perturb the order or values of surviving
+/// results.
+///
+/// With `threads <= 1` (or fewer than two items) this degrades to a plain
+/// sequential loop with no thread or channel overhead.
+pub fn par_map_isolated<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<Result<R, TaskFault>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out = Vec::with_capacity(n);
+    par_map_streamed(threads, n.max(1), items, f, |index, r| {
+        debug_assert_eq!(index, out.len(), "sink delivery is in input order");
+        out.push(r);
+    });
+    out
 }
 
 /// Order-preserving parallel map over `items` with `threads` workers.
@@ -234,6 +301,81 @@ mod tests {
         assert_eq!(par_map(1, vec![3, 1, 2], |x| x + 1), vec![4, 2, 3]);
         assert_eq!(par_map(8, vec![7], |x| x - 1), vec![6]);
         assert_eq!(par_map(8, Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn streamed_delivers_in_order_at_every_window() {
+        for window in [1usize, 2, 3, 7, 64] {
+            for threads in [1usize, 4, 8] {
+                let mut seen: Vec<(usize, u32)> = Vec::new();
+                par_map_streamed(
+                    threads,
+                    window,
+                    (0u32..50).collect(),
+                    |x| x * 2,
+                    |i, r| {
+                        seen.push((i, r.expect("no faults injected")));
+                    },
+                );
+                let expect: Vec<(usize, u32)> =
+                    (0..50).map(|i| (i as usize, i as u32 * 2)).collect();
+                assert_eq!(seen, expect, "window {window}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_window_bounds_admission() {
+        use std::sync::atomic::AtomicUsize;
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let window = 3usize;
+        par_map_streamed(
+            8,
+            window,
+            (0u32..40).collect(),
+            |x| {
+                let cur = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(cur, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(1));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                x
+            },
+            |_, _| {},
+        );
+        assert!(
+            peak.load(Ordering::SeqCst) <= window,
+            "no more than `window` tasks may execute concurrently"
+        );
+    }
+
+    #[test]
+    fn streamed_surfaces_faults_in_order() {
+        for window in [1usize, 2, 16] {
+            let mut seen = Vec::new();
+            par_map_streamed(
+                4,
+                window,
+                (0u32..20).collect(),
+                |x| {
+                    if x % 5 == 0 {
+                        panic!("boom {x}");
+                    }
+                    x
+                },
+                |i, r| seen.push((i, r)),
+            );
+            assert_eq!(seen.len(), 20);
+            for (pos, (i, r)) in seen.iter().enumerate() {
+                assert_eq!(pos, *i, "sink order matches input order");
+                if pos % 5 == 0 {
+                    let fault = r.as_ref().unwrap_err();
+                    assert_eq!(fault.index, pos);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), pos as u32);
+                }
+            }
+        }
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl MidasAlg {
                 picked.push(best);
             }
         }
-        picked
+        let slices: Vec<DiscoveredSlice> = picked
             .into_iter()
             .map(|id| {
                 let node = hierarchy.node(id);
@@ -102,19 +102,29 @@ impl MidasAlg {
                     .map(|&p| table.catalog().pair(p))
                     .collect();
                 properties.sort_unstable();
-                let mut entities: Vec<Symbol> =
-                    node.extent.iter().map(|e| table.subject(e)).collect();
+                // `live_extent` asserts the eager level-boundary release
+                // never freed an extent a report still needs.
+                let mut entities: Vec<Symbol> = node
+                    .live_extent()
+                    .iter()
+                    .map(|e| table.subject(e))
+                    .collect();
                 entities.sort_unstable();
                 DiscoveredSlice {
                     source: source.url.clone(),
                     properties,
                     entities,
-                    num_facts: table.facts_sum(&node.extent) as usize,
-                    num_new_facts: table.new_sum(&node.extent) as usize,
+                    num_facts: table.facts_sum(node.live_extent()) as usize,
+                    num_new_facts: table.new_sum(node.live_extent()) as usize,
                     profit: node.profit,
                 }
             })
-            .collect()
+            .collect();
+        // The shard is finished: hand the hierarchy's and fact table's
+        // buffers back to the worker's scratch pool for the next shard.
+        hierarchy.recycle();
+        table.recycle();
+        slices
     }
 }
 
@@ -212,7 +222,10 @@ mod tests {
         let alg = MidasAlg::new(MidasConfig::running_example());
         let bogus = vec![vec![(t.intern("nonexistent"), t.intern("value"))]];
         let slices = alg.run_seeded(&src, &kb, &bogus);
-        assert!(slices.is_empty(), "a seed with no known property yields nothing");
+        assert!(
+            slices.is_empty(),
+            "a seed with no known property yields nothing"
+        );
     }
 
     #[test]

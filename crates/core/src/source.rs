@@ -31,9 +31,16 @@ impl SourceFacts {
     }
 
     /// Merges several children working sets into their parent's.
+    ///
+    /// The first child's buffer is reused and grown once to the combined
+    /// size, so merging `k` children performs at most one reallocation.
     pub fn merge(url: SourceUrl, children: impl IntoIterator<Item = SourceFacts>) -> Self {
-        let mut facts = Vec::new();
-        for c in children {
+        let children: Vec<SourceFacts> = children.into_iter().collect();
+        let total: usize = children.iter().map(SourceFacts::len).sum();
+        let mut iter = children.into_iter();
+        let mut facts = iter.next().map_or_else(Vec::new, |c| c.facts);
+        facts.reserve(total - facts.len());
+        for c in iter {
             facts.extend(c.facts);
         }
         SourceFacts::new(url, facts)
@@ -68,6 +75,6 @@ mod tests {
         let c2 = SourceFacts::new(u("http://x.com/d/2"), vec![a, b]);
         let parent = SourceFacts::merge(u("http://x.com/d"), [c1, c2]);
         assert_eq!(parent.len(), 2);
-        assert!(parent.is_empty() == false);
+        assert!(!parent.is_empty());
     }
 }

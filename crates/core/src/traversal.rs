@@ -20,8 +20,8 @@ pub fn traverse(h: &SliceHierarchy, ctx: &ProfitCtx<'_>) -> Vec<NodeId> {
             if !node.valid || covered[id as usize] {
                 continue;
             }
-            if acc.marginal(ctx, &node.extent) > 0.0 {
-                acc.add(ctx, &node.extent);
+            if acc.marginal(ctx, node.live_extent()) > 0.0 {
+                acc.add(ctx, node.live_extent());
                 result.push(id);
                 // Mark all descendants covered (Algorithm 1 lines 6–9).
                 let mut stack = vec![id];

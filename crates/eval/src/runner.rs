@@ -28,7 +28,11 @@ pub struct RunResult {
 impl RunResult {
     /// Keeps only positive-profit slices (what an operator would act on).
     pub fn positive(&self) -> Vec<DiscoveredSlice> {
-        self.slices.iter().filter(|s| s.profit > 0.0).cloned().collect()
+        self.slices
+            .iter()
+            .filter(|s| s.profit > 0.0)
+            .cloned()
+            .collect()
     }
 }
 
@@ -41,10 +45,7 @@ impl RunResult {
 pub fn merge_by_domain(sources: &[SourceFacts]) -> Vec<SourceFacts> {
     let mut by_domain: BTreeMap<SourceUrl, Vec<SourceFacts>> = BTreeMap::new();
     for s in sources {
-        by_domain
-            .entry(s.url.domain())
-            .or_default()
-            .push(s.clone());
+        by_domain.entry(s.url.domain()).or_default().push(s.clone());
     }
     by_domain
         .into_iter()
@@ -130,7 +131,8 @@ pub fn run_midas_framework(
     let alg = MidasAlg::new(config.clone());
     let fw = Framework::new(&alg, config.cost)
         .with_threads(threads)
-        .with_budget(config.budget);
+        .with_budget(config.budget)
+        .with_stream_window(config.stream_window);
     let start = Instant::now();
     let report = fw.run(sources, kb);
     RunResult {
@@ -181,8 +183,7 @@ mod tests {
     fn framework_run_produces_s5() {
         let mut t = Interner::new();
         let (pages, kb) = skyrocket_pages(&mut t);
-        let result =
-            run_midas_framework(&MidasConfig::running_example(), pages, &kb, 2);
+        let result = run_midas_framework(&MidasConfig::running_example(), pages, &kb, 2);
         assert_eq!(result.name, "midas");
         assert_eq!(result.slices.len(), 1);
         assert!(result.duration.as_nanos() > 0);

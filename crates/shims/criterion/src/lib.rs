@@ -11,7 +11,8 @@
 //!   (used by the `bench-smoke` runner for quick passes).
 //! - `MIDAS_BENCH_JSON=<path>` — append one JSON line per benchmark:
 //!   `{"bench":..., "median_ns":..., "mean_ns":..., "min_ns":...,
-//!   "max_ns":..., "samples":...}`.
+//!   "max_ns":..., "samples":..., "peak_rss_kb":...}` (`peak_rss_kb` is the
+//!   process-wide high-water mark so far — `VmHWM` on Linux, 0 elsewhere).
 //!
 //! Positional CLI arguments are treated as substring filters on benchmark
 //! names; `-`/`--` flags passed by `cargo bench` are ignored.
@@ -120,6 +121,25 @@ impl Bencher {
     }
 }
 
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); 0 when unavailable (non-Linux platforms).
+///
+/// The kernel counter is process-wide and monotone, so per-bench values in a
+/// shared process only bound memory from above; measure configurations in
+/// separate processes to compare them.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 fn human(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -160,8 +180,8 @@ fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     if let Ok(path) = std::env::var("MIDAS_BENCH_JSON") {
         if !path.is_empty() {
             let line = format!(
-                "{{\"bench\":{:?},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}\n",
-                name, median, mean, min, max, sorted.len()
+                "{{\"bench\":{:?},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"peak_rss_kb\":{}}}\n",
+                name, median, mean, min, max, sorted.len(), peak_rss_kb()
             );
             let written = OpenOptions::new()
                 .create(true)
@@ -295,6 +315,12 @@ mod tests {
     fn benchmark_id_forms() {
         assert_eq!(BenchmarkId::from_parameter(2500).id, "2500");
         assert_eq!(BenchmarkId::new("build", 7).id, "build/7");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        assert!(peak_rss_kb() > 0, "VmHWM should be readable");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Bench smoke runner: exercises the hot-path criterion benches at reduced
-# sample counts and records one JSON line per benchmark in BENCH_PR1.json
+# sample counts and records one JSON line per benchmark in BENCH_PR3.json
 # at the repo root (appended by the in-repo criterion shim — see
-# crates/shims/criterion).
+# crates/shims/criterion; every line carries a peak_rss_kb field).
 #
 # Entirely offline: the workspace builds with `--offline` against the
 # vendored/shimmed dependency set; no registry access and no new external
@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR3.json}"
 SAMPLES="${2:-10}"
 
 # cargo runs bench binaries with the package directory as cwd, so anchor a
@@ -30,6 +30,24 @@ for bench in hierarchy_build profit_eval interning; do
     echo "== $bench (samples=$SAMPLES) =="
     cargo bench --offline -p midas-bench --bench "$bench"
 done
+
+# Peak-RSS comparison: the streaming window must reduce peak resident
+# memory on a ≥200-source corpus. VmHWM is process-wide and monotone, so
+# each configuration runs in its own process.
+echo
+echo "== peak RSS: --stream-window 8 vs unbounded =="
+cargo build --offline -q --release -p midas-bench --bin peak_rss
+WINDOWED="$(./target/release/peak_rss --stream-window 8)"
+UNBOUNDED="$(./target/release/peak_rss)"
+printf '%s\n%s\n' "$WINDOWED" "$UNBOUNDED" | tee -a "$OUT"
+rss_of() { printf '%s' "$1" | sed -n 's/.*"peak_rss_kb":\([0-9]*\).*/\1/p'; }
+W_KB="$(rss_of "$WINDOWED")"
+U_KB="$(rss_of "$UNBOUNDED")"
+if [ "$W_KB" -ge "$U_KB" ]; then
+    echo "peak-RSS smoke FAILED: window 8 ($W_KB KiB) not below unbounded ($U_KB KiB)" >&2
+    exit 1
+fi
+echo "peak-RSS smoke OK: window 8 = $W_KB KiB < unbounded = $U_KB KiB"
 
 echo
 echo "== $OUT =="

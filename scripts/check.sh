@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-merge check gauntlet: formatting, lints as errors, and the full test
+# suite. Entirely offline. Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --offline
+
+echo "All checks passed."

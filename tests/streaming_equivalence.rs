@@ -1,0 +1,190 @@
+//! Streaming-window equivalence: the framework's report — slices *and*
+//! quarantine — is bit-identical across every `--stream-window` × thread
+//! count combination, with and without injected faults. The window may only
+//! change peak memory, never a result bit.
+//!
+//! The fault-injection plan is process-global, so tests that install one
+//! serialise on [`PLAN_LOCK`] (this file is its own test binary).
+
+use midas::core::faultinject;
+use midas::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the global-plan lock for one test and clears any installed plan on
+/// drop, so a failing test cannot poison the ones after it.
+struct PlanSession(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn plan_session() -> PlanSession {
+    PlanSession(PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+impl Drop for PlanSession {
+    fn drop(&mut self) {
+        faultinject::clear();
+    }
+}
+
+fn url(s: &str) -> SourceUrl {
+    SourceUrl::parse(s).unwrap()
+}
+
+/// `pages` pages under `section`, each with `per_page` entities of one
+/// vertical (2 defining properties + 1 unique fact per entity).
+fn vertical_pages(
+    t: &mut Interner,
+    section: &str,
+    stem: &str,
+    pages: usize,
+    per_page: usize,
+) -> Vec<SourceFacts> {
+    let mut out = Vec::new();
+    for p in 0..pages {
+        let mut facts = Vec::new();
+        for e in 0..per_page {
+            let name = format!("{stem}_{p}_{e}");
+            facts.push(Fact::intern(t, &name, "kind", stem));
+            facts.push(Fact::intern(t, &name, "site", &format!("{stem}_dir")));
+            facts.push(Fact::intern(t, &name, "serial", &format!("{stem}{p}{e}")));
+        }
+        out.push(SourceFacts::new(
+            url(&format!("{section}/page{p}.html")),
+            facts,
+        ));
+    }
+    out
+}
+
+/// 20 sources: 5 domains × 4 pages, each domain a distinct vertical.
+fn twenty_source_corpus(t: &mut Interner) -> Vec<SourceFacts> {
+    let mut sources = Vec::new();
+    for d in 0..5 {
+        sources.extend(vertical_pages(
+            t,
+            &format!("http://domain{d}.example.org/dir"),
+            &format!("stem{d}"),
+            4,
+            4,
+        ));
+    }
+    sources
+}
+
+fn run_with(
+    sources: Vec<SourceFacts>,
+    threads: usize,
+    window: Option<usize>,
+) -> midas::core::FrameworkReport {
+    let alg = MidasAlg::new(MidasConfig::running_example());
+    Framework::new(&alg, alg.config.cost)
+        .with_threads(threads)
+        .with_stream_window(window)
+        .run(sources, &KnowledgeBase::new())
+}
+
+/// Slices bit-identical, quarantine entry-for-entry identical, and the same
+/// round/detector accounting.
+fn assert_reports_identical(a: &midas::core::FrameworkReport, b: &midas::core::FrameworkReport) {
+    assert_eq!(a.slices.len(), b.slices.len(), "slice counts differ");
+    for (x, y) in a.slices.iter().zip(&b.slices) {
+        assert_eq!(x.source, y.source);
+        assert_eq!(x.properties, y.properties);
+        assert_eq!(x.entities, y.entities);
+        assert_eq!(x.num_facts, y.num_facts);
+        assert_eq!(x.num_new_facts, y.num_new_facts);
+        assert_eq!(
+            x.profit.to_bits(),
+            y.profit.to_bits(),
+            "profits not bit-identical"
+        );
+    }
+    assert_eq!(a.quarantine.len(), b.quarantine.len());
+    for (x, y) in a.quarantine.iter().zip(b.quarantine.iter()) {
+        assert_eq!(x.source, y.source);
+        assert_eq!(x.stage, y.stage);
+        assert_eq!(x.cause.tag(), y.cause.tag());
+        assert_eq!(x.facts_seen, y.facts_seen);
+    }
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.detect_calls, b.detect_calls);
+}
+
+const WINDOWS: [Option<usize>; 3] = [Some(1), Some(4), None];
+const THREADS: [usize; 3] = [1, 4, 8];
+
+/// Clean corpus: every (window, threads) cell reproduces the sequential
+/// unbounded reference bit for bit.
+#[test]
+fn clean_run_is_window_invariant() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let corpus = twenty_source_corpus(&mut t);
+    let reference = run_with(corpus.clone(), 1, None);
+    assert!(!reference.slices.is_empty());
+    assert!(reference.quarantine.is_empty());
+    for window in WINDOWS {
+        for threads in THREADS {
+            let report = run_with(corpus.clone(), threads, window);
+            assert_reports_identical(&report, &reference);
+        }
+    }
+}
+
+/// With a round-0 panic and a budget exhaustion injected (by sorted source
+/// index), every cell quarantines the same two sources and reports the same
+/// surviving slices.
+#[test]
+fn faulted_run_is_window_invariant() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let corpus = twenty_source_corpus(&mut t);
+    let plan = FaultPlan::parse("panic@#2,budget@#7").unwrap();
+
+    faultinject::install(plan.clone());
+    let reference = run_with(corpus.clone(), 1, None);
+    faultinject::clear();
+    assert_eq!(reference.quarantine.len(), 2);
+
+    for window in WINDOWS {
+        for threads in THREADS {
+            faultinject::install(plan.clone());
+            let report = run_with(corpus.clone(), threads, window);
+            faultinject::clear();
+            assert_reports_identical(&report, &reference);
+        }
+    }
+}
+
+/// Merge-round (consolidate-stage) faults: a fact cap between leaf and
+/// section size quarantines every parent task; the recovered child
+/// candidates are identical at every window.
+#[test]
+fn consolidate_faults_are_window_invariant() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let pages = vertical_pages(&mut t, "http://site.example/dir", "rocket", 6, 4);
+    let leaf_size = pages[0].len();
+    let alg = MidasAlg::new(MidasConfig::running_example());
+
+    let run = |threads: usize, window: Option<usize>| {
+        Framework::new(&alg, alg.config.cost)
+            .with_threads(threads)
+            .with_stream_window(window)
+            .with_budget(SourceBudget::unlimited().with_max_facts(leaf_size + 1))
+            .run(pages.clone(), &KnowledgeBase::new())
+    };
+    let reference = run(1, None);
+    assert!(!reference.quarantine.is_empty());
+    assert!(reference
+        .quarantine
+        .iter()
+        .all(|f| f.stage == Stage::Consolidate));
+    assert_eq!(reference.slices.len(), 6, "page slices survive");
+
+    for window in WINDOWS {
+        for threads in THREADS {
+            assert_reports_identical(&run(threads, window), &reference);
+        }
+    }
+}
