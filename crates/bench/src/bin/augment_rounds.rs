@@ -1,0 +1,117 @@
+//! Incremental-vs-rebuild timing probe for the augmentation loop.
+//!
+//! Drives `Augmenter` to saturation on a multi-vertical corpus where each
+//! round accepts one vertical's slice (so only that vertical's subtree is
+//! dirty for the next round). Every round runs both the warm incremental
+//! `suggest_report` and a from-scratch `suggest_fresh` rebuild, asserts the
+//! two are identical, and prints one JSON line per round plus warm-round
+//! totals. `scripts/bench_smoke.sh` gates on the totals: warm incremental
+//! rounds must beat their from-scratch rebuilds.
+
+use midas_core::{Augmenter, FrameworkReport, MidasConfig, SourceFacts};
+use midas_kb::{Fact, Interner, KnowledgeBase};
+use midas_weburl::SourceUrl;
+use std::time::Instant;
+
+/// `domains` single-vertical domains of descending richness, each split
+/// over `pages` pages. Richness descends so the loop accepts the verticals
+/// in domain order, one per round, before saturating.
+fn corpus(t: &mut Interner, domains: usize, pages: usize, entities: usize) -> Vec<SourceFacts> {
+    let mut sources = Vec::new();
+    for d in 0..domains {
+        let per_page = entities - d * (entities / (2 * domains));
+        for p in 0..pages {
+            let mut facts = Vec::with_capacity(per_page * 4);
+            for e in 0..per_page {
+                let name = format!("e{d}_{p}_{e}");
+                facts.push(Fact::intern(t, &name, "kind", &format!("vertical{d}")));
+                facts.push(Fact::intern(t, &name, "site", &format!("dir{d}")));
+                facts.push(Fact::intern(t, &name, "group", &format!("g{d}_{}", e % 4)));
+                facts.push(Fact::intern(t, &name, "serial", &format!("s{d}_{p}_{e}")));
+            }
+            let url = SourceUrl::parse(&format!("http://domain{d}.example.org/dir/page{p}.html"))
+                .expect("static url");
+            sources.push(SourceFacts::new(url, facts));
+        }
+    }
+    sources
+}
+
+fn assert_identical(incr: &FrameworkReport, fresh: &FrameworkReport, round: usize) {
+    assert_eq!(
+        incr.slices, fresh.slices,
+        "round {round}: incremental diverged from rebuild"
+    );
+    assert_eq!(incr.quarantine.len(), fresh.quarantine.len());
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut threads = 16usize;
+    let mut domains = 8usize;
+    let mut pages = 12usize;
+    let mut entities = 120usize;
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--threads" => threads = value("--threads").parse().expect("thread count"),
+            "--domains" => domains = value("--domains").parse().expect("domain count"),
+            "--pages" => pages = value("--pages").parse().expect("page count"),
+            "--entities" => entities = value("--entities").parse().expect("entity count"),
+            other => panic!(
+                "unknown argument {other:?} \
+                 (usage: augment_rounds [--threads N] [--domains N] [--pages N] [--entities N])"
+            ),
+        }
+    }
+
+    let mut terms = Interner::new();
+    let sources = corpus(&mut terms, domains, pages, entities);
+    let num_sources = sources.len();
+
+    let config = MidasConfig::running_example().with_threads(threads);
+    let mut aug = Augmenter::new(config, sources, KnowledgeBase::new()).with_threads(threads);
+
+    let (mut warm_incr_ms, mut warm_fresh_ms) = (0.0f64, 0.0f64);
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        let start = Instant::now();
+        let fresh = aug.suggest_fresh();
+        let fresh_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let incr = aug.suggest_report();
+        let incr_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_identical(&incr, &fresh, round);
+        if round > 1 {
+            assert!(incr.reused > 0, "warm round {round} replayed nothing");
+            warm_incr_ms += incr_ms;
+            warm_fresh_ms += fresh_ms;
+        }
+        let best = incr.slices.iter().find(|s| s.profit > 0.0).cloned();
+        let accepted = best.is_some();
+        println!(
+            "{{\"bench\":\"augment_rounds/round_{round}\",\"sources\":{num_sources},\
+             \"threads\":{threads},\"incremental_ms\":{incr_ms:.3},\"rebuild_ms\":{fresh_ms:.3},\
+             \"detect_calls\":{},\"reused\":{},\"accepted\":{accepted}}}",
+            incr.detect_calls, incr.reused,
+        );
+        let Some(best) = best else { break };
+        let step = aug.accept(&best);
+        if step.facts_added == 0 {
+            break;
+        }
+    }
+    assert!(
+        round >= 4,
+        "corpus saturated after {round} rounds; need >=4 for a warm-round comparison"
+    );
+    println!(
+        "{{\"bench\":\"augment_rounds/warm_total\",\"sources\":{num_sources},\
+         \"threads\":{threads},\"rounds\":{round},\"incremental_ms\":{warm_incr_ms:.3},\
+         \"rebuild_ms\":{warm_fresh_ms:.3}}}"
+    );
+}

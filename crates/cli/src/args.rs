@@ -44,8 +44,10 @@ USAGE:
                  [--scale X] [--seed N] --out DIR
   midas eval     --facts FILE --gold FILE [--kb FILE] [--algorithm NAME] [--threads N]
                  [ROBUSTNESS]
+  midas augment  --facts FILE [--kb FILE] [--rounds N] [--threads N]
+                 [--fp X] [--fc X] [--fd X] [--fv X] [ROBUSTNESS]
 
-ROBUSTNESS (discover, eval):
+ROBUSTNESS (discover, eval, augment):
   --lenient                quarantine malformed input lines instead of aborting
   --max-source-facts N     quarantine sources carrying more than N facts
   --max-source-nodes N     quarantine a source whose slice hierarchy exceeds N nodes
@@ -144,6 +146,22 @@ pub enum Command {
         seed: u64,
         /// Output directory.
         out: String,
+    },
+    /// `midas augment`: the incremental augmentation loop (suggest → accept
+    /// the top positive-profit slice → re-suggest on a warm cache).
+    Augment {
+        /// Facts file path.
+        facts: String,
+        /// Optional knowledge-base file path.
+        kb: Option<String>,
+        /// Maximum augmentation rounds (`--rounds`).
+        rounds: usize,
+        /// Worker threads.
+        threads: usize,
+        /// Cost model overrides `(fp, fc, fd, fv)`.
+        cost: (f64, f64, f64, f64),
+        /// Robustness limits (lenient ingestion + per-source budget).
+        limits: RunLimits,
     },
     /// `midas eval`.
     Eval {
@@ -286,6 +304,24 @@ impl ParsedArgs {
                 seed: parse_num("--seed", flags.value("--seed")?.unwrap_or("42"))?,
                 out: flags.required("--out")?.to_owned(),
             },
+            "augment" => {
+                let facts = flags.required("--facts")?.to_owned();
+                let kb = flags.value("--kb")?.map(str::to_owned);
+                let rounds = parse_num("--rounds", flags.value("--rounds")?.unwrap_or("10"))?;
+                let threads = parse_num("--threads", flags.value("--threads")?.unwrap_or("1"))?;
+                let fp = parse_num("--fp", flags.value("--fp")?.unwrap_or("10"))?;
+                let fc = parse_num("--fc", flags.value("--fc")?.unwrap_or("0.001"))?;
+                let fd = parse_num("--fd", flags.value("--fd")?.unwrap_or("0.01"))?;
+                let fv = parse_num("--fv", flags.value("--fv")?.unwrap_or("0.1"))?;
+                Command::Augment {
+                    facts,
+                    kb,
+                    rounds,
+                    threads,
+                    cost: (fp, fc, fd, fv),
+                    limits: parse_limits(&mut flags)?,
+                }
+            }
             "eval" => Command::Eval {
                 facts: flags.required("--facts")?.to_owned(),
                 gold: flags.required("--gold")?.to_owned(),
@@ -402,6 +438,56 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn augment_defaults_and_overrides() {
+        let p = ParsedArgs::parse(&argv("augment --facts f.tsv")).unwrap();
+        match p.command {
+            Command::Augment {
+                facts,
+                kb,
+                rounds,
+                threads,
+                cost,
+                limits,
+            } => {
+                assert_eq!(facts, "f.tsv");
+                assert_eq!(kb, None);
+                assert_eq!(rounds, 10);
+                assert_eq!(threads, 1);
+                assert_eq!(cost, (10.0, 0.001, 0.01, 0.1));
+                assert_eq!(limits, RunLimits::default());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let p = ParsedArgs::parse(&argv(
+            "augment --facts f.tsv --kb k.tsv --rounds 3 --threads 4 \
+             --fp 1 --fc 0.002 --fd 0.02 --fv 0.2 --stream-window 2",
+        ))
+        .unwrap();
+        match p.command {
+            Command::Augment {
+                kb,
+                rounds,
+                threads,
+                cost,
+                limits,
+                ..
+            } => {
+                assert_eq!(kb.as_deref(), Some("k.tsv"));
+                assert_eq!(rounds, 3);
+                assert_eq!(threads, 4);
+                assert_eq!(cost, (1.0, 0.002, 0.02, 0.2));
+                assert_eq!(limits.stream_window, Some(2));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let err = ParsedArgs::parse(&argv("augment --facts f --top 3")).unwrap_err();
+        assert!(
+            err.to_string().contains("unrecognised argument"),
+            "--top is discover-only"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@ use midas_core::{
     faultinject, CostModel, DiscoveredSlice, FactTable, FaultPlan, MidasConfig, ProfitCtx,
     Quarantine, SourceBudget, SourceFacts, SourceFault,
 };
-use midas_eval::runner::{merge_by_domain, run_detector_per_source_budgeted, run_midas_framework};
+use midas_eval::runner::{
+    merge_by_domain, run_augmentation, run_detector_per_source_budgeted, run_midas_framework,
+};
 use midas_eval::{bootstrap_prf, match_to_gold, Table};
 use midas_kb::{DatasetStats, Interner, KnowledgeBase};
 use midas_weburl::UrlPattern;
@@ -41,6 +43,14 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             limits,
             out,
         ),
+        Command::Augment {
+            facts,
+            kb,
+            rounds,
+            threads,
+            cost,
+            limits,
+        } => augment(&facts, kb.as_deref(), rounds, threads, cost, limits, out),
         Command::Stats { facts } => stats(&facts, out),
         Command::Generate {
             dataset,
@@ -303,6 +313,88 @@ fn discover(
     Ok(())
 }
 
+/// Drives the incremental augmentation loop over the corpus and prints one
+/// row per round: what was accepted, what it added, and how much of the
+/// round's detection work was replayed from the warm cache.
+fn augment(
+    facts_path: &str,
+    kb_path: Option<&str>,
+    rounds: usize,
+    threads: usize,
+    (fp, fc, fd, fv): (f64, f64, f64, f64),
+    limits: RunLimits,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (terms, sources, kb, read_faults) = load_inputs(facts_path, kb_path, limits.lenient)?;
+    let config = MidasConfig::default()
+        .with_cost(CostModel { fp, fc, fd, fv })
+        .with_threads(threads)
+        .with_budget(budget_from(limits))
+        .with_stream_window(limits.stream_window);
+    let initial_kb = kb.len();
+    let (trace, aug) = run_augmentation(&config, sources, kb, threads, rounds);
+
+    let mut table = Table::new(
+        "Augmentation rounds",
+        &[
+            "round",
+            "accepted slice",
+            "source",
+            "+facts",
+            "kb size",
+            "suggest ms",
+            "detects",
+            "reused",
+        ],
+    );
+    for r in &trace {
+        let (desc, source, added) = match &r.accepted {
+            Some(step) => {
+                let desc = step.slice.describe(&terms);
+                let desc = desc.split(" @ ").next().unwrap_or_default().to_owned();
+                (
+                    desc,
+                    step.slice.source.to_string(),
+                    step.facts_added.to_string(),
+                )
+            }
+            None => ("(saturated)".to_owned(), "-".to_owned(), "-".to_owned()),
+        };
+        table.row(&[
+            r.round.to_string(),
+            desc,
+            source,
+            added,
+            r.kb_size.to_string(),
+            format!("{:.1}", r.suggest_time.as_secs_f64() * 1e3),
+            r.detect_calls.to_string(),
+            r.reused_tasks.to_string(),
+        ]);
+    }
+    write!(out, "{}", table.render())?;
+    writeln!(
+        out,
+        "\naccepted {} slices over {} rounds; knowledge base grew {} -> {} facts",
+        aug.history().len(),
+        trace.len(),
+        initial_kb,
+        aug.kb().len()
+    )?;
+
+    // Quarantined sources re-fault every round (injection and budgets are
+    // deterministic), so the last round's quarantine is the loop's steady
+    // state; earlier rounds' entries would only repeat it.
+    let mut quarantine = Quarantine::new();
+    for fault in read_faults {
+        quarantine.push(fault);
+    }
+    if let Some(last) = trace.last() {
+        quarantine.merge(last.quarantine.clone());
+    }
+    write_quarantine(out, &quarantine, false)?;
+    Ok(())
+}
+
 fn stats(facts_path: &str, out: &mut dyn Write) -> Result<(), CliError> {
     let mut terms = Interner::new();
     let sources = facts_io::read_facts(BufReader::new(File::open(facts_path)?), &mut terms)?;
@@ -542,6 +634,36 @@ mod tests {
         let text = String::from_utf8_lossy(&out);
         assert!(text.starts_with("#,slice,source"), "csv header:\n{text}");
         assert!(text.contains("type = golf"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn augment_runs_to_saturation() {
+        let dir = tmpdir("augment");
+        let facts = dir.join("facts.tsv");
+        let mut content = String::new();
+        for i in 0..8 {
+            content.push_str(&format!("http://a.com/d/p{i}\tent{i}\ttype\tgolf\n"));
+            content.push_str(&format!("http://a.com/d/p{i}\tent{i}\tholes\th{i}\n"));
+        }
+        std::fs::write(&facts, content).unwrap();
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "augment --facts {} --fp 1 --rounds 5 --threads 2",
+                facts.to_str().unwrap()
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("Augmentation rounds"), "output:\n{text}");
+        assert!(text.contains("type = golf"), "round 1 accepts the slice");
+        assert!(text.contains("(saturated)"), "loop reaches saturation");
+        assert!(
+            text.contains("accepted 1 slices over 2 rounds"),
+            "output:\n{text}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

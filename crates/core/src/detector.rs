@@ -7,6 +7,7 @@
 
 use midas_kb::{KnowledgeBase, Symbol};
 
+use crate::fact_table::FactTable;
 use crate::quarantine::FaultCause;
 use crate::single_source::MidasAlg;
 use crate::slice::DiscoveredSlice;
@@ -37,6 +38,29 @@ pub trait SliceDetector: Sync {
     /// them and detect from scratch).
     fn detect(&self, input: DetectInput<'_>) -> Vec<DiscoveredSlice>;
 
+    /// Like [`SliceDetector::detect`], but additionally returns the
+    /// [`FactTable`] the detector built for the source, so callers driving
+    /// incremental re-runs can cache it across augmentation rounds.
+    /// Detectors that do not materialise a reusable table (the baselines)
+    /// fall back to plain detection and return `None`; results are identical
+    /// to [`SliceDetector::detect`] either way.
+    fn detect_retaining_table(
+        &self,
+        input: DetectInput<'_>,
+    ) -> (Vec<DiscoveredSlice>, Option<FactTable>) {
+        (self.detect(input), None)
+    }
+
+    /// Detects slices over a pre-built fact table for `input.source` — the
+    /// incremental fast path, where a cached table (with refreshed
+    /// `new`-flag counts, see [`FactTable::refresh_new_counts`]) replaces
+    /// the per-round rebuild. The default ignores the table and detects from
+    /// scratch, which is always correct.
+    fn detect_on_table(&self, table: &FactTable, input: DetectInput<'_>) -> Vec<DiscoveredSlice> {
+        let _ = table;
+        self.detect(input)
+    }
+
     /// Runs [`SliceDetector::detect`] under panic isolation: a panic or
     /// budget breach inside the detector becomes a structured
     /// [`FaultCause`] instead of unwinding into the caller. Callers outside
@@ -58,6 +82,17 @@ impl SliceDetector for MidasAlg {
         } else {
             self.run_seeded(input.source, input.kb, input.seeds)
         }
+    }
+
+    fn detect_retaining_table(
+        &self,
+        input: DetectInput<'_>,
+    ) -> (Vec<DiscoveredSlice>, Option<FactTable>) {
+        self.run_retaining_table(input.source, input.kb, input.seeds)
+    }
+
+    fn detect_on_table(&self, table: &FactTable, input: DetectInput<'_>) -> Vec<DiscoveredSlice> {
+        self.run_on_table(table, input.source, input.kb, input.seeds)
     }
 }
 

@@ -391,6 +391,60 @@ impl FactTable {
         }
     }
 
+    /// Applies a knowledge-base insertion delta in place: recomputes `new(e)`
+    /// for every row whose subject appears in `subjects` and, when any count
+    /// changed, invalidates and rebuilds the derived count structures (the
+    /// packed per-entity counts and the `new` prefix sums). Everything else —
+    /// subjects, rows, the property catalog, extents, `facts(e)` — is
+    /// untouched, because inserting facts into the KB can only flip facts
+    /// from *new* to *known*.
+    ///
+    /// This is the incremental-rerun fast path: after an augmentation round
+    /// a dirty source's table is refreshed in O(|touched rows| + n) instead
+    /// of rebuilt in O(|T_W|) hash/extent work. Returns the number of rows
+    /// whose `new` count actually changed.
+    pub fn refresh_new_counts(
+        &mut self,
+        kb: &KnowledgeBase,
+        subjects: impl IntoIterator<Item = Symbol>,
+    ) -> usize {
+        let mut changed = 0usize;
+        for subject in subjects {
+            let Some(&eid) = self.by_subject.get(&subject) else {
+                continue;
+            };
+            let row = &self.rows[eid as usize];
+            let news = row.iter().filter(|f| kb.is_new(f)).count() as u32;
+            let slot = &mut self.new_count[eid as usize];
+            if *slot != news {
+                debug_assert!(
+                    news <= *slot,
+                    "KB insertions can only lower new(e): {news} > {slot}"
+                );
+                *slot = news;
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            // Count invalidation: the prefix sums and packed words derived
+            // from `new_count` are rebuilt in place, reusing their buffers.
+            let mut acc = 0u64;
+            for (i, &c) in self.new_count.iter().enumerate() {
+                self.new_prefix[i] = acc;
+                acc += u64::from(c);
+            }
+            self.new_prefix[self.new_count.len()] = acc;
+            for (p, (&n, &f)) in self
+                .packed_counts
+                .iter_mut()
+                .zip(self.new_count.iter().zip(&self.facts_count))
+            {
+                *p = u64::from(n) | (u64::from(f) << 32);
+            }
+        }
+        changed
+    }
+
     /// Consumes the table, returning its reusable buffers (property extents,
     /// per-entity property lists, packed counts, prefix sums) to the scratch
     /// pool for the next shard. Purely an optimisation — dropping the table

@@ -29,6 +29,22 @@
 //! and quarantine entry — is bit-identical at every `(window, threads)`
 //! combination.
 //!
+//! ### Incremental re-runs
+//!
+//! The augmentation loop re-runs the framework after every accepted slice,
+//! but an accept only flips the `new` flags of facts it inserted into the
+//! knowledge base. [`Framework::run_incremental`] exploits that: a
+//! [`RoundCache`] memoises every task outcome (a leaf detection or a merge
+//! shard's consolidation) keyed by task URL, and a [`KbDelta`] — the
+//! projection of the KB insertions onto the corpus — names the sources whose
+//! outcomes can have changed. A cached outcome is replayed verbatim unless
+//! its URL subtree contains a dirty source; dirty leaves additionally keep
+//! their cached [`FactTable`] and only refresh the `new` counts of rows the
+//! delta's subjects touch. Clean subtrees see bit-identical inputs, so
+//! replaying their cached outputs is bit-identical to recomputation — the
+//! invariant the `incremental_equivalence` integration suite pins down
+//! across the threads × stream-window matrix.
+//!
 //! ### Approximations relative to the paper
 //!
 //! * Entities appearing on several sibling pages are counted once per slice
@@ -49,16 +65,19 @@
 //! bit-identical to a clean run that never saw the faulted sources. When a
 //! merge-round (parent) task faults, the children's candidates survive and
 //! continue competing at coarser granularities; only the parent's own
-//! detection is lost.
+//! detection is lost. Fault outcomes are cached and replayed like clean ones
+//! (fault-injection plans are deterministic per task coordinate), so
+//! incremental runs reproduce the same quarantine.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use midas_kb::{KnowledgeBase, Symbol};
+use midas_kb::{Fact, KnowledgeBase, Symbol};
 use midas_weburl::SourceUrl;
 
 use crate::budget::{self, BreachKind, BudgetBreach, BudgetScope, SourceBudget};
 use crate::config::CostModel;
 use crate::detector::{DetectInput, SliceDetector};
+use crate::fact_table::FactTable;
 use crate::faultinject;
 use crate::parallel::par_map_streamed;
 use crate::quarantine::{Quarantine, SourceFault, Stage};
@@ -86,6 +105,119 @@ struct Candidate {
     origin_total_facts: usize,
 }
 
+/// The projection of a knowledge-base insertion delta onto a corpus: which
+/// sources' fact sets intersect the inserted facts (exactly the sources
+/// whose `new`-flag profile can have changed), and which subjects the
+/// insertions touch (exactly the fact-table rows that can have changed).
+/// This is the invalidation key of [`Framework::run_incremental`].
+#[derive(Debug, Clone, Default)]
+pub struct KbDelta {
+    /// URLs of the corpus sources containing at least one inserted fact.
+    pub sources: BTreeSet<SourceUrl>,
+    /// Subjects of the inserted facts.
+    pub subjects: BTreeSet<Symbol>,
+}
+
+impl KbDelta {
+    /// An empty delta: nothing changed since the previous run.
+    pub fn new() -> Self {
+        KbDelta::default()
+    }
+
+    /// Whether no insertions have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty() && self.subjects.is_empty()
+    }
+
+    /// Records facts newly inserted into the knowledge base, marking every
+    /// corpus source whose fact set contains one of them as dirty.
+    /// `inserted` must hold only facts whose `KnowledgeBase::insert`
+    /// returned `true`: a fact the KB already knew flips no `new` flag and
+    /// must not dirty anything.
+    pub fn record(&mut self, corpus: &[SourceFacts], inserted: &[Fact]) {
+        if inserted.is_empty() {
+            return;
+        }
+        for f in inserted {
+            self.subjects.insert(f.subject);
+        }
+        for src in corpus {
+            if self.sources.contains(&src.url) {
+                continue;
+            }
+            // `SourceFacts` keeps its facts sorted and deduplicated.
+            if inserted.iter().any(|f| src.facts.binary_search(f).is_ok()) {
+                self.sources.insert(src.url.clone());
+            }
+        }
+    }
+}
+
+/// One memoised task outcome: what the task contributed to the round state,
+/// replayed verbatim when its subtree is clean.
+#[derive(Debug, Clone)]
+struct CachedTask {
+    /// Candidates the task exported at its URL (for a faulted merge shard:
+    /// the recovered children candidates).
+    kept: Vec<Candidate>,
+    /// The quarantine entry the task produced, if it faulted.
+    fault: Option<SourceFault>,
+}
+
+/// The result-affecting configuration a [`RoundCache`] was built under.
+/// Replaying cached outcomes is only sound against the exact same corpus,
+/// detector, cost model, export policy, and deterministic budget caps; any
+/// mismatch restarts the cache cold. (The wall-clock `deadline` budget is
+/// deliberately excluded — it is non-deterministic to begin with.)
+#[derive(Debug, PartialEq)]
+struct CacheSig {
+    detector: &'static str,
+    leaves: Vec<(SourceUrl, usize)>,
+    cost_bits: [u64; 4],
+    policy: ExportPolicy,
+    max_facts: Option<usize>,
+    max_nodes: Option<usize>,
+}
+
+/// Cross-round memo for [`Framework::run_incremental`]: per-task outcomes
+/// keyed by task URL, plus the round-0 leaf fact tables, from the most
+/// recent run. Opaque to callers — create one with [`RoundCache::new`] and
+/// hand the same instance back on every call of the loop.
+#[derive(Debug, Default)]
+pub struct RoundCache {
+    sig: Option<CacheSig>,
+    leaves: BTreeMap<SourceUrl, CachedTask>,
+    shards: BTreeMap<SourceUrl, CachedTask>,
+    tables: BTreeMap<SourceUrl, FactTable>,
+}
+
+impl RoundCache {
+    /// Creates an empty (cold) cache.
+    pub fn new() -> Self {
+        RoundCache::default()
+    }
+
+    /// Number of memoised task outcomes (round-0 leaves + merge shards).
+    pub fn len(&self) -> usize {
+        self.leaves.len() + self.shards.len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached state; the next incremental run starts cold.
+    pub fn clear(&mut self) {
+        *self = RoundCache::default();
+    }
+
+    fn reset(&mut self, sig: CacheSig) {
+        self.clear();
+        self.sig = Some(sig);
+    }
+}
+
 /// Result of a framework run.
 #[derive(Debug)]
 pub struct FrameworkReport {
@@ -94,11 +226,53 @@ pub struct FrameworkReport {
     /// Number of depth rounds executed (excluding the initial per-source
     /// detection round).
     pub rounds: usize,
-    /// Total number of detector invocations.
+    /// Number of detector invocations actually executed (cache replays are
+    /// counted in [`FrameworkReport::reused`], not here).
     pub detect_calls: usize,
+    /// Number of task outcomes replayed from the incremental cache (always
+    /// zero for [`Framework::run`]).
+    pub reused: usize,
     /// Sources dropped from the run (panics, budget breaches), in
     /// deterministic source order per round.
     pub quarantine: Quarantine,
+}
+
+/// A source travelling through the rounds: round-0 leaves of an incremental
+/// run borrow the caller's corpus (no deep clone per `suggest()`), while
+/// moved-in inputs and merged parents are owned.
+enum RoundSource<'a> {
+    Leaf(&'a SourceFacts),
+    Owned(SourceFacts),
+}
+
+impl RoundSource<'_> {
+    fn as_facts(&self) -> &SourceFacts {
+        match self {
+            RoundSource::Leaf(s) => s,
+            RoundSource::Owned(s) => s,
+        }
+    }
+
+    fn into_owned(self) -> SourceFacts {
+        match self {
+            RoundSource::Leaf(s) => s.clone(),
+            RoundSource::Owned(s) => s,
+        }
+    }
+}
+
+/// Inserts a leaf into the normalised URL map, merging on URL collision.
+fn insert_leaf<'a>(by_url: &mut BTreeMap<SourceUrl, RoundSource<'a>>, s: RoundSource<'a>) {
+    let url = s.as_facts().url.clone();
+    match by_url.remove(&url) {
+        Some(existing) => {
+            let merged = SourceFacts::merge(url.clone(), [existing.into_owned(), s.into_owned()]);
+            by_url.insert(url, RoundSource::Owned(merged));
+        }
+        None => {
+            by_url.insert(url, s);
+        }
+    }
 }
 
 /// The shard → detect → consolidate driver.
@@ -178,26 +352,110 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
     /// Runs the framework over a corpus of per-source fact sets.
     pub fn run(&self, sources: Vec<SourceFacts>, kb: &KnowledgeBase) -> FrameworkReport {
         // Normalise: merge inputs sharing a URL.
-        let mut by_url: BTreeMap<SourceUrl, SourceFacts> = BTreeMap::new();
+        let mut by_url: BTreeMap<SourceUrl, RoundSource<'_>> = BTreeMap::new();
         for s in sources {
-            match by_url.get_mut(&s.url) {
-                Some(existing) => {
-                    let merged = SourceFacts::merge(
-                        s.url.clone(),
-                        [
-                            std::mem::replace(existing, SourceFacts::new(s.url.clone(), vec![])),
-                            s,
-                        ],
-                    );
-                    *existing = merged;
-                }
-                None => {
-                    by_url.insert(s.url.clone(), s);
-                }
+            insert_leaf(&mut by_url, RoundSource::Owned(s));
+        }
+        self.drive(by_url, kb, None)
+    }
+
+    /// Incremental counterpart of [`Framework::run`] for the augmentation
+    /// loop: reuses task outcomes memoised in `cache` by a previous run over
+    /// the same corpus, re-executing only the subtrees `delta` dirties.
+    ///
+    /// **Contract.** Between two calls sharing a `cache`, the knowledge base
+    /// may change only by insertions, and `delta` must be the
+    /// [`KbDelta::record`] projection of exactly those insertions onto
+    /// `sources`. The corpus and the result-affecting framework
+    /// configuration must be unchanged (detected via an internal signature;
+    /// a mismatch silently restarts the cache cold, which is always
+    /// correct). Any active fault-injection plan must also stay fixed:
+    /// plans are deterministic per task coordinate, so cached fault
+    /// outcomes are replayed rather than re-fired.
+    ///
+    /// Under that contract the report is bit-identical to
+    /// `run(sources.to_vec(), kb)` — including slice order, profits, and
+    /// quarantine — except for the execution counters: `detect_calls`
+    /// counts only tasks actually run and `reused` counts replays.
+    pub fn run_incremental(
+        &self,
+        sources: &[SourceFacts],
+        kb: &KnowledgeBase,
+        cache: &mut RoundCache,
+        delta: &KbDelta,
+    ) -> FrameworkReport {
+        let mut by_url: BTreeMap<SourceUrl, RoundSource<'_>> = BTreeMap::new();
+        for s in sources {
+            insert_leaf(&mut by_url, RoundSource::Leaf(s));
+        }
+        // A cache is only valid for the corpus and configuration it was
+        // built under; on any mismatch, start cold.
+        let sig = self.cache_sig(&by_url);
+        if cache.sig.as_ref() != Some(&sig) {
+            cache.reset(sig);
+        }
+        // Invalidate what the delta touches: the dirty leaves themselves and
+        // every merge shard whose subtree contains one. Outcomes that are
+        // dropped here re-execute in `drive` and re-memoise; outcomes whose
+        // shard does not even re-form (a dirty leaf stopped exporting) must
+        // not linger, or a later clean round would replay phantoms.
+        let dirty: Vec<&SourceUrl> = delta
+            .sources
+            .iter()
+            .filter(|u| by_url.contains_key(*u))
+            .collect();
+        for url in &dirty {
+            cache.leaves.remove(*url);
+        }
+        cache
+            .shards
+            .retain(|parent, _| dirty.iter().all(|leaf| !parent.contains(leaf)));
+        // Dirty leaves keep their cached fact table: structure is unchanged,
+        // only the `new` flags of rows keyed by the delta's subjects are
+        // stale — refresh those in place instead of rebuilding.
+        for url in &dirty {
+            if let Some(table) = cache.tables.get_mut(*url) {
+                table.refresh_new_counts(kb, delta.subjects.iter().copied());
             }
         }
+        self.drive(by_url, kb, Some(cache))
+    }
 
+    fn cache_sig(&self, by_url: &BTreeMap<SourceUrl, RoundSource<'_>>) -> CacheSig {
+        CacheSig {
+            detector: self.detector.name(),
+            leaves: by_url
+                .values()
+                .map(|s| {
+                    let s = s.as_facts();
+                    (s.url.clone(), s.len())
+                })
+                .collect(),
+            cost_bits: [
+                self.cost.fp.to_bits(),
+                self.cost.fc.to_bits(),
+                self.cost.fd.to_bits(),
+                self.cost.fv.to_bits(),
+            ],
+            policy: self.policy,
+            max_facts: self.budget.max_facts,
+            max_nodes: self.budget.max_nodes,
+        }
+    }
+
+    /// The round driver shared by [`Framework::run`] (`incr = None`: every
+    /// task executes) and [`Framework::run_incremental`] (`incr = Some`:
+    /// tasks with a surviving cache entry are replayed, the rest execute and
+    /// re-memoise).
+    fn drive(
+        &self,
+        mut by_url: BTreeMap<SourceUrl, RoundSource<'_>>,
+        kb: &KnowledgeBase,
+        mut incr: Option<&mut RoundCache>,
+    ) -> FrameworkReport {
+        let incremental = incr.is_some();
         let mut detect_calls = 0usize;
+        let mut reused_total = 0usize;
         let mut quarantine = Quarantine::new();
 
         // Round 0: per-source detection, entity-based initial slices. Each
@@ -206,33 +464,86 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         // coordinate fault-injection plans target). Leaves stream through a
         // bounded window: each result is folded into the candidate map in
         // source order as soon as its turn completes, so only `window`
-        // detections' worth of state is ever in flight.
-        let leaf_meta: Vec<(SourceUrl, usize)> =
-            by_url.values().map(|s| (s.url.clone(), s.len())).collect();
-        let leaf_sources: Vec<(usize, &SourceFacts)> = by_url.values().enumerate().collect();
-        detect_calls += leaf_sources.len();
+        // detections' worth of state is ever in flight. In incremental runs
+        // a leaf with a surviving cache entry becomes a no-op task whose
+        // outcome the sink replays at the leaf's slot in that same order.
+        let leaf_meta: Vec<(SourceUrl, usize)> = by_url
+            .values()
+            .map(|s| {
+                let s = s.as_facts();
+                (s.url.clone(), s.len())
+            })
+            .collect();
+        let leaf_sources: Vec<(usize, &SourceFacts)> = by_url
+            .values()
+            .map(RoundSource::as_facts)
+            .enumerate()
+            .collect();
         let window = self.window_for(leaf_sources.len());
+
+        let mut plan: Vec<Option<CachedTask>> = match incr.as_deref() {
+            Some(cache) => leaf_meta
+                .iter()
+                .map(|(url, _)| cache.leaves.get(url).cloned())
+                .collect(),
+            None => leaf_meta.iter().map(|_| None).collect(),
+        };
+        let reuse_mask: Vec<bool> = plan.iter().map(Option::is_some).collect();
+        // Shared ref for the worker tasks; new entries collect into locals
+        // and land in the cache after the round (the sink cannot hold the
+        // cache mutably while tasks read the tables).
+        let tables = incr.as_deref().map(|cache| &cache.tables);
+        let mut new_leaves: Vec<(SourceUrl, CachedTask)> = Vec::new();
+        let mut new_tables: Vec<(SourceUrl, FactTable)> = Vec::new();
 
         let mut candidates: BTreeMap<SourceUrl, Vec<Candidate>> = BTreeMap::new();
         let mut faulted: Vec<SourceUrl> = Vec::new();
+        let mut executed = 0usize;
+        let mut reused = 0usize;
         par_map_streamed(
             self.threads,
             window,
             leaf_sources,
-            |(index, src)| {
+            |(index, src)| -> Option<(Vec<DiscoveredSlice>, Option<FactTable>)> {
+                if reuse_mask[index] {
+                    return None;
+                }
                 self.guard_task(src.url.as_str(), index, src.len());
                 let _scope = BudgetScope::enter(&self.budget);
-                self.detector.detect(DetectInput {
+                let input = DetectInput {
                     source: src,
                     kb,
                     seeds: &[],
+                };
+                Some(match tables.and_then(|t| t.get(&src.url)) {
+                    // Incremental fast path: the cached (possibly refreshed)
+                    // table replaces the per-round rebuild.
+                    Some(table) => (self.detector.detect_on_table(table, input), None),
+                    None if incremental => self.detector.detect_retaining_table(input),
+                    None => (self.detector.detect(input), None),
                 })
             },
             |index, result| {
                 let (url, facts_seen) = &leaf_meta[index];
                 match result {
-                    Ok(slices) => {
-                        let mut kept: Vec<Candidate> = slices
+                    Ok(None) => {
+                        let cached = plan[index].take().expect("reuse-marked leaf has an entry");
+                        reused += 1;
+                        if let Some(fault) = &cached.fault {
+                            quarantine.push(fault.clone());
+                            faulted.push(url.clone());
+                        }
+                        if !cached.kept.is_empty() {
+                            candidates
+                                .entry(url.clone())
+                                .or_default()
+                                .extend(cached.kept);
+                        }
+                    }
+                    Ok(Some((mut slices, table))) => {
+                        executed += 1;
+                        enforce_sorted_entities(&mut slices);
+                        let kept: Vec<Candidate> = slices
                             .into_iter()
                             .filter(|s| self.exportable(s))
                             .map(|slice| Candidate {
@@ -240,22 +551,57 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                                 origin_total_facts: *facts_seen,
                             })
                             .collect();
+                        if incremental {
+                            new_leaves.push((
+                                url.clone(),
+                                CachedTask {
+                                    kept: kept.clone(),
+                                    fault: None,
+                                },
+                            ));
+                            if let Some(t) = table {
+                                new_tables.push((url.clone(), t));
+                            }
+                        }
                         if !kept.is_empty() {
-                            candidates.entry(url.clone()).or_default().append(&mut kept);
+                            candidates.entry(url.clone()).or_default().extend(kept);
                         }
                     }
                     Err(fault) => {
-                        quarantine.push(SourceFault {
+                        executed += 1;
+                        let sf = SourceFault {
                             source: url.as_str().to_string(),
                             stage: Stage::Detect,
                             cause: fault.cause,
                             facts_seen: *facts_seen,
-                        });
+                        };
+                        if incremental {
+                            new_leaves.push((
+                                url.clone(),
+                                CachedTask {
+                                    kept: Vec::new(),
+                                    fault: Some(sf.clone()),
+                                },
+                            ));
+                        }
+                        quarantine.push(sf);
                         faulted.push(url.clone());
                     }
                 }
             },
         );
+        detect_calls += executed;
+        reused_total += reused;
+        if let Some(cache) = incr.as_deref_mut() {
+            for (url, entry) in new_leaves {
+                cache.leaves.insert(url, entry);
+            }
+            for (url, table) in new_tables {
+                if let Some(old) = cache.tables.insert(url, table) {
+                    old.recycle();
+                }
+            }
+        }
         // Discard quarantined leaves *before* the merge loop: their facts
         // never reach a parent, so the run over the surviving N−k sources is
         // identical to a clean run that was never given the faulted k.
@@ -277,14 +623,17 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             for url in deep_urls {
                 let child = by_url.remove(&url).expect("url present");
                 let parent = url.parent().expect("depth ≥ 1 has a parent");
-                regrouped.entry(parent).or_default().push(child);
+                regrouped
+                    .entry(parent)
+                    .or_default()
+                    .push(child.into_owned());
             }
             for (parent, mut children) in regrouped {
                 if let Some(own) = by_url.remove(&parent) {
-                    children.push(own);
+                    children.push(own.into_owned());
                 }
                 let merged = SourceFacts::merge(parent.clone(), children);
-                by_url.insert(parent, merged);
+                by_url.insert(parent, RoundSource::Owned(merged));
             }
 
             // Shard candidates at depth d by parent.
@@ -313,49 +662,97 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             // parent's child candidates can be recovered in the sink (the
             // clone happens only on that rare fault path).
             let work: Vec<(SourceUrl, Vec<Candidate>)> = shards.into_iter().collect();
-            detect_calls += work.len();
+            let mut shard_plan: Vec<Option<CachedTask>> = match incr.as_deref() {
+                Some(cache) => work
+                    .iter()
+                    .map(|(parent, _)| cache.shards.get(parent).cloned())
+                    .collect(),
+                None => work.iter().map(|_| None).collect(),
+            };
+            let shard_reuse: Vec<bool> = shard_plan.iter().map(Option::is_some).collect();
             let indices: Vec<usize> = (0..work.len()).collect();
             let window = self.window_for(work.len());
+            let mut executed = 0usize;
+            let mut reused = 0usize;
             par_map_streamed(
                 self.threads,
                 window,
                 indices,
-                |wi| {
+                |wi| -> Option<Vec<Candidate>> {
+                    if shard_reuse[wi] {
+                        return None;
+                    }
                     let (parent, inputs) = &work[wi];
                     // Merge-round tasks are only addressable by URL substring
                     // (index coordinates name round-0 leaves).
-                    self.guard_task(parent.as_str(), usize::MAX, by_url[parent].len());
+                    self.guard_task(parent.as_str(), usize::MAX, by_url[parent].as_facts().len());
                     let _scope = BudgetScope::enter(&self.budget);
-                    let parent_src = &by_url[parent];
+                    let parent_src = by_url[parent].as_facts();
                     let seeds = seed_sets(inputs);
                     let detected = self.detector.detect(DetectInput {
                         source: parent_src,
                         kb,
                         seeds: &seeds,
                     });
-                    self.consolidate(detected, inputs.clone(), parent_src.len())
+                    Some(self.consolidate(detected, inputs.clone(), parent_src.len()))
                 },
                 |wi, result| {
                     let (parent, inputs) = &work[wi];
                     match result {
-                        Ok(survivors) => {
+                        Ok(None) => {
+                            let cached = shard_plan[wi]
+                                .take()
+                                .expect("reuse-marked shard has an entry");
+                            reused += 1;
+                            if let Some(fault) = &cached.fault {
+                                quarantine.push(fault.clone());
+                            }
+                            if !cached.kept.is_empty() {
+                                candidates
+                                    .entry(parent.clone())
+                                    .or_default()
+                                    .extend(cached.kept);
+                            }
+                        }
+                        Ok(Some(survivors)) => {
+                            executed += 1;
                             let kept: Vec<Candidate> = survivors
                                 .into_iter()
                                 .filter(|c| self.exportable(&c.slice))
                                 .collect();
+                            if let Some(cache) = incr.as_deref_mut() {
+                                cache.shards.insert(
+                                    parent.clone(),
+                                    CachedTask {
+                                        kept: kept.clone(),
+                                        fault: None,
+                                    },
+                                );
+                            }
                             if !kept.is_empty() {
                                 candidates.entry(parent.clone()).or_default().extend(kept);
                             }
                         }
                         Err(fault) => {
-                            quarantine.push(SourceFault {
+                            executed += 1;
+                            let sf = SourceFault {
                                 source: parent.as_str().to_string(),
                                 stage: Stage::Consolidate,
                                 cause: fault.cause,
-                                facts_seen: by_url.get(parent).map_or(0, SourceFacts::len),
-                            });
+                                facts_seen: by_url.get(parent).map_or(0, |s| s.as_facts().len()),
+                            };
                             // The parent's own detection is lost, but the
                             // children's candidates keep competing upward.
+                            if let Some(cache) = incr.as_deref_mut() {
+                                cache.shards.insert(
+                                    parent.clone(),
+                                    CachedTask {
+                                        kept: inputs.clone(),
+                                        fault: Some(sf.clone()),
+                                    },
+                                );
+                            }
+                            quarantine.push(sf);
                             if !inputs.is_empty() {
                                 candidates
                                     .entry(parent.clone())
@@ -366,6 +763,8 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                     }
                 },
             );
+            detect_calls += executed;
+            reused_total += reused;
         }
 
         let mut slices: Vec<DiscoveredSlice> = candidates
@@ -378,6 +777,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             slices,
             rounds,
             detect_calls,
+            reused: reused_total,
             quarantine,
         }
     }
@@ -397,6 +797,14 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         inputs: Vec<Candidate>,
         parent_total_facts: usize,
     ) -> Vec<Candidate> {
+        // The subset tests below (and every downstream consumer, e.g.
+        // `Augmenter::accept`) rely on sorted extents; detector output is
+        // the trust boundary where the invariant is enforced.
+        enforce_sorted_entities(&mut detected);
+        debug_assert!(
+            inputs.iter().all(|c| c.slice.entities_sorted()),
+            "candidate entities must stay sorted between rounds"
+        );
         detected.sort_by(|a, b| b.profit.partial_cmp(&a.profit).expect("finite profits"));
         let mut assigned = vec![false; inputs.len()];
         let mut kept: Vec<Candidate> = Vec::new();
@@ -458,6 +866,18 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             .map(|&(_, tw)| self.cost.fc * tw as f64)
             .sum();
         gain_terms - self.cost.fp * idxs.len() as f64 - crawl
+    }
+}
+
+/// Restores the sorted-entities invariant on detector output. Well-behaved
+/// detectors already emit sorted extents, so the common case is a linear
+/// scan; enforcement still lives here because subset/membership tests
+/// silently miss entities on unsorted input.
+fn enforce_sorted_entities(slices: &mut [DiscoveredSlice]) {
+    for s in slices {
+        if !s.entities_sorted() {
+            s.entities.sort_unstable();
+        }
     }
 }
 
@@ -529,6 +949,7 @@ mod tests {
             report.quarantine.is_empty(),
             "clean run quarantines nothing"
         );
+        assert_eq!(report.reused, 0, "full runs never replay");
     }
 
     #[test]
@@ -671,5 +1092,49 @@ mod tests {
         assert!(is_entity_subset(&s(&[1, 3]), &s(&[1, 2, 3])));
         assert!(!is_entity_subset(&s(&[0, 3]), &s(&[1, 2, 3])));
         assert!(is_entity_subset(&s(&[]), &s(&[1])));
+    }
+
+    #[test]
+    fn incremental_cold_cache_matches_full_run() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        let fw = Framework::new(&alg, alg.config.cost);
+        let full = fw.run(pages.clone(), &kb);
+        let mut cache = RoundCache::new();
+        let cold = fw.run_incremental(&pages, &kb, &mut cache, &KbDelta::new());
+        assert_eq!(cold.reused, 0, "cold cache executes everything");
+        assert_eq!(cold.detect_calls, full.detect_calls);
+        assert_eq!(cold.slices.len(), full.slices.len());
+        for (a, b) in cold.slices.iter().zip(&full.slices) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.entities, b.entities);
+            assert_eq!(a.profit.to_bits(), b.profit.to_bits());
+        }
+        assert!(!cache.is_empty());
+        // Re-run with an empty delta: everything replays, nothing executes.
+        let warm = fw.run_incremental(&pages, &kb, &mut cache, &KbDelta::new());
+        assert_eq!(warm.detect_calls, 0, "clean re-run replays every task");
+        assert!(warm.reused > 0);
+        for (a, b) in warm.slices.iter().zip(&full.slices) {
+            assert_eq!(a.profit.to_bits(), b.profit.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_restarts_cold_when_configuration_changes() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let alg = MidasAlg::new(MidasConfig::running_example());
+        let mut cache = RoundCache::new();
+        let fw = Framework::new(&alg, alg.config.cost);
+        let _ = fw.run_incremental(&pages, &kb, &mut cache, &KbDelta::new());
+        assert!(!cache.is_empty());
+        // Same cache, different export policy: the signature mismatch must
+        // force a cold start instead of replaying stale outcomes.
+        let fw2 = Framework::new(&alg, alg.config.cost).with_policy(ExportPolicy::ExportAll);
+        let report = fw2.run_incremental(&pages, &kb, &mut cache, &KbDelta::new());
+        assert_eq!(report.reused, 0);
+        assert!(report.detect_calls > 0);
     }
 }

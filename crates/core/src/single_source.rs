@@ -44,6 +44,50 @@ impl MidasAlg {
         self.run_with_seeds(source, kb, Some(seeds))
     }
 
+    /// Like [`MidasAlg::run_seeded`], but returns the [`FactTable`] built
+    /// for the source instead of recycling it, so incremental drivers can
+    /// cache it across augmentation rounds (empty `seeds` = unseeded run).
+    /// Returns `(slices, None)` for an empty source.
+    pub fn run_retaining_table(
+        &self,
+        source: &SourceFacts,
+        kb: &KnowledgeBase,
+        seeds: &[Vec<(Symbol, Symbol)>],
+    ) -> (Vec<DiscoveredSlice>, Option<FactTable>) {
+        if source.is_empty() {
+            return (Vec::new(), None);
+        }
+        let _budget_scope = crate::budget::BudgetScope::enter(&self.config.budget);
+        let table = FactTable::build(source, kb);
+        let slices = self.detect_over(&table, source, norm_seeds(seeds));
+        (slices, Some(table))
+    }
+
+    /// Runs hierarchy construction + traversal over a pre-built fact table —
+    /// the incremental fast path where a cached table (with
+    /// [`FactTable::refresh_new_counts`] applied) replaces the per-round
+    /// rebuild. The table must have been built from exactly this `source`
+    /// against the same knowledge-base state (empty `seeds` = unseeded run).
+    pub fn run_on_table(
+        &self,
+        table: &FactTable,
+        source: &SourceFacts,
+        kb: &KnowledgeBase,
+        seeds: &[Vec<(Symbol, Symbol)>],
+    ) -> Vec<DiscoveredSlice> {
+        let _ = kb; // newness is already folded into the table's counts
+        if source.is_empty() {
+            return Vec::new();
+        }
+        debug_assert_eq!(
+            table.total_facts(),
+            source.len(),
+            "cached table does not match the source it is applied to"
+        );
+        let _budget_scope = crate::budget::BudgetScope::enter(&self.config.budget);
+        self.detect_over(table, source, norm_seeds(seeds))
+    }
+
     fn run_with_seeds(
         &self,
         source: &SourceFacts,
@@ -58,9 +102,25 @@ impl MidasAlg {
         // outer scope keeps governing and this is a no-op.
         let _budget_scope = crate::budget::BudgetScope::enter(&self.config.budget);
         let table = FactTable::build(source, kb);
-        let ctx = ProfitCtx::new(&table, self.config.cost);
+        let slices = self.detect_over(&table, source, seeds);
+        // The shard is finished: hand the fact table's buffers back to the
+        // worker's scratch pool for the next shard.
+        table.recycle();
+        slices
+    }
+
+    /// Hierarchy construction, traversal, and slice materialisation over a
+    /// prebuilt fact table. Does not recycle `table` (the caller decides
+    /// whether it is scratch or cached).
+    fn detect_over(
+        &self,
+        table: &FactTable,
+        source: &SourceFacts,
+        seeds: Option<&[Vec<(Symbol, Symbol)>]>,
+    ) -> Vec<DiscoveredSlice> {
+        let ctx = ProfitCtx::new(table, self.config.cost);
         let hierarchy = match seeds {
-            None => SliceHierarchy::build(&table, &ctx, &self.config),
+            None => SliceHierarchy::build(table, &ctx, &self.config),
             Some(seeds) => {
                 let translated: Vec<Vec<PropertyId>> = seeds
                     .iter()
@@ -72,7 +132,7 @@ impl MidasAlg {
                         (!ids.is_empty()).then_some(ids)
                     })
                     .collect();
-                SliceHierarchy::build_seeded(&table, &ctx, &self.config, &translated)
+                SliceHierarchy::build_seeded(table, &ctx, &self.config, &translated)
             }
         };
         let mut picked = traverse(&hierarchy, &ctx);
@@ -120,12 +180,17 @@ impl MidasAlg {
                 }
             })
             .collect();
-        // The shard is finished: hand the hierarchy's and fact table's
-        // buffers back to the worker's scratch pool for the next shard.
+        // Hand the hierarchy's buffers back to the worker's scratch pool
+        // for the next shard.
         hierarchy.recycle();
-        table.recycle();
         slices
     }
+}
+
+/// The framework's seed convention: an empty seed list means "no seeds"
+/// (entity-derived initial slices), not "empty initial hierarchy".
+fn norm_seeds(seeds: &[Vec<(Symbol, Symbol)>]) -> Option<&[Vec<(Symbol, Symbol)>]> {
+    (!seeds.is_empty()).then_some(seeds)
 }
 
 #[cfg(test)]

@@ -92,6 +92,14 @@ impl DiscoveredSlice {
         (self.source.contains(&other.source) || other.source.contains(&self.source))
             && self.jaccard(other) >= 0.95
     }
+
+    /// Whether the entity extent upholds its sorted invariant. Subset and
+    /// membership tests ([`DiscoveredSlice::jaccard`], consolidation,
+    /// `Augmenter::accept`) silently produce wrong answers on unsorted
+    /// extents, so the framework enforces this at the detector boundary.
+    pub fn entities_sorted(&self) -> bool {
+        self.entities.windows(2).all(|w| w[0] <= w[1])
+    }
 }
 
 /// Aggregate statistics of a reported slice set (used by reports and the
@@ -137,6 +145,11 @@ impl SliceSetStats {
             // without the fact table, so fall back to the union of entities
             // weighted by the first slice containing each.
             let mut seen: std::collections::BTreeSet<Symbol> = Default::default();
+            // Accumulate the fractional shares in f64 and round once per
+            // source group: rounding each slice's share separately lets the
+            // per-slice errors (up to 0.5 facts each) accumulate, so groups
+            // with many overlapping slices drift from the true total.
+            let (mut group_facts, mut group_new) = (0f64, 0f64);
             for s in group {
                 let mut fresh = 0usize;
                 for e in &s.entities {
@@ -146,10 +159,12 @@ impl SliceSetStats {
                 }
                 if !s.entities.is_empty() {
                     let frac = fresh as f64 / s.entities.len() as f64;
-                    facts += (s.num_facts as f64 * frac).round() as usize;
-                    new_facts += (s.num_new_facts as f64 * frac).round() as usize;
+                    group_facts += s.num_facts as f64 * frac;
+                    group_new += s.num_new_facts as f64 * frac;
                 }
             }
+            facts += group_facts.round() as usize;
+            new_facts += group_new.round() as usize;
         }
         SliceSetStats {
             num_slices,
@@ -252,6 +267,31 @@ mod tests {
         assert_eq!(st.num_facts, 6);
         assert_eq!(st.num_new_facts, 3);
         assert_eq!(st.profit, 5.0);
+    }
+
+    #[test]
+    fn summarise_rounds_once_per_source_group() {
+        // Three overlapping slices of one source whose fractional shares are
+        // 7.0, 8·(2/7) ≈ 2.286, and 8·(2/7) ≈ 2.286. Rounding each share
+        // separately (the old behaviour) gives 7 + 2 + 2 = 11; the true
+        // accumulated total 11.571… rounds to 12 — off by one whole fact.
+        let mut t = Interner::new();
+        let mut a = slice(&mut t, "http://a.com/x", &["e1", "e2", "e3", "e4", "e5"]);
+        a.num_facts = 7;
+        let mut b = slice(
+            &mut t,
+            "http://a.com/x",
+            &["e1", "e2", "e3", "e4", "e5", "e6", "e7"],
+        );
+        b.num_facts = 8;
+        let mut c = slice(
+            &mut t,
+            "http://a.com/x",
+            &["e1", "e2", "e3", "e4", "e5", "e8", "e9"],
+        );
+        c.num_facts = 8;
+        let st = SliceSetStats::summarise([&a, &b, &c], 0.0);
+        assert_eq!(st.num_facts, 12, "one rounding per group, not per slice");
     }
 
     #[test]

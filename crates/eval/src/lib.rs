@@ -29,8 +29,8 @@ pub use labeling::SimulatedAnnotator;
 pub use metrics::{match_to_gold, pr_curve, top_k_precision, Prf};
 pub use report::{quarantine_table, Table};
 pub use runner::{
-    merge_by_domain, run_detector_per_source, run_detector_per_source_budgeted,
-    run_midas_framework, RunResult,
+    merge_by_domain, run_augmentation, run_detector_per_source, run_detector_per_source_budgeted,
+    run_midas_framework, AugmentationRound, RunResult,
 };
 pub use significance::{bootstrap_prf, ConfidenceInterval};
 pub use silver::coverage_adjusted;

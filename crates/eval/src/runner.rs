@@ -1,8 +1,8 @@
 //! Timed algorithm runs over a corpus.
 
 use midas_core::{
-    DetectInput, Framework, MidasAlg, MidasConfig, Quarantine, SliceDetector, SourceBudget,
-    SourceFacts, SourceFault, Stage,
+    AugmentationStep, Augmenter, DetectInput, Framework, MidasAlg, MidasConfig, Quarantine,
+    SliceDetector, SourceBudget, SourceFacts, SourceFault, Stage,
 };
 use midas_kb::KnowledgeBase;
 use midas_weburl::SourceUrl;
@@ -143,6 +143,65 @@ pub fn run_midas_framework(
     }
 }
 
+/// One round of the incremental augmentation loop, timed.
+#[derive(Debug)]
+pub struct AugmentationRound {
+    /// 1-based round number.
+    pub round: usize,
+    /// The accepted top suggestion, if any positive-profit slice remained.
+    pub accepted: Option<AugmentationStep>,
+    /// Wall-clock time of the incremental `suggest`.
+    pub suggest_time: Duration,
+    /// Number of suggestions the round produced.
+    pub suggestions: usize,
+    /// Detector invocations actually executed this round.
+    pub detect_calls: usize,
+    /// Task outcomes replayed from the incremental cache this round.
+    pub reused_tasks: usize,
+    /// Knowledge-base size after the round's accept (if any).
+    pub kb_size: usize,
+    /// Sources quarantined during the round's suggest.
+    pub quarantine: Quarantine,
+}
+
+/// Drives the incremental augmentation loop: suggest, accept the top
+/// positive-profit slice, repeat — up to `max_rounds` or until saturation
+/// (no positive suggestion, or an accept that adds no facts). Returns the
+/// per-round trace and the final [`Augmenter`] (for its KB and history).
+pub fn run_augmentation(
+    config: &MidasConfig,
+    sources: Vec<SourceFacts>,
+    kb: KnowledgeBase,
+    threads: usize,
+    max_rounds: usize,
+) -> (Vec<AugmentationRound>, Augmenter) {
+    let mut aug = Augmenter::new(config.clone(), sources, kb).with_threads(threads);
+    let mut rounds = Vec::new();
+    for round in 1..=max_rounds {
+        let start = Instant::now();
+        let report = aug.suggest_report();
+        let suggest_time = start.elapsed();
+        let best = report.slices.iter().find(|s| s.profit > 0.0).cloned();
+        let accepted = best.as_ref().map(|b| aug.accept(b));
+        let saturated = accepted.is_none();
+        let stalled = matches!(&accepted, Some(s) if s.facts_added == 0);
+        rounds.push(AugmentationRound {
+            round,
+            accepted,
+            suggest_time,
+            suggestions: report.slices.len(),
+            detect_calls: report.detect_calls,
+            reused_tasks: report.reused,
+            kb_size: aug.kb().len(),
+            quarantine: report.quarantine,
+        });
+        if saturated || stalled {
+            break;
+        }
+    }
+    (rounds, aug)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +236,19 @@ mod tests {
             assert!(w[0].profit >= w[1].profit);
         }
         assert_eq!(result.positive().len(), 2);
+    }
+
+    #[test]
+    fn augmentation_loop_saturates_running_example() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let (rounds, aug) = run_augmentation(&MidasConfig::running_example(), pages, kb, 2, 10);
+        // Round 1 accepts S5; round 2 finds nothing and stops.
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].accepted.as_ref().unwrap().facts_added, 6);
+        assert!(rounds[1].accepted.is_none());
+        assert!(rounds[1].reused_tasks > 0, "round 2 replays clean subtrees");
+        assert_eq!(aug.history().len(), 1);
     }
 
     #[test]

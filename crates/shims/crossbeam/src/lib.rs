@@ -148,11 +148,7 @@ pub mod channel {
                 if self.0.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .0
-                    .ready
-                    .wait(q)
-                    .unwrap_or_else(|e| e.into_inner());
+                q = self.0.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         }
 

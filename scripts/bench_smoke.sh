@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Bench smoke runner: exercises the hot-path criterion benches at reduced
-# sample counts and records one JSON line per benchmark in BENCH_PR3.json
+# sample counts and records one JSON line per benchmark in BENCH_PR4.json
 # at the repo root (appended by the in-repo criterion shim — see
 # crates/shims/criterion; every line carries a peak_rss_kb field).
 #
@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 SAMPLES="${2:-10}"
 
 # cargo runs bench binaries with the package directory as cwd, so anchor a
@@ -48,6 +48,24 @@ if [ "$W_KB" -ge "$U_KB" ]; then
     exit 1
 fi
 echo "peak-RSS smoke OK: window 8 = $W_KB KiB < unbounded = $U_KB KiB"
+
+# Incremental augmentation loop: every warm round replays the clean
+# subtrees from the round cache, so the summed warm-round incremental
+# suggest time must beat the summed from-scratch rebuilds (the binary
+# itself asserts bit-identical results every round).
+echo
+echo "== augmentation loop: incremental vs from-scratch rebuild =="
+cargo build --offline -q --release -p midas-bench --bin augment_rounds
+AUGMENT="$(./target/release/augment_rounds --threads 4)"
+printf '%s\n' "$AUGMENT" | tee -a "$OUT"
+ms_of() { printf '%s\n' "$AUGMENT" | grep warm_total | sed -n "s/.*\"$1_ms\":\([0-9]*\)\..*/\1/p"; }
+INCR_MS="$(ms_of incremental)"
+FRESH_MS="$(ms_of rebuild)"
+if [ "$INCR_MS" -ge "$FRESH_MS" ]; then
+    echo "augmentation smoke FAILED: warm incremental ($INCR_MS ms) not below rebuild ($FRESH_MS ms)" >&2
+    exit 1
+fi
+echo "augmentation smoke OK: warm incremental = $INCR_MS ms < rebuild = $FRESH_MS ms"
 
 echo
 echo "== $OUT =="

@@ -61,10 +61,10 @@ pub use midas_weburl as weburl;
 pub mod prelude {
     pub use midas_baselines::{AggCluster, Greedy, Naive};
     pub use midas_core::{
-        BreachKind, BudgetBreach, BudgetScope, CostModel, DetectInput, DiscoveredSlice,
-        ExportPolicy, ExtentSet, FactTable, FaultCause, FaultPlan, Framework, MidasAlg,
-        MidasConfig, ProfitCtx, Quarantine, SliceDetector, SliceHierarchy, SourceBudget,
-        SourceFacts, SourceFault, Stage,
+        AugmentationStep, Augmenter, BreachKind, BudgetBreach, BudgetScope, CostModel, DetectInput,
+        DiscoveredSlice, ExportPolicy, ExtentSet, FactTable, FaultCause, FaultPlan, Framework,
+        KbDelta, MidasAlg, MidasConfig, ProfitCtx, Quarantine, RoundCache, SliceDetector,
+        SliceHierarchy, SourceBudget, SourceFacts, SourceFault, Stage,
     };
     pub use midas_eval::{
         coverage_adjusted, match_to_gold, merge_by_domain, quarantine_table,

@@ -1,0 +1,211 @@
+//! Incremental-vs-rebuild equivalence: at every round of the augmentation
+//! loop, `Augmenter::suggest` (cached, dirty-subtree re-runs only) must be
+//! bit-identical — slices *and* quarantine — to a from-scratch
+//! `Framework::run` on the same knowledge-base state, across the
+//! threads × stream-window matrix, clean and with injected faults.
+//!
+//! The fault-injection plan is process-global, so tests that install one
+//! serialise on [`PLAN_LOCK`] (this file is its own test binary).
+
+use midas::core::{faultinject, Augmenter, FrameworkReport};
+use midas::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the global-plan lock for one test and clears any installed plan on
+/// drop, so a failing test cannot poison the ones after it.
+struct PlanSession(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn plan_session() -> PlanSession {
+    PlanSession(PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+impl Drop for PlanSession {
+    fn drop(&mut self) {
+        faultinject::clear();
+    }
+}
+
+fn url(s: &str) -> SourceUrl {
+    SourceUrl::parse(s).unwrap()
+}
+
+/// `pages` pages under `section`, each with `per_page` entities of one
+/// vertical (2 defining properties + 1 unique fact per entity).
+fn vertical_pages(
+    t: &mut Interner,
+    section: &str,
+    stem: &str,
+    pages: usize,
+    per_page: usize,
+) -> Vec<SourceFacts> {
+    let mut out = Vec::new();
+    for p in 0..pages {
+        let mut facts = Vec::new();
+        for e in 0..per_page {
+            let name = format!("{stem}_{p}_{e}");
+            facts.push(Fact::intern(t, &name, "kind", stem));
+            facts.push(Fact::intern(t, &name, "site", &format!("{stem}_dir")));
+            facts.push(Fact::intern(t, &name, "serial", &format!("{stem}{p}{e}")));
+        }
+        out.push(SourceFacts::new(
+            url(&format!("{section}/page{p}.html")),
+            facts,
+        ));
+    }
+    out
+}
+
+/// 12 sources: 4 single-vertical domains of descending richness, so the
+/// saturation loop accepts the verticals one by one over several rounds.
+fn multi_vertical_corpus(t: &mut Interner) -> Vec<SourceFacts> {
+    let mut sources = Vec::new();
+    for (d, per_page) in [(0usize, 8usize), (1, 6), (2, 4), (3, 3)] {
+        sources.extend(vertical_pages(
+            t,
+            &format!("http://domain{d}.example.org/dir"),
+            &format!("stem{d}"),
+            3,
+            per_page,
+        ));
+    }
+    sources
+}
+
+fn config_for(window: Option<usize>) -> MidasConfig {
+    MidasConfig {
+        stream_window: window,
+        ..MidasConfig::running_example()
+    }
+}
+
+/// Slices bit-identical and quarantine entry-for-entry identical. The
+/// execution counters intentionally differ (`detect_calls` counts only
+/// executed tasks on the incremental side), so they are not compared.
+fn assert_round_identical(incr: &FrameworkReport, fresh: &FrameworkReport) {
+    assert_eq!(incr.slices.len(), fresh.slices.len(), "slice counts differ");
+    for (x, y) in incr.slices.iter().zip(&fresh.slices) {
+        assert_eq!(x.source, y.source);
+        assert_eq!(x.properties, y.properties);
+        assert_eq!(x.entities, y.entities);
+        assert_eq!(x.num_facts, y.num_facts);
+        assert_eq!(x.num_new_facts, y.num_new_facts);
+        assert_eq!(
+            x.profit.to_bits(),
+            y.profit.to_bits(),
+            "profits not bit-identical"
+        );
+    }
+    assert_eq!(incr.quarantine.len(), fresh.quarantine.len());
+    for (x, y) in incr.quarantine.iter().zip(fresh.quarantine.iter()) {
+        assert_eq!(x.source, y.source);
+        assert_eq!(x.stage, y.stage);
+        assert_eq!(x.cause.tag(), y.cause.tag());
+        assert_eq!(x.facts_seen, y.facts_seen);
+    }
+    assert_eq!(incr.rounds, fresh.rounds);
+}
+
+/// One accepted round, as recorded for cross-cell comparison.
+#[derive(Debug, PartialEq)]
+struct RoundTrace {
+    accepted_source: String,
+    facts_added: usize,
+    quarantined: usize,
+}
+
+/// Drives the augmentation loop at one (threads, window) cell, asserting
+/// incremental == fresh every round, and returns the accepted-round trace.
+fn drive_loop(corpus: &[SourceFacts], threads: usize, window: Option<usize>) -> Vec<RoundTrace> {
+    let mut aug = Augmenter::new(config_for(window), corpus.to_vec(), KnowledgeBase::new())
+        .with_threads(threads);
+    let mut trace = Vec::new();
+    for round in 0..20 {
+        let fresh = aug.suggest_fresh();
+        let incr = aug.suggest_report();
+        assert_round_identical(&incr, &fresh);
+        if round == 0 {
+            assert_eq!(incr.reused, 0, "first round runs on a cold cache");
+        } else {
+            assert!(incr.reused > 0, "round {round} replayed nothing");
+            assert!(
+                incr.detect_calls < fresh.detect_calls,
+                "round {round}: incremental ran {} tasks, rebuild ran {}",
+                incr.detect_calls,
+                fresh.detect_calls
+            );
+        }
+        let Some(best) = incr.slices.into_iter().find(|s| s.profit > 0.0) else {
+            break;
+        };
+        let quarantined = fresh.quarantine.len();
+        let step = aug.accept(&best);
+        trace.push(RoundTrace {
+            accepted_source: best.source.as_str().to_string(),
+            facts_added: step.facts_added,
+            quarantined,
+        });
+        if step.facts_added == 0 {
+            break;
+        }
+    }
+    trace
+}
+
+const WINDOWS: [Option<usize>; 2] = [Some(1), None];
+const THREADS: [usize; 2] = [1, 4];
+
+/// Clean corpus: ≥3 augmentation rounds, every cell matching the sequential
+/// unbounded reference round for round.
+#[test]
+fn clean_loop_is_incremental_invariant() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let corpus = multi_vertical_corpus(&mut t);
+    let reference = drive_loop(&corpus, 1, None);
+    assert!(
+        reference.len() >= 3,
+        "corpus must take ≥3 rounds to saturate: {reference:?}"
+    );
+    assert!(reference.iter().all(|r| r.quarantined == 0));
+    for window in WINDOWS {
+        for threads in THREADS {
+            let trace = drive_loop(&corpus, threads, window);
+            assert_eq!(trace, reference, "cell ({threads}, {window:?}) diverged");
+        }
+    }
+}
+
+/// With a round-0 panic and a budget exhaustion injected (by sorted source
+/// index), every cell still matches its from-scratch rebuild at every round
+/// and reproduces the same quarantine — cached fault outcomes replay
+/// exactly like recomputed ones.
+#[test]
+fn faulted_loop_is_incremental_invariant() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let corpus = multi_vertical_corpus(&mut t);
+    let plan = FaultPlan::parse("panic@#2,budget@#9").unwrap();
+
+    faultinject::install(plan.clone());
+    let reference = drive_loop(&corpus, 1, None);
+    faultinject::clear();
+    assert!(
+        reference.len() >= 3,
+        "corpus must take ≥3 rounds to saturate: {reference:?}"
+    );
+    assert!(
+        reference.iter().all(|r| r.quarantined == 2),
+        "both injected faults fire every round: {reference:?}"
+    );
+
+    for window in WINDOWS {
+        for threads in THREADS {
+            faultinject::install(plan.clone());
+            let trace = drive_loop(&corpus, threads, window);
+            faultinject::clear();
+            assert_eq!(trace, reference, "cell ({threads}, {window:?}) diverged");
+        }
+    }
+}
