@@ -38,14 +38,25 @@ midas — web source slice discovery (ICDE 2019 reproduction)
 USAGE:
   midas discover --facts FILE [--kb FILE] [--algorithm midas|greedy|aggcluster|naive]
                  [--threads N] [--top K] [--fp X] [--fc X] [--fd X] [--fv X]
-                 [--csv] [--explain] [ROBUSTNESS]
+                 [--csv] [--explain] [--snapshot-cache DIR] [ROBUSTNESS]
   midas stats    --facts FILE
   midas generate --dataset synthetic|reverb-slim|nell-slim|kvault
                  [--scale X] [--seed N] --out DIR
   midas eval     --facts FILE --gold FILE [--kb FILE] [--algorithm NAME] [--threads N]
-                 [ROBUSTNESS]
+                 [--snapshot-cache DIR] [ROBUSTNESS]
   midas augment  --facts FILE [--kb FILE] [--rounds N] [--threads N]
-                 [--fp X] [--fc X] [--fd X] [--fv X] [ROBUSTNESS]
+                 [--fp X] [--fc X] [--fd X] [--fv X] [--snapshot-cache DIR] [ROBUSTNESS]
+
+CACHING (discover, eval, augment):
+  --snapshot-cache DIR     reuse parsed corpora across runs. The facts and kb
+                           files are hashed together with the snapshot format
+                           version; a hit memory-maps the matching snapshot in
+                           DIR (skipping parsing and fact-table construction),
+                           a miss extracts as usual and writes the snapshot.
+                           Stale, truncated, or corrupt snapshots are ignored
+                           with a note and rebuilt. Results are bit-identical
+                           to uncached runs. Ignored under --lenient (faulty
+                           corpora are not cacheable).
 
 ROBUSTNESS (discover, eval, augment):
   --lenient                quarantine malformed input lines instead of aborting
@@ -128,6 +139,8 @@ pub enum Command {
         csv: bool,
         /// Include the profit breakdown per slice.
         explain: bool,
+        /// Corpus snapshot cache directory (`--snapshot-cache`).
+        snapshot_cache: Option<String>,
         /// Robustness limits (lenient ingestion + per-source budget).
         limits: RunLimits,
     },
@@ -160,6 +173,8 @@ pub enum Command {
         threads: usize,
         /// Cost model overrides `(fp, fc, fd, fv)`.
         cost: (f64, f64, f64, f64),
+        /// Corpus snapshot cache directory (`--snapshot-cache`).
+        snapshot_cache: Option<String>,
         /// Robustness limits (lenient ingestion + per-source budget).
         limits: RunLimits,
     },
@@ -175,6 +190,8 @@ pub enum Command {
         algorithm: Algorithm,
         /// Worker threads.
         threads: usize,
+        /// Corpus snapshot cache directory (`--snapshot-cache`).
+        snapshot_cache: Option<String>,
         /// Robustness limits (lenient ingestion + per-source budget).
         limits: RunLimits,
     },
@@ -292,6 +309,7 @@ impl ParsedArgs {
                     cost: (fp, fc, fd, fv),
                     csv: flags.flag("--csv"),
                     explain: flags.flag("--explain"),
+                    snapshot_cache: flags.value("--snapshot-cache")?.map(str::to_owned),
                     limits: parse_limits(&mut flags)?,
                 }
             }
@@ -319,6 +337,7 @@ impl ParsedArgs {
                     rounds,
                     threads,
                     cost: (fp, fc, fd, fv),
+                    snapshot_cache: flags.value("--snapshot-cache")?.map(str::to_owned),
                     limits: parse_limits(&mut flags)?,
                 }
             }
@@ -328,6 +347,7 @@ impl ParsedArgs {
                 kb: flags.value("--kb")?.map(str::to_owned),
                 algorithm: Algorithm::parse(flags.value("--algorithm")?.unwrap_or("midas"))?,
                 threads: parse_num("--threads", flags.value("--threads")?.unwrap_or("1"))?,
+                snapshot_cache: flags.value("--snapshot-cache")?.map(str::to_owned),
                 limits: parse_limits(&mut flags)?,
             },
             "help" | "--help" | "-h" => {
@@ -361,6 +381,7 @@ mod tests {
                 cost,
                 csv,
                 explain,
+                snapshot_cache,
                 limits,
             } => {
                 assert_eq!(facts, "f.tsv");
@@ -370,6 +391,7 @@ mod tests {
                 assert_eq!(top, 20);
                 assert_eq!(cost, (10.0, 0.001, 0.01, 0.1));
                 assert!(!csv && !explain);
+                assert_eq!(snapshot_cache, None);
                 assert_eq!(limits, RunLimits::default());
             }
             other => panic!("wrong command {other:?}"),
@@ -450,6 +472,7 @@ mod tests {
                 rounds,
                 threads,
                 cost,
+                snapshot_cache,
                 limits,
             } => {
                 assert_eq!(facts, "f.tsv");
@@ -457,6 +480,7 @@ mod tests {
                 assert_eq!(rounds, 10);
                 assert_eq!(threads, 1);
                 assert_eq!(cost, (10.0, 0.001, 0.01, 0.1));
+                assert_eq!(snapshot_cache, None);
                 assert_eq!(limits, RunLimits::default());
             }
             other => panic!("wrong command {other:?}"),
@@ -488,6 +512,28 @@ mod tests {
             err.to_string().contains("unrecognised argument"),
             "--top is discover-only"
         );
+    }
+
+    #[test]
+    fn snapshot_cache_flag_parses_on_discover_eval_augment() {
+        for cmdline in [
+            "discover --facts f --snapshot-cache /tmp/cache",
+            "eval --facts f --gold g --snapshot-cache /tmp/cache",
+            "augment --facts f --snapshot-cache /tmp/cache",
+        ] {
+            let p = ParsedArgs::parse(&argv(cmdline)).unwrap();
+            let cache = match p.command {
+                Command::Discover { snapshot_cache, .. }
+                | Command::Eval { snapshot_cache, .. }
+                | Command::Augment { snapshot_cache, .. } => snapshot_cache,
+                other => panic!("wrong command {other:?}"),
+            };
+            assert_eq!(cache.as_deref(), Some("/tmp/cache"), "{cmdline}");
+        }
+        let err = ParsedArgs::parse(&argv("stats --facts f --snapshot-cache /tmp/c")).unwrap_err();
+        assert!(err.to_string().contains("unrecognised argument"));
+        let err = ParsedArgs::parse(&argv("discover --facts f --snapshot-cache")).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
     }
 
     #[test]

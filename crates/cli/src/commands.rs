@@ -2,17 +2,20 @@
 
 use crate::args::{Algorithm, CliError, Command, ParsedArgs, RunLimits};
 use crate::facts_io;
+use crate::snapshot_cache;
 use midas_baselines::{AggCluster, Greedy, Naive};
 use midas_core::{
     faultinject, CostModel, DiscoveredSlice, FactTable, FaultPlan, MidasConfig, ProfitCtx,
-    Quarantine, SourceBudget, SourceFacts, SourceFault,
+    Quarantine, SourceBudget, SourceFacts,
 };
 use midas_eval::runner::{
     merge_by_domain, run_augmentation, run_detector_per_source_budgeted, run_midas_framework,
+    run_midas_framework_with_tables,
 };
 use midas_eval::{bootstrap_prf, match_to_gold, Table};
 use midas_kb::{DatasetStats, Interner, KnowledgeBase};
-use midas_weburl::UrlPattern;
+use midas_weburl::{SourceUrl, UrlPattern};
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
@@ -30,6 +33,7 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             cost,
             csv,
             explain,
+            snapshot_cache,
             limits,
         } => discover(
             &facts,
@@ -40,6 +44,7 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             cost,
             csv,
             explain,
+            snapshot_cache.as_deref(),
             limits,
             out,
         ),
@@ -49,8 +54,18 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             rounds,
             threads,
             cost,
+            snapshot_cache,
             limits,
-        } => augment(&facts, kb.as_deref(), rounds, threads, cost, limits, out),
+        } => augment(
+            &facts,
+            kb.as_deref(),
+            rounds,
+            threads,
+            cost,
+            snapshot_cache.as_deref(),
+            limits,
+            out,
+        ),
         Command::Stats { facts } => stats(&facts, out),
         Command::Generate {
             dataset,
@@ -64,6 +79,7 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             kb,
             algorithm,
             threads,
+            snapshot_cache,
             limits,
         } => eval(
             &facts,
@@ -71,6 +87,7 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             kb.as_deref(),
             algorithm,
             threads,
+            snapshot_cache.as_deref(),
             limits,
             out,
         ),
@@ -104,6 +121,20 @@ fn budget_from(limits: RunLimits) -> SourceBudget {
     budget
 }
 
+/// Writes snapshot-cache activity notes: `#`-comment lines in CSV mode,
+/// plain trailing lines otherwise. Notes always come after the result
+/// tables, so cached and uncached runs differ only in this trailer.
+fn write_notes(out: &mut dyn Write, notes: &[String], csv: bool) -> Result<(), CliError> {
+    for n in notes {
+        if csv {
+            writeln!(out, "# {n}")?;
+        } else {
+            writeln!(out, "{n}")?;
+        }
+    }
+    Ok(())
+}
+
 /// Writes the quarantine summary: as a trailing block in human mode, as
 /// `#`-comment lines in CSV mode (so the CSV body stays machine-parseable).
 fn write_quarantine(
@@ -125,25 +156,6 @@ fn write_quarantine(
     Ok(())
 }
 
-fn load_inputs(
-    facts_path: &str,
-    kb_path: Option<&str>,
-    lenient: bool,
-) -> Result<(Interner, Vec<SourceFacts>, KnowledgeBase, Vec<SourceFault>), CliError> {
-    let mut terms = Interner::new();
-    let reader = BufReader::new(File::open(facts_path)?);
-    let (sources, read_faults) = if lenient {
-        facts_io::read_facts_lenient(reader, &mut terms, facts_path)?
-    } else {
-        (facts_io::read_facts(reader, &mut terms)?, Vec::new())
-    };
-    let kb = match kb_path {
-        Some(p) => facts_io::read_kb(BufReader::new(File::open(p)?), &mut terms)?,
-        None => KnowledgeBase::new(),
-    };
-    Ok((terms, sources, kb, read_faults))
-}
-
 /// Runs the selected algorithm over a corpus, returning ranked slices.
 /// Equivalent to [`run_algorithm_budgeted`] with an unlimited budget,
 /// discarding the (then necessarily empty, bar panics) quarantine.
@@ -162,6 +174,7 @@ pub fn run_algorithm(
         threads,
         SourceBudget::unlimited(),
         None,
+        None,
     )
     .0
 }
@@ -170,7 +183,9 @@ pub fn run_algorithm(
 /// slices plus the quarantine of sources dropped during the run.
 /// `stream_window` bounds how many sources a framework round admits to its
 /// pool at once (`None` = unbounded); it only affects peak memory, never the
-/// result.
+/// result. `tables` carries prebuilt round-0 fact tables from a snapshot
+/// cache; only the MIDAS framework consumes them (the baselines re-merge
+/// sources by domain, so per-page tables cannot be reused).
 #[allow(clippy::too_many_arguments)]
 pub fn run_algorithm_budgeted(
     algorithm: Algorithm,
@@ -180,6 +195,7 @@ pub fn run_algorithm_budgeted(
     threads: usize,
     budget: SourceBudget,
     stream_window: Option<usize>,
+    tables: Option<&BTreeMap<SourceUrl, FactTable>>,
 ) -> (Vec<DiscoveredSlice>, Quarantine) {
     match algorithm {
         Algorithm::Midas => {
@@ -190,7 +206,10 @@ pub fn run_algorithm_budgeted(
                 .with_threads(threads)
                 .with_budget(budget)
                 .with_stream_window(stream_window);
-            let run = run_midas_framework(&cfg, sources.to_vec(), kb, threads);
+            let run = match tables {
+                Some(t) => run_midas_framework_with_tables(&cfg, sources.to_vec(), kb, threads, t),
+                None => run_midas_framework(&cfg, sources.to_vec(), kb, threads),
+            };
             (run.slices, run.quarantine)
         }
         Algorithm::Greedy => {
@@ -223,10 +242,14 @@ fn discover(
     (fp, fc, fd, fv): (f64, f64, f64, f64),
     csv: bool,
     explain: bool,
+    cache_dir: Option<&str>,
     limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let (terms, sources, kb, read_faults) = load_inputs(facts_path, kb_path, limits.lenient)?;
+    let loaded =
+        snapshot_cache::load_inputs_cached(facts_path, kb_path, limits.lenient, cache_dir)?;
+    let (terms, sources, kb, read_faults) =
+        (loaded.terms, loaded.sources, loaded.kb, loaded.read_faults);
     let cost = CostModel { fp, fc, fd, fv };
     let (slices, run_quarantine) = run_algorithm_budgeted(
         algorithm,
@@ -236,6 +259,7 @@ fn discover(
         threads,
         budget_from(limits),
         limits.stream_window,
+        loaded.tables.as_ref(),
     );
     let mut quarantine = Quarantine::new();
     for fault in read_faults {
@@ -310,22 +334,30 @@ fn discover(
         }
     }
     write_quarantine(out, &quarantine, csv)?;
+    write_notes(out, &loaded.notes, csv)?;
     Ok(())
 }
 
 /// Drives the incremental augmentation loop over the corpus and prints one
 /// row per round: what was accepted, what it added, and how much of the
 /// round's detection work was replayed from the warm cache.
+#[allow(clippy::too_many_arguments)]
 fn augment(
     facts_path: &str,
     kb_path: Option<&str>,
     rounds: usize,
     threads: usize,
     (fp, fc, fd, fv): (f64, f64, f64, f64),
+    cache_dir: Option<&str>,
     limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let (terms, sources, kb, read_faults) = load_inputs(facts_path, kb_path, limits.lenient)?;
+    // The augmentation loop memoises its own per-round tables; the snapshot
+    // cache still removes the cold-start parse on every warm invocation.
+    let loaded =
+        snapshot_cache::load_inputs_cached(facts_path, kb_path, limits.lenient, cache_dir)?;
+    let (terms, sources, kb, read_faults) =
+        (loaded.terms, loaded.sources, loaded.kb, loaded.read_faults);
     let config = MidasConfig::default()
         .with_cost(CostModel { fp, fc, fd, fv })
         .with_threads(threads)
@@ -392,6 +424,7 @@ fn augment(
         quarantine.merge(last.quarantine.clone());
     }
     write_quarantine(out, &quarantine, false)?;
+    write_notes(out, &loaded.notes, false)?;
     Ok(())
 }
 
@@ -466,27 +499,25 @@ fn generate(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval(
     facts_path: &str,
     gold_path: &str,
     kb_path: Option<&str>,
     algorithm: Algorithm,
     threads: usize,
+    cache_dir: Option<&str>,
     limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let mut terms = Interner::new();
-    let reader = BufReader::new(File::open(facts_path)?);
-    let (sources, read_faults) = if limits.lenient {
-        facts_io::read_facts_lenient(reader, &mut terms, facts_path)?
-    } else {
-        (facts_io::read_facts(reader, &mut terms)?, Vec::new())
-    };
+    // Gold labels are interned *after* the corpus: entities present in the
+    // facts resolve to their corpus symbols either way, so matching is
+    // unaffected, and the snapshot stays a pure function of facts + kb.
+    let loaded =
+        snapshot_cache::load_inputs_cached(facts_path, kb_path, limits.lenient, cache_dir)?;
+    let (mut terms, sources, kb, read_faults) =
+        (loaded.terms, loaded.sources, loaded.kb, loaded.read_faults);
     let gold = facts_io::read_gold(BufReader::new(File::open(gold_path)?), &mut terms)?;
-    let kb = match kb_path {
-        Some(p) => facts_io::read_kb(BufReader::new(File::open(p)?), &mut terms)?,
-        None => KnowledgeBase::new(),
-    };
     let (ranked, run_quarantine) = run_algorithm_budgeted(
         algorithm,
         CostModel::default(),
@@ -495,6 +526,7 @@ fn eval(
         threads,
         budget_from(limits),
         limits.stream_window,
+        loaded.tables.as_ref(),
     );
     let mut quarantine = Quarantine::new();
     for fault in read_faults {
@@ -526,6 +558,7 @@ fn eval(
         prf.f_measure, f_ci.lower, f_ci.upper
     )?;
     write_quarantine(out, &quarantine, false)?;
+    write_notes(out, &loaded.notes, false)?;
     Ok(())
 }
 
@@ -770,6 +803,57 @@ mod tests {
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("quarantined:     1"), "output:\n{text}");
         assert!(text.contains("quarantined 1 source(s)"), "output:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_cached_discover_matches_uncached_bit_for_bit() {
+        let dir = tmpdir("snapcache");
+        let dir_s = dir.to_str().unwrap();
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "generate --dataset synthetic --seed 11 --out {dir_s}"
+            )),
+            &mut out,
+        )
+        .unwrap();
+
+        let discover =
+            format!("discover --facts {dir_s}/facts.tsv --kb {dir_s}/kb.tsv --top 10 --explain");
+        // Everything before the snapshot-cache trailer must be identical
+        // across uncached, cache-miss, and cache-hit runs.
+        let body = |bytes: &[u8]| -> String {
+            String::from_utf8(bytes.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.starts_with("snapshot cache"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let mut uncached = Vec::new();
+        run(&argv(&discover), &mut uncached).unwrap();
+
+        let mut miss = Vec::new();
+        run(
+            &argv(&format!("{discover} --snapshot-cache {dir_s}/cache")),
+            &mut miss,
+        )
+        .unwrap();
+        let miss_text = String::from_utf8_lossy(&miss).to_string();
+        assert!(miss_text.contains("snapshot cache write"), "{miss_text}");
+
+        let mut hit = Vec::new();
+        run(
+            &argv(&format!("{discover} --snapshot-cache {dir_s}/cache")),
+            &mut hit,
+        )
+        .unwrap();
+        let hit_text = String::from_utf8_lossy(&hit).to_string();
+        assert!(hit_text.contains("snapshot cache hit"), "{hit_text}");
+
+        assert_eq!(body(&uncached), body(&miss), "cache miss changes results");
+        assert_eq!(body(&uncached), body(&hit), "cache hit changes results");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -5,7 +5,7 @@
 //! ```text
 //! midas discover --facts facts.tsv [--kb kb.tsv] [--algorithm midas]
 //!                [--threads 4] [--top 20] [--fp 10 --fc 0.001 --fd 0.01 --fv 0.1]
-//!                [--csv] [--explain]
+//!                [--csv] [--explain] [--snapshot-cache DIR]
 //! midas stats    --facts facts.tsv
 //! midas generate --dataset synthetic|reverb-slim|nell-slim|kvault
 //!                [--scale 0.01] [--seed 42] --out DIR
@@ -25,6 +25,7 @@
 pub mod args;
 pub mod commands;
 pub mod facts_io;
+pub mod snapshot_cache;
 
 pub use args::{CliError, Command, ParsedArgs};
 

@@ -1,0 +1,319 @@
+//! `--snapshot-cache`: content-addressed corpus snapshots for the CLI.
+//!
+//! The cache key hashes the raw facts and kb file bytes together with the
+//! snapshot format version ([`midas_extract::cachekey`]), so any edit to
+//! either input, or a format bump, addresses a different snapshot file. A
+//! hit memory-maps the snapshot and skips TSV parsing, sorting, and
+//! fact-table construction entirely; a miss parses and builds as usual,
+//! then writes the snapshot for the next run. A stale or damaged snapshot
+//! is never trusted: it is reported as a note and the run falls back to
+//! cold extraction (mirroring the quarantine philosophy — degrade loudly,
+//! never abort, never corrupt results).
+//!
+//! Lenient ingestion and armed fault-injection plans bypass the cache: both
+//! can drop records or whole sources at parse time, and a snapshot of a
+//! partial corpus keyed only by input bytes would replay those drops into
+//! runs that did not ask for them.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::args::CliError;
+use crate::facts_io;
+use midas_core::{faultinject, snapshot, FactTable, SourceFacts, SourceFault};
+use midas_extract::CacheKey;
+use midas_kb::{Interner, KnowledgeBase};
+use midas_weburl::SourceUrl;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Everything a run needs, plus (on the cached path) prebuilt round-0 fact
+/// tables and human-readable notes about cache activity.
+pub struct LoadedInputs {
+    /// The shared interner.
+    pub terms: Interner,
+    /// Per-source fact sets.
+    pub sources: Vec<SourceFacts>,
+    /// The knowledge base to augment.
+    pub kb: KnowledgeBase,
+    /// Faults quarantined while reading (lenient mode only).
+    pub read_faults: Vec<SourceFault>,
+    /// Prebuilt fact tables keyed by source URL, when the snapshot path was
+    /// taken (hit or freshly written miss). `None` on the plain cold path.
+    pub tables: Option<BTreeMap<SourceUrl, FactTable>>,
+    /// Cache activity notes for the operator (hits, bypasses, fallbacks).
+    pub notes: Vec<String>,
+}
+
+/// The snapshot file addressing a cache key inside `dir`.
+fn snapshot_path(dir: &str, key: u64) -> PathBuf {
+    PathBuf::from(dir).join(format!("midas-{key:016x}.snap"))
+}
+
+/// Loads facts + kb, going through the snapshot cache when `cache_dir` is
+/// set and the run is strict (no lenient ingestion, no armed fault plan).
+pub fn load_inputs_cached(
+    facts_path: &str,
+    kb_path: Option<&str>,
+    lenient: bool,
+    cache_dir: Option<&str>,
+) -> Result<LoadedInputs, CliError> {
+    let Some(dir) = cache_dir else {
+        return load_cold(facts_path, kb_path, lenient, Vec::new());
+    };
+    if lenient {
+        return load_cold(
+            facts_path,
+            kb_path,
+            lenient,
+            vec!["snapshot cache bypassed: --lenient runs are not cacheable".to_owned()],
+        );
+    }
+    if faultinject::armed() {
+        return load_cold(
+            facts_path,
+            kb_path,
+            lenient,
+            vec!["snapshot cache bypassed: fault-injection plan armed".to_owned()],
+        );
+    }
+
+    let facts_bytes = std::fs::read(facts_path)?;
+    let kb_bytes = match kb_path {
+        Some(p) => std::fs::read(p)?,
+        None => Vec::new(),
+    };
+    let key = CacheKey::new()
+        .part("facts", &facts_bytes)
+        .part("kb", &kb_bytes)
+        .part("config", b"strict")
+        .finish();
+    let path = snapshot_path(dir, key);
+    let mut notes = Vec::new();
+
+    if path.exists() {
+        match snapshot::load_corpus(&path, key) {
+            Ok(corpus) => {
+                let tables = corpus
+                    .sources
+                    .iter()
+                    .map(|s| s.url.clone())
+                    .zip(corpus.tables)
+                    .collect();
+                notes.push(format!("snapshot cache hit: {}", path.display()));
+                return Ok(LoadedInputs {
+                    terms: corpus.terms,
+                    sources: corpus.sources,
+                    kb: corpus.kb,
+                    read_faults: Vec::new(),
+                    tables: Some(tables),
+                    notes,
+                });
+            }
+            Err(e) => {
+                notes.push(format!(
+                    "snapshot cache: ignoring {}: {e}; re-extracting",
+                    path.display()
+                ));
+            }
+        }
+    }
+
+    // Miss (or unusable snapshot): parse the bytes already in memory, build
+    // the round-0 tables once, and persist them for the next run. The
+    // tables feed straight into the run, so the build is not extra work.
+    let mut terms = Interner::new();
+    let sources = facts_io::read_facts(&facts_bytes[..], &mut terms)?;
+    let kb = if kb_bytes.is_empty() {
+        KnowledgeBase::new()
+    } else {
+        facts_io::read_kb(&kb_bytes[..], &mut terms)?
+    };
+    let tables: Vec<FactTable> = sources.iter().map(|s| FactTable::build(s, &kb)).collect();
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| snapshot::save_corpus(&path, key, &terms, &sources, &kb, &tables))
+    {
+        notes.push(format!(
+            "snapshot cache: failed to write {}: {e}",
+            path.display()
+        ));
+    } else {
+        notes.push(format!("snapshot cache write: {}", path.display()));
+    }
+    let tables = sources.iter().map(|s| s.url.clone()).zip(tables).collect();
+    Ok(LoadedInputs {
+        terms,
+        sources,
+        kb,
+        read_faults: Vec::new(),
+        tables: Some(tables),
+        notes,
+    })
+}
+
+fn load_cold(
+    facts_path: &str,
+    kb_path: Option<&str>,
+    lenient: bool,
+    notes: Vec<String>,
+) -> Result<LoadedInputs, CliError> {
+    let mut terms = Interner::new();
+    let reader = std::io::BufReader::new(std::fs::File::open(facts_path)?);
+    let (sources, read_faults) = if lenient {
+        facts_io::read_facts_lenient(reader, &mut terms, facts_path)?
+    } else {
+        (facts_io::read_facts(reader, &mut terms)?, Vec::new())
+    };
+    let kb = match kb_path {
+        Some(p) => facts_io::read_kb(std::io::BufReader::new(std::fs::File::open(p)?), &mut terms)?,
+        None => KnowledgeBase::new(),
+    };
+    Ok(LoadedInputs {
+        terms,
+        sources,
+        kb,
+        read_faults,
+        tables: None,
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("midas_snapcache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_corpus(dir: &std::path::Path) -> (String, String) {
+        let facts = dir.join("facts.tsv");
+        let kb = dir.join("kb.tsv");
+        std::fs::write(
+            &facts,
+            "http://a.com/x\te1\tp\tv1\nhttp://a.com/y\te2\tp\tv2\nhttp://b.com\te3\tq\tv3\n",
+        )
+        .unwrap();
+        std::fs::write(&kb, "e1\tp\tv1\n").unwrap();
+        (
+            facts.to_str().unwrap().to_owned(),
+            kb.to_str().unwrap().to_owned(),
+        )
+    }
+
+    #[test]
+    fn miss_writes_then_hit_maps_the_same_corpus() {
+        let dir = tmpdir("misshit");
+        let cache = dir.join("cache");
+        let cache_s = cache.to_str().unwrap();
+        let (facts, kb) = write_corpus(&dir);
+
+        let cold = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        assert!(
+            cold.notes.iter().any(|n| n.contains("write")),
+            "{:?}",
+            cold.notes
+        );
+        assert!(cold.tables.is_some());
+
+        let warm = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        assert!(
+            warm.notes.iter().any(|n| n.contains("hit")),
+            "{:?}",
+            warm.notes
+        );
+        let tables = warm.tables.as_ref().unwrap();
+        assert_eq!(tables.len(), 3);
+        assert!(tables.values().all(FactTable::is_mapped));
+        assert_eq!(warm.sources.len(), cold.sources.len());
+        for (a, b) in warm.sources.iter().zip(&cold.sources) {
+            assert_eq!(a.url, b.url);
+            assert_eq!(&a.facts[..], &b.facts[..]);
+        }
+        assert_eq!(warm.kb.len(), cold.kb.len());
+        assert_eq!(warm.terms.len(), cold.terms.len());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn editing_an_input_addresses_a_new_snapshot() {
+        let dir = tmpdir("invalidate");
+        let cache = dir.join("cache");
+        let cache_s = cache.to_str().unwrap();
+        let (facts, kb) = write_corpus(&dir);
+
+        load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 1);
+
+        // Appending a fact changes the key: the next run misses and writes
+        // a second snapshot; the edited corpus is what gets loaded.
+        let mut contents = std::fs::read_to_string(&facts).unwrap();
+        contents.push_str("http://b.com\te4\tq\tv4\n");
+        std::fs::write(&facts, contents).unwrap();
+        let after = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        assert!(
+            after.notes.iter().any(|n| n.contains("write")),
+            "{:?}",
+            after.notes
+        );
+        assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 2);
+        assert_eq!(
+            after.sources.iter().map(|s| s.len()).sum::<usize>(),
+            4,
+            "the edited corpus is served, not the stale snapshot"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_and_heals() {
+        let dir = tmpdir("corrupt");
+        let cache = dir.join("cache");
+        let cache_s = cache.to_str().unwrap();
+        let (facts, kb) = write_corpus(&dir);
+
+        load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        let snap = std::fs::read_dir(&cache).unwrap().next().unwrap().unwrap();
+        let mut bytes = std::fs::read(snap.path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(snap.path(), &bytes).unwrap();
+
+        let healed = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        assert!(
+            healed.notes.iter().any(|n| n.contains("ignoring")),
+            "fallback is noted: {:?}",
+            healed.notes
+        );
+        assert!(
+            healed.notes.iter().any(|n| n.contains("write")),
+            "snapshot is rewritten: {:?}",
+            healed.notes
+        );
+        assert_eq!(healed.sources.len(), 3);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lenient_runs_bypass_with_a_note() {
+        let dir = tmpdir("lenient");
+        let cache = dir.join("cache");
+        let cache_s = cache.to_str().unwrap();
+        let (facts, kb) = write_corpus(&dir);
+        let loaded = load_inputs_cached(&facts, Some(&kb), true, Some(cache_s)).unwrap();
+        assert!(loaded.tables.is_none());
+        assert!(
+            loaded.notes.iter().any(|n| n.contains("bypassed")),
+            "{:?}",
+            loaded.notes
+        );
+        assert!(!cache.exists(), "no snapshot is written on the bypass path");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

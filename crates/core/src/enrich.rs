@@ -53,7 +53,7 @@ impl RangeEnrichment {
     /// `(s, p:range, bucket_label(v))` is added. Original facts are kept
     /// unchanged.
     pub fn enrich(&self, source: &SourceFacts, terms: &mut Interner) -> SourceFacts {
-        let mut facts = source.facts.clone();
+        let mut facts = source.facts.to_vec();
         let mut derived = Vec::new();
         for f in &source.facts {
             let raw = terms.resolve(f.object).to_owned();

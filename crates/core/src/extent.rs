@@ -8,25 +8,86 @@
 //! (sparse) or as a `u64`-block bitset (dense), picking the representation
 //! from the set's density relative to the source's entity universe.
 //!
-//! The crossover is [`DENSITY_DIVISOR`]: a set is dense iff
-//! `len · DENSITY_DIVISOR ≥ universe` (and non-empty). At 32 the switch is
-//! memory-neutral or better — the bitset's `universe/8` bytes never exceed
-//! the sparse form's `4·len` bytes once `len ≥ universe/32` — while
-//! intersections and unions between dense sets collapse to word-wise
-//! `AND`/`OR` plus popcounts, which beat the sparse two-pointer merge down
-//! to densities of a few percent — the operation hierarchy construction
-//! performs millions of times on large sources.
+//! The crossover is the set's *density divisor*: a set is dense iff
+//! `len · divisor ≥ universe` (and non-empty). At the default
+//! [`DENSITY_DIVISOR`] of 32 the switch is memory-neutral or better — the
+//! bitset's `universe/8` bytes never exceed the sparse form's `4·len` bytes
+//! once `len ≥ universe/32` — while intersections and unions between dense
+//! sets collapse to word-wise `AND`/`OR` plus popcounts, which beat the
+//! sparse two-pointer merge down to densities of a few percent — the
+//! operation hierarchy construction performs millions of times on large
+//! sources. The divisor is *calibrated per fact table* from the observed
+//! universe/extent-length distribution ([`calibrate_divisor`]): small
+//! universes and top-heavy length distributions tolerate a larger divisor,
+//! shifting more sets onto the word-parallel dense path at bounded memory
+//! cost. The divisor only ever selects the representation — never the
+//! contents — so calibrated and fixed-divisor runs are result-identical.
 //!
-//! The representation is *normal*: it is a pure function of
-//! `(universe, contents)`, so structural equality (`==`) is set equality and
-//! the derived `PartialEq` never confuses two encodings of the same set.
+//! The representation is a pure function of `(universe, divisor, contents)`;
+//! equality compares contents, so `==` is set equality across both
+//! representations and across divisors.
+//!
+//! Backing storage is [`Column`]: sparse id lists and dense blocks either
+//! own their buffers or borrow zero-copy from an mmap'd snapshot, copying
+//! on first mutation.
 
 use crate::fact_table::EntityId;
 use crate::scratch;
+use midas_kb::Column;
 
-/// Density crossover: a set is stored dense iff `len * DENSITY_DIVISOR >=
-/// universe` and the set is non-empty.
+/// Default density crossover: a set is stored dense iff
+/// `len * divisor >= universe` and the set is non-empty.
 pub const DENSITY_DIVISOR: u32 = 32;
+
+/// Largest calibrated divisor (see [`calibrate_divisor`]).
+pub const MAX_DENSITY_DIVISOR: u32 = 256;
+
+/// Picks a density divisor for a fact table whose extents range over
+/// `universe` entities and have the given lengths.
+///
+/// The walk starts at [`DENSITY_DIVISOR`] (the memory break-even point) and
+/// doubles while the step stays cheap, up to a universe-dependent cap:
+///
+/// * universes of ≤ 2048 entities jump straight to
+///   [`MAX_DENSITY_DIVISOR`] — their whole bitset is ≤ 256 bytes, a few
+///   cache lines, so dense ops win at any density worth storing;
+/// * otherwise a doubling is accepted while the bitset bytes of the extents
+///   it *flips* to dense stay within 2× the sparse bytes they replace —
+///   a bounded memory premium for the word-parallel fast path, judged
+///   against the table's actual length distribution.
+///
+/// Deterministic in its inputs, so snapshots can persist the result and
+/// rebuilds agree bit-for-bit.
+pub fn calibrate_divisor(universe: u32, lens: &[u32]) -> u32 {
+    if universe <= 2048 {
+        return MAX_DENSITY_DIVISOR;
+    }
+    let cap = if universe <= 16_384 {
+        128
+    } else if universe <= 131_072 {
+        64
+    } else {
+        return DENSITY_DIVISOR;
+    };
+    let dense_bytes = (universe as u64).div_ceil(64) * 8;
+    let mut divisor = DENSITY_DIVISOR;
+    while divisor < cap {
+        let next = divisor * 2;
+        let mut flips = 0u64;
+        let mut sparse_bytes = 0u64;
+        for &len in lens {
+            if prefers_dense(universe, len, next) && !prefers_dense(universe, len, divisor) {
+                flips += 1;
+                sparse_bytes += 4 * u64::from(len);
+            }
+        }
+        if flips * dense_bytes > 2 * sparse_bytes {
+            break;
+        }
+        divisor = next;
+    }
+    divisor
+}
 
 /// Skew crossover for the sparse-sparse intersection: when one side is more
 /// than `GALLOP_RATIO` times longer than the other, the linear two-pointer
@@ -36,23 +97,42 @@ pub const DENSITY_DIVISOR: u32 = 32;
 pub const GALLOP_RATIO: usize = 16;
 
 /// A set of entities of one fact table, stored sparse or dense by density.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct ExtentSet {
     universe: u32,
+    /// Density crossover for this set; [`DENSITY_DIVISOR`] by default,
+    /// calibrated per fact table. Binary ops propagate the larger divisor.
+    divisor: u32,
     repr: Repr,
 }
+
+/// Equality is *set* equality: divisor and representation are storage
+/// choices, not part of the value.
+impl PartialEq for ExtentSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe
+            && self.len() == other.len()
+            && match (&self.repr, &other.repr) {
+                (Repr::Sparse(a), Repr::Sparse(b)) => a == b,
+                (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => a == b,
+                _ => self.iter().eq(other.iter()),
+            }
+    }
+}
+
+impl Eq for ExtentSet {}
 
 #[derive(Clone, PartialEq, Eq)]
 enum Repr {
     /// Sorted, deduplicated entity ids.
-    Sparse(Vec<EntityId>),
+    Sparse(Column<EntityId>),
     /// Bitset over `0..universe`; `len` caches the popcount.
-    Dense { blocks: Vec<u64>, len: u32 },
+    Dense { blocks: Column<u64>, len: u32 },
 }
 
 #[inline]
-fn prefers_dense(universe: u32, len: u32) -> bool {
-    len > 0 && u64::from(len) * u64::from(DENSITY_DIVISOR) >= u64::from(universe)
+fn prefers_dense(universe: u32, len: u32, divisor: u32) -> bool {
+    len > 0 && u64::from(len) * u64::from(divisor) >= u64::from(universe)
 }
 
 #[inline]
@@ -65,7 +145,8 @@ impl ExtentSet {
     pub fn empty(universe: u32) -> Self {
         ExtentSet {
             universe,
-            repr: Repr::Sparse(Vec::new()),
+            divisor: DENSITY_DIVISOR,
+            repr: Repr::Sparse(Column::new()),
         }
     }
 
@@ -82,8 +163,9 @@ impl ExtentSet {
         debug_assert_eq!(kernels::count(&blocks), universe, "cached len invariant");
         ExtentSet {
             universe,
+            divisor: DENSITY_DIVISOR,
             repr: Repr::Dense {
-                blocks,
+                blocks: blocks.into(),
                 len: universe,
             },
         }
@@ -92,11 +174,21 @@ impl ExtentSet {
 
     /// Builds a set from a sorted, deduplicated id list with ids `< universe`.
     pub fn from_sorted(universe: u32, ids: Vec<EntityId>) -> Self {
+        Self::from_sorted_with_divisor(universe, DENSITY_DIVISOR, ids)
+    }
+
+    /// [`Self::from_sorted`] with an explicit (calibrated) density divisor.
+    pub fn from_sorted_with_divisor(universe: u32, divisor: u32, ids: Vec<EntityId>) -> Self {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids sorted + distinct");
         debug_assert!(ids.last().is_none_or(|&e| e < universe), "ids in universe");
+        debug_assert!(
+            divisor >= DENSITY_DIVISOR,
+            "calibration only raises the divisor"
+        );
         ExtentSet {
             universe,
-            repr: Repr::Sparse(ids),
+            divisor,
+            repr: Repr::Sparse(ids.into()),
         }
         .normalized()
     }
@@ -108,9 +200,45 @@ impl ExtentSet {
         Self::from_sorted(universe, ids)
     }
 
+    /// Reconstructs a sparse set from snapshot storage. The column must be
+    /// sorted, deduplicated, in-universe, and *sparse-preferred* under
+    /// `divisor` — snapshots persist the normalized representation, so the
+    /// loader never needs to re-normalize (which would copy the column).
+    pub(crate) fn from_raw_sparse(universe: u32, divisor: u32, ids: Column<EntityId>) -> Self {
+        debug_assert!(!prefers_dense(universe, ids.len() as u32, divisor));
+        ExtentSet {
+            universe,
+            divisor,
+            repr: Repr::Sparse(ids),
+        }
+    }
+
+    /// Reconstructs a dense set from snapshot storage (see
+    /// [`Self::from_raw_sparse`] for the normalization contract).
+    pub(crate) fn from_raw_dense(
+        universe: u32,
+        divisor: u32,
+        blocks: Column<u64>,
+        len: u32,
+    ) -> Self {
+        debug_assert_eq!(blocks.len(), block_count(universe));
+        debug_assert_eq!(kernels::count(&blocks), len);
+        debug_assert!(prefers_dense(universe, len, divisor));
+        ExtentSet {
+            universe,
+            divisor,
+            repr: Repr::Dense { blocks, len },
+        }
+    }
+
     /// The size of the entity universe this set ranges over.
     pub fn universe(&self) -> u32 {
         self.universe
+    }
+
+    /// The density divisor steering this set's representation choice.
+    pub fn divisor(&self) -> u32 {
+        self.divisor
     }
 
     /// Number of entities in the set.
@@ -162,7 +290,7 @@ impl ExtentSet {
     /// per-element dispatch.
     pub fn sparse_ids(&self) -> Option<&[EntityId]> {
         match &self.repr {
-            Repr::Sparse(v) => Some(v),
+            Repr::Sparse(v) => Some(v.as_slice()),
             Repr::Dense { .. } => None,
         }
     }
@@ -172,15 +300,23 @@ impl ExtentSet {
     pub fn dense_blocks(&self) -> Option<&[u64]> {
         match &self.repr {
             Repr::Sparse(_) => None,
-            Repr::Dense { blocks, .. } => Some(blocks),
+            Repr::Dense { blocks, .. } => Some(blocks.as_slice()),
         }
     }
 
     /// The sorted id list of the set.
     pub fn to_vec(&self) -> Vec<EntityId> {
         match &self.repr {
-            Repr::Sparse(v) => v.clone(),
+            Repr::Sparse(v) => v.as_slice().to_vec(),
             Repr::Dense { .. } => self.iter().collect(),
+        }
+    }
+
+    /// Whether either backing buffer still borrows from a snapshot mapping.
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            Repr::Sparse(v) => v.is_mapped(),
+            Repr::Dense { blocks, .. } => blocks.is_mapped(),
         }
     }
 
@@ -199,62 +335,84 @@ impl ExtentSet {
     pub fn intersect(&self, other: &ExtentSet) -> ExtentSet {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
         let universe = self.universe;
+        let divisor = self.divisor.max(other.divisor);
         let repr = match (&self.repr, &other.repr) {
-            (Repr::Sparse(a), Repr::Sparse(b)) => Repr::Sparse(intersect_vec(a, b)),
+            (Repr::Sparse(a), Repr::Sparse(b)) => Repr::Sparse(intersect_vec(a, b).into()),
             (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => {
                 let mut blocks = scratch::take_blocks(a.len());
                 let len = kernels::and_into(&mut blocks, a, b);
                 blocks_or_empty(&mut blocks, len);
-                Repr::Dense { blocks, len }
+                Repr::Dense {
+                    blocks: blocks.into(),
+                    len,
+                }
             }
             (Repr::Sparse(a), Repr::Dense { .. }) => {
                 let mut out = scratch::take_ids();
                 out.extend(a.iter().copied().filter(|&e| other.contains(e)));
-                Repr::Sparse(out)
+                Repr::Sparse(out.into())
             }
             (Repr::Dense { .. }, Repr::Sparse(b)) => {
                 let mut out = scratch::take_ids();
                 out.extend(b.iter().copied().filter(|&e| self.contains(e)));
-                Repr::Sparse(out)
+                Repr::Sparse(out.into())
             }
         };
-        ExtentSet { universe, repr }.normalized()
+        ExtentSet {
+            universe,
+            divisor,
+            repr,
+        }
+        .normalized()
     }
 
     /// `self ∪ other` as a new set.
     pub fn union(&self, other: &ExtentSet) -> ExtentSet {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
         let universe = self.universe;
+        let divisor = self.divisor.max(other.divisor);
         let repr = match (&self.repr, &other.repr) {
-            (Repr::Sparse(a), Repr::Sparse(b)) => Repr::Sparse(union_vec(a, b)),
+            (Repr::Sparse(a), Repr::Sparse(b)) => Repr::Sparse(union_vec(a, b).into()),
             (Repr::Dense { blocks: a, .. }, Repr::Dense { blocks: b, .. }) => {
                 let mut blocks = scratch::take_blocks(a.len());
                 let len = kernels::or_into(&mut blocks, a, b);
-                Repr::Dense { blocks, len }
+                Repr::Dense {
+                    blocks: blocks.into(),
+                    len,
+                }
             }
             (Repr::Sparse(a), Repr::Dense { blocks, len }) => dense_with(blocks, *len, a),
             (Repr::Dense { blocks, len }, Repr::Sparse(b)) => dense_with(blocks, *len, b),
         };
-        ExtentSet { universe, repr }.normalized()
+        ExtentSet {
+            universe,
+            divisor,
+            repr,
+        }
+        .normalized()
     }
 
     /// In-place `self ∩= other`; avoids allocation when both sides are dense.
     pub fn intersect_with(&mut self, other: &ExtentSet) {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.divisor = self.divisor.max(other.divisor);
         match (&mut self.repr, &other.repr) {
             (Repr::Dense { blocks, len }, Repr::Dense { blocks: b, .. }) => {
-                *len = kernels::and_assign(blocks, b);
+                *len = kernels::and_assign(blocks.make_mut(), b);
             }
             (Repr::Sparse(a), Repr::Sparse(b)) if skewed(a.len(), b.len()) => {
                 // Pathological skew: gallop into a pooled buffer and swap it
                 // in — still allocation-free in the steady state.
                 let mut out = scratch::take_ids();
                 gallop_intersect_into(a, b, &mut out);
-                scratch::put_ids(std::mem::replace(a, out));
+                if let Some(old) = std::mem::replace(a, out.into()).take_owned() {
+                    scratch::put_ids(old);
+                }
             }
             (Repr::Sparse(a), Repr::Sparse(b)) => {
                 // In-place two-pointer merge — `retain` + `binary_search`
                 // would cost O(|a|·log|b|) and dominates `extent_of`.
+                let a = a.make_mut();
                 let mut j = 0;
                 let mut k = 0;
                 for i in 0..a.len() {
@@ -270,7 +428,7 @@ impl ExtentSet {
                 }
                 a.truncate(k);
             }
-            (Repr::Sparse(a), Repr::Dense { .. }) => a.retain(|&e| other.contains(e)),
+            (Repr::Sparse(a), Repr::Dense { .. }) => a.make_mut().retain(|&e| other.contains(e)),
             _ => {
                 *self = self.intersect(other);
                 return;
@@ -282,11 +440,13 @@ impl ExtentSet {
     /// In-place `self ∪= other`; avoids allocation when `self` is dense.
     pub fn union_with(&mut self, other: &ExtentSet) {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.divisor = self.divisor.max(other.divisor);
         match (&mut self.repr, &other.repr) {
             (Repr::Dense { blocks, len }, Repr::Dense { blocks: b, .. }) => {
-                *len = kernels::or_assign(blocks, b);
+                *len = kernels::or_assign(blocks.make_mut(), b);
             }
             (Repr::Dense { blocks, len }, Repr::Sparse(b)) => {
+                let blocks = blocks.make_mut();
                 for &e in b {
                     let w = &mut blocks[(e / 64) as usize];
                     let bit = 1u64 << (e % 64);
@@ -355,10 +515,11 @@ impl ExtentSet {
     /// Converts to the density-preferred representation in place.
     fn renormalize(&mut self) {
         let len = self.len() as u32;
-        let want_dense = prefers_dense(self.universe, len);
+        let want_dense = prefers_dense(self.universe, len, self.divisor);
         match (&self.repr, want_dense) {
             (Repr::Sparse(_), true) => {
-                let Repr::Sparse(v) = std::mem::replace(&mut self.repr, Repr::Sparse(Vec::new()))
+                let Repr::Sparse(mut v) =
+                    std::mem::replace(&mut self.repr, Repr::Sparse(Column::new()))
                 else {
                     unreachable!()
                 };
@@ -366,18 +527,25 @@ impl ExtentSet {
                 for &e in &v {
                     blocks[(e / 64) as usize] |= 1u64 << (e % 64);
                 }
-                scratch::put_ids(v);
-                self.repr = Repr::Dense { blocks, len };
+                if let Some(old) = v.take_owned() {
+                    scratch::put_ids(old);
+                }
+                self.repr = Repr::Dense {
+                    blocks: blocks.into(),
+                    len,
+                };
             }
             (Repr::Dense { .. }, false) => {
                 let mut ids = scratch::take_ids();
                 ids.extend(self.iter());
-                let Repr::Dense { blocks, .. } =
-                    std::mem::replace(&mut self.repr, Repr::Sparse(ids))
+                let Repr::Dense { mut blocks, .. } =
+                    std::mem::replace(&mut self.repr, Repr::Sparse(ids.into()))
                 else {
                     unreachable!()
                 };
-                scratch::put_blocks(blocks);
+                if let Some(old) = blocks.take_owned() {
+                    scratch::put_blocks(old);
+                }
             }
             _ => {}
         }
@@ -385,11 +553,20 @@ impl ExtentSet {
 
     /// Consumes the set, returning its backing buffer to the scratch pool so
     /// the next shard can reuse the capacity. Purely an optimisation —
-    /// dropping the set instead is always correct.
+    /// dropping the set instead is always correct; mapped (snapshot-backed)
+    /// buffers belong to the mapping and are simply dropped.
     pub fn recycle(self) {
         match self.repr {
-            Repr::Sparse(v) => scratch::put_ids(v),
-            Repr::Dense { blocks, .. } => scratch::put_blocks(blocks),
+            Repr::Sparse(mut v) => {
+                if let Some(old) = v.take_owned() {
+                    scratch::put_ids(old);
+                }
+            }
+            Repr::Dense { mut blocks, .. } => {
+                if let Some(old) = blocks.take_owned() {
+                    scratch::put_blocks(old);
+                }
+            }
         }
     }
 }
@@ -549,7 +726,7 @@ mod kernels {
 }
 
 /// Dense blocks plus a sparse list, as a dense repr.
-fn dense_with(blocks: &[u64], len: u32, extra: &[EntityId]) -> Repr {
+fn dense_with(blocks: &Column<u64>, len: u32, extra: &Column<EntityId>) -> Repr {
     let mut out = scratch::take_blocks(blocks.len());
     out.copy_from_slice(blocks);
     let mut blocks = out;
@@ -562,7 +739,10 @@ fn dense_with(blocks: &[u64], len: u32, extra: &[EntityId]) -> Repr {
             len += 1;
         }
     }
-    Repr::Dense { blocks, len }
+    Repr::Dense {
+        blocks: blocks.into(),
+        len,
+    }
 }
 
 /// Whether a sparse-sparse pair is skewed enough for galloping to beat the
@@ -970,6 +1150,86 @@ mod tests {
             fresh.to_vec(),
             (0..1000).map(|i| i * 10).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn calibrated_divisor_is_deterministic_and_bounded() {
+        // Tiny universes densify aggressively regardless of distribution.
+        assert_eq!(calibrate_divisor(100, &[1, 2, 3]), MAX_DENSITY_DIVISOR);
+        assert_eq!(calibrate_divisor(2048, &[]), MAX_DENSITY_DIVISOR);
+        // Huge universes stay at the memory break-even default.
+        assert_eq!(calibrate_divisor(1_000_000, &[10, 5000]), DENSITY_DIVISOR);
+        // Mid-size universes: top-heavy distributions (lengths just under
+        // the current crossover) accept the doubling; bottom-heavy ones
+        // (mass just over universe/next) stop at the memory gate.
+        let u = 10_000;
+        let top_heavy: Vec<u32> = vec![u / 33; 64];
+        let d = calibrate_divisor(u, &top_heavy);
+        assert!(d > DENSITY_DIVISOR, "top-heavy distribution densifies");
+        assert!(d <= 128, "capped by universe size");
+        // Lengths just above universe/128 flip at the 64→128 doubling and
+        // cost ~4× their sparse bytes as bitsets — the memory gate refuses.
+        let bottom_heavy: Vec<u32> = vec![u / 128 + 2; 64];
+        assert_eq!(calibrate_divisor(u, &bottom_heavy), 64);
+        // Determinism: same inputs, same answer.
+        assert_eq!(calibrate_divisor(u, &top_heavy), d);
+    }
+
+    #[test]
+    fn calibrated_divisor_changes_repr_but_never_contents() {
+        // Equivalence against the fixed divisor: for a sweep of densities,
+        // the calibrated set has identical contents and identical results
+        // under every operation, even where the representation differs.
+        let u = 2000; // calibrates to MAX_DENSITY_DIVISOR
+        let d = calibrate_divisor(u, &[]);
+        assert_eq!(d, MAX_DENSITY_DIVISOR);
+        let other = ExtentSet::from_sorted(u, (0..u).filter(|e| e % 7 == 0).collect());
+        for step in [1u32, 9, 40, 100, 300] {
+            let ids: Vec<EntityId> = (0..u).step_by(step as usize).collect();
+            let fixed = ExtentSet::from_sorted(u, ids.clone());
+            let calibrated = ExtentSet::from_sorted_with_divisor(u, d, ids.clone());
+            assert_eq!(calibrated.divisor(), d);
+            assert_eq!(fixed, calibrated, "set equality across divisors");
+            assert_eq!(fixed.to_vec(), calibrated.to_vec());
+            if prefers_dense(u, fixed.len() as u32, d)
+                && !prefers_dense(u, fixed.len() as u32, DENSITY_DIVISOR)
+            {
+                assert!(calibrated.is_dense() && !fixed.is_dense());
+            }
+            assert_eq!(
+                fixed.intersect(&other).to_vec(),
+                calibrated.intersect(&other).to_vec(),
+                "step={step}"
+            );
+            assert_eq!(
+                fixed.union(&other).to_vec(),
+                calibrated.union(&other).to_vec(),
+                "step={step}"
+            );
+            let mut a = fixed.clone();
+            a.intersect_with(&other);
+            let mut b = calibrated.clone();
+            b.intersect_with(&other);
+            assert_eq!(a.to_vec(), b.to_vec());
+            let mut a = fixed.clone();
+            a.union_with(&other);
+            let mut b = calibrated.clone();
+            b.union_with(&other);
+            assert_eq!(a.to_vec(), b.to_vec());
+            assert_eq!(fixed.is_subset_of(&other), calibrated.is_subset_of(&other));
+        }
+    }
+
+    #[test]
+    fn binary_ops_propagate_the_larger_divisor() {
+        let u = 2000;
+        let a = ExtentSet::from_sorted_with_divisor(u, 256, vec![1, 2, 3]);
+        let b = ExtentSet::from_sorted(u, vec![2, 3, 4]);
+        assert_eq!(a.intersect(&b).divisor(), 256);
+        assert_eq!(b.union(&a).divisor(), 256);
+        let mut c = b.clone();
+        c.intersect_with(&a);
+        assert_eq!(c.divisor(), 256);
     }
 
     #[test]

@@ -14,11 +14,19 @@
 //! (Definition 5), the gain/cost of any slice — or union of slices — reduces
 //! to sums of these two counts over a set of distinct entities. That
 //! reduction is what makes hierarchy construction cheap.
+//!
+//! All bulk storage is [`Column`]-backed and flat: entity rows are
+//! contiguous slices of the (sorted) source fact column addressed through an
+//! offsets array, and per-entity property lists are flattened the same way.
+//! A table loaded from a corpus snapshot therefore borrows every column
+//! directly from the memory-mapped file; only the hash indexes
+//! (`by_subject`, the catalog's `by_pair`) and the derived prefix/packed
+//! count arrays are rebuilt in memory.
 
 use midas_kb::fnv::FnvHashMap;
-use midas_kb::{Fact, KnowledgeBase, Symbol};
+use midas_kb::{Column, Fact, KnowledgeBase, Symbol};
 
-use crate::extent::ExtentSet;
+use crate::extent::{calibrate_divisor, ExtentSet};
 use crate::scratch;
 use crate::source::SourceFacts;
 
@@ -32,9 +40,9 @@ pub type PropertyId = u32;
 /// inverted index from property to the (sorted) entities that carry it.
 #[derive(Debug, Default, Clone)]
 pub struct PropertyCatalog {
-    props: Vec<(Symbol, Symbol)>,
+    pub(crate) props: Vec<(Symbol, Symbol)>,
     by_pair: FnvHashMap<(Symbol, Symbol), PropertyId>,
-    extents: Vec<ExtentSet>,
+    pub(crate) extents: Vec<ExtentSet>,
 }
 
 impl PropertyCatalog {
@@ -63,6 +71,22 @@ impl PropertyCatalog {
         &self.extents[id as usize]
     }
 
+    /// Reassembles a catalog from its stored parts, rebuilding the
+    /// pair-to-id hash index (hash tables are not snapshotted).
+    pub(crate) fn from_parts(props: Vec<(Symbol, Symbol)>, extents: Vec<ExtentSet>) -> Self {
+        debug_assert_eq!(props.len(), extents.len());
+        let by_pair = props
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as PropertyId))
+            .collect();
+        PropertyCatalog {
+            props,
+            by_pair,
+            extents,
+        }
+    }
+
     fn intern(&mut self, pred: Symbol, value: Symbol) -> PropertyId {
         if let Some(&id) = self.by_pair.get(&(pred, value)) {
             return id;
@@ -77,59 +101,88 @@ impl PropertyCatalog {
 /// The fact table `F_W` of one web source (Definition 3).
 #[derive(Debug, Clone)]
 pub struct FactTable {
-    subjects: Vec<Symbol>,
+    pub(crate) subjects: Column<Symbol>,
     by_subject: FnvHashMap<Symbol, EntityId>,
-    /// Facts per entity row, grouped and sorted.
-    rows: Vec<Vec<Fact>>,
-    /// Distinct properties per entity (dedup of `(pred, value)` pairs).
-    entity_props: Vec<Vec<PropertyId>>,
-    facts_count: Vec<u32>,
-    new_count: Vec<u32>,
+    /// All facts in `(s, p, o)` order; row `e` is the slice
+    /// `rows_flat[row_offsets[e] .. row_offsets[e + 1]]`. When built from a
+    /// `SourceFacts` this is a clone of its column — an `Arc` bump if the
+    /// source is snapshot-mapped.
+    pub(crate) rows_flat: Column<Fact>,
+    /// `num_entities + 1` row start offsets into `rows_flat`.
+    pub(crate) row_offsets: Column<u32>,
+    /// Distinct sorted properties per entity, flattened; entity `e` owns
+    /// `entity_props_flat[entity_props_offsets[e] .. entity_props_offsets[e + 1]]`.
+    pub(crate) entity_props_flat: Column<PropertyId>,
+    /// `num_entities + 1` offsets into `entity_props_flat`.
+    pub(crate) entity_props_offsets: Column<u32>,
+    pub(crate) facts_count: Column<u32>,
+    pub(crate) new_count: Column<u32>,
     /// `new(e)` in the low 32 bits, `facts(e)` in the high 32 — one load
     /// (and one cache stream) per entity in the profit gather loops.
-    packed_counts: Vec<u64>,
+    packed_counts: Column<u64>,
     /// `facts_prefix[i] = Σ_{e<i} facts(e)` — lets [`Self::fact_counts`]
     /// charge a fully-populated 64-entity word of a dense extent in O(1).
-    facts_prefix: Vec<u64>,
+    facts_prefix: Column<u64>,
     /// `new_prefix[i] = Σ_{e<i} new(e)`.
-    new_prefix: Vec<u64>,
-    catalog: PropertyCatalog,
-    total_facts: usize,
-    distinct_sp_pairs: usize,
+    new_prefix: Column<u64>,
+    pub(crate) catalog: PropertyCatalog,
+    pub(crate) total_facts: usize,
+    pub(crate) distinct_sp_pairs: usize,
+    /// The density divisor all extents of this table were sealed with,
+    /// calibrated per table from the extent length distribution.
+    pub(crate) divisor: u32,
 }
 
 impl FactTable {
     /// Builds the fact table for `source` against knowledge base `kb`.
     pub fn build(source: &SourceFacts, kb: &KnowledgeBase) -> Self {
+        let facts: &[Fact] = &source.facts;
+        // `source.facts` is sorted by (s, p, o), so each entity's facts form
+        // one contiguous run and subjects appear in ascending symbol order.
+        // Rows are therefore slices of the source column itself.
+        debug_assert!(facts.windows(2).all(|w| w[0] < w[1]));
         let mut subjects: Vec<Symbol> = Vec::new();
-        let mut by_subject: FnvHashMap<Symbol, EntityId> = FnvHashMap::default();
-        let mut rows: Vec<Vec<Fact>> = Vec::new();
-        for &f in &source.facts {
-            let eid = *by_subject.entry(f.subject).or_insert_with(|| {
-                let id = u32::try_from(subjects.len()).expect("fact table overflow");
+        let mut row_offsets = scratch::take_ids();
+        for (i, f) in facts.iter().enumerate() {
+            if subjects.last() != Some(&f.subject) {
+                u32::try_from(subjects.len()).expect("fact table overflow");
                 subjects.push(f.subject);
-                rows.push(Vec::new());
-                id
-            });
-            rows[eid as usize].push(f);
+                row_offsets.push(i as u32);
+            }
         }
+        row_offsets.push(u32::try_from(facts.len()).expect("fact table overflow"));
+        let n = subjects.len();
+        let by_subject: FnvHashMap<Symbol, EntityId> = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as EntityId))
+            .collect();
 
         let mut catalog = PropertyCatalog::default();
         let mut raw_extents: Vec<Vec<EntityId>> = Vec::new();
-        let mut entity_props: Vec<Vec<PropertyId>> = Vec::with_capacity(rows.len());
-        let mut facts_count = Vec::with_capacity(rows.len());
-        let mut new_count = Vec::with_capacity(rows.len());
+        let mut props_flat = scratch::take_ids();
+        props_flat.reserve(facts.len());
+        let mut props_offsets = scratch::take_ids();
+        props_offsets.reserve(n + 1);
+        props_offsets.push(0);
+        let mut row_props = scratch::take_ids();
+        let mut facts_count = scratch::take_ids();
+        facts_count.reserve(n);
+        let mut new_count = scratch::take_ids();
+        new_count.reserve(n);
         let mut distinct_sp_pairs = 0usize;
-        for (eid, row) in rows.iter().enumerate() {
-            // `source.facts` is sorted, so each row is sorted by (p, o) and
-            // distinct (s, p) runs are contiguous.
-            let mut props = scratch::take_ids();
-            props.reserve(row.len());
+        for eid in 0..n {
+            let row = &facts[row_offsets[eid] as usize..row_offsets[eid + 1] as usize];
+            // The row is sorted by (p, o) with no duplicates, so every fact
+            // yields a distinct property; sorting by *property id* is still
+            // needed because ids are assigned in global first-seen order.
+            row_props.clear();
+            row_props.reserve(row.len());
             let mut news = 0u32;
             let mut last_pred: Option<Symbol> = None;
             for f in row {
                 let pid = catalog.intern(f.predicate, f.object);
-                props.push(pid);
+                row_props.push(pid);
                 if kb.is_new(f) {
                     news += 1;
                 }
@@ -138,59 +191,99 @@ impl FactTable {
                     last_pred = Some(f.predicate);
                 }
             }
-            props.sort_unstable();
-            props.dedup();
+            row_props.sort_unstable();
+            row_props.dedup();
             raw_extents.resize_with(catalog.len(), scratch::take_ids);
-            for &pid in &props {
+            for &pid in &row_props {
                 raw_extents[pid as usize].push(eid as EntityId);
             }
-            entity_props.push(props);
+            props_flat.extend_from_slice(&row_props);
+            props_offsets.push(u32::try_from(props_flat.len()).expect("property overflow"));
             facts_count.push(u32::try_from(row.len()).expect("row overflow"));
             new_count.push(news);
         }
+        scratch::put_ids(row_props);
         // Extents were filled in ascending entity order, so they are sorted;
-        // seal them into density-adaptive sets now that the universe is known.
-        let universe = u32::try_from(subjects.len()).expect("fact table overflow");
+        // calibrate one density divisor for the whole table from the extent
+        // length distribution, then seal them with it.
+        let universe = u32::try_from(n).expect("fact table overflow");
+        let mut lens = scratch::take_ids();
+        lens.extend(raw_extents.iter().map(|v| v.len() as u32));
+        let divisor = calibrate_divisor(universe, &lens);
+        scratch::put_ids(lens);
         catalog.extents = raw_extents
             .into_iter()
-            .map(|v| ExtentSet::from_sorted(universe, v))
+            .map(|v| ExtentSet::from_sorted_with_divisor(universe, divisor, v))
             .collect();
 
-        let prefix = |counts: &[u32]| {
-            let mut acc = 0u64;
-            let mut out = scratch::take_blocks(0);
-            out.reserve(counts.len() + 1);
-            out.push(0);
-            for &c in counts {
-                acc += u64::from(c);
-                out.push(acc);
-            }
-            out
-        };
-        let facts_prefix = prefix(&facts_count);
-        let new_prefix = prefix(&new_count);
-        let mut packed_counts = scratch::take_blocks(0);
-        packed_counts.reserve(new_count.len());
-        packed_counts.extend(
-            new_count
-                .iter()
-                .zip(&facts_count)
-                .map(|(&n, &f)| u64::from(n) | (u64::from(f) << 32)),
-        );
+        let (facts_prefix, new_prefix, packed_counts) =
+            derive_count_structures(&facts_count, &new_count);
 
+        FactTable {
+            subjects: subjects.into(),
+            by_subject,
+            total_facts: facts.len(),
+            rows_flat: source.facts.clone(),
+            row_offsets: row_offsets.into(),
+            entity_props_flat: props_flat.into(),
+            entity_props_offsets: props_offsets.into(),
+            facts_count: facts_count.into(),
+            new_count: new_count.into(),
+            packed_counts,
+            facts_prefix,
+            new_prefix,
+            catalog,
+            distinct_sp_pairs,
+            divisor,
+        }
+    }
+
+    /// Reassembles a table from snapshot-loaded columns, rebuilding the
+    /// subject hash index and the derived prefix/packed count arrays (which
+    /// are not stored — they are cheap to derive and this guarantees they
+    /// always agree with the stored counts).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        subjects: Column<Symbol>,
+        rows_flat: Column<Fact>,
+        row_offsets: Column<u32>,
+        entity_props_flat: Column<PropertyId>,
+        entity_props_offsets: Column<u32>,
+        facts_count: Column<u32>,
+        new_count: Column<u32>,
+        catalog: PropertyCatalog,
+        total_facts: usize,
+        distinct_sp_pairs: usize,
+        divisor: u32,
+    ) -> Self {
+        let n = subjects.len();
+        debug_assert_eq!(row_offsets.len(), n + 1);
+        debug_assert_eq!(entity_props_offsets.len(), n + 1);
+        debug_assert_eq!(facts_count.len(), n);
+        debug_assert_eq!(new_count.len(), n);
+        let by_subject = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as EntityId))
+            .collect();
+        let (facts_prefix, new_prefix, packed_counts) =
+            derive_count_structures(&facts_count, &new_count);
         FactTable {
             subjects,
             by_subject,
-            total_facts: source.facts.len(),
-            rows,
-            entity_props,
+            rows_flat,
+            row_offsets,
+            entity_props_flat,
+            entity_props_offsets,
             facts_count,
             new_count,
             packed_counts,
             facts_prefix,
             new_prefix,
             catalog,
+            total_facts,
             distinct_sp_pairs,
+            divisor,
         }
     }
 
@@ -215,6 +308,16 @@ impl FactTable {
         &self.catalog
     }
 
+    /// The density divisor this table's extents were calibrated to.
+    pub fn divisor(&self) -> u32 {
+        self.divisor
+    }
+
+    /// Whether the table's bulk columns borrow from a snapshot mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.rows_flat.is_mapped()
+    }
+
     /// The subject symbol of an entity row.
     pub fn subject(&self, e: EntityId) -> Symbol {
         self.subjects[e as usize]
@@ -227,20 +330,26 @@ impl FactTable {
 
     /// All facts of an entity row.
     pub fn row(&self, e: EntityId) -> &[Fact] {
-        &self.rows[e as usize]
+        let start = self.row_offsets[e as usize] as usize;
+        let end = self.row_offsets[e as usize + 1] as usize;
+        &self.rows_flat[start..end]
     }
 
     /// Distinct properties of an entity.
     pub fn entity_properties(&self, e: EntityId) -> &[PropertyId] {
-        &self.entity_props[e as usize]
+        let start = self.entity_props_offsets[e as usize] as usize;
+        let end = self.entity_props_offsets[e as usize + 1] as usize;
+        &self.entity_props_flat[start..end]
     }
 
     /// `facts(e)` — number of facts mentioning entity `e`.
+    #[inline]
     pub fn facts_of(&self, e: EntityId) -> u32 {
         self.facts_count[e as usize]
     }
 
     /// `new(e)` — number of facts of `e` absent from the knowledge base.
+    #[inline]
     pub fn new_of(&self, e: EntityId) -> u32 {
         self.new_count[e as usize]
     }
@@ -402,7 +511,9 @@ impl FactTable {
     /// This is the incremental-rerun fast path: after an augmentation round
     /// a dirty source's table is refreshed in O(|touched rows| + n) instead
     /// of rebuilt in O(|T_W|) hash/extent work. Returns the number of rows
-    /// whose `new` count actually changed.
+    /// whose `new` count actually changed. On a snapshot-mapped table the
+    /// mutated count columns are copied out of the mapping on first change
+    /// (copy-on-write); the fact rows and extents stay mapped.
     pub fn refresh_new_counts(
         &mut self,
         kb: &KnowledgeBase,
@@ -413,54 +524,74 @@ impl FactTable {
             let Some(&eid) = self.by_subject.get(&subject) else {
                 continue;
             };
-            let row = &self.rows[eid as usize];
-            let news = row.iter().filter(|f| kb.is_new(f)).count() as u32;
-            let slot = &mut self.new_count[eid as usize];
-            if *slot != news {
+            let start = self.row_offsets[eid as usize] as usize;
+            let end = self.row_offsets[eid as usize + 1] as usize;
+            let news = self.rows_flat[start..end]
+                .iter()
+                .filter(|f| kb.is_new(f))
+                .count() as u32;
+            let old = self.new_count[eid as usize];
+            if old != news {
                 debug_assert!(
-                    news <= *slot,
-                    "KB insertions can only lower new(e): {news} > {slot}"
+                    news <= old,
+                    "KB insertions can only lower new(e): {news} > {old}"
                 );
-                *slot = news;
+                self.new_count.make_mut()[eid as usize] = news;
                 changed += 1;
             }
         }
         if changed > 0 {
             // Count invalidation: the prefix sums and packed words derived
             // from `new_count` are rebuilt in place, reusing their buffers.
+            let n = self.new_count.len();
             let mut acc = 0u64;
-            for (i, &c) in self.new_count.iter().enumerate() {
-                self.new_prefix[i] = acc;
-                acc += u64::from(c);
+            let prefix = self.new_prefix.make_mut();
+            for (i, slot) in prefix.iter_mut().take(n).enumerate() {
+                *slot = acc;
+                acc += u64::from(self.new_count[i]);
             }
-            self.new_prefix[self.new_count.len()] = acc;
-            for (p, (&n, &f)) in self
-                .packed_counts
-                .iter_mut()
-                .zip(self.new_count.iter().zip(&self.facts_count))
-            {
-                *p = u64::from(n) | (u64::from(f) << 32);
+            prefix[n] = acc;
+            let packed = self.packed_counts.make_mut();
+            for (i, slot) in packed.iter_mut().take(n).enumerate() {
+                *slot = u64::from(self.new_count[i]) | (u64::from(self.facts_count[i]) << 32);
             }
         }
         changed
     }
 
-    /// Consumes the table, returning its reusable buffers (property extents,
-    /// per-entity property lists, packed counts, prefix sums) to the scratch
-    /// pool for the next shard. Purely an optimisation — dropping the table
-    /// is always correct.
-    pub fn recycle(self) {
+    /// Consumes the table, returning its reusable owned buffers (property
+    /// extents, flattened property lists, offsets, packed counts, prefix
+    /// sums) to the scratch pool for the next shard. Snapshot-mapped columns
+    /// have no buffer to reclaim and are simply dropped. Purely an
+    /// optimisation — dropping the table is always correct.
+    pub fn recycle(mut self) {
         for ext in self.catalog.extents {
             ext.recycle();
         }
-        for props in self.entity_props {
-            scratch::put_ids(props);
+        if let Some(v) = self.entity_props_flat.take_owned() {
+            scratch::put_ids(v);
         }
-        scratch::put_ids(self.facts_count);
-        scratch::put_ids(self.new_count);
-        scratch::put_blocks(self.packed_counts);
-        scratch::put_blocks(self.facts_prefix);
-        scratch::put_blocks(self.new_prefix);
+        if let Some(v) = self.entity_props_offsets.take_owned() {
+            scratch::put_ids(v);
+        }
+        if let Some(v) = self.row_offsets.take_owned() {
+            scratch::put_ids(v);
+        }
+        if let Some(v) = self.facts_count.take_owned() {
+            scratch::put_ids(v);
+        }
+        if let Some(v) = self.new_count.take_owned() {
+            scratch::put_ids(v);
+        }
+        if let Some(v) = self.packed_counts.take_owned() {
+            scratch::put_blocks(v);
+        }
+        if let Some(v) = self.facts_prefix.take_owned() {
+            scratch::put_blocks(v);
+        }
+        if let Some(v) = self.new_prefix.take_owned() {
+            scratch::put_blocks(v);
+        }
     }
 
     /// The entity extent of a property conjunction — `Π` of Definition 5,
@@ -482,6 +613,36 @@ impl FactTable {
         }
         acc
     }
+}
+
+/// Derives the packed per-entity counts and the two prefix-sum arrays from
+/// the stored `facts(e)` / `new(e)` columns.
+fn derive_count_structures(
+    facts_count: &[u32],
+    new_count: &[u32],
+) -> (Column<u64>, Column<u64>, Column<u64>) {
+    let prefix = |counts: &[u32]| {
+        let mut acc = 0u64;
+        let mut out = scratch::take_blocks(0);
+        out.reserve(counts.len() + 1);
+        out.push(0);
+        for &c in counts {
+            acc += u64::from(c);
+            out.push(acc);
+        }
+        out
+    };
+    let facts_prefix = prefix(facts_count);
+    let new_prefix = prefix(new_count);
+    let mut packed_counts = scratch::take_blocks(0);
+    packed_counts.reserve(new_count.len());
+    packed_counts.extend(
+        new_count
+            .iter()
+            .zip(facts_count)
+            .map(|(&n, &f)| u64::from(n) | (u64::from(f) << 32)),
+    );
+    (facts_prefix.into(), new_prefix.into(), packed_counts.into())
 }
 
 /// Intersects two sorted, deduplicated id lists.
@@ -624,6 +785,68 @@ mod tests {
         assert_eq!(ft.catalog().len(), 2);
         assert_eq!(ft.distinct_subject_predicate_pairs(), 1);
         assert_eq!(ft.entity_properties(0).len(), 2);
+    }
+
+    #[test]
+    fn rows_are_contiguous_slices_of_source_order() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let ft = FactTable::build(&src, &kb);
+        let mut rebuilt: Vec<Fact> = Vec::new();
+        for e in 0..ft.num_entities() as EntityId {
+            let row = ft.row(e);
+            assert!(!row.is_empty());
+            assert!(row.iter().all(|f| f.subject == ft.subject(e)));
+            rebuilt.extend_from_slice(row);
+        }
+        assert_eq!(&rebuilt[..], &src.facts[..]);
+    }
+
+    #[test]
+    fn table_divisor_is_calibrated_and_applied_to_extents() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let ft = FactTable::build(&src, &kb);
+        // Tiny universe → the calibrator picks the maximum divisor, and
+        // every sealed extent carries the table's divisor.
+        assert_eq!(ft.divisor(), crate::extent::MAX_DENSITY_DIVISOR);
+        for id in 0..ft.catalog().len() as PropertyId {
+            assert_eq!(ft.catalog().extent(id).divisor(), ft.divisor());
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_table() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let ft = FactTable::build(&src, &kb);
+        let rebuilt = FactTable::from_parts(
+            ft.subjects.clone(),
+            ft.rows_flat.clone(),
+            ft.row_offsets.clone(),
+            ft.entity_props_flat.clone(),
+            ft.entity_props_offsets.clone(),
+            ft.facts_count.clone(),
+            ft.new_count.clone(),
+            PropertyCatalog::from_parts(ft.catalog.props.clone(), ft.catalog.extents.clone()),
+            ft.total_facts,
+            ft.distinct_sp_pairs,
+            ft.divisor,
+        );
+        assert_eq!(rebuilt.num_entities(), ft.num_entities());
+        assert_eq!(rebuilt.total_facts(), ft.total_facts());
+        assert_eq!(
+            rebuilt.distinct_subject_predicate_pairs(),
+            ft.distinct_subject_predicate_pairs()
+        );
+        for e in 0..ft.num_entities() as EntityId {
+            assert_eq!(rebuilt.row(e), ft.row(e));
+            assert_eq!(rebuilt.entity_properties(e), ft.entity_properties(e));
+            assert_eq!(rebuilt.facts_of(e), ft.facts_of(e));
+            assert_eq!(rebuilt.new_of(e), ft.new_of(e));
+        }
+        let full = ExtentSet::full(ft.num_entities() as u32);
+        assert_eq!(rebuilt.fact_counts(&full), ft.fact_counts(&full));
     }
 
     #[test]

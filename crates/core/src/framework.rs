@@ -356,7 +356,26 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         for s in sources {
             insert_leaf(&mut by_url, RoundSource::Owned(s));
         }
-        self.drive(by_url, kb, None)
+        self.drive(by_url, kb, None, None)
+    }
+
+    /// Like [`Framework::run`], but round-0 detection reuses the prebuilt
+    /// fact tables in `tables` (keyed by source URL) instead of rebuilding
+    /// them from the raw facts — the warm path for corpora loaded from a
+    /// snapshot. Sources without an entry build their table as usual. The
+    /// report is bit-identical to `run` on the same corpus; only round-0
+    /// table construction is skipped.
+    pub fn run_with_tables(
+        &self,
+        sources: Vec<SourceFacts>,
+        kb: &KnowledgeBase,
+        tables: &BTreeMap<SourceUrl, FactTable>,
+    ) -> FrameworkReport {
+        let mut by_url: BTreeMap<SourceUrl, RoundSource<'_>> = BTreeMap::new();
+        for s in sources {
+            insert_leaf(&mut by_url, RoundSource::Owned(s));
+        }
+        self.drive(by_url, kb, None, Some(tables))
     }
 
     /// Incremental counterpart of [`Framework::run`] for the augmentation
@@ -418,7 +437,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                 table.refresh_new_counts(kb, delta.subjects.iter().copied());
             }
         }
-        self.drive(by_url, kb, Some(cache))
+        self.drive(by_url, kb, Some(cache), None)
     }
 
     fn cache_sig(&self, by_url: &BTreeMap<SourceUrl, RoundSource<'_>>) -> CacheSig {
@@ -452,6 +471,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         mut by_url: BTreeMap<SourceUrl, RoundSource<'_>>,
         kb: &KnowledgeBase,
         mut incr: Option<&mut RoundCache>,
+        prebuilt: Option<&BTreeMap<SourceUrl, FactTable>>,
     ) -> FrameworkReport {
         let incremental = incr.is_some();
         let mut detect_calls = 0usize;
@@ -492,7 +512,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         // Shared ref for the worker tasks; new entries collect into locals
         // and land in the cache after the round (the sink cannot hold the
         // cache mutably while tasks read the tables).
-        let tables = incr.as_deref().map(|cache| &cache.tables);
+        let tables = incr.as_deref().map(|cache| &cache.tables).or(prebuilt);
         let mut new_leaves: Vec<(SourceUrl, CachedTask)> = Vec::new();
         let mut new_tables: Vec<(SourceUrl, FactTable)> = Vec::new();
 

@@ -46,6 +46,7 @@ pub mod quarantine;
 pub mod scratch;
 pub mod single_source;
 pub mod slice;
+pub mod snapshot;
 pub mod source;
 pub mod traversal;
 
@@ -64,4 +65,5 @@ pub use profit::ProfitCtx;
 pub use quarantine::{FaultCause, Quarantine, SourceFault, Stage};
 pub use single_source::MidasAlg;
 pub use slice::{DiscoveredSlice, SliceSetStats};
+pub use snapshot::{load_corpus, load_slices, save_corpus, save_slices, Corpus};
 pub use source::SourceFacts;

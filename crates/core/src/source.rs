@@ -1,15 +1,19 @@
 //! Per-source working sets.
 
-use midas_kb::Fact;
+use midas_kb::{Column, Fact};
 use midas_weburl::SourceUrl;
 
 /// The deduplicated facts `T_W` extracted from one web source `W`.
+///
+/// Facts are held in a [`Column`], so a working set loaded from a corpus
+/// snapshot borrows its facts directly from the memory-mapped file; cloning
+/// such a column only bumps a reference count.
 #[derive(Debug, Clone)]
 pub struct SourceFacts {
     /// The source URL (at any granularity).
     pub url: SourceUrl,
-    /// Distinct facts extracted from this source.
-    pub facts: Vec<Fact>,
+    /// Distinct facts extracted from this source, sorted by `(s, p, o)`.
+    pub facts: Column<Fact>,
 }
 
 impl SourceFacts {
@@ -17,6 +21,18 @@ impl SourceFacts {
     pub fn new(url: SourceUrl, mut facts: Vec<Fact>) -> Self {
         facts.sort_unstable();
         facts.dedup();
+        SourceFacts {
+            url,
+            facts: facts.into(),
+        }
+    }
+
+    /// Wraps an already-sorted, already-deduplicated fact column.
+    ///
+    /// Used by the snapshot loader, where the invariant was established when
+    /// the column was written. Debug builds re-check it.
+    pub fn from_sorted_column(url: SourceUrl, facts: Column<Fact>) -> Self {
+        debug_assert!(facts.windows(2).all(|w| w[0] < w[1]));
         SourceFacts { url, facts }
     }
 
@@ -38,10 +54,10 @@ impl SourceFacts {
         let children: Vec<SourceFacts> = children.into_iter().collect();
         let total: usize = children.iter().map(SourceFacts::len).sum();
         let mut iter = children.into_iter();
-        let mut facts = iter.next().map_or_else(Vec::new, |c| c.facts);
+        let mut facts = iter.next().map_or_else(Vec::new, |c| c.facts.into_vec());
         facts.reserve(total - facts.len());
         for c in iter {
-            facts.extend(c.facts);
+            facts.extend(c.facts.iter().copied());
         }
         SourceFacts::new(url, facts)
     }
@@ -62,7 +78,7 @@ mod tests {
             vec![b, a, b, a],
         );
         assert_eq!(src.len(), 2);
-        assert_eq!(src.facts, vec![a, b]);
+        assert_eq!(&src.facts[..], &[a, b]);
     }
 
     #[test]
@@ -76,5 +92,17 @@ mod tests {
         let parent = SourceFacts::merge(u("http://x.com/d"), [c1, c2]);
         assert_eq!(parent.len(), 2);
         assert!(!parent.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_column_round_trips() {
+        let mut t = Interner::new();
+        let a = Fact::intern(&mut t, "a", "p", "1");
+        let b = Fact::intern(&mut t, "b", "p", "2");
+        let src = SourceFacts::from_sorted_column(
+            SourceUrl::parse("http://x.com/page").unwrap(),
+            vec![a, b].into(),
+        );
+        assert_eq!(src.len(), 2);
     }
 }

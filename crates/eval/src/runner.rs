@@ -143,6 +143,32 @@ pub fn run_midas_framework(
     }
 }
 
+/// Like [`run_midas_framework`], but round-0 detection runs on the prebuilt
+/// fact tables in `tables` (keyed by source URL) — the warm path for corpora
+/// loaded from a `--snapshot-cache` hit. Bit-identical results to the cold
+/// run; only per-source table construction is skipped.
+pub fn run_midas_framework_with_tables(
+    config: &MidasConfig,
+    sources: Vec<SourceFacts>,
+    kb: &KnowledgeBase,
+    threads: usize,
+    tables: &BTreeMap<SourceUrl, midas_core::FactTable>,
+) -> RunResult {
+    let alg = MidasAlg::new(config.clone());
+    let fw = Framework::new(&alg, config.cost)
+        .with_threads(threads)
+        .with_budget(config.budget)
+        .with_stream_window(config.stream_window);
+    let start = Instant::now();
+    let report = fw.run_with_tables(sources, kb, tables);
+    RunResult {
+        name: "midas".to_owned(),
+        slices: report.slices,
+        duration: start.elapsed(),
+        quarantine: report.quarantine,
+    }
+}
+
 /// One round of the incremental augmentation loop, timed.
 #[derive(Debug)]
 pub struct AugmentationRound {

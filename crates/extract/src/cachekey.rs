@@ -1,0 +1,128 @@
+//! Content-addressed cache keys for corpus snapshots.
+//!
+//! A snapshot is only valid for the exact inputs and configuration it was
+//! extracted from. The key is a 64-bit FNV-style hash over *labelled* parts —
+//! each part is fed as `label \0 length \0 bytes`, so reordering parts,
+//! moving bytes between parts, or concatenation ambiguities all change the
+//! key. The snapshot format version is mixed in first: a format bump
+//! invalidates every existing cache entry without any migration logic.
+//!
+//! Input corpora run to tens of megabytes and the key is recomputed on
+//! every warm start, so the bulk of each part is consumed eight bytes at a
+//! time (little-endian words with a multiply-xorshift round each); only the
+//! sub-word tail falls back to byte-at-a-time FNV-1a. That keeps hashing a
+//! small fraction of the mmap-load budget instead of dominating it.
+//!
+//! ```
+//! use midas_extract::cachekey::CacheKey;
+//! let key = CacheKey::new()
+//!     .part("facts", b"http://a.com/x\te\tp\tv\n")
+//!     .part("config", b"lenient=false")
+//!     .finish();
+//! assert_ne!(key, CacheKey::new().finish());
+//! ```
+
+use midas_kb::SNAPSHOT_VERSION;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Odd 64-bit constant (golden-ratio based) for the word-at-a-time rounds.
+const MIX_PRIME: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Incremental builder for a snapshot cache key.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheKey {
+    h: u64,
+}
+
+impl CacheKey {
+    /// Starts a key seeded with the snapshot format version.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> CacheKey {
+        CacheKey { h: FNV_OFFSET }.part("format", &SNAPSHOT_VERSION.to_le_bytes())
+    }
+
+    fn eat(mut self, bytes: &[u8]) -> CacheKey {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.h = (self.h ^ u64::from_le_bytes(w)).wrapping_mul(MIX_PRIME);
+            self.h ^= self.h >> 32;
+        }
+        for &b in chunks.remainder() {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Mixes in one labelled part. Order is significant.
+    pub fn part(self, label: &str, bytes: &[u8]) -> CacheKey {
+        self.eat(label.as_bytes())
+            .eat(&[0])
+            .eat(&(bytes.len() as u64).to_le_bytes())
+            .eat(&[0])
+            .eat(bytes)
+    }
+
+    /// Finishes the key with an avalanche mix, so single-bit input changes
+    /// diffuse into the high bits as well.
+    pub fn finish(self) -> u64 {
+        let mut h = self.h;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_parts_produce_identical_keys() {
+        let a = CacheKey::new()
+            .part("facts", b"abc")
+            .part("kb", b"")
+            .finish();
+        let b = CacheKey::new()
+            .part("facts", b"abc")
+            .part("kb", b"")
+            .finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_input_change_changes_the_key() {
+        let base = CacheKey::new()
+            .part("facts", b"abc")
+            .part("kb", b"x")
+            .finish();
+        let byte_flip = CacheKey::new()
+            .part("facts", b"abd")
+            .part("kb", b"x")
+            .finish();
+        let moved = CacheKey::new()
+            .part("facts", b"abcx")
+            .part("kb", b"")
+            .finish();
+        let relabel = CacheKey::new()
+            .part("kb", b"abc")
+            .part("facts", b"x")
+            .finish();
+        assert_ne!(base, byte_flip);
+        assert_ne!(base, moved, "bytes cannot migrate between parts");
+        assert_ne!(base, relabel, "labels are part of the key");
+    }
+
+    #[test]
+    fn empty_parts_still_count() {
+        let none = CacheKey::new().finish();
+        let empty = CacheKey::new().part("facts", b"").finish();
+        assert_ne!(none, empty);
+    }
+}

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cachekey;
 pub mod kvault;
 pub mod model;
 pub mod nell;
@@ -36,5 +37,6 @@ pub mod slim;
 pub mod synthetic;
 pub mod vertical;
 
+pub use cachekey::CacheKey;
 pub use model::{Dataset, Extraction, GoldSlice, GroundTruth};
 pub use pipeline::ExtractionSim;

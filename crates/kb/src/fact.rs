@@ -8,7 +8,11 @@ use std::fmt;
 /// Facts are `Copy` (12 bytes) and order lexicographically by
 /// `(subject, predicate, object)` symbol index, which is the order the SPO
 /// index stores them in.
+/// `repr(C)` pins the field order so snapshot columns can reinterpret
+/// `[Fact]` from raw bytes (12 bytes, align 4, no padding — see the
+/// `fact_is_small_and_copy` test and `crate::column`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(C)]
 pub struct Fact {
     /// The entity the fact is about (e.g. `Project Mercury`).
     pub subject: Symbol,

@@ -16,7 +16,10 @@ use std::sync::Arc;
 /// Symbols are only meaningful relative to the [`Interner`] that produced
 /// them; comparing symbols from different interners is a logic error (but not
 /// memory-unsafe). Symbols order by insertion index, *not* lexicographically.
+/// The `repr(transparent)` layout is load-bearing: snapshot columns
+/// reinterpret `[u32]` bytes as `[Symbol]` zero-copy (see `crate::column`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Symbol(u32);
 
 impl Symbol {
@@ -46,10 +49,37 @@ impl fmt::Display for Symbol {
 ///
 /// Interning requires `&mut self`; resolving is `&self` and returns a
 /// borrowed `&str`. For cross-thread use wrap it in a [`SharedInterner`].
+///
+/// The lookup table maps the 64-bit FNV-1a hash of a string to its symbol
+/// instead of keying on an owned copy of the string. Each distinct term is
+/// therefore heap-allocated exactly once (in `strings`), which matters on
+/// the snapshot warm path where a six-figure term table is re-interned in
+/// one burst. Distinct strings that collide on the full 64-bit hash are
+/// parked in `overflow` and found by linear scan — with FNV-1a over short
+/// terms that list stays empty in practice, but correctness never depends
+/// on that.
+///
+/// The lookup table is also *lazy*: [`Interner::from_dump`] installs a
+/// pre-deduplicated string table without indexing it, and the map is
+/// synced on the first subsequent [`Interner::intern`]. A snapshot warm
+/// run that only ever *resolves* symbols (discovery, reporting) never pays
+/// for hashing and inserting hundreds of thousands of terms it will not
+/// look up; runs that do intern afterwards (gold labels in eval) pay once,
+/// on first use.
 #[derive(Debug, Default)]
 pub struct Interner {
-    map: FnvHashMap<Box<str>, Symbol>,
+    map: FnvHashMap<u64, Symbol>,
+    overflow: Vec<Symbol>,
     strings: Vec<Box<str>>,
+    /// How many of `strings` are indexed in `map`/`overflow`.
+    synced: usize,
+}
+
+fn hash_str(s: &str) -> u64 {
+    use std::hash::Hasher;
+    let mut h = crate::fnv::FnvHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
 }
 
 impl Interner {
@@ -62,25 +92,110 @@ impl Interner {
     pub fn with_capacity(n: usize) -> Self {
         Interner {
             map: FnvHashMap::with_capacity_and_hasher(n, Default::default()),
+            overflow: Vec::new(),
             strings: Vec::with_capacity(n),
+            synced: 0,
         }
+    }
+
+    /// Adopts a dump of distinct strings, assigning symbol `i` to the
+    /// `i`-th string — the inverse of [`Interner::iter`]. The lookup map is
+    /// *not* built here; it is synced lazily by the first `intern` call.
+    ///
+    /// The caller asserts the strings are distinct (snapshot dumps are, by
+    /// construction: they are written from an interner). Duplicates are
+    /// caught by a `debug_assert` when the map eventually syncs; in release
+    /// builds a duplicate would resolve correctly but re-intern to the
+    /// first occurrence.
+    pub fn from_dump(strings: Vec<Box<str>>) -> Self {
+        Interner {
+            map: FnvHashMap::default(),
+            overflow: Vec::new(),
+            strings,
+            synced: 0,
+        }
+    }
+
+    /// Indexes any strings appended since the last sync (no-op when the
+    /// map is current).
+    fn sync(&mut self) {
+        if self.synced == self.strings.len() {
+            return;
+        }
+        self.map.reserve(self.strings.len() - self.synced);
+        for i in self.synced..self.strings.len() {
+            let sym = Symbol::from_index(i);
+            let h = hash_str(&self.strings[i]);
+            match self.map.entry(h) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    debug_assert_ne!(
+                        &*self.strings[e.get().index()],
+                        &*self.strings[i],
+                        "duplicate string in interner dump at index {i}"
+                    );
+                    self.overflow.push(sym);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(sym);
+                }
+            }
+        }
+        self.synced = self.strings.len();
     }
 
     /// Interns `s`, returning its (stable) symbol.
     pub fn intern(&mut self, s: &str) -> Symbol {
-        if let Some(&sym) = self.map.get(s) {
-            return sym;
+        self.sync();
+        let h = hash_str(s);
+        match self.map.entry(h) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let first = *e.get();
+                if &*self.strings[first.index()] == s {
+                    return first;
+                }
+                if let Some(sym) = self.find_in_overflow(s) {
+                    return sym;
+                }
+                let sym = Symbol::from_index(self.strings.len());
+                self.strings.push(s.into());
+                self.overflow.push(sym);
+                self.synced = self.strings.len();
+                sym
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let sym = Symbol::from_index(self.strings.len());
+                self.strings.push(s.into());
+                e.insert(sym);
+                self.synced = self.strings.len();
+                sym
+            }
         }
-        let sym = Symbol::from_index(self.strings.len());
-        let boxed: Box<str> = s.into();
-        self.strings.push(boxed.clone());
-        self.map.insert(boxed, sym);
-        sym
+    }
+
+    fn find_in_overflow(&self, s: &str) -> Option<Symbol> {
+        self.overflow
+            .iter()
+            .copied()
+            .find(|sym| &*self.strings[sym.index()] == s)
     }
 
     /// Returns the symbol for `s` if it was interned before.
+    ///
+    /// Works on an unsynced interner too: the indexed prefix is consulted
+    /// through the map, the (normally empty) unsynced tail by linear scan.
     pub fn get(&self, s: &str) -> Option<Symbol> {
-        self.map.get(s).copied()
+        let mapped = self
+            .map
+            .get(&hash_str(s))
+            .copied()
+            .filter(|sym| &*self.strings[sym.index()] == s)
+            .or_else(|| self.find_in_overflow(s));
+        mapped.or_else(|| {
+            self.strings[self.synced..]
+                .iter()
+                .position(|t| &**t == s)
+                .map(|i| Symbol::from_index(self.synced + i))
+        })
     }
 
     /// Resolves a symbol back to its string.

@@ -33,23 +33,31 @@
 
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod error;
 pub mod fact;
 pub mod fnv;
 pub mod index;
 pub mod interner;
 pub mod io;
+pub mod mmap;
 pub mod ontology;
 pub mod persist;
 pub mod query;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 
+pub use column::{Column, Pod};
 pub use error::KbError;
 pub use fact::Fact;
 pub use index::TripleIndex;
 pub use interner::{Interner, SharedInterner, Symbol};
+pub use mmap::Mmap;
 pub use ontology::{CategoryId, Ontology, PredicateId};
 pub use query::{Condition, ConjunctiveQuery};
+pub use snapshot::{
+    SectionReader, SectionWriter, Snapshot, SnapshotBuilder, SnapshotError, SNAPSHOT_VERSION,
+};
 pub use stats::DatasetStats;
 pub use store::KnowledgeBase;

@@ -1,0 +1,213 @@
+//! Read-only memory mappings for zero-copy snapshot loading.
+//!
+//! The build environment is offline, so no `memmap2`-style crate is
+//! available; on Unix this module declares the two libc entry points it
+//! needs (`mmap`, `munmap`) directly and wraps them in a safe, owning
+//! [`Mmap`] handle. On other platforms — and for in-memory snapshots in
+//! tests — the same type is backed by a plain `Vec<u8>`, so every consumer
+//! sees one API regardless of where the bytes live.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+enum Backing {
+    /// An owned buffer (empty files, non-Unix platforms, in-memory tests).
+    Owned(Vec<u8>),
+    /// A live `mmap(2)` region; unmapped on drop.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+}
+
+/// An immutable byte region: either a private read-only file mapping or an
+/// owned buffer. Cheap to share via `Arc<Mmap>`; columns borrow from it.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// SAFETY: the mapped region is PROT_READ/MAP_PRIVATE — it is never written
+// through this handle and the kernel keeps it valid until `munmap`, which
+// only happens in `Drop`. Shared `&Mmap` access is therefore data-race free.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only. Empty files fall back to an owned empty
+    /// buffer (`mmap` rejects zero-length mappings).
+    #[cfg(unix)]
+    pub fn map_file(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        // SAFETY: fd is a valid open file descriptor for `file`, len is the
+        // file's current size, and we request a private read-only mapping.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            backing: Backing::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    /// Non-Unix fallback: read the whole file into an owned buffer.
+    #[cfg(not(unix))]
+    pub fn map_file(file: &File) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap::from_vec(buf))
+    }
+
+    /// Opens and maps the file at `path`.
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        Self::map_file(&File::open(path)?)
+    }
+
+    /// Wraps an owned buffer in the `Mmap` interface (tests, fallbacks).
+    pub fn from_vec(bytes: Vec<u8>) -> Mmap {
+        Mmap {
+            backing: Backing::Owned(bytes),
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Owned(v) => v,
+            // SAFETY: ptr/len describe the live mapping owned by self.
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: ptr/len came from a successful mmap owned exclusively
+            // by this handle; after munmap nothing dereferences them.
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.backing {
+            Backing::Owned(_) => "owned",
+            #[cfg(unix)]
+            Backing::Mapped { .. } => "mapped",
+        };
+        f.debug_struct("Mmap")
+            .field("kind", &kind)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "midas-mmap-{tag}-{}-{bytes_len}",
+            std::process::id(),
+            bytes_len = bytes.len()
+        ));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp_file("contents", b"hello mapping");
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.as_bytes(), b"hello mapping");
+        assert_eq!(map.len(), 13);
+        assert!(!map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_region() {
+        let path = tmp_file("empty", b"");
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn owned_buffer_round_trips() {
+        let map = Mmap::from_vec(vec![1, 2, 3]);
+        assert_eq!(map.as_bytes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = tmp_file("threads", &[7u8; 4096]);
+        let map = std::sync::Arc::new(Mmap::open(&path).unwrap());
+        let m2 = std::sync::Arc::clone(&map);
+        let handle = std::thread::spawn(move || m2.as_bytes().iter().map(|&b| b as u64).sum());
+        let total: u64 = handle.join().unwrap();
+        assert_eq!(total, 7 * 4096);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compare hot-path bench medians across PRs and refresh EXPERIMENTS.md.
+
+Reads every BENCH_PR<N>.json at the repo root (one JSON object per line, as
+appended by the criterion shim and the probe binaries). Entries carrying a
+``median_ns`` field are microbenches and participate in the comparison;
+probe lines (peak RSS, augmentation rounds, snapshot cold/warm) have their
+own schemas and are skipped here — their gates live in bench_smoke.sh.
+
+Exit status is non-zero when any bench present in both of the two most
+recent files regressed by more than the threshold (default 10%). With
+``--write-table`` the PR-over-PR median table in EXPERIMENTS.md is
+regenerated between the ``bench-table`` markers.
+
+Usage:
+    scripts/bench_compare.py [--threshold 0.10] [--write-table]
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+BEGIN_MARK = "<!-- bench-table:begin -->"
+END_MARK = "<!-- bench-table:end -->"
+
+
+def load_medians(path):
+    """Bench name -> (median_ns, min_ns, max_ns) for microbench lines."""
+    out = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if "median_ns" in row and "bench" in row:
+            out[row["bench"]] = (
+                float(row["median_ns"]),
+                float(row.get("min_ns", row["median_ns"])),
+                float(row.get("max_ns", row["median_ns"])),
+            )
+    return out
+
+
+def pr_number(path):
+    m = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+    return int(m.group(1)) if m else None
+
+
+def fmt_ns(v):
+    return f"{v:,.1f}" if v < 10_000 else f"{v:,.0f}"
+
+
+def build_table(files, medians):
+    """Markdown table: one column per PR, Δ first→last, first PR's spread."""
+    first, last = files[0], files[-1]
+    benches = [b for b in medians[first] if b in medians[last]]
+    header = (
+        ["bench"]
+        + [f"PR {pr_number(f)} median" for f in files]
+        + [f"Δ PR{pr_number(first)}→{pr_number(last)}", f"PR {pr_number(first)} min–max"]
+    )
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|---" + "|---:" * (len(header) - 1) + "|",
+    ]
+    for bench in benches:
+        cells = [bench]
+        for f in files:
+            entry = medians[f].get(bench)
+            cells.append(fmt_ns(entry[0]) if entry else "—")
+        base, latest = medians[first][bench][0], medians[last][bench][0]
+        delta = (latest - base) / base * 100.0
+        lo, hi = medians[first][bench][1], medians[first][bench][2]
+        cells.append(f"{delta:+.1f}%")
+        cells.append(f"{fmt_ns(lo)} – {fmt_ns(hi)}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def write_table(table):
+    text = EXPERIMENTS.read_text()
+    if BEGIN_MARK not in text or END_MARK not in text:
+        sys.exit(f"markers {BEGIN_MARK} / {END_MARK} not found in {EXPERIMENTS}")
+    pre, rest = text.split(BEGIN_MARK, 1)
+    _, post = rest.split(END_MARK, 1)
+    EXPERIMENTS.write_text(pre + BEGIN_MARK + "\n" + table + "\n" + END_MARK + post)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed median regression, as a fraction (default 0.10)")
+    ap.add_argument("--write-table", action="store_true",
+                    help="regenerate the PR-over-PR table in EXPERIMENTS.md")
+    args = ap.parse_args()
+
+    files = sorted(
+        (p for p in ROOT.glob("BENCH_PR*.json") if pr_number(p) is not None),
+        key=pr_number,
+    )
+    if len(files) < 2:
+        sys.exit("need at least two BENCH_PR*.json files to compare")
+    medians = {f: load_medians(f) for f in files}
+
+    prev, latest = files[-2], files[-1]
+    shared = sorted(set(medians[prev]) & set(medians[latest]))
+    if not shared:
+        sys.exit(f"no common benches between {prev.name} and {latest.name}")
+
+    regressions = []
+    print(f"{prev.name} -> {latest.name} (threshold {args.threshold:.0%}):")
+    for bench in shared:
+        before, after = medians[prev][bench][0], medians[latest][bench][0]
+        delta = (after - before) / before
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((bench, delta))
+            flag = "  REGRESSION"
+        print(f"  {bench:40s} {fmt_ns(before):>14s} -> {fmt_ns(after):>14s}"
+              f"  {delta:+7.1%}{flag}")
+
+    if args.write_table:
+        write_table(build_table(files, medians))
+        print(f"updated table in {EXPERIMENTS.name} "
+              f"({files[0].name} … {files[-1].name})")
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"\nFAILED: {len(regressions)} hot-path bench(es) regressed "
+              f"> {args.threshold:.0%} (worst: {worst[0]} {worst[1]:+.1%})",
+              file=sys.stderr)
+        return 1
+    print("\nOK: no hot-path regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

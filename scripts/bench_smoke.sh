@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR6.json}"
 SAMPLES="${2:-10}"
 
 # cargo runs bench binaries with the package directory as cwd, so anchor a
@@ -66,6 +66,22 @@ if [ "$INCR_MS" -ge "$FRESH_MS" ]; then
     exit 1
 fi
 echo "augmentation smoke OK: warm incremental = $INCR_MS ms < rebuild = $FRESH_MS ms"
+
+# Snapshot-cache cold vs warm: a warm `--snapshot-cache` run must reach
+# its first detection round at least 5x faster than cold extraction on the
+# 240-source corpus (the binary also asserts cold and warm reports are
+# bit-identical before the speedup is trusted).
+echo
+echo "== snapshot cache: cold vs warm (240 sources) =="
+cargo build --offline -q --release -p midas-bench --bin snapshot_coldwarm
+COLDWARM="$(./target/release/snapshot_coldwarm --entities 250 --threads 4)"
+printf '%s\n' "$COLDWARM" | tee -a "$OUT"
+SPEEDUP="$(printf '%s' "$COLDWARM" | sed -n 's/.*"speedup":\([0-9]*\)\..*/\1/p')"
+if [ "$SPEEDUP" -lt 5 ]; then
+    echo "snapshot smoke FAILED: warm run only ${SPEEDUP}x faster than cold (need >= 5x)" >&2
+    exit 1
+fi
+echo "snapshot smoke OK: warm run ${SPEEDUP}x faster than cold"
 
 echo
 echo "== $OUT =="

@@ -10,6 +10,12 @@ cargo fmt --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== snapshot subsystem tests =="
+cargo test -q --offline -p midas-kb snapshot
+cargo test -q --offline -p midas-core snapshot
+cargo test -q --offline -p midas-cli snapshot
+cargo test -q --offline --test snapshot_roundtrip
+
 echo "== cargo test =="
 cargo test -q --offline
 
