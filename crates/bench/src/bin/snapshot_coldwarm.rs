@@ -97,7 +97,7 @@ fn main() {
 
     // Cold path: parse + per-source fact-table construction, no cache.
     let cold_start = Instant::now();
-    let cold = load_inputs_cached(facts_s, None, false, None).expect("cold load");
+    let cold = load_inputs_cached(facts_s, None, false, None, None).expect("cold load");
     let cold_tables: BTreeMap<SourceUrl, FactTable> = cold
         .sources
         .iter()
@@ -107,7 +107,7 @@ fn main() {
 
     // Populate the cache (miss: parse + build + snapshot write)...
     let miss_start = Instant::now();
-    let miss = load_inputs_cached(facts_s, None, false, Some(cache_s)).expect("miss load");
+    let miss = load_inputs_cached(facts_s, None, false, Some(cache_s), None).expect("miss load");
     assert!(
         miss.notes.iter().any(|n| n.contains("write")),
         "first cached run must write the snapshot: {:?}",
@@ -118,7 +118,7 @@ fn main() {
 
     // ...then measure the warm path: mmap + zero-copy reassembly.
     let warm_start = Instant::now();
-    let warm = load_inputs_cached(facts_s, None, false, Some(cache_s)).expect("warm load");
+    let warm = load_inputs_cached(facts_s, None, false, Some(cache_s), None).expect("warm load");
     let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
     assert!(
         warm.notes.iter().any(|n| n.contains("hit")),

@@ -38,14 +38,14 @@ midas — web source slice discovery (ICDE 2019 reproduction)
 USAGE:
   midas discover --facts FILE [--kb FILE] [--algorithm midas|greedy|aggcluster|naive]
                  [--threads N] [--top K] [--fp X] [--fc X] [--fd X] [--fv X]
-                 [--csv] [--explain] [--snapshot-cache DIR] [ROBUSTNESS]
+                 [--csv] [--explain] [CACHING] [ROBUSTNESS]
   midas stats    --facts FILE
   midas generate --dataset synthetic|reverb-slim|nell-slim|kvault
                  [--scale X] [--seed N] --out DIR
   midas eval     --facts FILE --gold FILE [--kb FILE] [--algorithm NAME] [--threads N]
-                 [--snapshot-cache DIR] [ROBUSTNESS]
+                 [CACHING] [ROBUSTNESS]
   midas augment  --facts FILE [--kb FILE] [--rounds N] [--threads N]
-                 [--fp X] [--fc X] [--fd X] [--fv X] [--snapshot-cache DIR] [ROBUSTNESS]
+                 [--fp X] [--fc X] [--fd X] [--fv X] [--resume] [CACHING] [ROBUSTNESS]
 
 CACHING (discover, eval, augment):
   --snapshot-cache DIR     reuse parsed corpora across runs. The facts and kb
@@ -53,10 +53,30 @@ CACHING (discover, eval, augment):
                            version; a hit memory-maps the matching snapshot in
                            DIR (skipping parsing and fact-table construction),
                            a miss extracts as usual and writes the snapshot.
-                           Stale, truncated, or corrupt snapshots are ignored
-                           with a note and rebuilt. Results are bit-identical
-                           to uncached runs. Ignored under --lenient (faulty
-                           corpora are not cacheable).
+                           Stale, truncated, or corrupt snapshots are moved to
+                           DIR/quarantine (with a reason file) and rebuilt.
+                           Results are bit-identical to uncached runs. Ignored
+                           under --lenient (faulty corpora are not cacheable).
+                           The directory is multi-process safe: writes are
+                           crash-consistent (temp file + fsync + rename + dir
+                           fsync) and guarded by advisory file locks, so
+                           concurrent runs may share one DIR. `discover` also
+                           caches its slice report, so a repeated run with
+                           identical inputs and cost model skips detection
+                           entirely; `augment` checkpoints each completed
+                           round for --resume.
+  --snapshot-cache-max-bytes N
+                           cap the total size of `.snap` entries in DIR;
+                           least-recently-used entries are evicted first (the
+                           entry the current run uses is never evicted, and
+                           augmentation checkpoints are exempt).
+  --resume (augment only)  continue from the last durable checkpointed round
+                           of a previous identical `augment` run (requires
+                           --snapshot-cache). Completed rounds are replayed
+                           from the checkpoint; output is bit-identical to an
+                           uninterrupted run. Incompatible with
+                           --source-deadline-ms (wall-clock budgets make runs
+                           non-resumable).
 
 ROBUSTNESS (discover, eval, augment):
   --lenient                quarantine malformed input lines instead of aborting
@@ -141,6 +161,8 @@ pub enum Command {
         explain: bool,
         /// Corpus snapshot cache directory (`--snapshot-cache`).
         snapshot_cache: Option<String>,
+        /// Cache size cap in bytes (`--snapshot-cache-max-bytes`).
+        snapshot_cache_max_bytes: Option<u64>,
         /// Robustness limits (lenient ingestion + per-source budget).
         limits: RunLimits,
     },
@@ -175,6 +197,10 @@ pub enum Command {
         cost: (f64, f64, f64, f64),
         /// Corpus snapshot cache directory (`--snapshot-cache`).
         snapshot_cache: Option<String>,
+        /// Cache size cap in bytes (`--snapshot-cache-max-bytes`).
+        snapshot_cache_max_bytes: Option<u64>,
+        /// Continue from the last durable checkpoint (`--resume`).
+        resume: bool,
         /// Robustness limits (lenient ingestion + per-source budget).
         limits: RunLimits,
     },
@@ -192,6 +218,8 @@ pub enum Command {
         threads: usize,
         /// Corpus snapshot cache directory (`--snapshot-cache`).
         snapshot_cache: Option<String>,
+        /// Cache size cap in bytes (`--snapshot-cache-max-bytes`).
+        snapshot_cache_max_bytes: Option<u64>,
         /// Robustness limits (lenient ingestion + per-source budget).
         limits: RunLimits,
     },
@@ -310,6 +338,7 @@ impl ParsedArgs {
                     csv: flags.flag("--csv"),
                     explain: flags.flag("--explain"),
                     snapshot_cache: flags.value("--snapshot-cache")?.map(str::to_owned),
+                    snapshot_cache_max_bytes: opt_num(&mut flags, "--snapshot-cache-max-bytes")?,
                     limits: parse_limits(&mut flags)?,
                 }
             }
@@ -331,13 +360,22 @@ impl ParsedArgs {
                 let fc = parse_num("--fc", flags.value("--fc")?.unwrap_or("0.001"))?;
                 let fd = parse_num("--fd", flags.value("--fd")?.unwrap_or("0.01"))?;
                 let fv = parse_num("--fv", flags.value("--fv")?.unwrap_or("0.1"))?;
+                let snapshot_cache = flags.value("--snapshot-cache")?.map(str::to_owned);
+                let resume = flags.flag("--resume");
+                if resume && snapshot_cache.is_none() {
+                    return Err(CliError::Usage(
+                        "--resume requires --snapshot-cache (checkpoints live there)".into(),
+                    ));
+                }
                 Command::Augment {
                     facts,
                     kb,
                     rounds,
                     threads,
                     cost: (fp, fc, fd, fv),
-                    snapshot_cache: flags.value("--snapshot-cache")?.map(str::to_owned),
+                    snapshot_cache,
+                    snapshot_cache_max_bytes: opt_num(&mut flags, "--snapshot-cache-max-bytes")?,
+                    resume,
                     limits: parse_limits(&mut flags)?,
                 }
             }
@@ -348,6 +386,7 @@ impl ParsedArgs {
                 algorithm: Algorithm::parse(flags.value("--algorithm")?.unwrap_or("midas"))?,
                 threads: parse_num("--threads", flags.value("--threads")?.unwrap_or("1"))?,
                 snapshot_cache: flags.value("--snapshot-cache")?.map(str::to_owned),
+                snapshot_cache_max_bytes: opt_num(&mut flags, "--snapshot-cache-max-bytes")?,
                 limits: parse_limits(&mut flags)?,
             },
             "help" | "--help" | "-h" => {
@@ -382,6 +421,7 @@ mod tests {
                 csv,
                 explain,
                 snapshot_cache,
+                snapshot_cache_max_bytes,
                 limits,
             } => {
                 assert_eq!(facts, "f.tsv");
@@ -392,6 +432,7 @@ mod tests {
                 assert_eq!(cost, (10.0, 0.001, 0.01, 0.1));
                 assert!(!csv && !explain);
                 assert_eq!(snapshot_cache, None);
+                assert_eq!(snapshot_cache_max_bytes, None);
                 assert_eq!(limits, RunLimits::default());
             }
             other => panic!("wrong command {other:?}"),
@@ -473,6 +514,8 @@ mod tests {
                 threads,
                 cost,
                 snapshot_cache,
+                snapshot_cache_max_bytes,
+                resume,
                 limits,
             } => {
                 assert_eq!(facts, "f.tsv");
@@ -481,6 +524,8 @@ mod tests {
                 assert_eq!(threads, 1);
                 assert_eq!(cost, (10.0, 0.001, 0.01, 0.1));
                 assert_eq!(snapshot_cache, None);
+                assert_eq!(snapshot_cache_max_bytes, None);
+                assert!(!resume);
                 assert_eq!(limits, RunLimits::default());
             }
             other => panic!("wrong command {other:?}"),
@@ -534,6 +579,49 @@ mod tests {
         assert!(err.to_string().contains("unrecognised argument"));
         let err = ParsedArgs::parse(&argv("discover --facts f --snapshot-cache")).unwrap_err();
         assert!(err.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn cache_cap_and_resume_flags_parse() {
+        for cmdline in [
+            "discover --facts f --snapshot-cache /tmp/c --snapshot-cache-max-bytes 1048576",
+            "eval --facts f --gold g --snapshot-cache /tmp/c --snapshot-cache-max-bytes 1048576",
+            "augment --facts f --snapshot-cache /tmp/c --snapshot-cache-max-bytes 1048576",
+        ] {
+            let p = ParsedArgs::parse(&argv(cmdline)).unwrap();
+            let cap = match p.command {
+                Command::Discover {
+                    snapshot_cache_max_bytes,
+                    ..
+                }
+                | Command::Eval {
+                    snapshot_cache_max_bytes,
+                    ..
+                }
+                | Command::Augment {
+                    snapshot_cache_max_bytes,
+                    ..
+                } => snapshot_cache_max_bytes,
+                other => panic!("wrong command {other:?}"),
+            };
+            assert_eq!(cap, Some(1_048_576), "{cmdline}");
+        }
+
+        let p =
+            ParsedArgs::parse(&argv("augment --facts f --snapshot-cache /tmp/c --resume")).unwrap();
+        assert!(matches!(p.command, Command::Augment { resume: true, .. }));
+
+        let err = ParsedArgs::parse(&argv("augment --facts f --resume")).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("--resume requires --snapshot-cache"),
+            "{err}"
+        );
+        let err = ParsedArgs::parse(&argv("discover --facts f --resume")).unwrap_err();
+        assert!(
+            err.to_string().contains("unrecognised argument"),
+            "--resume is augment-only"
+        );
     }
 
     #[test]

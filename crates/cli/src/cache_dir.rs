@@ -1,0 +1,457 @@
+//! Shared snapshot-cache directory: locking, manifest, eviction, quarantine.
+//!
+//! A `--snapshot-cache` directory may be shared by several concurrent
+//! `midas` processes. This module makes that safe and bounded:
+//!
+//! * **Advisory locking** — one `.lock` file per directory, taken shared
+//!   (`flock LOCK_SH`) by readers and exclusive (`LOCK_EX`) by anything
+//!   that writes, evicts, or quarantines. `flock` locks die with their
+//!   process, so a `kill -9` mid-write never wedges the directory.
+//! * **Manifest** — `MANIFEST.tsv` records `name \t bytes \t last_used_ms`
+//!   per cache entry and is itself rewritten atomically
+//!   ([`midas_kb::write_bytes_atomic`], crash site `manifest.*`). It is
+//!   advisory bookkeeping for LRU eviction: damage or loss degrades to
+//!   file-mtime ordering, never to a wrong answer.
+//! * **Eviction** — `--snapshot-cache-max-bytes` caps the total size of
+//!   `.snap` entries; least-recently-used entries go first. Checkpoints
+//!   (`.ckpt`) are deliberately exempt: evicting one silently downgrades
+//!   `augment --resume` to a cold rerun.
+//! * **Quarantine** — a corrupt or stale-keyed entry is renamed into
+//!   `quarantine/` next to a `<name>.reason` file instead of being
+//!   clobbered, preserving the evidence for post-mortems.
+//! * **Orphan sweep** — `*.tmp.<pid>` files whose writing process is gone
+//!   (crashed before its rename) are deleted opportunistically.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fs::{self, File};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Clock reading for `last_used_ms` stamps: milliseconds since the Unix
+/// epoch. Monotonicity across processes is best-effort — LRU only needs a
+/// rough recency order.
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(unix)]
+mod sys {
+    pub const LOCK_SH: i32 = 1;
+    pub const LOCK_EX: i32 = 2;
+    pub const LOCK_UN: i32 = 8;
+
+    extern "C" {
+        pub fn flock(fd: i32, operation: i32) -> i32;
+    }
+}
+
+/// An acquired advisory lock on the cache directory; released on drop (and
+/// by the kernel if the process dies first).
+pub struct LockGuard {
+    file: File,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a valid descriptor owned by `self.file`;
+            // LOCK_UN cannot fail in a way we could act on here.
+            unsafe { sys::flock(self.file.as_raw_fd(), sys::LOCK_UN) };
+        }
+        let _ = &self.file;
+    }
+}
+
+/// One manifest row: a cache entry's name, size, and last-use stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// File name within the cache directory (no path separators).
+    pub name: String,
+    /// Size in bytes at last record time.
+    pub bytes: u64,
+    /// Last-use stamp, milliseconds since the Unix epoch.
+    pub last_used_ms: u64,
+}
+
+/// A snapshot-cache directory handle. Creating one ensures the directory
+/// and its `.lock` file exist; all mutation goes through methods that hold
+/// the appropriate lock.
+pub struct CacheDir {
+    root: PathBuf,
+}
+
+/// Crash-site prefix for manifest rewrites.
+pub const MANIFEST_SITE: &str = "manifest";
+const MANIFEST_NAME: &str = "MANIFEST.tsv";
+const LOCK_NAME: &str = ".lock";
+/// Subdirectory receiving corrupt entries.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+impl CacheDir {
+    /// Opens (creating if needed) the cache directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<CacheDir> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        // Ensure the lock file exists so lock acquisition never races
+        // directory creation.
+        File::options()
+            .create(true)
+            .append(true)
+            .open(root.join(LOCK_NAME))?;
+        Ok(CacheDir { root })
+    }
+
+    /// The directory path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Absolute path of a named entry.
+    pub fn entry_path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn lock(&self, op: i32) -> io::Result<LockGuard> {
+        let file = File::options()
+            .create(true)
+            .append(true)
+            .open(self.root.join(LOCK_NAME))?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a valid descriptor for the just-opened lock
+            // file; flock blocks until the lock is granted.
+            let rc = unsafe { sys::flock(file.as_raw_fd(), op) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = op;
+        Ok(LockGuard { file })
+    }
+
+    /// Takes the shared (reader) lock: snapshots may be opened and mapped,
+    /// nothing may be renamed away underneath us.
+    pub fn shared(&self) -> io::Result<LockGuard> {
+        #[cfg(unix)]
+        return self.lock(sys::LOCK_SH);
+        #[cfg(not(unix))]
+        return self.lock(0);
+    }
+
+    /// Takes the exclusive (writer) lock: required for writes, eviction,
+    /// quarantine, and manifest updates.
+    pub fn exclusive(&self) -> io::Result<LockGuard> {
+        #[cfg(unix)]
+        return self.lock(sys::LOCK_EX);
+        #[cfg(not(unix))]
+        return self.lock(0);
+    }
+
+    /// Reads the manifest, tolerating absence and per-line damage (damaged
+    /// lines are dropped; eviction then falls back to file mtimes for any
+    /// untracked entries).
+    pub fn read_manifest(&self) -> Vec<ManifestEntry> {
+        let Ok(text) = fs::read_to_string(self.root.join(MANIFEST_NAME)) else {
+            return Vec::new();
+        };
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let mut cols = line.split('\t');
+            let (Some(name), Some(bytes), Some(last)) = (cols.next(), cols.next(), cols.next())
+            else {
+                continue;
+            };
+            let (Ok(bytes), Ok(last_used_ms)) = (bytes.parse(), last.parse()) else {
+                continue;
+            };
+            if name.is_empty() || name.contains('/') || cols.next().is_some() {
+                continue;
+            }
+            entries.push(ManifestEntry {
+                name: name.to_string(),
+                bytes,
+                last_used_ms,
+            });
+        }
+        entries
+    }
+
+    /// Atomically rewrites the manifest. Caller holds the exclusive lock.
+    fn write_manifest(&self, entries: &[ManifestEntry]) -> io::Result<()> {
+        let mut text = String::new();
+        for e in entries {
+            text.push_str(&format!("{}\t{}\t{}\n", e.name, e.bytes, e.last_used_ms));
+        }
+        midas_kb::write_bytes_atomic(
+            &self.root.join(MANIFEST_NAME),
+            text.as_bytes(),
+            MANIFEST_SITE,
+        )
+    }
+
+    /// Records (or refreshes) `name` in the manifest with its current size
+    /// and a fresh last-used stamp. Caller holds the exclusive lock.
+    pub fn touch(&self, name: &str) -> io::Result<()> {
+        let bytes = fs::metadata(self.entry_path(name))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let mut entries = self.read_manifest();
+        entries.retain(|e| e.name != name);
+        entries.push(ManifestEntry {
+            name: name.to_string(),
+            bytes,
+            last_used_ms: now_ms(),
+        });
+        // Drop rows whose files vanished (evicted by another process, or
+        // removed by hand) so the manifest cannot grow without bound.
+        entries.retain(|e| self.entry_path(&e.name).exists());
+        self.write_manifest(&entries)
+    }
+
+    /// Evicts least-recently-used `.snap` entries until the total size of
+    /// `.snap` files is within `max_bytes`. `keep` (the entry the current
+    /// run needs) is never evicted. Checkpoints and other non-`.snap` files
+    /// are not eviction candidates. Returns the evicted names. Caller holds
+    /// the exclusive lock.
+    pub fn evict(&self, max_bytes: u64, keep: &str) -> io::Result<Vec<String>> {
+        let manifest = self.read_manifest();
+        let stamp_of = |name: &str| {
+            manifest
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.last_used_ms)
+        };
+
+        // Candidates: every on-disk `.snap`, stamped from the manifest or —
+        // for untracked files — from mtime, so damage to the manifest only
+        // coarsens recency, never hides an entry from the size accounting.
+        let mut candidates: Vec<(String, u64, u64)> = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".snap") || !entry.file_type()?.is_file() {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            let stamp = stamp_of(name).unwrap_or_else(|| {
+                meta.modified()
+                    .ok()
+                    .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0)
+            });
+            candidates.push((name.to_string(), meta.len(), stamp));
+        }
+
+        let mut total: u64 = candidates.iter().map(|c| c.1).sum();
+        if total <= max_bytes {
+            return Ok(Vec::new());
+        }
+        // Oldest first; name as tie-break for determinism.
+        candidates.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut evicted = Vec::new();
+        for (name, bytes, _) in candidates {
+            if total <= max_bytes {
+                break;
+            }
+            if name == keep {
+                continue;
+            }
+            fs::remove_file(self.entry_path(&name))?;
+            total = total.saturating_sub(bytes);
+            evicted.push(name);
+        }
+        if !evicted.is_empty() {
+            let mut entries = self.read_manifest();
+            entries.retain(|e| !evicted.contains(&e.name));
+            self.write_manifest(&entries)?;
+        }
+        Ok(evicted)
+    }
+
+    /// Moves a damaged entry into `quarantine/` and writes `<name>.reason`
+    /// beside it, preserving the evidence instead of clobbering it. Caller
+    /// holds the exclusive lock.
+    pub fn quarantine(&self, name: &str, reason: &str) -> io::Result<PathBuf> {
+        let qdir = self.root.join(QUARANTINE_DIR);
+        fs::create_dir_all(&qdir)?;
+        let dest = qdir.join(name);
+        // A second corruption of the same key overwrites the first capture;
+        // the newest evidence wins.
+        fs::rename(self.entry_path(name), &dest)?;
+        fs::write(qdir.join(format!("{name}.reason")), format!("{reason}\n"))?;
+        let mut entries = self.read_manifest();
+        entries.retain(|e| e.name != name);
+        self.write_manifest(&entries)?;
+        Ok(dest)
+    }
+
+    /// Deletes `*.tmp.<pid>` orphans left by writers that died before their
+    /// rename. Only files whose recorded pid is provably dead are removed
+    /// (`/proc/<pid>` absent on Linux); a live writer's temp file is left
+    /// alone. Caller holds the exclusive lock.
+    pub fn sweep_orphans(&self) -> io::Result<Vec<String>> {
+        let mut swept = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(pid) = name
+                .rsplit_once(".tmp.")
+                .and_then(|(_, pid)| pid.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            if pid == std::process::id() || !entry.file_type()?.is_file() {
+                continue;
+            }
+            if pid_is_dead(pid) {
+                fs::remove_file(entry.path())?;
+                swept.push(name.to_string());
+            }
+        }
+        Ok(swept)
+    }
+}
+
+/// Whether `pid` provably no longer exists. Conservative: when liveness
+/// cannot be determined, the pid is treated as alive and its temp files
+/// survive the sweep.
+fn pid_is_dead(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("midas_cachedir_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips_and_tolerates_damage() {
+        let dir = tmpdir("manifest");
+        let cache = CacheDir::open(&dir).unwrap();
+        fs::write(cache.entry_path("a.snap"), vec![0u8; 10]).unwrap();
+        fs::write(cache.entry_path("b.snap"), vec![0u8; 20]).unwrap();
+        let _g = cache.exclusive().unwrap();
+        cache.touch("a.snap").unwrap();
+        cache.touch("b.snap").unwrap();
+        let entries = cache.read_manifest();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "a.snap");
+        assert_eq!(entries[0].bytes, 10);
+
+        // Damaged lines are dropped, intact ones survive.
+        let manifest = dir.join(MANIFEST_NAME);
+        let mut text = fs::read_to_string(&manifest).unwrap();
+        text.push_str("not a row\nc.snap\tNaN\t0\n");
+        fs::write(&manifest, text).unwrap();
+        assert_eq!(cache.read_manifest().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_spares_keep_and_checkpoints() {
+        let dir = tmpdir("evict");
+        let cache = CacheDir::open(&dir).unwrap();
+        let _g = cache.exclusive().unwrap();
+        for (name, len) in [("old.snap", 40), ("mid.snap", 40), ("new.snap", 40)] {
+            fs::write(cache.entry_path(name), vec![0u8; len]).unwrap();
+            cache.touch(name).unwrap();
+            // Stamps must strictly order; now_ms ties are possible within
+            // one test, so space them out explicitly.
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        fs::write(cache.entry_path("run.ckpt"), vec![0u8; 1000]).unwrap();
+
+        // 120 bytes of .snap, cap 100: exactly the LRU entry goes, and the
+        // huge checkpoint is never a candidate.
+        let evicted = cache.evict(100, "new.snap").unwrap();
+        assert_eq!(evicted, vec!["old.snap".to_string()]);
+        assert!(cache.entry_path("run.ckpt").exists());
+        assert!(!cache.entry_path("old.snap").exists());
+        assert!(cache.read_manifest().iter().all(|e| e.name != "old.snap"));
+
+        // Cap 0 with keep: everything but the kept entry goes.
+        let evicted = cache.evict(0, "new.snap").unwrap();
+        assert_eq!(evicted, vec!["mid.snap".to_string()]);
+        assert!(cache.entry_path("new.snap").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn untracked_snapshots_still_count_toward_the_cap() {
+        let dir = tmpdir("untracked");
+        let cache = CacheDir::open(&dir).unwrap();
+        let _g = cache.exclusive().unwrap();
+        // Never touched: no manifest row, mtime is the stamp.
+        fs::write(cache.entry_path("ghost.snap"), vec![0u8; 64]).unwrap();
+        let evicted = cache.evict(32, "other.snap").unwrap();
+        assert_eq!(evicted, vec!["ghost.snap".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_preserves_bytes_and_reason() {
+        let dir = tmpdir("quarantine");
+        let cache = CacheDir::open(&dir).unwrap();
+        fs::write(cache.entry_path("bad.snap"), b"torn bytes").unwrap();
+        let _g = cache.exclusive().unwrap();
+        cache.touch("bad.snap").unwrap();
+        let dest = cache.quarantine("bad.snap", "checksum mismatch").unwrap();
+        assert!(!cache.entry_path("bad.snap").exists());
+        assert_eq!(fs::read(dest).unwrap(), b"torn bytes");
+        let reason =
+            fs::read_to_string(cache.root().join(QUARANTINE_DIR).join("bad.snap.reason")).unwrap();
+        assert!(reason.contains("checksum mismatch"));
+        assert!(cache.read_manifest().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_sweep_removes_dead_writers_only() {
+        let dir = tmpdir("orphans");
+        let cache = CacheDir::open(&dir).unwrap();
+        let _g = cache.exclusive().unwrap();
+        let own = format!("x.snap.tmp.{}", std::process::id());
+        fs::write(cache.entry_path(&own), b"mine").unwrap();
+        // Pid u32::MAX - 1 cannot exist (beyond pid_max on any Linux).
+        fs::write(cache.entry_path("y.snap.tmp.4294967294"), b"dead").unwrap();
+        fs::write(cache.entry_path("normal.snap"), b"keep").unwrap();
+        let swept = cache.sweep_orphans().unwrap();
+        if cfg!(target_os = "linux") {
+            assert_eq!(swept, vec!["y.snap.tmp.4294967294".to_string()]);
+        }
+        assert!(cache.entry_path(&own).exists(), "live writer's tmp kept");
+        assert!(cache.entry_path("normal.snap").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let dir = tmpdir("locks");
+        let cache = CacheDir::open(&dir).unwrap();
+        let a = cache.shared().unwrap();
+        let b = cache.shared().unwrap();
+        drop((a, b));
+        let _x = cache.exclusive().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

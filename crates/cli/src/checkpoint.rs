@@ -1,0 +1,404 @@
+//! Durable augmentation checkpoints for `augment --resume`.
+//!
+//! After every completed round, the full round trace so far is serialised
+//! into one `MSNP` container (the same crash-consistent format as corpus
+//! snapshots; crash site `ckpt.*`) keyed by everything that determines the
+//! run's results: the corpus cache key, the cost model, and the
+//! deterministic budget caps. `augment --resume` loads the trace, replays
+//! the accepted slices into a fresh [`midas_core::Augmenter`] — each accept
+//! is verified against the recorded fact delta — and continues from the
+//! next round. The incremental engine's cold-restart path then recomputes
+//! suggestions from the combined delta, which the equivalence suite proves
+//! bit-identical to the uninterrupted incremental run.
+//!
+//! Rewriting the whole trace each round keeps the format trivial (one
+//! atomic rename per round, no log compaction) at O(rounds²) serialisation
+//! cost — rounds are few and slices small, so this is noise next to one
+//! `suggest` call.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use midas_core::{
+    AugmentationStep, BreachKind, BudgetBreach, CostModel, DiscoveredSlice, FaultCause, Quarantine,
+    SourceBudget, SourceFault, Stage,
+};
+use midas_eval::runner::AugmentationRound;
+use midas_extract::CacheKey;
+use midas_kb::{Interner, Snapshot, SnapshotBuilder, SnapshotError};
+use midas_weburl::SourceUrl;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Round-trace section of a checkpoint container.
+pub const TAG_CKPT: u32 = u32::from_le_bytes(*b"CKPT");
+/// Crash-site prefix for checkpoint writes.
+pub const CKPT_SITE: &str = "ckpt";
+
+/// Derives the checkpoint key: the corpus key plus every knob that changes
+/// what the augmentation loop computes. Thread count, stream window, and
+/// `--rounds` are deliberately excluded — they affect schedule and stopping
+/// point, not per-round results — so a resume may change them.
+pub fn checkpoint_key(corpus_key: u64, cost: &CostModel, budget: &SourceBudget) -> u64 {
+    let mut k = CacheKey::new()
+        .part("corpus", &corpus_key.to_le_bytes())
+        .part("fp", &cost.fp.to_bits().to_le_bytes())
+        .part("fc", &cost.fc.to_bits().to_le_bytes())
+        .part("fd", &cost.fd.to_bits().to_le_bytes())
+        .part("fv", &cost.fv.to_bits().to_le_bytes());
+    let cap_bytes = |cap: Option<usize>| -> [u8; 9] {
+        let mut b = [0u8; 9];
+        if let Some(v) = cap {
+            b[0] = 1;
+            b[1..].copy_from_slice(&(v as u64).to_le_bytes());
+        }
+        b
+    };
+    k = k.part("max_facts", &cap_bytes(budget.max_facts));
+    k = k.part("max_nodes", &cap_bytes(budget.max_nodes));
+    k.part("kind", b"augment").finish()
+}
+
+/// The checkpoint file addressing `key` inside the cache directory.
+pub fn checkpoint_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(checkpoint_name(key))
+}
+
+/// The checkpoint file name for `key` (no directory).
+pub fn checkpoint_name(key: u64) -> String {
+    format!("midas-{key:016x}.ckpt")
+}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// Serialises the round trace and writes it atomically (crash site
+/// `ckpt.*`). Strings are resolved through `terms` so the checkpoint is
+/// self-contained — symbols are not stable across processes.
+pub fn save_rounds(
+    path: &Path,
+    key: u64,
+    terms: &Interner,
+    rounds: &[AugmentationRound],
+) -> io::Result<()> {
+    let mut b = SnapshotBuilder::new(key);
+    let mut w = b.section(TAG_CKPT);
+    w.put_u32(rounds.len() as u32);
+    for r in rounds {
+        w.put_u32(r.round as u32);
+        match &r.accepted {
+            None => w.put_u32(0),
+            Some(step) => {
+                w.put_u32(1);
+                let s = &step.slice;
+                w.put_str(s.source.as_str());
+                w.put_u32(s.properties.len() as u32);
+                for &(p, v) in &s.properties {
+                    w.put_str(terms.resolve(p));
+                    w.put_str(terms.resolve(v));
+                }
+                w.put_u32(s.entities.len() as u32);
+                for &e in &s.entities {
+                    w.put_str(terms.resolve(e));
+                }
+                w.put_u64(s.num_facts as u64);
+                w.put_u64(s.num_new_facts as u64);
+                w.put_f64(s.profit);
+                w.put_u64(step.facts_added as u64);
+                w.put_u64(step.kb_size as u64);
+            }
+        }
+        w.put_u64(r.suggest_time.as_nanos() as u64);
+        w.put_u64(r.suggestions as u64);
+        w.put_u64(r.detect_calls as u64);
+        w.put_u64(r.reused_tasks as u64);
+        w.put_u64(r.kb_size as u64);
+        w.put_u32(r.quarantine.len() as u32);
+        for f in r.quarantine.iter() {
+            w.put_str(&f.source);
+            w.put_u32(match f.stage {
+                Stage::Read => 0,
+                Stage::Detect => 1,
+                Stage::Consolidate => 2,
+            });
+            match &f.cause {
+                FaultCause::Parse {
+                    file,
+                    line,
+                    message,
+                } => {
+                    w.put_u32(0);
+                    w.put_str(file);
+                    w.put_u64(*line);
+                    w.put_str(message);
+                }
+                FaultCause::Panic { message } => {
+                    w.put_u32(1);
+                    w.put_str(message);
+                }
+                FaultCause::Budget(breach) => {
+                    w.put_u32(2);
+                    w.put_u32(match breach.kind {
+                        BreachKind::Facts => 0,
+                        BreachKind::HierarchyNodes => 1,
+                        BreachKind::Deadline => 2,
+                        BreachKind::Injected => 3,
+                    });
+                    w.put_u64(breach.limit);
+                    w.put_u64(breach.observed);
+                }
+            }
+            w.put_u64(f.facts_seen as u64);
+        }
+    }
+    b.write_atomic_labeled(path, CKPT_SITE)
+}
+
+/// Loads a round trace saved by [`save_rounds`], re-interning its strings
+/// into `terms`. Fails with [`SnapshotError::KeyMismatch`] when the file is
+/// sound but belongs to a different run configuration.
+pub fn load_rounds(
+    path: &Path,
+    expected_key: u64,
+    terms: &mut Interner,
+) -> Result<Vec<AugmentationRound>, SnapshotError> {
+    let snap = Snapshot::open(path)?;
+    if snap.cache_key() != expected_key {
+        return Err(SnapshotError::KeyMismatch {
+            expected: expected_key,
+            found: snap.cache_key(),
+        });
+    }
+    let mut r = snap.section(TAG_CKPT)?;
+    let n_rounds = r.get_u32("round count")? as usize;
+    let mut rounds = Vec::with_capacity(n_rounds);
+    for _ in 0..n_rounds {
+        let round = r.get_u32("round number")? as usize;
+        let accepted = match r.get_u32("accepted flag")? {
+            0 => None,
+            1 => {
+                let url = r.get_str("slice source url")?;
+                let source = SourceUrl::parse(&url)
+                    .map_err(|e| corrupt(format!("invalid slice url {url:?}: {e}")))?;
+                let n_props = r.get_u32("property count")? as usize;
+                let mut properties = Vec::with_capacity(n_props);
+                for _ in 0..n_props {
+                    let p = terms.intern(&r.get_str("property predicate")?);
+                    let v = terms.intern(&r.get_str("property value")?);
+                    properties.push((p, v));
+                }
+                let n_entities = r.get_u32("entity count")? as usize;
+                let mut entities = Vec::with_capacity(n_entities);
+                for _ in 0..n_entities {
+                    entities.push(terms.intern(&r.get_str("entity")?));
+                }
+                let num_facts = r.get_u64("slice fact count")? as usize;
+                let num_new_facts = r.get_u64("slice new-fact count")? as usize;
+                let profit = r.get_f64("slice profit")?;
+                let facts_added = r.get_u64("facts added")? as usize;
+                let kb_size = r.get_u64("kb size after accept")? as usize;
+                Some(AugmentationStep {
+                    slice: DiscoveredSlice {
+                        source,
+                        properties,
+                        entities,
+                        num_facts,
+                        num_new_facts,
+                        profit,
+                    },
+                    facts_added,
+                    kb_size,
+                })
+            }
+            other => return Err(corrupt(format!("invalid accepted flag {other}"))),
+        };
+        let suggest_time = Duration::from_nanos(r.get_u64("suggest nanos")?);
+        let suggestions = r.get_u64("suggestion count")? as usize;
+        let detect_calls = r.get_u64("detect calls")? as usize;
+        let reused_tasks = r.get_u64("reused tasks")? as usize;
+        let kb_size = r.get_u64("kb size")? as usize;
+        let n_faults = r.get_u32("quarantine count")? as usize;
+        let mut quarantine = Quarantine::new();
+        for _ in 0..n_faults {
+            let source = r.get_str("fault source")?;
+            let stage = match r.get_u32("fault stage")? {
+                0 => Stage::Read,
+                1 => Stage::Detect,
+                2 => Stage::Consolidate,
+                other => return Err(corrupt(format!("invalid fault stage {other}"))),
+            };
+            let cause = match r.get_u32("fault cause tag")? {
+                0 => FaultCause::Parse {
+                    file: r.get_str("parse file")?,
+                    line: r.get_u64("parse line")?,
+                    message: r.get_str("parse message")?,
+                },
+                1 => FaultCause::Panic {
+                    message: r.get_str("panic message")?,
+                },
+                2 => {
+                    let kind = match r.get_u32("breach kind")? {
+                        0 => BreachKind::Facts,
+                        1 => BreachKind::HierarchyNodes,
+                        2 => BreachKind::Deadline,
+                        3 => BreachKind::Injected,
+                        other => return Err(corrupt(format!("invalid breach kind {other}"))),
+                    };
+                    FaultCause::Budget(BudgetBreach {
+                        kind,
+                        limit: r.get_u64("breach limit")?,
+                        observed: r.get_u64("breach observed")?,
+                    })
+                }
+                other => return Err(corrupt(format!("invalid fault cause tag {other}"))),
+            };
+            let facts_seen = r.get_u64("fault facts seen")? as usize;
+            quarantine.push(SourceFault {
+                source,
+                stage,
+                cause,
+                facts_seen,
+            });
+        }
+        rounds.push(AugmentationRound {
+            round,
+            accepted,
+            suggest_time,
+            suggestions,
+            detect_calls,
+            reused_tasks,
+            kb_size,
+            quarantine,
+        });
+    }
+    r.expect_end("checkpoint")?;
+    Ok(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_core::MidasConfig;
+
+    fn sample_rounds(terms: &mut Interner) -> Vec<AugmentationRound> {
+        let slice = DiscoveredSlice {
+            source: SourceUrl::parse("http://a.com/x").unwrap(),
+            properties: vec![(terms.intern("category"), terms.intern("rocket_family"))],
+            entities: vec![terms.intern("Ariane"), terms.intern("Atlas")],
+            num_facts: 7,
+            num_new_facts: 4,
+            profit: 3.25,
+        };
+        let mut quarantine = Quarantine::new();
+        quarantine.push(SourceFault {
+            source: "http://bad.com".to_string(),
+            stage: Stage::Consolidate,
+            cause: FaultCause::Budget(BudgetBreach {
+                kind: BreachKind::HierarchyNodes,
+                limit: 100,
+                observed: 150,
+            }),
+            facts_seen: 42,
+        });
+        vec![
+            AugmentationRound {
+                round: 1,
+                accepted: Some(AugmentationStep {
+                    slice,
+                    facts_added: 4,
+                    kb_size: 14,
+                }),
+                suggest_time: Duration::from_nanos(123_456),
+                suggestions: 3,
+                detect_calls: 5,
+                reused_tasks: 0,
+                kb_size: 14,
+                quarantine,
+            },
+            AugmentationRound {
+                round: 2,
+                accepted: None,
+                suggest_time: Duration::from_nanos(7_890),
+                suggestions: 0,
+                detect_calls: 1,
+                reused_tasks: 4,
+                kb_size: 14,
+                quarantine: Quarantine::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trace_round_trips() {
+        let dir = std::env::temp_dir().join(format!("midas_ckpt_rt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut terms = Interner::new();
+        let rounds = sample_rounds(&mut terms);
+        let path = checkpoint_path(&dir, 0xfeed);
+        save_rounds(&path, 0xfeed, &terms, &rounds).unwrap();
+
+        // A fresh interner: strings must re-intern, not assume symbol ids.
+        let mut terms2 = Interner::new();
+        let loaded = load_rounds(&path, 0xfeed, &mut terms2).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].round, 1);
+        let step = loaded[0].accepted.as_ref().unwrap();
+        assert_eq!(step.facts_added, 4);
+        assert_eq!(step.slice.source.as_str(), "http://a.com/x");
+        assert_eq!(step.slice.properties.len(), 1);
+        let (p, v) = step.slice.properties[0];
+        assert_eq!(terms2.resolve(p), "category");
+        assert_eq!(terms2.resolve(v), "rocket_family");
+        assert_eq!(step.slice.entities.len(), 2);
+        assert_eq!(step.slice.profit, 3.25);
+        assert_eq!(loaded[0].suggest_time, Duration::from_nanos(123_456));
+        assert_eq!(loaded[0].quarantine.len(), 1);
+        let fault = loaded[0].quarantine.iter().next().unwrap();
+        assert_eq!(fault.stage, Stage::Consolidate);
+        assert_eq!(fault.cause.tag(), "budget");
+        assert_eq!(fault.facts_seen, 42);
+        assert!(loaded[1].accepted.is_none());
+        assert_eq!(loaded[1].reused_tasks, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_and_corruption_fail_closed() {
+        let dir = std::env::temp_dir().join(format!("midas_ckpt_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut terms = Interner::new();
+        let rounds = sample_rounds(&mut terms);
+        let path = checkpoint_path(&dir, 1);
+        save_rounds(&path, 1, &terms, &rounds).unwrap();
+
+        let mut t2 = Interner::new();
+        assert!(matches!(
+            load_rounds(&path, 2, &mut t2),
+            Err(SnapshotError::KeyMismatch { .. })
+        ));
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_rounds(&path, 1, &mut t2).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_key_tracks_every_deterministic_knob() {
+        let cost = MidasConfig::running_example().cost;
+        let unlimited = SourceBudget::unlimited();
+        let base = checkpoint_key(7, &cost, &unlimited);
+        assert_eq!(base, checkpoint_key(7, &cost, &unlimited), "stable");
+        assert_ne!(base, checkpoint_key(8, &cost, &unlimited), "corpus key");
+        let mut cost2 = cost;
+        cost2.fp += 1.0;
+        assert_ne!(base, checkpoint_key(7, &cost2, &unlimited), "cost model");
+        let capped = SourceBudget::unlimited().with_max_facts(100);
+        assert_ne!(base, checkpoint_key(7, &cost, &capped), "budget caps");
+    }
+}

@@ -1,16 +1,17 @@
 //! Subcommand implementations.
 
 use crate::args::{Algorithm, CliError, Command, ParsedArgs, RunLimits};
+use crate::checkpoint;
 use crate::facts_io;
 use crate::snapshot_cache;
 use midas_baselines::{AggCluster, Greedy, Naive};
 use midas_core::{
-    faultinject, CostModel, DiscoveredSlice, FactTable, FaultPlan, MidasConfig, ProfitCtx,
-    Quarantine, SourceBudget, SourceFacts,
+    faultinject, Augmenter, CostModel, DiscoveredSlice, FactTable, FaultPlan, MidasConfig,
+    ProfitCtx, Quarantine, SourceBudget, SourceFacts,
 };
 use midas_eval::runner::{
-    merge_by_domain, run_augmentation, run_detector_per_source_budgeted, run_midas_framework,
-    run_midas_framework_with_tables,
+    continue_augmentation, merge_by_domain, run_augmentation, run_detector_per_source_budgeted,
+    run_midas_framework, run_midas_framework_with_tables, AugmentationRound,
 };
 use midas_eval::{bootstrap_prf, match_to_gold, Table};
 use midas_kb::{DatasetStats, Interner, KnowledgeBase};
@@ -34,6 +35,7 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             csv,
             explain,
             snapshot_cache,
+            snapshot_cache_max_bytes,
             limits,
         } => discover(
             &facts,
@@ -44,7 +46,10 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             cost,
             csv,
             explain,
-            snapshot_cache.as_deref(),
+            CacheOptions {
+                dir: snapshot_cache.as_deref(),
+                max_bytes: snapshot_cache_max_bytes,
+            },
             limits,
             out,
         ),
@@ -55,6 +60,8 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             threads,
             cost,
             snapshot_cache,
+            snapshot_cache_max_bytes,
+            resume,
             limits,
         } => augment(
             &facts,
@@ -62,7 +69,11 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             rounds,
             threads,
             cost,
-            snapshot_cache.as_deref(),
+            CacheOptions {
+                dir: snapshot_cache.as_deref(),
+                max_bytes: snapshot_cache_max_bytes,
+            },
+            resume,
             limits,
             out,
         ),
@@ -80,6 +91,7 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             algorithm,
             threads,
             snapshot_cache,
+            snapshot_cache_max_bytes,
             limits,
         } => eval(
             &facts,
@@ -87,7 +99,10 @@ pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError>
             kb.as_deref(),
             algorithm,
             threads,
-            snapshot_cache.as_deref(),
+            CacheOptions {
+                dir: snapshot_cache.as_deref(),
+                max_bytes: snapshot_cache_max_bytes,
+            },
             limits,
             out,
         ),
@@ -104,6 +119,24 @@ fn install_fault_plan_from_env() -> Result<(), CliError> {
         faultinject::install(plan);
     }
     Ok(())
+}
+
+/// Stable algorithm name for cache keys (matches the `--algorithm` value).
+fn algorithm_name(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::Midas => "midas",
+        Algorithm::Greedy => "greedy",
+        Algorithm::AggCluster => "aggcluster",
+        Algorithm::Naive => "naive",
+    }
+}
+
+/// `--snapshot-cache` options bundled for plumbing through the commands.
+pub struct CacheOptions<'a> {
+    /// Cache directory (`--snapshot-cache`), if caching was requested.
+    pub dir: Option<&'a str>,
+    /// Total `.snap` size cap (`--snapshot-cache-max-bytes`).
+    pub max_bytes: Option<u64>,
 }
 
 /// Translates CLI limits into the core per-source budget.
@@ -242,25 +275,62 @@ fn discover(
     (fp, fc, fd, fv): (f64, f64, f64, f64),
     csv: bool,
     explain: bool,
-    cache_dir: Option<&str>,
+    cache: CacheOptions<'_>,
     limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let loaded =
-        snapshot_cache::load_inputs_cached(facts_path, kb_path, limits.lenient, cache_dir)?;
-    let (terms, sources, kb, read_faults) =
+    let loaded = snapshot_cache::load_inputs_cached(
+        facts_path,
+        kb_path,
+        limits.lenient,
+        cache.dir,
+        cache.max_bytes,
+    )?;
+    let (mut terms, sources, kb, read_faults) =
         (loaded.terms, loaded.sources, loaded.kb, loaded.read_faults);
+    let mut notes = loaded.notes;
     let cost = CostModel { fp, fc, fd, fv };
-    let (slices, run_quarantine) = run_algorithm_budgeted(
-        algorithm,
-        cost,
-        &sources,
-        &kb,
-        threads,
-        budget_from(limits),
-        limits.stream_window,
-        loaded.tables.as_ref(),
-    );
+
+    // The slice report itself is cacheable when nothing can drop a source:
+    // budget limits quarantine, and a report saved from a budgeted run would
+    // replay those drops into unbudgeted runs (and vice versa).
+    let unbudgeted = limits.max_source_facts.is_none()
+        && limits.max_source_nodes.is_none()
+        && limits.source_deadline_ms.is_none();
+    let slice_key = loaded.session.as_ref().filter(|_| unbudgeted).map(|s| {
+        (
+            snapshot_cache::slices_key(s.corpus_key, algorithm_name(algorithm), &cost),
+            s,
+        )
+    });
+    let cached_slices = slice_key.as_ref().and_then(|(key, session)| {
+        snapshot_cache::load_cached_slices(session, *key, &mut terms, &mut notes)
+    });
+
+    let (slices, run_quarantine) = match cached_slices {
+        Some(slices) => (slices, Quarantine::new()),
+        None => {
+            let (slices, run_quarantine) = run_algorithm_budgeted(
+                algorithm,
+                cost,
+                &sources,
+                &kb,
+                threads,
+                budget_from(limits),
+                limits.stream_window,
+                loaded.tables.as_ref(),
+            );
+            if let Some((key, session)) = &slice_key {
+                // Only a complete report is worth replaying: a quarantined
+                // source means slices are missing that a healthy rerun
+                // would find.
+                if run_quarantine.is_empty() {
+                    snapshot_cache::store_slices(session, *key, &terms, &slices, &mut notes);
+                }
+            }
+            (slices, run_quarantine)
+        }
+    };
     let mut quarantine = Quarantine::new();
     for fault in read_faults {
         quarantine.push(fault);
@@ -334,13 +404,158 @@ fn discover(
         }
     }
     write_quarantine(out, &quarantine, csv)?;
-    write_notes(out, &loaded.notes, csv)?;
+    write_notes(out, &notes, csv)?;
     Ok(())
 }
 
 /// Drives the incremental augmentation loop over the corpus and prints one
 /// row per round: what was accepted, what it added, and how much of the
 /// round's detection work was replayed from the warm cache.
+/// Replays a checkpointed round trace into a fresh [`Augmenter`] and
+/// continues the loop, checkpointing each newly completed round. Returns
+/// the full trace (replayed prefix + new rounds).
+///
+/// Replay applies the recorded accepts for all but the last replayed round,
+/// then re-runs the last round's suggest — a single full recompute that the
+/// incremental engine's cold-restart equivalence guarantees matches the
+/// original round, and that leaves the round cache in exactly the state the
+/// uninterrupted run had. Continuing rounds therefore reuse cached tasks
+/// identically, making the resumed report bit-identical (modulo wall-clock
+/// timings; see `MIDAS_FIXED_TIMING`). Any divergence between checkpoint
+/// and replay fails closed: the checkpoint is quarantined and the run
+/// restarts cold.
+#[allow(clippy::too_many_arguments)]
+fn augment_with_checkpoints(
+    session: &snapshot_cache::CacheSession,
+    resume: bool,
+    config: &MidasConfig,
+    sources: Vec<SourceFacts>,
+    kb: KnowledgeBase,
+    threads: usize,
+    rounds: usize,
+    terms: &mut Interner,
+    notes: &mut Vec<String>,
+) -> Result<(Vec<AugmentationRound>, Augmenter), CliError> {
+    let key = checkpoint::checkpoint_key(session.corpus_key, &config.cost, &config.budget);
+    let name = checkpoint::checkpoint_name(key);
+    let path = session.dir.entry_path(&name);
+
+    let mut replayed: Vec<AugmentationRound> = Vec::new();
+    if resume {
+        let mut failure = None;
+        if let Ok(_read) = session.dir.shared() {
+            if path.exists() {
+                match checkpoint::load_rounds(&path, key, terms) {
+                    Ok(trace) => replayed = trace,
+                    Err(e) => failure = Some(e.to_string()),
+                }
+            } else {
+                notes.push("resume: no checkpoint found; starting from round 1".to_owned());
+            }
+        }
+        if let Some(reason) = failure {
+            let quarantined = session
+                .dir
+                .exclusive()
+                .and_then(|_write| session.dir.quarantine(&name, &reason));
+            match quarantined {
+                Ok(dest) => notes.push(format!(
+                    "resume: quarantined checkpoint {} ({reason}); starting from round 1",
+                    dest.display()
+                )),
+                Err(e) => notes.push(format!(
+                    "resume: ignoring checkpoint {name} ({reason}); quarantine failed: {e}"
+                )),
+            }
+        }
+        replayed.truncate(rounds);
+    }
+
+    // Replay, keeping the inputs for a cold restart should the checkpoint
+    // turn out not to match this corpus (a divergence is a bug or tampered
+    // file — fail closed, never trust its rounds).
+    let spare = (!replayed.is_empty()).then(|| (sources.clone(), kb.clone()));
+    let mut aug = Augmenter::new(config.clone(), sources, kb).with_threads(threads);
+    let mut diverged = None;
+    let finished = match replayed.last() {
+        None => false,
+        Some(last) => {
+            replayed.len() >= rounds
+                || last.accepted.is_none()
+                || matches!(&last.accepted, Some(s) if s.facts_added == 0)
+        }
+    };
+    for (i, r) in replayed.iter().enumerate() {
+        let Some(step) = &r.accepted else { break };
+        let is_last = i + 1 == replayed.len();
+        if is_last && !finished {
+            // Re-run the last round's suggest so the round cache ends up in
+            // the state the original round left it in (and verify it still
+            // picks the recorded slice).
+            let report = aug.suggest_report();
+            match report.slices.iter().find(|s| s.profit > 0.0) {
+                Some(best) if *best == step.slice => {}
+                _ => {
+                    diverged = Some(format!(
+                        "round {}: replayed suggest no longer picks the recorded slice",
+                        r.round
+                    ));
+                    break;
+                }
+            }
+        }
+        let applied = aug.accept(&step.slice);
+        if applied.facts_added != step.facts_added || applied.kb_size != step.kb_size {
+            diverged = Some(format!(
+                "round {}: recorded +{} facts (kb {}), replay produced +{} (kb {})",
+                r.round, step.facts_added, step.kb_size, applied.facts_added, applied.kb_size
+            ));
+            break;
+        }
+    }
+    if let Some(reason) = diverged {
+        let _ = session
+            .dir
+            .exclusive()
+            .and_then(|_write| session.dir.quarantine(&name, &reason));
+        notes.push(format!(
+            "resume: checkpoint diverged ({reason}); quarantined, restarting cold"
+        ));
+        replayed.clear();
+        let (sources, kb) = spare.unwrap_or_default();
+        aug = Augmenter::new(config.clone(), sources, kb).with_threads(threads);
+    }
+    if !replayed.is_empty() {
+        notes.push(format!(
+            "resume: replayed {} checkpointed round(s)",
+            replayed.len()
+        ));
+    }
+
+    let mut trace = replayed;
+    if !finished || trace.is_empty() {
+        let start_round = trace.len() + 1;
+        let mut ckpt_errors: Vec<String> = Vec::new();
+        let continued = {
+            let trace_so_far = &mut trace;
+            let errors = &mut ckpt_errors;
+            continue_augmentation(&mut aug, start_round, rounds, |r| {
+                trace_so_far.push(r.clone());
+                let saved = session.dir.exclusive().and_then(|_write| {
+                    checkpoint::save_rounds(&path, key, terms, trace_so_far)?;
+                    session.dir.touch(&name)
+                });
+                if let Err(e) = saved {
+                    errors.push(format!("checkpoint write failed: {e}"));
+                }
+            })
+        };
+        drop(continued); // rounds were accumulated via the callback
+        notes.extend(ckpt_errors);
+    }
+    Ok((trace, aug))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn augment(
     facts_path: &str,
@@ -348,23 +563,55 @@ fn augment(
     rounds: usize,
     threads: usize,
     (fp, fc, fd, fv): (f64, f64, f64, f64),
-    cache_dir: Option<&str>,
+    cache: CacheOptions<'_>,
+    resume: bool,
     limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
+    if resume && limits.source_deadline_ms.is_some() {
+        return Err(CliError::Usage(
+            "--resume is incompatible with --source-deadline-ms \
+             (wall-clock budgets make runs non-resumable)"
+                .into(),
+        ));
+    }
     // The augmentation loop memoises its own per-round tables; the snapshot
     // cache still removes the cold-start parse on every warm invocation.
-    let loaded =
-        snapshot_cache::load_inputs_cached(facts_path, kb_path, limits.lenient, cache_dir)?;
-    let (terms, sources, kb, read_faults) =
+    let loaded = snapshot_cache::load_inputs_cached(
+        facts_path,
+        kb_path,
+        limits.lenient,
+        cache.dir,
+        cache.max_bytes,
+    )?;
+    let (mut terms, sources, kb, read_faults) =
         (loaded.terms, loaded.sources, loaded.kb, loaded.read_faults);
+    let mut notes = loaded.notes;
     let config = MidasConfig::default()
         .with_cost(CostModel { fp, fc, fd, fv })
         .with_threads(threads)
         .with_budget(budget_from(limits))
         .with_stream_window(limits.stream_window);
     let initial_kb = kb.len();
-    let (trace, aug) = run_augmentation(&config, sources, kb, threads, rounds);
+
+    // Checkpointing needs a cache session and a deterministic run: deadline
+    // budgets can quarantine different sources on every attempt, so their
+    // rounds are not replayable.
+    let checkpointing = loaded.session.is_some() && limits.source_deadline_ms.is_none();
+    let (trace, aug) = match (&loaded.session, checkpointing) {
+        (Some(session), true) => augment_with_checkpoints(
+            session, resume, &config, sources, kb, threads, rounds, &mut terms, &mut notes,
+        )?,
+        _ => {
+            if resume {
+                notes.push("resume unavailable: no usable snapshot cache; running cold".to_owned());
+            }
+            run_augmentation(&config, sources, kb, threads, rounds)
+        }
+    };
+    // Wall-clock columns can never reproduce across runs; MIDAS_FIXED_TIMING
+    // pins them so resume-vs-rerun comparisons are pure byte equality.
+    let fixed_timing = std::env::var_os("MIDAS_FIXED_TIMING").is_some();
 
     let mut table = Table::new(
         "Augmentation rounds",
@@ -398,7 +645,11 @@ fn augment(
             source,
             added,
             r.kb_size.to_string(),
-            format!("{:.1}", r.suggest_time.as_secs_f64() * 1e3),
+            if fixed_timing {
+                "0.0".to_owned()
+            } else {
+                format!("{:.1}", r.suggest_time.as_secs_f64() * 1e3)
+            },
             r.detect_calls.to_string(),
             r.reused_tasks.to_string(),
         ]);
@@ -424,7 +675,7 @@ fn augment(
         quarantine.merge(last.quarantine.clone());
     }
     write_quarantine(out, &quarantine, false)?;
-    write_notes(out, &loaded.notes, false)?;
+    write_notes(out, &notes, false)?;
     Ok(())
 }
 
@@ -506,15 +757,20 @@ fn eval(
     kb_path: Option<&str>,
     algorithm: Algorithm,
     threads: usize,
-    cache_dir: Option<&str>,
+    cache: CacheOptions<'_>,
     limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     // Gold labels are interned *after* the corpus: entities present in the
     // facts resolve to their corpus symbols either way, so matching is
     // unaffected, and the snapshot stays a pure function of facts + kb.
-    let loaded =
-        snapshot_cache::load_inputs_cached(facts_path, kb_path, limits.lenient, cache_dir)?;
+    let loaded = snapshot_cache::load_inputs_cached(
+        facts_path,
+        kb_path,
+        limits.lenient,
+        cache.dir,
+        cache.max_bytes,
+    )?;
     let (mut terms, sources, kb, read_faults) =
         (loaded.terms, loaded.sources, loaded.kb, loaded.read_faults);
     let gold = facts_io::read_gold(BufReader::new(File::open(gold_path)?), &mut terms)?;
@@ -827,7 +1083,7 @@ mod tests {
             String::from_utf8(bytes.to_vec())
                 .unwrap()
                 .lines()
-                .filter(|l| !l.starts_with("snapshot cache"))
+                .filter(|l| !l.starts_with("snapshot cache") && !l.starts_with("slice cache"))
                 .collect::<Vec<_>>()
                 .join("\n")
         };
@@ -842,6 +1098,7 @@ mod tests {
         .unwrap();
         let miss_text = String::from_utf8_lossy(&miss).to_string();
         assert!(miss_text.contains("snapshot cache write"), "{miss_text}");
+        assert!(miss_text.contains("slice cache write"), "{miss_text}");
 
         let mut hit = Vec::new();
         run(
@@ -851,6 +1108,10 @@ mod tests {
         .unwrap();
         let hit_text = String::from_utf8_lossy(&hit).to_string();
         assert!(hit_text.contains("snapshot cache hit"), "{hit_text}");
+        assert!(
+            hit_text.contains("slice cache hit"),
+            "second run should skip detection entirely: {hit_text}"
+        );
 
         assert_eq!(body(&uncached), body(&miss), "cache miss changes results");
         assert_eq!(body(&uncached), body(&hit), "cache hit changes results");

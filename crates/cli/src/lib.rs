@@ -6,10 +6,13 @@
 //! midas discover --facts facts.tsv [--kb kb.tsv] [--algorithm midas]
 //!                [--threads 4] [--top 20] [--fp 10 --fc 0.001 --fd 0.01 --fv 0.1]
 //!                [--csv] [--explain] [--snapshot-cache DIR]
+//!                [--snapshot-cache-max-bytes N]
 //! midas stats    --facts facts.tsv
 //! midas generate --dataset synthetic|reverb-slim|nell-slim|kvault
 //!                [--scale 0.01] [--seed 42] --out DIR
 //! midas eval     --facts facts.tsv --gold gold.tsv [--kb kb.tsv] [--algorithm midas]
+//! midas augment  --facts facts.tsv --kb kb.tsv [--rounds N] [--threads 4]
+//!                [--snapshot-cache DIR] [--resume]
 //! ```
 //!
 //! The facts file is 4-column TSV: `url \t subject \t predicate \t object`.
@@ -23,6 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod cache_dir;
+pub mod checkpoint;
 pub mod commands;
 pub mod facts_io;
 pub mod snapshot_cache;

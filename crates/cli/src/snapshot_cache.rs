@@ -6,9 +6,17 @@
 //! hit memory-maps the snapshot and skips TSV parsing, sorting, and
 //! fact-table construction entirely; a miss parses and builds as usual,
 //! then writes the snapshot for the next run. A stale or damaged snapshot
-//! is never trusted: it is reported as a note and the run falls back to
-//! cold extraction (mirroring the quarantine philosophy — degrade loudly,
-//! never abort, never corrupt results).
+//! is never trusted: it is moved into the cache's `quarantine/` subdirectory
+//! with a reason file ([`crate::cache_dir::CacheDir::quarantine`]) and the
+//! run falls back to cold extraction (mirroring the quarantine philosophy —
+//! degrade loudly, never abort, never corrupt results).
+//!
+//! The directory is safe to share between concurrent processes: all access
+//! goes through [`CacheDir`]'s advisory locks (shared to read, exclusive to
+//! write/evict/quarantine), and every file is written via the
+//! crash-consistent rename path. An entry evicted while another process has
+//! it mapped stays valid — the unlink removes the name, the inode lives on
+//! under the mapping.
 //!
 //! Lenient ingestion and armed fault-injection plans bypass the cache: both
 //! can drop records or whole sources at parse time, and a snapshot of a
@@ -18,13 +26,44 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::args::CliError;
+use crate::cache_dir::CacheDir;
 use crate::facts_io;
-use midas_core::{faultinject, snapshot, FactTable, SourceFacts, SourceFault};
+use midas_core::{
+    faultinject, snapshot, CostModel, DiscoveredSlice, FactTable, SourceFacts, SourceFault,
+};
 use midas_extract::CacheKey;
 use midas_kb::{Interner, KnowledgeBase};
 use midas_weburl::SourceUrl;
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+
+/// An open snapshot-cache directory plus the corpus key of the current run:
+/// everything later stages (slice caching, augmentation checkpoints) need
+/// to address and maintain their own entries.
+pub struct CacheSession {
+    /// The locked-access directory handle.
+    pub dir: CacheDir,
+    /// Cache key of this run's corpus (facts + kb bytes + format version).
+    pub corpus_key: u64,
+    /// `--snapshot-cache-max-bytes`: total `.snap` size cap, if any.
+    pub max_bytes: Option<u64>,
+}
+
+impl CacheSession {
+    /// Enforces the size cap (if configured), never evicting `keep`.
+    /// Eviction failure degrades to a note — an over-full cache is not a
+    /// reason to fail a run that already has its results.
+    pub fn enforce_cap(&self, keep: &str, notes: &mut Vec<String>) {
+        let Some(max) = self.max_bytes else { return };
+        match self.dir.evict(max, keep) {
+            Ok(evicted) if evicted.is_empty() => {}
+            Ok(evicted) => notes.push(format!(
+                "snapshot cache: evicted {} (cap {max} bytes)",
+                evicted.join(", ")
+            )),
+            Err(e) => notes.push(format!("snapshot cache: eviction failed: {e}")),
+        }
+    }
+}
 
 /// Everything a run needs, plus (on the cached path) prebuilt round-0 fact
 /// tables and human-readable notes about cache activity.
@@ -42,11 +81,117 @@ pub struct LoadedInputs {
     pub tables: Option<BTreeMap<SourceUrl, FactTable>>,
     /// Cache activity notes for the operator (hits, bypasses, fallbacks).
     pub notes: Vec<String>,
+    /// The open cache directory, when the snapshot path was taken. Carries
+    /// the corpus key forward for slice caching and checkpoints.
+    pub session: Option<CacheSession>,
 }
 
-/// The snapshot file addressing a cache key inside `dir`.
-fn snapshot_path(dir: &str, key: u64) -> PathBuf {
-    PathBuf::from(dir).join(format!("midas-{key:016x}.snap"))
+/// The snapshot file name addressing a corpus cache key.
+pub fn snapshot_name(key: u64) -> String {
+    format!("midas-{key:016x}.snap")
+}
+
+/// Derives the key addressing a cached slice report: the corpus plus every
+/// knob that changes which slices the algorithm reports. Rendering flags
+/// (`--top`, `--csv`, `--explain`) and schedule knobs (`--threads`,
+/// `--stream-window`) are excluded — they do not affect the slice set.
+pub fn slices_key(corpus_key: u64, algorithm: &str, cost: &CostModel) -> u64 {
+    CacheKey::new()
+        .part("corpus", &corpus_key.to_le_bytes())
+        .part("algorithm", algorithm.as_bytes())
+        .part("fp", &cost.fp.to_bits().to_le_bytes())
+        .part("fc", &cost.fc.to_bits().to_le_bytes())
+        .part("fd", &cost.fd.to_bits().to_le_bytes())
+        .part("fv", &cost.fv.to_bits().to_le_bytes())
+        .part("kind", b"slices")
+        .finish()
+}
+
+/// The slice-report file name addressing a slices cache key.
+pub fn slices_name(key: u64) -> String {
+    format!("midas-{key:016x}-slices.snap")
+}
+
+/// Loads a cached slice report, or `None` on miss. A damaged or stale-keyed
+/// report is quarantined (with a note) and treated as a miss.
+pub fn load_cached_slices(
+    session: &CacheSession,
+    key: u64,
+    terms: &mut Interner,
+    notes: &mut Vec<String>,
+) -> Option<Vec<DiscoveredSlice>> {
+    let name = slices_name(key);
+    let path = session.dir.entry_path(&name);
+    let failure;
+    {
+        let _read = session.dir.shared().ok()?;
+        if !path.exists() {
+            return None;
+        }
+        match snapshot::load_slices(&path, key, terms) {
+            Ok(slices) => {
+                drop(_read);
+                if let Ok(_write) = session.dir.exclusive() {
+                    if let Err(e) = session.dir.touch(&name) {
+                        notes.push(format!("snapshot cache: manifest update failed: {e}"));
+                    }
+                }
+                notes.push(format!("slice cache hit: {}", path.display()));
+                return Some(slices);
+            }
+            Err(e) => failure = Some(e.to_string()),
+        }
+    }
+    if let Some(reason) = failure {
+        quarantine_entry(&session.dir, &name, &reason, notes);
+    }
+    None
+}
+
+/// Persists a slice report for future identical runs, then enforces the
+/// size cap. Failures degrade to notes.
+pub fn store_slices(
+    session: &CacheSession,
+    key: u64,
+    terms: &Interner,
+    slices: &[DiscoveredSlice],
+    notes: &mut Vec<String>,
+) {
+    let name = slices_name(key);
+    let path = session.dir.entry_path(&name);
+    let Ok(_write) = session.dir.exclusive() else {
+        notes.push("snapshot cache: could not lock for slice write".to_owned());
+        return;
+    };
+    if let Err(e) = snapshot::save_slices(&path, key, terms, slices) {
+        notes.push(format!(
+            "snapshot cache: failed to write {}: {e}",
+            path.display()
+        ));
+        return;
+    }
+    if let Err(e) = session.dir.touch(&name) {
+        notes.push(format!("snapshot cache: manifest update failed: {e}"));
+    }
+    notes.push(format!("slice cache write: {}", path.display()));
+    session.enforce_cap(&name, notes);
+}
+
+/// Quarantines a damaged cache entry under the exclusive lock, noting the
+/// outcome either way.
+fn quarantine_entry(cache: &CacheDir, name: &str, reason: &str, notes: &mut Vec<String>) {
+    let quarantined = cache
+        .exclusive()
+        .and_then(|_write| cache.quarantine(name, reason));
+    match quarantined {
+        Ok(dest) => notes.push(format!(
+            "snapshot cache: quarantined {} ({reason}); re-extracting",
+            dest.display()
+        )),
+        Err(e) => notes.push(format!(
+            "snapshot cache: ignoring {name} ({reason}); quarantine failed: {e}"
+        )),
+    }
 }
 
 /// Loads facts + kb, going through the snapshot cache when `cache_dir` is
@@ -56,6 +201,7 @@ pub fn load_inputs_cached(
     kb_path: Option<&str>,
     lenient: bool,
     cache_dir: Option<&str>,
+    max_bytes: Option<u64>,
 ) -> Result<LoadedInputs, CliError> {
     let Some(dir) = cache_dir else {
         return load_cold(facts_path, kb_path, lenient, Vec::new());
@@ -76,6 +222,32 @@ pub fn load_inputs_cached(
             vec!["snapshot cache bypassed: fault-injection plan armed".to_owned()],
         );
     }
+    let cache = match CacheDir::open(dir) {
+        Ok(cache) => cache,
+        Err(e) => {
+            return load_cold(
+                facts_path,
+                kb_path,
+                lenient,
+                vec![format!("snapshot cache unavailable ({dir}): {e}")],
+            );
+        }
+    };
+    let mut notes = Vec::new();
+
+    // Opportunistic hygiene: clear temp files of writers that died before
+    // their rename. Never blocks the run.
+    if let Ok(_write) = cache.exclusive() {
+        match cache.sweep_orphans() {
+            Ok(swept) if !swept.is_empty() => {
+                notes.push(format!(
+                    "snapshot cache: swept orphans {}",
+                    swept.join(", ")
+                ));
+            }
+            _ => {}
+        }
+    }
 
     let facts_bytes = std::fs::read(facts_path)?;
     let kb_bytes = match kb_path {
@@ -87,39 +259,54 @@ pub fn load_inputs_cached(
         .part("kb", &kb_bytes)
         .part("config", b"strict")
         .finish();
-    let path = snapshot_path(dir, key);
-    let mut notes = Vec::new();
+    let name = snapshot_name(key);
+    let path = cache.entry_path(&name);
 
-    if path.exists() {
-        match snapshot::load_corpus(&path, key) {
-            Ok(corpus) => {
-                let tables = corpus
-                    .sources
-                    .iter()
-                    .map(|s| s.url.clone())
-                    .zip(corpus.tables)
-                    .collect();
-                notes.push(format!("snapshot cache hit: {}", path.display()));
-                return Ok(LoadedInputs {
-                    terms: corpus.terms,
-                    sources: corpus.sources,
-                    kb: corpus.kb,
-                    read_faults: Vec::new(),
-                    tables: Some(tables),
-                    notes,
-                });
-            }
-            Err(e) => {
-                notes.push(format!(
-                    "snapshot cache: ignoring {}: {e}; re-extracting",
-                    path.display()
-                ));
+    let mut hit = None;
+    let mut failure = None;
+    if let Ok(_read) = cache.shared() {
+        if path.exists() {
+            match snapshot::load_corpus(&path, key) {
+                Ok(corpus) => hit = Some(corpus),
+                Err(e) => failure = Some(e.to_string()),
             }
         }
     }
+    if let Some(reason) = failure {
+        quarantine_entry(&cache, &name, &reason, &mut notes);
+    }
+    let session = CacheSession {
+        dir: cache,
+        corpus_key: key,
+        max_bytes,
+    };
+    if let Some(corpus) = hit {
+        if let Ok(_write) = session.dir.exclusive() {
+            if let Err(e) = session.dir.touch(&name) {
+                notes.push(format!("snapshot cache: manifest update failed: {e}"));
+            }
+            session.enforce_cap(&name, &mut notes);
+        }
+        let tables = corpus
+            .sources
+            .iter()
+            .map(|s| s.url.clone())
+            .zip(corpus.tables)
+            .collect();
+        notes.push(format!("snapshot cache hit: {}", path.display()));
+        return Ok(LoadedInputs {
+            terms: corpus.terms,
+            sources: corpus.sources,
+            kb: corpus.kb,
+            read_faults: Vec::new(),
+            tables: Some(tables),
+            notes,
+            session: Some(session),
+        });
+    }
 
-    // Miss (or unusable snapshot): parse the bytes already in memory, build
-    // the round-0 tables once, and persist them for the next run. The
+    // Miss (or quarantined snapshot): parse the bytes already in memory,
+    // build the round-0 tables once, and persist them for the next run. The
     // tables feed straight into the run, so the build is not extra work.
     let mut terms = Interner::new();
     let sources = facts_io::read_facts(&facts_bytes[..], &mut terms)?;
@@ -129,15 +316,25 @@ pub fn load_inputs_cached(
         facts_io::read_kb(&kb_bytes[..], &mut terms)?
     };
     let tables: Vec<FactTable> = sources.iter().map(|s| FactTable::build(s, &kb)).collect();
-    if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|()| snapshot::save_corpus(&path, key, &terms, &sources, &kb, &tables))
     {
-        notes.push(format!(
-            "snapshot cache: failed to write {}: {e}",
-            path.display()
-        ));
-    } else {
-        notes.push(format!("snapshot cache write: {}", path.display()));
+        let lock = session.dir.exclusive();
+        match lock {
+            Ok(_write) => {
+                if let Err(e) = snapshot::save_corpus(&path, key, &terms, &sources, &kb, &tables) {
+                    notes.push(format!(
+                        "snapshot cache: failed to write {}: {e}",
+                        path.display()
+                    ));
+                } else {
+                    if let Err(e) = session.dir.touch(&name) {
+                        notes.push(format!("snapshot cache: manifest update failed: {e}"));
+                    }
+                    notes.push(format!("snapshot cache write: {}", path.display()));
+                    session.enforce_cap(&name, &mut notes);
+                }
+            }
+            Err(e) => notes.push(format!("snapshot cache: could not lock for write: {e}")),
+        }
     }
     let tables = sources.iter().map(|s| s.url.clone()).zip(tables).collect();
     Ok(LoadedInputs {
@@ -147,6 +344,7 @@ pub fn load_inputs_cached(
         read_faults: Vec::new(),
         tables: Some(tables),
         notes,
+        session: Some(session),
     })
 }
 
@@ -174,12 +372,15 @@ fn load_cold(
         read_faults,
         tables: None,
         notes,
+        session: None,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache_dir::QUARANTINE_DIR;
+    use std::path::PathBuf;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir =
@@ -204,6 +405,10 @@ mod tests {
         )
     }
 
+    fn load(facts: &str, kb: &str, lenient: bool, cache: &str) -> LoadedInputs {
+        load_inputs_cached(facts, Some(kb), lenient, Some(cache), None).unwrap()
+    }
+
     #[test]
     fn miss_writes_then_hit_maps_the_same_corpus() {
         let dir = tmpdir("misshit");
@@ -211,15 +416,22 @@ mod tests {
         let cache_s = cache.to_str().unwrap();
         let (facts, kb) = write_corpus(&dir);
 
-        let cold = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        let cold = load(&facts, &kb, false, cache_s);
         assert!(
             cold.notes.iter().any(|n| n.contains("write")),
             "{:?}",
             cold.notes
         );
         assert!(cold.tables.is_some());
+        let session = cold.session.as_ref().unwrap();
+        assert_eq!(session.dir.root(), cache.as_path());
+        assert_eq!(
+            session.dir.read_manifest().len(),
+            1,
+            "the write is recorded in the manifest"
+        );
 
-        let warm = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        let warm = load(&facts, &kb, false, cache_s);
         assert!(
             warm.notes.iter().any(|n| n.contains("hit")),
             "{:?}",
@@ -246,21 +458,33 @@ mod tests {
         let cache_s = cache.to_str().unwrap();
         let (facts, kb) = write_corpus(&dir);
 
-        load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
-        assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 1);
+        load(&facts, &kb, false, cache_s);
+        let count_snaps = |cache: &std::path::Path| {
+            std::fs::read_dir(cache)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .ends_with(".snap")
+                })
+                .count()
+        };
+        assert_eq!(count_snaps(&cache), 1);
 
         // Appending a fact changes the key: the next run misses and writes
         // a second snapshot; the edited corpus is what gets loaded.
         let mut contents = std::fs::read_to_string(&facts).unwrap();
         contents.push_str("http://b.com\te4\tq\tv4\n");
         std::fs::write(&facts, contents).unwrap();
-        let after = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        let after = load(&facts, &kb, false, cache_s);
         assert!(
             after.notes.iter().any(|n| n.contains("write")),
             "{:?}",
             after.notes
         );
-        assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 2);
+        assert_eq!(count_snaps(&cache), 2);
         assert_eq!(
             after.sources.iter().map(|s| s.len()).sum::<usize>(),
             4,
@@ -271,22 +495,27 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_snapshot_falls_back_and_heals() {
+    fn corrupt_snapshot_is_quarantined_with_a_reason_and_healed() {
         let dir = tmpdir("corrupt");
         let cache = dir.join("cache");
         let cache_s = cache.to_str().unwrap();
         let (facts, kb) = write_corpus(&dir);
 
-        load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
-        let snap = std::fs::read_dir(&cache).unwrap().next().unwrap().unwrap();
+        load(&facts, &kb, false, cache_s);
+        let snap = std::fs::read_dir(&cache)
+            .unwrap()
+            .map(|e| e.unwrap())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+            .unwrap();
+        let snap_name = snap.file_name().to_string_lossy().into_owned();
         let mut bytes = std::fs::read(snap.path()).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(snap.path(), &bytes).unwrap();
 
-        let healed = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s)).unwrap();
+        let healed = load(&facts, &kb, false, cache_s);
         assert!(
-            healed.notes.iter().any(|n| n.contains("ignoring")),
+            healed.notes.iter().any(|n| n.contains("quarantined")),
             "fallback is noted: {:?}",
             healed.notes
         );
@@ -297,6 +526,15 @@ mod tests {
         );
         assert_eq!(healed.sources.len(), 3);
 
+        // The torn bytes and the reason are preserved as evidence.
+        let qdir = cache.join(QUARANTINE_DIR);
+        assert_eq!(std::fs::read(qdir.join(&snap_name)).unwrap(), bytes);
+        let reason = std::fs::read_to_string(qdir.join(format!("{snap_name}.reason"))).unwrap();
+        assert!(!reason.trim().is_empty());
+
+        // And the heal produced a loadable replacement.
+        let again = load(&facts, &kb, false, cache_s);
+        assert!(again.notes.iter().any(|n| n.contains("hit")));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -306,14 +544,86 @@ mod tests {
         let cache = dir.join("cache");
         let cache_s = cache.to_str().unwrap();
         let (facts, kb) = write_corpus(&dir);
-        let loaded = load_inputs_cached(&facts, Some(&kb), true, Some(cache_s)).unwrap();
+        let loaded = load(&facts, &kb, true, cache_s);
         assert!(loaded.tables.is_none());
+        assert!(loaded.session.is_none());
         assert!(
             loaded.notes.iter().any(|n| n.contains("bypassed")),
             "{:?}",
             loaded.notes
         );
         assert!(!cache.exists(), "no snapshot is written on the bypass path");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_evicts_older_snapshots() {
+        let dir = tmpdir("cap");
+        let cache = dir.join("cache");
+        let cache_s = cache.to_str().unwrap();
+        let (facts, kb) = write_corpus(&dir);
+
+        load(&facts, &kb, false, cache_s);
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        let mut contents = std::fs::read_to_string(&facts).unwrap();
+        contents.push_str("http://b.com\te4\tq\tv4\n");
+        std::fs::write(&facts, contents).unwrap();
+
+        // Cap of 1 byte: writing the second snapshot must evict the first
+        // (LRU) while keeping the entry the run just produced.
+        let capped = load_inputs_cached(&facts, Some(&kb), false, Some(cache_s), Some(1)).unwrap();
+        assert!(
+            capped.notes.iter().any(|n| n.contains("evicted")),
+            "{:?}",
+            capped.notes
+        );
+        let snaps: Vec<String> = std::fs::read_dir(&cache)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".snap"))
+            .collect();
+        assert_eq!(snaps.len(), 1, "only the just-written snapshot survives");
+        let session = capped.session.as_ref().unwrap();
+        assert_eq!(snaps[0], snapshot_name(session.corpus_key));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slice_reports_round_trip_through_the_cache() {
+        let dir = tmpdir("slices");
+        let cache = dir.join("cache");
+        let cache_s = cache.to_str().unwrap();
+        let (facts, kb) = write_corpus(&dir);
+        let mut loaded = load(&facts, &kb, false, cache_s);
+        let session = loaded.session.as_ref().unwrap();
+        let cost = CostModel::default();
+        let key = slices_key(session.corpus_key, "midas", &cost);
+        assert_ne!(
+            key,
+            slices_key(session.corpus_key, "greedy", &cost),
+            "algorithm is part of the key"
+        );
+
+        let mut notes = Vec::new();
+        assert!(
+            load_cached_slices(session, key, &mut loaded.terms, &mut notes).is_none(),
+            "cold: no report yet"
+        );
+        let slices = vec![DiscoveredSlice {
+            source: SourceUrl::parse("http://a.com").unwrap(),
+            properties: vec![(loaded.terms.intern("p"), loaded.terms.intern("v1"))],
+            entities: vec![loaded.terms.intern("e1")],
+            num_facts: 2,
+            num_new_facts: 1,
+            profit: 1.5,
+        }];
+        store_slices(session, key, &loaded.terms, &slices, &mut notes);
+        assert!(notes.iter().any(|n| n.contains("slice cache write")));
+
+        let cached = load_cached_slices(session, key, &mut loaded.terms, &mut notes)
+            .expect("warm: report served");
+        assert_eq!(cached, slices);
+        assert!(notes.iter().any(|n| n.contains("slice cache hit")));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

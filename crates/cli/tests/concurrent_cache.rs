@@ -1,0 +1,177 @@
+//! Multi-process safety of a shared `--snapshot-cache` directory.
+//!
+//! Spawns several real `midas` processes against one cache dir at once —
+//! all racing to write the same snapshot, touch the same manifest, and
+//! (in the eviction test) evict each other's entries — and asserts every
+//! process completes with the same report and the cache ends in a sane
+//! state. The advisory-lock protocol (single `.lock` file, shared readers,
+//! exclusive writers, never nested) is what makes this hold; a regression
+//! shows up here as corruption, divergence, or a hung child.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn midas() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_midas"))
+}
+
+fn body(text: &str) -> String {
+    text.lines()
+        .filter(|l| {
+            let l = l.trim_start_matches("# ");
+            !l.starts_with("snapshot cache") && !l.starts_with("slice cache")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("midas_conc_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = midas()
+            .current_dir(&dir)
+            .args([
+                "generate",
+                "--dataset",
+                "kvault",
+                "--scale",
+                "0.05",
+                "--seed",
+                "42",
+                "--out",
+                ".",
+            ])
+            .output()
+            .expect("spawn midas generate");
+        assert!(out.status.success());
+        Fixture { dir }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Waits for every child with one global deadline; a deadlock or livelock
+/// in the lock protocol surfaces as this panic rather than a hung CI job.
+fn join_all(mut children: Vec<Child>, deadline: Duration) -> Vec<std::process::Output> {
+    let start = Instant::now();
+    let mut outputs = Vec::new();
+    for child in children.iter_mut() {
+        loop {
+            match child.try_wait().expect("poll child") {
+                Some(_) => break,
+                None if start.elapsed() > deadline => {
+                    let _ = child.kill();
+                    panic!("child did not finish within {deadline:?} (deadlock?)");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+    for child in children {
+        outputs.push(child.wait_with_output().expect("collect child output"));
+    }
+    outputs
+}
+
+fn spawn_discover(f: &Fixture, extra: &[&str]) -> Child {
+    midas()
+        .current_dir(&f.dir)
+        .args([
+            "discover",
+            "--facts",
+            "facts.tsv",
+            "--kb",
+            "kb.tsv",
+            "--top",
+            "8",
+            "--snapshot-cache",
+            "cache",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn midas discover")
+}
+
+/// Four processes race to populate and then read one cache directory.
+/// Everyone must finish, agree on the report, and leave one committed,
+/// loadable snapshot behind.
+#[test]
+fn concurrent_processes_share_a_cache_without_corruption() {
+    let f = Fixture::new("share");
+    let children: Vec<Child> = (0..4).map(|_| spawn_discover(&f, &[])).collect();
+    let outputs = join_all(children, Duration::from_secs(120));
+
+    let mut bodies: Vec<String> = Vec::new();
+    for out in &outputs {
+        assert!(
+            out.status.success(),
+            "child failed: {}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        bodies.push(body(&String::from_utf8_lossy(&out.stdout)));
+    }
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "racing processes disagree on the report");
+    }
+
+    // The cache converged: a follow-up run is a pure hit and still agrees.
+    let hit = spawn_discover(&f, &[]);
+    let out = join_all(vec![hit], Duration::from_secs(120)).remove(0);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("snapshot cache hit:"), "{text}");
+    assert_eq!(body(&text), bodies[0]);
+}
+
+/// Same race under a one-byte size cap: every write is immediately
+/// eviction-eligible, so processes constantly evict each other's entries —
+/// the nastiest interleaving the LRU code can face. Results must still
+/// agree; the cache just never retains anything.
+#[test]
+fn concurrent_eviction_race_stays_consistent() {
+    let f = Fixture::new("evict");
+    let children: Vec<Child> = (0..3)
+        .map(|_| spawn_discover(&f, &["--snapshot-cache-max-bytes", "1"]))
+        .collect();
+    let outputs = join_all(children, Duration::from_secs(120));
+
+    let mut bodies: Vec<String> = Vec::new();
+    for out in &outputs {
+        assert!(
+            out.status.success(),
+            "child failed: {}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        bodies.push(body(&String::from_utf8_lossy(&out.stdout)));
+    }
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "eviction race changed a report");
+    }
+    // No temp files or torn snapshots behind: every surviving .snap opens.
+    for entry in std::fs::read_dir(f.dir.join("cache")).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(!name.contains(".tmp."), "temp file leaked: {name}");
+        if name.ends_with(".snap") {
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(&bytes[..4], b"MSNP", "torn snapshot left behind: {name}");
+        }
+    }
+}

@@ -61,6 +61,7 @@ pub use faultinject::FaultPlan;
 pub use framework::{ExportPolicy, Framework, FrameworkReport, KbDelta, RoundCache};
 pub use hierarchy::SliceHierarchy;
 pub use incremental::{AugmentationStep, Augmenter};
+pub use midas_kb::crashpoint;
 pub use profit::ProfitCtx;
 pub use quarantine::{FaultCause, Quarantine, SourceFault, Stage};
 pub use single_source::MidasAlg;

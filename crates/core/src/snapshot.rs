@@ -148,7 +148,7 @@ pub fn save_corpus(
         }
     }
 
-    b.write_atomic(path)
+    b.write_atomic_labeled(path, "snap")
 }
 
 /// Opens the snapshot at `path`, verifies it was produced from inputs
@@ -333,7 +333,7 @@ pub fn save_slices(
         w.put_u64(s.num_new_facts as u64);
         w.put_f64(s.profit);
     }
-    b.write_atomic(path)
+    b.write_atomic_labeled(path, "slices")
 }
 
 /// Loads a slice report saved by [`save_slices`], re-interning its strings.

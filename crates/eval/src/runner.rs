@@ -170,7 +170,7 @@ pub fn run_midas_framework_with_tables(
 }
 
 /// One round of the incremental augmentation loop, timed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AugmentationRound {
     /// 1-based round number.
     pub round: usize,
@@ -202,8 +202,23 @@ pub fn run_augmentation(
     max_rounds: usize,
 ) -> (Vec<AugmentationRound>, Augmenter) {
     let mut aug = Augmenter::new(config.clone(), sources, kb).with_threads(threads);
+    let rounds = continue_augmentation(&mut aug, 1, max_rounds, |_| {});
+    (rounds, aug)
+}
+
+/// Continues the augmentation loop on an existing [`Augmenter`] from
+/// `start_round` (1-based) through `max_rounds`, invoking `on_round` after
+/// each completed round — the hook where `augment --resume` checkpoints the
+/// round durably before the next one begins. Returns only the rounds run
+/// here; the caller prepends any replayed prefix.
+pub fn continue_augmentation(
+    aug: &mut Augmenter,
+    start_round: usize,
+    max_rounds: usize,
+    mut on_round: impl FnMut(&AugmentationRound),
+) -> Vec<AugmentationRound> {
     let mut rounds = Vec::new();
-    for round in 1..=max_rounds {
+    for round in start_round..=max_rounds {
         let start = Instant::now();
         let report = aug.suggest_report();
         let suggest_time = start.elapsed();
@@ -211,7 +226,7 @@ pub fn run_augmentation(
         let accepted = best.as_ref().map(|b| aug.accept(b));
         let saturated = accepted.is_none();
         let stalled = matches!(&accepted, Some(s) if s.facts_added == 0);
-        rounds.push(AugmentationRound {
+        let done = AugmentationRound {
             round,
             accepted,
             suggest_time,
@@ -220,12 +235,14 @@ pub fn run_augmentation(
             reused_tasks: report.reused,
             kb_size: aug.kb().len(),
             quarantine: report.quarantine,
-        });
+        };
+        on_round(&done);
+        rounds.push(done);
         if saturated || stalled {
             break;
         }
     }
-    (rounds, aug)
+    rounds
 }
 
 #[cfg(test)]

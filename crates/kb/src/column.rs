@@ -278,4 +278,62 @@ mod tests {
         let owned: Column<u32> = vec![3, 4].into();
         assert_eq!(mapped, owned);
     }
+
+    #[test]
+    fn zero_length_mapped_columns_are_valid_anywhere_in_bounds() {
+        let map = mapping_of_u32s(&[1, 2]);
+        // Empty view at the start, mid-mapping, and exactly at the end —
+        // `off == map.len()` with `len == 0` is in bounds, one past is not.
+        for off in [0, 4, 8] {
+            let col = Column::<u32>::mapped(Arc::clone(&map), off, 0).unwrap();
+            assert!(col.is_empty());
+            assert_eq!(&*col, &[] as &[u32]);
+        }
+        assert!(Column::<u32>::mapped(Arc::clone(&map), 9, 0).is_none());
+        // An empty column still copies out and recycles like any other.
+        let mut col = Column::<u32>::mapped(map, 8, 0).unwrap();
+        assert!(col.take_owned().is_none(), "still mapped, nothing to take");
+        assert_eq!(col.clone().into_vec(), Vec::<u32>::new());
+        col.make_mut().push(11);
+        assert_eq!(&*col, &[11]);
+    }
+
+    #[test]
+    fn into_vec_of_a_mapped_clone_copies_without_detaching_siblings() {
+        let map = mapping_of_u32s(&[7, 8, 9]);
+        let col = Column::<u32>::mapped(map, 0, 3).unwrap();
+        let copied = col.clone().into_vec();
+        assert_eq!(copied, vec![7, 8, 9]);
+        assert!(col.is_mapped(), "into_vec on the clone is a pure copy");
+        assert_eq!(&*col, &[7, 8, 9]);
+    }
+
+    #[test]
+    fn make_mut_on_one_clone_leaves_the_sibling_mapped_and_unchanged() {
+        let map = mapping_of_u32s(&[1, 2, 3]);
+        let original = Column::<u32>::mapped(map, 0, 3).unwrap();
+        let mut edited = original.clone();
+        edited.make_mut()[0] = 100;
+        edited.make_mut().push(4);
+        // Copy-on-write isolation: the edit never touches the shared bytes.
+        assert_eq!(&*edited, &[100, 2, 3, 4]);
+        assert!(!edited.is_mapped());
+        assert!(original.is_mapped());
+        assert_eq!(&*original, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn take_owned_failure_leaves_a_mapped_column_fully_readable() {
+        let map = mapping_of_u32s(&[5, 6]);
+        let mut col = Column::<u32>::mapped(map, 0, 2).unwrap();
+        assert!(col.take_owned().is_none());
+        assert!(col.take_owned().is_none(), "repeated takes stay None");
+        // The refused take must not have drained or detached the column.
+        assert!(col.is_mapped());
+        assert_eq!(&*col, &[5, 6]);
+        // After copy-on-write the same column becomes recyclable.
+        col.make_mut();
+        assert_eq!(col.take_owned(), Some(vec![5, 6]));
+        assert!(col.is_empty());
+    }
 }

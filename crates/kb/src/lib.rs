@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod column;
+pub mod crashpoint;
 pub mod error;
 pub mod fact;
 pub mod fnv;
@@ -57,7 +58,8 @@ pub use mmap::Mmap;
 pub use ontology::{CategoryId, Ontology, PredicateId};
 pub use query::{Condition, ConjunctiveQuery};
 pub use snapshot::{
-    SectionReader, SectionWriter, Snapshot, SnapshotBuilder, SnapshotError, SNAPSHOT_VERSION,
+    write_bytes_atomic, SectionReader, SectionWriter, Snapshot, SnapshotBuilder, SnapshotError,
+    SNAPSHOT_VERSION, WRITE_CRASH_STAGES,
 };
 pub use stats::DatasetStats;
 pub use store::KnowledgeBase;

@@ -181,22 +181,85 @@ impl SnapshotBuilder {
     }
 
     /// Writes the container atomically: to `<path>.tmp.<pid>`, then rename,
-    /// so concurrent readers only ever observe complete snapshots.
+    /// so concurrent readers only ever observe complete snapshots. Crash
+    /// sites carry the `"snap"` prefix; see [`write_atomic_labeled`] to
+    /// write under a different site prefix.
+    ///
+    /// [`write_atomic_labeled`]: SnapshotBuilder::write_atomic_labeled
     pub fn write_atomic(self, path: &Path) -> io::Result<()> {
+        self.write_atomic_labeled(path, "snap")
+    }
+
+    /// Like [`write_atomic`], with the crash-site prefix named by the
+    /// caller, so different artifacts sharing the container format (corpus
+    /// snapshots, slice reports, augmentation checkpoints) expose distinct
+    /// crash sites to the kill-anywhere harness.
+    ///
+    /// [`write_atomic`]: SnapshotBuilder::write_atomic
+    pub fn write_atomic_labeled(self, path: &Path, site: &str) -> io::Result<()> {
         let bytes = self.finish();
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        write_bytes_atomic(path, &bytes, site)
+    }
+}
+
+/// Crash-site stages of [`write_bytes_atomic`], in execution order. The
+/// kill-anywhere harness iterates this list (crossed with every site
+/// prefix) to kill a forked CLI at each instant of the write path:
+///
+/// * `tmp.partial` — the temp file exists and is half-written (torn);
+/// * `tmp.synced`  — the temp file is complete and fsynced, not yet visible;
+/// * `renamed`     — the final name is in place, directory not yet fsynced;
+/// * `dir.synced`  — everything durable (the trivial site).
+pub const WRITE_CRASH_STAGES: [&str; 4] = ["tmp.partial", "tmp.synced", "renamed", "dir.synced"];
+
+/// Crash-consistent atomic file write: `bytes` go to `<path>.tmp.<pid>`,
+/// are flushed with `sync_all`, renamed over `path`, and the parent
+/// directory is fsynced so the rename itself is durable. A crash at any
+/// point leaves either the old file or the new one — never a torn mix —
+/// plus at most an orphaned temp file that no reader ever trusts (readers
+/// open `path` only). Each stage is a named [`crate::crashpoint`] site
+/// `<site>.<stage>` (see [`WRITE_CRASH_STAGES`]).
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8], site: &str) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        // Split the payload so the `tmp.partial` site really is a torn
+        // temp file, not an empty or complete one.
+        let mid = bytes.len() / 2;
+        f.write_all(&bytes[..mid])?;
+        crate::crashpoint::hit(site, "tmp.partial");
+        f.write_all(&bytes[mid..])?;
         f.sync_all()?;
         drop(f);
-        match std::fs::rename(&tmp, path) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                std::fs::remove_file(&tmp).ok();
-                Err(e)
-            }
-        }
+        crate::crashpoint::hit(site, "tmp.synced");
+        std::fs::rename(&tmp, path)?;
+        crate::crashpoint::hit(site, "renamed");
+        sync_parent_dir(path)?;
+        crate::crashpoint::hit(site, "dir.synced");
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
     }
+    result
+}
+
+/// Fsyncs the directory containing `path`, making a just-renamed entry
+/// durable. On Unix a directory opens read-only like a file and `fsync`
+/// flushes its entries; elsewhere this is a no-op (rename atomicity is all
+/// the platform offers).
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
 }
 
 /// Appends typed little-endian values to one section's payload.

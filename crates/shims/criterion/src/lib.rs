@@ -11,8 +11,10 @@
 //!   (used by the `bench-smoke` runner for quick passes).
 //! - `MIDAS_BENCH_JSON=<path>` — append one JSON line per benchmark:
 //!   `{"bench":..., "median_ns":..., "mean_ns":..., "min_ns":...,
-//!   "max_ns":..., "samples":..., "peak_rss_kb":...}` (`peak_rss_kb` is the
-//!   process-wide high-water mark so far — `VmHWM` on Linux, 0 elsewhere).
+//!   "max_ns":..., "samples":..., "calib_ns":..., "peak_rss_kb":...}`
+//!   (`peak_rss_kb` is the process-wide high-water mark so far — `VmHWM` on
+//!   Linux, 0 elsewhere; `calib_ns` is the [`calib_ns`] machine-speed
+//!   reference measured in the same process).
 //!
 //! Positional CLI arguments are treated as substring filters on benchmark
 //! names; `-`/`--` flags passed by `cargo bench` are ignored.
@@ -140,6 +142,37 @@ pub fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
+/// Time per iteration of a fixed CPU-bound reference loop, in nanoseconds —
+/// measured once per process and cached.
+///
+/// The loop (an integer LCG spin) does the same work on every machine, so
+/// its per-iteration time is a pure measure of how fast this process is
+/// being run *right now*: CPU model, frequency scaling, and noisy-neighbour
+/// contention all move it. Dividing a benchmark's median by this reference
+/// yields a dimensionless, machine-portable cost that comparison tooling
+/// (`scripts/bench_compare.py`) uses so a slow CI host doesn't masquerade
+/// as a code regression.
+pub fn calib_ns() -> f64 {
+    static CALIB: OnceLock<f64> = OnceLock::new();
+    *CALIB.get_or_init(|| {
+        const SPIN: u64 = 1 << 16;
+        let mut best = f64::INFINITY;
+        // Median would also do; min is the standard choice for a pure-CPU
+        // reference (any deviation upward is interference, never the loop).
+        for _ in 0..9 {
+            let start = Instant::now();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..SPIN {
+                x = black_box(x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407));
+            }
+            black_box(x);
+            let per_iter = start.elapsed().as_nanos() as f64 / SPIN as f64;
+            best = best.min(per_iter);
+        }
+        best.max(f64::MIN_POSITIVE)
+    })
+}
+
 fn human(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -180,8 +213,8 @@ fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     if let Ok(path) = std::env::var("MIDAS_BENCH_JSON") {
         if !path.is_empty() {
             let line = format!(
-                "{{\"bench\":{:?},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"peak_rss_kb\":{}}}\n",
-                name, median, mean, min, max, sorted.len(), peak_rss_kb()
+                "{{\"bench\":{:?},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"calib_ns\":{:.4},\"peak_rss_kb\":{}}}\n",
+                name, median, mean, min, max, sorted.len(), calib_ns(), peak_rss_kb()
             );
             let written = OpenOptions::new()
                 .create(true)
@@ -321,6 +354,14 @@ mod tests {
     #[cfg(target_os = "linux")]
     fn peak_rss_is_positive_on_linux() {
         assert!(peak_rss_kb() > 0, "VmHWM should be readable");
+    }
+
+    #[test]
+    fn calibration_is_positive_and_stable_within_a_process() {
+        let a = calib_ns();
+        let b = calib_ns();
+        assert!(a > 0.0);
+        assert_eq!(a, b, "calibration is measured once and cached");
     }
 
     #[test]

@@ -31,7 +31,9 @@ END_MARK = "<!-- bench-table:end -->"
 
 
 def load_medians(path):
-    """Bench name -> (median_ns, min_ns, max_ns) for microbench lines."""
+    """Bench name -> (median_ns, min_ns, max_ns, calib_ns|None) for
+    microbench lines. ``calib_ns`` is the machine-speed reference the run
+    measured alongside its samples (absent in files from older PRs)."""
     out = {}
     for line in path.read_text().splitlines():
         line = line.strip()
@@ -42,12 +44,30 @@ def load_medians(path):
         except json.JSONDecodeError:
             continue
         if "median_ns" in row and "bench" in row:
+            calib = row.get("calib_ns")
             out[row["bench"]] = (
                 float(row["median_ns"]),
                 float(row.get("min_ns", row["median_ns"])),
                 float(row.get("max_ns", row["median_ns"])),
+                float(calib) if calib else None,
             )
     return out
+
+
+def comparable(entry_before, entry_after):
+    """The pair of values to diff, calibration-normalised when possible.
+
+    When both runs carry an in-run calibration measurement, medians are
+    divided by it, cancelling machine-speed differences (CPU model,
+    frequency scaling, noisy neighbours) so only genuine per-work cost
+    changes remain. Without calibration on both sides the raw medians are
+    compared, as before.
+    """
+    before, _, _, calib_b = entry_before
+    after, _, _, calib_a = entry_after
+    if calib_b and calib_a:
+        return before / calib_b, after / calib_a, True
+    return before, after, False
 
 
 def pr_number(path):
@@ -77,7 +97,7 @@ def build_table(files, medians):
         for f in files:
             entry = medians[f].get(bench)
             cells.append(fmt_ns(entry[0]) if entry else "—")
-        base, latest = medians[first][bench][0], medians[last][bench][0]
+        base, latest, _ = comparable(medians[first][bench], medians[last][bench])
         delta = (latest - base) / base * 100.0
         lo, hi = medians[first][bench][1], medians[first][bench][2]
         cells.append(f"{delta:+.1f}%")
@@ -119,13 +139,16 @@ def main():
     regressions = []
     print(f"{prev.name} -> {latest.name} (threshold {args.threshold:.0%}):")
     for bench in shared:
-        before, after = medians[prev][bench][0], medians[latest][bench][0]
+        raw_before = medians[prev][bench][0]
+        raw_after = medians[latest][bench][0]
+        before, after, normalised = comparable(medians[prev][bench],
+                                               medians[latest][bench])
         delta = (after - before) / before
-        flag = ""
+        flag = "  (calibrated)" if normalised else ""
         if delta > args.threshold:
             regressions.append((bench, delta))
-            flag = "  REGRESSION"
-        print(f"  {bench:40s} {fmt_ns(before):>14s} -> {fmt_ns(after):>14s}"
+            flag += "  REGRESSION"
+        print(f"  {bench:40s} {fmt_ns(raw_before):>14s} -> {fmt_ns(raw_after):>14s}"
               f"  {delta:+7.1%}{flag}")
 
     if args.write_table:

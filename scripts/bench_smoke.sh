@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Bench smoke runner: exercises the hot-path criterion benches at reduced
-# sample counts and records one JSON line per benchmark in BENCH_PR4.json
+# sample counts and records one JSON line per benchmark in BENCH_PR7.json
 # at the repo root (appended by the in-repo criterion shim — see
-# crates/shims/criterion; every line carries a peak_rss_kb field).
+# crates/shims/criterion; every line carries peak_rss_kb and calib_ns
+# fields, the latter a machine-speed reference bench_compare.py divides
+# medians by so host contention never reads as a code regression).
 #
 # Entirely offline: the workspace builds with `--offline` against the
 # vendored/shimmed dependency set; no registry access and no new external
@@ -12,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 SAMPLES="${2:-10}"
 
 # cargo runs bench binaries with the package directory as cwd, so anchor a
@@ -104,3 +106,39 @@ if ! printf '%s\n' "$FAULTED" | grep -q "quarantined 2 source(s)"; then
     exit 1
 fi
 echo "fault-injection smoke OK"
+
+# Resume-vs-rerun bit-identity: kill the augmentation loop at the commit
+# of its second round checkpoint, `--resume`, and require the resumed
+# stdout (minus cache/resume notes, wall-clock pinned by
+# MIDAS_FIXED_TIMING) to be byte-identical to an uninterrupted run.
+echo
+echo "== resume vs rerun: bit-identity after a mid-loop kill =="
+cargo build --offline -q -p midas-cli
+MIDAS_BIN="./target/debug/midas"
+strip_notes() { grep -v -e '^snapshot cache' -e '^slice cache' -e '^resume' "$1" > "$2"; }
+AUG_ARGS=(augment --facts "$SMOKE_DIR/facts.tsv" --kb "$SMOKE_DIR/kb.tsv" --rounds 4 --threads 2)
+MIDAS_FIXED_TIMING=1 "$MIDAS_BIN" "${AUG_ARGS[@]}" > "$SMOKE_DIR/rerun.txt"
+set +e
+MIDAS_FIXED_TIMING=1 MIDAS_CRASHPOINT='ckpt.renamed@2' \
+    "$MIDAS_BIN" "${AUG_ARGS[@]}" --snapshot-cache "$SMOKE_DIR/cache" \
+    > /dev/null 2> "$SMOKE_DIR/crash.err"
+CRASH_STATUS=$?
+set -e
+if [ "$CRASH_STATUS" -eq 0 ] || ! grep -q 'crashpoint: aborting' "$SMOKE_DIR/crash.err"; then
+    echo "resume smoke FAILED: crashpoint did not fire (status $CRASH_STATUS)" >&2
+    exit 1
+fi
+MIDAS_FIXED_TIMING=1 "$MIDAS_BIN" "${AUG_ARGS[@]}" \
+    --snapshot-cache "$SMOKE_DIR/cache" --resume > "$SMOKE_DIR/resumed.txt"
+if ! grep -q 'resume: replayed 2 checkpointed round(s)' "$SMOKE_DIR/resumed.txt"; then
+    echo "resume smoke FAILED: expected 2 replayed rounds" >&2
+    exit 1
+fi
+strip_notes "$SMOKE_DIR/rerun.txt" "$SMOKE_DIR/rerun.body"
+strip_notes "$SMOKE_DIR/resumed.txt" "$SMOKE_DIR/resumed.body"
+if ! cmp -s "$SMOKE_DIR/rerun.body" "$SMOKE_DIR/resumed.body"; then
+    echo "resume smoke FAILED: resumed output differs from uninterrupted run" >&2
+    diff "$SMOKE_DIR/rerun.body" "$SMOKE_DIR/resumed.body" >&2 || true
+    exit 1
+fi
+echo "resume smoke OK: resumed run byte-identical to uninterrupted run"

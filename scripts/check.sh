@@ -16,6 +16,10 @@ cargo test -q --offline -p midas-core snapshot
 cargo test -q --offline -p midas-cli snapshot
 cargo test -q --offline --test snapshot_roundtrip
 
+echo "== crash harness (kill-anywhere + concurrent cache) =="
+cargo test -q --offline -p midas-cli --test crash_harness
+cargo test -q --offline -p midas-cli --test concurrent_cache
+
 echo "== cargo test =="
 cargo test -q --offline
 

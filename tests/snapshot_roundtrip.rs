@@ -25,7 +25,10 @@ fn cli(parts: &[&str]) -> String {
 /// difference between cached and uncached runs.
 fn body(text: &str) -> String {
     text.lines()
-        .filter(|l| !l.trim_start_matches("# ").starts_with("snapshot cache"))
+        .filter(|l| {
+            let l = l.trim_start_matches("# ");
+            !l.starts_with("snapshot cache") && !l.starts_with("slice cache")
+        })
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -65,12 +68,10 @@ impl Fixture {
         self.path("cache")
     }
 
-    /// The single snapshot file in the cache directory.
+    /// The single corpus snapshot in the cache directory (the dir also
+    /// holds the lock file, the manifest, and any slice-report snapshots).
     fn snapshot_file(&self) -> PathBuf {
-        let mut files: Vec<PathBuf> = std::fs::read_dir(self.path("cache"))
-            .unwrap()
-            .map(|e| e.unwrap().path())
-            .collect();
+        let mut files: Vec<PathBuf> = corpus_snapshots(&self.dir.join("cache"));
         assert_eq!(files.len(), 1, "expected exactly one snapshot: {files:?}");
         files.pop().unwrap()
     }
@@ -80,6 +81,20 @@ impl Drop for Fixture {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.dir);
     }
+}
+
+/// Corpus (`.snap`, non-slices) snapshot files in a cache directory.
+fn corpus_snapshots(cache: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            let name = p.file_name().unwrap().to_str().unwrap();
+            name.ends_with(".snap") && !name.ends_with("-slices.snap")
+        })
+        .collect();
+    files.sort();
+    files
 }
 
 fn discover_args(f: &Fixture, cached: bool) -> Vec<String> {
@@ -153,7 +168,7 @@ fn damage_then_rerun(f: &Fixture, damage: impl FnOnce(&Path)) {
 
     let fallback = run_discover(f, true);
     assert!(
-        fallback.contains("snapshot cache: ignoring"),
+        fallback.contains("snapshot cache: quarantined"),
         "damaged snapshot must be reported: {fallback}"
     );
     assert!(
@@ -233,7 +248,7 @@ fn editing_inputs_addresses_a_new_snapshot() {
     assert_eq!(body(&cold), body(&miss));
     assert_eq!(body(&cold), body(&warm));
     assert_eq!(
-        std::fs::read_dir(f.path("cache")).unwrap().count(),
+        corpus_snapshots(&f.dir.join("cache")).len(),
         2,
         "old and new snapshots coexist"
     );
