@@ -1,0 +1,223 @@
+//! Scalar-vs-dispatched microbenches for the extent kernel layer.
+//!
+//! Times the block kernels (`and_into`+popcount, `or_into`, multi-way
+//! `union_into`, standalone popcount) at dense ≥64k-entity universes,
+//! directly against the two dispatch tables: the portable scalar kernels
+//! and whatever `midas_core::extent::kernels::active()` selects on this
+//! host (AVX2 where available, scalar otherwise). Inputs are identical
+//! between the two, and every benchmark first asserts the dispatched
+//! kernel's counts equal the scalar kernel's — the speedup is measured on
+//! provably bit-identical work.
+//!
+//! One JSON line per (bench, kernel) pair is appended to
+//! `MIDAS_BENCH_JSON` in the criterion-shim schema (`median_ns` etc.), so
+//! `scripts/bench_compare.py` tracks them PR-over-PR. A final
+//! `kernels/speedup/...` line per universe carries the scalar÷dispatched
+//! median ratio (no `median_ns` field — it is a gate input for
+//! `scripts/bench_smoke.sh`, not a microbench).
+
+use criterion::{black_box, calib_ns, peak_rss_kb};
+use midas_core::extent::kernels::{active, scalar_ops, KernelOps};
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Deterministic xorshift64* block fill (the differential suite's
+/// generator): every 7th word forced empty or full so the dense edge cases
+/// stay represented at benchmark sizes.
+fn blocks(mut seed: u64, words: usize) -> Vec<u64> {
+    (0..words)
+        .map(|i| match i % 7 {
+            0 => 0,
+            1 => u64::MAX,
+            _ => {
+                seed ^= seed >> 12;
+                seed ^= seed << 25;
+                seed ^= seed >> 27;
+                seed.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            }
+        })
+        .collect()
+}
+
+/// Median per-iteration nanoseconds over `samples` batches, batch size
+/// calibrated so one batch costs ≥ ~0.5 ms (the criterion shim's scheme).
+fn time_ns(samples: usize, mut f: impl FnMut() -> u32) -> (f64, f64, f64, f64) {
+    const TARGET_NS: f64 = 500_000.0;
+    let mut batch: u64 = 1;
+    let mut per_iter;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        per_iter = elapsed / batch as f64;
+        if elapsed >= TARGET_NS / 4.0 || batch >= 1 << 22 {
+            break;
+        }
+        batch *= 2;
+    }
+    let iters = (TARGET_NS / per_iter).round().max(1.0) as u64;
+    let mut durations: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    durations.sort_by(|a, b| a.total_cmp(b));
+    let median = durations[durations.len() / 2];
+    let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+    (median, mean, durations[0], durations[durations.len() - 1])
+}
+
+fn append_json(line: &str) {
+    let Ok(path) = std::env::var("MIDAS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let written = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut fh| fh.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: could not append to {path}: {e}");
+    }
+}
+
+fn report(name: &str, samples: usize, stats: (f64, f64, f64, f64)) {
+    let (median, mean, min, max) = stats;
+    println!("{name:<52} median {median:>10.1} ns  [{min:.1} .. {max:.1}]");
+    append_json(&format!(
+        "{{\"bench\":{name:?},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{samples},\"calib_ns\":{:.4},\"peak_rss_kb\":{}}}\n",
+        calib_ns(),
+        peak_rss_kb()
+    ));
+}
+
+/// The four benched kernel workloads over one universe's inputs. Returns
+/// the `and_popcount` median so `main` can form the headline speedup.
+fn bench_table(
+    label: &str,
+    ops: &'static KernelOps,
+    universe: usize,
+    samples: usize,
+    a: &[u64],
+    b: &[u64],
+    srcs: &[Vec<u64>],
+) -> f64 {
+    let words = a.len();
+    let mut out = vec![0u64; words];
+    let src_refs: Vec<&[u64]> = srcs.iter().map(|s| s.as_slice()).collect();
+
+    let and_stats = time_ns(samples, || (ops.and_into)(&mut out, a, b));
+    report(
+        &format!("kernels/and_into_popcount/{universe}/{label}"),
+        samples,
+        and_stats,
+    );
+    report(
+        &format!("kernels/or_into/{universe}/{label}"),
+        samples,
+        time_ns(samples, || (ops.or_into)(&mut out, a, b)),
+    );
+    report(
+        &format!("kernels/union_into8/{universe}/{label}"),
+        samples,
+        time_ns(samples, || {
+            out.iter_mut().for_each(|w| *w = 0);
+            (ops.union_into)(&mut out, &src_refs)
+        }),
+    );
+    report(
+        &format!("kernels/popcount/{universe}/{label}"),
+        samples,
+        time_ns(samples, || (ops.count)(a)),
+    );
+    and_stats.0
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut samples = 30usize;
+    let mut universes = vec![65_536usize, 262_144];
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--samples" => samples = value("--samples").parse().expect("sample count"),
+            "--entities" => {
+                universes = vec![value("--entities").parse().expect("entity count")];
+            }
+            other => panic!(
+                "unknown argument {other:?} (usage: kernel_bench [--samples N] [--entities N])"
+            ),
+        }
+    }
+    if let Ok(n) = std::env::var("MIDAS_BENCH_SAMPLES") {
+        if let Ok(n) = n.parse::<usize>() {
+            if n > 0 {
+                samples = n;
+            }
+        }
+    }
+
+    let scalar = scalar_ops();
+    let dispatched = active();
+    println!("dispatched kernel table: {}", dispatched.name);
+
+    for &universe in &universes {
+        let words = universe.div_ceil(64);
+        let a = blocks(0x9e37_79b9_7f4a_7c15 ^ universe as u64, words);
+        let b = blocks(0xd1b5_4a32_d192_ed03 ^ universe as u64, words);
+        let srcs: Vec<Vec<u64>> = (0..8)
+            .map(|i| {
+                blocks(
+                    0x94d0_49bb_1331_11eb ^ (i as u64) << 7 ^ universe as u64,
+                    words,
+                )
+            })
+            .collect();
+
+        // The speedup must never be bought with a result change: check the
+        // dispatched table against scalar on this exact input first.
+        let mut s_out = vec![0u64; words];
+        let mut d_out = vec![0u64; words];
+        assert_eq!(
+            (scalar.and_into)(&mut s_out, &a, &b),
+            (dispatched.and_into)(&mut d_out, &a, &b),
+            "dispatched and_into count diverged from scalar"
+        );
+        assert_eq!(s_out, d_out, "dispatched and_into blocks diverged");
+        assert_eq!((scalar.count)(&a), (dispatched.count)(&a));
+
+        let scalar_ns = bench_table("scalar", scalar, universe, samples, &a, &b, &srcs);
+        let disp_ns = bench_table(
+            dispatched.name,
+            dispatched,
+            universe,
+            samples,
+            &a,
+            &b,
+            &srcs,
+        );
+        let speedup = scalar_ns / disp_ns;
+        println!(
+            "kernels/speedup/and_into_popcount/{universe}: {speedup:.2}x \
+             (scalar {scalar_ns:.1} ns -> {} {disp_ns:.1} ns)",
+            dispatched.name
+        );
+        append_json(&format!(
+            "{{\"bench\":\"kernels/speedup/and_into_popcount/{universe}\",\"kernel\":{:?},\"speedup\":{speedup:.3},\"scalar_ns\":{scalar_ns:.1},\"dispatched_ns\":{disp_ns:.1}}}\n",
+            dispatched.name
+        ));
+    }
+}

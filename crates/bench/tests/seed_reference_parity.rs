@@ -25,10 +25,14 @@ fn assert_parity(table: &FactTable, cfg: &MidasConfig) {
         let y = &seed.nodes[id as usize];
         assert_eq!(&*x.props, &*y.props, "node {id}: props");
         if x.extent_freed {
-            // The engine releases removed nodes' extents at level boundaries
-            // (the seed kept them); a freed extent must read as empty and
-            // only ever belong to a node both sides agree is removed.
-            assert!(x.removed && y.removed, "node {id}: freed but live");
+            // The engine releases removed and low-profit-invalidated nodes'
+            // extents at level boundaries (the seed kept them); a freed
+            // extent must read as empty and only ever belong to a node both
+            // sides agree is removed or invalid.
+            assert!(
+                (x.removed && y.removed) || (!x.valid && !y.valid),
+                "node {id}: freed but live"
+            );
             assert!(x.extent.is_empty(), "node {id}: freed extent not empty");
         } else {
             assert_eq!(x.extent.to_vec(), y.extent, "node {id}: extent");

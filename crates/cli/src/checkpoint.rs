@@ -11,10 +11,15 @@
 //! suggestions from the combined delta, which the equivalence suite proves
 //! bit-identical to the uninterrupted incremental run.
 //!
-//! Rewriting the whole trace each round keeps the format trivial (one
-//! atomic rename per round, no log compaction) at O(rounds²) serialisation
-//! cost — rounds are few and slices small, so this is noise next to one
-//! `suggest` call.
+//! The on-disk format is a flat trace (count + per-round records), but the
+//! writer does not re-encode the whole trace every round: a [`RoundLog`]
+//! keeps the already-committed rounds as pre-encoded bytes (the *compacted
+//! base*) and each save appends only the newest round's encoding before one
+//! atomic rename — O(1) encoding work per round instead of O(rounds). On
+//! resume, the replayed prefix is folded into the base once
+//! ([`RoundLog::from_rounds`]) and never re-encoded again. The bytes
+//! written are identical to a full re-encode ([`save_rounds`], kept as the
+//! one-shot path), so readers and crash-recovery are unchanged.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -24,7 +29,7 @@ use midas_core::{
 };
 use midas_eval::runner::AugmentationRound;
 use midas_extract::CacheKey;
-use midas_kb::{Interner, Snapshot, SnapshotBuilder, SnapshotError};
+use midas_kb::{Interner, SectionWriter, Snapshot, SnapshotBuilder, SnapshotError};
 use midas_weburl::SourceUrl;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -76,83 +81,158 @@ fn corrupt(msg: impl Into<String>) -> SnapshotError {
 /// Serialises the round trace and writes it atomically (crash site
 /// `ckpt.*`). Strings are resolved through `terms` so the checkpoint is
 /// self-contained — symbols are not stable across processes.
+///
+/// One-shot convenience over [`RoundLog`]: re-encodes every round. The
+/// augmentation loop keeps a live `RoundLog` instead so committed rounds
+/// are encoded exactly once.
 pub fn save_rounds(
     path: &Path,
     key: u64,
     terms: &Interner,
     rounds: &[AugmentationRound],
 ) -> io::Result<()> {
-    let mut b = SnapshotBuilder::new(key);
-    let mut w = b.section(TAG_CKPT);
-    w.put_u32(rounds.len() as u32);
-    for r in rounds {
-        w.put_u32(r.round as u32);
-        match &r.accepted {
-            None => w.put_u32(0),
-            Some(step) => {
-                w.put_u32(1);
-                let s = &step.slice;
-                w.put_str(s.source.as_str());
-                w.put_u32(s.properties.len() as u32);
-                for &(p, v) in &s.properties {
-                    w.put_str(terms.resolve(p));
-                    w.put_str(terms.resolve(v));
-                }
-                w.put_u32(s.entities.len() as u32);
-                for &e in &s.entities {
-                    w.put_str(terms.resolve(e));
-                }
-                w.put_u64(s.num_facts as u64);
-                w.put_u64(s.num_new_facts as u64);
-                w.put_f64(s.profit);
-                w.put_u64(step.facts_added as u64);
-                w.put_u64(step.kb_size as u64);
-            }
-        }
-        w.put_u64(r.suggest_time.as_nanos() as u64);
-        w.put_u64(r.suggestions as u64);
-        w.put_u64(r.detect_calls as u64);
-        w.put_u64(r.reused_tasks as u64);
-        w.put_u64(r.kb_size as u64);
-        w.put_u32(r.quarantine.len() as u32);
-        for f in r.quarantine.iter() {
-            w.put_str(&f.source);
-            w.put_u32(match f.stage {
-                Stage::Read => 0,
-                Stage::Detect => 1,
-                Stage::Consolidate => 2,
-            });
-            match &f.cause {
-                FaultCause::Parse {
-                    file,
-                    line,
-                    message,
-                } => {
-                    w.put_u32(0);
-                    w.put_str(file);
-                    w.put_u64(*line);
-                    w.put_str(message);
-                }
-                FaultCause::Panic { message } => {
-                    w.put_u32(1);
-                    w.put_str(message);
-                }
-                FaultCause::Budget(breach) => {
-                    w.put_u32(2);
-                    w.put_u32(match breach.kind {
-                        BreachKind::Facts => 0,
-                        BreachKind::HierarchyNodes => 1,
-                        BreachKind::Deadline => 2,
-                        BreachKind::Injected => 3,
-                    });
-                    w.put_u64(breach.limit);
-                    w.put_u64(breach.observed);
-                }
-            }
-            w.put_u64(f.facts_seen as u64);
+    RoundLog::from_rounds(terms, rounds).save(path, key)
+}
+
+/// An append-only writer for the checkpoint round trace.
+///
+/// Committed rounds live as pre-encoded bytes (`base`), so each
+/// [`append`] + [`save`] cycle encodes only the new round and streams the
+/// base through [`SectionWriter::put_bytes`] — the file written is
+/// byte-identical to a full re-encode of the same rounds.
+///
+/// [`append`]: RoundLog::append
+/// [`save`]: RoundLog::save
+pub struct RoundLog {
+    /// Number of rounds folded into `base`.
+    compacted: u32,
+    /// Concatenated per-round encodings of the compacted rounds (the
+    /// section payload minus its leading round count).
+    base: Vec<u8>,
+}
+
+impl Default for RoundLog {
+    fn default() -> Self {
+        RoundLog::new()
+    }
+}
+
+impl RoundLog {
+    /// An empty log (fresh run, nothing replayed).
+    pub fn new() -> RoundLog {
+        RoundLog {
+            compacted: 0,
+            base: Vec::new(),
         }
     }
-    b.write_atomic_labeled(path, CKPT_SITE)
+
+    /// Compacts an already-known trace (e.g. the replayed prefix on
+    /// `--resume`) into the base in one pass.
+    pub fn from_rounds(terms: &Interner, rounds: &[AugmentationRound]) -> RoundLog {
+        let mut log = RoundLog::new();
+        for r in rounds {
+            log.append(terms, r);
+        }
+        log
+    }
+
+    /// Number of rounds in the log.
+    pub fn len(&self) -> usize {
+        self.compacted as usize
+    }
+
+    /// Whether the log holds no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.compacted == 0
+    }
+
+    /// Encodes one completed round onto the base.
+    pub fn append(&mut self, terms: &Interner, r: &AugmentationRound) {
+        let mut w = SectionWriter::over(&mut self.base);
+        encode_round(&mut w, terms, r);
+        self.compacted += 1;
+    }
+
+    /// Writes the current trace atomically (crash site `ckpt.*`): one
+    /// `MSNP` container whose `CKPT` section is the round count followed by
+    /// the compacted base bytes.
+    pub fn save(&self, path: &Path, key: u64) -> io::Result<()> {
+        let mut b = SnapshotBuilder::new(key);
+        let mut w = b.section(TAG_CKPT);
+        w.put_u32(self.compacted);
+        w.put_bytes(&self.base);
+        b.write_atomic_labeled(path, CKPT_SITE)
+    }
+}
+
+/// Encodes one round record; the exact inverse of the per-round block in
+/// [`load_rounds`].
+fn encode_round(w: &mut SectionWriter<'_>, terms: &Interner, r: &AugmentationRound) {
+    w.put_u32(r.round as u32);
+    match &r.accepted {
+        None => w.put_u32(0),
+        Some(step) => {
+            w.put_u32(1);
+            let s = &step.slice;
+            w.put_str(s.source.as_str());
+            w.put_u32(s.properties.len() as u32);
+            for &(p, v) in &s.properties {
+                w.put_str(terms.resolve(p));
+                w.put_str(terms.resolve(v));
+            }
+            w.put_u32(s.entities.len() as u32);
+            for &e in &s.entities {
+                w.put_str(terms.resolve(e));
+            }
+            w.put_u64(s.num_facts as u64);
+            w.put_u64(s.num_new_facts as u64);
+            w.put_f64(s.profit);
+            w.put_u64(step.facts_added as u64);
+            w.put_u64(step.kb_size as u64);
+        }
+    }
+    w.put_u64(r.suggest_time.as_nanos() as u64);
+    w.put_u64(r.suggestions as u64);
+    w.put_u64(r.detect_calls as u64);
+    w.put_u64(r.reused_tasks as u64);
+    w.put_u64(r.kb_size as u64);
+    w.put_u32(r.quarantine.len() as u32);
+    for f in r.quarantine.iter() {
+        w.put_str(&f.source);
+        w.put_u32(match f.stage {
+            Stage::Read => 0,
+            Stage::Detect => 1,
+            Stage::Consolidate => 2,
+        });
+        match &f.cause {
+            FaultCause::Parse {
+                file,
+                line,
+                message,
+            } => {
+                w.put_u32(0);
+                w.put_str(file);
+                w.put_u64(*line);
+                w.put_str(message);
+            }
+            FaultCause::Panic { message } => {
+                w.put_u32(1);
+                w.put_str(message);
+            }
+            FaultCause::Budget(breach) => {
+                w.put_u32(2);
+                w.put_u32(match breach.kind {
+                    BreachKind::Facts => 0,
+                    BreachKind::HierarchyNodes => 1,
+                    BreachKind::Deadline => 2,
+                    BreachKind::Injected => 3,
+                });
+                w.put_u64(breach.limit);
+                w.put_u64(breach.observed);
+            }
+        }
+        w.put_u64(f.facts_seen as u64);
+    }
 }
 
 /// Loads a round trace saved by [`save_rounds`], re-interning its strings
@@ -361,6 +441,51 @@ mod tests {
         assert_eq!(fault.facts_seen, 42);
         assert!(loaded[1].accepted.is_none());
         assert_eq!(loaded[1].reused_tasks, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_log_matches_full_reencode_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("midas_ckpt_log_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut terms = Interner::new();
+        let rounds = sample_rounds(&mut terms);
+
+        // Append one round at a time, saving after each — the way the
+        // augmentation loop drives the log — and compare every save
+        // against the one-shot full re-encode of the same prefix.
+        let inc_path = checkpoint_path(&dir, 0xabcd);
+        let full_path = dir.join("full.ckpt");
+        let mut log = RoundLog::new();
+        assert!(log.is_empty());
+        for i in 0..rounds.len() {
+            log.append(&terms, &rounds[i]);
+            assert_eq!(log.len(), i + 1);
+            log.save(&inc_path, 0xabcd).unwrap();
+            save_rounds(&full_path, 0xabcd, &terms, &rounds[..=i]).unwrap();
+            assert_eq!(
+                std::fs::read(&inc_path).unwrap(),
+                std::fs::read(&full_path).unwrap(),
+                "incremental save diverged from full re-encode at round {i}"
+            );
+        }
+
+        // A log seeded from a replayed prefix continues the same stream.
+        let mut seeded = RoundLog::from_rounds(&terms, &rounds[..1]);
+        seeded.append(&terms, &rounds[1]);
+        seeded.save(&inc_path, 0xabcd).unwrap();
+        assert_eq!(
+            std::fs::read(&inc_path).unwrap(),
+            std::fs::read(&full_path).unwrap(),
+            "prefix-seeded log diverged"
+        );
+
+        // And the incremental bytes load back into the same trace.
+        let mut terms2 = Interner::new();
+        let loaded = load_rounds(&inc_path, 0xabcd, &mut terms2).unwrap();
+        assert_eq!(loaded.len(), rounds.len());
+        assert_eq!(loaded[1].round, rounds[1].round);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -536,13 +536,19 @@ fn augment_with_checkpoints(
     if !finished || trace.is_empty() {
         let start_round = trace.len() + 1;
         let mut ckpt_errors: Vec<String> = Vec::new();
+        // The replayed prefix is compacted into the log's base once here;
+        // each new round appends only its own encoding before the atomic
+        // save, so checkpoint writes stay O(1) per round.
+        let mut log = checkpoint::RoundLog::from_rounds(terms, &trace);
         let continued = {
             let trace_so_far = &mut trace;
             let errors = &mut ckpt_errors;
+            let log = &mut log;
             continue_augmentation(&mut aug, start_round, rounds, |r| {
                 trace_so_far.push(r.clone());
+                log.append(terms, r);
                 let saved = session.dir.exclusive().and_then(|_write| {
-                    checkpoint::save_rounds(&path, key, terms, trace_so_far)?;
+                    log.save(&path, key)?;
                     session.dir.touch(&name)
                 });
                 if let Err(e) = saved {

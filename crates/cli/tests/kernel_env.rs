@@ -1,0 +1,52 @@
+//! `MIDAS_KERNEL` misconfiguration must be a startup usage error, not a
+//! panic inside a fault-isolated detection worker: before the CLI pinned
+//! the kernel table on the main thread, `MIDAS_KERNEL=bogus` quarantined
+//! every source as a "worker panic" fault and still exited 0. These tests
+//! fork the real binary because the selection is process-global.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_facts(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("midas_kernel_env_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("facts.tsv");
+    let mut f = std::fs::File::create(&path).unwrap();
+    for i in 0..4 {
+        writeln!(f, "http://a.example.org/p\ts{i}\ttype\tcity").unwrap();
+    }
+    path
+}
+
+fn run_with_kernel(kernel: &str, facts: &std::path::Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_midas"))
+        .env("MIDAS_KERNEL", kernel)
+        .args(["discover", "--facts"])
+        .arg(facts)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn unknown_kernel_value_is_a_startup_usage_error() {
+    let facts = write_facts("bogus");
+    let out = run_with_kernel("bogus", &facts);
+    assert_eq!(out.status.code(), Some(1), "must fail fast, not exit 0");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.starts_with("usage error: unknown MIDAS_KERNEL value \"bogus\""),
+        "stderr: {err}"
+    );
+    // Detection must never have started: no slice table, no quarantine
+    // report on stdout (only stderr carries the usage error).
+    assert!(out.stdout.is_empty(), "must not reach detection");
+}
+
+#[test]
+fn forced_kernels_still_run() {
+    let facts = write_facts("forced");
+    for kernel in ["auto", "scalar"] {
+        let out = run_with_kernel(kernel, &facts);
+        assert!(out.status.success(), "MIDAS_KERNEL={kernel} failed");
+    }
+}

@@ -241,6 +241,22 @@ impl ExtentSet {
         self.divisor
     }
 
+    /// Re-targets the density divisor and flips the representation if the
+    /// new crossover prefers the other one. Contents are untouched — the
+    /// divisor only ever selects storage — so this is invisible to every
+    /// observer except memory/speed profiles. Used when a fact table
+    /// re-calibrates after augmentation rounds grow the KB.
+    pub(crate) fn set_divisor(&mut self, divisor: u32) {
+        debug_assert!(
+            divisor >= DENSITY_DIVISOR,
+            "calibration only raises the divisor"
+        );
+        if self.divisor != divisor {
+            self.divisor = divisor;
+            self.renormalize();
+        }
+    }
+
     /// Number of entities in the set.
     pub fn len(&self) -> usize {
         match &self.repr {
@@ -579,149 +595,41 @@ fn blocks_or_empty(blocks: &mut Vec<u64>, len: u32) {
     }
 }
 
-/// Chunked block kernels for the dense path: 4×`u64` unrolled loops over
-/// `chunks_exact(4)` plus a scalar remainder. The fixed-width chunks give
-/// the compiler straight-line bodies it can keep in registers and
-/// auto-vectorise (two 128-bit or one 256-bit op per chunk), which the
-/// iterator-chained forms do not reliably achieve.
-mod kernels {
-    /// `out = a & b`; returns the popcount of the result.
-    pub fn and_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
-        debug_assert!(out.len() == a.len() && a.len() == b.len());
-        let mut count = 0u32;
-        let mut co = out.chunks_exact_mut(4);
-        let mut ca = a.chunks_exact(4);
-        let mut cb = b.chunks_exact(4);
-        for ((o, x), y) in (&mut co).zip(&mut ca).zip(&mut cb) {
-            let w0 = x[0] & y[0];
-            let w1 = x[1] & y[1];
-            let w2 = x[2] & y[2];
-            let w3 = x[3] & y[3];
-            o[0] = w0;
-            o[1] = w1;
-            o[2] = w2;
-            o[3] = w3;
-            count += w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones();
-        }
-        for ((o, x), y) in co
-            .into_remainder()
-            .iter_mut()
-            .zip(ca.remainder())
-            .zip(cb.remainder())
-        {
-            let w = x & y;
-            *o = w;
-            count += w.count_ones();
-        }
-        count
-    }
+pub mod kernels;
 
-    /// `out = a | b`; returns the popcount of the result.
-    pub fn or_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
-        debug_assert!(out.len() == a.len() && a.len() == b.len());
-        let mut count = 0u32;
-        let mut co = out.chunks_exact_mut(4);
-        let mut ca = a.chunks_exact(4);
-        let mut cb = b.chunks_exact(4);
-        for ((o, x), y) in (&mut co).zip(&mut ca).zip(&mut cb) {
-            let w0 = x[0] | y[0];
-            let w1 = x[1] | y[1];
-            let w2 = x[2] | y[2];
-            let w3 = x[3] | y[3];
-            o[0] = w0;
-            o[1] = w1;
-            o[2] = w2;
-            o[3] = w3;
-            count += w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones();
-        }
-        for ((o, x), y) in co
-            .into_remainder()
-            .iter_mut()
-            .zip(ca.remainder())
-            .zip(cb.remainder())
-        {
-            let w = x | y;
-            *o = w;
-            count += w.count_ones();
-        }
-        count
-    }
-
-    /// `a &= b` in place; returns the popcount of the result.
-    pub fn and_assign(a: &mut [u64], b: &[u64]) -> u32 {
-        debug_assert_eq!(a.len(), b.len());
-        let mut count = 0u32;
-        let mut ca = a.chunks_exact_mut(4);
-        let mut cb = b.chunks_exact(4);
-        for (x, y) in (&mut ca).zip(&mut cb) {
-            let w0 = x[0] & y[0];
-            let w1 = x[1] & y[1];
-            let w2 = x[2] & y[2];
-            let w3 = x[3] & y[3];
-            x[0] = w0;
-            x[1] = w1;
-            x[2] = w2;
-            x[3] = w3;
-            count += w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones();
-        }
-        for (x, y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
-            *x &= y;
-            count += x.count_ones();
-        }
-        count
-    }
-
-    /// `a |= b` in place; returns the popcount of the result.
-    pub fn or_assign(a: &mut [u64], b: &[u64]) -> u32 {
-        debug_assert_eq!(a.len(), b.len());
-        let mut count = 0u32;
-        let mut ca = a.chunks_exact_mut(4);
-        let mut cb = b.chunks_exact(4);
-        for (x, y) in (&mut ca).zip(&mut cb) {
-            let w0 = x[0] | y[0];
-            let w1 = x[1] | y[1];
-            let w2 = x[2] | y[2];
-            let w3 = x[3] | y[3];
-            x[0] = w0;
-            x[1] = w1;
-            x[2] = w2;
-            x[3] = w3;
-            count += w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones();
-        }
-        for (x, y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
-            *x |= y;
-            count += x.count_ones();
-        }
-        count
-    }
-
-    /// Popcount over all blocks.
-    pub fn count(blocks: &[u64]) -> u32 {
-        let mut c = 0u32;
-        let chunks = blocks.chunks_exact(4);
-        let rem = chunks.remainder();
-        for w in chunks {
-            c += w[0].count_ones() + w[1].count_ones() + w[2].count_ones() + w[3].count_ones();
-        }
-        for w in rem {
-            c += w.count_ones();
-        }
-        c
-    }
-
-    /// Whether every set bit of `a` is also set in `b`.
-    pub fn is_subset(a: &[u64], b: &[u64]) -> bool {
-        debug_assert_eq!(a.len(), b.len());
-        let ca = a.chunks_exact(4);
-        let cb = b.chunks_exact(4);
-        let (ra, rb) = (ca.remainder(), cb.remainder());
-        for (x, y) in ca.zip(cb) {
-            let stray = (x[0] & !y[0]) | (x[1] & !y[1]) | (x[2] & !y[2]) | (x[3] & !y[3]);
-            if stray != 0 {
-                return false;
+/// Marks every member of every set into `bits` (a `u64`-block bitmap over
+/// the sets' shared universe) — the batched multi-way form of
+/// [`ExtentSet::mark_into`]. Dense sets are grouped and fed to the
+/// dispatched [`kernels::union_into`] kernel in bounded batches, so the
+/// bitmap is read and written once per group instead of once per set;
+/// sparse sets fall back to per-entity bit sets.
+pub fn union_mark_into(sets: &[&ExtentSet], bits: &mut [u64]) {
+    /// Dense sources per kernel call: enough that the accumulator
+    /// read/write amortises across the group, small enough to sit on the
+    /// stack and keep source pointers in registers.
+    const GROUP: usize = 8;
+    let mut group: [&[u64]; GROUP] = [&[]; GROUP];
+    let mut n = 0usize;
+    for set in sets {
+        match &set.repr {
+            Repr::Sparse(v) => {
+                for &e in v {
+                    bits[(e / 64) as usize] |= 1u64 << (e % 64);
+                }
+            }
+            Repr::Dense { blocks, .. } => {
+                debug_assert_eq!(blocks.len(), bits.len(), "universe mismatch");
+                group[n] = blocks;
+                n += 1;
+                if n == GROUP {
+                    kernels::union_into(bits, &group);
+                    n = 0;
+                }
             }
         }
-        ra.iter().zip(rb).all(|(x, y)| x & !y == 0)
+    }
+    if n > 0 {
+        kernels::union_into(bits, &group[..n]);
     }
 }
 

@@ -559,6 +559,36 @@ impl FactTable {
         changed
     }
 
+    /// Re-runs [`calibrate_divisor`] against the table's current
+    /// universe/extent-length distribution and, if the preferred divisor
+    /// changed, re-seals every catalog extent with it — flipping only the
+    /// representations whose density crossover moved. Returns whether
+    /// anything changed.
+    ///
+    /// The divisor is a pure function of `(universe, extent lengths)`,
+    /// which table structure updates like [`Self::refresh_new_counts`]
+    /// never touch, so in the live augmentation loop this is a cheap
+    /// no-op guard; it exists so the loop stays correct if rounds ever
+    /// start growing tables in place, and as the recalibration entry
+    /// point for snapshot-era tables built under a different divisor.
+    /// The divisor only ever selects the representation — never the
+    /// contents — so slice output is bit-identical either way.
+    pub fn recalibrate_divisor(&mut self) -> bool {
+        let universe = u32::try_from(self.subjects.len()).expect("fact table overflow");
+        let mut lens = scratch::take_ids();
+        lens.extend(self.catalog.extents.iter().map(|e| e.len() as u32));
+        let divisor = calibrate_divisor(universe, &lens);
+        scratch::put_ids(lens);
+        if divisor == self.divisor {
+            return false;
+        }
+        self.divisor = divisor;
+        for ext in &mut self.catalog.extents {
+            ext.set_divisor(divisor);
+        }
+        true
+    }
+
     /// Consumes the table, returning its reusable owned buffers (property
     /// extents, flattened property lists, offsets, packed counts, prefix
     /// sums) to the scratch pool for the next shard. Snapshot-mapped columns
@@ -800,6 +830,42 @@ mod tests {
             rebuilt.extend_from_slice(row);
         }
         assert_eq!(&rebuilt[..], &src.facts[..]);
+    }
+
+    #[test]
+    fn recalibrate_divisor_reseals_extents_bit_identically() {
+        let mut t = Interner::new();
+        let (src, kb) = skyrocket(&mut t);
+        let alg =
+            crate::single_source::MidasAlg::new(crate::config::MidasConfig::running_example());
+        let mut ft = FactTable::build(&src, &kb);
+        let baseline = alg.run_on_table(&ft, &src, &kb, &[]);
+        assert!(
+            !ft.recalibrate_divisor(),
+            "a fresh build is already calibrated"
+        );
+        // Force a stale divisor, as if the table had been sealed before
+        // the KB/universe grew into a different calibration.
+        let want_extents: Vec<Vec<EntityId>> = (0..ft.catalog().len() as PropertyId)
+            .map(|id| ft.catalog().extent(id).iter().collect())
+            .collect();
+        ft.divisor = crate::extent::DENSITY_DIVISOR;
+        for ext in &mut ft.catalog.extents {
+            ext.set_divisor(crate::extent::DENSITY_DIVISOR);
+        }
+        let stale = alg.run_on_table(&ft, &src, &kb, &[]);
+        assert_eq!(stale, baseline, "divisor never changes slice output");
+        assert!(ft.recalibrate_divisor(), "stale divisor must recalibrate");
+        assert_eq!(ft.divisor(), crate::extent::MAX_DENSITY_DIVISOR);
+        for (id, want) in want_extents.iter().enumerate() {
+            let ext = ft.catalog().extent(id as PropertyId);
+            assert_eq!(ext.divisor(), ft.divisor(), "extents re-sealed");
+            let got: Vec<EntityId> = ext.iter().collect();
+            assert_eq!(&got, want, "re-sealing must not change contents");
+        }
+        let resealed = alg.run_on_table(&ft, &src, &kb, &[]);
+        assert_eq!(resealed, baseline, "recalibrated slice output identical");
+        assert!(!ft.recalibrate_divisor(), "second call is a no-op");
     }
 
     #[test]

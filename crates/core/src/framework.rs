@@ -431,10 +431,14 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             .retain(|parent, _| dirty.iter().all(|leaf| !parent.contains(leaf)));
         // Dirty leaves keep their cached fact table: structure is unchanged,
         // only the `new` flags of rows keyed by the delta's subjects are
-        // stale — refresh those in place instead of rebuilding.
+        // stale — refresh those in place instead of rebuilding. Afterwards
+        // the density divisor is re-checked against the table's (possibly
+        // grown) universe/length distribution; representation only, so
+        // slice output is unchanged whether or not anything re-seals.
         for url in &dirty {
             if let Some(table) = cache.tables.get_mut(*url) {
                 table.refresh_new_counts(kb, delta.subjects.iter().copied());
+                table.recalibrate_divisor();
             }
         }
         self.drive(by_url, kb, Some(cache), None)

@@ -51,9 +51,9 @@ pub struct SliceNode {
     /// `true` once the node is deleted as non-canonical.
     pub removed: bool,
     /// `true` once the node's extent has been released at a level boundary
-    /// (removed nodes only). A freed extent reads as the empty set; report
-    /// paths must go through [`SliceNode::live_extent`], which asserts this
-    /// flag is clear.
+    /// (removed or low-profit-invalidated nodes only). A freed extent reads
+    /// as the empty set; report paths must go through
+    /// [`SliceNode::live_extent`], which asserts this flag is clear.
     pub extent_freed: bool,
     /// `false` once the node is pruned as low-profit.
     pub valid: bool,
@@ -68,12 +68,12 @@ pub struct SliceNode {
 impl SliceNode {
     /// The node's extent, for report/traversal paths. Asserts (in debug
     /// builds) that the extent was not freed by the eager level-boundary
-    /// release — only removed nodes are ever freed, and removed nodes must
-    /// never reach a report.
+    /// release — only removed or invalidated nodes are ever freed, and
+    /// neither must reach a report.
     pub fn live_extent(&self) -> &ExtentSet {
         debug_assert!(
             !self.extent_freed,
-            "read of a freed extent: node was removed and released at a level boundary"
+            "read of a freed extent: node was removed or invalidated and released at a level boundary"
         );
         &self.extent
     }
@@ -353,8 +353,37 @@ impl SliceHierarchy {
             }
             self.prune_non_canonical(l);
             self.evaluate_and_prune_profit(ctx, config, l);
+            self.free_invalid_extents(config, l);
         }
         crate::budget::checkpoint(self.nodes_created);
+    }
+
+    /// Eagerly releases the extents of nodes pruned as *low-profit* at this
+    /// level boundary, extending the removed-node release of
+    /// [`Self::prune_non_canonical`] to nodes invalidated later in the
+    /// build (ROADMAP "Hierarchy memory"). An invalid node's extent is dead
+    /// weight for the rest of the build: invalid nodes never enter an `SLB`
+    /// slice set (a node nominates itself only when
+    /// `profit >= f_child_set && profit > 0`, the exact complement of the
+    /// invalidation condition), parent extents at shallower levels come
+    /// from the catalog's inverted lists rather than child extents, and the
+    /// traversal skips `!valid` nodes before touching their extent. The
+    /// only remaining readers are the `always_report_best` fallback (which
+    /// may report an invalid node) and callers that opt out via
+    /// `retain_invalid_extents`, so freeing is gated on both. Freeing is
+    /// deterministic in the node set, so parallel builds stay bit-identical
+    /// to `threads = 1`.
+    fn free_invalid_extents(&mut self, config: &MidasConfig, l: usize) {
+        if config.retain_invalid_extents || config.always_report_best {
+            return;
+        }
+        let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
+        for id in ids {
+            let node = &self.nodes[id as usize];
+            if !node.removed && !node.valid && !node.extent_freed {
+                self.free_extent(id);
+            }
+        }
     }
 
     /// Step (1): generate the `l` parents of every slice at level `l`.
@@ -537,13 +566,16 @@ impl SliceHierarchy {
         }
     }
 
-    /// Releases the extent of a removed node into the scratch pool, leaving
-    /// a canonical empty set behind. Sequential and parallel builds remove
-    /// the same nodes in the same order, so freed extents stay
-    /// node-for-node identical across thread counts.
+    /// Releases the extent of a removed or invalid node into the scratch
+    /// pool, leaving a canonical empty set behind. Sequential and parallel
+    /// builds remove and invalidate the same nodes in the same order, so
+    /// freed extents stay node-for-node identical across thread counts.
     fn free_extent(&mut self, id: NodeId) {
         let node = &mut self.nodes[id as usize];
-        debug_assert!(node.removed, "only removed nodes lose their extent");
+        debug_assert!(
+            node.removed || !node.valid,
+            "only removed or invalid nodes lose their extent"
+        );
         if !node.extent_freed {
             let universe = node.extent.universe();
             std::mem::replace(&mut node.extent, ExtentSet::empty(universe)).recycle();
@@ -684,18 +716,16 @@ impl SliceHierarchy {
             let f_child_set = if child_set.is_empty() {
                 0.0
             } else {
-                // Union the SLB extents into a pooled bitmap instead of
-                // merging sorted vectors pairwise — O(Σ|extent|) marks
-                // plus one fused word-wise count, and the bitmap is
-                // recycled across nodes, levels, and shards.
-                let words = ctx.table().num_entities().div_ceil(64);
-                let (new_facts, total_facts) = crate::scratch::with_bitmap(words, |covered| {
-                    for &s in &child_set {
-                        this.nodes[s as usize].live_extent().mark_into(covered);
-                    }
-                    ctx.table().fact_counts_from_blocks(covered)
-                });
-                ctx.profit_from_counts(new_facts, total_facts, child_set.len())
+                // Batched multi-way union into a pooled bitmap through the
+                // dispatched kernels instead of merging sorted vectors
+                // pairwise or marking one extent at a time — dense SLB
+                // extents are OR'd in register-resident groups, and the
+                // bitmap is recycled across nodes, levels, and shards.
+                let extents: Vec<&ExtentSet> = child_set
+                    .iter()
+                    .map(|&s| this.nodes[s as usize].live_extent())
+                    .collect();
+                ctx.profit_of_union(&extents, child_set.len())
             };
             Some((id, profit, f_child_set, child_set))
         });
@@ -841,6 +871,9 @@ mod tests {
         let mut t = Interner::new();
         let (ft, cfg) = build_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
+        // S4 is invalidated by profit pruning; retain its extent so the
+        // Figure-5a coverage assertion below can still read it.
+        let cfg = cfg.with_retain_invalid_extents(true);
         let h = SliceHierarchy::build(&ft, &ctx, &cfg);
         // Figure 5a: S1, S2, S3 at level 3 and S4 at level 2 are initial.
         let s1 = find_node(
@@ -932,6 +965,35 @@ mod tests {
         // Same for {c4, c6} vs S2.
         if let Some(id) = find_node(&h, &ft, &mut t, &[("started", "1957"), ("sponsor", "NASA")]) {
             assert!(h.node(id).removed);
+        }
+    }
+
+    #[test]
+    fn invalid_extents_are_freed_at_level_boundaries() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        // Default: the extent of a low-profit-invalidated node is released
+        // at the level boundary that invalidated it.
+        let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        let c6 = find_node(&h, &ft, &mut t, &[("sponsor", "NASA")]).unwrap();
+        assert!(!h.node(c6).valid);
+        assert!(h.node(c6).extent_freed, "invalid extent freed by default");
+        assert!(h.node(c6).extent.is_empty(), "freed extent reads empty");
+        // Opt-outs: the retain flag, and `always_report_best` (whose
+        // fallback may report an invalid node) both keep extents alive.
+        for cfg in [
+            MidasConfig::running_example().with_retain_invalid_extents(true),
+            MidasConfig {
+                always_report_best: true,
+                ..MidasConfig::running_example()
+            },
+        ] {
+            let h = SliceHierarchy::build(&ft, &ctx, &cfg);
+            let c6 = find_node(&h, &ft, &mut t, &[("sponsor", "NASA")]).unwrap();
+            assert!(!h.node(c6).valid);
+            assert!(!h.node(c6).extent_freed);
+            assert!(!h.node(c6).extent.is_empty(), "retained extent readable");
         }
     }
 
@@ -1090,6 +1152,9 @@ mod tests {
         let mut t = Interner::new();
         let (ft, cfg) = build_running_example(&mut t);
         let ctx = ProfitCtx::new(&ft, cfg.cost);
+        // This walks every live node's extent, including invalidated ones —
+        // the introspection case the retain flag exists for.
+        let cfg = cfg.with_retain_invalid_extents(true);
         let h = SliceHierarchy::build(&ft, &ctx, &cfg);
         for id in h.iter() {
             let n = h.node(id);

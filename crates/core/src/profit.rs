@@ -14,7 +14,7 @@
 //! the three operations MIDASalg needs.
 
 use crate::config::CostModel;
-use crate::extent::ExtentSet;
+use crate::extent::{kernels, ExtentSet};
 use crate::fact_table::FactTable;
 
 /// Profit evaluator bound to one source.
@@ -73,6 +73,25 @@ impl<'a> ProfitCtx<'a> {
     /// `f(S)` for a set of `k` slices whose union of extents is `union`.
     pub fn profit_set(&self, union: &ExtentSet, k: usize) -> f64 {
         let (new_facts, total_facts) = self.table.fact_counts(union);
+        self.profit_from_counts(new_facts, total_facts, k)
+    }
+
+    /// `f(S)` for a set of `k` slices given the extents whose union covers
+    /// `S`'s entities — the batched multi-way form of [`Self::profit_set`].
+    /// The union bitmap is built in one pass over a scratch bitmap through
+    /// the dispatched multi-way union kernel instead of `k` pairwise
+    /// passes; the counts (and thus the profit) are bit-identical to
+    /// folding the extents one by one, because the union bits are the
+    /// same bits whichever way they were OR'd together.
+    pub fn profit_of_union(&self, extents: &[&ExtentSet], k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let words = self.table.num_entities().div_ceil(64);
+        let (new_facts, total_facts) = crate::scratch::with_bitmap(words, |bits| {
+            crate::extent::union_mark_into(extents, bits);
+            self.table.fact_counts_from_blocks(bits)
+        });
         self.profit_from_counts(new_facts, total_facts, k)
     }
 
@@ -135,6 +154,61 @@ impl ProfitAccumulator {
         self.new_facts += dnew;
         self.total_facts += dtotal;
         self.k += 1;
+    }
+
+    /// Marginal profit `f(S ∪ G) − f(S)` of adding a whole group of slices
+    /// at once — the batched multi-way form of [`Self::marginal`]. The
+    /// group's union bitmap is built in one kernel pass, the uncovered
+    /// remainder extracted with one `and-not` pass, and both fact counts
+    /// taken from that single fresh bitmap, so the cost is
+    /// O(universe/64 · groups) instead of one full accumulator probe per
+    /// slice. Exactly equal to the telescoped sum of per-slice marginals
+    /// interleaved with adds (the fresh bits are the same bits).
+    pub fn marginal_union(&self, ctx: &ProfitCtx<'_>, extents: &[&ExtentSet]) -> f64 {
+        if extents.is_empty() {
+            return 0.0;
+        }
+        let words = self.covered.len();
+        let (dnew, dtotal) = crate::scratch::with_bitmap(words, |union_bits| {
+            crate::extent::union_mark_into(extents, union_bits);
+            crate::scratch::with_bitmap(words, |fresh| {
+                kernels::andnot_into(fresh, union_bits, &self.covered);
+                ctx.table.fact_counts_from_blocks(fresh)
+            })
+        });
+        let mut delta = (1.0 - ctx.cost.fv) * dnew as f64
+            - ctx.cost.fd * dtotal as f64
+            - ctx.cost.fp * extents.len() as f64;
+        if self.k == 0 {
+            // The first slice brings in the fixed crawl term of the source.
+            delta -= ctx.crawl_fixed;
+        }
+        delta
+    }
+
+    /// Adds a whole group of slices at once — the batched multi-way form
+    /// of [`Self::add`]. The accumulator lands in the same state as adding
+    /// the group's slices one by one in any order: the fresh-bit counts
+    /// are integers and the covered map only ever gains the union's bits.
+    pub fn add_union(&mut self, ctx: &ProfitCtx<'_>, extents: &[&ExtentSet]) {
+        if extents.is_empty() {
+            return;
+        }
+        let words = self.covered.len();
+        let (dnew, dtotal) = crate::scratch::with_bitmap(words, |union_bits| {
+            crate::extent::union_mark_into(extents, union_bits);
+            crate::scratch::with_bitmap(words, |fresh| {
+                kernels::andnot_into(fresh, union_bits, &self.covered);
+                let counts = ctx.table.fact_counts_from_blocks(fresh);
+                // covered ∪= fresh ≡ covered ∪= union: the bits removed by
+                // the and-not were already covered.
+                kernels::or_assign(&mut self.covered, fresh);
+                counts
+            })
+        });
+        self.new_facts += dnew;
+        self.total_facts += dtotal;
+        self.k += extents.len();
     }
 }
 
@@ -294,6 +368,74 @@ mod tests {
         let union = s5.union(&s4);
         assert!((acc.profit(&ctx) - ctx.profit_set(&union, 2)).abs() < 1e-9);
         assert!((acc.profit(&ctx) - (m1 + m2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_union_paths_match_sequential_folds() {
+        let mut t = Interner::new();
+        let (ft, cfg, _) = ctx_for_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let s5 = extent(
+            &ft,
+            &mut t,
+            &[("category", "rocket_family"), ("sponsor", "NASA")],
+        );
+        let s4 = extent(
+            &ft,
+            &mut t,
+            &[("category", "space_program"), ("sponsor", "NASA")],
+        );
+        let s6 = extent(&ft, &mut t, &[("sponsor", "NASA")]);
+        let group: Vec<&ExtentSet> = vec![&s5, &s4, &s6];
+
+        // profit_of_union == profit_set over the folded union.
+        let union = s5.union(&s4).union(&s6);
+        assert_eq!(
+            ctx.profit_of_union(&group, 3).to_bits(),
+            ctx.profit_set(&union, 3).to_bits(),
+            "batched set profit must be bit-identical to the pairwise fold"
+        );
+        assert_eq!(ctx.profit_of_union(&group, 0), 0.0);
+        assert_eq!(ctx.profit_of_union(&[], 0), 0.0);
+
+        // marginal_union == telescoped sequential marginals; add_union
+        // leaves the accumulator in the sequential state (covered bits,
+        // integer counts, k) so later profits stay bit-identical.
+        let mut seq = ctx.accumulator();
+        let mut telescoped = 0.0;
+        for e in &group {
+            telescoped += seq.marginal(&ctx, e);
+            seq.add(&ctx, e);
+        }
+        let mut batched = ctx.accumulator();
+        let m = batched.marginal_union(&ctx, &group);
+        batched.add_union(&ctx, &group);
+        assert!((m - telescoped).abs() < 1e-9, "group marginal from zero");
+        assert_eq!(
+            batched.profit(&ctx).to_bits(),
+            seq.profit(&ctx).to_bits(),
+            "accumulator state must match the sequential fold exactly"
+        );
+        assert_eq!(batched.len(), seq.len());
+
+        // A second group on a non-empty accumulator (no crawl term now).
+        let m2_seq = seq.marginal(&ctx, &s5) + {
+            let mut probe = seq.clone();
+            probe.add(&ctx, &s5);
+            probe.marginal(&ctx, &s4)
+        };
+        let m2 = batched.marginal_union(&ctx, &[&s5, &s4]);
+        assert!((m2 - m2_seq).abs() < 1e-9, "group marginal mid-stream");
+        seq.add(&ctx, &s5);
+        seq.add(&ctx, &s4);
+        batched.add_union(&ctx, &[&s5, &s4]);
+        assert_eq!(batched.profit(&ctx).to_bits(), seq.profit(&ctx).to_bits());
+
+        // Empty group: no-op marginal and add.
+        assert_eq!(batched.marginal_union(&ctx, &[]), 0.0);
+        let before = batched.profit(&ctx);
+        batched.add_union(&ctx, &[]);
+        assert_eq!(batched.profit(&ctx).to_bits(), before.to_bits());
     }
 
     #[test]

@@ -267,6 +267,16 @@ pub struct SectionWriter<'a> {
     buf: &'a mut Vec<u8>,
 }
 
+impl<'a> SectionWriter<'a> {
+    /// Wraps a caller-owned buffer, so section payloads can be staged
+    /// outside a [`SnapshotBuilder`] (e.g. cached and re-emitted later via
+    /// [`SectionWriter::put_bytes`]) while sharing the same encoding
+    /// primitives.
+    pub fn over(buf: &'a mut Vec<u8>) -> SectionWriter<'a> {
+        SectionWriter { buf }
+    }
+}
+
 impl SectionWriter<'_> {
     /// Appends a `u32`.
     pub fn put_u32(&mut self, v: u32) {

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Bench smoke runner: exercises the hot-path criterion benches at reduced
-# sample counts and records one JSON line per benchmark in BENCH_PR7.json
+# sample counts and records one JSON line per benchmark in BENCH_PR8.json
 # at the repo root (appended by the in-repo criterion shim — see
 # crates/shims/criterion; every line carries peak_rss_kb and calib_ns
 # fields, the latter a machine-speed reference bench_compare.py divides
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 SAMPLES="${2:-10}"
 
 # cargo runs bench binaries with the package directory as cwd, so anchor a
@@ -33,6 +33,28 @@ for bench in hierarchy_build profit_eval interning; do
     cargo bench --offline -p midas-bench --bench "$bench"
 done
 
+# Kernel dispatch: the dispatched SIMD table must beat the scalar kernels
+# by >= 1.5x median on dense and_into+popcount at a >= 64k-entity universe.
+# Only gated where the host actually has AVX2; elsewhere the dispatcher
+# falls back to scalar and the ratio is ~1.
+echo
+echo "== kernel dispatch: scalar vs SIMD =="
+cargo build --offline -q --release -p midas-bench --bin kernel_bench
+KERNELS="$(./target/release/kernel_bench)"
+printf '%s\n' "$KERNELS"
+if grep -qc avx2 /proc/cpuinfo >/dev/null 2>&1; then
+    KSPEED="$(printf '%s\n' "$KERNELS" \
+        | sed -n 's|^kernels/speedup/and_into_popcount/65536: \([0-9]*\)\.\([0-9]*\)x.*|\1\2|p')"
+    # KSPEED is the ratio in hundredths (e.g. 265 for 2.65x).
+    if [ -z "$KSPEED" ] || [ "$KSPEED" -lt 150 ]; then
+        echo "kernel smoke FAILED: dispatched kernels under 1.5x scalar at 64k (got ${KSPEED:-none}/100)" >&2
+        exit 1
+    fi
+    echo "kernel smoke OK: dispatched kernels >= 1.5x scalar at 64k ($KSPEED/100)"
+else
+    echo "kernel smoke SKIPPED: host CPU lacks AVX2 (scalar fallback active)"
+fi
+
 # Peak-RSS comparison: the streaming window must reduce peak resident
 # memory on a ≥200-source corpus. VmHWM is process-wide and monotone, so
 # each configuration runs in its own process.
@@ -50,6 +72,22 @@ if [ "$W_KB" -ge "$U_KB" ]; then
     exit 1
 fi
 echo "peak-RSS smoke OK: window 8 = $W_KB KiB < unbounded = $U_KB KiB"
+
+# Invalid-extent freeing: releasing invalidated hierarchy nodes' extents at
+# level boundaries must not raise the peak over a run that retains them
+# (same window, separate processes for the monotone VmHWM counter).
+echo
+echo "== peak RSS: eager invalid-extent freeing vs --retain-invalid-extents =="
+RETAINED="$(./target/release/peak_rss --stream-window 8 --retain-invalid-extents)"
+printf '%s\n' "$RETAINED" | tee -a "$OUT"
+# The windowed run above already measures the default (freeing) config.
+F_KB="$W_KB"
+R_KB="$(rss_of "$RETAINED")"
+if [ "$F_KB" -gt "$R_KB" ]; then
+    echo "extent-free smoke FAILED: freeing ($F_KB KiB) above retaining ($R_KB KiB)" >&2
+    exit 1
+fi
+echo "extent-free smoke OK: freeing = $F_KB KiB <= retaining = $R_KB KiB"
 
 # Incremental augmentation loop: every warm round replays the clean
 # subtrees from the round cache, so the summed warm-round incremental

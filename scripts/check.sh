@@ -20,6 +20,18 @@ echo "== crash harness (kill-anywhere + concurrent cache) =="
 cargo test -q --offline -p midas-cli --test crash_harness
 cargo test -q --offline -p midas-cli --test concurrent_cache
 
+# Kernel dispatch lane: the differential suite plus both report-equivalence
+# suites under each MIDAS_KERNEL setting — swapping the kernel table must
+# never change a report byte.
+echo "== kernel dispatch (MIDAS_KERNEL=scalar and =auto) =="
+for kernel in scalar auto; do
+    echo "-- MIDAS_KERNEL=$kernel --"
+    MIDAS_KERNEL="$kernel" cargo test -q --offline -p midas-core kernels
+    MIDAS_KERNEL="$kernel" cargo test -q --offline --test kernel_differential
+    MIDAS_KERNEL="$kernel" cargo test -q --offline --test streaming_equivalence
+    MIDAS_KERNEL="$kernel" cargo test -q --offline --test incremental_equivalence
+done
+
 echo "== cargo test =="
 cargo test -q --offline
 

@@ -1,0 +1,188 @@
+//! Randomized differential suite for the extent kernel dispatch layer.
+//!
+//! Every kernel entry point — `and_into`, `or_into`, `andnot_into`,
+//! `and_assign`, `or_assign`, `count`, `is_subset`, `union_into` — is run
+//! through every available dispatch table (portable scalar, AVX2 where the
+//! host supports it, and whatever `active()` selected for this process)
+//! against a straight-line word-loop reference, over inputs that cover the
+//! shapes the SIMD paths special-case: lengths straddling the 4-word vector
+//! width (0, 1, 3, 4, 5, …), remainder tails, all-empty and all-full
+//! blocks, and dense random fills. Tables must agree with the reference
+//! *bit for bit* — outputs and returned popcounts both — which is the
+//! contract that lets `MIDAS_KERNEL` switch kernels without changing any
+//! report byte.
+
+use midas::core::extent::kernels::{self, active, avx2_ops, scalar_ops, KernelOps};
+
+/// xorshift64* word stream; every 7th word forced empty or full so the
+/// boundary patterns appear at every length.
+fn blocks(mut seed: u64, len: usize) -> Vec<u64> {
+    seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..len)
+        .map(|i| match i % 7 {
+            0 => 0,
+            1 => u64::MAX,
+            _ => {
+                seed ^= seed >> 12;
+                seed ^= seed << 25;
+                seed ^= seed >> 27;
+                seed.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            }
+        })
+        .collect()
+}
+
+fn ref_count(xs: &[u64]) -> u32 {
+    xs.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Every dispatch table available on this host, by name.
+fn tables() -> Vec<(&'static str, &'static KernelOps)> {
+    let mut t = vec![("scalar", scalar_ops()), ("active", active())];
+    if let Some(avx2) = avx2_ops() {
+        t.push(("avx2", avx2));
+    }
+    t
+}
+
+/// Lengths covering empty input, sub-vector widths, the 4-word vector
+/// boundary, tails of every residue, and multi-vector spans.
+const LENS: [usize; 18] = [
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 15, 16, 17, 31, 64, 127, 200,
+];
+
+#[test]
+fn binary_kernels_match_word_loop_reference() {
+    for (name, ops) in tables() {
+        for &len in &LENS {
+            for seed in 0..6u64 {
+                let a = blocks(seed * 2 + 1, len);
+                let b = blocks(seed * 2 + 2, len);
+                let and_ref: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x & y).collect();
+                let or_ref: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x | y).collect();
+                let andnot_ref: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x & !y).collect();
+
+                let mut out = vec![0u64; len];
+                let n = (ops.and_into)(&mut out, &a, &b);
+                assert_eq!(out, and_ref, "{name} and_into len {len} seed {seed}");
+                assert_eq!(n, ref_count(&and_ref), "{name} and_into count");
+
+                let n = (ops.or_into)(&mut out, &a, &b);
+                assert_eq!(out, or_ref, "{name} or_into len {len} seed {seed}");
+                assert_eq!(n, ref_count(&or_ref), "{name} or_into count");
+
+                let n = (ops.andnot_into)(&mut out, &a, &b);
+                assert_eq!(out, andnot_ref, "{name} andnot_into len {len} seed {seed}");
+                assert_eq!(n, ref_count(&andnot_ref), "{name} andnot_into count");
+
+                let mut acc = a.clone();
+                let n = (ops.and_assign)(&mut acc, &b);
+                assert_eq!(acc, and_ref, "{name} and_assign len {len} seed {seed}");
+                assert_eq!(n, ref_count(&and_ref), "{name} and_assign count");
+
+                let mut acc = a.clone();
+                let n = (ops.or_assign)(&mut acc, &b);
+                assert_eq!(acc, or_ref, "{name} or_assign len {len} seed {seed}");
+                assert_eq!(n, ref_count(&or_ref), "{name} or_assign count");
+            }
+        }
+    }
+}
+
+#[test]
+fn count_and_subset_match_reference() {
+    for (name, ops) in tables() {
+        for &len in &LENS {
+            for seed in 0..6u64 {
+                let a = blocks(seed * 3 + 1, len);
+                let b = blocks(seed * 3 + 2, len);
+                assert_eq!((ops.count)(&a), ref_count(&a), "{name} count len {len}");
+
+                let subset_ref = a.iter().zip(&b).all(|(x, y)| x & !y == 0);
+                assert_eq!(
+                    (ops.is_subset)(&a, &b),
+                    subset_ref,
+                    "{name} is_subset len {len} seed {seed}"
+                );
+                // A set is always a subset of itself and of all-ones.
+                assert!((ops.is_subset)(&a, &a), "{name} reflexive len {len}");
+                assert!(
+                    (ops.is_subset)(&a, &vec![u64::MAX; len]),
+                    "{name} subset of full len {len}"
+                );
+                // And a strict superset is never a subset (when non-equal).
+                let grown: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x | y).collect();
+                if grown != a {
+                    assert!(!(ops.is_subset)(&grown, &a), "{name} strict len {len}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn union_into_matches_sequential_or_for_any_fanin() {
+    for (name, ops) in tables() {
+        for &len in &LENS {
+            for fanin in [0usize, 1, 2, 3, 7, 8, 9] {
+                let srcs: Vec<Vec<u64>> =
+                    (0..fanin).map(|i| blocks(41 * i as u64 + 5, len)).collect();
+                let refs: Vec<&[u64]> = srcs.iter().map(|s| s.as_slice()).collect();
+
+                // Reference: fold sequential word-wise ORs over a non-zero
+                // starting accumulator (union_into ORs into `acc`, it does
+                // not clear it).
+                let start = blocks(977, len);
+                let mut expect = start.clone();
+                for s in &srcs {
+                    for (w, x) in expect.iter_mut().zip(s) {
+                        *w |= x;
+                    }
+                }
+
+                let mut acc = start.clone();
+                let n = (ops.union_into)(&mut acc, &refs);
+                assert_eq!(acc, expect, "{name} union_into len {len} fanin {fanin}");
+                assert_eq!(n, ref_count(&expect), "{name} union_into count");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_tables_agree_with_each_other() {
+    let tables = tables();
+    for &len in &LENS {
+        for seed in 10..14u64 {
+            let a = blocks(seed * 5 + 1, len);
+            let b = blocks(seed * 5 + 2, len);
+            let mut outputs: Vec<(&str, Vec<u64>, u32)> = Vec::new();
+            for (name, ops) in &tables {
+                let mut out = vec![0u64; len];
+                let n = (ops.and_into)(&mut out, &a, &b);
+                outputs.push((name, out, n));
+            }
+            let (base_name, base_out, base_n) = &outputs[0];
+            for (name, out, n) in &outputs[1..] {
+                assert_eq!(out, base_out, "{name} vs {base_name} blocks, len {len}");
+                assert_eq!(n, base_n, "{name} vs {base_name} count, len {len}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dispatch_wrappers_route_through_active_table() {
+    let ops = active();
+    let a = blocks(21, 33);
+    let b = blocks(22, 33);
+    let mut via_table = vec![0u64; 33];
+    let mut via_wrapper = vec![0u64; 33];
+    assert_eq!(
+        (ops.and_into)(&mut via_table, &a, &b),
+        kernels::and_into(&mut via_wrapper, &a, &b)
+    );
+    assert_eq!(via_table, via_wrapper);
+    assert_eq!((ops.count)(&a), kernels::count(&a));
+    assert_eq!((ops.is_subset)(&a, &b), kernels::is_subset(&a, &b));
+}
