@@ -1,55 +1,90 @@
 //! Incremental-vs-rebuild timing probe for the augmentation loop.
 //!
-//! Drives `Augmenter` to saturation on a multi-vertical corpus where each
-//! round accepts one vertical's slice (so only that vertical's subtree is
-//! dirty for the next round). Every round runs both the warm incremental
-//! `suggest_report` and a from-scratch `suggest_fresh` rebuild, asserts the
-//! two are identical, and prints one JSON line per round plus warm-round
-//! totals. `scripts/bench_smoke.sh` gates on the totals: warm incremental
-//! rounds must beat their from-scratch rebuilds.
+//! Drives two lock-stepped `Augmenter`s to saturation on a corpus where each
+//! round accepts one small vertical (so the dirty leaves of the next round
+//! have *sparse* changes against a large, already-known bulk lattice). Every
+//! round measures three paths:
+//!
+//! - `rebuild`: from-scratch `suggest_fresh` (no cache at all);
+//! - `noreuse`: the PR 4 incremental path — task replay for clean subtrees,
+//!   but dirty leaves rebuild their hierarchies cold (forced in-process via
+//!   `MIDAS_NO_WARM_HIERARCHY=1`, which `run_incremental` reads per call);
+//! - `warm`: the full warm-hierarchy path — dirty leaves patch their
+//!   retained `SliceHierarchy` in place instead of rebuilding it.
+//!
+//! All three reports are asserted bit-identical before any timing is
+//! trusted, and warm rounds must actually warm-patch (`hierarchies_reused`
+//! strictly positive). `scripts/bench_smoke.sh` gates on the warm-round
+//! totals: the warm path must beat the no-reuse incremental path by the
+//! ratio it enforces.
 
 use midas_core::{Augmenter, FrameworkReport, MidasConfig, SourceFacts};
 use midas_kb::{Fact, Interner, KnowledgeBase};
 use midas_weburl::SourceUrl;
 use std::time::Instant;
 
-/// `domains` single-vertical domains of descending richness, each split
-/// over `pages` pages. Richness descends so the loop accepts the verticals
-/// in domain order, one per round, before saturating.
-fn corpus(t: &mut Interner, domains: usize, pages: usize, entities: usize) -> Vec<SourceFacts> {
+const NO_WARM_ENV: &str = "MIDAS_NO_WARM_HIERARCHY";
+
+/// `domains` domains of `pages` pages. Each page carries `entities` bulk
+/// entities (5 properties each — a rich per-leaf lattice) whose facts are
+/// pre-loaded into the knowledge base, plus a small unknown vertical of
+/// descending richness per domain. Accepting a vertical changes only its
+/// few entities, so the next round's dirty leaves are warm-patchable with
+/// a handful of node re-evaluations while a cold path re-enumerates the
+/// whole bulk lattice.
+fn corpus(
+    t: &mut Interner,
+    domains: usize,
+    pages: usize,
+    entities: usize,
+) -> (Vec<SourceFacts>, KnowledgeBase) {
     let mut sources = Vec::new();
+    let mut kb = KnowledgeBase::new();
     for d in 0..domains {
-        let per_page = entities - d * (entities / (2 * domains));
+        let vert = 8usize.saturating_sub(d).max(2);
         for p in 0..pages {
-            let mut facts = Vec::with_capacity(per_page * 4);
-            for e in 0..per_page {
-                let name = format!("e{d}_{p}_{e}");
+            let mut facts = Vec::with_capacity(entities * 5 + vert * 3);
+            for e in 0..entities {
+                let name = format!("b{d}_{p}_{e}");
+                let known = [
+                    Fact::intern(t, &name, "kind", &format!("bulk{d}")),
+                    Fact::intern(t, &name, "group", &format!("g{}", e % 10)),
+                    Fact::intern(t, &name, "color", &format!("c{}", e % 7)),
+                    Fact::intern(t, &name, "shape", &format!("s{}", e % 5)),
+                    Fact::intern(t, &name, "serial", &format!("bs{d}_{p}_{e}")),
+                ];
+                for f in known {
+                    kb.insert(f);
+                    facts.push(f);
+                }
+            }
+            for e in 0..vert {
+                let name = format!("v{d}_{p}_{e}");
                 facts.push(Fact::intern(t, &name, "kind", &format!("vertical{d}")));
                 facts.push(Fact::intern(t, &name, "site", &format!("dir{d}")));
-                facts.push(Fact::intern(t, &name, "group", &format!("g{d}_{}", e % 4)));
-                facts.push(Fact::intern(t, &name, "serial", &format!("s{d}_{p}_{e}")));
+                facts.push(Fact::intern(t, &name, "serial", &format!("vs{d}_{p}_{e}")));
             }
             let url = SourceUrl::parse(&format!("http://domain{d}.example.org/dir/page{p}.html"))
                 .expect("static url");
             sources.push(SourceFacts::new(url, facts));
         }
     }
-    sources
+    (sources, kb)
 }
 
-fn assert_identical(incr: &FrameworkReport, fresh: &FrameworkReport, round: usize) {
+fn assert_identical(left: &FrameworkReport, right: &FrameworkReport, what: &str, round: usize) {
     assert_eq!(
-        incr.slices, fresh.slices,
-        "round {round}: incremental diverged from rebuild"
+        left.slices, right.slices,
+        "round {round}: {what} diverged from rebuild"
     );
-    assert_eq!(incr.quarantine.len(), fresh.quarantine.len());
+    assert_eq!(left.quarantine.len(), right.quarantine.len());
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut threads = 16usize;
-    let mut domains = 8usize;
-    let mut pages = 12usize;
+    let mut domains = 4usize;
+    let mut pages = 10usize;
     let mut entities = 120usize;
     while let Some(a) = args.next() {
         let mut value = |name: &str| {
@@ -67,40 +102,74 @@ fn main() {
             ),
         }
     }
+    assert!(
+        std::env::var_os(NO_WARM_ENV).is_none(),
+        "unset {NO_WARM_ENV} before running: the bench toggles it per path"
+    );
 
     let mut terms = Interner::new();
-    let sources = corpus(&mut terms, domains, pages, entities);
+    let (sources, kb) = corpus(&mut terms, domains, pages, entities);
     let num_sources = sources.len();
 
     let config = MidasConfig::running_example().with_threads(threads);
-    let mut aug = Augmenter::new(config, sources, KnowledgeBase::new()).with_threads(threads);
+    let mut warm_aug =
+        Augmenter::new(config.clone(), sources.clone(), kb.clone()).with_threads(threads);
+    let mut noreuse_aug = Augmenter::new(config, sources, kb).with_threads(threads);
 
-    let (mut warm_incr_ms, mut warm_fresh_ms) = (0.0f64, 0.0f64);
+    let (mut warm_ms_total, mut noreuse_ms_total, mut fresh_ms_total) = (0.0f64, 0.0f64, 0.0f64);
     let mut round = 0usize;
     loop {
         round += 1;
+
         let start = Instant::now();
-        let fresh = aug.suggest_fresh();
+        let fresh = warm_aug.suggest_fresh();
         let fresh_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        // PR 4 path: incremental task replay, cold hierarchy rebuild for
+        // every dirty leaf. The env toggle is read per `run_incremental`
+        // call, so flipping it here only affects this suggest.
+        std::env::set_var(NO_WARM_ENV, "1");
         let start = Instant::now();
-        let incr = aug.suggest_report();
-        let incr_ms = start.elapsed().as_secs_f64() * 1e3;
-        assert_identical(&incr, &fresh, round);
+        let noreuse = noreuse_aug.suggest_report();
+        let noreuse_ms = start.elapsed().as_secs_f64() * 1e3;
+        std::env::remove_var(NO_WARM_ENV);
+        assert_eq!(
+            noreuse.hierarchies_reused, 0,
+            "round {round}: {NO_WARM_ENV} must force cold hierarchy rebuilds"
+        );
+
+        let start = Instant::now();
+        let warm = warm_aug.suggest_report();
+        let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        assert_identical(&warm, &fresh, "warm incremental", round);
+        assert_identical(&noreuse, &fresh, "no-reuse incremental", round);
         if round > 1 {
-            assert!(incr.reused > 0, "warm round {round} replayed nothing");
-            warm_incr_ms += incr_ms;
-            warm_fresh_ms += fresh_ms;
+            assert!(warm.reused > 0, "warm round {round} replayed nothing");
+            assert!(
+                warm.hierarchies_reused > 0,
+                "warm round {round} patched no hierarchy"
+            );
+            warm_ms_total += warm_ms;
+            noreuse_ms_total += noreuse_ms;
+            fresh_ms_total += fresh_ms;
         }
-        let best = incr.slices.iter().find(|s| s.profit > 0.0).cloned();
+        let best = warm.slices.iter().find(|s| s.profit > 0.0).cloned();
         let accepted = best.is_some();
         println!(
             "{{\"bench\":\"augment_rounds/round_{round}\",\"sources\":{num_sources},\
-             \"threads\":{threads},\"incremental_ms\":{incr_ms:.3},\"rebuild_ms\":{fresh_ms:.3},\
-             \"detect_calls\":{},\"reused\":{},\"accepted\":{accepted}}}",
-            incr.detect_calls, incr.reused,
+             \"threads\":{threads},\"warm_ms\":{warm_ms:.3},\"noreuse_ms\":{noreuse_ms:.3},\
+             \"rebuild_ms\":{fresh_ms:.3},\"detect_calls\":{},\"reused\":{},\
+             \"hierarchies_reused\":{},\"accepted\":{accepted}}}",
+            warm.detect_calls, warm.reused, warm.hierarchies_reused,
         );
         let Some(best) = best else { break };
-        let step = aug.accept(&best);
+        let step = warm_aug.accept(&best);
+        let mirror = noreuse_aug.accept(&best);
+        assert_eq!(
+            step.facts_added, mirror.facts_added,
+            "round {round}: the two augmenters fell out of lockstep"
+        );
         if step.facts_added == 0 {
             break;
         }
@@ -109,9 +178,11 @@ fn main() {
         round >= 4,
         "corpus saturated after {round} rounds; need >=4 for a warm-round comparison"
     );
+    let ratio = noreuse_ms_total / warm_ms_total.max(1e-9);
     println!(
         "{{\"bench\":\"augment_rounds/warm_total\",\"sources\":{num_sources},\
-         \"threads\":{threads},\"rounds\":{round},\"incremental_ms\":{warm_incr_ms:.3},\
-         \"rebuild_ms\":{warm_fresh_ms:.3}}}"
+         \"threads\":{threads},\"rounds\":{round},\"warm_ms\":{warm_ms_total:.3},\
+         \"noreuse_ms\":{noreuse_ms_total:.3},\"rebuild_ms\":{fresh_ms_total:.3},\
+         \"warm_over_noreuse\":{ratio:.2}}}"
     );
 }

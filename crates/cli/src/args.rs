@@ -74,9 +74,11 @@ CACHING (discover, eval, augment):
                            of a previous identical `augment` run (requires
                            --snapshot-cache). Completed rounds are replayed
                            from the checkpoint; output is bit-identical to an
-                           uninterrupted run. Incompatible with
-                           --source-deadline-ms (wall-clock budgets make runs
-                           non-resumable).
+                           uninterrupted run. Each round records the
+                           --source-deadline-ms it ran under; resuming with a
+                           different deadline restarts from round 1 instead
+                           of replaying (wall-clock quarantines only
+                           reproduce under the budget that made them).
 
 ROBUSTNESS (discover, eval, augment):
   --lenient                quarantine malformed input lines instead of aborting

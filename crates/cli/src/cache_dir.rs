@@ -199,16 +199,22 @@ impl CacheDir {
 
     /// Records (or refreshes) `name` in the manifest with its current size
     /// and a fresh last-used stamp. Caller holds the exclusive lock.
+    ///
+    /// The stamp is clamped to never move backwards relative to the newest
+    /// stamp already in the manifest: a wall-clock step (NTP correction,
+    /// manual reset) would otherwise stamp the entry being used *right now*
+    /// older than idle ones, making it the next eviction victim.
     pub fn touch(&self, name: &str) -> io::Result<()> {
         let bytes = fs::metadata(self.entry_path(name))
             .map(|m| m.len())
             .unwrap_or(0);
         let mut entries = self.read_manifest();
+        let floor = entries.iter().map(|e| e.last_used_ms).max().unwrap_or(0);
         entries.retain(|e| e.name != name);
         entries.push(ManifestEntry {
             name: name.to_string(),
             bytes,
-            last_used_ms: now_ms(),
+            last_used_ms: now_ms().max(floor),
         });
         // Drop rows whose files vanished (evicted by another process, or
         // removed by hand) so the manifest cannot grow without bound.
@@ -256,8 +262,16 @@ impl CacheDir {
         if total <= max_bytes {
             return Ok(Vec::new());
         }
-        // Oldest first; name as tie-break for determinism.
-        candidates.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        // Oldest first. Stamp ties are real under the monotonic clamp in
+        // `touch` (entries stamped while the wall clock lags the manifest
+        // floor all land on the floor): prefer evicting the largest of the
+        // tied entries — fewest evictions to get under the cap — with the
+        // name as the final deterministic tie-break.
+        candidates.sort_by(|a, b| {
+            a.2.cmp(&b.2)
+                .then_with(|| b.1.cmp(&a.1))
+                .then_with(|| a.0.cmp(&b.0))
+        });
         let mut evicted = Vec::new();
         for (name, bytes, _) in candidates {
             if total <= max_bytes {
@@ -393,6 +407,77 @@ mod tests {
         let evicted = cache.evict(0, "new.snap").unwrap();
         assert_eq!(evicted, vec!["mid.snap".to_string()]);
         assert!(cache.entry_path("new.snap").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clock_rewind_does_not_evict_the_hottest_entry() {
+        let dir = tmpdir("rewind");
+        let cache = CacheDir::open(&dir).unwrap();
+        let _g = cache.exclusive().unwrap();
+        for name in ["cold.snap", "warm.snap", "hot.snap"] {
+            fs::write(cache.entry_path(name), vec![0u8; 40]).unwrap();
+            cache.touch(name).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        // Simulate a backwards clock step: rewrite every stamp far into the
+        // future, so the next `touch` sees now_ms() far below the manifest
+        // floor. Without the monotonic clamp the re-touched entry would
+        // become the oldest stamp in the directory.
+        let future = now_ms() + 86_400_000;
+        let entries: Vec<ManifestEntry> = cache
+            .read_manifest()
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut e)| {
+                e.last_used_ms = future + i as u64;
+                e
+            })
+            .collect();
+        cache.write_manifest(&entries).unwrap();
+
+        cache.touch("hot.snap").unwrap();
+        let stamped = cache.read_manifest();
+        let hot = stamped.iter().find(|e| e.name == "hot.snap").unwrap();
+        assert!(
+            hot.last_used_ms >= future + 2,
+            "re-touched stamp must clamp to the manifest floor, got {} < {}",
+            hot.last_used_ms,
+            future + 2
+        );
+        // 120 bytes, cap 100: the entry used right after the rewind must
+        // survive; one of the genuinely idle ones goes.
+        let evicted = cache.evict(100, "other.snap").unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_ne!(evicted[0], "hot.snap");
+        assert!(cache.entry_path("hot.snap").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stamp_ties_evict_the_largest_entry_first() {
+        let dir = tmpdir("tiebreak");
+        let cache = CacheDir::open(&dir).unwrap();
+        let _g = cache.exclusive().unwrap();
+        for (name, len) in [("small.snap", 10), ("big.snap", 90)] {
+            fs::write(cache.entry_path(name), vec![0u8; len]).unwrap();
+        }
+        // Identical stamps, written directly: only size breaks the tie.
+        let stamp = now_ms();
+        let entries: Vec<ManifestEntry> = [("small.snap", 10u64), ("big.snap", 90u64)]
+            .iter()
+            .map(|&(name, bytes)| ManifestEntry {
+                name: name.to_string(),
+                bytes,
+                last_used_ms: stamp,
+            })
+            .collect();
+        cache.write_manifest(&entries).unwrap();
+        // 100 bytes, cap 50: evicting `big` alone suffices; the old
+        // name-only tie-break would have taken `big` AND `small`.
+        let evicted = cache.evict(50, "other.snap").unwrap();
+        assert_eq!(evicted, vec!["big.snap".to_string()]);
+        assert!(cache.entry_path("small.snap").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -196,6 +196,17 @@ fn encode_round(w: &mut SectionWriter<'_>, terms: &Interner, r: &AugmentationRou
     w.put_u64(r.detect_calls as u64);
     w.put_u64(r.reused_tasks as u64);
     w.put_u64(r.kb_size as u64);
+    // Deadline budget the round ran under: presence flag + milliseconds.
+    // Old (pre-budget) checkpoints lack these words and fail the trailing
+    // `expect_end` on load — the caller quarantines the trace and restarts
+    // cold, which is always sound.
+    match r.budget_ms {
+        None => w.put_u32(0),
+        Some(ms) => {
+            w.put_u32(1);
+            w.put_u64(ms);
+        }
+    }
     w.put_u32(r.quarantine.len() as u32);
     for f in r.quarantine.iter() {
         w.put_str(&f.source);
@@ -298,6 +309,11 @@ pub fn load_rounds(
         let detect_calls = r.get_u64("detect calls")? as usize;
         let reused_tasks = r.get_u64("reused tasks")? as usize;
         let kb_size = r.get_u64("kb size")? as usize;
+        let budget_ms = match r.get_u32("budget flag")? {
+            0 => None,
+            1 => Some(r.get_u64("budget millis")?),
+            other => return Err(corrupt(format!("invalid budget flag {other}"))),
+        };
         let n_faults = r.get_u32("quarantine count")? as usize;
         let mut quarantine = Quarantine::new();
         for _ in 0..n_faults {
@@ -349,6 +365,7 @@ pub fn load_rounds(
             detect_calls,
             reused_tasks,
             kb_size,
+            budget_ms,
             quarantine,
         });
     }
@@ -394,6 +411,7 @@ mod tests {
                 detect_calls: 5,
                 reused_tasks: 0,
                 kb_size: 14,
+                budget_ms: Some(2_500),
                 quarantine,
             },
             AugmentationRound {
@@ -404,6 +422,7 @@ mod tests {
                 detect_calls: 1,
                 reused_tasks: 4,
                 kb_size: 14,
+                budget_ms: None,
                 quarantine: Quarantine::new(),
             },
         ]
@@ -439,8 +458,10 @@ mod tests {
         assert_eq!(fault.stage, Stage::Consolidate);
         assert_eq!(fault.cause.tag(), "budget");
         assert_eq!(fault.facts_seen, 42);
+        assert_eq!(loaded[0].budget_ms, Some(2_500));
         assert!(loaded[1].accepted.is_none());
         assert_eq!(loaded[1].reused_tasks, 4);
+        assert_eq!(loaded[1].budget_ms, None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

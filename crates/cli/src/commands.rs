@@ -469,6 +469,21 @@ fn augment_with_checkpoints(
             }
         }
         replayed.truncate(rounds);
+        // Each round records the per-source deadline it ran under. A resume
+        // under a different --source-deadline-ms must not replay: deadline
+        // quarantines are wall-clock-dependent, so the recorded rounds only
+        // reproduce under the budget that produced them. The checkpoint is
+        // not at fault — leave it in place and restart cold (a later resume
+        // with the original budget can still use it).
+        let current_ms = config.budget.deadline.map(|d| d.as_millis() as u64);
+        if replayed.iter().any(|r| r.budget_ms != current_ms) {
+            notes.push(
+                "resume: checkpoint was recorded under a different --source-deadline-ms; \
+                 restarting cold"
+                    .to_owned(),
+            );
+            replayed.clear();
+        }
     }
 
     // Replay, keeping the inputs for a cold restart should the checkpoint
@@ -574,13 +589,6 @@ fn augment(
     limits: RunLimits,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    if resume && limits.source_deadline_ms.is_some() {
-        return Err(CliError::Usage(
-            "--resume is incompatible with --source-deadline-ms \
-             (wall-clock budgets make runs non-resumable)"
-                .into(),
-        ));
-    }
     // The augmentation loop memoises its own per-round tables; the snapshot
     // cache still removes the cold-start parse on every warm invocation.
     let loaded = snapshot_cache::load_inputs_cached(
@@ -600,10 +608,11 @@ fn augment(
         .with_stream_window(limits.stream_window);
     let initial_kb = kb.len();
 
-    // Checkpointing needs a cache session and a deterministic run: deadline
-    // budgets can quarantine different sources on every attempt, so their
-    // rounds are not replayable.
-    let checkpointing = loaded.session.is_some() && limits.source_deadline_ms.is_none();
+    // Checkpointing needs a cache session. Deadline-budgeted runs are
+    // checkpointed too: each round records the budget it ran under, and a
+    // resume replays only when the recorded budget matches the current one
+    // (otherwise it restarts cold — see `augment_with_checkpoints`).
+    let checkpointing = loaded.session.is_some();
     let (trace, aug) = match (&loaded.session, checkpointing) {
         (Some(session), true) => augment_with_checkpoints(
             session, resume, &config, sources, kb, threads, rounds, &mut terms, &mut notes,
@@ -959,6 +968,60 @@ mod tests {
             text.contains("accepted 1 slices over 2 rounds"),
             "output:\n{text}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn augment_resume_accepts_matching_deadline_budget() {
+        let dir = tmpdir("augment_resume_deadline");
+        let cache = dir.join("cache");
+        let facts = dir.join("facts.tsv");
+        let mut content = String::new();
+        for i in 0..8 {
+            content.push_str(&format!("http://a.com/d/p{i}\tent{i}\ttype\tgolf\n"));
+            content.push_str(&format!("http://a.com/d/p{i}\tent{i}\tholes\th{i}\n"));
+        }
+        std::fs::write(&facts, content).unwrap();
+        let base = format!(
+            "augment --facts {} --fp 1 --rounds 5 --snapshot-cache {}",
+            facts.to_str().unwrap(),
+            cache.to_str().unwrap()
+        );
+
+        // A generous deadline quarantines nothing; the run must checkpoint.
+        let mut out = Vec::new();
+        run(
+            &argv(&format!("{base} --source-deadline-ms 60000")),
+            &mut out,
+        )
+        .unwrap();
+
+        // Resuming under the same deadline replays the recorded rounds.
+        let mut out = Vec::new();
+        run(
+            &argv(&format!("{base} --source-deadline-ms 60000 --resume")),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(
+            text.contains("resume: replayed"),
+            "matching budget must replay:\n{text}"
+        );
+
+        // Resuming under a different deadline restarts cold instead.
+        let mut out = Vec::new();
+        run(
+            &argv(&format!("{base} --source-deadline-ms 120000 --resume")),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(
+            text.contains("different --source-deadline-ms"),
+            "budget mismatch must restart cold:\n{text}"
+        );
+        assert!(!text.contains("resume: replayed"), "output:\n{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

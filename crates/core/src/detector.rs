@@ -7,7 +7,8 @@
 
 use midas_kb::{KnowledgeBase, Symbol};
 
-use crate::fact_table::FactTable;
+use crate::fact_table::{EntityId, FactTable};
+use crate::hierarchy::SliceHierarchy;
 use crate::quarantine::FaultCause;
 use crate::single_source::MidasAlg;
 use crate::slice::DiscoveredSlice;
@@ -61,6 +62,45 @@ pub trait SliceDetector: Sync {
         self.detect(input)
     }
 
+    /// Like [`SliceDetector::detect_retaining_table`], but additionally
+    /// returns the slice hierarchy the detector built, so warm-hierarchy
+    /// drivers can patch it in place next round instead of rebuilding.
+    /// Detectors without a reusable hierarchy return `None` for it; results
+    /// are identical to [`SliceDetector::detect`] either way.
+    fn detect_retaining_state(
+        &self,
+        input: DetectInput<'_>,
+    ) -> (
+        Vec<DiscoveredSlice>,
+        Option<FactTable>,
+        Option<SliceHierarchy>,
+    ) {
+        let (slices, table) = self.detect_retaining_table(input);
+        (slices, table, None)
+    }
+
+    /// Warm re-detection over a cached table and (optionally) last round's
+    /// hierarchy for the same source. `changed` lists the entity ids whose
+    /// `new`-fact counts moved since the hierarchy was built (see
+    /// [`FactTable::refresh_new_counts`]). Returns the slices, the hierarchy
+    /// to cache for the next round (if the detector retains one), and
+    /// whether the warm patch was actually used. The default recycles any
+    /// warm hierarchy and detects cold over the table, which is always
+    /// correct.
+    fn detect_warm(
+        &self,
+        table: &FactTable,
+        input: DetectInput<'_>,
+        warm: Option<SliceHierarchy>,
+        changed: &[EntityId],
+    ) -> (Vec<DiscoveredSlice>, Option<SliceHierarchy>, bool) {
+        if let Some(h) = warm {
+            h.recycle();
+        }
+        let _ = changed;
+        (self.detect_on_table(table, input), None, false)
+    }
+
     /// Runs [`SliceDetector::detect`] under panic isolation: a panic or
     /// budget breach inside the detector becomes a structured
     /// [`FaultCause`] instead of unwinding into the caller. Callers outside
@@ -93,6 +133,45 @@ impl SliceDetector for MidasAlg {
 
     fn detect_on_table(&self, table: &FactTable, input: DetectInput<'_>) -> Vec<DiscoveredSlice> {
         self.run_on_table(table, input.source, input.kb, input.seeds)
+    }
+
+    fn detect_retaining_state(
+        &self,
+        input: DetectInput<'_>,
+    ) -> (
+        Vec<DiscoveredSlice>,
+        Option<FactTable>,
+        Option<SliceHierarchy>,
+    ) {
+        // The warm-hierarchy engine only patches unseeded (leaf) runs;
+        // seeded merge shards keep the plain table-retaining path.
+        if input.seeds.is_empty() {
+            self.run_retaining_state(input.source, input.kb)
+        } else {
+            let (slices, table) = self.run_retaining_table(input.source, input.kb, input.seeds);
+            (slices, table, None)
+        }
+    }
+
+    fn detect_warm(
+        &self,
+        table: &FactTable,
+        input: DetectInput<'_>,
+        warm: Option<SliceHierarchy>,
+        changed: &[EntityId],
+    ) -> (Vec<DiscoveredSlice>, Option<SliceHierarchy>, bool) {
+        if !input.seeds.is_empty() {
+            // Seeded runs never cache hierarchies; defensive fallback.
+            if let Some(h) = warm {
+                h.recycle();
+            }
+            return (
+                self.run_on_table(table, input.source, input.kb, input.seeds),
+                None,
+                false,
+            );
+        }
+        self.run_on_table_warm(table, input.source, warm, changed)
     }
 }
 

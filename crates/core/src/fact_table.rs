@@ -510,16 +510,18 @@ impl FactTable {
     ///
     /// This is the incremental-rerun fast path: after an augmentation round
     /// a dirty source's table is refreshed in O(|touched rows| + n) instead
-    /// of rebuilt in O(|T_W|) hash/extent work. Returns the number of rows
-    /// whose `new` count actually changed. On a snapshot-mapped table the
-    /// mutated count columns are copied out of the mapping on first change
-    /// (copy-on-write); the fact rows and extents stay mapped.
+    /// of rebuilt in O(|T_W|) hash/extent work. Returns the (sorted) entity
+    /// ids whose `new` count actually changed — the warm-hierarchy patcher
+    /// uses them to bound profit re-evaluation to dirty nodes. On a
+    /// snapshot-mapped table the mutated count columns are copied out of
+    /// the mapping on first change (copy-on-write); the fact rows and
+    /// extents stay mapped.
     pub fn refresh_new_counts(
         &mut self,
         kb: &KnowledgeBase,
         subjects: impl IntoIterator<Item = Symbol>,
-    ) -> usize {
-        let mut changed = 0usize;
+    ) -> Vec<EntityId> {
+        let mut changed: Vec<EntityId> = Vec::new();
         for subject in subjects {
             let Some(&eid) = self.by_subject.get(&subject) else {
                 continue;
@@ -537,10 +539,10 @@ impl FactTable {
                     "KB insertions can only lower new(e): {news} > {old}"
                 );
                 self.new_count.make_mut()[eid as usize] = news;
-                changed += 1;
+                changed.push(eid);
             }
         }
-        if changed > 0 {
+        if !changed.is_empty() {
             // Count invalidation: the prefix sums and packed words derived
             // from `new_count` are rebuilt in place, reusing their buffers.
             let n = self.new_count.len();
@@ -556,6 +558,9 @@ impl FactTable {
                 *slot = u64::from(self.new_count[i]) | (u64::from(self.facts_count[i]) << 32);
             }
         }
+        // Subjects arrive in caller order (typically a sorted set walk, but
+        // not guaranteed); dirty-node marking wants a canonical order.
+        changed.sort_unstable();
         changed
     }
 

@@ -70,6 +70,7 @@
 //! incremental runs reproduce the same quarantine.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 
 use midas_kb::{Fact, KnowledgeBase, Symbol};
 use midas_weburl::SourceUrl;
@@ -77,8 +78,9 @@ use midas_weburl::SourceUrl;
 use crate::budget::{self, BreachKind, BudgetBreach, BudgetScope, SourceBudget};
 use crate::config::CostModel;
 use crate::detector::{DetectInput, SliceDetector};
-use crate::fact_table::FactTable;
+use crate::fact_table::{EntityId, FactTable};
 use crate::faultinject;
+use crate::hierarchy::SliceHierarchy;
 use crate::parallel::par_map_streamed;
 use crate::quarantine::{Quarantine, SourceFault, Stage};
 use crate::slice::DiscoveredSlice;
@@ -189,6 +191,10 @@ pub struct RoundCache {
     leaves: BTreeMap<SourceUrl, CachedTask>,
     shards: BTreeMap<SourceUrl, CachedTask>,
     tables: BTreeMap<SourceUrl, FactTable>,
+    /// Round-0 leaf hierarchies retained by the warm-hierarchy engine
+    /// (DESIGN.md §15): next round, a dirty leaf's hierarchy is patched in
+    /// place ([`SliceHierarchy::warm_patch`]) instead of rebuilt.
+    hierarchies: BTreeMap<SourceUrl, SliceHierarchy>,
 }
 
 impl RoundCache {
@@ -207,9 +213,22 @@ impl RoundCache {
         self.len() == 0
     }
 
-    /// Drops all cached state; the next incremental run starts cold.
+    /// Number of leaf hierarchies currently retained for warm patching.
+    pub fn warm_hierarchies(&self) -> usize {
+        self.hierarchies.len()
+    }
+
+    /// Drops all cached state; the next incremental run starts cold. The
+    /// retained hierarchies' arenas are recycled into the scratch pools
+    /// rather than freed, so a cold restart still reuses their capacity.
     pub fn clear(&mut self) {
-        *self = RoundCache::default();
+        let old = std::mem::take(self);
+        for (_, h) in old.hierarchies {
+            h.recycle();
+        }
+        for (_, t) in old.tables {
+            t.recycle();
+        }
     }
 
     fn reset(&mut self, sig: CacheSig) {
@@ -232,9 +251,23 @@ pub struct FrameworkReport {
     /// Number of task outcomes replayed from the incremental cache (always
     /// zero for [`Framework::run`]).
     pub reused: usize,
+    /// Number of round-0 leaves whose slice hierarchy was warm-patched in
+    /// place from the previous round instead of rebuilt (always zero for
+    /// [`Framework::run`] and when `MIDAS_NO_WARM_HIERARCHY` is set).
+    pub hierarchies_reused: usize,
     /// Sources dropped from the run (panics, budget breaches), in
     /// deterministic source order per round.
     pub quarantine: Quarantine,
+}
+
+/// Warm-hierarchy state threaded into one round-0 pass: whether dirty
+/// leaves may patch last round's hierarchy in place, and — per dirty leaf —
+/// the entity ids whose `new`-fact counts moved (the patch's dirtiness
+/// bound, see [`SliceHierarchy::warm_patch`]).
+#[derive(Default)]
+struct WarmRound {
+    enabled: bool,
+    changed_by_url: BTreeMap<SourceUrl, Vec<EntityId>>,
 }
 
 /// A source travelling through the rounds: round-0 leaves of an incremental
@@ -356,7 +389,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         for s in sources {
             insert_leaf(&mut by_url, RoundSource::Owned(s));
         }
-        self.drive(by_url, kb, None, None)
+        self.drive(by_url, kb, None, None, WarmRound::default())
     }
 
     /// Like [`Framework::run`], but round-0 detection reuses the prebuilt
@@ -375,7 +408,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         for s in sources {
             insert_leaf(&mut by_url, RoundSource::Owned(s));
         }
-        self.drive(by_url, kb, None, Some(tables))
+        self.drive(by_url, kb, None, Some(tables), WarmRound::default())
     }
 
     /// Incremental counterpart of [`Framework::run`] for the augmentation
@@ -429,19 +462,42 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         cache
             .shards
             .retain(|parent, _| dirty.iter().all(|leaf| !parent.contains(leaf)));
+        // The warm-hierarchy escape hatch: with `MIDAS_NO_WARM_HIERARCHY`
+        // set, retained hierarchies are recycled and dirty leaves fall back
+        // to the PR 4 rebuild-over-cached-table path. Read per call so a
+        // process can toggle it between runs (the bench does).
+        let warm_enabled = std::env::var_os("MIDAS_NO_WARM_HIERARCHY").is_none();
+        if !warm_enabled && !cache.hierarchies.is_empty() {
+            for (_, h) in std::mem::take(&mut cache.hierarchies) {
+                h.recycle();
+            }
+        }
         // Dirty leaves keep their cached fact table: structure is unchanged,
         // only the `new` flags of rows keyed by the delta's subjects are
         // stale — refresh those in place instead of rebuilding. Afterwards
         // the density divisor is re-checked against the table's (possibly
         // grown) universe/length distribution; representation only, so
-        // slice output is unchanged whether or not anything re-seals.
+        // slice output is unchanged whether or not anything re-seals. The
+        // refreshed row ids come back per leaf: they bound the warm
+        // hierarchy patch to the nodes whose extents the delta touched.
+        let mut changed_by_url: BTreeMap<SourceUrl, Vec<EntityId>> = BTreeMap::new();
         for url in &dirty {
             if let Some(table) = cache.tables.get_mut(*url) {
-                table.refresh_new_counts(kb, delta.subjects.iter().copied());
+                let changed = table.refresh_new_counts(kb, delta.subjects.iter().copied());
                 table.recalibrate_divisor();
+                changed_by_url.insert((*url).clone(), changed);
             }
         }
-        self.drive(by_url, kb, Some(cache), None)
+        self.drive(
+            by_url,
+            kb,
+            Some(cache),
+            None,
+            WarmRound {
+                enabled: warm_enabled,
+                changed_by_url,
+            },
+        )
     }
 
     fn cache_sig(&self, by_url: &BTreeMap<SourceUrl, RoundSource<'_>>) -> CacheSig {
@@ -476,10 +532,12 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         kb: &KnowledgeBase,
         mut incr: Option<&mut RoundCache>,
         prebuilt: Option<&BTreeMap<SourceUrl, FactTable>>,
+        mut warm: WarmRound,
     ) -> FrameworkReport {
         let incremental = incr.is_some();
         let mut detect_calls = 0usize;
         let mut reused_total = 0usize;
+        let mut hierarchies_reused = 0usize;
         let mut quarantine = Quarantine::new();
 
         // Round 0: per-source detection, entity-based initial slices. Each
@@ -513,22 +571,50 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             None => leaf_meta.iter().map(|_| None).collect(),
         };
         let reuse_mask: Vec<bool> = plan.iter().map(Option::is_some).collect();
+        // Hand the retained hierarchy of every leaf that will actually
+        // execute to its worker through a per-leaf slot (workers take
+        // ownership; the slot of a leaf that faults before taking it is
+        // drained after the round). Clean leaves replay their cached outcome
+        // and keep their hierarchy cached untouched.
+        type WarmSlot = Mutex<Option<(SliceHierarchy, Vec<EntityId>)>>;
+        let mut warm_slots: Vec<WarmSlot> =
+            (0..leaf_meta.len()).map(|_| Mutex::new(None)).collect();
+        if warm.enabled {
+            if let Some(cache) = incr.as_deref_mut() {
+                for (index, (url, _)) in leaf_meta.iter().enumerate() {
+                    if reuse_mask[index] {
+                        continue;
+                    }
+                    if let Some(h) = cache.hierarchies.remove(url) {
+                        let changed = warm.changed_by_url.remove(url).unwrap_or_default();
+                        warm_slots[index] = Mutex::new(Some((h, changed)));
+                    }
+                }
+            }
+        }
         // Shared ref for the worker tasks; new entries collect into locals
         // and land in the cache after the round (the sink cannot hold the
         // cache mutably while tasks read the tables).
         let tables = incr.as_deref().map(|cache| &cache.tables).or(prebuilt);
         let mut new_leaves: Vec<(SourceUrl, CachedTask)> = Vec::new();
         let mut new_tables: Vec<(SourceUrl, FactTable)> = Vec::new();
+        let mut new_hierarchies: Vec<(SourceUrl, SliceHierarchy)> = Vec::new();
 
         let mut candidates: BTreeMap<SourceUrl, Vec<Candidate>> = BTreeMap::new();
         let mut faulted: Vec<SourceUrl> = Vec::new();
         let mut executed = 0usize;
         let mut reused = 0usize;
+        type LeafOutcome = (
+            Vec<DiscoveredSlice>,
+            Option<FactTable>,
+            Option<SliceHierarchy>,
+            bool,
+        );
         par_map_streamed(
             self.threads,
             window,
             leaf_sources,
-            |(index, src)| -> Option<(Vec<DiscoveredSlice>, Option<FactTable>)> {
+            |(index, src)| -> Option<LeafOutcome> {
                 if reuse_mask[index] {
                     return None;
                 }
@@ -541,10 +627,35 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                 };
                 Some(match tables.and_then(|t| t.get(&src.url)) {
                     // Incremental fast path: the cached (possibly refreshed)
-                    // table replaces the per-round rebuild.
-                    Some(table) => (self.detector.detect_on_table(table, input), None),
-                    None if incremental => self.detector.detect_retaining_table(input),
-                    None => (self.detector.detect(input), None),
+                    // table replaces the per-round rebuild, and — when the
+                    // warm-hierarchy engine is on — last round's hierarchy is
+                    // patched in place instead of rebuilt.
+                    Some(table) if warm.enabled => {
+                        let slot = warm_slots[index].lock().ok().and_then(|mut s| s.take());
+                        let (hier, changed) = match slot {
+                            Some((h, changed)) => (Some(h), changed),
+                            None => (None, Vec::new()),
+                        };
+                        let (slices, hierarchy, warmed) =
+                            self.detector.detect_warm(table, input, hier, &changed);
+                        (slices, None, hierarchy, warmed)
+                    }
+                    Some(table) => (
+                        self.detector.detect_on_table(table, input),
+                        None,
+                        None,
+                        false,
+                    ),
+                    None if incremental && warm.enabled => {
+                        let (slices, table, hierarchy) =
+                            self.detector.detect_retaining_state(input);
+                        (slices, table, hierarchy, false)
+                    }
+                    None if incremental => {
+                        let (slices, table) = self.detector.detect_retaining_table(input);
+                        (slices, table, None, false)
+                    }
+                    None => (self.detector.detect(input), None, None, false),
                 })
             },
             |index, result| {
@@ -564,8 +675,18 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                                 .extend(cached.kept);
                         }
                     }
-                    Ok(Some((mut slices, table))) => {
+                    Ok(Some((mut slices, table, hierarchy, warmed))) => {
                         executed += 1;
+                        if warmed {
+                            hierarchies_reused += 1;
+                        }
+                        if let Some(h) = hierarchy {
+                            if incremental && warm.enabled {
+                                new_hierarchies.push((url.clone(), h));
+                            } else {
+                                h.recycle();
+                            }
+                        }
                         enforce_sorted_entities(&mut slices);
                         let kept: Vec<Candidate> = slices
                             .into_iter()
@@ -616,12 +737,25 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         );
         detect_calls += executed;
         reused_total += reused;
+        // A leaf that faulted before its worker took the warm slot leaves
+        // the hierarchy behind — recycle it here, so a quarantined source
+        // always restarts cold if it ever recovers.
+        for slot in warm_slots {
+            if let Ok(Some((h, _))) = slot.into_inner() {
+                h.recycle();
+            }
+        }
         if let Some(cache) = incr.as_deref_mut() {
             for (url, entry) in new_leaves {
                 cache.leaves.insert(url, entry);
             }
             for (url, table) in new_tables {
                 if let Some(old) = cache.tables.insert(url, table) {
+                    old.recycle();
+                }
+            }
+            for (url, h) in new_hierarchies {
+                if let Some(old) = cache.hierarchies.insert(url, h) {
                     old.recycle();
                 }
             }
@@ -802,6 +936,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             rounds,
             detect_calls,
             reused: reused_total,
+            hierarchies_reused,
             quarantine,
         }
     }

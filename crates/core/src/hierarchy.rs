@@ -691,6 +691,17 @@ impl SliceHierarchy {
     /// sequentially — parallel runs are bit-identical to `threads = 1`.
     fn evaluate_and_prune_profit(&mut self, ctx: &ProfitCtx<'_>, config: &MidasConfig, l: usize) {
         let ids: Vec<NodeId> = self.levels.get(l).cloned().unwrap_or_default();
+        self.evaluate_ids(ctx, config, ids);
+    }
+
+    /// The shared evaluation body of [`Self::evaluate_and_prune_profit`] and
+    /// [`Self::warm_patch`]: profit, `SLB` union, and the validity decision
+    /// for exactly `ids` (all at one level). The two callers differ only in
+    /// which ids they pass — a whole level at build time, the level's dirty
+    /// subset when warm-patching — so running the identical computation and
+    /// write-back here is what keeps warm results bit-identical to a fresh
+    /// build.
+    fn evaluate_ids(&mut self, ctx: &ProfitCtx<'_>, config: &MidasConfig, ids: Vec<NodeId>) {
         let this: &SliceHierarchy = self;
         let evals: Vec<ProfitEval> = par_map(config.threads, ids, |id| {
             if this.nodes[id as usize].removed {
@@ -747,6 +758,113 @@ impl SliceHierarchy {
                 node.valid = false;
             }
         }
+    }
+
+    // ---- warm re-evaluation across augmentation rounds --------------------
+
+    /// Patches an already-built hierarchy in place after a KB insertion
+    /// delta, instead of rebuilding it from the (refreshed) fact table.
+    ///
+    /// The hierarchy's *structure* — node set, levels, links, canonicality,
+    /// removals, `nodes_created`, `capped` — is a pure function of the
+    /// source's fact rows and never of KB newness, so a delta that only
+    /// flips facts from *new* to *known* (the only thing
+    /// [`FactTable::refresh_new_counts`] does) leaves all of it valid. What
+    /// a delta can change is the profit state: `profit`, `slb_profit`,
+    /// `slb_slices`, `valid`, and the freed-extent bookkeeping that hangs
+    /// off `valid`. A node needs re-evaluation exactly when its extent
+    /// contains an entity whose `new(e)` count changed (`changed`, from
+    /// `refresh_new_counts`); that dirtiness is upward-closed (a parent's
+    /// extent contains every child's), so re-running the build's own
+    /// evaluation pass over just the dirty nodes, level by level from the
+    /// deepest up, reproduces a fresh build bit for bit:
+    ///
+    /// * dirty nodes whose extent was freed (invalidated last round) get it
+    ///   recomputed via [`FactTable::extent_of`] — bit-identical to the
+    ///   build-time extent — because invalid→valid flips are possible
+    ///   (`f_LB` can drop by more than `f({S})`);
+    /// * `valid` is reset before re-evaluation and re-decided by the exact
+    ///   build-time rule in [`Self::evaluate_ids`];
+    /// * still-invalid dirty extents are re-freed at the level boundary
+    ///   under the same config gates as [`Self::free_invalid_extents`];
+    /// * clean nodes keep last round's values, which equal what a fresh
+    ///   build would compute (their counts and their children's SLB state
+    ///   are untouched — `SLB` members live inside the member's subtree, so
+    ///   a clean node's SLB chain is clean too).
+    ///
+    /// Returns `false` without touching anything when the delta invalidated
+    /// the structure (the entity universe widened, or a changed id falls
+    /// outside it) — the caller falls back to a cold
+    /// [`Self::build`]/[`Self::build_seeded`]. With today's immutable
+    /// per-source fact tables this is purely defensive.
+    pub fn warm_patch(
+        &mut self,
+        ctx: &ProfitCtx<'_>,
+        config: &MidasConfig,
+        changed: &[EntityId],
+    ) -> bool {
+        let table = ctx.table();
+        let universe = table.num_entities() as u32;
+        if let Some(node) = self.nodes.first() {
+            if node.extent.universe() != universe {
+                return false;
+            }
+        }
+        if changed.iter().any(|&e| e >= universe) {
+            return false;
+        }
+        // Dirty ⟺ the node's extent contains a changed entity. The subset
+        // test on the defining property set is that same membership
+        // predicate (e ∈ Π(props) ⟺ props ⊆ props(e)) and — unlike the
+        // extent itself — is still answerable for nodes whose extent was
+        // freed when they were invalidated.
+        let mut dirty = crate::scratch::take_flags(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.removed {
+                continue;
+            }
+            dirty[i] = changed
+                .iter()
+                .any(|&e| is_subset(&node.props, table.entity_properties(e)));
+        }
+        for l in (1..=self.max_level).rev() {
+            // Same cooperative budget cadence as `construct_and_prune`, so
+            // budget faults fire at the same checkpoints either way.
+            crate::budget::checkpoint(self.nodes_created);
+            let ids: Vec<NodeId> = self
+                .levels
+                .get(l)
+                .into_iter()
+                .flatten()
+                .copied()
+                .filter(|&id| dirty[id as usize])
+                .collect();
+            if ids.is_empty() {
+                continue;
+            }
+            for &id in &ids {
+                if self.nodes[id as usize].extent_freed {
+                    let props = self.nodes[id as usize].props.clone();
+                    let rebuilt = table.extent_of(&props);
+                    let node = &mut self.nodes[id as usize];
+                    std::mem::replace(&mut node.extent, rebuilt).recycle();
+                    node.extent_freed = false;
+                }
+                self.nodes[id as usize].valid = true;
+            }
+            self.evaluate_ids(ctx, config, ids.clone());
+            if !config.retain_invalid_extents && !config.always_report_best {
+                for &id in &ids {
+                    let node = &self.nodes[id as usize];
+                    if !node.removed && !node.valid && !node.extent_freed {
+                        self.free_extent(id);
+                    }
+                }
+            }
+        }
+        crate::budget::checkpoint(self.nodes_created);
+        crate::scratch::put_flags(dirty);
+        true
     }
 }
 
@@ -1251,6 +1369,7 @@ mod tests {
             assert_eq!(x.children, y.children, "node {id}");
             assert_eq!(x.parents, y.parents, "node {id}");
             assert_eq!(x.removed, y.removed, "node {id}");
+            assert_eq!(x.extent_freed, y.extent_freed, "node {id}");
             assert_eq!(x.canonical, y.canonical, "node {id}");
             assert_eq!(x.valid, y.valid, "node {id}");
             assert_eq!(x.profit.to_bits(), y.profit.to_bits(), "node {id}");
@@ -1275,6 +1394,67 @@ mod tests {
         let h1 = SliceHierarchy::build(&ft, &ctx, &cfg_np);
         let h4 = SliceHierarchy::build(&ft, &ctx, &cfg_np.clone().with_threads(4));
         assert_hierarchies_identical(&h1, &h4);
+    }
+
+    /// Warm-patching last round's hierarchy after a KB insertion delta must
+    /// be node-for-node identical (profit bits, SLB sets, validity, freed
+    /// extents) to a fresh build over the refreshed table — repeatedly, as
+    /// the augmentation loop makes one entity after another old. This walks
+    /// through invalid→valid flips and freed-extent recomputation, since
+    /// shrinking `new(e)` moves both `f({S})` and `f_LB(S)`.
+    #[test]
+    fn warm_patch_matches_fresh_build_across_kb_deltas() {
+        let mut t = Interner::new();
+        let (src, mut kb) = skyrocket(&mut t);
+        let mut ft = FactTable::build(&src, &kb);
+        let cfg = MidasConfig::running_example();
+        let mut warm = {
+            let ctx = ProfitCtx::new(&ft, cfg.cost);
+            SliceHierarchy::build(&ft, &ctx, &cfg)
+        };
+        // Make one entity's facts known per iteration, as accepted rounds do.
+        while let Some(eid) =
+            (0..ft.num_entities() as EntityId).find(|&e| ft.row(e).iter().any(|f| kb.is_new(f)))
+        {
+            let subject = ft.subject(eid);
+            for f in ft.row(eid).to_vec() {
+                kb.insert(f);
+            }
+            let changed = ft.refresh_new_counts(&kb, [subject]);
+            assert_eq!(changed, vec![eid]);
+            ft.recalibrate_divisor();
+            let ctx = ProfitCtx::new(&ft, cfg.cost);
+            assert!(warm.warm_patch(&ctx, &cfg, &changed), "patchable delta");
+            let fresh = SliceHierarchy::build(&ft, &ctx, &cfg);
+            assert_hierarchies_identical(&warm, &fresh);
+        }
+    }
+
+    /// A changed entity outside the hierarchy's universe signals a
+    /// structural delta: the patch must refuse (the caller rebuilds cold).
+    #[test]
+    fn warm_patch_refuses_out_of_universe_delta() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let mut h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        let outside = ft.num_entities() as EntityId;
+        assert!(!h.warm_patch(&ctx, &cfg, &[outside]));
+        // The refusal must leave the hierarchy untouched.
+        let fresh = SliceHierarchy::build(&ft, &ctx, &cfg);
+        assert_hierarchies_identical(&h, &fresh);
+    }
+
+    /// An empty delta is a no-op patch: everything is clean.
+    #[test]
+    fn warm_patch_with_no_changes_is_identity() {
+        let mut t = Interner::new();
+        let (ft, cfg) = build_running_example(&mut t);
+        let ctx = ProfitCtx::new(&ft, cfg.cost);
+        let mut h = SliceHierarchy::build(&ft, &ctx, &cfg);
+        assert!(h.warm_patch(&ctx, &cfg, &[]));
+        let fresh = SliceHierarchy::build(&ft, &ctx, &cfg);
+        assert_hierarchies_identical(&h, &fresh);
     }
 
     /// The node cap is level-atomic: a level that starts under the cap is

@@ -96,6 +96,18 @@ impl Augmenter {
         &self.history
     }
 
+    /// The algorithm configuration the loop runs with.
+    pub fn config(&self) -> &MidasConfig {
+        &self.config
+    }
+
+    /// Number of leaf hierarchies the incremental cache currently retains
+    /// for warm patching (zero before the first `suggest` and whenever
+    /// `MIDAS_NO_WARM_HIERARCHY` disabled retention on the last run).
+    pub fn warm_hierarchies(&self) -> usize {
+        self.cache.warm_hierarchies()
+    }
+
     fn framework<'a>(&self, alg: &'a MidasAlg) -> Framework<'a, MidasAlg> {
         Framework::new(alg, self.config.cost)
             .with_threads(self.threads)
@@ -328,6 +340,38 @@ mod tests {
             aug.accept(&best);
         }
         assert!(!aug.history().is_empty());
+    }
+
+    #[test]
+    fn warm_hierarchies_are_retained_and_patched() {
+        let mut t = Interner::new();
+        let (pages, kb) = skyrocket_pages(&mut t);
+        let mut aug = Augmenter::new(MidasConfig::running_example(), pages, kb);
+        assert_eq!(aug.warm_hierarchies(), 0, "cold loop retains nothing yet");
+        let first = aug.suggest_report();
+        assert_eq!(first.hierarchies_reused, 0, "round 0 has nothing to patch");
+        assert!(
+            aug.warm_hierarchies() > 0,
+            "round 0 must retain leaf hierarchies for the next round"
+        );
+        let best = first
+            .slices
+            .into_iter()
+            .find(|s| s.profit > 0.0)
+            .expect("the running example suggests S5");
+        aug.accept(&best);
+        let fresh = aug.suggest_fresh();
+        let warm = aug.suggest_report();
+        assert!(
+            warm.hierarchies_reused > 0,
+            "dirty leaves must patch their retained hierarchy in place"
+        );
+        assert_eq!(warm.slices.len(), fresh.slices.len());
+        for (a, b) in warm.slices.iter().zip(&fresh.slices) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.entities, b.entities);
+            assert_eq!(a.profit.to_bits(), b.profit.to_bits());
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub const MAX_RETAINED_CAPACITY: usize = 1 << 22;
 struct Buffers {
     ids: Vec<Vec<u32>>,
     blocks: Vec<Vec<u64>>,
+    flags: Vec<Vec<bool>>,
 }
 
 static POOL: Mutex<Vec<Buffers>> = Mutex::new(Vec::new());
@@ -130,6 +131,30 @@ pub fn put_blocks(buf: Vec<u64>) {
     });
 }
 
+/// Takes a `false`-filled flag buffer (`Vec<bool>`) of exactly `len`
+/// entries, with recycled capacity. Flag buffers back the per-node marker
+/// maps that are rebuilt on every hierarchy pass but sized by the whole
+/// hierarchy (traversal coverage, warm-patch dirtiness), so pooling them
+/// keeps those maps allocation-free across augmentation rounds.
+pub fn take_flags(len: usize) -> Vec<bool> {
+    let mut v = with_buffers(|b| b.flags.pop()).unwrap_or_default();
+    v.clear();
+    v.resize(len, false);
+    v
+}
+
+/// Returns a flag buffer to the pool.
+pub fn put_flags(buf: Vec<bool>) {
+    if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
+        return;
+    }
+    with_buffers(|b| {
+        if b.flags.len() < MAX_VECS_PER_KIND {
+            b.flags.push(buf);
+        }
+    });
+}
+
 /// Runs `f` against a zeroed `words`-long bitmap borrowed from the pool.
 ///
 /// The buffer is taken before `f` and returned after, so `f` may itself call
@@ -180,6 +205,16 @@ mod tests {
             bits[0]
         });
         assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn flags_come_back_false() {
+        let mut f = take_flags(4);
+        f.iter_mut().for_each(|b| *b = true);
+        put_flags(f);
+        let f2 = take_flags(8);
+        assert_eq!(f2.len(), 8);
+        assert!(f2.iter().all(|&b| !b));
     }
 
     #[test]

@@ -88,6 +88,73 @@ impl MidasAlg {
         self.detect_over(table, source, norm_seeds(seeds))
     }
 
+    /// Like [`MidasAlg::run_retaining_table`], but also returns the built
+    /// [`SliceHierarchy`] instead of recycling it, so the warm-hierarchy
+    /// engine can patch it in place next round (unseeded, leaf-only path).
+    pub fn run_retaining_state(
+        &self,
+        source: &SourceFacts,
+        kb: &KnowledgeBase,
+    ) -> (
+        Vec<DiscoveredSlice>,
+        Option<FactTable>,
+        Option<SliceHierarchy>,
+    ) {
+        if source.is_empty() {
+            return (Vec::new(), None, None);
+        }
+        let _budget_scope = crate::budget::BudgetScope::enter(&self.config.budget);
+        let table = FactTable::build(source, kb);
+        let ctx = ProfitCtx::new(&table, self.config.cost);
+        let hierarchy = self.build_hierarchy(&table, &ctx, None);
+        let slices = self.materialise(&table, source, &ctx, &hierarchy);
+        (slices, Some(table), Some(hierarchy))
+    }
+
+    /// The warm re-detection path: re-evaluates `warm` (last round's
+    /// hierarchy for this source) against the refreshed `table` via
+    /// [`SliceHierarchy::warm_patch`], falling back to a cold
+    /// [`SliceHierarchy::build`] when no hierarchy is cached or the patch
+    /// refuses the delta. Returns the slices, the (patched or rebuilt)
+    /// hierarchy for re-caching, and whether the patch succeeded. Results
+    /// are bit-identical to [`MidasAlg::run_on_table`] either way.
+    pub fn run_on_table_warm(
+        &self,
+        table: &FactTable,
+        source: &SourceFacts,
+        warm: Option<SliceHierarchy>,
+        changed: &[crate::fact_table::EntityId],
+    ) -> (Vec<DiscoveredSlice>, Option<SliceHierarchy>, bool) {
+        if source.is_empty() {
+            if let Some(h) = warm {
+                h.recycle();
+            }
+            return (Vec::new(), None, false);
+        }
+        debug_assert_eq!(
+            table.total_facts(),
+            source.len(),
+            "cached table does not match the source it is applied to"
+        );
+        let _budget_scope = crate::budget::BudgetScope::enter(&self.config.budget);
+        let ctx = ProfitCtx::new(table, self.config.cost);
+        let (hierarchy, warmed) = match warm {
+            Some(mut h) => {
+                if h.warm_patch(&ctx, &self.config, changed) {
+                    (h, true)
+                } else {
+                    // Structural fallback: the cached hierarchy cannot absorb
+                    // the delta — recycle its arenas and rebuild cold.
+                    h.recycle();
+                    (self.build_hierarchy(table, &ctx, None), false)
+                }
+            }
+            None => (self.build_hierarchy(table, &ctx, None), false),
+        };
+        let slices = self.materialise(table, source, &ctx, &hierarchy);
+        (slices, Some(hierarchy), warmed)
+    }
+
     fn run_with_seeds(
         &self,
         source: &SourceFacts,
@@ -119,8 +186,22 @@ impl MidasAlg {
         seeds: Option<&[Vec<(Symbol, Symbol)>]>,
     ) -> Vec<DiscoveredSlice> {
         let ctx = ProfitCtx::new(table, self.config.cost);
-        let hierarchy = match seeds {
-            None => SliceHierarchy::build(table, &ctx, &self.config),
+        let hierarchy = self.build_hierarchy(table, &ctx, seeds);
+        let slices = self.materialise(table, source, &ctx, &hierarchy);
+        // Hand the hierarchy's buffers back to the worker's scratch pool
+        // for the next shard.
+        hierarchy.recycle();
+        slices
+    }
+
+    fn build_hierarchy(
+        &self,
+        table: &FactTable,
+        ctx: &ProfitCtx<'_>,
+        seeds: Option<&[Vec<(Symbol, Symbol)>]>,
+    ) -> SliceHierarchy {
+        match seeds {
+            None => SliceHierarchy::build(table, ctx, &self.config),
             Some(seeds) => {
                 let translated: Vec<Vec<PropertyId>> = seeds
                     .iter()
@@ -132,10 +213,22 @@ impl MidasAlg {
                         (!ids.is_empty()).then_some(ids)
                     })
                     .collect();
-                SliceHierarchy::build_seeded(table, &ctx, &self.config, &translated)
+                SliceHierarchy::build_seeded(table, ctx, &self.config, &translated)
             }
-        };
-        let mut picked = traverse(&hierarchy, &ctx);
+        }
+    }
+
+    /// Traversal plus slice materialisation — shared verbatim by the cold
+    /// and warm detection paths, so a warm-patched hierarchy yields the
+    /// same report bytes a fresh build would.
+    fn materialise(
+        &self,
+        table: &FactTable,
+        source: &SourceFacts,
+        ctx: &ProfitCtx<'_>,
+        hierarchy: &SliceHierarchy,
+    ) -> Vec<DiscoveredSlice> {
+        let mut picked = traverse(hierarchy, ctx);
         if picked.is_empty() && self.config.always_report_best {
             // Nothing is profitable on its own — report the least-bad
             // canonical slice so a coarser granularity can aggregate it.
@@ -180,9 +273,6 @@ impl MidasAlg {
                 }
             })
             .collect();
-        // Hand the hierarchy's buffers back to the worker's scratch pool
-        // for the next shard.
-        hierarchy.recycle();
         slices
     }
 }

@@ -524,7 +524,7 @@ mod tests {
         corpus.kb.insert(fact);
         let table = &mut corpus.tables[0];
         let changed = table.refresh_new_counts(&corpus.kb, [subject]);
-        assert_eq!(changed, 1);
+        assert_eq!(changed.len(), 1);
         assert!(table.is_mapped(), "rows stay mapped after the refresh");
     }
 

@@ -186,6 +186,11 @@ pub struct AugmentationRound {
     pub reused_tasks: usize,
     /// Knowledge-base size after the round's accept (if any).
     pub kb_size: usize,
+    /// The per-source wall-clock deadline (in milliseconds) the round ran
+    /// under, if any. Recorded so `augment --resume` can verify a resumed
+    /// run continues with the budget the trace was produced under (a
+    /// mismatch restarts the incremental engine cold instead of replaying).
+    pub budget_ms: Option<u64>,
     /// Sources quarantined during the round's suggest.
     pub quarantine: Quarantine,
 }
@@ -218,6 +223,7 @@ pub fn continue_augmentation(
     mut on_round: impl FnMut(&AugmentationRound),
 ) -> Vec<AugmentationRound> {
     let mut rounds = Vec::new();
+    let budget_ms = aug.config().budget.deadline.map(|d| d.as_millis() as u64);
     for round in start_round..=max_rounds {
         let start = Instant::now();
         let report = aug.suggest_report();
@@ -234,6 +240,7 @@ pub fn continue_augmentation(
             detect_calls: report.detect_calls,
             reused_tasks: report.reused,
             kb_size: aug.kb().len(),
+            budget_ms,
             quarantine: report.quarantine,
         };
         on_round(&done);

@@ -402,8 +402,19 @@ impl Snapshot {
         for i in 0..n_sections {
             let entry = HEADER_LEN + i * DIR_ENTRY_LEN;
             let tag = read_u32(entry);
-            let off = read_u64(entry + 8) as usize;
-            let len = read_u64(entry + 16) as usize;
+            // `try_from`, not `as`: on 32-bit targets an `as usize` cast
+            // wraps 64-bit offsets, and a wrapped offset can alias a
+            // different (in-bounds) section instead of failing validation.
+            let off = usize::try_from(read_u64(entry + 8)).map_err(|_| {
+                corrupt(format!(
+                    "section {tag:#x} offset exceeds the addressable range"
+                ))
+            })?;
+            let len = usize::try_from(read_u64(entry + 16)).map_err(|_| {
+                corrupt(format!(
+                    "section {tag:#x} length exceeds the addressable range"
+                ))
+            })?;
             let end = off
                 .checked_add(len)
                 .ok_or_else(|| corrupt(format!("section {tag:#x} length overflows")))?;
@@ -675,6 +686,27 @@ mod tests {
         assert!(snap.section(0x99).is_err());
         let mut s = snap.section(0x10).unwrap();
         assert!(s.get_column::<u32>(64, "too many").is_err());
+    }
+
+    #[test]
+    fn out_of_range_directory_entry_fails_closed() {
+        // Force the second directory entry's length to u64::MAX and re-seal
+        // the checksum so validation reaches the bounds logic. On 64-bit
+        // hosts the huge length overflows `off + len`; on 32-bit hosts the
+        // `try_from` narrowing refuses it first. Either way the file must
+        // surface as `Corrupt` (the quarantine-and-heal route), never as a
+        // silently-aliased section.
+        let mut bytes = sample();
+        let entry = HEADER_LEN + DIR_ENTRY_LEN; // second section's entry
+        bytes[entry + 16..entry + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+        let sum = checksum(&bytes[..bytes.len() - CHECKSUM_LEN]).to_le_bytes();
+        let n = bytes.len();
+        bytes[n - CHECKSUM_LEN..].copy_from_slice(&sum);
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::Corrupt(m))
+                if m.contains("section") && (m.contains("overflow") || m.contains("addressable"))
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@ Stdlib only; no third-party imports.
 
 import argparse
 import json
+import math
 import re
 import sys
 from pathlib import Path
@@ -28,6 +29,19 @@ ROOT = Path(__file__).resolve().parent.parent
 EXPERIMENTS = ROOT / "EXPERIMENTS.md"
 BEGIN_MARK = "<!-- bench-table:begin -->"
 END_MARK = "<!-- bench-table:end -->"
+
+
+def usable_calibration(value):
+    """``value`` as a float if it can serve as a division reference —
+    parseable, finite, and strictly positive — else None. Files from older
+    PRs omit calib_ns entirely, and an interrupted run can leave a zero or
+    mangled field; all of those must fall back to raw-median comparison
+    instead of crashing or dividing by zero."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return None
+    return v if math.isfinite(v) and v > 0 else None
 
 
 def load_medians(path):
@@ -44,12 +58,11 @@ def load_medians(path):
         except json.JSONDecodeError:
             continue
         if "median_ns" in row and "bench" in row:
-            calib = row.get("calib_ns")
             out[row["bench"]] = (
                 float(row["median_ns"]),
                 float(row.get("min_ns", row["median_ns"])),
                 float(row.get("max_ns", row["median_ns"])),
-                float(calib) if calib else None,
+                usable_calibration(row.get("calib_ns")),
             )
     return out
 

@@ -32,6 +32,14 @@ for kernel in scalar auto; do
     MIDAS_KERNEL="$kernel" cargo test -q --offline --test incremental_equivalence
 done
 
+# Warm-hierarchy lane: retained-hierarchy patching must be a pure
+# optimisation. Disabling it through the escape hatch forces every dirty
+# leaf to rebuild its hierarchy cold and must not change a report byte in
+# either equivalence suite.
+echo "== warm-hierarchy escape hatch (MIDAS_NO_WARM_HIERARCHY=1) =="
+MIDAS_NO_WARM_HIERARCHY=1 cargo test -q --offline --test incremental_equivalence
+MIDAS_NO_WARM_HIERARCHY=1 cargo test -q --offline --test streaming_equivalence
+
 echo "== cargo test =="
 cargo test -q --offline
 

@@ -125,8 +125,17 @@ fn drive_loop(corpus: &[SourceFacts], threads: usize, window: Option<usize>) -> 
         let fresh = aug.suggest_fresh();
         let incr = aug.suggest_report();
         assert_round_identical(&incr, &fresh);
+        assert_eq!(
+            fresh.hierarchies_reused, 0,
+            "from-scratch rebuilds never warm-patch"
+        );
+        let warm_disabled = std::env::var_os("MIDAS_NO_WARM_HIERARCHY").is_some();
         if round == 0 {
             assert_eq!(incr.reused, 0, "first round runs on a cold cache");
+            assert_eq!(
+                incr.hierarchies_reused, 0,
+                "round 0 has no hierarchy to patch"
+            );
         } else {
             assert!(incr.reused > 0, "round {round} replayed nothing");
             assert!(
@@ -135,6 +144,17 @@ fn drive_loop(corpus: &[SourceFacts], threads: usize, window: Option<usize>) -> 
                 incr.detect_calls,
                 fresh.detect_calls
             );
+            if warm_disabled {
+                assert_eq!(
+                    incr.hierarchies_reused, 0,
+                    "round {round}: MIDAS_NO_WARM_HIERARCHY must force rebuilds"
+                );
+            } else {
+                assert!(
+                    incr.hierarchies_reused > 0,
+                    "round {round}: no leaf hierarchy was warm-patched"
+                );
+            }
         }
         let Some(best) = incr.slices.into_iter().find(|s| s.profit > 0.0) else {
             break;
@@ -173,6 +193,124 @@ fn clean_loop_is_incremental_invariant() {
         for threads in THREADS {
             let trace = drive_loop(&corpus, threads, window);
             assert_eq!(trace, reference, "cell ({threads}, {window:?}) diverged");
+        }
+    }
+}
+
+/// A leaf that gets quarantined *mid-loop* must have its retained warm
+/// hierarchy dropped, and — once the fault stops firing and the leaf is
+/// dirtied again — rebuild cold, with every round still bit-identical to
+/// the from-scratch rebuild under the same fault plan.
+#[test]
+fn quarantined_leaf_drops_warm_hierarchy_and_rebuilds_cold() {
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let mut corpus = multi_vertical_corpus(&mut t);
+    let n_leaves = corpus.len();
+    let target_url = "domain0.example.org/dir/page1";
+
+    // Give the target page a small private vertical. Its entities exist
+    // nowhere else, so accepting the domain0 vertical in phase 1 leaves
+    // these facts unknown — phase 3 accepts them to dirty exactly this leaf.
+    let slot = corpus
+        .iter()
+        .position(|s| s.url.as_str().contains(target_url))
+        .expect("corpus has the target page");
+    let mut spare_entities: Vec<Symbol> = Vec::new();
+    let mut spare_count = 0usize;
+    {
+        let mut facts: Vec<Fact> = corpus[slot].facts.to_vec();
+        for e in 0..3 {
+            let name = format!("spare_{e}");
+            facts.push(Fact::intern(&mut t, &name, "kind", "spare"));
+            facts.push(Fact::intern(&mut t, &name, "site", "spare_dir"));
+            facts.push(Fact::intern(&mut t, &name, "serial", &format!("sp{e}")));
+            spare_entities.push(facts[facts.len() - 1].subject);
+            spare_count += 3;
+        }
+        corpus[slot] = SourceFacts::new(corpus[slot].url.clone(), facts);
+    }
+    spare_entities.sort_unstable();
+    spare_entities.dedup();
+    let target_source = corpus[slot].url.clone();
+    // Under the escape hatch no hierarchy is ever retained, so every
+    // cached-count expectation collapses to zero; the bit-identity and
+    // quarantine assertions still hold unchanged.
+    let warm_disabled = std::env::var_os("MIDAS_NO_WARM_HIERARCHY").is_some();
+    let expect = |n: usize| if warm_disabled { 0 } else { n };
+
+    for threads in THREADS {
+        for window in WINDOWS {
+            let mut aug = Augmenter::new(config_for(window), corpus.clone(), KnowledgeBase::new())
+                .with_threads(threads);
+
+            // Phase 1 — clean round: every leaf succeeds and retains its
+            // hierarchy; accepting the top slice (the richest vertical,
+            // domain0) dirties the target page for phase 2.
+            let r1 = aug.suggest_report();
+            assert_round_identical(&r1, &aug.suggest_fresh());
+            assert_eq!(aug.warm_hierarchies(), expect(n_leaves));
+            let best = r1
+                .slices
+                .into_iter()
+                .find(|s| s.profit > 0.0)
+                .expect("phase 1 suggests the domain0 vertical");
+            assert!(
+                best.source.as_str().contains("domain0"),
+                "richest vertical first: {best:?}"
+            );
+            aug.accept(&best);
+
+            // Phase 2 — the dirty target leaf panics mid-round. Its warm
+            // hierarchy must be dropped (quarantined sources never keep warm
+            // state), and the report must still match a fresh rebuild under
+            // the same plan.
+            faultinject::install(FaultPlan::parse(&format!("panic@{target_url}")).unwrap());
+            let r2 = aug.suggest_report();
+            let f2 = aug.suggest_fresh();
+            faultinject::clear();
+            assert_round_identical(&r2, &f2);
+            assert_eq!(r2.quarantine.len(), 1, "exactly the target is dropped");
+            assert_eq!(
+                aug.warm_hierarchies(),
+                expect(n_leaves - 1),
+                "the quarantined leaf's hierarchy must be dropped"
+            );
+            assert!(
+                warm_disabled || r2.hierarchies_reused > 0,
+                "the other dirty domain0 pages still warm-patch"
+            );
+
+            // Phase 3 — fault gone; dirty exactly the target leaf again by
+            // accepting its private spare vertical (those entities live only
+            // on this page). It re-executes with no warm hierarchy (dropped
+            // in phase 2) and rebuilds cold.
+            let step = aug.accept(&DiscoveredSlice {
+                source: target_source.clone(),
+                properties: Vec::new(),
+                entities: spare_entities.clone(),
+                num_facts: spare_count,
+                num_new_facts: spare_count,
+                profit: 1.0,
+            });
+            assert!(step.facts_added > 0, "the target still had unknown facts");
+            let r3 = aug.suggest_report();
+            let f3 = aug.suggest_fresh();
+            assert_round_identical(&r3, &f3);
+            assert!(
+                r3.quarantine.is_empty(),
+                "no plan, no quarantine: {:?}",
+                r3.quarantine
+            );
+            assert_eq!(
+                r3.hierarchies_reused, 0,
+                "the only dirty leaf rebuilds cold, not warm"
+            );
+            assert_eq!(
+                aug.warm_hierarchies(),
+                expect(n_leaves),
+                "the cold rebuild re-retains the target's hierarchy"
+            );
         }
     }
 }
