@@ -11,6 +11,7 @@ use midas_core::{FactTable, MidasConfig, ProfitCtx, SliceHierarchy};
 use midas_extract::synthetic::{generate, SyntheticConfig};
 
 fn bench_hierarchy(c: &mut Criterion) {
+    midas_bench::install_metrics_hook();
     let mut group = c.benchmark_group("hierarchy_build");
     group.sample_size(20);
     for &n in &[5_000usize, 20_000, 50_000] {

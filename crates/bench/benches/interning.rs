@@ -5,6 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use midas_kb::{Interner, SharedInterner};
 
 fn bench_interning(c: &mut Criterion) {
+    midas_bench::install_metrics_hook();
     let words: Vec<String> = (0..10_000)
         .map(|i| format!("entity_{}", i % 2_000))
         .collect();

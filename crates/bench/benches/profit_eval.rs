@@ -15,6 +15,7 @@ use midas_core::{ExtentSet, FactTable, MidasConfig, ProfitCtx};
 use midas_extract::synthetic::{generate, SyntheticConfig};
 
 fn bench_profit(c: &mut Criterion) {
+    midas_bench::install_metrics_hook();
     let ds = generate(&SyntheticConfig::new(50_000, 4, 2, 42));
     let cfg = MidasConfig::default();
     let table = FactTable::build(&ds.sources[0], &ds.kb);

@@ -18,6 +18,7 @@
 //! totals: the warm path must beat the no-reuse incremental path by the
 //! ratio it enforces.
 
+use midas_core::telemetry;
 use midas_core::{Augmenter, FrameworkReport, MidasConfig, SourceFacts};
 use midas_kb::{Fact, Interner, KnowledgeBase};
 use midas_weburl::SourceUrl;
@@ -80,12 +81,57 @@ fn assert_identical(left: &FrameworkReport, right: &FrameworkReport, what: &str,
     assert_eq!(left.quarantine.len(), right.quarantine.len());
 }
 
+/// Per-round reconciliation of the warm run's [`FrameworkReport`] against
+/// the telemetry registry: the counter deltas across the warm suggest must
+/// equal the report's own fields exactly (the framework records both from
+/// the same events), and the phase histograms must have advanced.
+fn reconcile(round: usize, warm: &FrameworkReport, before: &telemetry::Snapshot) {
+    let after = telemetry::snapshot();
+    assert!(
+        after.dominates(before),
+        "round {round}: counters regressed between snapshots"
+    );
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(
+        delta("framework.detect_calls"),
+        warm.detect_calls as u64,
+        "round {round}: framework.detect_calls does not reconcile with the report"
+    );
+    assert_eq!(
+        delta("framework.tasks_reused"),
+        warm.reused as u64,
+        "round {round}: framework.tasks_reused does not reconcile with the report"
+    );
+    assert_eq!(
+        delta("framework.hierarchies_warm_reused"),
+        warm.hierarchies_reused as u64,
+        "round {round}: framework.hierarchies_warm_reused does not reconcile"
+    );
+    assert_eq!(
+        delta("framework.quarantined"),
+        warm.quarantine.len() as u64,
+        "round {round}: framework.quarantined does not reconcile with the report"
+    );
+    let phase_count = |name: &str| after.histogram(name).map_or(0, |h| h.count);
+    for phase in [
+        "framework.phase.shard_ns",
+        "framework.phase.detect_ns",
+        "framework.phase.consolidate_ns",
+    ] {
+        assert!(
+            phase_count(phase) > 0,
+            "round {round}: {phase} recorded no samples with telemetry on"
+        );
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut threads = 16usize;
     let mut domains = 4usize;
     let mut pages = 10usize;
     let mut entities = 120usize;
+    let mut metrics_json: Option<String> = None;
     while let Some(a) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -96,11 +142,16 @@ fn main() {
             "--domains" => domains = value("--domains").parse().expect("domain count"),
             "--pages" => pages = value("--pages").parse().expect("page count"),
             "--entities" => entities = value("--entities").parse().expect("entity count"),
+            "--metrics-json" => metrics_json = Some(value("--metrics-json")),
             other => panic!(
                 "unknown argument {other:?} \
-                 (usage: augment_rounds [--threads N] [--domains N] [--pages N] [--entities N])"
+                 (usage: augment_rounds [--threads N] [--domains N] [--pages N] \
+                 [--entities N] [--metrics-json PATH])"
             ),
         }
+    }
+    if metrics_json.is_some() {
+        telemetry::enable();
     }
     assert!(
         std::env::var_os(NO_WARM_ENV).is_none(),
@@ -138,9 +189,13 @@ fn main() {
             "round {round}: {NO_WARM_ENV} must force cold hierarchy rebuilds"
         );
 
+        let before = telemetry::enabled().then(telemetry::snapshot);
         let start = Instant::now();
         let warm = warm_aug.suggest_report();
         let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(before) = &before {
+            reconcile(round, &warm, before);
+        }
 
         assert_identical(&warm, &fresh, "warm incremental", round);
         assert_identical(&noreuse, &fresh, "no-reuse incremental", round);
@@ -185,4 +240,11 @@ fn main() {
          \"noreuse_ms\":{noreuse_ms_total:.3},\"rebuild_ms\":{fresh_ms_total:.3},\
          \"warm_over_noreuse\":{ratio:.2}}}"
     );
+    if let Some(path) = metrics_json {
+        telemetry::write_json(&path).expect("write --metrics-json report");
+        eprintln!("metrics written to {path}");
+    }
+    // File trace sinks are buffered; drain them before exit so a
+    // `MIDAS_TRACE=spans:FILE` run of this binary leaves a complete JSONL.
+    telemetry::flush_trace();
 }

@@ -27,3 +27,17 @@ pub mod fig9;
 pub mod seed_reference;
 
 pub use experiments::{run_four_algorithms, AlgoOutcome, ExperimentScale};
+
+/// Registers the criterion shim's metrics hook so every `MIDAS_BENCH_JSON`
+/// line carries a `"metrics"` field with the telemetry snapshot whenever
+/// recording is on (`MIDAS_TELEMETRY=1` / `MIDAS_TRACE`). The shim cannot
+/// depend on `midas-core`, so each bench binary bridges the two by calling
+/// this once at the top of its first bench function; when telemetry is off
+/// the hook returns `None` and the JSON lines are byte-identical to before.
+pub fn install_metrics_hook() {
+    criterion::set_metrics_hook(metrics_hook);
+}
+
+fn metrics_hook() -> Option<String> {
+    midas_core::telemetry::enabled().then(|| midas_core::telemetry::snapshot().to_json())
+}

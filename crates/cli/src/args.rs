@@ -80,6 +80,16 @@ CACHING (discover, eval, augment):
                            of replaying (wall-clock quarantines only
                            reproduce under the budget that made them).
 
+OBSERVABILITY (all subcommands):
+  --metrics-json PATH      write a versioned JSON snapshot of every internal
+                           counter and histogram to PATH at exit (schema
+                           `midas.metrics/v1`; diff two runs with
+                           scripts/metrics_compare.py)
+  --verbose-stats          print a compact metrics table after the normal
+                           output (emitted as `#` comments in --csv mode)
+  The MIDAS_TRACE=spans[:PATH] environment variable streams JSONL span events
+  to stderr (or PATH). None of these change any result byte.
+
 ROBUSTNESS (discover, eval, augment):
   --lenient                quarantine malformed input lines instead of aborting
   --max-source-facts N     quarantine sources carrying more than N facts
@@ -227,11 +237,33 @@ pub enum Command {
     },
 }
 
+/// Cross-command observability options; accepted by every subcommand and
+/// strictly additive (they never change a command's normal output bytes,
+/// only append opt-in telemetry after it).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetryArgs {
+    /// Write a versioned JSON metrics snapshot to this path at exit
+    /// (`--metrics-json PATH`).
+    pub metrics_json: Option<String>,
+    /// Print a compact metrics table after the command's normal output
+    /// (`--verbose-stats`).
+    pub verbose_stats: bool,
+}
+
+impl TelemetryArgs {
+    /// Whether any telemetry surface was requested.
+    pub fn any(&self) -> bool {
+        self.metrics_json.is_some() || self.verbose_stats
+    }
+}
+
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
 pub struct ParsedArgs {
     /// The subcommand with its options.
     pub command: Command,
+    /// Observability options shared by all subcommands.
+    pub telemetry: TelemetryArgs,
 }
 
 struct Flags<'a> {
@@ -319,6 +351,12 @@ impl ParsedArgs {
             .split_first()
             .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
         let mut flags = Flags::new(rest);
+        // Observability flags are global: claim them before the subcommand
+        // arms so `finish()` accepts them everywhere.
+        let telemetry = TelemetryArgs {
+            metrics_json: flags.value("--metrics-json")?.map(str::to_owned),
+            verbose_stats: flags.flag("--verbose-stats"),
+        };
         let command = match sub.as_str() {
             "discover" => {
                 let facts = flags.required("--facts")?.to_owned();
@@ -397,7 +435,7 @@ impl ParsedArgs {
             other => return Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
         };
         flags.finish()?;
-        Ok(ParsedArgs { command })
+        Ok(ParsedArgs { command, telemetry })
     }
 }
 
@@ -624,6 +662,33 @@ mod tests {
             err.to_string().contains("unrecognised argument"),
             "--resume is augment-only"
         );
+    }
+
+    #[test]
+    fn telemetry_flags_parse_on_every_subcommand() {
+        for cmdline in [
+            "discover --facts f --metrics-json m.json --verbose-stats",
+            "stats --facts f --metrics-json m.json --verbose-stats",
+            "generate --dataset synthetic --out /tmp/x --metrics-json m.json --verbose-stats",
+            "eval --facts f --gold g --metrics-json m.json --verbose-stats",
+            "augment --facts f --metrics-json m.json --verbose-stats",
+        ] {
+            let p = ParsedArgs::parse(&argv(cmdline)).unwrap();
+            assert_eq!(
+                p.telemetry,
+                TelemetryArgs {
+                    metrics_json: Some("m.json".into()),
+                    verbose_stats: true,
+                },
+                "{cmdline}"
+            );
+            assert!(p.telemetry.any());
+        }
+        let p = ParsedArgs::parse(&argv("stats --facts f")).unwrap();
+        assert_eq!(p.telemetry, TelemetryArgs::default());
+        assert!(!p.telemetry.any());
+        let err = ParsedArgs::parse(&argv("stats --facts f --metrics-json")).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
     }
 
     #[test]

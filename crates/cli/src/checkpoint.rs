@@ -35,6 +35,16 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+/// Checkpoint traffic counters. `rounds_saved` counts rounds folded into
+/// the compacted base (each is encoded exactly once); `bytes_appended` is
+/// the encoded size of those rounds, i.e. the per-round O(1) write cost the
+/// append-only design promises.
+mod metrics {
+    midas_core::counter!(pub ROUNDS_SAVED, "checkpoint.rounds_saved");
+    midas_core::counter!(pub ROUNDS_REPLAYED, "checkpoint.rounds_replayed");
+    midas_core::counter!(pub BYTES_APPENDED, "checkpoint.bytes_appended");
+}
+
 /// Round-trace section of a checkpoint container.
 pub const TAG_CKPT: u32 = u32::from_le_bytes(*b"CKPT");
 /// Crash-site prefix for checkpoint writes.
@@ -148,9 +158,12 @@ impl RoundLog {
 
     /// Encodes one completed round onto the base.
     pub fn append(&mut self, terms: &Interner, r: &AugmentationRound) {
+        let before = self.base.len();
         let mut w = SectionWriter::over(&mut self.base);
         encode_round(&mut w, terms, r);
         self.compacted += 1;
+        metrics::ROUNDS_SAVED.inc();
+        metrics::BYTES_APPENDED.add((self.base.len() - before) as u64);
     }
 
     /// Writes the current trace atomically (crash site `ckpt.*`): one
@@ -370,6 +383,7 @@ pub fn load_rounds(
         });
     }
     r.expect_end("checkpoint")?;
+    metrics::ROUNDS_REPLAYED.add(rounds.len() as u64);
     Ok(rounds)
 }
 

@@ -5,6 +5,7 @@ use crate::checkpoint;
 use crate::facts_io;
 use crate::snapshot_cache;
 use midas_baselines::{AggCluster, Greedy, Naive};
+use midas_core::telemetry;
 use midas_core::{
     faultinject, Augmenter, CostModel, DiscoveredSlice, FactTable, FaultPlan, MidasConfig,
     ProfitCtx, Quarantine, SourceBudget, SourceFacts,
@@ -22,9 +23,39 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Runs a parsed command, writing human output to `out`.
+///
+/// Telemetry is strictly additive: when `--metrics-json`/`--verbose-stats`
+/// are absent (and `MIDAS_TRACE` is unset) the command's output bytes are
+/// identical to a build without this layer. When present, the metrics table
+/// and JSON snapshot are emitted *after* the command's normal output (and
+/// after its trailing quarantine/notes blocks), as `#` comments in CSV mode.
 pub fn dispatch(parsed: ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     install_fault_plan_from_env()?;
-    match parsed.command {
+    let telemetry_args = parsed.telemetry;
+    if telemetry_args.any() {
+        telemetry::enable();
+    }
+    let csv_mode = matches!(parsed.command, Command::Discover { csv: true, .. });
+    run_command(parsed.command, out)?;
+    if telemetry_args.verbose_stats {
+        let table = telemetry::render_table(&telemetry::snapshot());
+        if csv_mode {
+            for line in table.lines() {
+                writeln!(out, "# {line}")?;
+            }
+        } else {
+            write!(out, "\n{table}")?;
+        }
+    }
+    if let Some(path) = &telemetry_args.metrics_json {
+        telemetry::write_json(path).map_err(CliError::Io)?;
+    }
+    telemetry::flush_trace();
+    Ok(())
+}
+
+fn run_command(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
+    match command {
         Command::Discover {
             facts,
             kb,
@@ -1184,6 +1215,71 @@ mod tests {
 
         assert_eq!(body(&uncached), body(&miss), "cache miss changes results");
         assert_eq!(body(&uncached), body(&hit), "cache hit changes results");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_json_and_verbose_stats_are_opt_in_trailers() {
+        let dir = tmpdir("telemetry");
+        let facts = dir.join("facts.tsv");
+        let mut content = String::new();
+        for i in 0..8 {
+            content.push_str(&format!("http://a.com/d/p{i}\tent{i}\ttype\tgolf\n"));
+            content.push_str(&format!("http://a.com/d/p{i}\tent{i}\tholes\th{i}\n"));
+        }
+        std::fs::write(&facts, content).unwrap();
+        let facts_s = facts.to_str().unwrap();
+        let metrics = dir.join("metrics.json");
+        let metrics_s = metrics.to_str().unwrap();
+
+        // Baseline run without telemetry flags.
+        let mut plain = Vec::new();
+        run(
+            &argv(&format!("discover --facts {facts_s} --fp 1")),
+            &mut plain,
+        )
+        .unwrap();
+        let plain_text = String::from_utf8_lossy(&plain).to_string();
+        assert!(!plain_text.contains("framework."), "no stats uninvited");
+
+        // --verbose-stats appends the table after the unchanged output.
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "discover --facts {facts_s} --fp 1 --verbose-stats --metrics-json {metrics_s}"
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(
+            text.starts_with(&plain_text),
+            "normal output is a prefix; telemetry is purely additive:\n{text}"
+        );
+        assert!(text.contains("framework.detect_calls"), "{text}");
+        assert!(text.contains("pool.task.exec_ns"), "{text}");
+
+        // The JSON snapshot parses and reconciles with the run just done.
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        let snap = telemetry::Snapshot::from_json(&json).unwrap();
+        assert!(snap.counter("framework.rounds") >= 1);
+        assert!(snap.counter("framework.detect_calls") >= 1);
+
+        // CSV mode: every telemetry line is a `#` comment.
+        let mut out = Vec::new();
+        run(
+            &argv(&format!(
+                "discover --facts {facts_s} --fp 1 --csv --verbose-stats"
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        let stats_line = text
+            .lines()
+            .find(|l| l.contains("framework.detect_calls"))
+            .expect("stats table present in csv mode");
+        assert!(stats_line.starts_with("# "), "{stats_line}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -63,13 +63,17 @@ pub fn read_facts<R: BufRead>(r: R, terms: &mut Interner) -> Result<Vec<SourceFa
 /// the returned [`SourceFault`] carries `file`/line context pointing at the
 /// offending record. After reading, the installed fault-injection plan (if
 /// any) is consulted once per source in sorted order: a targeted source is
-/// dropped whole as an injected parse fault.
+/// dropped whole as an injected parse fault whose `file:line` context points
+/// at the source's first record in the input — so when several sources fault
+/// in one round, each summary line still names where *that* source came
+/// from, rather than collapsing to a shared context-free entry.
 pub fn read_facts_lenient<R: BufRead>(
     r: R,
     terms: &mut Interner,
     file: &str,
 ) -> Result<(Vec<SourceFacts>, Vec<SourceFault>), CliError> {
-    let mut by_url: BTreeMap<SourceUrl, Vec<Fact>> = BTreeMap::new();
+    // Per source: the 1-based line it first appeared on, plus its facts.
+    let mut by_url: BTreeMap<SourceUrl, (u64, Vec<Fact>)> = BTreeMap::new();
     let mut faults = Vec::new();
     let mut parse_fault = |source: String, lineno: u64, message: String, facts_seen: usize| {
         faults.push(SourceFault {
@@ -112,17 +116,18 @@ pub fn read_facts_lenient<R: BufRead>(
         match SourceUrl::parse(url) {
             Ok(url) => by_url
                 .entry(url)
-                .or_default()
+                .or_insert_with(|| (lineno, Vec::new()))
+                .1
                 .push(Fact::intern(terms, s, p, o)),
             Err(e) => parse_fault(url.to_owned(), lineno, e.to_string(), 0),
         }
     }
     let mut sources = Vec::with_capacity(by_url.len());
-    for (index, (url, facts)) in by_url.into_iter().enumerate() {
+    for (index, (url, (first_line, facts))) in by_url.into_iter().enumerate() {
         if faultinject::should_fail_parse(url.as_str(), index) {
             parse_fault(
                 url.as_str().to_owned(),
-                0,
+                first_line,
                 "injected parse failure".to_owned(),
                 facts.len(),
             );
@@ -284,6 +289,35 @@ mod tests {
             faults[1].source, "not-a-url",
             "URL fault names the raw text"
         );
+    }
+
+    #[test]
+    fn injected_faults_keep_per_source_line_context() {
+        // Two sources injected to fail in the same round must each carry the
+        // line their own first record sits on — not a shared context-free
+        // entry (the old behavior recorded line 0 for every injected fault).
+        let input = "http://a.com/x\te1\tp\tv1\n\
+                     http://b.com/y\te2\tp\tv2\n\
+                     http://c.com/z\te3\tp\tv3\n";
+        let plan = midas_core::FaultPlan::parse("parse@a.com/x,parse@c.com/z").unwrap();
+        let mut terms = Interner::new();
+        faultinject::install(plan);
+        let result = read_facts_lenient(input.as_bytes(), &mut terms, "facts.tsv");
+        faultinject::clear();
+        let (sources, faults) = result.unwrap();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(faults.len(), 2);
+        let lines: Vec<u64> = faults
+            .iter()
+            .map(|f| match &f.cause {
+                FaultCause::Parse { file, line, .. } => {
+                    assert_eq!(file, "facts.tsv");
+                    *line
+                }
+                other => panic!("unexpected cause {other:?}"),
+            })
+            .collect();
+        assert_eq!(lines, [1, 3], "each fault names its own source's line");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use crate::args::CliError;
 use crate::cache_dir::CacheDir;
 use crate::facts_io;
+use midas_core::telemetry;
 use midas_core::{
     faultinject, snapshot, CostModel, DiscoveredSlice, FactTable, SourceFacts, SourceFault,
 };
@@ -35,6 +36,33 @@ use midas_extract::CacheKey;
 use midas_kb::{Interner, KnowledgeBase};
 use midas_weburl::SourceUrl;
 use std::collections::BTreeMap;
+
+/// Cache traffic counters. Byte volumes are sampled from file metadata and
+/// only when telemetry is enabled (the extra stat is not free); the event
+/// counters mirror the human-readable notes one-for-one, so a metrics
+/// snapshot reconciles with the note trailer of the same run.
+mod metrics {
+    midas_core::counter!(pub HITS, "snapshot_cache.hits");
+    midas_core::counter!(pub MISSES, "snapshot_cache.misses");
+    midas_core::counter!(pub STALE, "snapshot_cache.stale");
+    midas_core::counter!(pub HEALS, "snapshot_cache.heals");
+    midas_core::counter!(pub EVICTIONS, "snapshot_cache.evictions");
+    midas_core::counter!(pub BYPASSES, "snapshot_cache.bypasses");
+    midas_core::counter!(pub SLICE_HITS, "snapshot_cache.slice_hits");
+    midas_core::counter!(pub SLICE_WRITES, "snapshot_cache.slice_writes");
+    midas_core::counter!(pub BYTES_READ, "snapshot_cache.bytes_read");
+    midas_core::counter!(pub BYTES_WRITTEN, "snapshot_cache.bytes_written");
+}
+
+/// Records the on-disk size of `path` into `sink` (telemetry-enabled runs
+/// only; the stat call is skipped otherwise).
+fn record_entry_bytes(path: &std::path::Path, sink: &'static midas_core::telemetry::Counter) {
+    if telemetry::enabled() {
+        if let Ok(meta) = std::fs::metadata(path) {
+            sink.add(meta.len());
+        }
+    }
+}
 
 /// An open snapshot-cache directory plus the corpus key of the current run:
 /// everything later stages (slice caching, augmentation checkpoints) need
@@ -56,10 +84,13 @@ impl CacheSession {
         let Some(max) = self.max_bytes else { return };
         match self.dir.evict(max, keep) {
             Ok(evicted) if evicted.is_empty() => {}
-            Ok(evicted) => notes.push(format!(
-                "snapshot cache: evicted {} (cap {max} bytes)",
-                evicted.join(", ")
-            )),
+            Ok(evicted) => {
+                metrics::EVICTIONS.add(evicted.len() as u64);
+                notes.push(format!(
+                    "snapshot cache: evicted {} (cap {max} bytes)",
+                    evicted.join(", ")
+                ));
+            }
             Err(e) => notes.push(format!("snapshot cache: eviction failed: {e}")),
         }
     }
@@ -136,6 +167,8 @@ pub fn load_cached_slices(
                         notes.push(format!("snapshot cache: manifest update failed: {e}"));
                     }
                 }
+                metrics::SLICE_HITS.inc();
+                record_entry_bytes(&path, &metrics::BYTES_READ);
                 notes.push(format!("slice cache hit: {}", path.display()));
                 return Some(slices);
             }
@@ -173,6 +206,8 @@ pub fn store_slices(
     if let Err(e) = session.dir.touch(&name) {
         notes.push(format!("snapshot cache: manifest update failed: {e}"));
     }
+    metrics::SLICE_WRITES.inc();
+    record_entry_bytes(&path, &metrics::BYTES_WRITTEN);
     notes.push(format!("slice cache write: {}", path.display()));
     session.enforce_cap(&name, notes);
 }
@@ -180,6 +215,7 @@ pub fn store_slices(
 /// Quarantines a damaged cache entry under the exclusive lock, noting the
 /// outcome either way.
 fn quarantine_entry(cache: &CacheDir, name: &str, reason: &str, notes: &mut Vec<String>) {
+    metrics::STALE.inc();
     let quarantined = cache
         .exclusive()
         .and_then(|_write| cache.quarantine(name, reason));
@@ -207,6 +243,7 @@ pub fn load_inputs_cached(
         return load_cold(facts_path, kb_path, lenient, Vec::new());
     };
     if lenient {
+        metrics::BYPASSES.inc();
         return load_cold(
             facts_path,
             kb_path,
@@ -215,6 +252,7 @@ pub fn load_inputs_cached(
         );
     }
     if faultinject::armed() {
+        metrics::BYPASSES.inc();
         return load_cold(
             facts_path,
             kb_path,
@@ -272,6 +310,7 @@ pub fn load_inputs_cached(
             }
         }
     }
+    let healing = failure.is_some();
     if let Some(reason) = failure {
         quarantine_entry(&cache, &name, &reason, &mut notes);
     }
@@ -281,6 +320,8 @@ pub fn load_inputs_cached(
         max_bytes,
     };
     if let Some(corpus) = hit {
+        metrics::HITS.inc();
+        record_entry_bytes(&path, &metrics::BYTES_READ);
         if let Ok(_write) = session.dir.exclusive() {
             if let Err(e) = session.dir.touch(&name) {
                 notes.push(format!("snapshot cache: manifest update failed: {e}"));
@@ -308,6 +349,7 @@ pub fn load_inputs_cached(
     // Miss (or quarantined snapshot): parse the bytes already in memory,
     // build the round-0 tables once, and persist them for the next run. The
     // tables feed straight into the run, so the build is not extra work.
+    metrics::MISSES.inc();
     let mut terms = Interner::new();
     let sources = facts_io::read_facts(&facts_bytes[..], &mut terms)?;
     let kb = if kb_bytes.is_empty() {
@@ -326,6 +368,10 @@ pub fn load_inputs_cached(
                         path.display()
                     ));
                 } else {
+                    if healing {
+                        metrics::HEALS.inc();
+                    }
+                    record_entry_bytes(&path, &metrics::BYTES_WRITTEN);
                     if let Err(e) = session.dir.touch(&name) {
                         notes.push(format!("snapshot cache: manifest update failed: {e}"));
                     }

@@ -214,6 +214,46 @@ fn cli_discover_quarantines_three_and_matches_clean_output() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// When multiple sources fault in one round, the trailing summary keeps
+/// each fault's own originating `file:line` (regression: injected parse
+/// faults used to collapse to a context-free `file:0` entry, making the
+/// victims indistinguishable in the summary).
+#[test]
+fn multi_fault_summary_keeps_per_source_file_line() {
+    let _session = plan_session();
+    let dir = tmpdir("multifault");
+    let facts = dir.join("facts.tsv");
+    std::fs::write(&facts, corpus_tsv(false)).unwrap();
+    // Two parse victims: domain0/page2's first record is line 25 (pages are
+    // 12 lines each), domain1/page1's is line 61.
+    std::env::set_var(
+        "MIDAS_FAULTINJECT",
+        "parse@domain0.example.org/dir/page2,parse@domain1.example.org/dir/page1",
+    );
+    let mut out = Vec::new();
+    run(
+        &argv(&format!(
+            "discover --facts {} --lenient",
+            facts.to_str().unwrap()
+        )),
+        &mut out,
+    )
+    .unwrap();
+    std::env::remove_var("MIDAS_FAULTINJECT");
+    faultinject::clear();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("quarantined 2 source(s):"), "{text}");
+    assert!(
+        text.contains("facts.tsv:25"),
+        "first victim keeps its own line context:\n{text}"
+    );
+    assert!(
+        text.contains("facts.tsv:61"),
+        "second victim keeps its own line context:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A malformed `MIDAS_FAULTINJECT` spec is a usage error, not a panic or a
 /// silently ignored plan.
 #[test]

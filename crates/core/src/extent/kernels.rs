@@ -618,6 +618,118 @@ pub fn avx2_ops() -> Option<&'static KernelOps> {
     None
 }
 
+/// Telemetry for the kernel layer: which table won dispatch, and call /
+/// word volumes per entry point. The wrappers tally through [`tally`] —
+/// one enabled check, then two sharded relaxed adds — so the disabled
+/// path costs a single predictable branch per kernel call.
+mod metrics {
+    crate::counter!(pub DISPATCH_SCALAR, "kernel.dispatch.scalar");
+    crate::counter!(pub DISPATCH_AVX2, "kernel.dispatch.avx2");
+    crate::counter!(pub AND_INTO_CALLS, "kernel.and_into.calls");
+    crate::counter!(pub AND_INTO_WORDS, "kernel.and_into.words");
+    crate::counter!(pub OR_INTO_CALLS, "kernel.or_into.calls");
+    crate::counter!(pub OR_INTO_WORDS, "kernel.or_into.words");
+    crate::counter!(pub ANDNOT_INTO_CALLS, "kernel.andnot_into.calls");
+    crate::counter!(pub ANDNOT_INTO_WORDS, "kernel.andnot_into.words");
+    crate::counter!(pub AND_ASSIGN_CALLS, "kernel.and_assign.calls");
+    crate::counter!(pub AND_ASSIGN_WORDS, "kernel.and_assign.words");
+    crate::counter!(pub OR_ASSIGN_CALLS, "kernel.or_assign.calls");
+    crate::counter!(pub OR_ASSIGN_WORDS, "kernel.or_assign.words");
+    crate::counter!(pub COUNT_CALLS, "kernel.count.calls");
+    crate::counter!(pub COUNT_WORDS, "kernel.count.words");
+    crate::counter!(pub IS_SUBSET_CALLS, "kernel.is_subset.calls");
+    crate::counter!(pub IS_SUBSET_WORDS, "kernel.is_subset.words");
+    crate::counter!(pub UNION_INTO_CALLS, "kernel.union_into.calls");
+    crate::counter!(pub UNION_INTO_WORDS, "kernel.union_into.words");
+}
+
+/// Row indices into the thread-local kernel tally, one per public op.
+const OP_AND_INTO: usize = 0;
+const OP_OR_INTO: usize = 1;
+const OP_ANDNOT_INTO: usize = 2;
+const OP_AND_ASSIGN: usize = 3;
+const OP_OR_ASSIGN: usize = 4;
+const OP_COUNT: usize = 5;
+const OP_IS_SUBSET: usize = 6;
+const OP_UNION_INTO: usize = 7;
+const NUM_OPS: usize = 8;
+
+/// The shared `(calls, words)` counter pair behind each tally row.
+static OP_SINKS: [(&crate::telemetry::Counter, &crate::telemetry::Counter); NUM_OPS] = [
+    (&metrics::AND_INTO_CALLS, &metrics::AND_INTO_WORDS),
+    (&metrics::OR_INTO_CALLS, &metrics::OR_INTO_WORDS),
+    (&metrics::ANDNOT_INTO_CALLS, &metrics::ANDNOT_INTO_WORDS),
+    (&metrics::AND_ASSIGN_CALLS, &metrics::AND_ASSIGN_WORDS),
+    (&metrics::OR_ASSIGN_CALLS, &metrics::OR_ASSIGN_WORDS),
+    (&metrics::COUNT_CALLS, &metrics::COUNT_WORDS),
+    (&metrics::IS_SUBSET_CALLS, &metrics::IS_SUBSET_WORDS),
+    (&metrics::UNION_INTO_CALLS, &metrics::UNION_INTO_WORDS),
+];
+
+/// Tallies are batched this many ops before draining to the shared
+/// counters: kernel calls are the innermost hot path (often one cache
+/// line of work), so paying two atomic RMWs per call costs double-digit
+/// percent on small extents. Batching into plain thread-local cells keeps
+/// the enabled path at a TLS bump and amortises the atomics to noise;
+/// snapshots stay monotone and lag a live thread by at most one batch
+/// (the remainder drains at thread exit).
+const FLUSH_EVERY: u64 = 1024;
+
+#[derive(Default)]
+struct LocalTally {
+    calls: [std::cell::Cell<u64>; NUM_OPS],
+    words: [std::cell::Cell<u64>; NUM_OPS],
+    pending: std::cell::Cell<u64>,
+}
+
+impl LocalTally {
+    fn flush(&self) {
+        for (op, (calls, words)) in OP_SINKS.iter().enumerate() {
+            let c = self.calls[op].take();
+            if c > 0 {
+                calls.add_always(c);
+            }
+            let w = self.words[op].take();
+            if w > 0 {
+                words.add_always(w);
+            }
+        }
+        self.pending.set(0);
+    }
+}
+
+impl Drop for LocalTally {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TALLY: LocalTally = LocalTally::default();
+}
+
+#[inline]
+fn tally(op: usize, n: usize) {
+    if crate::telemetry::enabled() {
+        tally_enabled(op, n);
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn tally_enabled(op: usize, n: usize) {
+    let _ = TALLY.try_with(|t| {
+        t.calls[op].set(t.calls[op].get() + 1);
+        t.words[op].set(t.words[op].get() + n as u64);
+        let pending = t.pending.get() + 1;
+        if pending >= FLUSH_EVERY {
+            t.flush();
+        } else {
+            t.pending.set(pending);
+        }
+    });
+}
+
 static ACTIVE: OnceLock<&'static KernelOps> = OnceLock::new();
 
 /// The process-wide kernel table, selected on first use from the
@@ -661,13 +773,22 @@ pub fn try_active() -> Result<&'static KernelOps, String> {
             }
         },
     };
-    Ok(ACTIVE.get_or_init(|| ops))
+    Ok(ACTIVE.get_or_init(|| {
+        // Dispatch choice is recorded unconditionally (it is one event per
+        // process) so a later-enabled snapshot still reports it.
+        match ops.name {
+            "avx2" => metrics::DISPATCH_AVX2.add_always(1),
+            _ => metrics::DISPATCH_SCALAR.add_always(1),
+        }
+        ops
+    }))
 }
 
 /// `out = a & b` through the active kernel; returns the result popcount.
 #[inline]
 pub fn and_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
     debug_assert!(out.len() == a.len() && a.len() == b.len());
+    tally(OP_AND_INTO, out.len());
     (active().and_into)(out, a, b)
 }
 
@@ -675,6 +796,7 @@ pub fn and_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
 #[inline]
 pub fn or_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
     debug_assert!(out.len() == a.len() && a.len() == b.len());
+    tally(OP_OR_INTO, out.len());
     (active().or_into)(out, a, b)
 }
 
@@ -682,6 +804,7 @@ pub fn or_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
 #[inline]
 pub fn andnot_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
     debug_assert!(out.len() == a.len() && a.len() == b.len());
+    tally(OP_ANDNOT_INTO, out.len());
     (active().andnot_into)(out, a, b)
 }
 
@@ -689,6 +812,7 @@ pub fn andnot_into(out: &mut [u64], a: &[u64], b: &[u64]) -> u32 {
 #[inline]
 pub fn and_assign(a: &mut [u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
+    tally(OP_AND_ASSIGN, a.len());
     (active().and_assign)(a, b)
 }
 
@@ -696,12 +820,14 @@ pub fn and_assign(a: &mut [u64], b: &[u64]) -> u32 {
 #[inline]
 pub fn or_assign(a: &mut [u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
+    tally(OP_OR_ASSIGN, a.len());
     (active().or_assign)(a, b)
 }
 
 /// Popcount over all blocks through the active kernel.
 #[inline]
 pub fn count(blocks: &[u64]) -> u32 {
+    tally(OP_COUNT, blocks.len());
     (active().count)(blocks)
 }
 
@@ -710,6 +836,7 @@ pub fn count(blocks: &[u64]) -> u32 {
 #[inline]
 pub fn is_subset(a: &[u64], b: &[u64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
+    tally(OP_IS_SUBSET, a.len());
     (active().is_subset)(a, b)
 }
 
@@ -720,6 +847,7 @@ pub fn union_into(acc: &mut [u64], srcs: &[&[u64]]) -> u32 {
     for s in srcs {
         debug_assert_eq!(s.len(), acc.len());
     }
+    tally(OP_UNION_INTO, acc.len() * srcs.len().max(1));
     (active().union_into)(acc, srcs)
 }
 

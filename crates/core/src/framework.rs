@@ -85,6 +85,26 @@ use crate::parallel::par_map_streamed;
 use crate::quarantine::{Quarantine, SourceFault, Stage};
 use crate::slice::DiscoveredSlice;
 use crate::source::SourceFacts;
+use crate::telemetry;
+
+/// Round-phase telemetry. The execution counters are **dual-sinked**: the
+/// per-run [`FrameworkReport`] fields stay exact per run (they come from
+/// locals in `drive`, so concurrent runs in one process — the test suites —
+/// never bleed into each other), and every per-round aggregate is forwarded
+/// into these registry counters with `add_always`, so a single-run process
+/// (the CLI) reports registry totals that reconcile *exactly* with the
+/// report fields. The phase histograms time each round's shard, detect, and
+/// consolidate stages via RAII spans.
+mod metrics {
+    crate::counter!(pub DETECT_CALLS, "framework.detect_calls");
+    crate::counter!(pub TASKS_REUSED, "framework.tasks_reused");
+    crate::counter!(pub HIERARCHIES_WARM_REUSED, "framework.hierarchies_warm_reused");
+    crate::counter!(pub ROUNDS, "framework.rounds");
+    crate::counter!(pub QUARANTINED, "framework.quarantined");
+    crate::histogram!(pub SHARD_NS, "framework.phase.shard_ns");
+    crate::histogram!(pub DETECT_NS, "framework.phase.detect_ns");
+    crate::histogram!(pub CONSOLIDATE_NS, "framework.phase.consolidate_ns");
+}
 
 /// What a round exports to the next round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -610,6 +630,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             Option<SliceHierarchy>,
             bool,
         );
+        let detect_span = telemetry::span("framework.detect", &metrics::DETECT_NS);
         par_map_streamed(
             self.threads,
             window,
@@ -679,6 +700,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                         executed += 1;
                         if warmed {
                             hierarchies_reused += 1;
+                            metrics::HIERARCHIES_WARM_REUSED.add_always(1);
                         }
                         if let Some(h) = hierarchy {
                             if incremental && warm.enabled {
@@ -735,8 +757,11 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                 }
             },
         );
+        drop(detect_span);
         detect_calls += executed;
         reused_total += reused;
+        metrics::DETECT_CALLS.add_always(executed as u64);
+        metrics::TASKS_REUSED.add_always(reused as u64);
         // A leaf that faulted before its worker took the warm slot leaves
         // the hierarchy behind — recycle it here, so a quarantined source
         // always restarts cold if it ever recovers.
@@ -772,6 +797,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
         let mut rounds = 0usize;
         for d in (1..=max_depth).rev() {
             rounds += 1;
+            let shard_span = telemetry::span("framework.shard", &metrics::SHARD_NS);
             // Merge sources at depth d into their parents: group each
             // parent's children first, then merge every group in one pass
             // (one sort + dedup per parent instead of one per child).
@@ -814,6 +840,7 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                     shard.extend(own);
                 }
             }
+            drop(shard_span);
 
             // Detect + consolidate per parent shard, streamed through the
             // bounded window. Tasks borrow the work list so that a faulting
@@ -832,6 +859,8 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             let window = self.window_for(work.len());
             let mut executed = 0usize;
             let mut reused = 0usize;
+            let consolidate_span =
+                telemetry::span("framework.consolidate", &metrics::CONSOLIDATE_NS);
             par_map_streamed(
                 self.threads,
                 window,
@@ -921,8 +950,11 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
                     }
                 },
             );
+            drop(consolidate_span);
             detect_calls += executed;
             reused_total += reused;
+            metrics::DETECT_CALLS.add_always(executed as u64);
+            metrics::TASKS_REUSED.add_always(reused as u64);
         }
 
         let mut slices: Vec<DiscoveredSlice> = candidates
@@ -931,6 +963,8 @@ impl<'a, D: SliceDetector> Framework<'a, D> {
             .map(|c| c.slice)
             .collect();
         slices.sort_by(|a, b| b.profit.partial_cmp(&a.profit).expect("finite profits"));
+        metrics::ROUNDS.add_always(rounds as u64);
+        metrics::QUARANTINED.add_always(quarantine.len() as u64);
         FrameworkReport {
             slices,
             rounds,

@@ -26,6 +26,88 @@ use crate::fact_table::{EntityId, FactTable, PropertyId};
 use crate::parallel::par_map;
 use crate::profit::ProfitCtx;
 
+/// Construction/patch telemetry: how much evaluation work hierarchies do,
+/// how much of it warm patching avoids, and the extent-memory churn.
+///
+/// The per-node counters (`nodes_evaluated`, `nodes_pruned`,
+/// `extents_freed`) fire hundreds of thousands of times per build, so
+/// they batch in plain thread-local cells and drain every [`FLUSH_EVERY`]
+/// events and at thread exit — totals exact once workers retire,
+/// snapshots monotone, hot path one TLS bump. The warm-patch counters are
+/// per-leaf (rare) and record directly.
+mod metrics {
+    crate::counter!(pub NODES_EVALUATED, "hierarchy.nodes_evaluated");
+    crate::counter!(pub NODES_WARM_PATCHED, "hierarchy.nodes_warm_patched");
+    crate::counter!(pub NODES_PRUNED, "hierarchy.nodes_pruned");
+    crate::counter!(pub EXTENTS_FREED, "hierarchy.extents_freed");
+    crate::counter!(pub EXTENTS_REBUILT, "hierarchy.extents_rebuilt");
+    crate::counter!(pub WARM_PATCHES, "hierarchy.warm_patch.applied");
+    crate::counter!(pub WARM_REFUSALS, "hierarchy.warm_patch.refused");
+}
+
+const KIND_NODES_EVALUATED: usize = 0;
+const KIND_NODES_PRUNED: usize = 1;
+const KIND_EXTENTS_FREED: usize = 2;
+const NUM_KINDS: usize = 3;
+
+static KIND_SINKS: [&crate::telemetry::Counter; NUM_KINDS] = [
+    &metrics::NODES_EVALUATED,
+    &metrics::NODES_PRUNED,
+    &metrics::EXTENTS_FREED,
+];
+
+/// Batched events per thread before draining to the shared counters.
+const FLUSH_EVERY: u64 = 1024;
+
+#[derive(Default)]
+struct Tally {
+    counts: [std::cell::Cell<u64>; NUM_KINDS],
+    pending: std::cell::Cell<u64>,
+}
+
+impl Tally {
+    fn flush(&self) {
+        for (kind, sink) in KIND_SINKS.iter().enumerate() {
+            let n = self.counts[kind].take();
+            if n > 0 {
+                sink.add_always(n);
+            }
+        }
+        self.pending.set(0);
+    }
+}
+
+impl Drop for Tally {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TALLY: Tally = Tally::default();
+}
+
+#[inline]
+fn tally(kind: usize, n: u64) {
+    if crate::telemetry::enabled() {
+        tally_enabled(kind, n);
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn tally_enabled(kind: usize, n: u64) {
+    let _ = TALLY.try_with(|t| {
+        t.counts[kind].set(t.counts[kind].get() + n);
+        let pending = t.pending.get() + 1;
+        if pending >= FLUSH_EVERY {
+            t.flush();
+        } else {
+            t.pending.set(pending);
+        }
+    });
+}
+
 /// Index of a node in the hierarchy.
 pub type NodeId = u32;
 
@@ -580,6 +662,7 @@ impl SliceHierarchy {
             let universe = node.extent.universe();
             std::mem::replace(&mut node.extent, ExtentSet::empty(universe)).recycle();
             node.extent_freed = true;
+            tally(KIND_EXTENTS_FREED, 1);
         }
     }
 
@@ -669,6 +752,7 @@ impl SliceHierarchy {
             // "Hierarchy memory") instead of holding it until the report.
             self.nodes[id as usize].removed = true;
             self.live -= 1;
+            tally(KIND_NODES_PRUNED, 1);
             self.free_extent(id);
             let (parents, children) = self.unlink_all(id);
             for &p in &parents {
@@ -702,6 +786,7 @@ impl SliceHierarchy {
     /// write-back here is what keeps warm results bit-identical to a fresh
     /// build.
     fn evaluate_ids(&mut self, ctx: &ProfitCtx<'_>, config: &MidasConfig, ids: Vec<NodeId>) {
+        tally(KIND_NODES_EVALUATED, ids.len() as u64);
         let this: &SliceHierarchy = self;
         let evals: Vec<ProfitEval> = par_map(config.threads, ids, |id| {
             if this.nodes[id as usize].removed {
@@ -803,14 +888,35 @@ impl SliceHierarchy {
         config: &MidasConfig,
         changed: &[EntityId],
     ) -> bool {
+        // The dirty-flag buffer is pooled. Every exit — a structure-refusal
+        // `false` (the caller falls back to a cold rebuild), a budget
+        // breach unwinding out of `checkpoint`, or the normal return — must
+        // hand it back, or warm and cold runs end up with different pool
+        // occupancy (the scratch take/put counters pinned this down). An
+        // RAII holder routes all three through one `put_flags`.
+        struct PooledFlags(Option<Vec<bool>>);
+        impl Drop for PooledFlags {
+            fn drop(&mut self) {
+                if let Some(buf) = self.0.take() {
+                    crate::scratch::put_flags(buf);
+                }
+            }
+        }
         let table = ctx.table();
         let universe = table.num_entities() as u32;
+        let mut holder = PooledFlags(Some(crate::scratch::take_flags(self.nodes.len())));
+        let dirty: &mut [bool] = match holder.0.as_mut() {
+            Some(buf) => buf,
+            None => &mut [],
+        };
         if let Some(node) = self.nodes.first() {
             if node.extent.universe() != universe {
+                metrics::WARM_REFUSALS.inc();
                 return false;
             }
         }
         if changed.iter().any(|&e| e >= universe) {
+            metrics::WARM_REFUSALS.inc();
             return false;
         }
         // Dirty ⟺ the node's extent contains a changed entity. The subset
@@ -818,7 +924,6 @@ impl SliceHierarchy {
         // predicate (e ∈ Π(props) ⟺ props ⊆ props(e)) and — unlike the
         // extent itself — is still answerable for nodes whose extent was
         // freed when they were invalidated.
-        let mut dirty = crate::scratch::take_flags(self.nodes.len());
         for (i, node) in self.nodes.iter().enumerate() {
             if node.removed {
                 continue;
@@ -827,6 +932,7 @@ impl SliceHierarchy {
                 .iter()
                 .any(|&e| is_subset(&node.props, table.entity_properties(e)));
         }
+        let mut patched = 0u64;
         for l in (1..=self.max_level).rev() {
             // Same cooperative budget cadence as `construct_and_prune`, so
             // budget faults fire at the same checkpoints either way.
@@ -842,6 +948,7 @@ impl SliceHierarchy {
             if ids.is_empty() {
                 continue;
             }
+            patched += ids.len() as u64;
             for &id in &ids {
                 if self.nodes[id as usize].extent_freed {
                     let props = self.nodes[id as usize].props.clone();
@@ -849,6 +956,7 @@ impl SliceHierarchy {
                     let node = &mut self.nodes[id as usize];
                     std::mem::replace(&mut node.extent, rebuilt).recycle();
                     node.extent_freed = false;
+                    metrics::EXTENTS_REBUILT.inc();
                 }
                 self.nodes[id as usize].valid = true;
             }
@@ -863,7 +971,8 @@ impl SliceHierarchy {
             }
         }
         crate::budget::checkpoint(self.nodes_created);
-        crate::scratch::put_flags(dirty);
+        metrics::WARM_PATCHES.inc();
+        metrics::NODES_WARM_PATCHED.add(patched);
         true
     }
 }

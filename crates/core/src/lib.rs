@@ -48,6 +48,7 @@ pub mod single_source;
 pub mod slice;
 pub mod snapshot;
 pub mod source;
+pub mod telemetry;
 pub mod traversal;
 
 pub use budget::{BreachKind, BudgetBreach, BudgetScope, SourceBudget};

@@ -30,11 +30,67 @@
 
 use crate::budget;
 use crate::quarantine::FaultCause;
+use crate::telemetry;
 use crossbeam::channel::{self, RecvTimeoutError};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Worker-pool instrumentation. `pool.tasks` (exact, counted once per map
+/// call) and the per-kind fault counters are precise; the wait/exec/
+/// occupancy histograms are *statistical samples* — every
+/// [`SPAN_SAMPLE_EVERY`]-th task per thread, starting with the first —
+/// because two clock reads plus three histogram records per task would
+/// dominate the sub-microsecond tasks this pool is fed (millions per
+/// run). Sampling keeps the shape of the distributions at ~1/64 the cost.
+mod metrics {
+    use crate::budget::BreachKind;
+    use crate::quarantine::FaultCause;
+
+    crate::counter!(pub TASKS, "pool.tasks");
+    crate::counter!(pub FAULTS_PARSE, "pool.faults.parse");
+    crate::counter!(pub FAULTS_PANIC, "pool.faults.panic");
+    crate::counter!(pub FAULTS_BUDGET, "pool.faults.budget");
+    crate::counter!(pub FAULTS_DEADLINE, "pool.faults.deadline");
+    crate::histogram!(pub TASK_WAIT_NS, "pool.task.wait_ns");
+    crate::histogram!(pub TASK_EXEC_NS, "pool.task.exec_ns");
+    crate::histogram!(pub WINDOW_OCCUPANCY, "pool.window.occupancy");
+
+    /// Counts one fault under the counter matching its cause. Deadline
+    /// breaches get their own bucket (they mean the *pool* was abandoned,
+    /// not that the task itself exhausted a budget).
+    pub fn record_fault(cause: &FaultCause) {
+        match cause {
+            FaultCause::Parse { .. } => FAULTS_PARSE.inc(),
+            FaultCause::Panic { .. } => FAULTS_PANIC.inc(),
+            FaultCause::Budget(breach) if breach.kind == BreachKind::Deadline => {
+                FAULTS_DEADLINE.inc()
+            }
+            FaultCause::Budget(_) => FAULTS_BUDGET.inc(),
+        }
+    }
+}
+
+/// One task in this many (per thread) records its timing histograms.
+const SPAN_SAMPLE_EVERY: u32 = 64;
+
+thread_local! {
+    /// Per-thread sample pacer for the pool's timing histograms.
+    static SPAN_PACER: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Whether this thread's next pool event falls on the sample grid. The
+/// first event on every thread samples, so short runs still populate the
+/// histograms.
+#[inline]
+fn sample_span() -> bool {
+    SPAN_PACER.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        v % SPAN_SAMPLE_EVERY == 0
+    })
+}
 
 /// A fault raised by one task of a parallel map: which item faulted and why.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,13 +144,19 @@ fn deadline_cause() -> FaultCause {
 fn finish_slot<R>(index: usize, out: Option<Result<R, FaultCause>>) -> Result<R, TaskFault> {
     match out {
         Some(Ok(r)) => Ok(r),
-        Some(Err(cause)) => Err(TaskFault { index, cause }),
+        Some(Err(cause)) => {
+            metrics::record_fault(&cause);
+            Err(TaskFault { index, cause })
+        }
         // Slot skipped after cancellation (or lost to an abandoned pool):
         // the deadline elapsed before this task ran.
-        None => Err(TaskFault {
-            index,
-            cause: deadline_cause(),
-        }),
+        None => {
+            metrics::FAULTS_DEADLINE.inc();
+            Err(TaskFault {
+                index,
+                cause: deadline_cause(),
+            })
+        }
     }
 }
 
@@ -119,6 +181,10 @@ where
     S: FnMut(usize, Result<R, TaskFault>),
 {
     let n = items.len();
+    // Counted once per map call, not per task: the total stays exact by
+    // the time the call returns (every admitted item reaches the sink)
+    // without an atomic bump on each sub-microsecond task.
+    metrics::TASKS.add(n as u64);
     let deadline = budget::active_deadline();
     if threads <= 1 || n <= 1 {
         for (index, item) in items.into_iter().enumerate() {
@@ -128,16 +194,22 @@ where
                     continue;
                 }
             }
-            sink(
-                index,
-                run_isolated(|| f(item)).map_err(|cause| TaskFault { index, cause }),
-            );
+            if telemetry::enabled() && sample_span() {
+                let start_ns = telemetry::clock_ns();
+                let out = run_isolated(|| f(item));
+                metrics::TASK_WAIT_NS.record(0);
+                metrics::TASK_EXEC_NS.record(telemetry::clock_ns().saturating_sub(start_ns));
+                sink(index, finish_slot(index, Some(out)));
+            } else {
+                let out = run_isolated(|| f(item));
+                sink(index, finish_slot(index, Some(out)));
+            }
         }
         return;
     }
 
     let window = window.max(1);
-    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+    let (task_tx, task_rx) = channel::unbounded::<(usize, T, u64)>();
     let (res_tx, res_rx) = channel::unbounded::<(usize, Option<Result<R, FaultCause>>)>();
     let cancelled = AtomicBool::new(false);
     crossbeam::thread::scope(|scope| {
@@ -147,12 +219,20 @@ where
             let f = &f;
             let cancelled = &cancelled;
             scope.spawn(move |_| {
-                while let Ok((i, item)) = task_rx.recv() {
+                while let Ok((i, item, enqueued_ns)) = task_rx.recv() {
                     // After cancellation we still drain the queue so the
                     // collector sees exactly one marker per admitted item,
-                    // but skip the work.
+                    // but skip the work. `enqueued_ns == u64::MAX` marks an
+                    // unsampled task (see the admission site).
                     let out = if cancelled.load(Ordering::Acquire) {
                         None
+                    } else if enqueued_ns != u64::MAX {
+                        let start_ns = telemetry::clock_ns();
+                        metrics::TASK_WAIT_NS.record(start_ns.saturating_sub(enqueued_ns));
+                        let out = run_isolated(|| f(item));
+                        metrics::TASK_EXEC_NS
+                            .record(telemetry::clock_ns().saturating_sub(start_ns));
+                        Some(out)
                     } else {
                         Some(run_isolated(|| f(item)))
                     };
@@ -172,7 +252,17 @@ where
             while in_flight < window {
                 match feed.next() {
                     Some((i, item)) => {
-                        task_tx.send((i, item)).expect("open channel");
+                        // The admission decides whether this task samples
+                        // its timing histograms; `u64::MAX` marks the
+                        // unsampled majority so workers skip both clock
+                        // reads entirely.
+                        let enqueued_ns = if telemetry::enabled() && sample_span() {
+                            metrics::WINDOW_OCCUPANCY.record(in_flight as u64 + 1);
+                            telemetry::clock_ns()
+                        } else {
+                            u64::MAX
+                        };
+                        task_tx.send((i, item, enqueued_ns)).expect("open channel");
                         in_flight += 1;
                     }
                     None => break,

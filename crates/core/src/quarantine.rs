@@ -10,6 +10,19 @@
 use crate::budget::BudgetBreach;
 use std::fmt;
 
+/// Fault tallies by stage and by cause, counted once per [`Quarantine::push`]
+/// (merges move already-counted faults, so they do not re-count). The CLI's
+/// trailing summary is a view over the same records these count, so a
+/// metrics snapshot always reconciles with the rendered summary.
+mod metrics {
+    crate::counter!(pub STAGE_READ, "quarantine.stage.read");
+    crate::counter!(pub STAGE_DETECT, "quarantine.stage.detect");
+    crate::counter!(pub STAGE_CONSOLIDATE, "quarantine.stage.consolidate");
+    crate::counter!(pub CAUSE_PARSE, "quarantine.cause.parse");
+    crate::counter!(pub CAUSE_PANIC, "quarantine.cause.panic");
+    crate::counter!(pub CAUSE_BUDGET, "quarantine.cause.budget");
+}
+
 /// The pipeline stage at which a source was dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Stage {
@@ -142,6 +155,16 @@ impl Quarantine {
 
     /// Records one dropped source.
     pub fn push(&mut self, fault: SourceFault) {
+        match fault.stage {
+            Stage::Read => metrics::STAGE_READ.inc(),
+            Stage::Detect => metrics::STAGE_DETECT.inc(),
+            Stage::Consolidate => metrics::STAGE_CONSOLIDATE.inc(),
+        }
+        match fault.cause {
+            FaultCause::Parse { .. } => metrics::CAUSE_PARSE.inc(),
+            FaultCause::Panic { .. } => metrics::CAUSE_PANIC.inc(),
+            FaultCause::Budget(_) => metrics::CAUSE_BUDGET.inc(),
+        }
         self.faults.push(fault);
     }
 

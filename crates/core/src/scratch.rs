@@ -33,6 +33,94 @@
 use std::cell::RefCell;
 use std::sync::Mutex;
 
+/// Pool traffic counters. A warm and a cold run over the same inputs must
+/// report identical take/put balances per kind — the telemetry that caught
+/// the missing `put_flags` on the cold-rebuild fallback path.
+///
+/// Take/put happen millions of times per run (once per node evaluation on
+/// the hot paths), so the counts are batched in plain thread-local cells
+/// and drained to the shared counters every [`FLUSH_EVERY`] events and at
+/// thread exit: totals stay exact once worker threads retire, snapshots
+/// stay monotone, and the enabled hot path is a TLS bump instead of an
+/// atomic RMW.
+mod metrics {
+    crate::counter!(pub TAKE_IDS, "scratch.take.ids");
+    crate::counter!(pub PUT_IDS, "scratch.put.ids");
+    crate::counter!(pub TAKE_BLOCKS, "scratch.take.blocks");
+    crate::counter!(pub PUT_BLOCKS, "scratch.put.blocks");
+    crate::counter!(pub TAKE_FLAGS, "scratch.take.flags");
+    crate::counter!(pub PUT_FLAGS, "scratch.put.flags");
+}
+
+const KIND_TAKE_IDS: usize = 0;
+const KIND_PUT_IDS: usize = 1;
+const KIND_TAKE_BLOCKS: usize = 2;
+const KIND_PUT_BLOCKS: usize = 3;
+const KIND_TAKE_FLAGS: usize = 4;
+const KIND_PUT_FLAGS: usize = 5;
+const NUM_KINDS: usize = 6;
+
+static KIND_SINKS: [&crate::telemetry::Counter; NUM_KINDS] = [
+    &metrics::TAKE_IDS,
+    &metrics::PUT_IDS,
+    &metrics::TAKE_BLOCKS,
+    &metrics::PUT_BLOCKS,
+    &metrics::TAKE_FLAGS,
+    &metrics::PUT_FLAGS,
+];
+
+/// Batched events per thread before draining to the shared counters.
+const FLUSH_EVERY: u64 = 1024;
+
+#[derive(Default)]
+struct Tally {
+    counts: [std::cell::Cell<u64>; NUM_KINDS],
+    pending: std::cell::Cell<u64>,
+}
+
+impl Tally {
+    fn flush(&self) {
+        for (kind, sink) in KIND_SINKS.iter().enumerate() {
+            let n = self.counts[kind].take();
+            if n > 0 {
+                sink.add_always(n);
+            }
+        }
+        self.pending.set(0);
+    }
+}
+
+impl Drop for Tally {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TALLY: Tally = Tally::default();
+}
+
+#[inline]
+fn tally(kind: usize) {
+    if crate::telemetry::enabled() {
+        tally_enabled(kind);
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn tally_enabled(kind: usize) {
+    let _ = TALLY.try_with(|t| {
+        t.counts[kind].set(t.counts[kind].get() + 1);
+        let pending = t.pending.get() + 1;
+        if pending >= FLUSH_EVERY {
+            t.flush();
+        } else {
+            t.pending.set(pending);
+        }
+    });
+}
+
 /// Maximum buffers of one kind retained per pooled set.
 pub const MAX_VECS_PER_KIND: usize = 32;
 
@@ -93,6 +181,7 @@ fn with_buffers<R>(f: impl FnOnce(&mut Buffers) -> R) -> R {
 
 /// Takes an id buffer (`Vec<u32>`), cleared but with recycled capacity.
 pub fn take_ids() -> Vec<u32> {
+    tally(KIND_TAKE_IDS);
     let mut v = with_buffers(|b| b.ids.pop()).unwrap_or_default();
     v.clear();
     v
@@ -100,6 +189,7 @@ pub fn take_ids() -> Vec<u32> {
 
 /// Returns an id buffer to the pool.
 pub fn put_ids(buf: Vec<u32>) {
+    tally(KIND_PUT_IDS);
     if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
         return;
     }
@@ -113,6 +203,7 @@ pub fn put_ids(buf: Vec<u32>) {
 /// Takes a zeroed block buffer (`Vec<u64>`) of exactly `len` words, with
 /// recycled capacity.
 pub fn take_blocks(len: usize) -> Vec<u64> {
+    tally(KIND_TAKE_BLOCKS);
     let mut v = with_buffers(|b| b.blocks.pop()).unwrap_or_default();
     v.clear();
     v.resize(len, 0);
@@ -121,6 +212,7 @@ pub fn take_blocks(len: usize) -> Vec<u64> {
 
 /// Returns a block buffer to the pool.
 pub fn put_blocks(buf: Vec<u64>) {
+    tally(KIND_PUT_BLOCKS);
     if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
         return;
     }
@@ -137,6 +229,7 @@ pub fn put_blocks(buf: Vec<u64>) {
 /// hierarchy (traversal coverage, warm-patch dirtiness), so pooling them
 /// keeps those maps allocation-free across augmentation rounds.
 pub fn take_flags(len: usize) -> Vec<bool> {
+    tally(KIND_TAKE_FLAGS);
     let mut v = with_buffers(|b| b.flags.pop()).unwrap_or_default();
     v.clear();
     v.resize(len, false);
@@ -145,6 +238,7 @@ pub fn take_flags(len: usize) -> Vec<bool> {
 
 /// Returns a flag buffer to the pool.
 pub fn put_flags(buf: Vec<bool>) {
+    tally(KIND_PUT_FLAGS);
     if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
         return;
     }

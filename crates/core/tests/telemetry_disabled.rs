@@ -1,0 +1,47 @@
+//! Disabled-path smoke for the telemetry layer, in its own test binary so
+//! nothing else in the process flips the global enablement state.
+//!
+//! With recording off, concurrent counter adds, histogram records, span
+//! guards, and snapshot folds must all be safe no-ops: no panics, no
+//! recorded values, and well-formed (empty) snapshots. This is the
+//! contract the near-zero-overhead claim rests on — the disabled hot path
+//! is one relaxed load and nothing else observable.
+
+use midas_core::telemetry;
+
+midas_core::counter!(SMOKE_EVENTS, "smoke.events");
+midas_core::histogram!(SMOKE_NS, "smoke.ns");
+
+#[test]
+fn disabled_recording_is_a_concurrent_no_op() {
+    // The lanes in scripts/check.sh run some suites with MIDAS_TELEMETRY /
+    // MIDAS_TRACE exported; the disabled-path contract is untestable then.
+    if telemetry::enabled() {
+        eprintln!("skipped: telemetry forced on via the environment");
+        return;
+    }
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for i in 0..20_000u64 {
+                    SMOKE_EVENTS.add(i % 3);
+                    SMOKE_EVENTS.inc();
+                    SMOKE_NS.record(i);
+                    let _guard = telemetry::span("smoke.span", &SMOKE_NS);
+                    if i % 4096 == 0 {
+                        let _ = telemetry::snapshot();
+                    }
+                }
+            });
+        }
+    });
+    assert!(!telemetry::enabled(), "nothing here may enable recording");
+    assert_eq!(SMOKE_EVENTS.value(), 0, "disabled adds must not record");
+    assert_eq!(SMOKE_NS.count(), 0, "disabled records must not count");
+    assert_eq!(SMOKE_NS.sum(), 0);
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counter("smoke.events"), 0);
+    if let Some(h) = snap.histogram("smoke.ns") {
+        assert_eq!(h.count, 0, "disabled histogram must stay empty");
+    }
+}

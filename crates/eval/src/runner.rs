@@ -1,5 +1,6 @@
 //! Timed algorithm runs over a corpus.
 
+use midas_core::telemetry;
 use midas_core::{
     AugmentationStep, Augmenter, DetectInput, Framework, MidasAlg, MidasConfig, Quarantine,
     SliceDetector, SourceBudget, SourceFacts, SourceFault, Stage,
@@ -8,6 +9,17 @@ use midas_kb::KnowledgeBase;
 use midas_weburl::SourceUrl;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Run-level telemetry: one span per timed algorithm run and per
+/// augmentation-loop suggest, so a trace shows the eval driver's shape
+/// above the framework's shard/detect/consolidate spans.
+mod metrics {
+    midas_core::counter!(pub RUNS, "eval.runs");
+    midas_core::counter!(pub AUG_ROUNDS, "eval.augment.rounds");
+    midas_core::counter!(pub AUG_ACCEPTS, "eval.augment.accepts");
+    midas_core::histogram!(pub RUN_NS, "eval.run_ns");
+    midas_core::histogram!(pub SUGGEST_NS, "eval.augment.suggest_ns");
+}
 
 use midas_core::DiscoveredSlice;
 
@@ -74,6 +86,8 @@ pub fn run_detector_per_source_budgeted<D: SliceDetector>(
     kb: &KnowledgeBase,
     budget: SourceBudget,
 ) -> RunResult {
+    metrics::RUNS.inc();
+    let _run_span = telemetry::span("eval.run", &metrics::RUN_NS);
     let start = Instant::now();
     let mut slices = Vec::new();
     let mut quarantine = Quarantine::new();
@@ -133,8 +147,11 @@ pub fn run_midas_framework(
         .with_threads(threads)
         .with_budget(config.budget)
         .with_stream_window(config.stream_window);
+    metrics::RUNS.inc();
+    let run_span = telemetry::span("eval.run", &metrics::RUN_NS);
     let start = Instant::now();
     let report = fw.run(sources, kb);
+    drop(run_span);
     RunResult {
         name: "midas".to_owned(),
         slices: report.slices,
@@ -159,8 +176,11 @@ pub fn run_midas_framework_with_tables(
         .with_threads(threads)
         .with_budget(config.budget)
         .with_stream_window(config.stream_window);
+    metrics::RUNS.inc();
+    let run_span = telemetry::span("eval.run", &metrics::RUN_NS);
     let start = Instant::now();
     let report = fw.run_with_tables(sources, kb, tables);
+    drop(run_span);
     RunResult {
         name: "midas".to_owned(),
         slices: report.slices,
@@ -225,11 +245,17 @@ pub fn continue_augmentation(
     let mut rounds = Vec::new();
     let budget_ms = aug.config().budget.deadline.map(|d| d.as_millis() as u64);
     for round in start_round..=max_rounds {
+        metrics::AUG_ROUNDS.inc();
+        let suggest_span = telemetry::span("augment.suggest", &metrics::SUGGEST_NS);
         let start = Instant::now();
         let report = aug.suggest_report();
         let suggest_time = start.elapsed();
+        drop(suggest_span);
         let best = report.slices.iter().find(|s| s.profit > 0.0).cloned();
         let accepted = best.as_ref().map(|b| aug.accept(b));
+        if accepted.is_some() {
+            metrics::AUG_ACCEPTS.inc();
+        }
         let saturated = accepted.is_none();
         let stalled = matches!(&accepted, Some(s) if s.facts_added == 0);
         let done = AugmentationRound {

@@ -47,6 +47,18 @@ fn name_selected(name: &str) -> bool {
     }
 }
 
+static METRICS_HOOK: OnceLock<fn() -> Option<String>> = OnceLock::new();
+
+/// Registers a process-wide hook supplying an extra JSON value for each
+/// `MIDAS_BENCH_JSON` line, appended as a `"metrics"` field. The hook
+/// returns pre-serialised JSON (or `None` to omit the field), so the shim
+/// stays dependency-free: bench binaries pass a closure over their own
+/// metrics registry (e.g. `midas_core::telemetry::snapshot().to_json()`).
+/// First registration wins; later calls are ignored.
+pub fn set_metrics_hook(hook: fn() -> Option<String>) {
+    let _ = METRICS_HOOK.set(hook);
+}
+
 fn sample_override() -> Option<usize> {
     std::env::var("MIDAS_BENCH_SAMPLES")
         .ok()
@@ -163,7 +175,10 @@ pub fn calib_ns() -> f64 {
             let start = Instant::now();
             let mut x = 0x9e3779b97f4a7c15u64;
             for _ in 0..SPIN {
-                x = black_box(x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407));
+                x = black_box(
+                    x.wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407),
+                );
             }
             black_box(x);
             let per_iter = start.elapsed().as_nanos() as f64 / SPIN as f64;
@@ -212,9 +227,14 @@ fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     );
     if let Ok(path) = std::env::var("MIDAS_BENCH_JSON") {
         if !path.is_empty() {
+            let metrics_field = METRICS_HOOK
+                .get()
+                .and_then(|hook| hook())
+                .map(|json| format!(",\"metrics\":{}", json.trim()))
+                .unwrap_or_default();
             let line = format!(
-                "{{\"bench\":{:?},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"calib_ns\":{:.4},\"peak_rss_kb\":{}}}\n",
-                name, median, mean, min, max, sorted.len(), calib_ns(), peak_rss_kb()
+                "{{\"bench\":{:?},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"calib_ns\":{:.4},\"peak_rss_kb\":{}{}}}\n",
+                name, median, mean, min, max, sorted.len(), calib_ns(), peak_rss_kb(), metrics_field
             );
             let written = OpenOptions::new()
                 .create(true)

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Bench smoke runner: exercises the hot-path criterion benches at reduced
-# sample counts and records one JSON line per benchmark in BENCH_PR8.json
+# sample counts and records one JSON line per benchmark in BENCH_PR10.json
 # at the repo root (appended by the in-repo criterion shim — see
 # crates/shims/criterion; every line carries peak_rss_kb and calib_ns
 # fields, the latter a machine-speed reference bench_compare.py divides
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 SAMPLES="${2:-10}"
 
 # cargo runs bench binaries with the package directory as cwd, so anchor a
@@ -119,6 +119,37 @@ if [ -z "$RATIO" ] || [ "$RATIO" -lt 3 ]; then
 fi
 echo "augmentation smoke OK: warm = $WARM_MS ms < rebuild = $FRESH_MS ms; ${RATIO}x over no-warm incremental"
 
+# Telemetry overhead gate: with the metrics registry live (counters, span
+# histograms, per-round reconciliation snapshots) the augmentation loop's
+# from-scratch rebuild total must stay within 3% of the disabled run, plus
+# a small absolute allowance because a single rebuild total is ~1.5s and
+# host scheduling jitter alone exceeds 3% on loaded machines. Runs are
+# interleaved and the gate compares best-of-3 per mode so one noisy rep
+# cannot fail (or mask) the comparison. The last enabled rep also writes
+# the per-run metrics report consumed by metrics_compare.py below.
+echo
+echo "== telemetry overhead: MIDAS_TELEMETRY=1 vs disabled (best of 3) =="
+METRICS_OUT="$PWD/METRICS_PR10.json"
+rebuild_total_of() { printf '%s\n' "$1" | grep warm_total | sed -n 's/.*"rebuild_ms":\([0-9]*\)\..*/\1/p'; }
+BEST_OFF=""
+BEST_ON=""
+for rep in 1 2 3; do
+    OFF_RUN="$(MIDAS_TELEMETRY=0 ./target/release/augment_rounds --threads 4)"
+    ON_RUN="$(MIDAS_TELEMETRY=1 ./target/release/augment_rounds --threads 4 \
+        --metrics-json "$METRICS_OUT" 2>/dev/null)"
+    OFF_MS="$(rebuild_total_of "$OFF_RUN")"
+    ON_MS="$(rebuild_total_of "$ON_RUN")"
+    echo "  rep $rep: disabled = $OFF_MS ms, enabled = $ON_MS ms"
+    if [ -z "$BEST_OFF" ] || [ "$OFF_MS" -lt "$BEST_OFF" ]; then BEST_OFF="$OFF_MS"; fi
+    if [ -z "$BEST_ON" ] || [ "$ON_MS" -lt "$BEST_ON" ]; then BEST_ON="$ON_MS"; fi
+done
+ALLOWED=$((BEST_OFF + BEST_OFF * 3 / 100 + 50))
+if [ "$BEST_ON" -gt "$ALLOWED" ]; then
+    echo "telemetry smoke FAILED: enabled rebuild ($BEST_ON ms) above disabled ($BEST_OFF ms) + 3% + 50 ms" >&2
+    exit 1
+fi
+echo "telemetry smoke OK: enabled = $BEST_ON ms <= disabled = $BEST_OFF ms + 3% + 50 ms; report at $METRICS_OUT"
+
 # Snapshot-cache cold vs warm: a warm `--snapshot-cache` run must reach
 # its first detection round at least 5x faster than cold extraction on the
 # 240-source corpus (the binary also asserts cold and warm reports are
@@ -134,6 +165,19 @@ if [ "$SPEEDUP" -lt 5 ]; then
     exit 1
 fi
 echo "snapshot smoke OK: warm run ${SPEEDUP}x faster than cold"
+
+# Counter drift across PRs: diff the two most recent METRICS_PR<N>.json
+# reports. Work counters are machine-independent, so drift beyond the
+# threshold means a code path genuinely changed how much it does. Skipped
+# (not failed) when only this PR's report exists.
+echo
+echo "== metrics_compare.py =="
+METRICS_COUNT="$(find . -maxdepth 1 -name 'METRICS_PR*.json' | wc -l)"
+if [ "$METRICS_COUNT" -ge 2 ]; then
+    python3 scripts/metrics_compare.py
+else
+    echo "metrics compare SKIPPED: fewer than two METRICS_PR*.json reports ($METRICS_COUNT found)"
+fi
 
 echo
 echo "== $OUT =="

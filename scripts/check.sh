@@ -40,6 +40,29 @@ echo "== warm-hierarchy escape hatch (MIDAS_NO_WARM_HIERARCHY=1) =="
 MIDAS_NO_WARM_HIERARCHY=1 cargo test -q --offline --test incremental_equivalence
 MIDAS_NO_WARM_HIERARCHY=1 cargo test -q --offline --test streaming_equivalence
 
+# Telemetry lane: a live metrics registry and span trace sink must never
+# change a report byte. Both equivalence suites re-run with telemetry
+# forced on and every span mirrored to a JSONL file, which must then parse
+# as one well-formed span event per line (the suites flush the sink).
+echo "== telemetry lane (MIDAS_TELEMETRY=1, MIDAS_TRACE=spans:FILE) =="
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+MIDAS_TELEMETRY=1 MIDAS_TRACE="spans:$TRACE_DIR/streaming.jsonl" \
+    cargo test -q --offline --test streaming_equivalence
+MIDAS_TELEMETRY=1 MIDAS_TRACE="spans:$TRACE_DIR/incremental.jsonl" \
+    cargo test -q --offline --test incremental_equivalence
+python3 - "$TRACE_DIR/streaming.jsonl" "$TRACE_DIR/incremental.jsonl" <<'EOF'
+import json, sys
+total = 0
+for path in sys.argv[1:]:
+    for line in open(path):
+        evt = json.loads(line)
+        assert evt["span"] and evt["end_ns"] >= evt["start_ns"], evt
+        total += 1
+assert total > 0, "no span events captured"
+print(f"trace OK: {total} span events across {len(sys.argv) - 1} file(s)")
+EOF
+
 echo "== cargo test =="
 cargo test -q --offline
 

@@ -315,6 +315,45 @@ fn quarantined_leaf_drops_warm_hierarchy_and_rebuilds_cold() {
     }
 }
 
+/// With metric recording (and, when the environment sets `MIDAS_TRACE`,
+/// span streaming) active, the augmentation loop still matches the
+/// untraced sequential reference round for round, the registry's counters
+/// stay monotone across the loop, and the folded snapshot survives a JSON
+/// round-trip. `scripts/check.sh` runs this whole binary again under
+/// `MIDAS_TRACE=spans:…` + `MIDAS_TELEMETRY=1`, extending the same
+/// assertions to the live-sink configuration.
+#[test]
+fn telemetry_active_loop_is_incremental_invariant() {
+    use midas::core::telemetry;
+    let _session = plan_session();
+    let mut t = Interner::new();
+    let corpus = multi_vertical_corpus(&mut t);
+    // Reference first, telemetry untouched — matching the suites' usual
+    // runs — then the same cells with recording force-enabled.
+    let reference = drive_loop(&corpus, 1, None);
+    assert!(reference.len() >= 3);
+    telemetry::enable();
+    let before = telemetry::snapshot();
+    for window in WINDOWS {
+        for threads in THREADS {
+            let trace = drive_loop(&corpus, threads, window);
+            assert_eq!(
+                trace, reference,
+                "cell ({threads}, {window:?}) diverged with telemetry on"
+            );
+        }
+    }
+    let after = telemetry::snapshot();
+    assert!(after.dominates(&before), "counters regressed mid-loop");
+    assert!(
+        after.counter("framework.tasks_reused") > before.counter("framework.tasks_reused"),
+        "warm rounds must have recorded task replays"
+    );
+    let parsed = telemetry::Snapshot::from_json(&after.to_json()).expect("own JSON parses");
+    assert_eq!(parsed, after, "snapshot JSON round-trips losslessly");
+    telemetry::flush_trace();
+}
+
 /// With a round-0 panic and a budget exhaustion injected (by sorted source
 /// index), every cell still matches its from-scratch rebuild at every round
 /// and reproduces the same quarantine — cached fault outcomes replay

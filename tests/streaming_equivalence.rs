@@ -156,6 +156,42 @@ fn faulted_run_is_window_invariant() {
     }
 }
 
+/// With metric recording (and, when the environment sets `MIDAS_TRACE`,
+/// span streaming) active, every cell still reproduces the untraced
+/// reference bit for bit, the registry's counters only ever grow, and the
+/// folded snapshot survives a JSON round-trip. `scripts/check.sh` runs this
+/// whole binary again under `MIDAS_TRACE=spans:…` + `MIDAS_TELEMETRY=1`,
+/// so each assertion above also holds with the trace sink live.
+#[test]
+fn telemetry_active_run_is_window_invariant() {
+    use midas::core::telemetry;
+    let _session = plan_session();
+    telemetry::enable();
+    let mut t = Interner::new();
+    let corpus = twenty_source_corpus(&mut t);
+    let reference = run_with(corpus.clone(), 1, None);
+    let before = telemetry::snapshot();
+    for window in WINDOWS {
+        for threads in THREADS {
+            let report = run_with(corpus.clone(), threads, window);
+            assert_reports_identical(&report, &reference);
+        }
+    }
+    let after = telemetry::snapshot();
+    assert!(after.dominates(&before), "counters regressed mid-run");
+    assert!(
+        after.counter("framework.rounds") > before.counter("framework.rounds"),
+        "the matrix runs must have recorded rounds"
+    );
+    assert!(
+        after.counter("framework.detect_calls") > before.counter("framework.detect_calls"),
+        "the matrix runs must have recorded detector calls"
+    );
+    let parsed = telemetry::Snapshot::from_json(&after.to_json()).expect("own JSON parses");
+    assert_eq!(parsed, after, "snapshot JSON round-trips losslessly");
+    telemetry::flush_trace();
+}
+
 /// Merge-round (consolidate-stage) faults: a fact cap between leaf and
 /// section size quarantines every parent task; the recovered child
 /// candidates are identical at every window.
